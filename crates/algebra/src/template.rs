@@ -1,0 +1,230 @@
+//! Parameterized query templates (Sec. 6 of the paper).
+//!
+//! A template is a logical plan whose selection conditions may refer to
+//! parameters `$0, $1, …`. Applications typically run many instances of few
+//! templates, which is what makes capturing a provenance sketch for one
+//! instance and reusing it for later instances worthwhile.
+
+use crate::expr::Expr;
+use crate::plan::LogicalPlan;
+use pbds_storage::Value;
+
+/// A named parameterized query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTemplate {
+    name: String,
+    plan: LogicalPlan,
+    num_params: usize,
+}
+
+impl QueryTemplate {
+    /// Create a template from a plan containing `Expr::Param` placeholders.
+    ///
+    /// The number of parameters is derived from the largest parameter index
+    /// used in the plan.
+    pub fn new(name: impl Into<String>, plan: LogicalPlan) -> Self {
+        let num_params = plan.params().iter().max().map(|m| m + 1).unwrap_or(0);
+        QueryTemplate {
+            name: name.into(),
+            plan,
+            num_params,
+        }
+    }
+
+    /// Template name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameterized plan.
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    /// Number of parameters the template expects.
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// Instantiate the template with a parameter binding.
+    ///
+    /// # Panics
+    /// Panics if fewer values than `num_params()` are supplied.
+    pub fn instantiate(&self, binding: &[Value]) -> LogicalPlan {
+        assert!(
+            binding.len() >= self.num_params,
+            "template {} expects {} parameters, got {}",
+            self.name,
+            self.num_params,
+            binding.len()
+        );
+        self.plan.bind_params(binding)
+    }
+
+    /// Base tables accessed by the template.
+    pub fn tables(&self) -> Vec<String> {
+        self.plan.tables()
+    }
+}
+
+/// Turn an ad-hoc (closed) query into a template by replacing every literal
+/// that appears on the right-hand side of a comparison inside selection
+/// predicates with a fresh parameter; returns the template and the extracted
+/// binding that re-creates the original query.
+///
+/// The paper notes (Sec. 6) that even ad-hoc analytics workloads repeat
+/// query *patterns*; this helper performs that pattern extraction.
+pub fn templatize(name: impl Into<String>, plan: &LogicalPlan) -> (QueryTemplate, Vec<Value>) {
+    use std::cell::RefCell;
+    let extracted: RefCell<Vec<Value>> = RefCell::new(Vec::new());
+
+    fn rewrite_pred(e: &Expr, extracted: &RefCell<Vec<Value>>) -> Expr {
+        match e {
+            Expr::Binary { op, left, right } if op.is_comparison() => {
+                let new_right = match &**right {
+                    Expr::Literal(v) => {
+                        let mut ex = extracted.borrow_mut();
+                        ex.push(v.clone());
+                        Expr::Param(ex.len() - 1)
+                    }
+                    other => rewrite_pred(other, extracted),
+                };
+                Expr::Binary {
+                    op: *op,
+                    left: left.clone(),
+                    right: Box::new(new_right),
+                }
+            }
+            Expr::And(es) => Expr::And(es.iter().map(|x| rewrite_pred(x, extracted)).collect()),
+            Expr::Or(es) => Expr::Or(es.iter().map(|x| rewrite_pred(x, extracted)).collect()),
+            Expr::Not(x) => Expr::Not(Box::new(rewrite_pred(x, extracted))),
+            other => other.clone(),
+        }
+    }
+
+    fn rewrite_plan(p: &LogicalPlan, extracted: &RefCell<Vec<Value>>) -> LogicalPlan {
+        match p {
+            LogicalPlan::Selection { predicate, input } => LogicalPlan::Selection {
+                predicate: rewrite_pred(predicate, extracted),
+                input: Box::new(rewrite_plan(input, extracted)),
+            },
+            LogicalPlan::Projection { exprs, input } => LogicalPlan::Projection {
+                exprs: exprs.clone(),
+                input: Box::new(rewrite_plan(input, extracted)),
+            },
+            LogicalPlan::Aggregate {
+                group_by,
+                aggregates,
+                input,
+            } => LogicalPlan::Aggregate {
+                group_by: group_by.clone(),
+                aggregates: aggregates.clone(),
+                input: Box::new(rewrite_plan(input, extracted)),
+            },
+            LogicalPlan::Join {
+                left,
+                right,
+                left_col,
+                right_col,
+            } => LogicalPlan::Join {
+                left: Box::new(rewrite_plan(left, extracted)),
+                right: Box::new(rewrite_plan(right, extracted)),
+                left_col: left_col.clone(),
+                right_col: right_col.clone(),
+            },
+            LogicalPlan::CrossProduct { left, right } => LogicalPlan::CrossProduct {
+                left: Box::new(rewrite_plan(left, extracted)),
+                right: Box::new(rewrite_plan(right, extracted)),
+            },
+            LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+                input: Box::new(rewrite_plan(input, extracted)),
+            },
+            LogicalPlan::TopK {
+                order_by,
+                limit,
+                input,
+            } => LogicalPlan::TopK {
+                order_by: order_by.clone(),
+                limit: *limit,
+                input: Box::new(rewrite_plan(input, extracted)),
+            },
+            LogicalPlan::Union { left, right } => LogicalPlan::Union {
+                left: Box::new(rewrite_plan(left, extracted)),
+                right: Box::new(rewrite_plan(right, extracted)),
+            },
+            LogicalPlan::TableScan { .. } => p.clone(),
+        }
+    }
+
+    let plan = rewrite_plan(plan, &extracted);
+    (QueryTemplate::new(name, plan), extracted.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit, param};
+    use crate::plan::{AggExpr, AggFunc};
+
+    /// The parameterized query T from Fig. 5 of the paper.
+    fn fig5_template() -> QueryTemplate {
+        let plan = LogicalPlan::scan("cities")
+            .filter(col("popden").gt(param(0)))
+            .aggregate(
+                vec!["state"],
+                vec![AggExpr::new(AggFunc::Count, col("city"), "cntcity")],
+            )
+            .filter(col("cntcity").gt(param(1)));
+        QueryTemplate::new("fig5", plan)
+    }
+
+    #[test]
+    fn template_counts_params() {
+        let t = fig5_template();
+        assert_eq!(t.num_params(), 2);
+        assert_eq!(t.tables(), vec!["cities".to_string()]);
+    }
+
+    #[test]
+    fn instantiation_binds_all_params() {
+        let t = fig5_template();
+        let q = t.instantiate(&[Value::Int(100), Value::Int(10)]);
+        assert!(q.params().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 parameters")]
+    fn instantiation_with_too_few_params_panics() {
+        fig5_template().instantiate(&[Value::Int(100)]);
+    }
+
+    #[test]
+    fn templatize_extracts_selection_constants() {
+        let q = LogicalPlan::scan("cities")
+            .filter(col("popden").gt(lit(100)).and(col("state").eq(lit("CA"))))
+            .aggregate(vec!["state"], vec![AggExpr::new(AggFunc::Count, col("city"), "cnt")])
+            .filter(col("cnt").gt(lit(10)));
+        let (template, binding) = templatize("adhoc", &q);
+        assert_eq!(template.num_params(), 3);
+        let mut sorted = binding.clone();
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            vec![Value::Int(10), Value::Int(100), Value::from("CA")]
+        );
+        // Re-instantiating with the extracted binding reproduces the query.
+        assert_eq!(template.instantiate(&binding), q);
+    }
+
+    #[test]
+    fn templatize_of_constant_free_query_has_no_params() {
+        let q = LogicalPlan::scan("cities").aggregate(
+            vec!["state"],
+            vec![AggExpr::new(AggFunc::Avg, col("popden"), "avgden")],
+        );
+        let (template, binding) = templatize("noparams", &q);
+        assert_eq!(template.num_params(), 0);
+        assert!(binding.is_empty());
+        assert_eq!(template.instantiate(&[]), q);
+    }
+}

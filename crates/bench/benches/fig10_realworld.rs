@@ -1,0 +1,49 @@
+//! Fig. 10 — real-world-style workloads (Crimes, Movies, Stack Overflow):
+//! plain vs sketch-instrumented execution for each query of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbds_bench::{datasets, harness};
+use pbds_core::Pbds;
+use pbds_workloads::{crimes, movies, sof, BenchQuery};
+use std::time::Duration;
+
+fn bench_set(c: &mut Criterion, label: &str, pbds: &Pbds, queries: &[BenchQuery], fragments: usize) {
+    let mut group = c.benchmark_group(format!("fig10_{label}"));
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    for query in queries {
+        let plan = query.default_plan();
+        let partition = harness::build_partition(pbds, &query.sketch, fragments).unwrap();
+        let captured = pbds.capture(&plan, &[partition]).unwrap();
+        group.bench_with_input(BenchmarkId::new("no_ps", &query.name), &plan, |b, plan| {
+            b.iter(|| pbds.execute(plan).unwrap().relation.len())
+        });
+        group.bench_with_input(BenchmarkId::new("ps_use", &query.name), &plan, |b, plan| {
+            b.iter(|| {
+                pbds.execute_with_sketches(plan, &captured.sketches)
+                    .unwrap()
+                    .relation
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_realworld(c: &mut Criterion) {
+    bench_set(c, "crimes", &Pbds::new(datasets::crimes_small_db()), &crimes::queries(), 1);
+    bench_set(
+        c,
+        "movies",
+        &Pbds::new(pbds_workloads::movies::generate(&movies::MoviesConfig {
+            movies: 2_000,
+            ratings: 60_000,
+            ..Default::default()
+        })),
+        &movies::queries(),
+        1_000,
+    );
+    bench_set(c, "sof", &Pbds::new(datasets::sof_small_db()), &sof::queries(), 1_000);
+}
+
+criterion_group!(benches, bench_realworld);
+criterion_main!(benches);

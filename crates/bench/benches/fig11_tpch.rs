@@ -1,0 +1,51 @@
+//! Fig. 11 / Fig. 9 — TPC-H-like capture and use: plain execution vs
+//! sketch-instrumented execution vs capture, for representative queries on
+//! both engine profiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbds_bench::{datasets, harness};
+use pbds_core::{EngineProfile, Pbds, UsePredicateStyle};
+use pbds_provenance::CaptureConfig;
+use pbds_workloads::tpch;
+use std::time::Duration;
+
+fn bench_tpch(c: &mut Criterion) {
+    let db = datasets::tpch(datasets::TpchScale::Small);
+    for (profile, label) in [
+        (EngineProfile::Indexed, "indexed"),
+        (EngineProfile::ColumnarScan, "columnar"),
+    ] {
+        let pbds = Pbds::with_profile(db.clone(), profile);
+        let mut group = c.benchmark_group(format!("fig11_tpch_{label}"));
+        group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+        for name in ["Q3", "Q10", "Q15", "Q18"] {
+            let query = tpch::queries().into_iter().find(|q| q.name == name).unwrap();
+            let plan = query.default_plan();
+            let partition = harness::build_partition(&pbds, &query.sketch, 400).unwrap();
+            let captured = pbds.capture(&plan, &[partition.clone()]).unwrap();
+            group.bench_with_input(BenchmarkId::new("no_ps", name), &plan, |b, plan| {
+                b.iter(|| pbds.execute(plan).unwrap().relation.len())
+            });
+            group.bench_with_input(BenchmarkId::new("ps_use", name), &plan, |b, plan| {
+                b.iter(|| {
+                    pbds.execute_with_sketches_styled(plan, &captured.sketches, UsePredicateStyle::BinarySearch)
+                        .unwrap()
+                        .relation
+                        .len()
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("ps_capture", name), &plan, |b, plan| {
+                b.iter(|| {
+                    pbds.capture_with_config(plan, &[partition.clone()], &CaptureConfig::optimized())
+                        .unwrap()
+                        .sketches[0]
+                        .num_selected()
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_tpch);
+criterion_main!(benches);

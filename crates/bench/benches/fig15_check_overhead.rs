@@ -1,0 +1,51 @@
+//! Sec. 9.5 — overhead of the static safety check (Sec. 5) and the sketch
+//! reuse check (Sec. 6). The paper reports ~20 ms per check using Z3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbds_bench::datasets;
+use pbds_core::{ReuseChecker, SafetyChecker};
+use pbds_storage::Value;
+use pbds_workloads::{sof, tpch};
+use std::time::Duration;
+
+fn bench_checks(c: &mut Criterion) {
+    let db = datasets::sof_small_db();
+    let tpch_db = datasets::tpch(datasets::TpchScale::Small);
+    let mut group = c.benchmark_group("fig15_check_overhead");
+    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+
+    // Safety checks for the SOF end-to-end templates and two TPC-H queries.
+    for template in sof::end_to_end_templates() {
+        let checker = SafetyChecker::new(&db);
+        let attrs = checker.candidate_attributes(template.plan());
+        group.bench_with_input(
+            BenchmarkId::new("safety", template.name()),
+            template.plan(),
+            |b, plan| b.iter(|| checker.check(plan, &attrs).safe),
+        );
+    }
+    for name in ["Q3", "Q18"] {
+        let query = tpch::queries().into_iter().find(|q| q.name == name).unwrap();
+        let checker = SafetyChecker::new(&tpch_db);
+        let attrs = checker.candidate_attributes(query.template.plan());
+        group.bench_with_input(
+            BenchmarkId::new("safety_tpch", name),
+            query.template.plan(),
+            |b, plan| b.iter(|| checker.check(plan, &attrs).safe),
+        );
+    }
+
+    // Reuse checks.
+    for template in sof::end_to_end_templates() {
+        let checker = ReuseChecker::new(&db);
+        group.bench_with_input(
+            BenchmarkId::new("reuse", template.name()),
+            &template,
+            |b, t| b.iter(|| checker.can_reuse(t, &[Value::Int(30)], &[Value::Int(45)]).reusable),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checks);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Benchmark-scale dataset construction.
+//!
+//! The paper evaluates on TPC-H SF1/SF10 and multi-million-row real datasets;
+//! we reproduce the *shape* of the results on laptop-scale versions of the
+//! same schemas (DESIGN.md documents the substitution). Two TPC-H scales
+//! stand in for the SF1/SF10 pair so scale trends remain visible.
+
+use pbds_storage::Database;
+use pbds_workloads::{crimes, movies, sof, tpch};
+
+/// Dataset scale used by the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpchScale {
+    /// The smaller scale (stands in for SF1).
+    Small,
+    /// The larger scale (stands in for SF10).
+    Large,
+}
+
+impl TpchScale {
+    /// Label used in printed tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TpchScale::Small => "SF-small",
+            TpchScale::Large => "SF-large",
+        }
+    }
+}
+
+/// Build the TPC-H-like database at a benchmark scale.
+pub fn tpch(scale: TpchScale) -> Database {
+    let cfg = tpch::TpchConfig {
+        scale: match scale {
+            TpchScale::Small => 0.004,
+            TpchScale::Large => 0.016,
+        },
+        seed: 42,
+        block_size: 256,
+    };
+    tpch::generate(&cfg)
+}
+
+/// Build the Crimes-like database at benchmark scale.
+pub fn crimes_db() -> Database {
+    crimes::generate(&crimes::CrimesConfig {
+        rows: 60_000,
+        ..Default::default()
+    })
+}
+
+/// Build the Movies-like database at benchmark scale.
+pub fn movies_db() -> Database {
+    movies::generate(&movies::MoviesConfig {
+        movies: 4_000,
+        ratings: 120_000,
+        ..Default::default()
+    })
+}
+
+/// Build the Stack-Overflow-like database at benchmark scale.
+pub fn sof_db() -> Database {
+    sof::generate(&sof::SofConfig {
+        users: 10_000,
+        posts: 60_000,
+        comments: 80_000,
+        badges: 30_000,
+        ..Default::default()
+    })
+}
+
+/// A smaller Stack-Overflow database for the end-to-end workloads (which run
+/// hundreds of query instances).
+pub fn sof_small_db() -> Database {
+    sof::generate(&sof::SofConfig {
+        users: 4_000,
+        posts: 24_000,
+        comments: 32_000,
+        badges: 12_000,
+        ..Default::default()
+    })
+}
+
+/// A smaller Crimes database for the end-to-end workloads.
+pub fn crimes_small_db() -> Database {
+    crimes::generate(&crimes::CrimesConfig {
+        rows: 30_000,
+        ..Default::default()
+    })
+}

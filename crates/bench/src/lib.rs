@@ -1,0 +1,19 @@
+//! # pbds-bench
+//!
+//! The benchmark harness reproducing every table and figure of the PBDS
+//! evaluation (Sec. 9 of the paper). The `paper-figures` binary prints each
+//! experiment as a text table; the Criterion benches under `benches/` measure
+//! the same code paths with statistical rigour.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run -p pbds-bench --release --bin paper-figures -- all
+//! cargo bench -p pbds-bench
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod figs;
+pub mod harness;

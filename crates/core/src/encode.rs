@@ -1,0 +1,326 @@
+//! Encoding of relational expressions into solver formulas.
+//!
+//! The safety (Sec. 5) and reuse (Sec. 6) checks translate query predicates
+//! and projection expressions into linear-arithmetic formulas over attribute
+//! variables, with a primed copy (`a'`) of every attribute standing for the
+//! query evaluated over the full database while the unprimed copy stands for
+//! the query evaluated over the sketch instance (or, for reuse, for the
+//! other query instance).
+//!
+//! String constants are mapped to integer codes that preserve their ordering,
+//! which keeps comparisons over string attributes (e.g. `state >= 'AL'`)
+//! within linear arithmetic.
+
+use pbds_algebra::{BinOp, Expr, LogicalPlan};
+use pbds_solver::{CmpOp, Formula, LinExpr};
+use pbds_storage::Value;
+use std::collections::BTreeSet;
+
+/// Suffix used to form the primed copy of an attribute variable.
+pub const PRIME_SUFFIX: &str = "__p";
+
+/// Maps string constants to order-preserving numeric codes.
+#[derive(Debug, Clone, Default)]
+pub struct StringEncoder {
+    strings: Vec<String>,
+}
+
+impl StringEncoder {
+    /// Collect every string literal appearing in a plan (so codes are stable
+    /// across premise and conclusion of one check).
+    pub fn from_plans(plans: &[&LogicalPlan]) -> Self {
+        let mut set = BTreeSet::new();
+        for plan in plans {
+            plan.visit_exprs(&mut |e| collect_strings(e, &mut set));
+        }
+        StringEncoder {
+            strings: set.into_iter().collect(),
+        }
+    }
+
+    /// Register additional string values (e.g. from table statistics).
+    pub fn register(&mut self, s: &str) {
+        if let Err(pos) = self.strings.binary_search_by(|x| x.as_str().cmp(s)) {
+            self.strings.insert(pos, s.to_string());
+        }
+    }
+
+    /// Order-preserving code of a string (strings between two registered
+    /// constants get interleaved codes, which is sound for the comparisons
+    /// the formulas contain because only registered constants appear in them).
+    pub fn encode(&self, s: &str) -> f64 {
+        match self.strings.binary_search_by(|x| x.as_str().cmp(s)) {
+            Ok(pos) => pos as f64 * 10.0,
+            Err(pos) => pos as f64 * 10.0 - 5.0,
+        }
+    }
+
+    /// Encode any value as a solver constant.
+    pub fn encode_value(&self, v: &Value) -> Option<f64> {
+        match v {
+            Value::Str(s) => Some(self.encode(s)),
+            Value::Null => None,
+            other => other.as_f64(),
+        }
+    }
+}
+
+fn collect_strings(e: &Expr, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::Literal(Value::Str(s)) => {
+            out.insert(s.clone());
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_strings(left, out);
+            collect_strings(right, out);
+        }
+        Expr::And(es) | Expr::Or(es) => {
+            for x in es {
+                collect_strings(x, out);
+            }
+        }
+        Expr::Not(x) | Expr::IsNull(x) => collect_strings(x, out),
+        Expr::Case { branches, otherwise } => {
+            for (c, r) in branches {
+                collect_strings(c, out);
+                collect_strings(r, out);
+            }
+            collect_strings(otherwise, out);
+        }
+        _ => {}
+    }
+}
+
+/// Variable name of an attribute, optionally primed.
+pub fn attr_var(name: &str, primed: bool) -> String {
+    if primed {
+        format!("{name}{PRIME_SUFFIX}")
+    } else {
+        name.to_string()
+    }
+}
+
+/// Translate a scalar expression to a linear expression over attribute
+/// variables, if possible.
+pub fn to_linexpr(e: &Expr, primed: bool, strings: &StringEncoder) -> Option<LinExpr> {
+    match e {
+        Expr::Column(c) => Some(LinExpr::var(attr_var(c, primed))),
+        Expr::Literal(v) => strings.encode_value(v).map(LinExpr::constant),
+        // Parameters are shared between the primed and unprimed copy of the
+        // same query instance, so they are never primed.
+        Expr::Param(i) => Some(LinExpr::var(format!("__param_{i}"))),
+        Expr::Binary { op, left, right } => {
+            let l = to_linexpr(left, primed, strings)?;
+            let r = to_linexpr(right, primed, strings)?;
+            match op {
+                BinOp::Add => Some(l.add(&r)),
+                BinOp::Sub => Some(l.sub(&r)),
+                BinOp::Mul => {
+                    // Only linear products (one side constant) are encodable.
+                    if l.is_constant() {
+                        Some(r.scale(l.constant_part()))
+                    } else if r.is_constant() {
+                        Some(l.scale(r.constant_part()))
+                    } else {
+                        None
+                    }
+                }
+                BinOp::Div => {
+                    if r.is_constant() && r.constant_part() != 0.0 {
+                        Some(l.scale(1.0 / r.constant_part()))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Result of encoding a predicate: the formula plus a flag recording whether
+/// every atom could be encoded. Callers that place the predicate in the
+/// *conclusion* of an implication must refuse to proceed when `complete` is
+/// false (dropping conclusion atoms would be unsound); premises may always be
+/// weakened.
+#[derive(Debug, Clone)]
+pub struct EncodedPred {
+    /// The (possibly weakened) formula.
+    pub formula: Formula,
+    /// True when no atom was dropped.
+    pub complete: bool,
+}
+
+impl EncodedPred {
+    /// A trivially true, complete predicate.
+    pub fn truth() -> Self {
+        EncodedPred {
+            formula: Formula::True,
+            complete: true,
+        }
+    }
+
+    /// Conjoin two encoded predicates.
+    pub fn and(self, other: EncodedPred) -> EncodedPred {
+        EncodedPred {
+            formula: Formula::and_all(vec![self.formula, other.formula]),
+            complete: self.complete && other.complete,
+        }
+    }
+}
+
+/// Translate a boolean predicate to a formula over attribute variables.
+/// Atoms that cannot be encoded are replaced by `True` and flagged.
+pub fn to_formula(e: &Expr, primed: bool, strings: &StringEncoder) -> EncodedPred {
+    match e {
+        Expr::Binary { op, left, right } if op.is_comparison() => {
+            let l = to_linexpr(left, primed, strings);
+            let r = to_linexpr(right, primed, strings);
+            match (l, r) {
+                (Some(l), Some(r)) => {
+                    let cmp = match op {
+                        BinOp::Eq => CmpOp::Eq,
+                        BinOp::Ne => CmpOp::Ne,
+                        BinOp::Lt => CmpOp::Lt,
+                        BinOp::Le => CmpOp::Le,
+                        BinOp::Gt => CmpOp::Gt,
+                        BinOp::Ge => CmpOp::Ge,
+                        _ => unreachable!(),
+                    };
+                    EncodedPred {
+                        formula: Formula::cmp(l, cmp, r),
+                        complete: true,
+                    }
+                }
+                _ => EncodedPred {
+                    formula: Formula::True,
+                    complete: false,
+                },
+            }
+        }
+        Expr::And(es) => es
+            .iter()
+            .map(|x| to_formula(x, primed, strings))
+            .fold(EncodedPred::truth(), EncodedPred::and),
+        Expr::Or(es) => {
+            let parts: Vec<EncodedPred> =
+                es.iter().map(|x| to_formula(x, primed, strings)).collect();
+            let complete = parts.iter().all(|p| p.complete);
+            if !complete {
+                // A disjunction with a dropped disjunct cannot be weakened
+                // soundly (weakening a disjunct strengthens nothing); treat
+                // the whole disjunction as unencodable.
+                return EncodedPred {
+                    formula: Formula::True,
+                    complete: false,
+                };
+            }
+            EncodedPred {
+                formula: Formula::or_all(parts.into_iter().map(|p| p.formula).collect()),
+                complete: true,
+            }
+        }
+        Expr::Not(x) => {
+            let inner = to_formula(x, primed, strings);
+            if inner.complete {
+                EncodedPred {
+                    formula: Formula::not(inner.formula),
+                    complete: true,
+                }
+            } else {
+                EncodedPred {
+                    formula: Formula::True,
+                    complete: false,
+                }
+            }
+        }
+        _ => EncodedPred {
+            formula: Formula::True,
+            complete: false,
+        },
+    }
+}
+
+/// Equality of an attribute with its primed copy: `a = a'`.
+pub fn eq_primed(attr: &str) -> Formula {
+    Formula::var_cmp_var(&attr_var(attr, false), CmpOp::Eq, &attr_var(attr, true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbds_algebra::{col, lit, param};
+    use pbds_solver::is_valid;
+
+    #[test]
+    fn string_codes_preserve_order() {
+        let mut enc = StringEncoder::default();
+        enc.register("AL");
+        enc.register("DE");
+        enc.register("NY");
+        assert!(enc.encode("AL") < enc.encode("DE"));
+        assert!(enc.encode("DE") < enc.encode("NY"));
+        // Unregistered strings interleave without colliding.
+        assert!(enc.encode("CA") > enc.encode("AL"));
+        assert!(enc.encode("CA") < enc.encode("DE"));
+    }
+
+    #[test]
+    fn simple_comparison_encodes_completely() {
+        let enc = StringEncoder::default();
+        let p = to_formula(&col("popden").gt(lit(100)), false, &enc);
+        assert!(p.complete);
+        assert_eq!(p.formula.to_string(), "popden > 100");
+        let primed = to_formula(&col("popden").gt(lit(100)), true, &enc);
+        assert!(primed.formula.to_string().contains("popden__p"));
+    }
+
+    #[test]
+    fn params_are_shared_between_primed_copies() {
+        let enc = StringEncoder::default();
+        let plain = to_formula(&col("a").gt(param(0)), false, &enc);
+        let primed = to_formula(&col("a").gt(param(0)), true, &enc);
+        // a = a' and a > $0 implies a' > $0 because the parameter variable is
+        // the same on both sides.
+        let f = Formula::implies(
+            Formula::and_all(vec![eq_primed("a"), plain.formula]),
+            primed.formula,
+        );
+        assert!(is_valid(&f));
+    }
+
+    #[test]
+    fn arithmetic_projection_expressions_encode() {
+        let enc = StringEncoder::default();
+        let e = col("a").add(col("b")).mul(lit(2));
+        let lin = to_linexpr(&e, false, &enc).unwrap();
+        assert_eq!(lin.coeff("a"), 2.0);
+        assert_eq!(lin.coeff("b"), 2.0);
+        // Products of two attributes are not linear.
+        assert!(to_linexpr(&col("a").mul(col("b")), false, &enc).is_none());
+    }
+
+    #[test]
+    fn unencodable_atoms_are_flagged() {
+        let enc = StringEncoder::default();
+        let p = to_formula(&col("a").mul(col("b")).gt(lit(0)), false, &enc);
+        assert!(!p.complete);
+        assert_eq!(p.formula, Formula::True);
+    }
+
+    #[test]
+    fn string_comparison_reasoning_works_end_to_end() {
+        let plan = pbds_algebra::LogicalPlan::scan("cities")
+            .filter(col("state").ge(lit("AL")).and(col("state").le(lit("DE"))));
+        let enc = StringEncoder::from_plans(&[&plan]);
+        // state >= 'AL' AND state <= 'DE' implies state <= 'DE'.
+        let pred = to_formula(
+            &col("state").ge(lit("AL")).and(col("state").le(lit("DE"))),
+            false,
+            &enc,
+        );
+        let conclusion = to_formula(&col("state").le(lit("DE")), false, &enc);
+        assert!(is_valid(&Formula::implies(pred.formula, conclusion.formula)));
+    }
+}

@@ -1,0 +1,56 @@
+//! # pbds-core
+//!
+//! Provenance-Based Data Skipping (PBDS) — a from-scratch Rust reproduction
+//! of the VLDB 2021 paper *"Provenance-based Data Skipping"* (Niu et al.).
+//!
+//! PBDS analyzes queries **at runtime** to determine which data is relevant
+//! for answering them: it captures a *provenance sketch* — the set of
+//! fragments of a horizontal partition that contain the query's provenance —
+//! and uses that sketch to instrument later executions of the same (or a
+//! compatible parameterized) query with range predicates the engine can
+//! answer through indexes and zone maps. This pays off precisely for query
+//! classes where static analysis cannot determine relevance: top-k queries,
+//! aggregation with `HAVING`, and similar.
+//!
+//! The crate provides:
+//!
+//! * [`safety`] — the static safety check of Sec. 5 (`gc(Q, X)` inference);
+//! * [`reuse`] — the parameterized-query reuse check of Sec. 6;
+//! * [`instrument`] — query instrumentation with sketch filters (Sec. 8);
+//! * [`tuning`] — the self-tuning eager/adaptive strategies of Sec. 9.5;
+//! * [`Pbds`] — a facade tying everything together (see its example).
+//!
+//! Sketch *capture* (Sec. 7) lives in the `pbds-provenance` crate and is
+//! re-exported here.
+
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod instrument;
+pub mod pbds;
+pub mod reuse;
+pub mod safety;
+pub mod tuning;
+
+pub use instrument::{apply_sketches, sketch_predicate, UsePredicateStyle};
+pub use pbds::{Pbds, PbdsError};
+pub use reuse::{ReuseChecker, ReuseResult};
+pub use safety::{PartitionAttr, SafetyChecker, SafetyResult};
+pub use tuning::{
+    cumulative_elapsed, estimate_selectivity, Action, QueryRecord, SelfTuningExecutor, StoredSketch,
+    Strategy,
+};
+
+// Re-export the most commonly used items from the substrate crates so that
+// downstream users (examples, benches) can depend on `pbds-core` alone.
+pub use pbds_algebra as algebra;
+pub use pbds_exec as exec;
+pub use pbds_provenance as provenance;
+pub use pbds_solver as solver;
+pub use pbds_storage as storage;
+
+pub use pbds_exec::{Engine, EngineProfile, ExecStats, QueryOutput};
+pub use pbds_provenance::{
+    capture_lineage, capture_sketches, CaptureConfig, CaptureResult, FragmentBitset, LookupMethod,
+    MergeStrategy, ProvenanceSketch,
+};

@@ -1,0 +1,573 @@
+//! Self-tuning PBDS (Sec. 9.5): deciding per incoming query whether to
+//! capture a sketch, use a previously captured sketch, or execute plainly.
+//!
+//! Two strategies from the paper are implemented:
+//!
+//! * **eager** — whenever a query instance is selective enough and no stored
+//!   sketch can be reused, capture a new sketch immediately;
+//! * **adaptive** — only capture once enough instances have been seen that
+//!   *could have used* a sketch (evidence threshold), which avoids paying
+//!   capture cost for rarely repeated parameter values.
+
+use crate::instrument::{apply_sketches, UsePredicateStyle};
+use crate::reuse::ReuseChecker;
+use crate::safety::{PartitionAttr, SafetyChecker};
+use pbds_algebra::{BinOp, Expr, LogicalPlan, QueryTemplate};
+use pbds_exec::{Engine, EngineProfile, ExecError, ExecStats};
+use pbds_provenance::{capture_sketches, CaptureConfig, ProvenanceSketch};
+use pbds_storage::{Database, Partition, PartitionRef, RangePartition, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Self-tuning strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Never use PBDS (the paper's `No-PS` baseline).
+    NoPbds,
+    /// Capture a sketch whenever none of the stored ones is reusable.
+    Eager {
+        /// Skip PBDS entirely for queries whose estimated selectivity exceeds
+        /// this fraction (the paper uses 0.75).
+        selectivity_threshold: f64,
+    },
+    /// Capture only after `evidence_threshold` instances could have used a
+    /// sketch that did not exist yet.
+    Adaptive {
+        /// Selectivity gate, as for `Eager`.
+        selectivity_threshold: f64,
+        /// Number of missed reuse opportunities before capturing.
+        evidence_threshold: usize,
+    },
+}
+
+impl Strategy {
+    fn selectivity_threshold(&self) -> f64 {
+        match self {
+            Strategy::NoPbds => 0.0,
+            Strategy::Eager {
+                selectivity_threshold,
+            }
+            | Strategy::Adaptive {
+                selectivity_threshold,
+                ..
+            } => *selectivity_threshold,
+        }
+    }
+}
+
+/// What the executor decided to do for one query instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Executed without PBDS.
+    Plain,
+    /// Executed the capture-instrumented query (and stored the new sketch).
+    Capture,
+    /// Executed the sketch-instrumented query, reusing a stored sketch.
+    UseSketch,
+    /// A sketch was used but the runtime top-k re-validation failed, so the
+    /// query was re-executed plainly (counted in the elapsed time).
+    RevalidationFallback,
+}
+
+/// Per-query execution record.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// Template name.
+    pub template: String,
+    /// Decision taken.
+    pub action: Action,
+    /// Wall-clock time spent (including capture or fallback re-execution).
+    pub elapsed: Duration,
+    /// Execution counters of the (final) execution.
+    pub stats: ExecStats,
+    /// Number of result rows.
+    pub result_rows: usize,
+}
+
+/// A stored sketch set together with the parameter binding it was captured
+/// for.
+#[derive(Debug, Clone)]
+pub struct StoredSketch {
+    /// Parameter binding of the instance the sketch was captured for.
+    pub binding: Vec<Value>,
+    /// The captured sketches (one per partitioned relation).
+    pub sketches: Vec<ProvenanceSketch>,
+    /// How many later instances reused this sketch.
+    pub uses: usize,
+}
+
+/// The self-tuning executor: owns the sketch store and decides per query.
+pub struct SelfTuningExecutor<'a> {
+    db: &'a Database,
+    engine: Engine,
+    strategy: Strategy,
+    style: UsePredicateStyle,
+    fragments: usize,
+    store: HashMap<String, Vec<StoredSketch>>,
+    safe_attrs: HashMap<String, Option<Vec<PartitionAttr>>>,
+    evidence: HashMap<String, usize>,
+    partition_cache: HashMap<(String, String), PartitionRef>,
+}
+
+impl<'a> SelfTuningExecutor<'a> {
+    /// Create an executor over a database.
+    pub fn new(db: &'a Database, profile: EngineProfile, strategy: Strategy, fragments: usize) -> Self {
+        SelfTuningExecutor {
+            db,
+            engine: Engine::new(profile),
+            strategy,
+            style: UsePredicateStyle::BinarySearch,
+            fragments,
+            store: HashMap::new(),
+            safe_attrs: HashMap::new(),
+            evidence: HashMap::new(),
+            partition_cache: HashMap::new(),
+        }
+    }
+
+    /// Override the predicate style used when applying sketches.
+    pub fn with_style(mut self, style: UsePredicateStyle) -> Self {
+        self.style = style;
+        self
+    }
+
+    /// Number of sketches currently stored.
+    pub fn stored_sketches(&self) -> usize {
+        self.store.values().map(|v| v.len()).sum()
+    }
+
+    /// Execute one instance of a template.
+    pub fn run(
+        &mut self,
+        template: &QueryTemplate,
+        binding: &[Value],
+    ) -> Result<QueryRecord, ExecError> {
+        let plan = template.instantiate(binding);
+        if self.strategy == Strategy::NoPbds {
+            return self.run_plain(template, &plan);
+        }
+
+        // Determine (once per template) which attributes are safe to sketch.
+        let attrs = self
+            .safe_attrs
+            .entry(template.name().to_string())
+            .or_insert_with(|| {
+                SafetyChecker::new(self.db).choose_safe_attributes(template.plan(), &[])
+            })
+            .clone();
+        let attrs = match attrs {
+            Some(a) => a,
+            None => return self.run_plain(template, &plan),
+        };
+
+        // Selectivity gate: PBDS is not worthwhile for non-selective queries.
+        // Queries whose selectivity cannot be estimated statically (HAVING,
+        // top-k — the very queries PBDS targets) pass the gate.
+        if let Some(est) = estimate_selectivity(self.db, &plan) {
+            if est > self.strategy.selectivity_threshold() {
+                return self.run_plain(template, &plan);
+            }
+        }
+
+        // Try to reuse a stored sketch.
+        let reuse = ReuseChecker::new(self.db);
+        let reusable_idx = self
+            .store
+            .get(template.name())
+            .and_then(|stored| {
+                stored
+                    .iter()
+                    .position(|s| reuse.can_reuse(template, &s.binding, binding).reusable)
+            });
+        if let Some(idx) = reusable_idx {
+            let sketches = self.store.get(template.name()).expect("present")[idx]
+                .sketches
+                .clone();
+            let instrumented = apply_sketches(&plan, &sketches, self.style);
+            let out = self.engine.execute(self.db, &instrumented)?;
+            if !out.stats.topk_safety_revalidated() {
+                // Runtime re-validation failed: fall back to the plain query.
+                let plain = self.engine.execute(self.db, &plan)?;
+                let elapsed = out.stats.elapsed + plain.stats.elapsed;
+                return Ok(QueryRecord {
+                    template: template.name().to_string(),
+                    action: Action::RevalidationFallback,
+                    elapsed,
+                    result_rows: plain.relation.len(),
+                    stats: plain.stats,
+                });
+            }
+            self.store.get_mut(template.name()).expect("present")[idx].uses += 1;
+            return Ok(QueryRecord {
+                template: template.name().to_string(),
+                action: Action::UseSketch,
+                elapsed: out.stats.elapsed,
+                result_rows: out.relation.len(),
+                stats: out.stats,
+            });
+        }
+
+        // No reusable sketch: decide whether to capture now.
+        let capture_now = match self.strategy {
+            Strategy::Eager { .. } => true,
+            Strategy::Adaptive {
+                evidence_threshold, ..
+            } => {
+                let counter = self.evidence.entry(template.name().to_string()).or_insert(0);
+                *counter += 1;
+                if *counter >= evidence_threshold {
+                    *counter = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            Strategy::NoPbds => false,
+        };
+        if !capture_now {
+            return self.run_plain(template, &plan);
+        }
+
+        // Capture: build (cached) partitions over the safe attributes and run
+        // the instrumented capture query; its result is the query answer.
+        let partitions: Vec<PartitionRef> = attrs
+            .iter()
+            .filter_map(|a| self.partition_for(a))
+            .collect();
+        if partitions.is_empty() {
+            return self.run_plain(template, &plan);
+        }
+        let capture =
+            capture_sketches(self.db, &plan, &partitions, &CaptureConfig::optimized())?;
+        let record = QueryRecord {
+            template: template.name().to_string(),
+            action: Action::Capture,
+            elapsed: capture.elapsed,
+            stats: ExecStats {
+                rows_output: capture.result.len() as u64,
+                elapsed: capture.elapsed,
+                ..Default::default()
+            },
+            result_rows: capture.result.len(),
+        };
+        self.store
+            .entry(template.name().to_string())
+            .or_default()
+            .push(StoredSketch {
+                binding: binding.to_vec(),
+                sketches: capture.sketches,
+                uses: 0,
+            });
+        Ok(record)
+    }
+
+    /// Execute a whole workload (sequence of template instances).
+    pub fn run_workload(
+        &mut self,
+        workload: &[(QueryTemplate, Vec<Value>)],
+    ) -> Result<Vec<QueryRecord>, ExecError> {
+        workload
+            .iter()
+            .map(|(t, b)| self.run(t, b))
+            .collect()
+    }
+
+    fn run_plain(
+        &self,
+        template: &QueryTemplate,
+        plan: &LogicalPlan,
+    ) -> Result<QueryRecord, ExecError> {
+        let out = self.engine.execute(self.db, plan)?;
+        Ok(QueryRecord {
+            template: template.name().to_string(),
+            action: Action::Plain,
+            elapsed: out.stats.elapsed,
+            result_rows: out.relation.len(),
+            stats: out.stats,
+        })
+    }
+
+    fn partition_for(&mut self, attr: &PartitionAttr) -> Option<PartitionRef> {
+        let key = (attr.table.clone(), attr.column.clone());
+        if let Some(p) = self.partition_cache.get(&key) {
+            return Some(p.clone());
+        }
+        let table = self.db.table(&attr.table).ok()?;
+        let values = table.column_values(&attr.column)?;
+        let distinct = table.stats().column(&attr.column)?.distinct;
+        let partition = if distinct <= self.fragments {
+            RangePartition::per_distinct_value(&attr.table, &attr.column, &values)?
+        } else {
+            RangePartition::equi_depth(&attr.table, &attr.column, &values, self.fragments)?
+        };
+        let part: PartitionRef = Arc::new(Partition::Range(partition));
+        self.partition_cache.insert(key, part.clone());
+        Some(part)
+    }
+}
+
+/// Cumulative elapsed times after each query of a workload run (the series
+/// plotted in Fig. 13).
+pub fn cumulative_elapsed(records: &[QueryRecord]) -> Vec<Duration> {
+    let mut total = Duration::ZERO;
+    records
+        .iter()
+        .map(|r| {
+            total += r.elapsed;
+            total
+        })
+        .collect()
+}
+
+/// Rough selectivity estimate of the base-table selection predicates of a
+/// plan, assuming uniform value distributions (min/max statistics only).
+/// Returns `None` when nothing can be estimated (e.g. HAVING or top-k
+/// queries, whose relevance is data-dependent — the motivation for PBDS).
+pub fn estimate_selectivity(db: &Database, plan: &LogicalPlan) -> Option<f64> {
+    fn column_fraction(db: &Database, plan: &LogicalPlan, pred: &Expr) -> Option<f64> {
+        // Only estimate comparisons between a base-table column and a
+        // constant.
+        if let Expr::Binary { op, left, right } = pred {
+            let (col, cst, op) = match (&**left, &**right) {
+                (Expr::Column(c), Expr::Literal(v)) => (c, v, *op),
+                (Expr::Literal(v), Expr::Column(c)) => (c, v, flip(*op)),
+                _ => return None,
+            };
+            for t in plan.tables() {
+                if let Ok(table) = db.table(&t) {
+                    if let Some(stats) = table.stats().column(col) {
+                        let (min, max) = match (&stats.min, &stats.max) {
+                            (Some(a), Some(b)) => (a.as_f64()?, b.as_f64()?),
+                            _ => return None,
+                        };
+                        let v = cst.as_f64()?;
+                        let span = (max - min).max(f64::EPSILON);
+                        let frac = match op {
+                            BinOp::Eq => 1.0 / stats.distinct.max(1) as f64,
+                            BinOp::Lt | BinOp::Le => ((v - min) / span).clamp(0.0, 1.0),
+                            BinOp::Gt | BinOp::Ge => ((max - v) / span).clamp(0.0, 1.0),
+                            _ => return None,
+                        };
+                        return Some(frac);
+                    }
+                }
+            }
+        }
+        None
+    }
+    fn flip(op: BinOp) -> BinOp {
+        match op {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::Le => BinOp::Ge,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::Ge => BinOp::Le,
+            other => other,
+        }
+    }
+
+    let mut best: Option<f64> = None;
+    let mut walk = |p: &LogicalPlan| {
+        if let LogicalPlan::Selection { predicate, input } = p {
+            let mut sel = 1.0f64;
+            let mut found = false;
+            for c in predicate.conjuncts() {
+                if let Some(f) = column_fraction(db, input, c) {
+                    sel *= f;
+                    found = true;
+                }
+            }
+            if found {
+                best = Some(best.map_or(sel, |b: f64| b.min(sel)));
+            }
+        }
+    };
+    fn visit(p: &LogicalPlan, f: &mut impl FnMut(&LogicalPlan)) {
+        f(p);
+        for c in p.children() {
+            visit(c, f);
+        }
+    }
+    visit(plan, &mut walk);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbds_algebra::{col, lit, param, AggExpr, AggFunc};
+    use pbds_storage::{DataType, Schema, TableBuilder};
+
+    /// A synthetic sales table: 5 000 rows, 50 groups, skewed amounts.
+    fn sales_db() -> Database {
+        let schema = Schema::from_pairs(&[
+            ("grp", DataType::Int),
+            ("amount", DataType::Int),
+            ("region", DataType::Int),
+        ]);
+        let mut b = TableBuilder::new("sales", schema);
+        b.block_size(100).index("grp");
+        for i in 0..5_000i64 {
+            b.push(vec![
+                Value::Int(i % 50),
+                Value::Int((i * 37) % 1000 + 1),
+                Value::Int(i % 5),
+            ]);
+        }
+        let mut db = Database::new();
+        db.add_table(b.build());
+        db
+    }
+
+    /// HAVING template: groups whose total amount exceeds $0.
+    fn having_template() -> QueryTemplate {
+        QueryTemplate::new(
+            "sales-having",
+            LogicalPlan::scan("sales")
+                .aggregate(
+                    vec!["grp"],
+                    vec![AggExpr::new(AggFunc::Sum, col("amount"), "total")],
+                )
+                .filter(col("total").gt(param(0))),
+        )
+    }
+
+    #[test]
+    fn eager_strategy_captures_then_reuses() {
+        let db = sales_db();
+        let mut exec = SelfTuningExecutor::new(
+            &db,
+            EngineProfile::Indexed,
+            Strategy::Eager {
+                selectivity_threshold: 0.75,
+            },
+            16,
+        );
+        let t = having_template();
+        let r1 = exec.run(&t, &[Value::Int(52_000)]).unwrap();
+        assert_eq!(r1.action, Action::Capture);
+        // A more selective instance reuses the stored sketch.
+        let r2 = exec.run(&t, &[Value::Int(53_000)]).unwrap();
+        assert_eq!(r2.action, Action::UseSketch, "{:?}", r2);
+        // A less selective instance cannot reuse it and triggers a new capture.
+        let r3 = exec.run(&t, &[Value::Int(40_000)]).unwrap();
+        assert_eq!(r3.action, Action::Capture);
+        assert_eq!(exec.stored_sketches(), 2);
+    }
+
+    #[test]
+    fn adaptive_strategy_waits_for_evidence() {
+        let db = sales_db();
+        let mut exec = SelfTuningExecutor::new(
+            &db,
+            EngineProfile::Indexed,
+            Strategy::Adaptive {
+                selectivity_threshold: 0.75,
+                evidence_threshold: 3,
+            },
+            16,
+        );
+        let t = having_template();
+        let b = vec![Value::Int(52_000)];
+        assert_eq!(exec.run(&t, &b).unwrap().action, Action::Plain);
+        assert_eq!(exec.run(&t, &b).unwrap().action, Action::Plain);
+        assert_eq!(exec.run(&t, &b).unwrap().action, Action::Capture);
+        assert_eq!(exec.run(&t, &b).unwrap().action, Action::UseSketch);
+    }
+
+    #[test]
+    fn no_pbds_strategy_always_runs_plain() {
+        let db = sales_db();
+        let mut exec =
+            SelfTuningExecutor::new(&db, EngineProfile::Indexed, Strategy::NoPbds, 16);
+        let t = having_template();
+        for _ in 0..3 {
+            assert_eq!(
+                exec.run(&t, &[Value::Int(52_000)]).unwrap().action,
+                Action::Plain
+            );
+        }
+        assert_eq!(exec.stored_sketches(), 0);
+    }
+
+    #[test]
+    fn sketch_reuse_returns_correct_results() {
+        let db = sales_db();
+        let engine = Engine::new(EngineProfile::Indexed);
+        let t = having_template();
+        let mut exec = SelfTuningExecutor::new(
+            &db,
+            EngineProfile::Indexed,
+            Strategy::Eager {
+                selectivity_threshold: 0.75,
+            },
+            16,
+        );
+        // Capture with a loose bound, then reuse for a tighter one and check
+        // the result equals the plain execution.
+        exec.run(&t, &[Value::Int(50_000)]).unwrap();
+        let tight = vec![Value::Int(53_000)];
+        let reused = exec.run(&t, &tight).unwrap();
+        assert_eq!(reused.action, Action::UseSketch);
+        let plain = engine
+            .execute(&db, &t.instantiate(&tight))
+            .unwrap()
+            .relation;
+        assert_eq!(reused.result_rows, plain.len());
+    }
+
+    #[test]
+    fn non_selective_queries_bypass_pbds() {
+        let db = sales_db();
+        let t = QueryTemplate::new(
+            "non-selective",
+            LogicalPlan::scan("sales").filter(col("amount").gt(param(0))),
+        );
+        let mut exec = SelfTuningExecutor::new(
+            &db,
+            EngineProfile::Indexed,
+            Strategy::Eager {
+                selectivity_threshold: 0.75,
+            },
+            16,
+        );
+        // amount > 1 keeps ~100% of the rows: the selectivity gate skips PBDS.
+        let r = exec.run(&t, &[Value::Int(1)]).unwrap();
+        assert_eq!(r.action, Action::Plain);
+    }
+
+    #[test]
+    fn selectivity_estimator_orders_predicates_sensibly() {
+        let db = sales_db();
+        let selective = LogicalPlan::scan("sales").filter(col("amount").gt(lit(990)));
+        let broad = LogicalPlan::scan("sales").filter(col("amount").gt(lit(10)));
+        let est_selective = estimate_selectivity(&db, &selective).unwrap();
+        let est_broad = estimate_selectivity(&db, &broad).unwrap();
+        assert!(est_selective < est_broad);
+        assert!(est_selective < 0.1);
+        assert!(est_broad > 0.9);
+        // No estimable predicate: no estimate (PBDS gets a chance).
+        assert_eq!(estimate_selectivity(&db, &LogicalPlan::scan("sales")), None);
+    }
+
+    #[test]
+    fn cumulative_elapsed_is_monotone() {
+        let db = sales_db();
+        let t = having_template();
+        let mut exec = SelfTuningExecutor::new(
+            &db,
+            EngineProfile::Indexed,
+            Strategy::Eager {
+                selectivity_threshold: 0.75,
+            },
+            16,
+        );
+        let workload: Vec<(QueryTemplate, Vec<Value>)> = (0..5)
+            .map(|i| (t.clone(), vec![Value::Int(52_000 + i * 100)]))
+            .collect();
+        let records = exec.run_workload(&workload).unwrap();
+        let cum = cumulative_elapsed(&records);
+        assert_eq!(cum.len(), 5);
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

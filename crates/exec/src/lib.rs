@@ -1,0 +1,25 @@
+//! # pbds-exec
+//!
+//! The execution engine for the PBDS reproduction: a materializing evaluator
+//! over the bag relational algebra with access-path selection for table scans
+//! (ordered-index range scans, zone-map block skipping or full scans) and
+//! per-query execution statistics.
+//!
+//! Two [`EngineProfile`]s substitute for the paper's two evaluation hosts:
+//! `Indexed` mirrors a disk-based system with B-tree indexes and BRIN zone
+//! maps (Postgres), `ColumnarScan` mirrors a scan-only main-memory column
+//! store (MonetDB).
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod eval;
+pub mod profile;
+pub mod scan;
+pub mod stats;
+
+pub use engine::{Engine, QueryOutput};
+pub use eval::{eval_expr, eval_predicate, ExecError};
+pub use profile::EngineProfile;
+pub use scan::{extract_skip_ranges, scan_table, ColumnRanges};
+pub use stats::ExecStats;

@@ -1,0 +1,46 @@
+//! Engine profiles.
+//!
+//! The paper evaluates PBDS on two very different hosts: Postgres (a
+//! disk-based row store with B-tree indexes and BRIN zone maps) and MonetDB
+//! (an operator-at-a-time columnar main-memory system without indexes,
+//! Sec. 9.3). We model that axis with an [`EngineProfile`] that controls
+//! whether scans may exploit ordered indexes and zone maps.
+
+/// Controls which physical-design artifacts scans may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineProfile {
+    /// Postgres-like: scans use ordered indexes and zone maps to skip data
+    /// that falls outside the predicate's ranges.
+    #[default]
+    Indexed,
+    /// MonetDB-like: every scan reads all rows; selections still reduce the
+    /// data flowing into joins and aggregates, but no blocks are skipped.
+    ColumnarScan,
+}
+
+impl EngineProfile {
+    /// True when index / zone-map skipping is allowed.
+    pub fn allows_skipping(&self) -> bool {
+        matches!(self, EngineProfile::Indexed)
+    }
+
+    /// Short human-readable label used by the benchmark harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineProfile::Indexed => "indexed (Postgres-like)",
+            EngineProfile::ColumnarScan => "columnar scan (MonetDB-like)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_flags() {
+        assert!(EngineProfile::Indexed.allows_skipping());
+        assert!(!EngineProfile::ColumnarScan.allows_skipping());
+        assert_ne!(EngineProfile::Indexed.label(), EngineProfile::ColumnarScan.label());
+    }
+}

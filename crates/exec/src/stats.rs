@@ -1,0 +1,114 @@
+//! Execution statistics.
+//!
+//! Wall-clock times vary across machines, so besides elapsed time the engine
+//! reports deterministic counters — rows scanned, zone-map blocks skipped,
+//! index probes — that serve as a machine-independent proxy for the I/O the
+//! paper's data-skipping saves.
+
+use std::time::Duration;
+
+/// Counters collected while executing one query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecStats {
+    /// Rows read from base tables (after data skipping).
+    pub rows_scanned: u64,
+    /// Rows produced by the root operator.
+    pub rows_output: u64,
+    /// Zone-map blocks skipped thanks to range predicates.
+    pub blocks_skipped: u64,
+    /// Zone-map blocks considered in total.
+    pub blocks_total: u64,
+    /// Number of scans answered through an ordered index.
+    pub index_scans: u64,
+    /// Number of full table scans.
+    pub full_scans: u64,
+    /// Intermediate rows processed by joins/aggregates (a coarse work proxy).
+    pub intermediate_rows: u64,
+    /// `(limit, input_rows)` per top-k operator, used to re-validate sketch
+    /// safety at runtime (footnote 1, Sec. 5 of the paper).
+    pub topk_inputs: Vec<(usize, u64)>,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+impl ExecStats {
+    /// Merge another stats record into this one (used when the self-tuning
+    /// framework accumulates per-workload totals).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.rows_output += other.rows_output;
+        self.blocks_skipped += other.blocks_skipped;
+        self.blocks_total += other.blocks_total;
+        self.index_scans += other.index_scans;
+        self.full_scans += other.full_scans;
+        self.intermediate_rows += other.intermediate_rows;
+        self.topk_inputs.extend(other.topk_inputs.iter().cloned());
+        self.elapsed += other.elapsed;
+    }
+
+    /// True if every top-k operator saw at least as many input rows as its
+    /// limit — the condition under which the static safety check remains
+    /// valid for top-k queries.
+    pub fn topk_safety_revalidated(&self) -> bool {
+        self.topk_inputs
+            .iter()
+            .all(|(limit, input)| *input >= *limit as u64)
+    }
+
+    /// Fraction of zone-map blocks skipped (0 when no zone maps were used).
+    pub fn skip_ratio(&self) -> f64 {
+        if self.blocks_total == 0 {
+            0.0
+        } else {
+            self.blocks_skipped as f64 / self.blocks_total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_counters() {
+        let mut a = ExecStats {
+            rows_scanned: 10,
+            blocks_skipped: 1,
+            blocks_total: 4,
+            topk_inputs: vec![(5, 20)],
+            ..Default::default()
+        };
+        let b = ExecStats {
+            rows_scanned: 5,
+            blocks_skipped: 3,
+            blocks_total: 4,
+            topk_inputs: vec![(10, 3)],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.rows_scanned, 15);
+        assert_eq!(a.blocks_skipped, 4);
+        assert_eq!(a.topk_inputs.len(), 2);
+        assert!(!a.topk_safety_revalidated());
+    }
+
+    #[test]
+    fn skip_ratio_handles_zero_blocks() {
+        assert_eq!(ExecStats::default().skip_ratio(), 0.0);
+        let s = ExecStats {
+            blocks_skipped: 3,
+            blocks_total: 4,
+            ..Default::default()
+        };
+        assert!((s.skip_ratio() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn topk_revalidation_passes_when_inputs_large_enough() {
+        let s = ExecStats {
+            topk_inputs: vec![(10, 10), (5, 100)],
+            ..Default::default()
+        };
+        assert!(s.topk_safety_revalidated());
+    }
+}

@@ -1,0 +1,644 @@
+//! Provenance sketch capture by query instrumentation (Sec. 7, rules r0–r7).
+//!
+//! Capture runs the query once while propagating, for every intermediate row,
+//! one sketch annotation per partitioned input relation:
+//!
+//! * `r0` — every row of a partitioned base table is annotated with the
+//!   singleton fragment it belongs to ([`FragmentAssigner`]);
+//! * `r1`/`r2`/`r5` — projection, selection and top-k simply keep the
+//!   annotations of their input rows;
+//! * `r3` — aggregation merges (bitwise-ORs) the annotations of each group;
+//!   for `min`/`max` only the extremal rows are merged;
+//! * `r4`/`r6` — cross product / join merge the annotations of the joined
+//!   rows, union keeps them;
+//! * `r7` — a final BITOR over the annotations of the result rows yields the
+//!   provenance sketch.
+
+use crate::bitset::{Annotation, FragmentBitset, MergeStrategy};
+use crate::sketch::ProvenanceSketch;
+use pbds_algebra::{AggFunc, LogicalPlan, SortKey};
+use pbds_exec::{eval_expr, eval_predicate, ExecError};
+use pbds_storage::{Database, Partition, PartitionRef, Relation, Row, Schema, Value};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// How a tuple's fragment is computed when seeding annotations (Fig. 12a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LookupMethod {
+    /// Linear list of `CASE WHEN` range tests (`O(#fragments)` per row).
+    CaseLinear,
+    /// Binary search over the partition's ranges (`O(log #fragments)`).
+    #[default]
+    BinarySearch,
+}
+
+/// Assigns rows of a partitioned table to fragments.
+#[derive(Debug, Clone)]
+pub struct FragmentAssigner {
+    partition: PartitionRef,
+    lookup: LookupMethod,
+}
+
+impl FragmentAssigner {
+    /// Create an assigner for a partition.
+    pub fn new(partition: PartitionRef, lookup: LookupMethod) -> Self {
+        FragmentAssigner { partition, lookup }
+    }
+
+    /// The partition.
+    pub fn partition(&self) -> &PartitionRef {
+        &self.partition
+    }
+
+    /// Fragment of a row (None for rows whose partitioning value is NULL).
+    pub fn assign(&self, schema: &Schema, row: &Row) -> Option<usize> {
+        match (self.partition.as_ref(), self.lookup) {
+            (Partition::Range(p), LookupMethod::CaseLinear) => {
+                let idx = schema.index_of(p.attr())?;
+                p.fragment_of_linear(&row[idx])
+            }
+            _ => self.partition.fragment_of_row(schema, row),
+        }
+    }
+}
+
+/// Configuration of a capture run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaptureConfig {
+    /// Fragment lookup method (Fig. 12a).
+    pub lookup: LookupMethod,
+    /// Annotation merge strategy (Fig. 12b).
+    pub merge: MergeStrategy,
+    /// Apply the min/max narrowing of rule r3 (only the extremal rows of a
+    /// group contribute their fragments).
+    pub minmax_narrowing: bool,
+}
+
+impl CaptureConfig {
+    /// The configuration with all optimizations enabled (binary search,
+    /// delay + no-copy merging, min/max narrowing). This is what the paper
+    /// uses for all experiments after Sec. 9.2.
+    pub fn optimized() -> Self {
+        CaptureConfig {
+            lookup: LookupMethod::BinarySearch,
+            merge: MergeStrategy::DelayNoCopy,
+            minmax_narrowing: true,
+        }
+    }
+
+    /// The unoptimized baseline (CASE lookup, byte-wise copying BITOR).
+    pub fn naive() -> Self {
+        CaptureConfig {
+            lookup: LookupMethod::CaseLinear,
+            merge: MergeStrategy::BytewiseBitor,
+            minmax_narrowing: false,
+        }
+    }
+}
+
+/// Result of capturing sketches for one query execution.
+#[derive(Debug, Clone)]
+pub struct CaptureResult {
+    /// One sketch per requested partition (same order as the request).
+    pub sketches: Vec<ProvenanceSketch>,
+    /// The ordinary query result (capture computes it as a by-product).
+    pub result: Relation,
+    /// Wall-clock time of the instrumented execution.
+    pub elapsed: Duration,
+}
+
+/// Capture provenance sketches for `plan` over `db` according to the given
+/// partitions (rule `INSTR` of Fig. 6).
+pub fn capture_sketches(
+    db: &Database,
+    plan: &LogicalPlan,
+    partitions: &[PartitionRef],
+    config: &CaptureConfig,
+) -> Result<CaptureResult, ExecError> {
+    let start = Instant::now();
+    let assigners: Vec<FragmentAssigner> = partitions
+        .iter()
+        .map(|p| FragmentAssigner::new(p.clone(), config.lookup))
+        .collect();
+    let ctx = CaptureCtx {
+        db,
+        assigners: &assigners,
+        config,
+    };
+    let (schema, rows) = ctx.eval(plan)?;
+
+    // Rule r7: final BITOR over the annotations of the result rows.
+    let mut final_bits: Vec<Annotation> = vec![Annotation::Empty; partitions.len()];
+    let mut relation = Relation::empty(schema);
+    for (row, anns) in rows {
+        for (i, ann) in anns.iter().enumerate() {
+            final_bits[i].merge(ann, partitions[i].num_fragments(), config.merge);
+        }
+        relation.push(row);
+    }
+    let sketches = partitions
+        .iter()
+        .zip(final_bits)
+        .map(|(p, ann)| {
+            let bits: FragmentBitset = ann.to_bitset(p.num_fragments());
+            ProvenanceSketch::new(p.clone(), bits)
+        })
+        .collect();
+    Ok(CaptureResult {
+        sketches,
+        result: relation,
+        elapsed: start.elapsed(),
+    })
+}
+
+type AnnRow = (Row, Vec<Annotation>);
+
+struct CaptureCtx<'a> {
+    db: &'a Database,
+    assigners: &'a [FragmentAssigner],
+    config: &'a CaptureConfig,
+}
+
+impl CaptureCtx<'_> {
+    fn merge_anns(&self, into: &mut Vec<Annotation>, from: &[Annotation]) {
+        for (i, ann) in from.iter().enumerate() {
+            let nbits = self.assigners[i].partition().num_fragments();
+            into[i].merge(ann, nbits, self.config.merge);
+        }
+    }
+
+    fn eval(&self, plan: &LogicalPlan) -> Result<(Schema, Vec<AnnRow>), ExecError> {
+        match plan {
+            LogicalPlan::TableScan { table } => {
+                // Rule r0: seed singleton annotations for partitioned tables.
+                let t = self.db.table(table)?;
+                let schema = t.schema().clone();
+                let mut rows = Vec::with_capacity(t.len());
+                for row in t.rows() {
+                    let anns: Vec<Annotation> = self
+                        .assigners
+                        .iter()
+                        .map(|a| {
+                            if a.partition().table() == table {
+                                match a.assign(&schema, row) {
+                                    Some(f) => Annotation::Single(f as u32),
+                                    None => Annotation::Empty,
+                                }
+                            } else {
+                                Annotation::Empty
+                            }
+                        })
+                        .collect();
+                    rows.push((row.clone(), anns));
+                }
+                Ok((schema, rows))
+            }
+            LogicalPlan::Selection { predicate, input } => {
+                // Rule r2.
+                let (schema, rows) = self.eval(input)?;
+                let mut out = Vec::new();
+                for (row, anns) in rows {
+                    if eval_predicate(predicate, &schema, &row)? {
+                        out.push((row, anns));
+                    }
+                }
+                Ok((schema, out))
+            }
+            LogicalPlan::Projection { exprs, input } => {
+                // Rule r1.
+                let (schema, rows) = self.eval(input)?;
+                let out_schema = plan.schema(self.db)?;
+                let mut out = Vec::with_capacity(rows.len());
+                for (row, anns) in rows {
+                    let mut new_row = Vec::with_capacity(exprs.len());
+                    for (e, _) in exprs {
+                        new_row.push(eval_expr(e, &schema, &row)?);
+                    }
+                    out.push((new_row, anns));
+                }
+                Ok((out_schema, out))
+            }
+            LogicalPlan::Aggregate {
+                group_by,
+                aggregates,
+                input,
+            } => {
+                // Rule r3.
+                let (schema, rows) = self.eval(input)?;
+                let out_schema = plan.schema(self.db)?;
+                let group_idx: Vec<usize> = group_by
+                    .iter()
+                    .map(|g| {
+                        schema
+                            .index_of(g)
+                            .ok_or_else(|| ExecError::UnknownColumn(g.clone()))
+                    })
+                    .collect::<Result<_, _>>()?;
+                let mut groups: HashMap<Vec<Value>, Vec<AnnRow>> = HashMap::new();
+                let mut order = Vec::new();
+                for (row, anns) in rows {
+                    let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
+                    groups
+                        .entry(key.clone())
+                        .or_insert_with(|| {
+                            order.push(key.clone());
+                            Vec::new()
+                        })
+                        .push((row, anns));
+                }
+                // The min/max narrowing of r3 applies when the aggregation
+                // computes a single min or max.
+                let narrow_minmax = self.config.minmax_narrowing
+                    && aggregates.len() == 1
+                    && matches!(aggregates[0].func, AggFunc::Min | AggFunc::Max);
+
+                let mut out = Vec::new();
+                for key in order {
+                    let members = &groups[&key];
+                    let mut row = key.clone();
+                    let mut agg_values: Vec<Vec<Value>> = Vec::with_capacity(aggregates.len());
+                    for agg in aggregates {
+                        let vals: Vec<Value> = members
+                            .iter()
+                            .map(|(r, _)| eval_expr(&agg.input, &schema, r))
+                            .collect::<Result<_, _>>()?;
+                        agg_values.push(vals);
+                    }
+                    for (agg, vals) in aggregates.iter().zip(agg_values.iter()) {
+                        row.push(crate::lineage::aggregate_value(agg.func, vals));
+                    }
+                    // Merge group annotations.
+                    let mut merged: Vec<Annotation> =
+                        vec![Annotation::Empty; self.assigners.len()];
+                    if narrow_minmax {
+                        let vals = &agg_values[0];
+                        let target: Option<&Value> = match aggregates[0].func {
+                            AggFunc::Min => vals.iter().filter(|v| !v.is_null()).min(),
+                            _ => vals.iter().filter(|v| !v.is_null()).max(),
+                        };
+                        if let Some(target) = target {
+                            // Only one witness tuple is needed.
+                            if let Some(pos) = vals.iter().position(|v| v == target) {
+                                self.merge_anns(&mut merged, &members[pos].1);
+                            }
+                        }
+                    } else {
+                        for (_, anns) in members {
+                            self.merge_anns(&mut merged, anns);
+                        }
+                    }
+                    out.push((row, merged));
+                }
+                if out.is_empty() && group_by.is_empty() {
+                    let mut row = Vec::new();
+                    for agg in aggregates {
+                        row.push(match agg.func {
+                            AggFunc::Count => Value::Int(0),
+                            _ => Value::Null,
+                        });
+                    }
+                    out.push((row, vec![Annotation::Empty; self.assigners.len()]));
+                }
+                Ok((out_schema, out))
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_col,
+                right_col,
+            } => {
+                let (ls, lrows) = self.eval(left)?;
+                let (rs, rrows) = self.eval(right)?;
+                let li = ls
+                    .index_of(left_col)
+                    .ok_or_else(|| ExecError::UnknownColumn(left_col.clone()))?;
+                let ri = rs
+                    .index_of(right_col)
+                    .ok_or_else(|| ExecError::UnknownColumn(right_col.clone()))?;
+                let mut build: HashMap<Value, Vec<&AnnRow>> = HashMap::new();
+                for ar in &rrows {
+                    if !ar.0[ri].is_null() {
+                        build.entry(ar.0[ri].clone()).or_default().push(ar);
+                    }
+                }
+                let mut out = Vec::new();
+                for (lrow, lanns) in &lrows {
+                    if lrow[li].is_null() {
+                        continue;
+                    }
+                    if let Some(matches) = build.get(&lrow[li]) {
+                        for (rrow, ranns) in matches {
+                            let mut row = lrow.clone();
+                            row.extend(rrow.iter().cloned());
+                            let mut anns = lanns.clone();
+                            self.merge_anns(&mut anns, ranns);
+                            out.push((row, anns));
+                        }
+                    }
+                }
+                Ok((ls.concat(&rs), out))
+            }
+            LogicalPlan::CrossProduct { left, right } => {
+                // Rule r4.
+                let (ls, lrows) = self.eval(left)?;
+                let (rs, rrows) = self.eval(right)?;
+                let mut out = Vec::new();
+                for (lrow, lanns) in &lrows {
+                    for (rrow, ranns) in &rrows {
+                        let mut row = lrow.clone();
+                        row.extend(rrow.iter().cloned());
+                        let mut anns = lanns.clone();
+                        self.merge_anns(&mut anns, ranns);
+                        out.push((row, anns));
+                    }
+                }
+                Ok((ls.concat(&rs), out))
+            }
+            LogicalPlan::Distinct { input } => {
+                let (schema, rows) = self.eval(input)?;
+                let mut out: Vec<AnnRow> = Vec::new();
+                for (row, anns) in rows {
+                    if let Some(existing) = out.iter_mut().find(|(r, _)| *r == row) {
+                        self.merge_anns(&mut existing.1, &anns);
+                    } else {
+                        out.push((row, anns));
+                    }
+                }
+                Ok((schema, out))
+            }
+            LogicalPlan::TopK {
+                order_by,
+                limit,
+                input,
+            } => {
+                // Rule r5.
+                let (schema, mut rows) = self.eval(input)?;
+                sort_annotated(&schema, &mut rows, order_by)?;
+                rows.truncate(*limit);
+                Ok((schema, rows))
+            }
+            LogicalPlan::Union { left, right } => {
+                // Rule r6.
+                let (ls, mut lrows) = self.eval(left)?;
+                let (_, rrows) = self.eval(right)?;
+                lrows.extend(rrows);
+                Ok((ls, lrows))
+            }
+        }
+    }
+}
+
+fn sort_annotated(
+    schema: &Schema,
+    rows: &mut [AnnRow],
+    order_by: &[SortKey],
+) -> Result<(), ExecError> {
+    let key_idx: Vec<(usize, bool)> = order_by
+        .iter()
+        .map(|k| {
+            schema
+                .index_of(&k.column)
+                .map(|i| (i, k.descending))
+                .ok_or_else(|| ExecError::UnknownColumn(k.column.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    rows.sort_by(|(a, _), (b, _)| {
+        for &(idx, desc) in &key_idx {
+            let ord = a[idx].cmp(&b[idx]);
+            let ord = if desc { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        a.cmp(b)
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lineage::capture_lineage;
+    use pbds_algebra::{col, lit, AggExpr};
+    use pbds_storage::{DataType, RangePartition, TableBuilder};
+    use std::sync::Arc;
+
+    fn cities_db() -> Database {
+        let schema = Schema::from_pairs(&[
+            ("popden", DataType::Int),
+            ("city", DataType::Str),
+            ("state", DataType::Str),
+        ]);
+        let mut b = TableBuilder::new("cities", schema);
+        for (popden, city, state) in [
+            (4200, "Anchorage", "AK"),
+            (6000, "San Diego", "CA"),
+            (5000, "Sacramento", "CA"),
+            (7000, "New York", "NY"),
+            (2000, "Buffalo", "NY"),
+            (3700, "Austin", "TX"),
+            (2500, "Houston", "TX"),
+        ] {
+            b.push(vec![Value::Int(popden), Value::from(city), Value::from(state)]);
+        }
+        let mut db = Database::new();
+        db.add_table(b.build());
+        db
+    }
+
+    fn state_partition() -> PartitionRef {
+        Arc::new(Partition::Range(RangePartition::from_uppers(
+            "cities",
+            "state",
+            vec![Value::from("DE"), Value::from("MI"), Value::from("OK")],
+        )))
+    }
+
+    fn popden_partition() -> PartitionRef {
+        // Fig. 1e bottom: g1 = [1000, 4000], g2 = [4001, 9000].
+        Arc::new(Partition::Range(RangePartition::from_uppers(
+            "cities",
+            "popden",
+            vec![Value::Int(4000)],
+        )))
+    }
+
+    fn q2() -> LogicalPlan {
+        LogicalPlan::scan("cities")
+            .aggregate(
+                vec!["state"],
+                vec![AggExpr::new(AggFunc::Avg, col("popden"), "avgden")],
+            )
+            .top_k(vec![SortKey::desc("avgden")], 1)
+    }
+
+    #[test]
+    fn q2_capture_matches_paper_example_3() {
+        // The sketch of Q2 on the state partition is {f1}.
+        let db = cities_db();
+        let res =
+            capture_sketches(&db, &q2(), &[state_partition()], &CaptureConfig::optimized()).unwrap();
+        assert_eq!(res.sketches.len(), 1);
+        assert_eq!(res.sketches[0].selected_fragments(), vec![0]);
+        assert_eq!(res.sketches[0].bitset().to_string(), "1000");
+        // Capture also produces the ordinary query answer (Fig. 7b/7d).
+        assert_eq!(res.result.value(0, "state"), Some(&Value::from("CA")));
+    }
+
+    #[test]
+    fn q2_capture_on_popden_partition_selects_g2() {
+        // Ex. 5: the popden-partition sketch of Q2 is {g2} (fragment index 1).
+        let db = cities_db();
+        let res = capture_sketches(
+            &db,
+            &q2(),
+            &[popden_partition()],
+            &CaptureConfig::optimized(),
+        )
+        .unwrap();
+        assert_eq!(res.sketches[0].selected_fragments(), vec![1]);
+    }
+
+    #[test]
+    fn all_capture_configs_produce_the_same_sketch() {
+        let db = cities_db();
+        let plan = LogicalPlan::scan("cities")
+            .filter(col("popden").gt(lit(2400)))
+            .aggregate(
+                vec!["state"],
+                vec![AggExpr::new(AggFunc::Count, col("city"), "cnt")],
+            )
+            .filter(col("cnt").gt(lit(1)));
+        let configs = [
+            CaptureConfig::naive(),
+            CaptureConfig::optimized(),
+            CaptureConfig {
+                lookup: LookupMethod::BinarySearch,
+                merge: MergeStrategy::Delay,
+                minmax_narrowing: false,
+            },
+            CaptureConfig {
+                lookup: LookupMethod::CaseLinear,
+                merge: MergeStrategy::Bitor,
+                minmax_narrowing: true,
+            },
+        ];
+        let reference = capture_sketches(&db, &plan, &[state_partition()], &configs[0]).unwrap();
+        for cfg in &configs[1..] {
+            let res = capture_sketches(&db, &plan, &[state_partition()], cfg).unwrap();
+            assert_eq!(
+                res.sketches[0].selected_fragments(),
+                reference.sketches[0].selected_fragments(),
+                "config {cfg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn captured_sketch_covers_lineage() {
+        // Every fragment containing a provenance row must be in the sketch.
+        let db = cities_db();
+        let plan = LogicalPlan::scan("cities")
+            .aggregate(
+                vec!["state"],
+                vec![AggExpr::new(AggFunc::Sum, col("popden"), "total")],
+            )
+            .filter(col("total").gt(lit(8000)));
+        let part = state_partition();
+        let res = capture_sketches(&db, &plan, &[part.clone()], &CaptureConfig::optimized()).unwrap();
+        let lineage = capture_lineage(&db, &plan).unwrap();
+        let table = db.table("cities").unwrap();
+        let accurate = ProvenanceSketch::from_rows(
+            part,
+            table.schema(),
+            lineage
+                .rows_of("cities")
+                .into_iter()
+                .map(|rid| table.rows()[rid as usize].clone()),
+        );
+        assert!(res.sketches[0].is_superset_of(&accurate));
+    }
+
+    #[test]
+    fn minmax_narrowing_keeps_only_the_witness_fragment() {
+        let db = cities_db();
+        // max(popden) per state, then keep the global max states via HAVING.
+        let plan = LogicalPlan::scan("cities").aggregate(
+            vec![],
+            vec![AggExpr::new(AggFunc::Max, col("popden"), "m")],
+        );
+        let narrowed = capture_sketches(
+            &db,
+            &plan,
+            &[state_partition()],
+            &CaptureConfig {
+                minmax_narrowing: true,
+                ..CaptureConfig::optimized()
+            },
+        )
+        .unwrap();
+        let full = capture_sketches(
+            &db,
+            &plan,
+            &[state_partition()],
+            &CaptureConfig {
+                minmax_narrowing: false,
+                ..CaptureConfig::optimized()
+            },
+        )
+        .unwrap();
+        // The max row (New York, 7000) is in fragment f3 (index 2).
+        assert_eq!(narrowed.sketches[0].selected_fragments(), vec![2]);
+        // Without narrowing every fragment that holds rows is selected
+        // (f1 = AK/CA, f3 = NY, f4 = TX; no state falls into f2).
+        assert_eq!(full.sketches[0].num_selected(), 3);
+    }
+
+    #[test]
+    fn capture_for_multiple_partitions_at_once() {
+        let db = cities_db();
+        let res = capture_sketches(
+            &db,
+            &q2(),
+            &[state_partition(), popden_partition()],
+            &CaptureConfig::optimized(),
+        )
+        .unwrap();
+        assert_eq!(res.sketches.len(), 2);
+        assert_eq!(res.sketches[0].selected_fragments(), vec![0]);
+        assert_eq!(res.sketches[1].selected_fragments(), vec![1]);
+    }
+
+    #[test]
+    fn capture_over_join_merges_annotations_of_both_sides() {
+        let mut db = cities_db();
+        let schema = Schema::from_pairs(&[("st", DataType::Str), ("region", DataType::Str)]);
+        let mut b = TableBuilder::new("regions", schema);
+        b.push(vec![Value::from("CA"), Value::from("West")]);
+        b.push(vec![Value::from("NY"), Value::from("East")]);
+        db.add_table(b.build());
+        let plan = LogicalPlan::scan("cities")
+            .join(LogicalPlan::scan("regions"), "state", "st")
+            .aggregate(
+                vec!["region"],
+                vec![AggExpr::new(AggFunc::Avg, col("popden"), "avgden")],
+            )
+            .top_k(vec![SortKey::desc("avgden")], 1);
+        let res = capture_sketches(&db, &plan, &[state_partition()], &CaptureConfig::optimized())
+            .unwrap();
+        // The winning region is West (CA rows, fragment f1).
+        assert_eq!(res.sketches[0].selected_fragments(), vec![0]);
+    }
+
+    #[test]
+    fn fragment_assigner_case_and_binary_agree() {
+        let db = cities_db();
+        let table = db.table("cities").unwrap();
+        let part = state_partition();
+        let a1 = FragmentAssigner::new(part.clone(), LookupMethod::CaseLinear);
+        let a2 = FragmentAssigner::new(part, LookupMethod::BinarySearch);
+        for row in table.rows() {
+            assert_eq!(a1.assign(table.schema(), row), a2.assign(table.schema(), row));
+        }
+    }
+}

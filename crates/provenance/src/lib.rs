@@ -1,0 +1,24 @@
+//! # pbds-provenance
+//!
+//! Provenance substrate for the PBDS reproduction:
+//!
+//! * [`lineage`] — Lineage capture (the ground-truth provenance model of
+//!   Sec. 3.2), used as a reference implementation and for accuracy checks;
+//! * [`bitset`] — fragment bitsets and the merge strategies compared by the
+//!   capture-optimization experiment (Fig. 12);
+//! * [`sketch`] — provenance sketches (Sec. 4): fragments selected from a
+//!   range or composite partition, selectivity, sketch instances `D_P`;
+//! * [`capture`] — sketch capture by query instrumentation (Sec. 7, rules
+//!   r0–r7), including the binary-search / delay / no-copy optimizations.
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod capture;
+pub mod lineage;
+pub mod sketch;
+
+pub use bitset::{Annotation, FragmentBitset, MergeStrategy};
+pub use capture::{capture_sketches, CaptureConfig, CaptureResult, FragmentAssigner, LookupMethod};
+pub use lineage::{capture_lineage, is_sufficient_subset, LineageResult, TupleSet};
+pub use sketch::{restrict_database, ProvenanceSketch, SketchSet};

@@ -1,0 +1,429 @@
+//! Lineage capture: the ground-truth provenance model (Sec. 3.2).
+//!
+//! Lineage annotates every query result tuple with the set of input tuples
+//! used to derive it. PBDS never needs full lineage at runtime — that is the
+//! whole point of sketches — but this module provides it as a reference
+//! implementation: tests use it to verify that captured sketches really are
+//! supersets of the provenance and to build *accurate* sketches.
+
+use pbds_exec::{eval_expr, eval_predicate, ExecError};
+use pbds_algebra::{AggFunc, LogicalPlan, SortKey};
+use pbds_storage::{Database, Relation, Row, Schema, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// A set of base-table tuples identified by `(table name, row id)`.
+pub type TupleSet = BTreeSet<(String, u32)>;
+
+/// Result of a lineage-instrumented execution.
+#[derive(Debug, Clone)]
+pub struct LineageResult {
+    /// The ordinary query result.
+    pub relation: Relation,
+    /// Lineage of each output row (aligned with `relation.rows()`).
+    pub per_row: Vec<TupleSet>,
+    /// Union of all per-row lineages: `P(Q, D)` in the paper's notation.
+    pub provenance: TupleSet,
+}
+
+impl LineageResult {
+    /// Provenance restricted to one table, as row ids.
+    pub fn rows_of(&self, table: &str) -> Vec<u32> {
+        self.provenance
+            .iter()
+            .filter(|(t, _)| t == table)
+            .map(|(_, rid)| *rid)
+            .collect()
+    }
+}
+
+/// Compute the query result together with Lineage provenance.
+pub fn capture_lineage(db: &Database, plan: &LogicalPlan) -> Result<LineageResult, ExecError> {
+    let (schema, rows) = eval(db, plan)?;
+    let mut relation = Relation::empty(schema);
+    let mut per_row = Vec::with_capacity(rows.len());
+    let mut provenance = TupleSet::new();
+    for (row, lin) in rows {
+        provenance.extend(lin.iter().cloned());
+        relation.push(row);
+        per_row.push(lin);
+    }
+    Ok(LineageResult {
+        relation,
+        per_row,
+        provenance,
+    })
+}
+
+type AnnRow = (Row, TupleSet);
+
+fn eval(db: &Database, plan: &LogicalPlan) -> Result<(Schema, Vec<AnnRow>), ExecError> {
+    match plan {
+        LogicalPlan::TableScan { table } => {
+            let t = db.table(table)?;
+            let rows = t
+                .rows()
+                .iter()
+                .enumerate()
+                .map(|(rid, r)| {
+                    let mut set = TupleSet::new();
+                    set.insert((table.clone(), rid as u32));
+                    (r.clone(), set)
+                })
+                .collect();
+            Ok((t.schema().clone(), rows))
+        }
+        LogicalPlan::Selection { predicate, input } => {
+            let (schema, rows) = eval(db, input)?;
+            let mut out = Vec::new();
+            for (row, lin) in rows {
+                if eval_predicate(predicate, &schema, &row)? {
+                    out.push((row, lin));
+                }
+            }
+            Ok((schema, out))
+        }
+        LogicalPlan::Projection { exprs, input } => {
+            let (schema, rows) = eval(db, input)?;
+            let out_schema = plan.schema(db)?;
+            let mut out = Vec::with_capacity(rows.len());
+            for (row, lin) in rows {
+                let mut new_row = Vec::with_capacity(exprs.len());
+                for (e, _) in exprs {
+                    new_row.push(eval_expr(e, &schema, &row)?);
+                }
+                out.push((new_row, lin));
+            }
+            Ok((out_schema, out))
+        }
+        LogicalPlan::Aggregate {
+            group_by,
+            aggregates,
+            input,
+        } => {
+            let (schema, rows) = eval(db, input)?;
+            let out_schema = plan.schema(db)?;
+            let group_idx: Vec<usize> = group_by
+                .iter()
+                .map(|g| {
+                    schema
+                        .index_of(g)
+                        .ok_or_else(|| ExecError::UnknownColumn(g.clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            let mut groups: HashMap<Vec<Value>, (Vec<AnnRow>, usize)> = HashMap::new();
+            let mut order = Vec::new();
+            for (row, lin) in rows {
+                let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
+                let entry = groups.entry(key.clone()).or_insert_with(|| {
+                    order.push(key.clone());
+                    (Vec::new(), 0)
+                });
+                entry.0.push((row, lin));
+            }
+            let mut out = Vec::new();
+            for key in order {
+                let (members, _) = &groups[&key];
+                let mut row = key.clone();
+                let mut lineage = TupleSet::new();
+                for (_, lin) in members {
+                    lineage.extend(lin.iter().cloned());
+                }
+                for agg in aggregates {
+                    let vals: Vec<Value> = members
+                        .iter()
+                        .map(|(r, _)| eval_expr(&agg.input, &schema, r))
+                        .collect::<Result<_, _>>()?;
+                    row.push(aggregate_value(agg.func, &vals));
+                }
+                out.push((row, lineage));
+            }
+            // SQL-style global aggregate over an empty input.
+            if out.is_empty() && group_by.is_empty() {
+                let mut row = Vec::new();
+                for agg in aggregates {
+                    row.push(match agg.func {
+                        AggFunc::Count => Value::Int(0),
+                        _ => Value::Null,
+                    });
+                }
+                out.push((row, TupleSet::new()));
+            }
+            Ok((out_schema, out))
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_col,
+            right_col,
+        } => {
+            let (ls, lrows) = eval(db, left)?;
+            let (rs, rrows) = eval(db, right)?;
+            let li = ls
+                .index_of(left_col)
+                .ok_or_else(|| ExecError::UnknownColumn(left_col.clone()))?;
+            let ri = rs
+                .index_of(right_col)
+                .ok_or_else(|| ExecError::UnknownColumn(right_col.clone()))?;
+            let mut build: HashMap<Value, Vec<&AnnRow>> = HashMap::new();
+            for ar in &rrows {
+                if !ar.0[ri].is_null() {
+                    build.entry(ar.0[ri].clone()).or_default().push(ar);
+                }
+            }
+            let mut out = Vec::new();
+            for (lrow, llin) in &lrows {
+                if lrow[li].is_null() {
+                    continue;
+                }
+                if let Some(matches) = build.get(&lrow[li]) {
+                    for (rrow, rlin) in matches {
+                        let mut row = lrow.clone();
+                        row.extend(rrow.iter().cloned());
+                        let mut lin = llin.clone();
+                        lin.extend(rlin.iter().cloned());
+                        out.push((row, lin));
+                    }
+                }
+            }
+            Ok((ls.concat(&rs), out))
+        }
+        LogicalPlan::CrossProduct { left, right } => {
+            let (ls, lrows) = eval(db, left)?;
+            let (rs, rrows) = eval(db, right)?;
+            let mut out = Vec::new();
+            for (lrow, llin) in &lrows {
+                for (rrow, rlin) in &rrows {
+                    let mut row = lrow.clone();
+                    row.extend(rrow.iter().cloned());
+                    let mut lin = llin.clone();
+                    lin.extend(rlin.iter().cloned());
+                    out.push((row, lin));
+                }
+            }
+            Ok((ls.concat(&rs), out))
+        }
+        LogicalPlan::Distinct { input } => {
+            let (schema, rows) = eval(db, input)?;
+            let mut by_row: Vec<AnnRow> = Vec::new();
+            for (row, lin) in rows {
+                if let Some(existing) = by_row.iter_mut().find(|(r, _)| *r == row) {
+                    existing.1.extend(lin);
+                } else {
+                    by_row.push((row, lin));
+                }
+            }
+            Ok((schema, by_row))
+        }
+        LogicalPlan::TopK {
+            order_by,
+            limit,
+            input,
+        } => {
+            let (schema, mut rows) = eval(db, input)?;
+            sort_rows(&schema, &mut rows, order_by)?;
+            rows.truncate(*limit);
+            Ok((schema, rows))
+        }
+        LogicalPlan::Union { left, right } => {
+            let (ls, mut lrows) = eval(db, left)?;
+            let (_, rrows) = eval(db, right)?;
+            lrows.extend(rrows);
+            Ok((ls, lrows))
+        }
+    }
+}
+
+fn sort_rows(schema: &Schema, rows: &mut [AnnRow], order_by: &[SortKey]) -> Result<(), ExecError> {
+    let key_idx: Vec<(usize, bool)> = order_by
+        .iter()
+        .map(|k| {
+            schema
+                .index_of(&k.column)
+                .map(|i| (i, k.descending))
+                .ok_or_else(|| ExecError::UnknownColumn(k.column.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+    rows.sort_by(|(a, _), (b, _)| {
+        for &(idx, desc) in &key_idx {
+            let ord = a[idx].cmp(&b[idx]);
+            let ord = if desc { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        a.cmp(b)
+    });
+    Ok(())
+}
+
+/// Evaluate one aggregation function over the values of a group.
+pub fn aggregate_value(func: AggFunc, values: &[Value]) -> Value {
+    let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+    match func {
+        AggFunc::Count => Value::Int(values.len() as i64),
+        AggFunc::Min => non_null.iter().min().map(|v| (*v).clone()).unwrap_or(Value::Null),
+        AggFunc::Max => non_null.iter().max().map(|v| (*v).clone()).unwrap_or(Value::Null),
+        AggFunc::Sum => {
+            if non_null.is_empty() {
+                Value::Null
+            } else if non_null.iter().all(|v| matches!(v, Value::Int(_))) {
+                Value::Int(non_null.iter().filter_map(|v| v.as_i64()).sum())
+            } else {
+                Value::Float(non_null.iter().filter_map(|v| v.as_f64()).sum())
+            }
+        }
+        AggFunc::Avg => {
+            if non_null.is_empty() {
+                Value::Null
+            } else {
+                let sum: f64 = non_null.iter().filter_map(|v| v.as_f64()).sum();
+                Value::Float(sum / non_null.len() as f64)
+            }
+        }
+    }
+}
+
+/// Also expose a plain (un-annotated) reference check: does the query return
+/// the same result over `db` and over a database where `table` is restricted
+/// to `row_ids`? Used by tests to validate sufficiency (Def. 1).
+pub fn is_sufficient_subset(
+    db: &Database,
+    plan: &LogicalPlan,
+    table: &str,
+    row_ids: &[u32],
+    engine: &pbds_exec::Engine,
+) -> Result<bool, ExecError> {
+    let full = engine.execute(db, plan)?.relation;
+    let t = db.table(table)?;
+    let subset_rows: Vec<Row> = row_ids
+        .iter()
+        .map(|&rid| t.rows()[rid as usize].clone())
+        .collect();
+    let replacement = pbds_storage::Table::new(table, t.schema().clone(), subset_rows);
+    let restricted_db = db.with_replaced_table(replacement);
+    let restricted = engine.execute(&restricted_db, plan)?.relation;
+    Ok(full.bag_eq(&restricted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbds_algebra::{col, lit, AggExpr};
+    use pbds_exec::{Engine, EngineProfile};
+    use pbds_storage::{DataType, TableBuilder};
+
+    /// The running-example `cities` relation (Fig. 1b).
+    fn cities_db() -> Database {
+        let schema = Schema::from_pairs(&[
+            ("popden", DataType::Int),
+            ("city", DataType::Str),
+            ("state", DataType::Str),
+        ]);
+        let mut b = TableBuilder::new("cities", schema);
+        for (popden, city, state) in [
+            (4200, "Anchorage", "AK"),
+            (6000, "San Diego", "CA"),
+            (5000, "Sacramento", "CA"),
+            (7000, "New York", "NY"),
+            (2000, "Buffalo", "NY"),
+            (3700, "Austin", "TX"),
+            (2500, "Houston", "TX"),
+        ] {
+            b.push(vec![Value::Int(popden), Value::from(city), Value::from(state)]);
+        }
+        let mut db = Database::new();
+        db.add_table(b.build());
+        db
+    }
+
+    fn q2() -> LogicalPlan {
+        LogicalPlan::scan("cities")
+            .aggregate(
+                vec!["state"],
+                vec![AggExpr::new(AggFunc::Avg, col("popden"), "avgden")],
+            )
+            .top_k(vec![SortKey::desc("avgden")], 1)
+    }
+
+    #[test]
+    fn q2_lineage_is_the_two_california_rows() {
+        // Ex. 3: the provenance of Q2 is {t2, t3} (row ids 1 and 2).
+        let result = capture_lineage(&cities_db(), &q2()).unwrap();
+        assert_eq!(result.relation.len(), 1);
+        assert_eq!(result.rows_of("cities"), vec![1, 2]);
+    }
+
+    #[test]
+    fn q1_selection_lineage_matches_matching_rows() {
+        let plan = LogicalPlan::scan("cities").filter(col("state").eq(lit("CA")));
+        let result = capture_lineage(&cities_db(), &plan).unwrap();
+        assert_eq!(result.rows_of("cities"), vec![1, 2]);
+        assert_eq!(result.per_row.len(), 2);
+    }
+
+    #[test]
+    fn lineage_result_matches_plain_execution() {
+        let engine = Engine::new(EngineProfile::Indexed);
+        let db = cities_db();
+        for plan in [
+            q2(),
+            LogicalPlan::scan("cities")
+                .filter(col("popden").gt(lit(3000)))
+                .aggregate(vec!["state"], vec![AggExpr::new(AggFunc::Count, col("city"), "cnt")]),
+            LogicalPlan::scan("cities").project(vec![(col("state"), "state")]).distinct(),
+        ] {
+            let plain = engine.execute(&db, &plan).unwrap().relation;
+            let lin = capture_lineage(&db, &plan).unwrap().relation;
+            assert!(plain.bag_eq(&lin), "mismatch for {}", plan.display_tree());
+        }
+    }
+
+    #[test]
+    fn lineage_is_sufficient_for_the_query() {
+        // Def. 1: evaluating the query over its provenance gives the same
+        // answer as over the full database.
+        let db = cities_db();
+        let engine = Engine::new(EngineProfile::Indexed);
+        let plan = q2();
+        let lineage = capture_lineage(&db, &plan).unwrap();
+        let rows = lineage.rows_of("cities");
+        assert!(is_sufficient_subset(&db, &plan, "cities", &rows, &engine).unwrap());
+    }
+
+    #[test]
+    fn join_lineage_includes_both_sides() {
+        let mut db = cities_db();
+        let schema = Schema::from_pairs(&[("st", DataType::Str), ("region", DataType::Str)]);
+        let mut b = TableBuilder::new("regions", schema);
+        b.push(vec![Value::from("CA"), Value::from("West")]);
+        b.push(vec![Value::from("NY"), Value::from("East")]);
+        db.add_table(b.build());
+        let plan = LogicalPlan::scan("cities")
+            .join(LogicalPlan::scan("regions"), "state", "st")
+            .filter(col("region").eq(lit("West")));
+        let result = capture_lineage(&db, &plan).unwrap();
+        assert_eq!(result.rows_of("cities"), vec![1, 2]);
+        assert_eq!(result.rows_of("regions"), vec![0]);
+    }
+
+    #[test]
+    fn distinct_lineage_unions_duplicates() {
+        let plan = LogicalPlan::scan("cities")
+            .project(vec![(col("state"), "state")])
+            .distinct()
+            .filter(col("state").eq(lit("TX")));
+        let result = capture_lineage(&cities_db(), &plan).unwrap();
+        // Both Texas rows contribute to the single distinct output.
+        assert_eq!(result.rows_of("cities"), vec![5, 6]);
+    }
+
+    #[test]
+    fn aggregate_value_helper_matches_expectations() {
+        let vals = vec![Value::Int(1), Value::Int(2), Value::Null, Value::Int(3)];
+        assert_eq!(aggregate_value(AggFunc::Count, &vals), Value::Int(4));
+        assert_eq!(aggregate_value(AggFunc::Sum, &vals), Value::Int(6));
+        assert_eq!(aggregate_value(AggFunc::Min, &vals), Value::Int(1));
+        assert_eq!(aggregate_value(AggFunc::Max, &vals), Value::Int(3));
+        assert_eq!(aggregate_value(AggFunc::Avg, &vals), Value::Float(2.0));
+    }
+}

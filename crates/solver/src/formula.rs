@@ -1,0 +1,384 @@
+//! Quantifier-free linear-arithmetic formulas.
+//!
+//! The safety check (Sec. 5) and the reuse check (Sec. 6) of the paper
+//! construct universally quantified implications over attribute values and
+//! discharge them with an SMT solver. The formulas they build are small:
+//! conjunctions/disjunctions of comparisons between linear combinations of
+//! attribute variables and constants. This module provides the formula AST;
+//! [`crate::solve`] decides validity.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A linear expression: `Σ coeff_i · var_i + constant`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinExpr {
+    /// Variable coefficients (variables with coefficient zero are dropped).
+    terms: BTreeMap<String, f64>,
+    /// Constant offset.
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The constant expression `c`.
+    pub fn constant(c: f64) -> Self {
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The variable expression `1·name`.
+    pub fn var(name: impl Into<String>) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(name.into(), 1.0);
+        LinExpr {
+            terms,
+            constant: 0.0,
+        }
+    }
+
+    /// Variable coefficients.
+    pub fn terms(&self) -> &BTreeMap<String, f64> {
+        &self.terms
+    }
+
+    /// Constant offset.
+    pub fn constant_part(&self) -> f64 {
+        self.constant
+    }
+
+    /// All variables mentioned.
+    pub fn variables(&self) -> Vec<&str> {
+        self.terms.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// True when the expression has no variables.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Coefficient of a variable (0 when absent).
+    pub fn coeff(&self, var: &str) -> f64 {
+        self.terms.get(var).copied().unwrap_or(0.0)
+    }
+
+    /// `self + other`
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        out.constant += other.constant;
+        for (v, c) in &other.terms {
+            *out.terms.entry(v.clone()).or_insert(0.0) += c;
+        }
+        out.normalize();
+        out
+    }
+
+    /// `self - other`
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.add(&other.scale(-1.0))
+    }
+
+    /// `k · self`
+    pub fn scale(&self, k: f64) -> LinExpr {
+        let mut out = LinExpr {
+            terms: self.terms.iter().map(|(v, c)| (v.clone(), c * k)).collect(),
+            constant: self.constant * k,
+        };
+        out.normalize();
+        out
+    }
+
+    fn normalize(&mut self) {
+        self.terms.retain(|_, c| c.abs() > 1e-12);
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.terms {
+            if first {
+                if (*c - 1.0).abs() < 1e-12 {
+                    write!(f, "{v}")?;
+                } else {
+                    write!(f, "{c}*{v}")?;
+                }
+                first = false;
+            } else if (*c - 1.0).abs() < 1e-12 {
+                write!(f, " + {v}")?;
+            } else {
+                write!(f, " + {c}*{v}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant.abs() > 1e-12 {
+            write!(f, " + {}", self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// Comparison operators for atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    /// The negation of this comparison.
+    pub fn negate(&self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An atomic comparison `lhs op rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// Left-hand side.
+    pub lhs: LinExpr,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: LinExpr,
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// A quantifier-free formula over linear-arithmetic atoms.
+///
+/// Free variables are interpreted as universally quantified when checking
+/// validity (matching the paper's usage: "a universally quantified formula is
+/// true if its negation is unsatisfiable").
+#[derive(Debug, Clone, PartialEq)]
+pub enum Formula {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// An atomic comparison.
+    Atom(Atom),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// Atomic comparison constructor.
+    pub fn cmp(lhs: LinExpr, op: CmpOp, rhs: LinExpr) -> Formula {
+        Formula::Atom(Atom { lhs, op, rhs })
+    }
+
+    /// `var op constant`
+    pub fn var_cmp_const(var: &str, op: CmpOp, c: f64) -> Formula {
+        Formula::cmp(LinExpr::var(var), op, LinExpr::constant(c))
+    }
+
+    /// `var1 op var2`
+    pub fn var_cmp_var(a: &str, op: CmpOp, b: &str) -> Formula {
+        Formula::cmp(LinExpr::var(a), op, LinExpr::var(b))
+    }
+
+    /// n-ary conjunction, flattening nested `And`s and dropping `True`.
+    pub fn and_all(parts: Vec<Formula>) -> Formula {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(mut inner) => flat.append(&mut inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Formula::True,
+            1 => flat.pop().unwrap(),
+            _ => Formula::And(flat),
+        }
+    }
+
+    /// n-ary disjunction, flattening nested `Or`s and dropping `False`.
+    pub fn or_all(parts: Vec<Formula>) -> Formula {
+        let mut flat = Vec::new();
+        for p in parts {
+            match p {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(mut inner) => flat.append(&mut inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Formula::False,
+            1 => flat.pop().unwrap(),
+            _ => Formula::Or(flat),
+        }
+    }
+
+    /// Implication constructor.
+    pub fn implies(premise: Formula, conclusion: Formula) -> Formula {
+        Formula::Implies(Box::new(premise), Box::new(conclusion))
+    }
+
+    /// Negation constructor.
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// Conjoin with another formula.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::and_all(vec![self, other])
+    }
+
+    /// All variables mentioned in the formula.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(a) => {
+                out.extend(a.lhs.variables().iter().map(|s| s.to_string()));
+                out.extend(a.rhs.variables().iter().map(|s| s.to_string()));
+            }
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_vars(out);
+                }
+            }
+            Formula::Not(f) => f.collect_vars(out),
+            Formula::Implies(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::And(fs) => {
+                let parts: Vec<String> = fs.iter().map(|x| x.to_string()).collect();
+                write!(f, "({})", parts.join(" AND "))
+            }
+            Formula::Or(fs) => {
+                let parts: Vec<String> = fs.iter().map(|x| x.to_string()).collect();
+                write!(f, "({})", parts.join(" OR "))
+            }
+            Formula::Not(x) => write!(f, "(NOT {x})"),
+            Formula::Implies(a, b) => write!(f, "({a} -> {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linexpr_arithmetic() {
+        let e = LinExpr::var("x").add(&LinExpr::var("y")).sub(&LinExpr::var("x"));
+        assert_eq!(e.coeff("x"), 0.0);
+        assert_eq!(e.coeff("y"), 1.0);
+        assert!(e.variables() == vec!["y"]);
+        let s = LinExpr::var("x").scale(3.0).add(&LinExpr::constant(2.0));
+        assert_eq!(s.coeff("x"), 3.0);
+        assert_eq!(s.constant_part(), 2.0);
+    }
+
+    #[test]
+    fn and_or_flattening() {
+        let f = Formula::and_all(vec![
+            Formula::True,
+            Formula::var_cmp_const("x", CmpOp::Gt, 1.0),
+            Formula::and_all(vec![Formula::var_cmp_const("y", CmpOp::Lt, 2.0)]),
+        ]);
+        match f {
+            Formula::And(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected And, got {other}"),
+        }
+        assert_eq!(Formula::and_all(vec![]), Formula::True);
+        assert_eq!(Formula::or_all(vec![]), Formula::False);
+        assert_eq!(
+            Formula::and_all(vec![Formula::False, Formula::True]),
+            Formula::False
+        );
+        assert_eq!(
+            Formula::or_all(vec![Formula::True, Formula::False]),
+            Formula::True
+        );
+    }
+
+    #[test]
+    fn variables_are_collected() {
+        let f = Formula::implies(
+            Formula::var_cmp_var("a", CmpOp::Le, "b"),
+            Formula::var_cmp_const("a", CmpOp::Lt, 10.0),
+        );
+        assert_eq!(f.variables(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn display_round_trip_smoke() {
+        let f = Formula::not(Formula::var_cmp_const("x", CmpOp::Ge, 5.0));
+        assert_eq!(f.to_string(), "(NOT x >= 5)");
+    }
+
+    #[test]
+    fn cmp_negation() {
+        assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
+        assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
+        assert_eq!(CmpOp::Ne.negate(), CmpOp::Eq);
+    }
+}

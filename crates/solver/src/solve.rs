@@ -1,0 +1,486 @@
+//! Deciding satisfiability and validity of linear-arithmetic formulas.
+//!
+//! The pipeline mirrors what the paper delegates to an SMT solver (Sec. 5):
+//! to prove a universally quantified formula valid we negate it, convert the
+//! negation to negation normal form and then disjunctive normal form, and
+//! show every disjunct infeasible with Fourier–Motzkin elimination over the
+//! rationals.
+//!
+//! The procedure is *sound* but deliberately bounded: if normalization would
+//! blow up past a size budget it answers [`SolverResult::Unknown`], which the
+//! safety and reuse checks treat as "cannot prove safe" — exactly the
+//! conservative behaviour the paper's sound-but-incomplete algorithm needs.
+
+use crate::formula::{Atom, CmpOp, Formula, LinExpr};
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverResult {
+    /// The formula is satisfiable.
+    Satisfiable,
+    /// The formula is unsatisfiable.
+    Unsatisfiable,
+    /// The solver gave up (size budget exceeded).
+    Unknown,
+}
+
+/// Maximum number of DNF disjuncts / constraints before giving up.
+const MAX_DISJUNCTS: usize = 4096;
+const MAX_CONSTRAINTS: usize = 2048;
+const EPS: f64 = 1e-9;
+
+/// A normalized linear constraint `expr ≤ 0` (or `< 0` when `strict`).
+#[derive(Debug, Clone)]
+struct Constraint {
+    expr: LinExpr,
+    strict: bool,
+}
+
+/// Negation normal form with negations pushed into atoms.
+fn to_nnf(f: &Formula, negated: bool) -> Formula {
+    match f {
+        Formula::True => {
+            if negated {
+                Formula::False
+            } else {
+                Formula::True
+            }
+        }
+        Formula::False => {
+            if negated {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        Formula::Atom(a) => {
+            if negated {
+                Formula::Atom(Atom {
+                    lhs: a.lhs.clone(),
+                    op: a.op.negate(),
+                    rhs: a.rhs.clone(),
+                })
+            } else {
+                Formula::Atom(a.clone())
+            }
+        }
+        Formula::And(fs) => {
+            let parts: Vec<Formula> = fs.iter().map(|x| to_nnf(x, negated)).collect();
+            if negated {
+                Formula::or_all(parts)
+            } else {
+                Formula::and_all(parts)
+            }
+        }
+        Formula::Or(fs) => {
+            let parts: Vec<Formula> = fs.iter().map(|x| to_nnf(x, negated)).collect();
+            if negated {
+                Formula::and_all(parts)
+            } else {
+                Formula::or_all(parts)
+            }
+        }
+        Formula::Not(x) => to_nnf(x, !negated),
+        Formula::Implies(a, b) => {
+            // a -> b  ==  ¬a ∨ b
+            let rewritten = Formula::or_all(vec![Formula::not((**a).clone()), (**b).clone()]);
+            to_nnf(&rewritten, negated)
+        }
+    }
+}
+
+/// Convert an NNF formula to DNF: a list of conjunctions of atoms.
+/// Returns `None` when the size budget is exceeded.
+fn to_dnf(f: &Formula) -> Option<Vec<Vec<Atom>>> {
+    match f {
+        Formula::True => Some(vec![vec![]]),
+        Formula::False => Some(vec![]),
+        Formula::Atom(a) => {
+            // Split ≠ into two strict disjuncts so downstream reasoning only
+            // sees convex constraints.
+            if a.op == CmpOp::Ne {
+                Some(vec![
+                    vec![Atom {
+                        lhs: a.lhs.clone(),
+                        op: CmpOp::Lt,
+                        rhs: a.rhs.clone(),
+                    }],
+                    vec![Atom {
+                        lhs: a.lhs.clone(),
+                        op: CmpOp::Gt,
+                        rhs: a.rhs.clone(),
+                    }],
+                ])
+            } else {
+                Some(vec![vec![a.clone()]])
+            }
+        }
+        Formula::Or(fs) => {
+            let mut out = Vec::new();
+            for x in fs {
+                out.extend(to_dnf(x)?);
+                if out.len() > MAX_DISJUNCTS {
+                    return None;
+                }
+            }
+            Some(out)
+        }
+        Formula::And(fs) => {
+            let mut acc: Vec<Vec<Atom>> = vec![vec![]];
+            for x in fs {
+                let d = to_dnf(x)?;
+                let mut next = Vec::with_capacity(acc.len() * d.len().max(1));
+                for a in &acc {
+                    for b in &d {
+                        let mut merged = a.clone();
+                        merged.extend(b.iter().cloned());
+                        next.push(merged);
+                        if next.len() > MAX_DISJUNCTS {
+                            return None;
+                        }
+                    }
+                }
+                acc = next;
+                if acc.is_empty() {
+                    // One conjunct was `False`.
+                    return Some(vec![]);
+                }
+            }
+            Some(acc)
+        }
+        // NNF should have removed these.
+        Formula::Not(_) | Formula::Implies(_, _) => None,
+    }
+}
+
+/// Turn an atom into one or two normalized `expr (< | ≤) 0` constraints.
+fn atom_constraints(a: &Atom) -> Vec<Constraint> {
+    let diff = a.lhs.sub(&a.rhs);
+    match a.op {
+        CmpOp::Le => vec![Constraint {
+            expr: diff,
+            strict: false,
+        }],
+        CmpOp::Lt => vec![Constraint {
+            expr: diff,
+            strict: true,
+        }],
+        CmpOp::Ge => vec![Constraint {
+            expr: diff.scale(-1.0),
+            strict: false,
+        }],
+        CmpOp::Gt => vec![Constraint {
+            expr: diff.scale(-1.0),
+            strict: true,
+        }],
+        CmpOp::Eq => vec![
+            Constraint {
+                expr: diff.clone(),
+                strict: false,
+            },
+            Constraint {
+                expr: diff.scale(-1.0),
+                strict: false,
+            },
+        ],
+        // Ne is split during DNF conversion.
+        CmpOp::Ne => vec![],
+    }
+}
+
+/// Fourier–Motzkin feasibility test for a conjunction of constraints over the
+/// reals. Returns true when the conjunction is satisfiable.
+fn conjunction_feasible(atoms: &[Atom]) -> Option<bool> {
+    let mut constraints: Vec<Constraint> = atoms.iter().flat_map(atom_constraints).collect();
+
+    loop {
+        if constraints.len() > MAX_CONSTRAINTS {
+            return None;
+        }
+        // Find a variable to eliminate.
+        let var = constraints
+            .iter()
+            .flat_map(|c| c.expr.variables())
+            .next()
+            .map(|s| s.to_string());
+        let var = match var {
+            Some(v) => v,
+            None => break,
+        };
+
+        let mut uppers: Vec<(LinExpr, bool)> = Vec::new(); // x ≤ expr (coeff>0)
+        let mut lowers: Vec<(LinExpr, bool)> = Vec::new(); // expr ≤ x (coeff<0)
+        let mut rest: Vec<Constraint> = Vec::new();
+        for c in constraints.into_iter() {
+            let coeff = c.expr.coeff(&var);
+            if coeff.abs() < 1e-12 {
+                rest.push(c);
+            } else {
+                // c: coeff·x + r (< | ≤) 0  ⇒  x (< | ≤) -r/coeff (coeff>0)
+                //                             or -r/coeff (< | ≤) x (coeff<0)
+                let mut r = c.expr.clone();
+                // Remove the variable term.
+                r = r.sub(&LinExpr::var(&var).scale(coeff));
+                let bound = r.scale(-1.0 / coeff);
+                if coeff > 0.0 {
+                    uppers.push((bound, c.strict));
+                } else {
+                    lowers.push((bound, c.strict));
+                }
+            }
+        }
+        // Combine lower and upper bounds: lower (< | ≤) upper.
+        for (lo, lo_strict) in &lowers {
+            for (hi, hi_strict) in &uppers {
+                rest.push(Constraint {
+                    expr: lo.sub(hi),
+                    strict: *lo_strict || *hi_strict,
+                });
+                if rest.len() > MAX_CONSTRAINTS {
+                    return None;
+                }
+            }
+        }
+        constraints = rest;
+    }
+
+    // Only constant constraints remain.
+    for c in &constraints {
+        let v = c.expr.constant_part();
+        let ok = if c.strict { v < -EPS } else { v <= EPS };
+        if !ok {
+            return Some(false);
+        }
+    }
+    Some(true)
+}
+
+/// Is the formula satisfiable (free variables existentially quantified)?
+pub fn is_satisfiable(f: &Formula) -> SolverResult {
+    let nnf = to_nnf(f, false);
+    let dnf = match to_dnf(&nnf) {
+        Some(d) => d,
+        None => return SolverResult::Unknown,
+    };
+    let mut unknown = false;
+    for conj in &dnf {
+        match conjunction_feasible(conj) {
+            Some(true) => return SolverResult::Satisfiable,
+            Some(false) => {}
+            None => unknown = true,
+        }
+    }
+    if unknown {
+        SolverResult::Unknown
+    } else {
+        SolverResult::Unsatisfiable
+    }
+}
+
+/// Is the formula valid (free variables universally quantified)?
+///
+/// Returns `true` only when validity is *proven*; `Unknown` results map to
+/// `false`, keeping every downstream use sound.
+pub fn is_valid(f: &Formula) -> bool {
+    matches!(
+        is_satisfiable(&Formula::not(f.clone())),
+        SolverResult::Unsatisfiable
+    )
+}
+
+/// Does `premise` imply `conclusion` for all variable assignments?
+pub fn implies(premise: &Formula, conclusion: &Formula) -> bool {
+    is_valid(&Formula::implies(premise.clone(), conclusion.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::{CmpOp, Formula, LinExpr};
+
+    fn v(name: &str) -> LinExpr {
+        LinExpr::var(name)
+    }
+    fn c(x: f64) -> LinExpr {
+        LinExpr::constant(x)
+    }
+
+    #[test]
+    fn trivial_formulas() {
+        assert_eq!(is_satisfiable(&Formula::True), SolverResult::Satisfiable);
+        assert_eq!(is_satisfiable(&Formula::False), SolverResult::Unsatisfiable);
+        assert!(is_valid(&Formula::True));
+        assert!(!is_valid(&Formula::False));
+    }
+
+    #[test]
+    fn simple_contradiction_is_unsat() {
+        // x < 5 AND x > 10
+        let f = Formula::and_all(vec![
+            Formula::cmp(v("x"), CmpOp::Lt, c(5.0)),
+            Formula::cmp(v("x"), CmpOp::Gt, c(10.0)),
+        ]);
+        assert_eq!(is_satisfiable(&f), SolverResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn strict_boundary_contradiction() {
+        // x >= 10 AND x < 10
+        let f = Formula::and_all(vec![
+            Formula::cmp(v("x"), CmpOp::Ge, c(10.0)),
+            Formula::cmp(v("x"), CmpOp::Lt, c(10.0)),
+        ]);
+        assert_eq!(is_satisfiable(&f), SolverResult::Unsatisfiable);
+        // x >= 10 AND x <= 10 is satisfiable (x = 10).
+        let g = Formula::and_all(vec![
+            Formula::cmp(v("x"), CmpOp::Ge, c(10.0)),
+            Formula::cmp(v("x"), CmpOp::Le, c(10.0)),
+        ]);
+        assert_eq!(is_satisfiable(&g), SolverResult::Satisfiable);
+    }
+
+    #[test]
+    fn transitivity_is_valid() {
+        // (a <= b AND b <= c) -> a <= c
+        let f = Formula::implies(
+            Formula::and_all(vec![
+                Formula::var_cmp_var("a", CmpOp::Le, "b"),
+                Formula::var_cmp_var("b", CmpOp::Le, "c"),
+            ]),
+            Formula::var_cmp_var("a", CmpOp::Le, "c"),
+        );
+        assert!(is_valid(&f));
+    }
+
+    #[test]
+    fn paper_example_6_totden_implication_fails() {
+        // totden <= totden' AND totden < 7000  does NOT imply  totden' < 7000
+        // (Ex. 6, Sec. 5.2: popden is unsafe for the HAVING query).
+        let premise = Formula::and_all(vec![
+            Formula::var_cmp_var("totden", CmpOp::Le, "totden_p"),
+            Formula::var_cmp_const("totden", CmpOp::Lt, 7000.0),
+        ]);
+        let conclusion = Formula::var_cmp_const("totden_p", CmpOp::Lt, 7000.0);
+        assert!(!implies(&premise, &conclusion));
+    }
+
+    #[test]
+    fn paper_example_7_uconds_holds() {
+        // Ex. 7 (Sec. 6): p = p' ∧ cnt = cnt' ∧ p' > 100 ∧ cnt' > 15
+        //   ->  p > 100 ∧ cnt > 10
+        let premise = Formula::and_all(vec![
+            Formula::var_cmp_var("p", CmpOp::Eq, "p_p"),
+            Formula::var_cmp_var("cnt", CmpOp::Eq, "cnt_p"),
+            Formula::var_cmp_const("p_p", CmpOp::Gt, 100.0),
+            Formula::var_cmp_const("cnt_p", CmpOp::Gt, 15.0),
+        ]);
+        let conclusion = Formula::and_all(vec![
+            Formula::var_cmp_const("p", CmpOp::Gt, 100.0),
+            Formula::var_cmp_const("cnt", CmpOp::Gt, 10.0),
+        ]);
+        assert!(implies(&premise, &conclusion));
+        // The reverse binding (cnt' > 10 -> cnt > 15) must fail.
+        let premise_rev = Formula::and_all(vec![
+            Formula::var_cmp_var("cnt", CmpOp::Eq, "cnt_p"),
+            Formula::var_cmp_const("cnt_p", CmpOp::Gt, 10.0),
+        ]);
+        let conclusion_rev = Formula::var_cmp_const("cnt", CmpOp::Gt, 15.0);
+        assert!(!implies(&premise_rev, &conclusion_rev));
+    }
+
+    #[test]
+    fn selection_containment_with_chained_conditions() {
+        // Sec. 6 example: Q = σ_{a=20}(σ_{a>30}) vs Q' = σ_{a=20}(σ_{a>10}).
+        // pred(Q') = (a' = 20 AND a' > 10); with a = a' it implies
+        // pred(Q) = (a = 20 AND a > 30)? No — a=20 contradicts a>30, but the
+        // premise a'=20 makes the whole premise satisfied while conclusion
+        // fails... the paper's point is testing the conjunction jointly:
+        // a = a' ∧ a' = 20 ∧ a' > 10 -> a = 20 ∧ a > 30 is NOT valid,
+        // whereas both queries are equivalent (empty). Our solver just has to
+        // agree with first-order semantics here.
+        let premise = Formula::and_all(vec![
+            Formula::var_cmp_var("a", CmpOp::Eq, "a_p"),
+            Formula::var_cmp_const("a_p", CmpOp::Eq, 20.0),
+            Formula::var_cmp_const("a_p", CmpOp::Gt, 10.0),
+        ]);
+        let conclusion = Formula::and_all(vec![
+            Formula::var_cmp_const("a", CmpOp::Eq, 20.0),
+            Formula::var_cmp_const("a", CmpOp::Gt, 30.0),
+        ]);
+        assert!(!implies(&premise, &conclusion));
+    }
+
+    #[test]
+    fn equality_and_inequality_interplay() {
+        // x = y AND x <> y is unsatisfiable.
+        let f = Formula::and_all(vec![
+            Formula::var_cmp_var("x", CmpOp::Eq, "y"),
+            Formula::var_cmp_var("x", CmpOp::Ne, "y"),
+        ]);
+        assert_eq!(is_satisfiable(&f), SolverResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn disjunctive_premises() {
+        // (x > 5 OR x < -5) AND x = 0 is unsatisfiable.
+        let f = Formula::and_all(vec![
+            Formula::or_all(vec![
+                Formula::var_cmp_const("x", CmpOp::Gt, 5.0),
+                Formula::var_cmp_const("x", CmpOp::Lt, -5.0),
+            ]),
+            Formula::var_cmp_const("x", CmpOp::Eq, 0.0),
+        ]);
+        assert_eq!(is_satisfiable(&f), SolverResult::Unsatisfiable);
+    }
+
+    #[test]
+    fn linear_combinations() {
+        // x + y <= 10 AND x >= 8 AND y >= 3 is unsatisfiable.
+        let f = Formula::and_all(vec![
+            Formula::cmp(v("x").add(&v("y")), CmpOp::Le, c(10.0)),
+            Formula::cmp(v("x"), CmpOp::Ge, c(8.0)),
+            Formula::cmp(v("y"), CmpOp::Ge, c(3.0)),
+        ]);
+        assert_eq!(is_satisfiable(&f), SolverResult::Unsatisfiable);
+        // Relaxing y's bound makes it satisfiable.
+        let g = Formula::and_all(vec![
+            Formula::cmp(v("x").add(&v("y")), CmpOp::Le, c(10.0)),
+            Formula::cmp(v("x"), CmpOp::Ge, c(8.0)),
+            Formula::cmp(v("y"), CmpOp::Ge, c(1.0)),
+        ]);
+        assert_eq!(is_satisfiable(&g), SolverResult::Satisfiable);
+    }
+
+    #[test]
+    fn validity_of_monotone_aggregate_reasoning() {
+        // The aggregation safety case: b <= b' AND b > 100 -> b' > 100... is
+        // actually valid because b' >= b > 100. (Note the contrast with the
+        // upper-bound case in Ex. 6.)
+        let f = Formula::implies(
+            Formula::and_all(vec![
+                Formula::var_cmp_var("b", CmpOp::Le, "b_p"),
+                Formula::var_cmp_const("b", CmpOp::Gt, 100.0),
+            ]),
+            Formula::var_cmp_const("b_p", CmpOp::Gt, 100.0),
+        );
+        assert!(is_valid(&f));
+    }
+
+    #[test]
+    fn unknown_on_blowup_is_conservative() {
+        // Build a formula with many disjunctions that exceeds the DNF budget;
+        // the solver must answer Unknown (not a wrong Unsatisfiable).
+        let mut parts = Vec::new();
+        for i in 0..24 {
+            parts.push(Formula::or_all(vec![
+                Formula::var_cmp_const(&format!("x{i}"), CmpOp::Gt, 0.0),
+                Formula::var_cmp_const(&format!("x{i}"), CmpOp::Lt, -1.0),
+            ]));
+        }
+        let f = Formula::and_all(parts);
+        let r = is_satisfiable(&f);
+        assert!(matches!(r, SolverResult::Unknown | SolverResult::Satisfiable));
+        // And validity of its negation must not be claimed.
+        assert!(!is_valid(&Formula::not(f)));
+    }
+}

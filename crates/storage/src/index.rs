@@ -1,0 +1,153 @@
+//! Ordered secondary indexes (B-tree style) over single columns.
+//!
+//! The "Postgres-like" engine profile uses these indexes to answer the range
+//! predicates that PBDS derives from provenance sketches (Sec. 8), which is
+//! what makes a selective sketch pay off.
+
+use crate::relation::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// An ordered index mapping column values to the row ids holding them.
+#[derive(Debug, Clone, Default)]
+pub struct OrderedIndex {
+    column: String,
+    entries: BTreeMap<Value, Vec<u32>>,
+    indexed_rows: usize,
+}
+
+impl OrderedIndex {
+    /// Build an index on `column` over the given rows. NULLs are not indexed
+    /// (consistent with typical B-tree range-scan semantics for our purposes).
+    pub fn build(schema: &Schema, rows: &[Row], column: &str) -> Option<Self> {
+        let idx = schema.index_of(column)?;
+        let mut entries: BTreeMap<Value, Vec<u32>> = BTreeMap::new();
+        for (rid, row) in rows.iter().enumerate() {
+            let v = &row[idx];
+            if v.is_null() {
+                continue;
+            }
+            entries.entry(v.clone()).or_default().push(rid as u32);
+        }
+        Some(OrderedIndex {
+            column: column.to_string(),
+            entries,
+            indexed_rows: rows.len(),
+        })
+    }
+
+    /// The indexed column name.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// Number of distinct keys.
+    pub fn num_keys(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of rows in the table at build time.
+    pub fn indexed_rows(&self) -> usize {
+        self.indexed_rows
+    }
+
+    /// Row ids whose value lies in the inclusive range `[lo, hi]` (`None`
+    /// bounds are unbounded). Results are returned in key order.
+    pub fn range(&self, lo: Option<&Value>, hi: Option<&Value>) -> Vec<u32> {
+        let lower = match lo {
+            Some(v) => Bound::Included(v.clone()),
+            None => Bound::Unbounded,
+        };
+        let upper = match hi {
+            Some(v) => Bound::Included(v.clone()),
+            None => Bound::Unbounded,
+        };
+        let mut out = Vec::new();
+        for (_, rids) in self.entries.range((lower, upper)) {
+            out.extend_from_slice(rids);
+        }
+        out
+    }
+
+    /// Row ids matching any of the given inclusive ranges; the result is
+    /// deduplicated and sorted so the caller can scan rows in storage order.
+    pub fn multi_range(&self, ranges: &[(Option<Value>, Option<Value>)]) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (lo, hi) in ranges {
+            out.extend(self.range(lo.as_ref(), hi.as_ref()));
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Row ids with exactly the given key value.
+    pub fn lookup(&self, key: &Value) -> &[u32] {
+        self.entries.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn setup() -> (Schema, Vec<Row>) {
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("s", DataType::Str)]);
+        let rows = (0..100)
+            .map(|i| vec![Value::Int(i % 10), Value::from(format!("r{i}"))])
+            .collect();
+        (schema, rows)
+    }
+
+    #[test]
+    fn point_lookup_returns_all_matches() {
+        let (schema, rows) = setup();
+        let idx = OrderedIndex::build(&schema, &rows, "k").unwrap();
+        assert_eq!(idx.lookup(&Value::Int(3)).len(), 10);
+        assert!(idx.lookup(&Value::Int(99)).is_empty());
+    }
+
+    #[test]
+    fn range_scan_is_inclusive() {
+        let (schema, rows) = setup();
+        let idx = OrderedIndex::build(&schema, &rows, "k").unwrap();
+        let rids = idx.range(Some(&Value::Int(2)), Some(&Value::Int(4)));
+        assert_eq!(rids.len(), 30);
+    }
+
+    #[test]
+    fn unbounded_range_returns_everything_non_null() {
+        let (schema, rows) = setup();
+        let idx = OrderedIndex::build(&schema, &rows, "k").unwrap();
+        assert_eq!(idx.range(None, None).len(), 100);
+    }
+
+    #[test]
+    fn multi_range_dedups_and_sorts() {
+        let (schema, rows) = setup();
+        let idx = OrderedIndex::build(&schema, &rows, "k").unwrap();
+        let rids = idx.multi_range(&[
+            (Some(Value::Int(0)), Some(Value::Int(1))),
+            (Some(Value::Int(1)), Some(Value::Int(2))),
+        ]);
+        assert_eq!(rids.len(), 30);
+        assert!(rids.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn nulls_are_not_indexed() {
+        let schema = Schema::from_pairs(&[("k", DataType::Int)]);
+        let rows = vec![vec![Value::Null], vec![Value::Int(1)]];
+        let idx = OrderedIndex::build(&schema, &rows, "k").unwrap();
+        assert_eq!(idx.range(None, None), vec![1]);
+    }
+
+    #[test]
+    fn missing_column_yields_none() {
+        let (schema, rows) = setup();
+        assert!(OrderedIndex::build(&schema, &rows, "missing").is_none());
+    }
+}

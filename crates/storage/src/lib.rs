@@ -1,0 +1,33 @@
+//! # pbds-storage
+//!
+//! Storage substrate for the Provenance-Based Data Skipping (PBDS)
+//! reproduction: scalar values, schemas, in-memory relations and tables,
+//! block-level zone maps, ordered secondary indexes, table statistics
+//! (min/max + equi-depth histograms) and horizontal partitions.
+//!
+//! The crate corresponds to the physical-design layer the paper assumes its
+//! host DBMS provides (Sec. 1 and Sec. 8): PBDS translates a provenance
+//! sketch into range predicates, and the artifacts in this crate (zone maps,
+//! ordered indexes) are what make evaluating those predicates cheap.
+
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod index;
+pub mod partition;
+pub mod relation;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+pub mod zonemap;
+
+pub use database::{Database, StorageError};
+pub use index::OrderedIndex;
+pub use partition::{CompositePartition, Partition, PartitionRef, RangePartition, ValueRange};
+pub use relation::{Relation, Row};
+pub use schema::{Column, Schema};
+pub use stats::{ColumnStats, EquiDepthHistogram, TableStats};
+pub use table::{Table, TableBuilder};
+pub use value::{DataType, Value};
+pub use zonemap::{BlockZone, ColumnZone, ZoneMap, DEFAULT_BLOCK_SIZE};

@@ -1,0 +1,167 @@
+//! In-memory relations (bags of rows) used as intermediate query results.
+
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// A row is an ordered list of values matching a schema.
+pub type Row = Vec<Value>;
+
+/// A bag of rows together with its schema.
+///
+/// The engine materializes every intermediate result as a `Relation`; base
+/// tables wrap a `Relation` and add physical-design artifacts (zone maps,
+/// indexes, statistics) — see [`crate::table::Table`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Row>,
+}
+
+impl Relation {
+    /// Create a relation from a schema and rows. Rows are trusted to match the
+    /// schema arity (checked in debug builds).
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Self {
+        debug_assert!(rows.iter().all(|r| r.len() == schema.arity()));
+        Relation { schema, rows }
+    }
+
+    /// An empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The schema of this relation.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The rows of this relation.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the relation holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: Row) {
+        debug_assert_eq!(row.len(), self.schema.arity());
+        self.rows.push(row);
+    }
+
+    /// Consume the relation and return its rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
+    /// Value at `(row, column-name)`, if present.
+    pub fn value(&self, row: usize, column: &str) -> Option<&Value> {
+        let idx = self.schema.index_of(column)?;
+        self.rows.get(row).and_then(|r| r.get(idx))
+    }
+
+    /// Extract a full column by name.
+    pub fn column_values(&self, column: &str) -> Option<Vec<Value>> {
+        let idx = self.schema.index_of(column)?;
+        Some(self.rows.iter().map(|r| r[idx].clone()).collect())
+    }
+
+    /// Sort rows lexicographically; useful for order-insensitive comparisons
+    /// in tests (bag equality up to order).
+    pub fn sorted(&self) -> Relation {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        Relation {
+            schema: self.schema.clone(),
+            rows,
+        }
+    }
+
+    /// True if the two relations contain the same bag of rows (ignoring
+    /// order). Schemas must have equal arity.
+    pub fn bag_eq(&self, other: &Relation) -> bool {
+        if self.schema.arity() != other.schema.arity() || self.len() != other.len() {
+            return false;
+        }
+        self.sorted().rows == other.sorted().rows
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn rel() -> Relation {
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Str)]);
+        Relation::new(
+            schema,
+            vec![
+                vec![Value::Int(2), Value::from("y")],
+                vec![Value::Int(1), Value::from("x")],
+            ],
+        )
+    }
+
+    #[test]
+    fn access_by_name() {
+        let r = rel();
+        assert_eq!(r.value(0, "a"), Some(&Value::Int(2)));
+        assert_eq!(r.value(1, "b"), Some(&Value::from("x")));
+        assert_eq!(r.value(0, "missing"), None);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let r = rel();
+        assert_eq!(
+            r.column_values("a").unwrap(),
+            vec![Value::Int(2), Value::Int(1)]
+        );
+    }
+
+    #[test]
+    fn bag_equality_ignores_order() {
+        let r = rel();
+        let mut swapped = rel();
+        swapped.rows.reverse();
+        assert!(r.bag_eq(&swapped));
+    }
+
+    #[test]
+    fn bag_equality_respects_multiplicity() {
+        let mut a = rel();
+        let b = rel();
+        a.push(vec![Value::Int(2), Value::from("y")]);
+        assert!(!a.bag_eq(&b));
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::empty(Schema::from_pairs(&[("a", DataType::Int)]));
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Relation schemas: ordered lists of named, typed columns.
+
+use crate::value::DataType;
+use std::fmt;
+
+/// A single column of a relation schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (unique within a schema; the paper assumes globally unique
+    /// attribute names for the safety rules, which our workloads follow).
+    pub name: String,
+    /// Declared data type.
+    pub dtype: DataType,
+}
+
+impl Column {
+    /// Create a new column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered list of columns describing the shape of a relation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Create a schema from a list of columns.
+    pub fn new(columns: Vec<Column>) -> Self {
+        Schema { columns }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema {
+            columns: pairs
+                .iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect(),
+        }
+    }
+
+    /// Number of columns (the arity of the relation).
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Column by position.
+    pub fn column_at(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// True if a column with the given name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// Concatenate two schemas (used by joins and cross products).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+
+    /// Project the schema onto a subset of columns, preserving the requested
+    /// order. Unknown names are skipped.
+    pub fn project(&self, names: &[&str]) -> Schema {
+        Schema {
+            columns: names
+                .iter()
+                .filter_map(|n| self.column(n).cloned())
+                .collect(),
+        }
+    }
+
+    /// Append one column, returning a new schema.
+    pub fn with_column(&self, column: Column) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.push(column);
+        Schema { columns }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cities_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("popden", DataType::Int),
+            ("city", DataType::Str),
+            ("state", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = cities_schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("state"), Some(2));
+        assert_eq!(s.index_of("missing"), None);
+        assert!(s.contains("city"));
+        assert_eq!(s.column("popden").unwrap().dtype, DataType::Int);
+    }
+
+    #[test]
+    fn concat_appends_columns() {
+        let s = cities_schema();
+        let t = Schema::from_pairs(&[("id", DataType::Int)]);
+        let c = s.concat(&t);
+        assert_eq!(c.arity(), 4);
+        assert_eq!(c.index_of("id"), Some(3));
+    }
+
+    #[test]
+    fn project_preserves_requested_order() {
+        let s = cities_schema();
+        let p = s.project(&["state", "popden"]);
+        assert_eq!(p.names(), vec!["state", "popden"]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Schema::from_pairs(&[("a", DataType::Int)]);
+        assert_eq!(s.to_string(), "(a INT)");
+    }
+
+    #[test]
+    fn with_column_adds_at_end() {
+        let s = cities_schema().with_column(Column::new("extra", DataType::Bool));
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.names().last().copied(), Some("extra"));
+    }
+}

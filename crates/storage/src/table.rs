@@ -1,0 +1,242 @@
+//! Base tables: a relation plus its physical design artifacts (zone maps,
+//! ordered indexes) and statistics.
+
+use crate::index::OrderedIndex;
+use crate::relation::{Relation, Row};
+use crate::schema::Schema;
+use crate::stats::TableStats;
+use crate::value::Value;
+use crate::zonemap::{ZoneMap, DEFAULT_BLOCK_SIZE};
+use std::collections::HashMap;
+
+/// A named base table with optional physical design artifacts.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+    block_size: usize,
+    zone_map: Option<ZoneMap>,
+    indexes: HashMap<String, OrderedIndex>,
+    stats: TableStats,
+}
+
+impl Table {
+    /// Create a table from a schema and rows. Statistics are computed
+    /// eagerly; zone maps and indexes are built on demand via
+    /// [`Table::build_zone_map`] and [`Table::create_index`].
+    pub fn new(name: impl Into<String>, schema: Schema, rows: Vec<Row>) -> Self {
+        let stats = TableStats::compute(&schema, &rows);
+        Table {
+            name: name.into(),
+            schema,
+            rows,
+            block_size: DEFAULT_BLOCK_SIZE,
+            zone_map: None,
+            indexes: HashMap::new(),
+            stats,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Precomputed table statistics.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// The zone map, if built.
+    pub fn zone_map(&self) -> Option<&ZoneMap> {
+        self.zone_map.as_ref()
+    }
+
+    /// The block size used for zone maps.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Build (or rebuild) zone maps with the given block size.
+    pub fn build_zone_map(&mut self, block_size: usize) {
+        self.block_size = block_size;
+        self.zone_map = Some(ZoneMap::build(&self.schema, &self.rows, block_size));
+    }
+
+    /// Build an ordered index on `column`. Returns false if the column does
+    /// not exist.
+    pub fn create_index(&mut self, column: &str) -> bool {
+        match OrderedIndex::build(&self.schema, &self.rows, column) {
+            Some(idx) => {
+                self.indexes.insert(column.to_string(), idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The index on `column`, if any.
+    pub fn index_on(&self, column: &str) -> Option<&OrderedIndex> {
+        self.indexes.get(column)
+    }
+
+    /// Names of indexed columns.
+    pub fn indexed_columns(&self) -> Vec<&str> {
+        self.indexes.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Values of one column (used to build partitions and histograms).
+    pub fn column_values(&self, column: &str) -> Option<Vec<Value>> {
+        let idx = self.schema.index_of(column)?;
+        Some(self.rows.iter().map(|r| r[idx].clone()).collect())
+    }
+
+    /// View the table as a plain relation (clones the rows).
+    pub fn to_relation(&self) -> Relation {
+        Relation::new(self.schema.clone(), self.rows.clone())
+    }
+}
+
+/// Builder for tables that finalizes physical design in one go.
+#[derive(Debug)]
+pub struct TableBuilder {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+    block_size: usize,
+    index_columns: Vec<String>,
+    with_zone_map: bool,
+}
+
+impl TableBuilder {
+    /// Start building a table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        TableBuilder {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            block_size: DEFAULT_BLOCK_SIZE,
+            index_columns: Vec::new(),
+            with_zone_map: true,
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: Row) -> &mut Self {
+        debug_assert_eq!(row.len(), self.schema.arity());
+        self.rows.push(row);
+        self
+    }
+
+    /// Append many rows.
+    pub fn extend(&mut self, rows: impl IntoIterator<Item = Row>) -> &mut Self {
+        self.rows.extend(rows);
+        self
+    }
+
+    /// Set the zone-map block size.
+    pub fn block_size(&mut self, size: usize) -> &mut Self {
+        self.block_size = size;
+        self
+    }
+
+    /// Request an ordered index on a column.
+    pub fn index(&mut self, column: &str) -> &mut Self {
+        self.index_columns.push(column.to_string());
+        self
+    }
+
+    /// Disable zone-map construction (used by the columnar engine profile).
+    pub fn without_zone_map(&mut self) -> &mut Self {
+        self.with_zone_map = false;
+        self
+    }
+
+    /// Finish building: computes statistics, zone maps and indexes.
+    pub fn build(&mut self) -> Table {
+        let mut table = Table::new(
+            std::mem::take(&mut self.name),
+            self.schema.clone(),
+            std::mem::take(&mut self.rows),
+        );
+        if self.with_zone_map {
+            table.build_zone_map(self.block_size);
+        }
+        for col in &self.index_columns {
+            table.create_index(col);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn build_table(n: usize) -> Table {
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("grp", DataType::Int)]);
+        let mut b = TableBuilder::new("t", schema);
+        b.block_size(100).index("id");
+        for i in 0..n {
+            b.push(vec![Value::Int(i as i64), Value::Int((i % 7) as i64)]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn builder_creates_stats_zonemaps_and_indexes() {
+        let t = build_table(1000);
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.stats().column("id").unwrap().max, Some(Value::Int(999)));
+        assert_eq!(t.zone_map().unwrap().num_blocks(), 10);
+        assert!(t.index_on("id").is_some());
+        assert!(t.index_on("grp").is_none());
+    }
+
+    #[test]
+    fn without_zone_map_profile() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        let mut b = TableBuilder::new("t", schema);
+        b.without_zone_map().push(vec![Value::Int(1)]);
+        let t = b.build();
+        assert!(t.zone_map().is_none());
+    }
+
+    #[test]
+    fn column_values_extraction() {
+        let t = build_table(10);
+        let vals = t.column_values("grp").unwrap();
+        assert_eq!(vals.len(), 10);
+        assert!(t.column_values("nope").is_none());
+    }
+
+    #[test]
+    fn to_relation_round_trip() {
+        let t = build_table(5);
+        let r = t.to_relation();
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.schema(), t.schema());
+    }
+}

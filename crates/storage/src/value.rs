@@ -1,0 +1,352 @@
+//! Scalar values and data types used throughout the PBDS engine.
+//!
+//! The paper (Sec. 3.1) assumes a universal domain; we model it with a small
+//! dynamically typed [`Value`] enum that supports total ordering (needed for
+//! range partitioning, sorting and top-k), hashing (needed for group-by and
+//! joins) and basic arithmetic (needed for aggregation and projection
+//! expressions).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float with total ordering.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "TEXT"),
+            DataType::Bool => write!(f, "BOOL"),
+        }
+    }
+}
+
+/// A dynamically typed scalar value.
+///
+/// `Value` implements a *total* order: `Null` sorts before everything,
+/// numeric values compare numerically across `Int`/`Float`, and values of
+/// different non-numeric types compare by a fixed type rank. This gives the
+/// engine deterministic sorting and lets range partitions be defined over any
+/// column type.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer value.
+    Int(i64),
+    /// Floating point value.
+    Float(f64),
+    /// String value.
+    Str(String),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// Returns the data type of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Bool(_) => Some(DataType::Bool),
+        }
+    }
+
+    /// True if the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret the value as a float if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as an integer if it is an `Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a string slice if it is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Interpret the value as a boolean. Numeric values are truthy when
+    /// non-zero; NULL maps to `None` (unknown).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Int(i) => Some(*i != 0),
+            Value::Float(f) => Some(*f != 0.0),
+            Value::Null => None,
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Numeric rank used to order values of different types deterministically.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+
+    /// Add two numeric values, preserving `Int` when both are integers.
+    pub fn add(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a + b),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => Value::Float(a + b),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Subtract two numeric values.
+    pub fn sub(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a - b),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => Value::Float(a - b),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Multiply two numeric values.
+    pub fn mul(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Value::Int(a * b),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => Value::Float(a * b),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Divide two numeric values (always produces a float; division by zero
+    /// yields NULL like SQL).
+    pub fn div(&self, other: &Value) -> Value {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(_), Some(b)) if b == 0.0 => Value::Null,
+            (Some(a), Some(b)) => Value::Float(a / b),
+            _ => Value::Null,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Int and Float hash consistently with their Ord equivalence:
+            // an Int hashes like the equivalent Float bit pattern.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_float_cross_type_ordering() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert!(Value::Int(3) < Value::Float(3.5));
+        assert!(Value::Float(2.9) < Value::Int(3));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::Str(String::new()));
+        assert!(Value::Null < Value::Bool(false));
+    }
+
+    #[test]
+    fn string_ordering_is_lexicographic() {
+        assert!(Value::from("AL") < Value::from("CA"));
+        assert!(Value::from("CA") < Value::from("DE"));
+        assert!(Value::from("NY") > Value::from("DE"));
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        assert_eq!(hash_of(&Value::Int(7)), hash_of(&Value::Float(7.0)));
+        assert_eq!(hash_of(&Value::from("x")), hash_of(&Value::from("x")));
+    }
+
+    #[test]
+    fn arithmetic_preserves_int_and_promotes_float() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)), Value::Int(5));
+        assert_eq!(Value::Int(2).add(&Value::Float(3.5)), Value::Float(5.5));
+        assert_eq!(Value::Int(10).sub(&Value::Int(4)), Value::Int(6));
+        assert_eq!(Value::Int(3).mul(&Value::Int(4)), Value::Int(12));
+        assert_eq!(Value::Int(7).div(&Value::Int(2)), Value::Float(3.5));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        assert!(Value::Int(1).div(&Value::Int(0)).is_null());
+    }
+
+    #[test]
+    fn arithmetic_with_null_is_null() {
+        assert!(Value::Null.add(&Value::Int(1)).is_null());
+        assert!(Value::Int(1).mul(&Value::Null).is_null());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(0).as_bool(), Some(false));
+        assert_eq!(Value::Null.as_bool(), None);
+    }
+
+    #[test]
+    fn display_round_trips_simple_values() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::from("CA").to_string(), "CA");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn data_type_reporting() {
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Float(1.0).data_type(), Some(DataType::Float));
+        assert_eq!(Value::from("a").data_type(), Some(DataType::Str));
+        assert_eq!(Value::Bool(true).data_type(), Some(DataType::Bool));
+        assert_eq!(Value::Null.data_type(), None);
+    }
+}

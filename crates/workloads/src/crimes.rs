@@ -1,0 +1,241 @@
+//! A synthetic Chicago-Crimes-like workload (Sec. 9.1 / 9.4).
+//!
+//! The real dataset has ~6.7M incident rows with strongly correlated
+//! geographical attributes (community area, block) and heavy skew — a few
+//! areas account for a large share of the crimes. The generator reproduces
+//! schema shape, correlation (blocks are nested inside areas) and skew
+//! (Zipf-distributed area popularity), scaled down to a configurable size.
+
+use crate::dist::Zipf;
+use crate::spec::{BenchQuery, SketchSpec};
+use pbds_algebra::{col, param, AggExpr, AggFunc, LogicalPlan, QueryTemplate, SortKey};
+use pbds_storage::{DataType, Database, Schema, TableBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CrimesConfig {
+    /// Number of crime rows.
+    pub rows: usize,
+    /// Number of community areas (Chicago has 77).
+    pub areas: usize,
+    /// Blocks per area.
+    pub blocks_per_area: usize,
+    /// Zipf skew of crimes across areas.
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Zone-map block size.
+    pub block_size: usize,
+}
+
+impl Default for CrimesConfig {
+    fn default() -> Self {
+        CrimesConfig {
+            rows: 100_000,
+            areas: 77,
+            blocks_per_area: 40,
+            skew: 1.1,
+            seed: 7,
+            block_size: 1024,
+        }
+    }
+}
+
+/// Generate the `crimes` database: a single fact table
+/// `crimes(id, area, block, kind, year, arrest)`.
+pub fn generate(config: &CrimesConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let area_dist = Zipf::new(config.areas, config.skew);
+    let schema = Schema::from_pairs(&[
+        ("id", DataType::Int),
+        ("area", DataType::Int),
+        ("block", DataType::Int),
+        ("kind", DataType::Int),
+        ("year", DataType::Int),
+        ("arrest", DataType::Int),
+    ]);
+    let mut b = TableBuilder::new("crimes", schema);
+    b.block_size(config.block_size).index("area").index("block");
+    for id in 0..config.rows as i64 {
+        let area = area_dist.sample(&mut rng) as i64;
+        // Blocks are nested within areas: block ids encode their area, which
+        // reproduces the strong geographical correlation of the real data.
+        let block = area * config.blocks_per_area as i64
+            + rng.gen_range(0..config.blocks_per_area as i64);
+        b.push(vec![
+            Value::Int(id),
+            Value::Int(area),
+            Value::Int(block),
+            Value::Int(rng.gen_range(0..31)),
+            Value::Int(rng.gen_range(2001..2021)),
+            Value::Int(rng.gen_range(0..2)),
+        ]);
+    }
+    let mut db = Database::new();
+    db.add_table(b.build());
+    db
+}
+
+/// The two crimes queries of the paper.
+///
+/// * `C-Q1`: the $0 areas with the most crimes (top-k over a group-by);
+/// * `C-Q2`: the number of blocks where more than $0 crimes took place
+///   (two-level aggregation with HAVING).
+pub fn queries() -> Vec<BenchQuery> {
+    vec![
+        BenchQuery::new(
+            "C-Q1",
+            QueryTemplate::new(
+                "crimes-q1",
+                LogicalPlan::scan("crimes")
+                    .aggregate(
+                        vec!["area"],
+                        vec![AggExpr::new(AggFunc::Count, col("id"), "crimes")],
+                    )
+                    .top_k(vec![SortKey::desc("crimes")], 5),
+            ),
+            vec![],
+            SketchSpec::Composite {
+                table: "crimes".into(),
+                attrs: vec!["area".into()],
+            },
+        ),
+        BenchQuery::new(
+            "C-Q2",
+            QueryTemplate::new(
+                "crimes-q2",
+                LogicalPlan::scan("crimes")
+                    .aggregate(
+                        vec!["block"],
+                        vec![AggExpr::new(AggFunc::Count, col("id"), "crimes")],
+                    )
+                    .filter(col("crimes").gt(param(0)))
+                    .aggregate(
+                        vec![],
+                        vec![AggExpr::new(AggFunc::Count, col("block"), "blocks")],
+                    ),
+            ),
+            vec![Value::Int(120)],
+            SketchSpec::Composite {
+                table: "crimes".into(),
+                attrs: vec!["block".into()],
+            },
+        ),
+    ]
+}
+
+/// The end-to-end workload templates of Fig. 13a/13b: `HAVING` variants of
+/// the crimes queries with parameterized thresholds and an area filter.
+pub fn end_to_end_templates() -> Vec<QueryTemplate> {
+    vec![
+        // Areas with more than $0 crimes.
+        QueryTemplate::new(
+            "crimes-e2e-areas",
+            LogicalPlan::scan("crimes")
+                .aggregate(
+                    vec!["area"],
+                    vec![AggExpr::new(AggFunc::Count, col("id"), "crimes")],
+                )
+                .filter(col("crimes").gt(param(0))),
+        ),
+        // Blocks with more than $0 crimes.
+        QueryTemplate::new(
+            "crimes-e2e-blocks",
+            LogicalPlan::scan("crimes")
+                .aggregate(
+                    vec!["block"],
+                    vec![AggExpr::new(AggFunc::Count, col("id"), "crimes")],
+                )
+                .filter(col("crimes").gt(param(0))),
+        ),
+        // Blocks with more than $0 arrests within an interval of kinds
+        // ($1 <= kind < $2) — exercises interval parameters.
+        QueryTemplate::new(
+            "crimes-e2e-kinds",
+            LogicalPlan::scan("crimes")
+                .filter(col("kind").ge(param(1)).and(col("kind").lt(param(2))))
+                .aggregate(
+                    vec!["block"],
+                    vec![AggExpr::new(AggFunc::Count, col("id"), "cnt")],
+                )
+                .filter(col("cnt").gt(param(0))),
+        ),
+        // Areas whose yearly arrests exceed $0 for recent years ($1 <= year).
+        QueryTemplate::new(
+            "crimes-e2e-years",
+            LogicalPlan::scan("crimes")
+                .filter(col("year").ge(param(1)))
+                .aggregate(
+                    vec!["area"],
+                    vec![AggExpr::new(AggFunc::Sum, col("arrest"), "arrests")],
+                )
+                .filter(col("arrests").gt(param(0))),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbds_exec::{Engine, EngineProfile};
+
+    fn tiny() -> Database {
+        generate(&CrimesConfig {
+            rows: 20_000,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn generator_produces_skewed_correlated_data() {
+        let db = tiny();
+        let crimes = db.table("crimes").unwrap();
+        assert_eq!(crimes.len(), 20_000);
+        // Skew: the most common area has far more rows than the median one.
+        let mut per_area = std::collections::HashMap::new();
+        for row in crimes.rows() {
+            *per_area.entry(row[1].clone()).or_insert(0usize) += 1;
+        }
+        let mut counts: Vec<usize> = per_area.values().copied().collect();
+        counts.sort_unstable();
+        assert!(counts[counts.len() - 1] > counts[counts.len() / 2] * 3);
+        // Correlation: every block belongs to exactly one area.
+        for row in crimes.rows().iter().take(1000) {
+            let area = row[1].as_i64().unwrap();
+            let block = row[2].as_i64().unwrap();
+            assert_eq!(block / 40, area);
+        }
+    }
+
+    #[test]
+    fn crimes_queries_execute() {
+        let db = tiny();
+        let engine = Engine::new(EngineProfile::Indexed);
+        for q in queries() {
+            let out = engine.execute(&db, &q.default_plan()).unwrap();
+            assert!(!out.relation.is_empty(), "{} empty", q.name);
+        }
+        assert_eq!(
+            engine
+                .execute(&db, &queries()[0].default_plan())
+                .unwrap()
+                .relation
+                .len(),
+            5
+        );
+    }
+
+    #[test]
+    fn end_to_end_templates_have_expected_parameters() {
+        let templates = end_to_end_templates();
+        assert_eq!(templates.len(), 4);
+        assert_eq!(templates[0].num_params(), 1);
+        assert_eq!(templates[2].num_params(), 3);
+        let db = tiny();
+        let engine = Engine::new(EngineProfile::Indexed);
+        let plan = templates[2].instantiate(&[Value::Int(5), Value::Int(3), Value::Int(10)]);
+        engine.execute(&db, &plan).unwrap();
+    }
+}

@@ -1,0 +1,115 @@
+//! Random distributions used by the synthetic data generators.
+//!
+//! The real datasets of the paper (Chicago Crimes, MovieLens, Stack Overflow)
+//! owe their PBDS-friendliness to heavy skew: a few areas / movies / users
+//! account for most of the rows, so the provenance of a top-k or `HAVING`
+//! query is small. A Zipf sampler reproduces that skew; a Box–Muller normal
+//! sampler generates the parameter values of the end-to-end workloads
+//! (Sec. 9.5 generates parameters from normal distributions).
+
+use rand::Rng;
+
+/// A Zipf-distributed sampler over `1..=n` with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a sampler over `1..=n` (n ≥ 1) with skew exponent `s`
+    /// (`s = 0` is uniform; `s ≈ 1` is classic Zipf).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "Zipf needs at least one element");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 1..=n {
+            total += 1.0 / (i as f64).powf(s);
+            cumulative.push(total);
+        }
+        // Normalize.
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Sample a rank in `1..=n` (rank 1 is the most frequent).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => (i + 1).min(self.cumulative.len()),
+        }
+    }
+
+    /// Number of distinct ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution is empty (never true; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+/// Sample from a normal distribution via the Box–Muller transform.
+pub fn normal(rng: &mut impl Rng, mean: f64, std_dev: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std_dev * z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 101];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[1] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Every sample is in range.
+        assert_eq!(counts[0], 0);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0usize; 11];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let min = counts[1..].iter().min().unwrap();
+        let max = counts[1..].iter().max().unwrap();
+        assert!((*max as f64) < *min as f64 * 1.3);
+    }
+
+    #[test]
+    fn normal_sampler_has_requested_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<f64> = (0..50_000).map(|_| normal(&mut rng, 100.0, 15.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 100.0).abs() < 1.0, "mean {mean}");
+        assert!((var.sqrt() - 15.0).abs() < 1.0, "std {}", var.sqrt());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn zipf_of_zero_elements_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! # pbds-workloads
+//!
+//! Synthetic workloads reproducing the shape of the datasets and query sets
+//! used in the PBDS evaluation (Sec. 9.1): a scaled-down TPC-H-like schema,
+//! and generators for the Chicago-Crimes-, MovieLens- and Stack-Overflow-like
+//! datasets with the skew that makes the paper's top-k / `HAVING` queries
+//! selective in provenance.
+//!
+//! Every generator is deterministic given its seed so benchmark results are
+//! reproducible.
+
+#![warn(missing_docs)]
+
+pub mod crimes;
+pub mod dist;
+pub mod movies;
+pub mod sof;
+pub mod spec;
+pub mod tpch;
+
+pub use dist::{normal, Zipf};
+pub use spec::{BenchQuery, SketchSpec};

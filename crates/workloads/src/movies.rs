@@ -1,0 +1,200 @@
+//! A synthetic MovieLens-like workload (Sec. 9.1 / 9.4).
+//!
+//! Two relations — a small `movies` dimension and a large `ratings` fact
+//! table — with Zipf-distributed movie popularity, so that the top-k /
+//! HAVING queries of the paper have small provenance.
+
+use crate::dist::Zipf;
+use crate::spec::{BenchQuery, SketchSpec};
+use pbds_algebra::{col, lit, param, AggExpr, AggFunc, LogicalPlan, QueryTemplate, SortKey};
+use pbds_storage::{DataType, Database, Schema, TableBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MoviesConfig {
+    /// Number of movies.
+    pub movies: usize,
+    /// Number of ratings.
+    pub ratings: usize,
+    /// Zipf skew of ratings across movies.
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Zone-map block size.
+    pub block_size: usize,
+}
+
+impl Default for MoviesConfig {
+    fn default() -> Self {
+        MoviesConfig {
+            movies: 5_000,
+            ratings: 200_000,
+            skew: 1.0,
+            seed: 13,
+            block_size: 1024,
+        }
+    }
+}
+
+/// Generate the movies database: `movies(movieid, year, genre)` and
+/// `ratings(movieid, userid, rating, tagged)`.
+pub fn generate(config: &MoviesConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut db = Database::new();
+
+    let movies_schema = Schema::from_pairs(&[
+        ("movieid", DataType::Int),
+        ("year", DataType::Int),
+        ("genre", DataType::Int),
+    ]);
+    let mut movies = TableBuilder::new("movies", movies_schema);
+    movies.block_size(config.block_size).index("movieid");
+    for m in 0..config.movies as i64 {
+        movies.push(vec![
+            Value::Int(m),
+            Value::Int(rng.gen_range(1930..2021)),
+            Value::Int(rng.gen_range(0..20)),
+        ]);
+    }
+    db.add_table(movies.build());
+
+    let ratings_schema = Schema::from_pairs(&[
+        ("movieid", DataType::Int),
+        ("userid", DataType::Int),
+        ("rating", DataType::Int),
+        ("tagged", DataType::Int),
+    ]);
+    let mut ratings = TableBuilder::new("ratings", ratings_schema);
+    ratings.block_size(config.block_size).index("movieid");
+    let popularity = Zipf::new(config.movies, config.skew);
+    let users = (config.ratings / 20).max(10);
+    for _ in 0..config.ratings {
+        let movie = popularity.sample(&mut rng) as i64 - 1;
+        ratings.push(vec![
+            Value::Int(movie),
+            Value::Int(rng.gen_range(0..users as i64)),
+            Value::Int(rng.gen_range(1..6)),
+            Value::Int(if rng.gen_bool(0.1) { 1 } else { 0 }),
+        ]);
+    }
+    db.add_table(ratings.build());
+    db
+}
+
+/// The three movies queries of the paper.
+pub fn queries() -> Vec<BenchQuery> {
+    vec![
+        // M-Q1: the 10 movies with the most ratings.
+        BenchQuery::new(
+            "M-Q1",
+            QueryTemplate::new(
+                "movies-q1",
+                LogicalPlan::scan("ratings")
+                    .aggregate(
+                        vec!["movieid"],
+                        vec![AggExpr::new(AggFunc::Count, col("userid"), "num_ratings")],
+                    )
+                    .top_k(vec![SortKey::desc("num_ratings")], 10),
+            ),
+            vec![],
+            SketchSpec::Range {
+                table: "ratings".into(),
+                attr: "movieid".into(),
+            },
+        ),
+        // M-Q2: the number of movies with more than $0 ratings.
+        BenchQuery::new(
+            "M-Q2",
+            QueryTemplate::new(
+                "movies-q2",
+                LogicalPlan::scan("ratings")
+                    .aggregate(
+                        vec!["movieid"],
+                        vec![AggExpr::new(AggFunc::Count, col("userid"), "num_ratings")],
+                    )
+                    .filter(col("num_ratings").gt(param(0)))
+                    .aggregate(
+                        vec![],
+                        vec![AggExpr::new(AggFunc::Count, col("movieid"), "movies")],
+                    ),
+            ),
+            vec![Value::Int(600)],
+            SketchSpec::Range {
+                table: "ratings".into(),
+                attr: "movieid".into(),
+            },
+        ),
+        // M-Q3: the 10 most popular movies where popularity is a weighted sum
+        // of the number of ratings and the number of times a movie was tagged.
+        BenchQuery::new(
+            "M-Q3",
+            QueryTemplate::new(
+                "movies-q3",
+                LogicalPlan::scan("ratings")
+                    .aggregate(
+                        vec!["movieid"],
+                        vec![
+                            AggExpr::new(AggFunc::Count, col("userid"), "num_ratings"),
+                            AggExpr::new(AggFunc::Sum, col("tagged"), "num_tags"),
+                        ],
+                    )
+                    .project(vec![
+                        (col("movieid"), "movieid"),
+                        (
+                            col("num_ratings").add(col("num_tags").mul(lit(5))),
+                            "popularity",
+                        ),
+                    ])
+                    .top_k(vec![SortKey::desc("popularity")], 10),
+            ),
+            vec![],
+            SketchSpec::Range {
+                table: "ratings".into(),
+                attr: "movieid".into(),
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbds_exec::{Engine, EngineProfile};
+
+    fn tiny() -> Database {
+        generate(&MoviesConfig {
+            movies: 500,
+            ratings: 20_000,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn generator_produces_both_tables_with_skew() {
+        let db = tiny();
+        assert_eq!(db.table("movies").unwrap().len(), 500);
+        assert_eq!(db.table("ratings").unwrap().len(), 20_000);
+        let mut per_movie = std::collections::HashMap::new();
+        for row in db.table("ratings").unwrap().rows() {
+            *per_movie.entry(row[0].clone()).or_insert(0usize) += 1;
+        }
+        let max = per_movie.values().max().unwrap();
+        let avg = 20_000 / per_movie.len();
+        assert!(*max > avg * 5, "max {max}, avg {avg}");
+    }
+
+    #[test]
+    fn movie_queries_execute_and_topk_sizes_match() {
+        let db = tiny();
+        let engine = Engine::new(EngineProfile::Indexed);
+        let qs = queries();
+        assert_eq!(engine.execute(&db, &qs[0].default_plan()).unwrap().relation.len(), 10);
+        assert_eq!(engine.execute(&db, &qs[2].default_plan()).unwrap().relation.len(), 10);
+        // M-Q2 with a threshold scaled to the tiny dataset.
+        let plan = qs[1].template.instantiate(&[Value::Int(60)]);
+        let out = engine.execute(&db, &plan).unwrap();
+        assert_eq!(out.relation.len(), 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! A synthetic Stack-Overflow-like workload (Sec. 9.1 / 9.4 / 9.5).
+//!
+//! Four relations — `users`, `posts`, `comments`, `badges` — with
+//! Zipf-distributed user activity. The five queries mirror the paper's
+//! S-Q1…S-Q5 (top-10 users by posts / favourites / comments / badges and a
+//! `HAVING`-interval query), and the end-to-end templates of Fig. 13c–13h are
+//! parameterized `HAVING` variants of them.
+
+use crate::dist::Zipf;
+use crate::spec::{BenchQuery, SketchSpec};
+use pbds_algebra::{col, param, AggExpr, AggFunc, LogicalPlan, QueryTemplate, SortKey};
+use pbds_storage::{DataType, Database, Schema, TableBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SofConfig {
+    /// Number of users.
+    pub users: usize,
+    /// Number of posts.
+    pub posts: usize,
+    /// Number of comments.
+    pub comments: usize,
+    /// Number of badges.
+    pub badges: usize,
+    /// Zipf skew of activity across users.
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Zone-map block size.
+    pub block_size: usize,
+}
+
+impl Default for SofConfig {
+    fn default() -> Self {
+        SofConfig {
+            users: 20_000,
+            posts: 120_000,
+            comments: 150_000,
+            badges: 60_000,
+            skew: 1.05,
+            seed: 23,
+            block_size: 1024,
+        }
+    }
+}
+
+/// Generate the Stack-Overflow-like database.
+pub fn generate(config: &SofConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut db = Database::new();
+    let activity = Zipf::new(config.users, config.skew);
+
+    let users_schema = Schema::from_pairs(&[
+        ("userid", DataType::Int),
+        ("reputation", DataType::Int),
+        ("age", DataType::Int),
+    ]);
+    let mut users = TableBuilder::new("users", users_schema);
+    users.block_size(config.block_size).index("userid");
+    for u in 0..config.users as i64 {
+        users.push(vec![
+            Value::Int(u),
+            Value::Int(rng.gen_range(1..100_000)),
+            Value::Int(rng.gen_range(14..80)),
+        ]);
+    }
+    db.add_table(users.build());
+
+    let posts_schema = Schema::from_pairs(&[
+        ("postid", DataType::Int),
+        ("owneruserid", DataType::Int),
+        ("favorites", DataType::Int),
+        ("score", DataType::Int),
+    ]);
+    let mut posts = TableBuilder::new("posts", posts_schema);
+    posts.block_size(config.block_size).index("owneruserid");
+    for p in 0..config.posts as i64 {
+        posts.push(vec![
+            Value::Int(p),
+            Value::Int(activity.sample(&mut rng) as i64 - 1),
+            Value::Int(rng.gen_range(0..50)),
+            Value::Int(rng.gen_range(-5..100)),
+        ]);
+    }
+    db.add_table(posts.build());
+
+    let comments_schema = Schema::from_pairs(&[
+        ("commentid", DataType::Int),
+        ("userid", DataType::Int),
+        ("score", DataType::Int),
+    ]);
+    let mut comments = TableBuilder::new("comments", comments_schema);
+    comments.block_size(config.block_size).index("userid");
+    for c in 0..config.comments as i64 {
+        comments.push(vec![
+            Value::Int(c),
+            Value::Int(activity.sample(&mut rng) as i64 - 1),
+            Value::Int(rng.gen_range(0..20)),
+        ]);
+    }
+    db.add_table(comments.build());
+
+    let badges_schema = Schema::from_pairs(&[
+        ("badgeid", DataType::Int),
+        ("userid", DataType::Int),
+        ("class", DataType::Int),
+    ]);
+    let mut badges = TableBuilder::new("badges", badges_schema);
+    badges.block_size(config.block_size).index("userid");
+    for b in 0..config.badges as i64 {
+        badges.push(vec![
+            Value::Int(b),
+            Value::Int(activity.sample(&mut rng) as i64 - 1),
+            Value::Int(rng.gen_range(1..4)),
+        ]);
+    }
+    db.add_table(badges.build());
+    db
+}
+
+/// The five Stack Overflow queries of the paper.
+pub fn queries() -> Vec<BenchQuery> {
+    let topk_over = |name: &str, template_name: &str, table: &str, user_col: &str, agg: AggExpr| {
+        BenchQuery::new(
+            name,
+            QueryTemplate::new(
+                template_name,
+                LogicalPlan::scan(table)
+                    .aggregate(vec![user_col], vec![agg])
+                    .top_k(vec![SortKey::desc("metric")], 10),
+            ),
+            vec![],
+            SketchSpec::Range {
+                table: table.into(),
+                attr: user_col.into(),
+            },
+        )
+    };
+    vec![
+        // S-Q1: the 10 users with the most posts.
+        topk_over(
+            "S-Q1",
+            "sof-q1",
+            "posts",
+            "owneruserid",
+            AggExpr::new(AggFunc::Count, col("postid"), "metric"),
+        ),
+        // S-Q2: the 10 owners whose posts are favoured the most.
+        topk_over(
+            "S-Q2",
+            "sof-q2",
+            "posts",
+            "owneruserid",
+            AggExpr::new(AggFunc::Sum, col("favorites"), "metric"),
+        ),
+        // S-Q3: the 10 users with the most comments.
+        topk_over(
+            "S-Q3",
+            "sof-q3",
+            "comments",
+            "userid",
+            AggExpr::new(AggFunc::Count, col("commentid"), "metric"),
+        ),
+        // S-Q4: the 10 users with the most badges.
+        topk_over(
+            "S-Q4",
+            "sof-q4",
+            "badges",
+            "userid",
+            AggExpr::new(AggFunc::Count, col("badgeid"), "metric"),
+        ),
+        // S-Q5: users who posted between $0 and $1 comments.
+        BenchQuery::new(
+            "S-Q5",
+            QueryTemplate::new(
+                "sof-q5",
+                LogicalPlan::scan("comments")
+                    .aggregate(
+                        vec!["userid"],
+                        vec![AggExpr::new(AggFunc::Count, col("commentid"), "num_comments")],
+                    )
+                    .filter(
+                        col("num_comments")
+                            .ge(param(0))
+                            .and(col("num_comments").le(param(1))),
+                    ),
+            ),
+            vec![Value::Int(400), Value::Int(1_000)],
+            SketchSpec::Range {
+                table: "comments".into(),
+                attr: "userid".into(),
+            },
+        ),
+    ]
+}
+
+/// End-to-end workload templates for Fig. 13c–13h: `HAVING` versions of
+/// S-Q1/S-Q3/S-Q4 with a parameterized lower bound.
+pub fn end_to_end_templates() -> Vec<QueryTemplate> {
+    let having = |name: &str, table: &str, user_col: &str, id_col: &str| {
+        QueryTemplate::new(
+            name,
+            LogicalPlan::scan(table)
+                .aggregate(
+                    vec![user_col],
+                    vec![AggExpr::new(AggFunc::Count, col(id_col), "cnt")],
+                )
+                .filter(col("cnt").gt(param(0))),
+        )
+    };
+    vec![
+        having("sof-e2e-posts", "posts", "owneruserid", "postid"),
+        having("sof-e2e-comments", "comments", "userid", "commentid"),
+        having("sof-e2e-badges", "badges", "userid", "badgeid"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbds_exec::{Engine, EngineProfile};
+
+    fn tiny() -> Database {
+        generate(&SofConfig {
+            users: 2_000,
+            posts: 12_000,
+            comments: 15_000,
+            badges: 6_000,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn generator_builds_all_four_tables() {
+        let db = tiny();
+        assert_eq!(db.table("users").unwrap().len(), 2_000);
+        assert_eq!(db.table("posts").unwrap().len(), 12_000);
+        assert_eq!(db.table("comments").unwrap().len(), 15_000);
+        assert_eq!(db.table("badges").unwrap().len(), 6_000);
+    }
+
+    #[test]
+    fn topk_queries_return_ten_users() {
+        let db = tiny();
+        let engine = Engine::new(EngineProfile::Indexed);
+        for q in queries().iter().take(4) {
+            let out = engine.execute(&db, &q.default_plan()).unwrap();
+            assert_eq!(out.relation.len(), 10, "{}", q.name);
+        }
+    }
+
+    #[test]
+    fn interval_query_returns_heavy_commenters() {
+        let db = tiny();
+        let engine = Engine::new(EngineProfile::Indexed);
+        let q5 = &queries()[4];
+        let plan = q5.template.instantiate(&[Value::Int(50), Value::Int(5_000)]);
+        let out = engine.execute(&db, &plan).unwrap();
+        assert!(!out.relation.is_empty());
+        // All returned counts are within the interval.
+        for row in out.relation.rows() {
+            let c = row[1].as_i64().unwrap();
+            assert!((50..=5_000).contains(&c));
+        }
+    }
+
+    #[test]
+    fn end_to_end_templates_are_single_parameter() {
+        for t in end_to_end_templates() {
+            assert_eq!(t.num_params(), 1);
+        }
+    }
+}

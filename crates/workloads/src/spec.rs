@@ -1,0 +1,94 @@
+//! Common description of a benchmark query: its template, default parameter
+//! binding and the partition the paper's experiments would sketch it on.
+
+use pbds_algebra::QueryTemplate;
+use pbds_storage::Value;
+
+/// How the evaluation builds the provenance sketch for a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchSpec {
+    /// Range partition on a single attribute (the common case; Sec. 9.3).
+    Range {
+        /// Partitioned table.
+        table: String,
+        /// Partitioning attribute.
+        attr: String,
+    },
+    /// Composite (PSMIX) partition over the group-by attributes (Sec. 9.4).
+    Composite {
+        /// Partitioned table.
+        table: String,
+        /// Partitioning attributes.
+        attrs: Vec<String>,
+    },
+}
+
+impl SketchSpec {
+    /// The partitioned table.
+    pub fn table(&self) -> &str {
+        match self {
+            SketchSpec::Range { table, .. } | SketchSpec::Composite { table, .. } => table,
+        }
+    }
+}
+
+/// A query of the evaluation workloads, ready to be run by the benchmark
+/// harness.
+#[derive(Debug, Clone)]
+pub struct BenchQuery {
+    /// Short name matching the paper (e.g. `Q3`, `C-Q1`, `S-Q5`).
+    pub name: String,
+    /// The parameterized query.
+    pub template: QueryTemplate,
+    /// Default parameter binding used by the per-query experiments.
+    pub default_binding: Vec<Value>,
+    /// How to build the sketch for this query.
+    pub sketch: SketchSpec,
+}
+
+impl BenchQuery {
+    /// Create a benchmark query description.
+    pub fn new(
+        name: impl Into<String>,
+        template: QueryTemplate,
+        default_binding: Vec<Value>,
+        sketch: SketchSpec,
+    ) -> Self {
+        BenchQuery {
+            name: name.into(),
+            template,
+            default_binding,
+            sketch,
+        }
+    }
+
+    /// Instantiate the template with its default binding.
+    pub fn default_plan(&self) -> pbds_algebra::LogicalPlan {
+        self.template.instantiate(&self.default_binding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbds_algebra::{col, param, LogicalPlan};
+
+    #[test]
+    fn bench_query_instantiates_with_default_binding() {
+        let template = QueryTemplate::new(
+            "t",
+            LogicalPlan::scan("r").filter(col("a").gt(param(0))),
+        );
+        let q = BenchQuery::new(
+            "Q-test",
+            template,
+            vec![Value::Int(5)],
+            SketchSpec::Range {
+                table: "r".into(),
+                attr: "a".into(),
+            },
+        );
+        assert!(q.default_plan().params().is_empty());
+        assert_eq!(q.sketch.table(), "r");
+    }
+}

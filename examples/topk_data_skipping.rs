@@ -1,0 +1,62 @@
+//! Data skipping for the paper's real-world-style workloads: run the
+//! MovieLens-like M-Q1/M-Q2/M-Q3 and Stack-Overflow-like S-Q1..S-Q5 queries
+//! with and without provenance sketches and report the improvement
+//! (the scenario behind Fig. 10 of the paper).
+//!
+//! Run with: `cargo run -p pbds-core --release --example topk_data_skipping`
+
+use pbds_core::{Pbds, UsePredicateStyle};
+use pbds_workloads::{movies, sof, BenchQuery, SketchSpec};
+
+fn run_set(label: &str, pbds: &Pbds, queries: &[BenchQuery], fragments: usize) {
+    println!("== {label} ==");
+    println!(
+        "{:<6} {:>12} {:>12} {:>10} {:>12}",
+        "query", "No-PS (ms)", "PS (ms)", "speed-up", "selectivity"
+    );
+    for query in queries {
+        let plan = query.default_plan();
+        let partition = match &query.sketch {
+            SketchSpec::Range { table, attr } => pbds.range_partition(table, attr, fragments),
+            SketchSpec::Composite { table, attrs } => {
+                let attrs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
+                pbds.composite_partition(table, &attrs)
+            }
+        }
+        .expect("partition");
+
+        let captured = pbds.capture(&plan, &[partition]).expect("capture");
+        let plain = pbds.execute(&plan).expect("plain");
+        let fast = pbds
+            .execute_with_sketches_styled(&plan, &captured.sketches, UsePredicateStyle::BinarySearch)
+            .expect("sketch use");
+        assert!(plain.relation.bag_eq(&fast.relation));
+        println!(
+            "{:<6} {:>12.2} {:>12.2} {:>9.1}x {:>11.1}%",
+            query.name,
+            plain.stats.elapsed.as_secs_f64() * 1e3,
+            fast.stats.elapsed.as_secs_f64() * 1e3,
+            plain.stats.elapsed.as_secs_f64() / fast.stats.elapsed.as_secs_f64().max(1e-9),
+            captured.sketches[0].selectivity(pbds.db()).unwrap() * 100.0,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let movies_db = movies::generate(&movies::MoviesConfig {
+        movies: 3_000,
+        ratings: 150_000,
+        ..Default::default()
+    });
+    run_set("MovieLens-like (M-Q1..M-Q3, PS1000)", &Pbds::new(movies_db), &movies::queries(), 1_000);
+
+    let sof_db = sof::generate(&sof::SofConfig {
+        users: 8_000,
+        posts: 60_000,
+        comments: 80_000,
+        badges: 30_000,
+        ..Default::default()
+    });
+    run_set("Stack-Overflow-like (S-Q1..S-Q5, PS1000)", &Pbds::new(sof_db), &sof::queries(), 1_000);
+}

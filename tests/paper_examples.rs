@@ -1,0 +1,203 @@
+//! End-to-end reproduction of the paper's running example (Fig. 1, Ex. 1–8,
+//! Fig. 5/7/8): the `cities` relation, queries Q1/Q2, the state and popden
+//! partitions, sketch capture, sketch safety and sketch reuse.
+
+use pbds_core::{Pbds, PartitionAttr, UsePredicateStyle};
+use pbds_algebra::{col, lit, param, AggExpr, AggFunc, LogicalPlan, QueryTemplate, SortKey};
+use pbds_provenance::{capture_lineage, restrict_database};
+use pbds_storage::{DataType, Database, Partition, RangePartition, Schema, TableBuilder, Value};
+use std::sync::Arc;
+
+/// The `cities` relation of Fig. 1b.
+fn cities_db() -> Database {
+    let schema = Schema::from_pairs(&[
+        ("popden", DataType::Int),
+        ("city", DataType::Str),
+        ("state", DataType::Str),
+    ]);
+    let mut b = TableBuilder::new("cities", schema);
+    b.block_size(2).index("state");
+    for (popden, city, state) in [
+        (4200, "Anchorage", "AK"),
+        (6000, "San Diego", "CA"),
+        (5000, "Sacramento", "CA"),
+        (7000, "New York", "NY"),
+        (2000, "Buffalo", "NY"),
+        (3700, "Austin", "TX"),
+        (2500, "Houston", "TX"),
+    ] {
+        b.push(vec![Value::Int(popden), Value::from(city), Value::from(state)]);
+    }
+    let mut db = Database::new();
+    db.add_table(b.build());
+    db
+}
+
+/// Q1 of Fig. 1a.
+fn q1() -> LogicalPlan {
+    LogicalPlan::scan("cities")
+        .filter(col("state").eq(lit("CA")))
+        .project(vec![(col("city"), "city"), (col("popden"), "popden")])
+}
+
+/// Q2 of Fig. 1a.
+fn q2() -> LogicalPlan {
+    LogicalPlan::scan("cities")
+        .aggregate(
+            vec!["state"],
+            vec![AggExpr::new(AggFunc::Avg, col("popden"), "avgden")],
+        )
+        .top_k(vec![SortKey::desc("avgden")], 1)
+}
+
+/// The state partition of Fig. 1e (top).
+fn state_partition() -> Arc<Partition> {
+    Arc::new(Partition::Range(RangePartition::from_uppers(
+        "cities",
+        "state",
+        vec![Value::from("DE"), Value::from("MI"), Value::from("OK")],
+    )))
+}
+
+/// The popden partition of Fig. 1e (bottom): g1 = [1000,4000], g2 = (4000,∞).
+fn popden_partition() -> Arc<Partition> {
+    Arc::new(Partition::Range(RangePartition::from_uppers(
+        "cities",
+        "popden",
+        vec![Value::Int(4000)],
+    )))
+}
+
+#[test]
+fn example1_q1_returns_fig1c() {
+    let pbds = Pbds::new(cities_db());
+    let out = pbds.execute(&q1()).unwrap().relation;
+    assert_eq!(out.len(), 2);
+    assert_eq!(out.value(0, "city"), Some(&Value::from("San Diego")));
+    assert_eq!(out.value(0, "popden"), Some(&Value::Int(6000)));
+    assert_eq!(out.value(1, "city"), Some(&Value::from("Sacramento")));
+}
+
+#[test]
+fn example2_q2_returns_fig1d() {
+    let pbds = Pbds::new(cities_db());
+    let out = pbds.execute(&q2()).unwrap().relation;
+    assert_eq!(out.len(), 1);
+    assert_eq!(out.value(0, "state"), Some(&Value::from("CA")));
+    assert_eq!(out.value(0, "avgden"), Some(&Value::Float(5500.0)));
+}
+
+#[test]
+fn example3_provenance_and_sketch_of_q2() {
+    // The provenance of Q2 is {t2, t3}; the sketch on F_state is {f1}.
+    let db = cities_db();
+    let lineage = capture_lineage(&db, &q2()).unwrap();
+    assert_eq!(lineage.rows_of("cities"), vec![1, 2]);
+    let pbds = Pbds::new(db);
+    let captured = pbds.capture(&q2(), &[state_partition()]).unwrap();
+    assert_eq!(captured.sketches[0].selected_fragments(), vec![0]);
+    assert_eq!(captured.sketches[0].bitset().to_string(), "1000");
+}
+
+#[test]
+fn example4_instrumented_q2_produces_the_same_result() {
+    // Q2[P_state] adds `state BETWEEN 'AL' AND 'DE'` and returns Fig. 1d.
+    let pbds = Pbds::new(cities_db());
+    let captured = pbds.capture(&q2(), &[state_partition()]).unwrap();
+    for style in [UsePredicateStyle::BinarySearch, UsePredicateStyle::OrConditions] {
+        let out = pbds
+            .execute_with_sketches_styled(&q2(), &captured.sketches, style)
+            .unwrap();
+        assert_eq!(out.relation.value(0, "state"), Some(&Value::from("CA")));
+        assert_eq!(out.relation.value(0, "avgden"), Some(&Value::Float(5500.0)));
+        // Only fragment f1 (3 rows) is read instead of the whole table.
+        assert!(out.stats.rows_scanned <= 4);
+    }
+}
+
+#[test]
+fn example5_popden_sketch_is_unsafe_in_practice() {
+    // Evaluating Q2 over the instance of the popden sketch {g2} returns
+    // (NY, 7000) instead of (CA, 5500) — the sketch is unsafe.
+    let db = cities_db();
+    let pbds = Pbds::new(db.clone());
+    let captured = pbds.capture(&q2(), &[popden_partition()]).unwrap();
+    assert_eq!(captured.sketches[0].selected_fragments(), vec![1]); // g2
+    let restricted = restrict_database(&db, &captured.sketches).unwrap();
+    assert_eq!(restricted.table("cities").unwrap().len(), 4); // t1..t4
+    let engine = pbds.engine();
+    let over_sketch = engine.execute(&restricted, &q2()).unwrap().relation;
+    assert_eq!(over_sketch.value(0, "state"), Some(&Value::from("NY")));
+    assert_eq!(over_sketch.value(0, "avgden"), Some(&Value::Float(7000.0)));
+    // ... and is different from the true answer.
+    let truth = pbds.execute(&q2()).unwrap().relation;
+    assert!(!truth.bag_eq(&over_sketch));
+}
+
+#[test]
+fn theorem1_static_check_flags_popden_unsafe_and_state_safe() {
+    let pbds = Pbds::new(cities_db());
+    assert!(pbds.check_safety(&q2(), &[PartitionAttr::new("cities", "state")]).safe);
+    assert!(!pbds.check_safety(&q2(), &[PartitionAttr::new("cities", "popden")]).safe);
+}
+
+#[test]
+fn example6_sum_having_query_popden_is_not_provably_safe() {
+    // Q_popState = σ_{totden < 7000}(γ_{state; sum(popden) → totden}(cities)).
+    let plan = LogicalPlan::scan("cities")
+        .aggregate(
+            vec!["state"],
+            vec![AggExpr::new(AggFunc::Sum, col("popden"), "totden")],
+        )
+        .filter(col("totden").lt(lit(7000)));
+    let pbds = Pbds::new(cities_db());
+    assert!(!pbds.check_safety(&plan, &[PartitionAttr::new("cities", "popden")]).safe);
+    assert!(pbds.check_safety(&plan, &[PartitionAttr::new("cities", "state")]).safe);
+}
+
+#[test]
+fn example7_fig5_reuse_direction() {
+    // T: SELECT state, count(city) cntcity FROM cities WHERE popden > $1
+    //    GROUP BY state HAVING cntcity > $2
+    let template = QueryTemplate::new(
+        "fig5",
+        LogicalPlan::scan("cities")
+            .filter(col("popden").gt(param(0)))
+            .aggregate(
+                vec!["state"],
+                vec![AggExpr::new(AggFunc::Count, col("city"), "cntcity")],
+            )
+            .filter(col("cntcity").gt(param(1))),
+    );
+    let pbds = Pbds::new(cities_db());
+    // Q = (100, 10), Q' = (100, 15): reusable (Ex. 7).
+    assert!(pbds
+        .check_reuse(&template, &[Value::Int(100), Value::Int(10)], &[Value::Int(100), Value::Int(15)])
+        .reusable);
+    // The opposite direction is not.
+    assert!(!pbds
+        .check_reuse(&template, &[Value::Int(100), Value::Int(15)], &[Value::Int(100), Value::Int(10)])
+        .reusable);
+}
+
+#[test]
+fn example8_and_fig7_capture_intermediates() {
+    // The capture run produces the ordinary answer of Q2 (Fig. 7d) and the
+    // final sketch 1000 (Fig. 7b).
+    let pbds = Pbds::new(cities_db());
+    let captured = pbds.capture(&q2(), &[state_partition()]).unwrap();
+    assert_eq!(captured.result.len(), 1);
+    assert_eq!(captured.result.value(0, "state"), Some(&Value::from("CA")));
+    assert_eq!(captured.sketches[0].bitset().to_string(), "1000");
+}
+
+#[test]
+fn lemma5_adding_fragments_to_a_safe_sketch_keeps_the_result_correct() {
+    let db = cities_db();
+    let pbds = Pbds::new(db.clone());
+    let captured = pbds.capture(&q2(), &[state_partition()]).unwrap();
+    let mut widened = captured.sketches[0].clone();
+    widened.add_fragment(2);
+    let out = pbds.execute_with_sketches(&q2(), &[widened]).unwrap().relation;
+    assert!(out.bag_eq(&pbds.execute(&q2()).unwrap().relation));
+}

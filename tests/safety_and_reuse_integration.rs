@@ -1,0 +1,201 @@
+//! Semantic validation of the static safety and reuse checks: whenever the
+//! checker claims "safe" (resp. "reusable"), evaluating the query over the
+//! sketch instance must return the original answer on randomized databases.
+//! This exercises Theorem 2 and Theorem 3 end-to-end.
+
+use pbds_core::{Pbds, PartitionAttr};
+use pbds_algebra::{col, lit, param, AggExpr, AggFunc, LogicalPlan, QueryTemplate, SortKey};
+use pbds_provenance::restrict_database;
+use pbds_storage::{Database, DataType, Schema, TableBuilder, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_db(seed: u64, rows: usize) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Schema::from_pairs(&[
+        ("id", DataType::Int),
+        ("grp", DataType::Int),
+        ("amount", DataType::Int),
+        ("flag", DataType::Int),
+    ]);
+    let mut b = TableBuilder::new("fact", schema);
+    b.block_size(64).index("grp");
+    for i in 0..rows {
+        b.push(vec![
+            Value::Int(i as i64),
+            Value::Int(rng.gen_range(0..25)),
+            Value::Int(rng.gen_range(1..100)), // strictly positive
+            Value::Int(rng.gen_range(0..2)),
+        ]);
+    }
+    let mut db = Database::new();
+    db.add_table(b.build());
+    db
+}
+
+/// Query shapes paired with the attribute sets to test.
+fn safety_cases() -> Vec<(&'static str, LogicalPlan, &'static str)> {
+    vec![
+        (
+            "top-1 sum per group",
+            LogicalPlan::scan("fact")
+                .aggregate(vec!["grp"], vec![AggExpr::new(AggFunc::Sum, col("amount"), "total")])
+                .top_k(vec![SortKey::desc("total")], 1),
+            "grp",
+        ),
+        (
+            "HAVING lower bound on count",
+            LogicalPlan::scan("fact")
+                .aggregate(vec!["grp"], vec![AggExpr::new(AggFunc::Count, col("id"), "cnt")])
+                .filter(col("cnt").gt(lit(45))),
+            "grp",
+        ),
+        (
+            "HAVING lower bound on count, sketch on a non-group attribute",
+            LogicalPlan::scan("fact")
+                .aggregate(vec!["grp"], vec![AggExpr::new(AggFunc::Count, col("id"), "cnt")])
+                .filter(col("cnt").gt(lit(45))),
+            "amount",
+        ),
+        (
+            "two-level aggregation",
+            LogicalPlan::scan("fact")
+                .aggregate(vec!["grp"], vec![AggExpr::new(AggFunc::Sum, col("amount"), "total")])
+                .filter(col("total").gt(lit(2_000)))
+                .aggregate(vec![], vec![AggExpr::new(AggFunc::Count, col("grp"), "ngroups")]),
+            "grp",
+        ),
+        (
+            "selection-only query",
+            LogicalPlan::scan("fact").filter(col("amount").gt(lit(90))),
+            "amount",
+        ),
+    ]
+}
+
+#[test]
+fn safe_verdicts_hold_on_random_databases() {
+    let mut checked_safe = 0;
+    for seed in 0..4u64 {
+        let db = random_db(seed, 1_000);
+        let pbds = Pbds::new(db.clone());
+        for (name, plan, attr) in safety_cases() {
+            let verdict = pbds.check_safety(&plan, &[PartitionAttr::new("fact", attr)]);
+            if !verdict.safe {
+                continue;
+            }
+            checked_safe += 1;
+            // Use an *accurate* sketch (worst case: smallest superset).
+            for fragments in [4usize, 16, 64] {
+                let partition = pbds.range_partition("fact", attr, fragments).unwrap();
+                let sketch = pbds.accurate_sketch(&plan, &partition).unwrap();
+                let restricted = restrict_database(&db, &[sketch]).unwrap();
+                let over_sketch = pbds.engine().execute(&restricted, &plan).unwrap().relation;
+                let truth = pbds.execute(&plan).unwrap().relation;
+                assert!(
+                    truth.bag_eq(&over_sketch),
+                    "seed {seed}: '{name}' declared safe on {attr} but results differ (PS{fragments})"
+                );
+            }
+        }
+    }
+    assert!(checked_safe >= 12, "too few safe verdicts exercised: {checked_safe}");
+}
+
+#[test]
+fn unsafe_verdict_is_justified_for_the_min_topk_case() {
+    // For top-1 by min(amount), a sketch on `amount` is (correctly) not
+    // provably safe; the checker must say so.
+    let db = random_db(7, 500);
+    let pbds = Pbds::new(db);
+    let plan = LogicalPlan::scan("fact")
+        .aggregate(vec!["grp"], vec![AggExpr::new(AggFunc::Min, col("amount"), "m")])
+        .top_k(vec![SortKey::asc("m")], 1);
+    assert!(!pbds.check_safety(&plan, &[PartitionAttr::new("fact", "amount")]).safe);
+    assert!(pbds.check_safety(&plan, &[PartitionAttr::new("fact", "grp")]).safe);
+}
+
+fn having_template() -> QueryTemplate {
+    QueryTemplate::new(
+        "fact-having",
+        LogicalPlan::scan("fact")
+            .filter(col("amount").gt(param(0)))
+            .aggregate(vec!["grp"], vec![AggExpr::new(AggFunc::Count, col("id"), "cnt")])
+            .filter(col("cnt").gt(param(1))),
+    )
+}
+
+#[test]
+fn reusable_verdicts_hold_on_random_databases() {
+    let template = having_template();
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut reusable_checked = 0;
+    for seed in 0..4u64 {
+        let db = random_db(seed, 1_500);
+        let pbds = Pbds::new(db);
+        for _ in 0..8 {
+            let captured_binding = vec![
+                Value::Int(rng.gen_range(1..60)),
+                Value::Int(rng.gen_range(5..40)),
+            ];
+            let new_binding = vec![
+                Value::Int(rng.gen_range(1..60)),
+                Value::Int(rng.gen_range(5..40)),
+            ];
+            let verdict = pbds.check_reuse(&template, &captured_binding, &new_binding);
+            if !verdict.reusable {
+                continue;
+            }
+            reusable_checked += 1;
+            // Capture for the captured binding, then answer the new instance
+            // from the sketch and compare against the plain answer.
+            let partition = pbds.range_partition("fact", "grp", 8).unwrap();
+            let captured = pbds
+                .capture(&template.instantiate(&captured_binding), &[partition])
+                .unwrap();
+            let new_plan = template.instantiate(&new_binding);
+            let truth = pbds.execute(&new_plan).unwrap().relation;
+            let from_sketch = pbds
+                .execute_with_sketches(&new_plan, &captured.sketches)
+                .unwrap()
+                .relation;
+            assert!(
+                truth.bag_eq(&from_sketch),
+                "seed {seed}: reuse verdict for {captured_binding:?} -> {new_binding:?} is wrong"
+            );
+        }
+    }
+    assert!(reusable_checked >= 4, "too few reusable verdicts exercised: {reusable_checked}");
+}
+
+#[test]
+fn reuse_is_rejected_when_the_new_instance_needs_more_data() {
+    let template = having_template();
+    let db = random_db(3, 800);
+    let pbds = Pbds::new(db);
+    // Captured with a strong filter; new instance weakens it: must not reuse.
+    let verdict = pbds.check_reuse(
+        &template,
+        &[Value::Int(50), Value::Int(10)],
+        &[Value::Int(5), Value::Int(10)],
+    );
+    assert!(!verdict.reusable);
+}
+
+#[test]
+fn safety_check_is_fast_enough_to_run_per_template() {
+    // The paper reports ~20 ms per check with an external SMT solver; the
+    // built-in solver should stay well under that even in debug builds.
+    let db = random_db(1, 200);
+    let pbds = Pbds::new(db);
+    let plan = safety_cases()[0].1.clone();
+    let start = std::time::Instant::now();
+    for _ in 0..10 {
+        pbds.check_safety(&plan, &[PartitionAttr::new("fact", "grp")]);
+    }
+    let per_check = start.elapsed() / 10;
+    assert!(
+        per_check < std::time::Duration::from_millis(250),
+        "safety check too slow: {per_check:?}"
+    );
+}

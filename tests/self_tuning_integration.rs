@@ -1,0 +1,177 @@
+//! End-to-end tests of the self-tuning framework (Sec. 9.5): correctness of
+//! every strategy on mixed-template workloads, sketch reuse accumulation, and
+//! the work-saving effect of PBDS measured through engine counters.
+
+use pbds_core::{Action, EngineProfile, SelfTuningExecutor, Strategy};
+use pbds_algebra::QueryTemplate;
+use pbds_storage::Value;
+use pbds_workloads::{crimes, normal, sof};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sof_db() -> pbds_storage::Database {
+    sof::generate(&sof::SofConfig {
+        users: 1_500,
+        posts: 10_000,
+        comments: 12_000,
+        badges: 5_000,
+        ..Default::default()
+    })
+}
+
+fn sof_workload(n: usize, mean: f64, sdv: f64, seed: u64) -> Vec<(QueryTemplate, Vec<Value>)> {
+    let templates = sof::end_to_end_templates();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let t = templates[rng.gen_range(0..templates.len())].clone();
+            (t, vec![Value::Int(normal(&mut rng, mean, sdv).max(1.0) as i64)])
+        })
+        .collect()
+}
+
+#[test]
+fn all_strategies_return_identical_results_for_every_query() {
+    let db = sof_db();
+    let workload = sof_workload(40, 30.0, 4.0, 11);
+    let strategies = [
+        ("no-ps", Strategy::NoPbds),
+        ("eager", Strategy::Eager { selectivity_threshold: 0.75 }),
+        (
+            "adaptive",
+            Strategy::Adaptive {
+                selectivity_threshold: 0.75,
+                evidence_threshold: 2,
+            },
+        ),
+    ];
+    let mut results: Vec<Vec<usize>> = Vec::new();
+    for (_, strategy) in strategies {
+        let mut exec = SelfTuningExecutor::new(&db, EngineProfile::Indexed, strategy, 200);
+        let records = exec.run_workload(&workload).unwrap();
+        results.push(records.iter().map(|r| r.result_rows).collect());
+    }
+    assert_eq!(results[0], results[1], "eager changed some query result");
+    assert_eq!(results[0], results[2], "adaptive changed some query result");
+}
+
+#[test]
+fn eager_strategy_accumulates_reuse_and_saves_scanned_rows() {
+    let db = sof_db();
+    // Clustered parameters: most instances can share a handful of sketches.
+    let workload = sof_workload(60, 35.0, 3.0, 5);
+
+    let mut no_ps = SelfTuningExecutor::new(&db, EngineProfile::Indexed, Strategy::NoPbds, 200);
+    let baseline = no_ps.run_workload(&workload).unwrap();
+
+    let mut eager = SelfTuningExecutor::new(
+        &db,
+        EngineProfile::Indexed,
+        Strategy::Eager { selectivity_threshold: 0.75 },
+        200,
+    );
+    let records = eager.run_workload(&workload).unwrap();
+    let reused = records.iter().filter(|r| r.action == Action::UseSketch).count();
+    let captured = records.iter().filter(|r| r.action == Action::Capture).count();
+    assert!(captured >= 1, "eager never captured a sketch");
+    assert!(
+        reused > workload.len() / 2,
+        "expected most instances to reuse a sketch, got {reused}/{}",
+        workload.len()
+    );
+    // Reused executions scan fewer rows than the plain baseline overall
+    // (capture runs do not skip, so compare only the sketch-using tail).
+    let eager_rows: u64 = records
+        .iter()
+        .filter(|r| r.action == Action::UseSketch)
+        .map(|r| r.stats.rows_scanned)
+        .sum();
+    let baseline_tail: u64 = baseline
+        .iter()
+        .zip(&records)
+        .filter(|(_, e)| e.action == Action::UseSketch)
+        .map(|(b, _)| b.stats.rows_scanned)
+        .sum();
+    assert!(
+        eager_rows < baseline_tail,
+        "sketch-using executions did not reduce scanned rows ({eager_rows} vs {baseline_tail})"
+    );
+}
+
+#[test]
+fn adaptive_strategy_captures_fewer_sketches_than_eager_on_spread_parameters() {
+    let db = sof_db();
+    // Widely spread parameters: eager captures many sketches, adaptive waits
+    // for evidence and captures fewer.
+    let workload = sof_workload(50, 30.0, 20.0, 17);
+    let run = |strategy| {
+        let mut exec = SelfTuningExecutor::new(&db, EngineProfile::Indexed, strategy, 200);
+        let records = exec.run_workload(&workload).unwrap();
+        records.iter().filter(|r| r.action == Action::Capture).count()
+    };
+    let eager_caps = run(Strategy::Eager { selectivity_threshold: 0.75 });
+    let adaptive_caps = run(Strategy::Adaptive {
+        selectivity_threshold: 0.75,
+        evidence_threshold: 4,
+    });
+    assert!(
+        adaptive_caps <= eager_caps,
+        "adaptive captured more sketches ({adaptive_caps}) than eager ({eager_caps})"
+    );
+}
+
+#[test]
+fn crimes_mixed_template_workload_is_correct_under_eager() {
+    let db = crimes::generate(&crimes::CrimesConfig {
+        rows: 12_000,
+        ..Default::default()
+    });
+    let templates = crimes::end_to_end_templates();
+    let mut rng = StdRng::seed_from_u64(3);
+    let workload: Vec<(QueryTemplate, Vec<Value>)> = (0..30)
+        .map(|_| {
+            let t = templates[rng.gen_range(0..templates.len())].clone();
+            let binding: Vec<Value> = (0..t.num_params())
+                .map(|i| {
+                    if i == 0 {
+                        Value::Int(normal(&mut rng, 150.0, 40.0).max(1.0) as i64)
+                    } else {
+                        Value::Int(rng.gen_range(0..20))
+                    }
+                })
+                .collect();
+            (t, binding)
+        })
+        .collect();
+
+    let mut plain = SelfTuningExecutor::new(&db, EngineProfile::Indexed, Strategy::NoPbds, 64);
+    let baseline = plain.run_workload(&workload).unwrap();
+    let mut eager = SelfTuningExecutor::new(
+        &db,
+        EngineProfile::Indexed,
+        Strategy::Eager { selectivity_threshold: 0.75 },
+        64,
+    );
+    let records = eager.run_workload(&workload).unwrap();
+    for (b, e) in baseline.iter().zip(&records) {
+        assert_eq!(b.result_rows, e.result_rows, "template {} diverged", b.template);
+    }
+}
+
+#[test]
+fn columnar_profile_self_tuning_is_also_correct() {
+    let db = sof_db();
+    let workload = sof_workload(20, 30.0, 4.0, 29);
+    let mut plain = SelfTuningExecutor::new(&db, EngineProfile::ColumnarScan, Strategy::NoPbds, 200);
+    let baseline = plain.run_workload(&workload).unwrap();
+    let mut eager = SelfTuningExecutor::new(
+        &db,
+        EngineProfile::ColumnarScan,
+        Strategy::Eager { selectivity_threshold: 0.75 },
+        200,
+    );
+    let records = eager.run_workload(&workload).unwrap();
+    for (b, e) in baseline.iter().zip(&records) {
+        assert_eq!(b.result_rows, e.result_rows);
+    }
+}

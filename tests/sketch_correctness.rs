@@ -1,0 +1,165 @@
+//! Cross-crate correctness checks: for every workload query, the captured
+//! sketch must (a) be a superset of the accurate (lineage-derived) sketch and
+//! (b) — when built over attributes the safety checker approves — produce
+//! exactly the same query result when used for data skipping.
+
+use pbds_core::{Pbds, PartitionAttr, UsePredicateStyle};
+use pbds_provenance::restrict_database;
+use pbds_workloads::{crimes, movies, sof, tpch, BenchQuery, SketchSpec};
+
+fn build_partition(pbds: &Pbds, spec: &SketchSpec, fragments: usize) -> pbds_storage::PartitionRef {
+    match spec {
+        SketchSpec::Range { table, attr } => pbds.range_partition(table, attr, fragments).unwrap(),
+        SketchSpec::Composite { table, attrs } => {
+            let attrs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
+            pbds.composite_partition(table, &attrs).unwrap()
+        }
+    }
+}
+
+fn check_query(pbds: &Pbds, query: &BenchQuery, fragments: usize) {
+    let plan = query.default_plan();
+    let partition = build_partition(pbds, &query.sketch, fragments);
+
+    // (a) Captured sketch covers the accurate sketch.
+    let captured = pbds.capture(&plan, &[partition.clone()]).unwrap();
+    let accurate = pbds.accurate_sketch(&plan, &partition).unwrap();
+    assert!(
+        captured.sketches[0].is_superset_of(&accurate),
+        "{}: captured sketch misses provenance fragments",
+        query.name
+    );
+
+    // The capture run also computes the plain result.
+    let plain_out = pbds.execute(&plan).unwrap();
+    let plain = plain_out.relation.clone();
+    assert!(
+        captured.result.bag_eq(&plain),
+        "{}: capture result differs from plain execution",
+        query.name
+    );
+
+    // (b) Safety check on the sketch attributes; when safe, the instrumented
+    // query must return the plain result (both predicate styles), and so must
+    // evaluating the query over the sketch-restricted database.
+    let attrs: Vec<PartitionAttr> = match &query.sketch {
+        SketchSpec::Range { table, attr } => vec![PartitionAttr::new(table.clone(), attr.clone())],
+        SketchSpec::Composite { table, attrs } => attrs
+            .iter()
+            .map(|a| PartitionAttr::new(table.clone(), a.clone()))
+            .collect(),
+    };
+    let safety = pbds.check_safety(&plan, &attrs);
+    assert!(
+        safety.safe,
+        "{}: expected sketch attributes {:?} to be safe",
+        query.name, attrs
+    );
+
+    for style in [UsePredicateStyle::BinarySearch, UsePredicateStyle::OrConditions] {
+        let out = pbds
+            .execute_with_sketches_styled(&plan, &captured.sketches, style)
+            .unwrap();
+        assert!(
+            out.relation.bag_eq(&plain),
+            "{}: instrumented query ({style:?}) returned a different result",
+            query.name
+        );
+        // Runtime top-k re-validation (footnote 1, Sec. 5): whenever the
+        // plain execution fed at least k rows into a top-k operator, the
+        // sketch-restricted execution must do so as well.
+        if plain_out.stats.topk_safety_revalidated() {
+            assert!(
+                out.stats.topk_safety_revalidated(),
+                "{}: top-k runtime re-validation failed",
+                query.name
+            );
+        }
+    }
+
+    let restricted = restrict_database(pbds.db(), &captured.sketches).unwrap();
+    let over_instance = pbds.engine().execute(&restricted, &plan).unwrap().relation;
+    assert!(
+        over_instance.bag_eq(&plain),
+        "{}: evaluating over the sketch instance D_P changed the result",
+        query.name
+    );
+}
+
+#[test]
+fn tpch_queries_sketches_are_safe_and_correct() {
+    let db = tpch::generate(&tpch::TpchConfig {
+        scale: 0.002,
+        seed: 3,
+        block_size: 128,
+    });
+    let pbds = Pbds::new(db);
+    for query in tpch::queries() {
+        for fragments in [32, 256] {
+            check_query(&pbds, &query, fragments);
+        }
+    }
+}
+
+#[test]
+fn movies_queries_sketches_are_safe_and_correct() {
+    let db = movies::generate(&movies::MoviesConfig {
+        movies: 400,
+        ratings: 15_000,
+        ..Default::default()
+    });
+    let pbds = Pbds::new(db);
+    for query in movies::queries() {
+        check_query(&pbds, &query, 64);
+    }
+}
+
+#[test]
+fn sof_queries_sketches_are_safe_and_correct() {
+    let db = sof::generate(&sof::SofConfig {
+        users: 1_000,
+        posts: 8_000,
+        comments: 10_000,
+        badges: 4_000,
+        ..Default::default()
+    });
+    let pbds = Pbds::new(db);
+    for query in sof::queries() {
+        check_query(&pbds, &query, 128);
+    }
+}
+
+#[test]
+fn crimes_queries_with_composite_sketches_are_safe_and_correct() {
+    let db = crimes::generate(&crimes::CrimesConfig {
+        rows: 15_000,
+        ..Default::default()
+    });
+    let pbds = Pbds::new(db);
+    for query in crimes::queries() {
+        check_query(&pbds, &query, 1);
+    }
+}
+
+#[test]
+fn columnar_profile_also_returns_correct_results_with_sketches() {
+    // MonetDB-like profile: no skipping, but the sketch filter must not
+    // change any result.
+    let db = movies::generate(&movies::MoviesConfig {
+        movies: 300,
+        ratings: 10_000,
+        ..Default::default()
+    });
+    let pbds = Pbds::with_profile(db, pbds_core::EngineProfile::ColumnarScan);
+    for query in movies::queries() {
+        let plan = query.default_plan();
+        let partition = build_partition(&pbds, &query.sketch, 64);
+        let captured = pbds.capture(&plan, &[partition]).unwrap();
+        let plain = pbds.execute(&plan).unwrap().relation;
+        let fast = pbds
+            .execute_with_sketches(&plan, &captured.sketches)
+            .unwrap()
+            .relation;
+        assert!(plain.bag_eq(&fast), "{}", query.name);
+    }
+}
