@@ -221,9 +221,11 @@ impl Expr {
     /// `None` to keep it (children are always rewritten first).
     pub fn transform(&self, f: &impl Fn(&Expr) -> Option<Expr>) -> Expr {
         let rebuilt = match self {
-            Expr::Column(_) | Expr::Literal(_) | Expr::Param(_) | Expr::InRanges { .. } | Expr::InList { .. } => {
-                self.clone()
-            }
+            Expr::Column(_)
+            | Expr::Literal(_)
+            | Expr::Param(_)
+            | Expr::InRanges { .. }
+            | Expr::InList { .. } => self.clone(),
             Expr::Binary { op, left, right } => Expr::Binary {
                 op: *op,
                 left: Box::new(left.transform(f)),
@@ -293,18 +295,22 @@ impl Expr {
         self.binary(BinOp::Ge, other)
     }
     /// `self + other`
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Expr {
         self.binary(BinOp::Add, other)
     }
     /// `self - other`
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Expr {
         self.binary(BinOp::Sub, other)
     }
     /// `self * other`
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Expr) -> Expr {
         self.binary(BinOp::Mul, other)
     }
     /// `self / other`
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Expr) -> Expr {
         self.binary(BinOp::Div, other)
     }
@@ -329,6 +335,7 @@ impl Expr {
         }
     }
     /// `NOT self`
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
         Expr::Not(Box::new(self))
     }
@@ -358,14 +365,21 @@ impl fmt::Display for Expr {
             }
             Expr::Not(e) => write!(f, "(NOT {e})"),
             Expr::IsNull(e) => write!(f, "({e} IS NULL)"),
-            Expr::Case { branches, otherwise } => {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 write!(f, "CASE")?;
                 for (c, r) in branches {
                     write!(f, " WHEN {c} THEN {r}")?;
                 }
                 write!(f, " ELSE {otherwise} END")
             }
-            Expr::InRanges { column, ranges, lookup } => {
+            Expr::InRanges {
+                column,
+                ranges,
+                lookup,
+            } => {
                 let method = match lookup {
                     RangeLookup::Linear => "OR",
                     RangeLookup::BinarySearch => "BS",
@@ -423,10 +437,7 @@ mod tests {
         assert_eq!(e.params(), vec![0, 1]);
         let bound = e.bind_params(&[Value::Int(10), Value::Int(20)]);
         assert!(bound.params().is_empty());
-        assert_eq!(
-            bound.conjuncts()[0],
-            &col("a").gt(lit(10)),
-        );
+        assert_eq!(bound.conjuncts()[0], &col("a").gt(lit(10)),);
     }
 
     #[test]
@@ -468,7 +479,10 @@ mod tests {
     fn in_ranges_reports_column() {
         let e = Expr::InRanges {
             column: "state".into(),
-            ranges: vec![ValueRange { lo: None, hi: Some(Value::from("DE")) }],
+            ranges: vec![ValueRange {
+                lo: None,
+                hi: Some(Value::from("DE")),
+            }],
             lookup: RangeLookup::BinarySearch,
         };
         assert_eq!(e.columns(), vec!["state".to_string()]);

@@ -185,10 +185,7 @@ impl LogicalPlan {
     /// Wrap this plan in a projection.
     pub fn project(self, exprs: Vec<(Expr, &str)>) -> LogicalPlan {
         LogicalPlan::Projection {
-            exprs: exprs
-                .into_iter()
-                .map(|(e, n)| (e, n.to_string()))
-                .collect(),
+            exprs: exprs.into_iter().map(|(e, n)| (e, n.to_string())).collect(),
             input: Box::new(self),
         }
     }
@@ -544,9 +541,7 @@ impl LogicalPlan {
             } => {
                 let keys: Vec<String> = order_by
                     .iter()
-                    .map(|k| {
-                        format!("{}{}", k.column, if k.descending { " DESC" } else { "" })
-                    })
+                    .map(|k| format!("{}{}", k.column, if k.descending { " DESC" } else { "" }))
                     .collect();
                 format!("TopK[order_by=({}), limit={limit}]", keys.join(", "))
             }
@@ -584,7 +579,10 @@ pub fn infer_type(expr: &Expr, schema: &Schema) -> DataType {
             }
         }
         Expr::And(_) | Expr::Or(_) | Expr::Not(_) | Expr::IsNull(_) => DataType::Bool,
-        Expr::Case { branches, otherwise } => branches
+        Expr::Case {
+            branches,
+            otherwise,
+        } => branches
             .first()
             .map(|(_, r)| infer_type(r, schema))
             .unwrap_or_else(|| infer_type(otherwise, schema)),
@@ -605,7 +603,11 @@ mod tests {
             ("state", DataType::Str),
         ]);
         let mut b = TableBuilder::new("cities", schema);
-        b.push(vec![Value::Int(4200), Value::from("Anchorage"), Value::from("AK")]);
+        b.push(vec![
+            Value::Int(4200),
+            Value::from("Anchorage"),
+            Value::from("AK"),
+        ]);
         let table: Table = b.build();
         let mut db = Database::new();
         db.add_table(table);
@@ -654,7 +656,10 @@ mod tests {
     fn params_collected_across_plan() {
         let plan = LogicalPlan::scan("cities")
             .filter(col("popden").gt(crate::expr::param(0)))
-            .aggregate(vec!["state"], vec![AggExpr::new(AggFunc::Count, col("city"), "cnt")])
+            .aggregate(
+                vec!["state"],
+                vec![AggExpr::new(AggFunc::Count, col("city"), "cnt")],
+            )
             .filter(col("cnt").gt(crate::expr::param(1)));
         assert_eq!(plan.params(), vec![0, 1]);
         let bound = plan.bind_params(&[Value::Int(100), Value::Int(10)]);
@@ -665,8 +670,7 @@ mod tests {
     fn rewrite_scans_replaces_only_requested_tables() {
         let plan = q2();
         let rewritten = plan.rewrite_scans(&|t| {
-            (t == "cities")
-                .then(|| LogicalPlan::scan("cities").filter(col("state").eq(lit("CA"))))
+            (t == "cities").then(|| LogicalPlan::scan("cities").filter(col("state").eq(lit("CA"))))
         });
         // The scan is now wrapped in a selection.
         let found_selection_over_scan = matches!(

@@ -202,7 +202,10 @@ mod tests {
     fn templatize_extracts_selection_constants() {
         let q = LogicalPlan::scan("cities")
             .filter(col("popden").gt(lit(100)).and(col("state").eq(lit("CA"))))
-            .aggregate(vec!["state"], vec![AggExpr::new(AggFunc::Count, col("city"), "cnt")])
+            .aggregate(
+                vec!["state"],
+                vec![AggExpr::new(AggFunc::Count, col("city"), "cnt")],
+            )
             .filter(col("cnt").gt(lit(10)));
         let (template, binding) = templatize("adhoc", &q);
         assert_eq!(template.num_params(), 3);

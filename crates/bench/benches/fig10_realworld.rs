@@ -7,9 +7,18 @@ use pbds_core::Pbds;
 use pbds_workloads::{crimes, movies, sof, BenchQuery};
 use std::time::Duration;
 
-fn bench_set(c: &mut Criterion, label: &str, pbds: &Pbds, queries: &[BenchQuery], fragments: usize) {
+fn bench_set(
+    c: &mut Criterion,
+    label: &str,
+    pbds: &Pbds,
+    queries: &[BenchQuery],
+    fragments: usize,
+) {
     let mut group = c.benchmark_group(format!("fig10_{label}"));
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     for query in queries {
         let plan = query.default_plan();
         let partition = harness::build_partition(pbds, &query.sketch, fragments).unwrap();
@@ -30,7 +39,13 @@ fn bench_set(c: &mut Criterion, label: &str, pbds: &Pbds, queries: &[BenchQuery]
 }
 
 fn bench_realworld(c: &mut Criterion) {
-    bench_set(c, "crimes", &Pbds::new(datasets::crimes_small_db()), &crimes::queries(), 1);
+    bench_set(
+        c,
+        "crimes",
+        &Pbds::new(datasets::crimes_small_db()),
+        &crimes::queries(),
+        1,
+    );
     bench_set(
         c,
         "movies",
@@ -42,7 +57,13 @@ fn bench_realworld(c: &mut Criterion) {
         &movies::queries(),
         1_000,
     );
-    bench_set(c, "sof", &Pbds::new(datasets::sof_small_db()), &sof::queries(), 1_000);
+    bench_set(
+        c,
+        "sof",
+        &Pbds::new(datasets::sof_small_db()),
+        &sof::queries(),
+        1_000,
+    );
 }
 
 criterion_group!(benches, bench_realworld);

@@ -17,28 +17,44 @@ fn bench_tpch(c: &mut Criterion) {
     ] {
         let pbds = Pbds::with_profile(db.clone(), profile);
         let mut group = c.benchmark_group(format!("fig11_tpch_{label}"));
-        group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300));
         for name in ["Q3", "Q10", "Q15", "Q18"] {
-            let query = tpch::queries().into_iter().find(|q| q.name == name).unwrap();
+            let query = tpch::queries()
+                .into_iter()
+                .find(|q| q.name == name)
+                .unwrap();
             let plan = query.default_plan();
             let partition = harness::build_partition(&pbds, &query.sketch, 400).unwrap();
-            let captured = pbds.capture(&plan, &[partition.clone()]).unwrap();
+            let captured = pbds
+                .capture(&plan, std::slice::from_ref(&partition))
+                .unwrap();
             group.bench_with_input(BenchmarkId::new("no_ps", name), &plan, |b, plan| {
                 b.iter(|| pbds.execute(plan).unwrap().relation.len())
             });
             group.bench_with_input(BenchmarkId::new("ps_use", name), &plan, |b, plan| {
                 b.iter(|| {
-                    pbds.execute_with_sketches_styled(plan, &captured.sketches, UsePredicateStyle::BinarySearch)
-                        .unwrap()
-                        .relation
-                        .len()
+                    pbds.execute_with_sketches_styled(
+                        plan,
+                        &captured.sketches,
+                        UsePredicateStyle::BinarySearch,
+                    )
+                    .unwrap()
+                    .relation
+                    .len()
                 })
             });
             group.bench_with_input(BenchmarkId::new("ps_capture", name), &plan, |b, plan| {
                 b.iter(|| {
-                    pbds.capture_with_config(plan, &[partition.clone()], &CaptureConfig::optimized())
-                        .unwrap()
-                        .sketches[0]
+                    pbds.capture_with_config(
+                        plan,
+                        std::slice::from_ref(&partition),
+                        &CaptureConfig::optimized(),
+                    )
+                    .unwrap()
+                    .sketches[0]
                         .num_selected()
                 })
             });

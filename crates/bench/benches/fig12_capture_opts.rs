@@ -12,22 +12,47 @@ fn bench_fig12a_singleton_creation(c: &mut Criterion) {
     let db = datasets::crimes_small_db();
     let values = db.table("crimes").unwrap().column_values("id").unwrap();
     let mut group = c.benchmark_group("fig12a_singleton_creation");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     for &fragments in &[64usize, 1_000, 10_000] {
         let partition = RangePartition::equi_depth("crimes", "id", &values, fragments).unwrap();
-        group.bench_with_input(BenchmarkId::new("case_linear", fragments), &partition, |b, p| {
-            b.iter(|| values.iter().filter_map(|v| p.fragment_of_linear(v)).sum::<usize>())
-        });
-        group.bench_with_input(BenchmarkId::new("binary_search", fragments), &partition, |b, p| {
-            b.iter(|| values.iter().filter_map(|v| p.fragment_of(v)).sum::<usize>())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("case_linear", fragments),
+            &partition,
+            |b, p| {
+                b.iter(|| {
+                    values
+                        .iter()
+                        .filter_map(|v| p.fragment_of_linear(v))
+                        .sum::<usize>()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("binary_search", fragments),
+            &partition,
+            |b, p| {
+                b.iter(|| {
+                    values
+                        .iter()
+                        .filter_map(|v| p.fragment_of(v))
+                        .sum::<usize>()
+                })
+            },
+        );
     }
     group.finish();
 }
 
 fn bench_fig12b_sketch_merging(c: &mut Criterion) {
     let db = datasets::movies_db();
-    let values = db.table("ratings").unwrap().column_values("movieid").unwrap();
+    let values = db
+        .table("ratings")
+        .unwrap()
+        .column_values("movieid")
+        .unwrap();
     let fragments = 4_000usize;
     let partition = RangePartition::equi_depth("ratings", "movieid", &values, fragments).unwrap();
     let nbits = partition.num_fragments();
@@ -37,7 +62,10 @@ fn bench_fig12b_sketch_merging(c: &mut Criterion) {
         .map(|f| f as u32)
         .collect();
     let mut group = c.benchmark_group("fig12b_sketch_merging");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300));
     for (name, strategy) in [
         ("bytewise_bitor", MergeStrategy::BytewiseBitor),
         ("delay", MergeStrategy::Delay),
@@ -56,5 +84,9 @@ fn bench_fig12b_sketch_merging(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig12a_singleton_creation, bench_fig12b_sketch_merging);
+criterion_group!(
+    benches,
+    bench_fig12a_singleton_creation,
+    bench_fig12b_sketch_merging
+);
 criterion_main!(benches);

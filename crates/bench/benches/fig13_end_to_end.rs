@@ -2,9 +2,9 @@
 //! of parameterized query instances under No-PS, eager and adaptive.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbds_algebra::QueryTemplate;
 use pbds_bench::datasets;
 use pbds_core::{EngineProfile, SelfTuningExecutor, Strategy};
-use pbds_algebra::QueryTemplate;
 use pbds_storage::Value;
 use pbds_workloads::{normal, sof};
 use rand::rngs::StdRng;
@@ -17,7 +17,10 @@ fn workload(n: usize) -> Vec<(QueryTemplate, Vec<Value>)> {
     (0..n)
         .map(|_| {
             let t = templates[rng.gen_range(0..templates.len())].clone();
-            (t, vec![Value::Int(normal(&mut rng, 30.0, 4.0).max(1.0) as i64)])
+            (
+                t,
+                vec![Value::Int(normal(&mut rng, 30.0, 4.0).max(1.0) as i64)],
+            )
         })
         .collect()
 }
@@ -26,10 +29,18 @@ fn bench_end_to_end(c: &mut Criterion) {
     let db = datasets::sof_small_db();
     let wl = workload(25);
     let mut group = c.benchmark_group("fig13_end_to_end_sof");
-    group.sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
     for (label, strategy) in [
         ("no_ps", Strategy::NoPbds),
-        ("eager", Strategy::Eager { selectivity_threshold: 0.75 }),
+        (
+            "eager",
+            Strategy::Eager {
+                selectivity_threshold: 0.75,
+            },
+        ),
         (
             "adaptive",
             Strategy::Adaptive {

@@ -12,7 +12,10 @@ fn bench_checks(c: &mut Criterion) {
     let db = datasets::sof_small_db();
     let tpch_db = datasets::tpch(datasets::TpchScale::Small);
     let mut group = c.benchmark_group("fig15_check_overhead");
-    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
 
     // Safety checks for the SOF end-to-end templates and two TPC-H queries.
     for template in sof::end_to_end_templates() {
@@ -25,7 +28,10 @@ fn bench_checks(c: &mut Criterion) {
         );
     }
     for name in ["Q3", "Q18"] {
-        let query = tpch::queries().into_iter().find(|q| q.name == name).unwrap();
+        let query = tpch::queries()
+            .into_iter()
+            .find(|q| q.name == name)
+            .unwrap();
         let checker = SafetyChecker::new(&tpch_db);
         let attrs = checker.candidate_attributes(query.template.plan());
         group.bench_with_input(
@@ -41,7 +47,13 @@ fn bench_checks(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("reuse", template.name()),
             &template,
-            |b, t| b.iter(|| checker.can_reuse(t, &[Value::Int(30)], &[Value::Int(45)]).reusable),
+            |b, t| {
+                b.iter(|| {
+                    checker
+                        .can_reuse(t, &[Value::Int(30)], &[Value::Int(45)])
+                        .reusable
+                })
+            },
         );
     }
     group.finish();

@@ -41,11 +41,19 @@ fn main() {
         println!("{}", figs::fig11c(runs));
         println!(
             "{}",
-            figs::fig11_tpch(datasets::TpchScale::Small, EngineProfile::ColumnarScan, runs)
+            figs::fig11_tpch(
+                datasets::TpchScale::Small,
+                EngineProfile::ColumnarScan,
+                runs
+            )
         );
         println!(
             "{}",
-            figs::fig11_tpch(datasets::TpchScale::Large, EngineProfile::ColumnarScan, runs)
+            figs::fig11_tpch(
+                datasets::TpchScale::Large,
+                EngineProfile::ColumnarScan,
+                runs
+            )
         );
     }
     if want("fig10") {

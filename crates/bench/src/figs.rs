@@ -35,8 +35,7 @@ pub fn fig12a(runs: usize) -> String {
     let values = table.column_values("id").expect("id column");
     let mut out = TablePrinter::new(&["#fragments", "case (ms)", "binary search (ms)", "speedup"]);
     for &n in &[32usize, 64, 128, 256, 400, 1_000, 4_000, 10_000] {
-        let partition =
-            RangePartition::equi_depth("crimes", "id", &values, n).expect("partition");
+        let partition = RangePartition::equi_depth("crimes", "id", &values, n).expect("partition");
         let case = median_time(runs, || {
             values
                 .iter()
@@ -56,7 +55,11 @@ pub fn fig12a(runs: usize) -> String {
             format!("{:.1}x", case.as_secs_f64() / bs.as_secs_f64().max(1e-9)),
         ]);
     }
-    format!("Fig. 12a — creating singleton sketches (crimes, {} rows)\n{}", values.len(), out.render())
+    format!(
+        "Fig. 12a — creating singleton sketches (crimes, {} rows)\n{}",
+        values.len(),
+        out.render()
+    )
 }
 
 /// Fig. 12b: merging singleton sketches with the byte-wise BITOR baseline vs
@@ -158,7 +161,13 @@ pub fn fig11_tpch(scale: datasets::TpchScale, profile: EngineProfile, runs: usiz
     ]);
     for query in tpch::queries() {
         for &fragments in &[64usize, 400] {
-            match measure_query(&pbds, &query, fragments, UsePredicateStyle::BinarySearch, runs) {
+            match measure_query(
+                &pbds,
+                &query,
+                fragments,
+                UsePredicateStyle::BinarySearch,
+                runs,
+            ) {
                 Ok(m) => out.row(vec![
                     m.query.clone(),
                     m.fragments.to_string(),
@@ -202,8 +211,20 @@ pub fn fig11c(runs: usize) -> String {
     let mut out = TablePrinter::new(&["query", "#frag", "BS (ms)", "OR (ms)"]);
     for query in tpch::queries() {
         let fragments = 400;
-        let bs = measure_query(&pbds, &query, fragments, UsePredicateStyle::BinarySearch, runs);
-        let or = measure_query(&pbds, &query, fragments, UsePredicateStyle::OrConditions, runs);
+        let bs = measure_query(
+            &pbds,
+            &query,
+            fragments,
+            UsePredicateStyle::BinarySearch,
+            runs,
+        );
+        let or = measure_query(
+            &pbds,
+            &query,
+            fragments,
+            UsePredicateStyle::OrConditions,
+            runs,
+        );
         if let (Ok(bs), Ok(or)) = (bs, or) {
             out.row(vec![
                 query.name.clone(),
@@ -213,7 +234,10 @@ pub fn fig11c(runs: usize) -> String {
             ]);
         }
     }
-    format!("Fig. 11c — BS vs OR sketch predicates (SF-small)\n{}", out.render())
+    format!(
+        "Fig. 11c — BS vs OR sketch predicates (SF-small)\n{}",
+        out.render()
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -256,13 +280,21 @@ pub fn fig10(runs: usize) -> String {
         ]);
         for query in &queries {
             for &fragments in &fragment_options {
-                match measure_query(&pbds, query, fragments.max(1), UsePredicateStyle::BinarySearch, runs) {
+                match measure_query(
+                    &pbds,
+                    query,
+                    fragments.max(1),
+                    UsePredicateStyle::BinarySearch,
+                    runs,
+                ) {
                     Ok(m) => out.row(vec![
                         m.query.clone(),
                         m.fragments.to_string(),
                         fmt_ms(m.plain),
                         fmt_ms(m.with_sketch),
-                        fmt_pct(1.0 - m.with_sketch.as_secs_f64() / m.plain.as_secs_f64().max(1e-9)),
+                        fmt_pct(
+                            1.0 - m.with_sketch.as_secs_f64() / m.plain.as_secs_f64().max(1e-9),
+                        ),
                         fmt_pct(m.capture_overhead()),
                         fmt_pct(m.selectivity),
                     ]),
@@ -303,8 +335,13 @@ pub fn fig14(runs: usize) -> String {
         };
         options.push(("No-PS".to_string(), 0.0, plain.plain.as_secs_f64()));
         for &fragments in &[64usize, 400, 4000] {
-            if let Ok(m) = measure_query(&pbds, &query, fragments, UsePredicateStyle::BinarySearch, runs)
-            {
+            if let Ok(m) = measure_query(
+                &pbds,
+                &query,
+                fragments,
+                UsePredicateStyle::BinarySearch,
+                runs,
+            ) {
                 options.push((
                     format!("PS{}", m.fragments),
                     m.capture.as_secs_f64(),
@@ -405,12 +442,16 @@ fn run_end_to_end(
     let mut series = Vec::new();
     let mut captured = Vec::new();
     for (label, strategy) in strategies {
-        let mut exec = pbds_core::SelfTuningExecutor::new(db, EngineProfile::Indexed, *strategy, fragments);
+        let mut exec =
+            pbds_core::SelfTuningExecutor::new(db, EngineProfile::Indexed, *strategy, fragments);
         let records = exec.run_workload(&workload).expect("workload run");
         series.push((label.to_string(), cumulative_elapsed(&records)));
         captured.push((
             label.to_string(),
-            records.iter().filter(|r| r.action == Action::Capture).count(),
+            records
+                .iter()
+                .filter(|r| r.action == Action::Capture)
+                .count(),
         ));
     }
     EndToEndResult { series, captured }
@@ -568,7 +609,11 @@ pub fn running_example() -> String {
         (3700, "Austin", "TX"),
         (2500, "Houston", "TX"),
     ] {
-        b.push(vec![Value::Int(popden), Value::from(city), Value::from(state)]);
+        b.push(vec![
+            Value::Int(popden),
+            Value::from(city),
+            Value::from(state),
+        ]);
     }
     let mut db = pbds_storage::Database::new();
     db.add_table(b.build());
@@ -585,8 +630,8 @@ pub fn running_example() -> String {
         "state",
         vec![Value::from("DE"), Value::from("MI"), Value::from("OK")],
     )));
-    let captured = capture_sketches(&db, &q2, &[state_part], &CaptureConfig::optimized())
-        .expect("capture");
+    let captured =
+        capture_sketches(&db, &q2, &[state_part], &CaptureConfig::optimized()).expect("capture");
     let sketch = &captured.sketches[0];
 
     let checker = SafetyChecker::new(&db);
@@ -642,7 +687,10 @@ pub fn capture_with_lookup(lookup: LookupMethod, fragments: usize) -> Duration {
 }
 
 /// Build the partition used by `fig9`-style selectivity checks in tests.
-pub fn tpch_partition_for(query_name: &str, fragments: usize) -> Option<(Pbds, BenchQuery, PartitionRef)> {
+pub fn tpch_partition_for(
+    query_name: &str,
+    fragments: usize,
+) -> Option<(Pbds, BenchQuery, PartitionRef)> {
     let db = datasets::tpch(datasets::TpchScale::Small);
     let pbds = Pbds::new(db);
     let query = tpch::queries().into_iter().find(|q| q.name == query_name)?;
@@ -684,7 +732,15 @@ mod tests {
                 sdv: 100.0,
                 seed: 1,
             },
-            &[("No-PS", Strategy::NoPbds), ("eager", Strategy::Eager { selectivity_threshold: 0.75 })],
+            &[
+                ("No-PS", Strategy::NoPbds),
+                (
+                    "eager",
+                    Strategy::Eager {
+                        selectivity_threshold: 0.75,
+                    },
+                ),
+            ],
             64,
         );
         assert_eq!(result.series.len(), 2);

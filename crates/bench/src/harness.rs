@@ -122,7 +122,10 @@ pub fn capture_sketch_for(
     let partition = build_partition(pbds, &query.sketch, fragments)?;
     let start = Instant::now();
     let captured = pbds.capture(&plan, &[partition])?;
-    Ok((captured.sketches.into_iter().next().expect("one sketch"), start.elapsed()))
+    Ok((
+        captured.sketches.into_iter().next().expect("one sketch"),
+        start.elapsed(),
+    ))
 }
 
 /// Format a duration in milliseconds with three significant digits.

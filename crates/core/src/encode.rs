@@ -80,7 +80,10 @@ fn collect_strings(e: &Expr, out: &mut BTreeSet<String>) {
             }
         }
         Expr::Not(x) | Expr::IsNull(x) => collect_strings(x, out),
-        Expr::Case { branches, otherwise } => {
+        Expr::Case {
+            branches,
+            otherwise,
+        } => {
             for (c, r) in branches {
                 collect_strings(c, out);
                 collect_strings(r, out);
@@ -321,6 +324,9 @@ mod tests {
             &enc,
         );
         let conclusion = to_formula(&col("state").le(lit("DE")), false, &enc);
-        assert!(is_valid(&Formula::implies(pred.formula, conclusion.formula)));
+        assert!(is_valid(&Formula::implies(
+            pred.formula,
+            conclusion.formula
+        )));
     }
 }

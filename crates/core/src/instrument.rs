@@ -122,7 +122,11 @@ mod tests {
             (3700, "Austin", "TX"),
             (2500, "Houston", "TX"),
         ] {
-            b.push(vec![Value::Int(popden), Value::from(city), Value::from(state)]);
+            b.push(vec![
+                Value::Int(popden),
+                Value::from(city),
+                Value::from(state),
+            ]);
         }
         let mut db = Database::new();
         db.add_table(b.build());
@@ -156,8 +160,11 @@ mod tests {
         let db = cities_db();
         let sketch = state_sketch(&db);
         let engine = Engine::new(EngineProfile::Indexed);
-        for style in [UsePredicateStyle::BinarySearch, UsePredicateStyle::OrConditions] {
-            let instrumented = apply_sketches(&q2(), &[sketch.clone()], style);
+        for style in [
+            UsePredicateStyle::BinarySearch,
+            UsePredicateStyle::OrConditions,
+        ] {
+            let instrumented = apply_sketches(&q2(), std::slice::from_ref(&sketch), style);
             let plain = engine.execute(&db, &q2()).unwrap();
             let skipped = engine.execute(&db, &instrumented).unwrap();
             assert!(plain.relation.bag_eq(&skipped.relation), "style {style:?}");
@@ -193,7 +200,9 @@ mod tests {
         let sketch = pbds_provenance::ProvenanceSketch::empty(part);
         let pred = sketch_predicate(&sketch, UsePredicateStyle::OrConditions).unwrap();
         let plan = LogicalPlan::scan("cities").filter(pred);
-        let out = Engine::new(EngineProfile::Indexed).execute(&db, &plan).unwrap();
+        let out = Engine::new(EngineProfile::Indexed)
+            .execute(&db, &plan)
+            .unwrap();
         assert!(out.relation.is_empty());
     }
 
@@ -201,20 +210,19 @@ mod tests {
     fn composite_sketch_uses_in_list_predicate() {
         let db = cities_db();
         let table = db.table("cities").unwrap();
-        let comp = CompositePartition::build(
-            "cities",
-            table.schema(),
-            table.rows(),
-            &["state"],
-        )
-        .unwrap();
+        let comp =
+            CompositePartition::build("cities", table.schema(), table.rows(), &["state"]).unwrap();
         let part = Arc::new(Partition::Composite(comp));
         let res = capture_sketches(&db, &q2(), &[part], &CaptureConfig::optimized()).unwrap();
         let sketch = &res.sketches[0];
         let pred = sketch_predicate(sketch, UsePredicateStyle::BinarySearch).unwrap();
         assert!(matches!(pred, Expr::InList { .. }));
         let engine = Engine::new(EngineProfile::Indexed);
-        let instrumented = apply_sketches(&q2(), &[sketch.clone()], UsePredicateStyle::BinarySearch);
+        let instrumented = apply_sketches(
+            &q2(),
+            std::slice::from_ref(sketch),
+            UsePredicateStyle::BinarySearch,
+        );
         let plain = engine.execute(&db, &q2()).unwrap().relation;
         let skipped = engine.execute(&db, &instrumented).unwrap().relation;
         assert!(plain.bag_eq(&skipped));
@@ -250,9 +258,14 @@ mod tests {
         sketch.add_fragment(1);
         let pred = sketch_predicate(&sketch, UsePredicateStyle::OrConditions).unwrap();
         // Merged: state <= 'MI' (single condition, no OR).
-        assert!(!matches!(pred, Expr::Or(_)), "expected merged range, got {pred}");
+        assert!(
+            !matches!(pred, Expr::Or(_)),
+            "expected merged range, got {pred}"
+        );
         let plan = LogicalPlan::scan("cities").filter(pred);
-        let out = Engine::new(EngineProfile::Indexed).execute(&db, &plan).unwrap();
+        let out = Engine::new(EngineProfile::Indexed)
+            .execute(&db, &plan)
+            .unwrap();
         assert_eq!(out.relation.len(), 3); // AK + 2×CA
     }
 }

@@ -22,6 +22,31 @@
 //!
 //! Sketch *capture* (Sec. 7) lives in the `pbds-provenance` crate and is
 //! re-exported here.
+//!
+//! # Layering
+//!
+//! The system is a stack of crates with one execution path:
+//!
+//! ```text
+//!   pbds-core        safety · reuse · instrumentation · self-tuning
+//!        │
+//!   pbds-provenance  sketches; capture & lineage as pipeline tag policies
+//!        │
+//!   pbds-exec        lower(LogicalPlan) → physical operators
+//!                    (SeqScan/IndexRangeScan/ZoneMapScan, Filter, Project,
+//!                     HashAggregate, HashJoin, Sort, Limit, Distinct, …)
+//!                    executed in fixed-size batches with per-row tags
+//!        │
+//!   pbds-storage     tables · ordered indexes · zone maps · partitions
+//! ```
+//!
+//! Plain execution runs the pipeline with tags disabled (`NoTag`);
+//! provenance capture runs the *same* operators with annotation tags and
+//! folds the result tags into a sketch. Lowering chooses the access path per
+//! scan: an ordered index if the pushed-down predicate constrains an indexed
+//! column to ranges, else a zone-map skip scan, else a sequential scan — the
+//! mechanism by which a captured sketch, re-injected as a range predicate,
+//! makes later executions skip irrelevant data.
 
 #![warn(missing_docs)]
 
@@ -37,8 +62,8 @@ pub use pbds::{Pbds, PbdsError};
 pub use reuse::{ReuseChecker, ReuseResult};
 pub use safety::{PartitionAttr, SafetyChecker, SafetyResult};
 pub use tuning::{
-    cumulative_elapsed, estimate_selectivity, Action, QueryRecord, SelfTuningExecutor, StoredSketch,
-    Strategy,
+    cumulative_elapsed, estimate_selectivity, Action, QueryRecord, SelfTuningExecutor,
+    StoredSketch, Strategy,
 };
 
 // Re-export the most commonly used items from the substrate crates so that

@@ -8,7 +8,7 @@ use crate::tuning::{SelfTuningExecutor, Strategy};
 use pbds_algebra::{LogicalPlan, QueryTemplate};
 use pbds_exec::{Engine, EngineProfile, ExecError, QueryOutput};
 use pbds_provenance::{
-    capture_lineage, capture_sketches, CaptureConfig, CaptureResult, ProvenanceSketch,
+    capture_lineage, capture_sketches_with_profile, CaptureConfig, CaptureResult, ProvenanceSketch,
 };
 use pbds_storage::{
     CompositePartition, Database, Partition, PartitionRef, RangePartition, StorageError, Value,
@@ -142,7 +142,9 @@ impl Pbds {
             RangePartition::equi_depth(table, attr, &values, fragments)
         }
         .ok_or_else(|| {
-            PbdsError::Partitioning(format!("cannot partition {table}.{attr} (no non-null values)"))
+            PbdsError::Partitioning(format!(
+                "cannot partition {table}.{attr} (no non-null values)"
+            ))
         })?;
         Ok(Arc::new(Partition::Range(partition)))
     }
@@ -155,8 +157,10 @@ impl Pbds {
         attrs: &[&str],
     ) -> Result<PartitionRef, PbdsError> {
         let t = self.db.table(table)?;
-        let partition = CompositePartition::build(table, t.schema(), t.rows(), attrs)
-            .ok_or_else(|| PbdsError::Partitioning(format!("cannot partition {table} on {attrs:?}")))?;
+        let partition =
+            CompositePartition::build(table, t.schema(), t.rows(), attrs).ok_or_else(|| {
+                PbdsError::Partitioning(format!("cannot partition {table} on {attrs:?}"))
+            })?;
         Ok(Arc::new(Partition::Composite(partition)))
     }
 
@@ -198,14 +202,21 @@ impl Pbds {
     }
 
     /// Capture with an explicit configuration (used by the capture
-    /// optimization benchmarks, Fig. 12).
+    /// optimization benchmarks, Fig. 12). The instrumented run uses this
+    /// handle's engine profile, so capture and execution share one pipeline.
     pub fn capture_with_config(
         &self,
         plan: &LogicalPlan,
         partitions: &[PartitionRef],
         config: &CaptureConfig,
     ) -> Result<CaptureResult, PbdsError> {
-        Ok(capture_sketches(&self.db, plan, partitions, config)?)
+        Ok(capture_sketches_with_profile(
+            &self.db,
+            plan,
+            partitions,
+            config,
+            self.engine.profile(),
+        )?)
     }
 
     /// Compute the *accurate* sketch of a query for one partition by running
@@ -276,7 +287,10 @@ mod tests {
 
     fn top1() -> LogicalPlan {
         LogicalPlan::scan("t")
-            .aggregate(vec!["grp"], vec![AggExpr::new(AggFunc::Sum, col("v"), "total")])
+            .aggregate(
+                vec!["grp"],
+                vec![AggExpr::new(AggFunc::Sum, col("v"), "total")],
+            )
             .top_k(vec![SortKey::desc("total")], 1)
     }
 
@@ -286,7 +300,7 @@ mod tests {
         let attrs = vec![PartitionAttr::new("t", "grp")];
         assert!(pbds.check_safety(&top1(), &attrs).safe);
         let part = pbds.range_partition("t", "grp", 8).unwrap();
-        let captured = pbds.capture(&top1(), &[part.clone()]).unwrap();
+        let captured = pbds.capture(&top1(), std::slice::from_ref(&part)).unwrap();
         assert!(captured.sketches[0].num_selected() < captured.sketches[0].num_fragments());
         let fast = pbds
             .execute_with_sketches(&top1(), &captured.sketches)
@@ -300,7 +314,7 @@ mod tests {
     fn accurate_sketch_is_subset_of_captured_sketch() {
         let pbds = Pbds::new(db());
         let part = pbds.range_partition("t", "grp", 8).unwrap();
-        let captured = pbds.capture(&top1(), &[part.clone()]).unwrap();
+        let captured = pbds.capture(&top1(), std::slice::from_ref(&part)).unwrap();
         let accurate = pbds.accurate_sketch(&top1(), &part).unwrap();
         assert!(captured.sketches[0].is_superset_of(&accurate));
     }
@@ -327,6 +341,8 @@ mod tests {
         let fast = pbds
             .execute_with_sketches(&top1(), &captured.sketches)
             .unwrap();
-        assert!(fast.relation.bag_eq(&pbds.execute(&top1()).unwrap().relation));
+        assert!(fast
+            .relation
+            .bag_eq(&pbds.execute(&top1()).unwrap().relation));
     }
 }

@@ -8,7 +8,9 @@
 //! linear-arithmetic solver; when both hold, `P(Q', D) ⊆ P(Q, D)` on every
 //! database, so the (safe) sketch of `Q` is safe for `Q'` (Theorem 3).
 
-use crate::encode::{attr_var, eq_primed, to_formula, to_linexpr, EncodedPred, StringEncoder, PRIME_SUFFIX};
+use crate::encode::{
+    attr_var, eq_primed, to_formula, to_linexpr, EncodedPred, StringEncoder, PRIME_SUFFIX,
+};
 use pbds_algebra::{AggFunc, LogicalPlan, QueryTemplate};
 use pbds_solver::{is_valid, CmpOp, Formula, LinExpr};
 use pbds_storage::{Database, Value};
@@ -92,7 +94,13 @@ impl<'a> ReuseChecker<'a> {
         let qp = template.instantiate(new_binding);
         let strings = StringEncoder::from_plans(&[&q, &qp]);
         let mut details = Vec::new();
-        let info = self.analyze(template.plan(), captured, new_binding, &strings, &mut details);
+        let info = self.analyze(
+            template.plan(),
+            captured,
+            new_binding,
+            &strings,
+            &mut details,
+        );
 
         if !info.ge {
             return ReuseResult {
@@ -399,7 +407,11 @@ impl<'a> ReuseChecker<'a> {
             LogicalPlan::Union { left, right } => {
                 let l = self.analyze(left, captured, new_binding, strings, details);
                 let r = self.analyze(right, captured, new_binding, strings, details);
-                let psi = if l.psi == r.psi { l.psi.clone() } else { Formula::True };
+                let psi = if l.psi == r.psi {
+                    l.psi.clone()
+                } else {
+                    Formula::True
+                };
                 NodeInfo {
                     schema_names: l.schema_names.clone(),
                     pred_q: vec![Formula::or_all(vec![
@@ -453,7 +465,11 @@ mod tests {
             (7000, "New York", "NY"),
             (2000, "Buffalo", "NY"),
         ] {
-            b.push(vec![Value::Int(popden), Value::from(city), Value::from(state)]);
+            b.push(vec![
+                Value::Int(popden),
+                Value::from(city),
+                Value::from(state),
+            ]);
         }
         let mut db = Database::new();
         db.add_table(b.build());

@@ -162,7 +162,10 @@ impl<'a> SafetyChecker<'a> {
         plan: &LogicalPlan,
         preferred: &[PartitionAttr],
     ) -> Option<Vec<PartitionAttr>> {
-        for cand in preferred.iter().chain(self.candidate_attributes(plan).iter()) {
+        for cand in preferred
+            .iter()
+            .chain(self.candidate_attributes(plan).iter())
+        {
             let set = vec![cand.clone()];
             if self.check(plan, &set).safe {
                 return Some(set);
@@ -238,7 +241,9 @@ impl<'a> SafetyChecker<'a> {
                     }
                 }
                 NodeInfo {
-                    schema: plan.schema(self.db).unwrap_or_else(|_| child.schema.clone()),
+                    schema: plan
+                        .schema(self.db)
+                        .unwrap_or_else(|_| child.schema.clone()),
                     pred_plain: child.pred_plain,
                     pred_primed: child.pred_primed,
                     expr_plain: EncodedPred {
@@ -264,8 +269,7 @@ impl<'a> SafetyChecker<'a> {
                 let mut ok = child.gc;
                 if ok && !child.x_here.is_empty() {
                     for col in child.schema.names() {
-                        let obligation =
-                            Formula::implies(child.premise(), eq_primed(col));
+                        let obligation = Formula::implies(child.premise(), eq_primed(col));
                         if !is_valid(&obligation) {
                             details.push(format!("distinct: column {col} may differ, unsafe"));
                             ok = false;
@@ -275,13 +279,14 @@ impl<'a> SafetyChecker<'a> {
                 }
                 NodeInfo { gc: ok, ..child }
             }
-            LogicalPlan::TopK { order_by, input, .. } => {
+            LogicalPlan::TopK {
+                order_by, input, ..
+            } => {
                 let child = self.analyze(input, attrs, strings, details);
                 let mut ok = child.gc;
                 if ok && !child.x_here.is_empty() {
                     for key in order_by {
-                        let obligation =
-                            Formula::implies(child.premise(), eq_primed(&key.column));
+                        let obligation = Formula::implies(child.premise(), eq_primed(&key.column));
                         let valid = is_valid(&obligation);
                         details.push(format!(
                             "top-k order-by [{}]: equality {}",
@@ -305,8 +310,7 @@ impl<'a> SafetyChecker<'a> {
                 let l = self.analyze(left, attrs, strings, details);
                 let r = self.analyze(right, attrs, strings, details);
                 let mut ok = l.gc && r.gc;
-                let x_here: Vec<String> =
-                    l.x_here.iter().chain(r.x_here.iter()).cloned().collect();
+                let x_here: Vec<String> = l.x_here.iter().chain(r.x_here.iter()).cloned().collect();
                 if ok && !x_here.is_empty() {
                     let left_ob = Formula::implies(l.premise(), eq_primed(left_col));
                     let right_ob = Formula::implies(r.premise(), eq_primed(right_col));
@@ -345,8 +349,7 @@ impl<'a> SafetyChecker<'a> {
             LogicalPlan::CrossProduct { left, right } => {
                 let l = self.analyze(left, attrs, strings, details);
                 let r = self.analyze(right, attrs, strings, details);
-                let x_here: Vec<String> =
-                    l.x_here.iter().chain(r.x_here.iter()).cloned().collect();
+                let x_here: Vec<String> = l.x_here.iter().chain(r.x_here.iter()).cloned().collect();
                 NodeInfo {
                     schema: l.schema.concat(&r.schema),
                     pred_plain: l.pred_plain.and(r.pred_plain),
@@ -361,8 +364,7 @@ impl<'a> SafetyChecker<'a> {
             LogicalPlan::Union { left, right } => {
                 let l = self.analyze(left, attrs, strings, details);
                 let r = self.analyze(right, attrs, strings, details);
-                let x_here: Vec<String> =
-                    l.x_here.iter().chain(r.x_here.iter()).cloned().collect();
+                let x_here: Vec<String> = l.x_here.iter().chain(r.x_here.iter()).cloned().collect();
                 // Ψ for union: keep only constraints common to both inputs
                 // (conservatively, the weaker of the two when they differ).
                 let psi = if l.psi == r.psi {
@@ -454,7 +456,11 @@ impl<'a> SafetyChecker<'a> {
                     },
                 )
             }
-            Err(_) => (Schema::default(), EncodedPred::truth(), EncodedPred::truth()),
+            Err(_) => (
+                Schema::default(),
+                EncodedPred::truth(),
+                EncodedPred::truth(),
+            ),
         };
         // Ψ_R: equality on all attributes of R (D_PS ⊆ D).
         let psi = Formula::and_all(schema.names().iter().map(|n| eq_primed(n)).collect());
@@ -660,7 +666,11 @@ mod tests {
             (3700, "Austin", "TX"),
             (2500, "Houston", "TX"),
         ] {
-            b.push(vec![Value::Int(popden), Value::from(city), Value::from(state)]);
+            b.push(vec![
+                Value::Int(popden),
+                Value::from(city),
+                Value::from(state),
+            ]);
         }
         let mut db = Database::new();
         db.add_table(b.build());
@@ -699,9 +709,17 @@ mod tests {
             )
             .filter(col("totden").lt(lit(7000)));
         let checker = SafetyChecker::new(&db);
-        assert!(!checker.check(&plan, &[PartitionAttr::new("cities", "popden")]).safe);
+        assert!(
+            !checker
+                .check(&plan, &[PartitionAttr::new("cities", "popden")])
+                .safe
+        );
         // Partitioning on the group-by attribute is safe.
-        assert!(checker.check(&plan, &[PartitionAttr::new("cities", "state")]).safe);
+        assert!(
+            checker
+                .check(&plan, &[PartitionAttr::new("cities", "state")])
+                .safe
+        );
     }
 
     #[test]
@@ -718,10 +736,26 @@ mod tests {
         let lower = agg.clone().filter(col("cnt").gt(param(0)));
         let upper = agg.filter(col("cnt").lt(param(0)));
         let checker = SafetyChecker::new(&db);
-        assert!(checker.check(&lower, &[PartitionAttr::new("cities", "state")]).safe);
-        assert!(checker.check(&lower, &[PartitionAttr::new("cities", "popden")]).safe);
-        assert!(checker.check(&upper, &[PartitionAttr::new("cities", "state")]).safe);
-        assert!(!checker.check(&upper, &[PartitionAttr::new("cities", "popden")]).safe);
+        assert!(
+            checker
+                .check(&lower, &[PartitionAttr::new("cities", "state")])
+                .safe
+        );
+        assert!(
+            checker
+                .check(&lower, &[PartitionAttr::new("cities", "popden")])
+                .safe
+        );
+        assert!(
+            checker
+                .check(&upper, &[PartitionAttr::new("cities", "state")])
+                .safe
+        );
+        assert!(
+            !checker
+                .check(&upper, &[PartitionAttr::new("cities", "popden")])
+                .safe
+        );
     }
 
     #[test]
@@ -746,7 +780,10 @@ mod tests {
                 vec![AggExpr::new(AggFunc::Count, col("city"), "cnt")],
             )
             .filter(col("cnt").gt(lit(1)))
-            .aggregate(vec![], vec![AggExpr::new(AggFunc::Count, col("state"), "nstates")]);
+            .aggregate(
+                vec![],
+                vec![AggExpr::new(AggFunc::Count, col("state"), "nstates")],
+            );
         let checker = SafetyChecker::new(&db);
         let res = checker.check(&plan, &[PartitionAttr::new("cities", "state")]);
         assert!(res.safe, "{:?}", res.details);
@@ -808,7 +845,15 @@ mod tests {
             )
             .top_k(vec![SortKey::asc("m")], 1);
         let checker = SafetyChecker::new(&db);
-        assert!(!checker.check(&plan, &[PartitionAttr::new("cities", "popden")]).safe);
-        assert!(checker.check(&plan, &[PartitionAttr::new("cities", "state")]).safe);
+        assert!(
+            !checker
+                .check(&plan, &[PartitionAttr::new("cities", "popden")])
+                .safe
+        );
+        assert!(
+            checker
+                .check(&plan, &[PartitionAttr::new("cities", "state")])
+                .safe
+        );
     }
 }

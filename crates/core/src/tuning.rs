@@ -14,7 +14,7 @@ use crate::reuse::ReuseChecker;
 use crate::safety::{PartitionAttr, SafetyChecker};
 use pbds_algebra::{BinOp, Expr, LogicalPlan, QueryTemplate};
 use pbds_exec::{Engine, EngineProfile, ExecError, ExecStats};
-use pbds_provenance::{capture_sketches, CaptureConfig, ProvenanceSketch};
+use pbds_provenance::{capture_sketches_with_profile, CaptureConfig, ProvenanceSketch};
 use pbds_storage::{Database, Partition, PartitionRef, RangePartition, Value};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -112,7 +112,12 @@ pub struct SelfTuningExecutor<'a> {
 
 impl<'a> SelfTuningExecutor<'a> {
     /// Create an executor over a database.
-    pub fn new(db: &'a Database, profile: EngineProfile, strategy: Strategy, fragments: usize) -> Self {
+    pub fn new(
+        db: &'a Database,
+        profile: EngineProfile,
+        strategy: Strategy,
+        fragments: usize,
+    ) -> Self {
         SelfTuningExecutor {
             db,
             engine: Engine::new(profile),
@@ -172,14 +177,11 @@ impl<'a> SelfTuningExecutor<'a> {
 
         // Try to reuse a stored sketch.
         let reuse = ReuseChecker::new(self.db);
-        let reusable_idx = self
-            .store
-            .get(template.name())
-            .and_then(|stored| {
-                stored
-                    .iter()
-                    .position(|s| reuse.can_reuse(template, &s.binding, binding).reusable)
-            });
+        let reusable_idx = self.store.get(template.name()).and_then(|stored| {
+            stored
+                .iter()
+                .position(|s| reuse.can_reuse(template, &s.binding, binding).reusable)
+        });
         if let Some(idx) = reusable_idx {
             let sketches = self.store.get(template.name()).expect("present")[idx]
                 .sketches
@@ -214,7 +216,10 @@ impl<'a> SelfTuningExecutor<'a> {
             Strategy::Adaptive {
                 evidence_threshold, ..
             } => {
-                let counter = self.evidence.entry(template.name().to_string()).or_insert(0);
+                let counter = self
+                    .evidence
+                    .entry(template.name().to_string())
+                    .or_insert(0);
                 *counter += 1;
                 if *counter >= evidence_threshold {
                     *counter = 0;
@@ -231,15 +236,18 @@ impl<'a> SelfTuningExecutor<'a> {
 
         // Capture: build (cached) partitions over the safe attributes and run
         // the instrumented capture query; its result is the query answer.
-        let partitions: Vec<PartitionRef> = attrs
-            .iter()
-            .filter_map(|a| self.partition_for(a))
-            .collect();
+        let partitions: Vec<PartitionRef> =
+            attrs.iter().filter_map(|a| self.partition_for(a)).collect();
         if partitions.is_empty() {
             return self.run_plain(template, &plan);
         }
-        let capture =
-            capture_sketches(self.db, &plan, &partitions, &CaptureConfig::optimized())?;
+        let capture = capture_sketches_with_profile(
+            self.db,
+            &plan,
+            &partitions,
+            &CaptureConfig::optimized(),
+            self.engine.profile(),
+        )?;
         let record = QueryRecord {
             template: template.name().to_string(),
             action: Action::Capture,
@@ -267,10 +275,7 @@ impl<'a> SelfTuningExecutor<'a> {
         &mut self,
         workload: &[(QueryTemplate, Vec<Value>)],
     ) -> Result<Vec<QueryRecord>, ExecError> {
-        workload
-            .iter()
-            .map(|(t, b)| self.run(t, b))
-            .collect()
+        workload.iter().map(|(t, b)| self.run(t, b)).collect()
     }
 
     fn run_plain(
@@ -478,8 +483,7 @@ mod tests {
     #[test]
     fn no_pbds_strategy_always_runs_plain() {
         let db = sales_db();
-        let mut exec =
-            SelfTuningExecutor::new(&db, EngineProfile::Indexed, Strategy::NoPbds, 16);
+        let mut exec = SelfTuningExecutor::new(&db, EngineProfile::Indexed, Strategy::NoPbds, 16);
         let t = having_template();
         for _ in 0..3 {
             assert_eq!(

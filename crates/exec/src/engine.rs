@@ -1,18 +1,18 @@
 //! The query execution engine.
 //!
-//! A straightforward materializing evaluator over the logical algebra. Its
-//! one performance-relevant trick is exactly the one PBDS relies on:
-//! selections sitting directly above a table scan are pushed into the scan so
-//! that range predicates — including the ones PBDS injects from provenance
-//! sketches — can be answered through indexes and zone maps.
+//! A thin facade over the physical operator pipeline: [`Engine::execute`]
+//! lowers the logical plan (see [`crate::physical::lower`]) and runs the
+//! resulting operator tree without tags. The lowering performs the rewrite
+//! PBDS relies on — selections sitting directly above a table scan are pushed
+//! into the scan so that range predicates, including the ones PBDS injects
+//! from provenance sketches, can be answered through indexes and zone maps.
 
-use crate::eval::{eval_expr, eval_predicate, ExecError};
+use crate::eval::ExecError;
+use crate::physical::{execute_logical, lower, NoTag, PhysicalPlan};
 use crate::profile::EngineProfile;
-use crate::scan::scan_table;
 use crate::stats::ExecStats;
-use pbds_algebra::{AggExpr, AggFunc, Expr, LogicalPlan, SortKey};
-use pbds_storage::{Database, Relation, Row, Schema, Value};
-use std::collections::HashMap;
+use pbds_algebra::LogicalPlan;
+use pbds_storage::{Database, Relation};
 use std::time::Instant;
 
 /// Result of executing a query: the output relation plus statistics.
@@ -41,347 +41,43 @@ impl Engine {
         self.profile
     }
 
-    /// Execute a logical plan against a database.
+    /// Execute a logical plan against a database: lower it to a physical
+    /// plan, then run the batched operator pipeline without tags.
     pub fn execute(&self, db: &Database, plan: &LogicalPlan) -> Result<QueryOutput, ExecError> {
         let start = Instant::now();
         let mut stats = ExecStats::default();
-        let relation = self.exec(db, plan, &mut stats)?;
+        let (relation, _tags) = execute_logical(db, plan, self.profile, &NoTag, &mut stats)?;
         stats.rows_output = relation.len() as u64;
         stats.elapsed = start.elapsed();
         Ok(QueryOutput { relation, stats })
     }
 
-    fn exec(
+    /// Lower a logical plan with this engine's profile (exposed so callers
+    /// can inspect the chosen access paths, e.g. for `EXPLAIN`-style output).
+    pub fn plan(&self, db: &Database, plan: &LogicalPlan) -> Result<PhysicalPlan, ExecError> {
+        lower(db, plan, self.profile)
+    }
+
+    /// Execute an already-lowered physical plan.
+    pub fn execute_physical(
         &self,
         db: &Database,
-        plan: &LogicalPlan,
-        stats: &mut ExecStats,
-    ) -> Result<Relation, ExecError> {
-        match plan {
-            LogicalPlan::TableScan { table } => {
-                let t = db.table(table)?;
-                let rows = scan_table(t, None, self.profile, stats)?;
-                Ok(Relation::new(t.schema().clone(), rows))
-            }
-            LogicalPlan::Selection { .. } => self.exec_selection(db, plan, stats),
-            LogicalPlan::Projection { exprs, input } => {
-                let child = self.exec(db, input, stats)?;
-                let in_schema = child.schema().clone();
-                let out_schema = plan.schema(db)?;
-                let mut out = Relation::empty(out_schema);
-                for row in child.rows() {
-                    let mut new_row = Vec::with_capacity(exprs.len());
-                    for (e, _) in exprs {
-                        new_row.push(eval_expr(e, &in_schema, row)?);
-                    }
-                    out.push(new_row);
-                }
-                Ok(out)
-            }
-            LogicalPlan::Aggregate {
-                group_by,
-                aggregates,
-                input,
-            } => {
-                let child = self.exec(db, input, stats)?;
-                stats.intermediate_rows += child.len() as u64;
-                exec_aggregate(&child, group_by, aggregates, &plan.schema(db)?)
-            }
-            LogicalPlan::Join {
-                left,
-                right,
-                left_col,
-                right_col,
-            } => {
-                let l = self.exec(db, left, stats)?;
-                let r = self.exec(db, right, stats)?;
-                stats.intermediate_rows += (l.len() + r.len()) as u64;
-                exec_hash_join(&l, &r, left_col, right_col, &plan.schema(db)?)
-            }
-            LogicalPlan::CrossProduct { left, right } => {
-                let l = self.exec(db, left, stats)?;
-                let r = self.exec(db, right, stats)?;
-                stats.intermediate_rows += (l.len() * r.len()) as u64;
-                let mut out = Relation::empty(plan.schema(db)?);
-                for lr in l.rows() {
-                    for rr in r.rows() {
-                        let mut row = lr.clone();
-                        row.extend(rr.iter().cloned());
-                        out.push(row);
-                    }
-                }
-                Ok(out)
-            }
-            LogicalPlan::Distinct { input } => {
-                let child = self.exec(db, input, stats)?;
-                let mut seen: Vec<Row> = Vec::new();
-                let mut set = std::collections::HashSet::new();
-                for row in child.rows() {
-                    let key: Vec<String> = row.iter().map(|v| format!("{v:?}")).collect();
-                    if set.insert(key) {
-                        seen.push(row.clone());
-                    }
-                }
-                Ok(Relation::new(child.schema().clone(), seen))
-            }
-            LogicalPlan::TopK {
-                order_by,
-                limit,
-                input,
-            } => {
-                let child = self.exec(db, input, stats)?;
-                stats.topk_inputs.push((*limit, child.len() as u64));
-                exec_top_k(&child, order_by, *limit)
-            }
-            LogicalPlan::Union { left, right } => {
-                let l = self.exec(db, left, stats)?;
-                let r = self.exec(db, right, stats)?;
-                let mut rows = l.rows().to_vec();
-                rows.extend(r.rows().iter().cloned());
-                Ok(Relation::new(l.schema().clone(), rows))
-            }
-        }
+        plan: &PhysicalPlan,
+    ) -> Result<QueryOutput, ExecError> {
+        let start = Instant::now();
+        let mut stats = ExecStats::default();
+        let (relation, _tags) = crate::physical::execute_physical(db, plan, &NoTag, &mut stats)?;
+        stats.rows_output = relation.len() as u64;
+        stats.elapsed = start.elapsed();
+        Ok(QueryOutput { relation, stats })
     }
-
-    /// Execute a (chain of) selection(s); when the chain bottoms out at a
-    /// table scan the combined predicate is pushed into the scan.
-    fn exec_selection(
-        &self,
-        db: &Database,
-        plan: &LogicalPlan,
-        stats: &mut ExecStats,
-    ) -> Result<Relation, ExecError> {
-        // Collect the conjunction of predicates down a chain of selections.
-        let mut predicates: Vec<Expr> = Vec::new();
-        let mut node = plan;
-        while let LogicalPlan::Selection { predicate, input } = node {
-            predicates.push(predicate.clone());
-            node = input;
-        }
-        let combined = if predicates.len() == 1 {
-            predicates[0].clone()
-        } else {
-            Expr::And(predicates.clone())
-        };
-
-        if let LogicalPlan::TableScan { table } = node {
-            let t = db.table(table)?;
-            let rows = scan_table(t, Some(&combined), self.profile, stats)?;
-            return Ok(Relation::new(t.schema().clone(), rows));
-        }
-
-        // Generic case: evaluate the child and filter.
-        let child = self.exec(db, node, stats)?;
-        let schema = child.schema().clone();
-        let mut out = Relation::empty(schema.clone());
-        for row in child.rows() {
-            if eval_predicate(&combined, &schema, row)? {
-                out.push(row.clone());
-            }
-        }
-        Ok(out)
-    }
-}
-
-/// Hash aggregation.
-fn exec_aggregate(
-    input: &Relation,
-    group_by: &[String],
-    aggregates: &[AggExpr],
-    out_schema: &Schema,
-) -> Result<Relation, ExecError> {
-    let in_schema = input.schema();
-    let group_idx: Vec<usize> = group_by
-        .iter()
-        .map(|g| {
-            in_schema
-                .index_of(g)
-                .ok_or_else(|| ExecError::UnknownColumn(g.clone()))
-        })
-        .collect::<Result<_, _>>()?;
-
-    #[derive(Clone)]
-    struct Acc {
-        count: i64,
-        sums: Vec<f64>,
-        int_sums: Vec<i64>,
-        all_int: Vec<bool>,
-        mins: Vec<Option<Value>>,
-        maxs: Vec<Option<Value>>,
-        non_null: Vec<i64>,
-    }
-
-    let new_acc = |n: usize| Acc {
-        count: 0,
-        sums: vec![0.0; n],
-        int_sums: vec![0; n],
-        all_int: vec![true; n],
-        mins: vec![None; n],
-        maxs: vec![None; n],
-        non_null: vec![0; n],
-    };
-
-    let mut groups: HashMap<Vec<Value>, Acc> = HashMap::new();
-    let mut order: Vec<Vec<Value>> = Vec::new();
-
-    for row in input.rows() {
-        let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
-        let acc = groups.entry(key.clone()).or_insert_with(|| {
-            order.push(key.clone());
-            new_acc(aggregates.len())
-        });
-        acc.count += 1;
-        for (ai, agg) in aggregates.iter().enumerate() {
-            let v = eval_expr(&agg.input, in_schema, row)?;
-            if v.is_null() {
-                continue;
-            }
-            acc.non_null[ai] += 1;
-            if let Some(f) = v.as_f64() {
-                acc.sums[ai] += f;
-            }
-            match (&v, acc.all_int[ai]) {
-                (Value::Int(i), true) => acc.int_sums[ai] += i,
-                _ => acc.all_int[ai] = false,
-            }
-            if acc.mins[ai].as_ref().map_or(true, |m| &v < m) {
-                acc.mins[ai] = Some(v.clone());
-            }
-            if acc.maxs[ai].as_ref().map_or(true, |m| &v > m) {
-                acc.maxs[ai] = Some(v.clone());
-            }
-        }
-    }
-
-    let mut out = Relation::empty(out_schema.clone());
-    // Global aggregation over an empty input still produces one row
-    // (count = 0, other aggregates NULL), matching SQL semantics.
-    if order.is_empty() && group_by.is_empty() {
-        let mut row: Vec<Value> = Vec::new();
-        for agg in aggregates {
-            row.push(match agg.func {
-                AggFunc::Count => Value::Int(0),
-                _ => Value::Null,
-            });
-        }
-        out.push(row);
-        return Ok(out);
-    }
-
-    for key in order {
-        let acc = &groups[&key];
-        let mut row = key.clone();
-        for (ai, agg) in aggregates.iter().enumerate() {
-            let v = match agg.func {
-                AggFunc::Count => Value::Int(acc.count),
-                AggFunc::Sum => {
-                    if acc.non_null[ai] == 0 {
-                        Value::Null
-                    } else if acc.all_int[ai] {
-                        Value::Int(acc.int_sums[ai])
-                    } else {
-                        Value::Float(acc.sums[ai])
-                    }
-                }
-                AggFunc::Avg => {
-                    if acc.non_null[ai] == 0 {
-                        Value::Null
-                    } else {
-                        Value::Float(acc.sums[ai] / acc.non_null[ai] as f64)
-                    }
-                }
-                AggFunc::Min => acc.mins[ai].clone().unwrap_or(Value::Null),
-                AggFunc::Max => acc.maxs[ai].clone().unwrap_or(Value::Null),
-            };
-            row.push(v);
-        }
-        out.push(row);
-    }
-    Ok(out)
-}
-
-/// Hash equi-join.
-fn exec_hash_join(
-    left: &Relation,
-    right: &Relation,
-    left_col: &str,
-    right_col: &str,
-    out_schema: &Schema,
-) -> Result<Relation, ExecError> {
-    let li = left
-        .schema()
-        .index_of(left_col)
-        .ok_or_else(|| ExecError::UnknownColumn(left_col.to_string()))?;
-    let ri = right
-        .schema()
-        .index_of(right_col)
-        .ok_or_else(|| ExecError::UnknownColumn(right_col.to_string()))?;
-
-    let mut build: HashMap<Value, Vec<&Row>> = HashMap::new();
-    for row in right.rows() {
-        let k = &row[ri];
-        if k.is_null() {
-            continue;
-        }
-        build.entry(k.clone()).or_default().push(row);
-    }
-
-    let mut out = Relation::empty(out_schema.clone());
-    for lrow in left.rows() {
-        let k = &lrow[li];
-        if k.is_null() {
-            continue;
-        }
-        if let Some(matches) = build.get(k) {
-            for rrow in matches {
-                let mut row = lrow.clone();
-                row.extend(rrow.iter().cloned());
-                out.push(row);
-            }
-        }
-    }
-    Ok(out)
-}
-
-/// Top-k: sort by the keys and keep the first `limit` rows.
-fn exec_top_k(
-    input: &Relation,
-    order_by: &[SortKey],
-    limit: usize,
-) -> Result<Relation, ExecError> {
-    let schema = input.schema();
-    let key_idx: Vec<(usize, bool)> = order_by
-        .iter()
-        .map(|k| {
-            schema
-                .index_of(&k.column)
-                .map(|i| (i, k.descending))
-                .ok_or_else(|| ExecError::UnknownColumn(k.column.clone()))
-        })
-        .collect::<Result<_, _>>()?;
-
-    let mut rows = input.rows().to_vec();
-    rows.sort_by(|a, b| {
-        for &(idx, desc) in &key_idx {
-            let ord = a[idx].cmp(&b[idx]);
-            let ord = if desc { ord.reverse() } else { ord };
-            if !ord.is_eq() {
-                return ord;
-            }
-        }
-        // Break ties deterministically using the remaining columns (the
-        // paper's top-k operator assumes a total order).
-        a.cmp(b)
-    });
-    rows.truncate(limit);
-    Ok(Relation::new(schema.clone(), rows))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pbds_algebra::{col, lit};
-    use pbds_storage::{DataType, TableBuilder};
+    use pbds_algebra::{col, lit, AggExpr, AggFunc, SortKey};
+    use pbds_storage::{DataType, Schema, TableBuilder, Value};
 
     /// The running-example `cities` relation from Fig. 1b.
     pub fn cities_db() -> Database {
@@ -401,7 +97,11 @@ mod tests {
             (3700, "Austin", "TX"),
             (2500, "Houston", "TX"),
         ] {
-            b.push(vec![Value::Int(popden), Value::from(city), Value::from(state)]);
+            b.push(vec![
+                Value::Int(popden),
+                Value::from(city),
+                Value::from(state),
+            ]);
         }
         let mut db = Database::new();
         db.add_table(b.build());
@@ -420,7 +120,10 @@ mod tests {
             .project(vec![(col("city"), "city"), (col("popden"), "popden")]);
         let out = engine().execute(&cities_db(), &plan).unwrap();
         assert_eq!(out.relation.len(), 2);
-        assert_eq!(out.relation.value(0, "city"), Some(&Value::from("San Diego")));
+        assert_eq!(
+            out.relation.value(0, "city"),
+            Some(&Value::from("San Diego"))
+        );
     }
 
     #[test]
@@ -466,7 +169,10 @@ mod tests {
     fn global_aggregate_over_empty_input() {
         let plan = LogicalPlan::scan("cities")
             .filter(col("state").eq(lit("ZZ")))
-            .aggregate(vec![], vec![AggExpr::new(AggFunc::Count, col("city"), "cnt")]);
+            .aggregate(
+                vec![],
+                vec![AggExpr::new(AggFunc::Count, col("city"), "cnt")],
+            );
         let out = engine().execute(&cities_db(), &plan).unwrap().relation;
         assert_eq!(out.len(), 1);
         assert_eq!(out.value(0, "cnt"), Some(&Value::Int(0)));
@@ -522,7 +228,10 @@ mod tests {
                 vec![AggExpr::new(AggFunc::Sum, col("popden"), "total")],
             )
             .filter(col("total").gt(lit(8000)))
-            .aggregate(vec![], vec![AggExpr::new(AggFunc::Count, col("state"), "cnt")]);
+            .aggregate(
+                vec![],
+                vec![AggExpr::new(AggFunc::Count, col("state"), "cnt")],
+            );
         let out = engine().execute(&cities_db(), &plan).unwrap().relation;
         // CA=11000, NY=9000 qualify.
         assert_eq!(out.value(0, "cnt"), Some(&Value::Int(2)));
@@ -572,7 +281,8 @@ mod tests {
     fn unknown_table_and_column_errors() {
         let e = engine();
         assert!(matches!(
-            e.execute(&cities_db(), &LogicalPlan::scan("missing")).unwrap_err(),
+            e.execute(&cities_db(), &LogicalPlan::scan("missing"))
+                .unwrap_err(),
             ExecError::UnknownTable(_)
         ));
         let plan = LogicalPlan::scan("cities").filter(col("nope").gt(lit(1)));

@@ -179,14 +179,21 @@ mod tests {
     }
 
     fn row() -> Row {
-        vec![Value::Int(6000), Value::from("San Diego"), Value::from("CA")]
+        vec![
+            Value::Int(6000),
+            Value::from("San Diego"),
+            Value::from("CA"),
+        ]
     }
 
     #[test]
     fn column_and_literal_access() {
         let v = eval_expr(&col("state"), &schema(), &row()).unwrap();
         assert_eq!(v, Value::from("CA"));
-        assert_eq!(eval_expr(&lit(5), &schema(), &row()).unwrap(), Value::Int(5));
+        assert_eq!(
+            eval_expr(&lit(5), &schema(), &row()).unwrap(),
+            Value::Int(5)
+        );
     }
 
     #[test]
@@ -232,15 +239,27 @@ mod tests {
             ],
             otherwise: Box::new(lit("small")),
         };
-        assert_eq!(eval_expr(&e, &schema(), &row()).unwrap(), Value::from("big"));
+        assert_eq!(
+            eval_expr(&e, &schema(), &row()).unwrap(),
+            Value::from("big")
+        );
     }
 
     #[test]
     fn in_ranges_linear_and_binary_agree() {
         let ranges = vec![
-            ValueRange { lo: None, hi: Some(Value::Int(10)) },
-            ValueRange { lo: Some(Value::Int(20)), hi: Some(Value::Int(30)) },
-            ValueRange { lo: Some(Value::Int(50)), hi: None },
+            ValueRange {
+                lo: None,
+                hi: Some(Value::Int(10)),
+            },
+            ValueRange {
+                lo: Some(Value::Int(20)),
+                hi: Some(Value::Int(30)),
+            },
+            ValueRange {
+                lo: Some(Value::Int(50)),
+                hi: None,
+            },
         ];
         let schema = Schema::from_pairs(&[("a", DataType::Int)]);
         for v in [-5i64, 5, 10, 15, 20, 21, 30, 31, 49, 50, 51, 1000] {
@@ -280,6 +299,9 @@ mod tests {
     #[test]
     fn arithmetic_in_expressions() {
         let e = col("popden").mul(lit(2)).add(lit(1));
-        assert_eq!(eval_expr(&e, &schema(), &row()).unwrap(), Value::Int(12_001));
+        assert_eq!(
+            eval_expr(&e, &schema(), &row()).unwrap(),
+            Value::Int(12_001)
+        );
     }
 }

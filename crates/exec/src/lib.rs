@@ -1,9 +1,13 @@
 //! # pbds-exec
 //!
-//! The execution engine for the PBDS reproduction: a materializing evaluator
-//! over the bag relational algebra with access-path selection for table scans
-//! (ordered-index range scans, zone-map block skipping or full scans) and
-//! per-query execution statistics.
+//! The execution engine for the PBDS reproduction, built around a single
+//! physical operator pipeline ([`physical`]): logical plans are lowered to
+//! physical operators with explicit access paths (ordered-index range scans,
+//! zone-map block skipping or sequential scans), then executed in fixed-size
+//! row batches. The same pipeline serves plain execution ([`Engine`], tags
+//! disabled via [`NoTag`]) and provenance capture (`pbds-provenance` plugs in
+//! [`TagPolicy`] implementations whose per-row tags are sketch annotations or
+//! lineage tuple sets).
 //!
 //! Two [`EngineProfile`]s substitute for the paper's two evaluation hosts:
 //! `Indexed` mirrors a disk-based system with B-tree indexes and BRIN zone
@@ -14,12 +18,17 @@
 
 pub mod engine;
 pub mod eval;
+pub mod physical;
 pub mod profile;
 pub mod scan;
 pub mod stats;
 
 pub use engine::{Engine, QueryOutput};
 pub use eval::{eval_expr, eval_predicate, ExecError};
+pub use physical::{
+    execute_logical, execute_physical, lower, lower_scan, Batch, NoTag, PhysOp, PhysicalPlan,
+    TagPolicy, BATCH_SIZE,
+};
 pub use profile::EngineProfile;
 pub use scan::{extract_skip_ranges, scan_table, ColumnRanges};
 pub use stats::ExecStats;

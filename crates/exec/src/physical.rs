@@ -1,0 +1,1636 @@
+//! Physical plans and the batched operator pipeline.
+//!
+//! This is the single execution layer shared by plain query execution,
+//! provenance-sketch capture and lineage capture. A [`LogicalPlan`] is
+//! *lowered* into a [`PhysicalPlan`] — an explicit operator tree where access
+//! paths have been chosen (the selection-pushdown-into-scan rewrite that used
+//! to live inside `Engine::exec` is now a visible lowering step producing
+//! [`PhysOp::IndexRangeScan`] / [`PhysOp::ZoneMapScan`] nodes) — and then
+//! executed by pull-based operators that process rows in fixed-size
+//! [`Batch`]es.
+//!
+//! Every batch carries a parallel *tag* vector. What a tag is, how scans seed
+//! it and how operators combine tags when rows merge is decided by a
+//! [`TagPolicy`]:
+//!
+//! * [`NoTag`] — plain execution; tags are `()` and compile away;
+//! * `pbds-provenance`'s sketch policy — tags are fragment-annotation
+//!   vectors, turning the same pipeline into the paper's instrumented
+//!   capture run (Sec. 7, rules r0–r7);
+//! * `pbds-provenance`'s lineage policy — tags are base-tuple sets, giving
+//!   the ground-truth Lineage semantics.
+//!
+//! The merge points are exactly the paper's capture rules: scans seed
+//! (r0), selection/projection/top-k keep (r1/r2/r5), aggregation merges group
+//! members with optional min/max narrowing (r3), join and cross product merge
+//! both sides (r4), union keeps (r6). The final fold over the result tags
+//! (r7) is done by the caller.
+
+use crate::eval::{eval_expr, eval_predicate, ExecError};
+use crate::profile::EngineProfile;
+use crate::scan::{extract_skip_ranges, InclusiveRange};
+use crate::stats::ExecStats;
+use pbds_algebra::{infer_type, AggExpr, AggFunc, Expr, LogicalPlan, SortKey};
+use pbds_storage::{Column, DataType, Database, Relation, Row, Schema, Table, Value};
+use std::collections::HashMap;
+
+/// Number of rows per pipeline batch.
+pub const BATCH_SIZE: usize = 1024;
+
+/// A batch of rows with a parallel per-row tag vector.
+#[derive(Debug, Clone)]
+pub struct Batch<T> {
+    /// The rows.
+    pub rows: Vec<Row>,
+    /// One tag per row, aligned with `rows`.
+    pub tags: Vec<T>,
+}
+
+impl<T> Batch<T> {
+    /// An empty batch with room for `n` rows.
+    pub fn with_capacity(n: usize) -> Self {
+        Batch {
+            rows: Vec::with_capacity(n),
+            tags: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of rows in the batch.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append one row with its tag.
+    pub fn push(&mut self, row: Row, tag: T) {
+        self.rows.push(row);
+        self.tags.push(tag);
+    }
+}
+
+/// How per-row tags are created and combined while the pipeline runs.
+///
+/// Plain execution uses [`NoTag`]; provenance capture supplies policies whose
+/// tags are sketch annotations or lineage tuple sets.
+pub trait TagPolicy {
+    /// The per-row tag type.
+    type Tag: Clone;
+
+    /// Tag for a base-table row entering the pipeline (capture rule r0).
+    fn seed_tag(&self, table: &str, schema: &Schema, row: &Row, row_id: u32) -> Self::Tag;
+
+    /// The neutral tag (rows created out of thin air, e.g. the empty-input
+    /// global aggregate).
+    fn empty_tag(&self) -> Self::Tag;
+
+    /// Merge `from` into `into` when two rows combine (rules r3/r4).
+    fn merge_tags(&self, into: &mut Self::Tag, from: &Self::Tag);
+
+    /// Apply the min/max narrowing of rule r3: when a group computes a single
+    /// `min`/`max`, only the extremal row's tag represents the group.
+    fn minmax_narrowing(&self) -> bool {
+        false
+    }
+}
+
+/// The trivial policy for plain execution: tags are `()` and every hook is a
+/// no-op the optimizer removes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTag;
+
+impl TagPolicy for NoTag {
+    type Tag = ();
+    fn seed_tag(&self, _table: &str, _schema: &Schema, _row: &Row, _row_id: u32) {}
+    fn empty_tag(&self) {}
+    fn merge_tags(&self, _into: &mut (), _from: &()) {}
+}
+
+/// A physical plan: an operator tree with its output schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysicalPlan {
+    /// Output schema of the root operator.
+    pub schema: Schema,
+    /// The root operator.
+    pub op: PhysOp,
+}
+
+/// Physical operators produced by [`lower`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysOp {
+    /// Full scan of a base table, with an optional residual filter.
+    SeqScan {
+        /// Table name.
+        table: String,
+        /// Residual predicate re-checked per row.
+        filter: Option<Expr>,
+    },
+    /// Ordered-index range scan: only row ids matching `ranges` are fetched.
+    IndexRangeScan {
+        /// Table name.
+        table: String,
+        /// Indexed column driving the scan.
+        column: String,
+        /// Union of inclusive ranges probed in the index.
+        ranges: Vec<InclusiveRange>,
+        /// Full predicate re-checked per fetched row.
+        filter: Option<Expr>,
+    },
+    /// Zone-map skip scan: blocks whose min/max cannot match are skipped.
+    ZoneMapScan {
+        /// Table name.
+        table: String,
+        /// Column whose per-block min/max drives the skipping.
+        column: String,
+        /// Union of inclusive ranges tested against block zones.
+        ranges: Vec<InclusiveRange>,
+        /// Full predicate re-checked per fetched row.
+        filter: Option<Expr>,
+    },
+    /// Filter (σ) above a non-scan input.
+    Filter {
+        /// Predicate.
+        predicate: Expr,
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+    },
+    /// Generalized projection (Π).
+    Project {
+        /// `(expression, output name)` pairs.
+        exprs: Vec<(Expr, String)>,
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+    },
+    /// Hash aggregation (γ) with group-by.
+    HashAggregate {
+        /// Group-by columns.
+        group_by: Vec<String>,
+        /// Aggregation expressions.
+        aggregates: Vec<AggExpr>,
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+    },
+    /// Hash equi-join (⋈); the right input is the build side.
+    HashJoin {
+        /// Probe side.
+        left: Box<PhysicalPlan>,
+        /// Build side.
+        right: Box<PhysicalPlan>,
+        /// Join column from the left input.
+        left_col: String,
+        /// Join column from the right input.
+        right_col: String,
+    },
+    /// Nested-loop cross product (×); the right input is materialized.
+    NestedLoopCross {
+        /// Streamed side.
+        left: Box<PhysicalPlan>,
+        /// Materialized side.
+        right: Box<PhysicalPlan>,
+    },
+    /// Full sort. `topk_limit` marks sorts lowered from a top-k operator so
+    /// the executor can record the paper's runtime safety counter.
+    Sort {
+        /// Sort keys.
+        keys: Vec<SortKey>,
+        /// `Some(k)` when this sort feeds a `Limit` lowered from top-k.
+        topk_limit: Option<usize>,
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+    },
+    /// Keep the first `limit` rows.
+    Limit {
+        /// Row budget.
+        limit: usize,
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+    },
+    /// Duplicate elimination (δ); duplicate rows merge their tags.
+    Distinct {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+    },
+    /// Bag union (∪): left rows then right rows.
+    Append {
+        /// First input.
+        left: Box<PhysicalPlan>,
+        /// Second input.
+        right: Box<PhysicalPlan>,
+    },
+}
+
+impl PhysicalPlan {
+    /// Direct children of the root operator.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match &self.op {
+            PhysOp::SeqScan { .. } | PhysOp::IndexRangeScan { .. } | PhysOp::ZoneMapScan { .. } => {
+                vec![]
+            }
+            PhysOp::Filter { input, .. }
+            | PhysOp::Project { input, .. }
+            | PhysOp::HashAggregate { input, .. }
+            | PhysOp::Sort { input, .. }
+            | PhysOp::Limit { input, .. }
+            | PhysOp::Distinct { input } => vec![input],
+            PhysOp::HashJoin { left, right, .. }
+            | PhysOp::NestedLoopCross { left, right }
+            | PhysOp::Append { left, right } => vec![left, right],
+        }
+    }
+
+    /// Human-readable indented operator tree (an `EXPLAIN` of sorts).
+    pub fn display_tree(&self) -> String {
+        let mut s = String::new();
+        self.fmt_tree(&mut s, 0);
+        s
+    }
+
+    fn fmt_tree(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let line = match &self.op {
+            PhysOp::SeqScan { table, filter } => match filter {
+                Some(f) => format!("SeqScan[{table}, filter={f}]"),
+                None => format!("SeqScan[{table}]"),
+            },
+            PhysOp::IndexRangeScan {
+                table,
+                column,
+                ranges,
+                ..
+            } => format!(
+                "IndexRangeScan[{table}.{column}, {} range(s)]",
+                ranges.len()
+            ),
+            PhysOp::ZoneMapScan {
+                table,
+                column,
+                ranges,
+                ..
+            } => format!("ZoneMapScan[{table}.{column}, {} range(s)]", ranges.len()),
+            PhysOp::Filter { predicate, .. } => format!("Filter[{predicate}]"),
+            PhysOp::Project { exprs, .. } => {
+                let cols: Vec<String> = exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                format!("Project[{}]", cols.join(", "))
+            }
+            PhysOp::HashAggregate {
+                group_by,
+                aggregates,
+                ..
+            } => {
+                let aggs: Vec<String> = aggregates
+                    .iter()
+                    .map(|a| format!("{}({}) AS {}", a.func, a.input, a.alias))
+                    .collect();
+                format!(
+                    "HashAggregate[group_by=({}), {}]",
+                    group_by.join(", "),
+                    aggs.join(", ")
+                )
+            }
+            PhysOp::HashJoin {
+                left_col,
+                right_col,
+                ..
+            } => format!("HashJoin[{left_col} = {right_col}]"),
+            PhysOp::NestedLoopCross { .. } => "NestedLoopCross".to_string(),
+            PhysOp::Sort {
+                keys, topk_limit, ..
+            } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|k| format!("{}{}", k.column, if k.descending { " DESC" } else { "" }))
+                    .collect();
+                match topk_limit {
+                    Some(k) => format!("Sort[({}), top-k={k}]", ks.join(", ")),
+                    None => format!("Sort[({})]", ks.join(", ")),
+                }
+            }
+            PhysOp::Limit { limit, .. } => format!("Limit[{limit}]"),
+            PhysOp::Distinct { .. } => "Distinct".to_string(),
+            PhysOp::Append { .. } => "Append".to_string(),
+        };
+        out.push_str(&pad);
+        out.push_str(&line);
+        out.push('\n');
+        for c in self.children() {
+            c.fmt_tree(out, indent + 1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+/// Lower a logical plan to a physical plan, choosing access paths.
+///
+/// Chains of selections are collapsed into one conjunction; when the chain
+/// bottoms out at a table scan the predicate is pushed into the scan and the
+/// best access path the `profile` allows is chosen: ordered index, then zone
+/// map, then sequential scan. The full predicate is always re-checked per
+/// row, so access-path choice affects performance and statistics only.
+pub fn lower(
+    db: &Database,
+    plan: &LogicalPlan,
+    profile: EngineProfile,
+) -> Result<PhysicalPlan, ExecError> {
+    match plan {
+        LogicalPlan::TableScan { table } => Ok(lower_scan(db.table(table)?, None, profile)),
+        LogicalPlan::Selection { .. } => {
+            // Collect the conjunction of predicates down a chain of
+            // selections (the rewrite `Engine::exec` used to do implicitly).
+            let mut predicates: Vec<Expr> = Vec::new();
+            let mut node = plan;
+            while let LogicalPlan::Selection { predicate, input } = node {
+                predicates.push(predicate.clone());
+                node = input;
+            }
+            let combined = if predicates.len() == 1 {
+                predicates.pop().expect("one predicate")
+            } else {
+                Expr::And(predicates)
+            };
+            if let LogicalPlan::TableScan { table } = node {
+                return Ok(lower_scan(db.table(table)?, Some(combined), profile));
+            }
+            let input = lower(db, node, profile)?;
+            Ok(PhysicalPlan {
+                schema: input.schema.clone(),
+                op: PhysOp::Filter {
+                    predicate: combined,
+                    input: Box::new(input),
+                },
+            })
+        }
+        LogicalPlan::Projection { exprs, input } => {
+            let input = lower(db, input, profile)?;
+            let schema = Schema::new(
+                exprs
+                    .iter()
+                    .map(|(e, name)| Column::new(name.clone(), infer_type(e, &input.schema)))
+                    .collect(),
+            );
+            Ok(PhysicalPlan {
+                schema,
+                op: PhysOp::Project {
+                    exprs: exprs.clone(),
+                    input: Box::new(input),
+                },
+            })
+        }
+        LogicalPlan::Aggregate {
+            group_by,
+            aggregates,
+            input,
+        } => {
+            let input = lower(db, input, profile)?;
+            let mut cols = Vec::new();
+            for g in group_by {
+                // Unlike LogicalPlan::schema (which tolerates unknowns for
+                // display purposes), lowering validates the plan: a physical
+                // plan returned by Engine::plan must also be executable.
+                let column = input
+                    .schema
+                    .column(g)
+                    .ok_or_else(|| ExecError::UnknownColumn(g.clone()))?;
+                cols.push(Column::new(g.clone(), column.dtype));
+            }
+            for a in aggregates {
+                let dtype = match a.func {
+                    AggFunc::Count => DataType::Int,
+                    AggFunc::Avg => DataType::Float,
+                    AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
+                        infer_type(&a.input, &input.schema)
+                    }
+                };
+                cols.push(Column::new(a.alias.clone(), dtype));
+            }
+            Ok(PhysicalPlan {
+                schema: Schema::new(cols),
+                op: PhysOp::HashAggregate {
+                    group_by: group_by.clone(),
+                    aggregates: aggregates.clone(),
+                    input: Box::new(input),
+                },
+            })
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_col,
+            right_col,
+        } => {
+            let left = lower(db, left, profile)?;
+            let right = lower(db, right, profile)?;
+            for (schema, column) in [(&left.schema, left_col), (&right.schema, right_col)] {
+                if schema.index_of(column).is_none() {
+                    return Err(ExecError::UnknownColumn(column.clone()));
+                }
+            }
+            Ok(PhysicalPlan {
+                schema: left.schema.concat(&right.schema),
+                op: PhysOp::HashJoin {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    left_col: left_col.clone(),
+                    right_col: right_col.clone(),
+                },
+            })
+        }
+        LogicalPlan::CrossProduct { left, right } => {
+            let left = lower(db, left, profile)?;
+            let right = lower(db, right, profile)?;
+            Ok(PhysicalPlan {
+                schema: left.schema.concat(&right.schema),
+                op: PhysOp::NestedLoopCross {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+            })
+        }
+        LogicalPlan::Distinct { input } => {
+            let input = lower(db, input, profile)?;
+            Ok(PhysicalPlan {
+                schema: input.schema.clone(),
+                op: PhysOp::Distinct {
+                    input: Box::new(input),
+                },
+            })
+        }
+        LogicalPlan::TopK {
+            order_by,
+            limit,
+            input,
+        } => {
+            let input = lower(db, input, profile)?;
+            for key in order_by {
+                if input.schema.index_of(&key.column).is_none() {
+                    return Err(ExecError::UnknownColumn(key.column.clone()));
+                }
+            }
+            let schema = input.schema.clone();
+            let sort = PhysicalPlan {
+                schema: schema.clone(),
+                op: PhysOp::Sort {
+                    keys: order_by.clone(),
+                    topk_limit: Some(*limit),
+                    input: Box::new(input),
+                },
+            };
+            Ok(PhysicalPlan {
+                schema,
+                op: PhysOp::Limit {
+                    limit: *limit,
+                    input: Box::new(sort),
+                },
+            })
+        }
+        LogicalPlan::Union { left, right } => {
+            let left = lower(db, left, profile)?;
+            let right = lower(db, right, profile)?;
+            Ok(PhysicalPlan {
+                schema: left.schema.clone(),
+                op: PhysOp::Append {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+            })
+        }
+    }
+}
+
+/// Lower one base-table access with an optional pushed-down predicate.
+pub fn lower_scan(table: &Table, predicate: Option<Expr>, profile: EngineProfile) -> PhysicalPlan {
+    let schema = table.schema().clone();
+    let name = table.name().to_string();
+    let op = match predicate {
+        None => PhysOp::SeqScan {
+            table: name,
+            filter: None,
+        },
+        Some(pred) => {
+            let ranges = if profile.allows_skipping() {
+                extract_skip_ranges(&pred)
+            } else {
+                None
+            };
+            match ranges {
+                Some(cr) if table.index_on(&cr.column).is_some() => PhysOp::IndexRangeScan {
+                    table: name,
+                    column: cr.column,
+                    ranges: cr.ranges,
+                    filter: Some(pred),
+                },
+                Some(cr) if table.zone_map().is_some() && schema.index_of(&cr.column).is_some() => {
+                    PhysOp::ZoneMapScan {
+                        table: name,
+                        column: cr.column,
+                        ranges: cr.ranges,
+                        filter: Some(pred),
+                    }
+                }
+                _ => PhysOp::SeqScan {
+                    table: name,
+                    filter: Some(pred),
+                },
+            }
+        }
+    };
+    PhysicalPlan { schema, op }
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/// Execute a physical plan, returning the result relation and the per-row
+/// tags produced by the policy (aligned with the relation's rows).
+pub fn execute_physical<P: TagPolicy>(
+    db: &Database,
+    plan: &PhysicalPlan,
+    policy: &P,
+    stats: &mut ExecStats,
+) -> Result<(Relation, Vec<P::Tag>), ExecError> {
+    let mut op = build_op(db, plan, policy, stats)?;
+    let mut relation = Relation::empty(plan.schema.clone());
+    let mut tags = Vec::new();
+    while let Some(batch) = op.next_batch(stats)? {
+        stats.batches += 1;
+        for (row, tag) in batch.rows.into_iter().zip(batch.tags) {
+            relation.push(row);
+            tags.push(tag);
+        }
+    }
+    Ok((relation, tags))
+}
+
+/// Lower a logical plan and execute it in one step.
+pub fn execute_logical<P: TagPolicy>(
+    db: &Database,
+    plan: &LogicalPlan,
+    profile: EngineProfile,
+    policy: &P,
+    stats: &mut ExecStats,
+) -> Result<(Relation, Vec<P::Tag>), ExecError> {
+    let physical = lower(db, plan, profile)?;
+    execute_physical(db, &physical, policy, stats)
+}
+
+pub(crate) trait BatchOp<P: TagPolicy> {
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Result<Option<Batch<P::Tag>>, ExecError>;
+}
+
+type BoxOp<'a, P> = Box<dyn BatchOp<P> + 'a>;
+
+fn build_op<'a, P: TagPolicy>(
+    db: &'a Database,
+    plan: &'a PhysicalPlan,
+    policy: &'a P,
+    stats: &mut ExecStats,
+) -> Result<BoxOp<'a, P>, ExecError> {
+    match &plan.op {
+        PhysOp::SeqScan { table, .. }
+        | PhysOp::IndexRangeScan { table, .. }
+        | PhysOp::ZoneMapScan { table, .. } => {
+            let t = db.table(table)?;
+            Ok(Box::new(make_scan_op(t, &plan.op, policy, stats)?))
+        }
+        PhysOp::Filter { predicate, input } => Ok(Box::new(FilterOp {
+            schema: &input.schema,
+            predicate,
+            input: build_op(db, input, policy, stats)?,
+        })),
+        PhysOp::Project { exprs, input } => Ok(Box::new(ProjectOp {
+            in_schema: &input.schema,
+            exprs,
+            input: build_op(db, input, policy, stats)?,
+        })),
+        PhysOp::HashAggregate {
+            group_by,
+            aggregates,
+            input,
+        } => {
+            let group_idx: Vec<usize> = group_by
+                .iter()
+                .map(|g| {
+                    input
+                        .schema
+                        .index_of(g)
+                        .ok_or_else(|| ExecError::UnknownColumn(g.clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            Ok(Box::new(HashAggregateOp {
+                in_schema: &input.schema,
+                group_idx,
+                group_by_empty: group_by.is_empty(),
+                aggregates,
+                policy,
+                input: Some(build_op(db, input, policy, stats)?),
+                out: Emitter::new(),
+            }))
+        }
+        PhysOp::HashJoin {
+            left,
+            right,
+            left_col,
+            right_col,
+        } => {
+            let li = left
+                .schema
+                .index_of(left_col)
+                .ok_or_else(|| ExecError::UnknownColumn(left_col.clone()))?;
+            let ri = right
+                .schema
+                .index_of(right_col)
+                .ok_or_else(|| ExecError::UnknownColumn(right_col.clone()))?;
+            Ok(Box::new(HashJoinOp {
+                left: build_op(db, left, policy, stats)?,
+                right: Some(build_op(db, right, policy, stats)?),
+                li,
+                ri,
+                policy,
+                build: HashMap::new(),
+                build_rows: Vec::new(),
+            }))
+        }
+        PhysOp::NestedLoopCross { left, right } => Ok(Box::new(NestedLoopCrossOp {
+            left: build_op(db, left, policy, stats)?,
+            right: Some(build_op(db, right, policy, stats)?),
+            policy,
+            right_rows: Vec::new(),
+            pending: std::collections::VecDeque::new(),
+            current: None,
+            right_pos: 0,
+            left_count: 0,
+            done: false,
+        })),
+        PhysOp::Sort {
+            keys,
+            topk_limit,
+            input,
+        } => {
+            let key_idx: Vec<(usize, bool)> = keys
+                .iter()
+                .map(|k| {
+                    input
+                        .schema
+                        .index_of(&k.column)
+                        .map(|i| (i, k.descending))
+                        .ok_or_else(|| ExecError::UnknownColumn(k.column.clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            Ok(Box::new(SortOp {
+                key_idx,
+                topk_limit: *topk_limit,
+                input: Some(build_op(db, input, policy, stats)?),
+                out: Emitter::new(),
+            }))
+        }
+        PhysOp::Limit { limit, input } => Ok(Box::new(LimitOp {
+            remaining: *limit,
+            input: build_op(db, input, policy, stats)?,
+        })),
+        PhysOp::Distinct { input } => Ok(Box::new(DistinctOp {
+            policy,
+            input: Some(build_op(db, input, policy, stats)?),
+            out: Emitter::new(),
+        })),
+        PhysOp::Append { left, right } => Ok(Box::new(AppendOp {
+            left: Some(build_op(db, left, policy, stats)?),
+            right: Some(build_op(db, right, policy, stats)?),
+        })),
+    }
+}
+
+// -- scans ------------------------------------------------------------------
+
+/// Row-id source of a scan: contiguous segments (seq / zone-map scans) or an
+/// explicit id list (index scans).
+enum RidSource {
+    Segments(std::vec::IntoIter<(usize, usize)>, Option<(usize, usize)>),
+    List(std::vec::IntoIter<u32>),
+}
+
+impl RidSource {
+    fn next_rid(&mut self) -> Option<u32> {
+        match self {
+            RidSource::Segments(segs, cur) => loop {
+                if let Some((start, end)) = cur {
+                    if start < end {
+                        let rid = *start as u32;
+                        *start += 1;
+                        return Some(rid);
+                    }
+                }
+                match segs.next() {
+                    Some(seg) => *cur = Some(seg),
+                    None => return None,
+                }
+            },
+            RidSource::List(rids) => rids.next(),
+        }
+    }
+}
+
+pub(crate) struct ScanOp<'a, P: TagPolicy> {
+    table: &'a Table,
+    policy: &'a P,
+    filter: Option<&'a Expr>,
+    source: RidSource,
+}
+
+/// Build the executor for a scan operator over an already-resolved table,
+/// recording the access-path statistics (`scan.rs`'s `scan_table` shares
+/// this path).
+///
+/// Lowering only emits index / zone-map scans when the physical-design
+/// artifact exists, but the database may have been mutated between `lower`
+/// and execution (e.g. a table replaced without its index) — a stale plan
+/// reports [`ExecError::Plan`] instead of panicking.
+pub(crate) fn make_scan_op<'a, P: TagPolicy>(
+    table: &'a Table,
+    op: &'a PhysOp,
+    policy: &'a P,
+    stats: &mut ExecStats,
+) -> Result<ScanOp<'a, P>, ExecError> {
+    let stale = |what: &str, column: &str| {
+        ExecError::Plan(format!(
+            "{what} on {}.{column}, but the table no longer has it \
+             (physical plan is stale; re-lower against the current database)",
+            table.name()
+        ))
+    };
+    let (filter, source) = match op {
+        PhysOp::SeqScan { filter, .. } => {
+            stats.full_scans += 1;
+            stats.rows_scanned += table.len() as u64;
+            (
+                filter.as_ref(),
+                RidSource::Segments(vec![(0, table.len())].into_iter(), None),
+            )
+        }
+        PhysOp::IndexRangeScan {
+            column,
+            ranges,
+            filter,
+            ..
+        } => {
+            let index = table
+                .index_on(column)
+                .ok_or_else(|| stale("IndexRangeScan", column))?;
+            let rids = index.multi_range(ranges);
+            stats.index_scans += 1;
+            stats.rows_scanned += rids.len() as u64;
+            (filter.as_ref(), RidSource::List(rids.into_iter()))
+        }
+        PhysOp::ZoneMapScan {
+            column,
+            ranges,
+            filter,
+            ..
+        } => {
+            let zm = table
+                .zone_map()
+                .ok_or_else(|| stale("ZoneMapScan", column))?;
+            let col_idx = table
+                .schema()
+                .index_of(column)
+                .ok_or_else(|| ExecError::UnknownColumn(column.clone()))?;
+            let blocks = zm.candidate_blocks(col_idx, ranges);
+            stats.blocks_total += zm.num_blocks() as u64;
+            stats.blocks_skipped += (zm.num_blocks() - blocks.len()) as u64;
+            let mut segs = Vec::with_capacity(blocks.len());
+            for b in blocks {
+                stats.rows_scanned += (b.end - b.start) as u64;
+                segs.push((b.start, b.end));
+            }
+            (filter.as_ref(), RidSource::Segments(segs.into_iter(), None))
+        }
+        other => {
+            return Err(ExecError::Plan(format!(
+                "make_scan_op on non-scan operator {other:?}"
+            )))
+        }
+    };
+    Ok(ScanOp {
+        table,
+        policy,
+        filter,
+        source,
+    })
+}
+
+impl<P: TagPolicy> BatchOp<P> for ScanOp<'_, P> {
+    fn next_batch(&mut self, _stats: &mut ExecStats) -> Result<Option<Batch<P::Tag>>, ExecError> {
+        let schema = self.table.schema();
+        let name = self.table.name();
+        let mut batch = Batch::with_capacity(BATCH_SIZE);
+        while batch.len() < BATCH_SIZE {
+            let Some(rid) = self.source.next_rid() else {
+                break;
+            };
+            let row = &self.table.rows()[rid as usize];
+            if let Some(pred) = self.filter {
+                if !eval_predicate(pred, schema, row)? {
+                    continue;
+                }
+            }
+            let tag = self.policy.seed_tag(name, schema, row, rid);
+            batch.push(row.clone(), tag);
+        }
+        Ok((!batch.is_empty()).then_some(batch))
+    }
+}
+
+// -- streaming operators ----------------------------------------------------
+
+struct FilterOp<'a, P: TagPolicy> {
+    schema: &'a Schema,
+    predicate: &'a Expr,
+    input: BoxOp<'a, P>,
+}
+
+impl<P: TagPolicy> BatchOp<P> for FilterOp<'_, P> {
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Result<Option<Batch<P::Tag>>, ExecError> {
+        while let Some(batch) = self.input.next_batch(stats)? {
+            let mut out = Batch::with_capacity(batch.len());
+            for (row, tag) in batch.rows.into_iter().zip(batch.tags) {
+                if eval_predicate(self.predicate, self.schema, &row)? {
+                    out.push(row, tag);
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct ProjectOp<'a, P: TagPolicy> {
+    in_schema: &'a Schema,
+    exprs: &'a [(Expr, String)],
+    input: BoxOp<'a, P>,
+}
+
+impl<P: TagPolicy> BatchOp<P> for ProjectOp<'_, P> {
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Result<Option<Batch<P::Tag>>, ExecError> {
+        let Some(batch) = self.input.next_batch(stats)? else {
+            return Ok(None);
+        };
+        let mut out = Batch::with_capacity(batch.len());
+        for (row, tag) in batch.rows.into_iter().zip(batch.tags) {
+            let mut new_row = Vec::with_capacity(self.exprs.len());
+            for (e, _) in self.exprs {
+                new_row.push(eval_expr(e, self.in_schema, &row)?);
+            }
+            out.push(new_row, tag);
+        }
+        Ok(Some(out))
+    }
+}
+
+struct LimitOp<'a, P: TagPolicy> {
+    remaining: usize,
+    input: BoxOp<'a, P>,
+}
+
+impl<P: TagPolicy> BatchOp<P> for LimitOp<'_, P> {
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Result<Option<Batch<P::Tag>>, ExecError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let Some(mut batch) = self.input.next_batch(stats)? else {
+            return Ok(None);
+        };
+        if batch.len() > self.remaining {
+            batch.rows.truncate(self.remaining);
+            batch.tags.truncate(self.remaining);
+        }
+        self.remaining -= batch.len();
+        Ok(Some(batch))
+    }
+}
+
+struct AppendOp<'a, P: TagPolicy> {
+    left: Option<BoxOp<'a, P>>,
+    right: Option<BoxOp<'a, P>>,
+}
+
+impl<P: TagPolicy> BatchOp<P> for AppendOp<'_, P> {
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Result<Option<Batch<P::Tag>>, ExecError> {
+        if let Some(left) = &mut self.left {
+            if let Some(batch) = left.next_batch(stats)? {
+                return Ok(Some(batch));
+            }
+            self.left = None;
+        }
+        if let Some(right) = &mut self.right {
+            if let Some(batch) = right.next_batch(stats)? {
+                return Ok(Some(batch));
+            }
+            self.right = None;
+        }
+        Ok(None)
+    }
+}
+
+// -- blocking operators -----------------------------------------------------
+
+/// Buffered output of a blocking operator, drained in `BATCH_SIZE` chunks.
+struct Emitter<T> {
+    rows: std::vec::IntoIter<(Row, T)>,
+    filled: bool,
+}
+
+impl<T> Emitter<T> {
+    fn new() -> Self {
+        Emitter {
+            rows: Vec::new().into_iter(),
+            filled: false,
+        }
+    }
+
+    fn fill(&mut self, rows: Vec<(Row, T)>) {
+        self.rows = rows.into_iter();
+        self.filled = true;
+    }
+
+    fn emit(&mut self) -> Option<Batch<T>> {
+        let mut batch = Batch::with_capacity(BATCH_SIZE);
+        for (row, tag) in self.rows.by_ref().take(BATCH_SIZE) {
+            batch.push(row, tag);
+        }
+        (!batch.is_empty()).then_some(batch)
+    }
+}
+
+/// Per-group accumulator: the running aggregates plus the group's merged tag
+/// (and, under min/max narrowing, the extremal witness row's tag).
+struct GroupAcc<T> {
+    count: i64,
+    sums: Vec<f64>,
+    int_sums: Vec<i64>,
+    all_int: Vec<bool>,
+    mins: Vec<Option<Value>>,
+    maxs: Vec<Option<Value>>,
+    non_null: Vec<i64>,
+    tag: T,
+    witness: Option<(Value, T)>,
+}
+
+struct HashAggregateOp<'a, P: TagPolicy> {
+    in_schema: &'a Schema,
+    group_idx: Vec<usize>,
+    group_by_empty: bool,
+    aggregates: &'a [AggExpr],
+    policy: &'a P,
+    input: Option<BoxOp<'a, P>>,
+    out: Emitter<P::Tag>,
+}
+
+impl<P: TagPolicy> HashAggregateOp<'_, P> {
+    fn drain_input(&mut self, stats: &mut ExecStats) -> Result<(), ExecError> {
+        let mut input = self.input.take().expect("aggregate drained once");
+        let n_aggs = self.aggregates.len();
+        // The min/max narrowing of rule r3 applies when the aggregation
+        // computes a single min or max.
+        let narrow = self.policy.minmax_narrowing()
+            && n_aggs == 1
+            && matches!(self.aggregates[0].func, AggFunc::Min | AggFunc::Max);
+        let want_max = matches!(self.aggregates.first().map(|a| a.func), Some(AggFunc::Max));
+
+        // Keys are hashed as `Value` rows directly: `Value`'s `Hash` is
+        // consistent with its exact, transitive `Eq` (Int/Float compare at
+        // full precision), so distinct 64-bit integers never conflate even
+        // where their `f64` images collide.
+        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        let mut groups: Vec<(Vec<Value>, GroupAcc<P::Tag>)> = Vec::new();
+
+        while let Some(batch) = input.next_batch(stats)? {
+            stats.intermediate_rows += batch.len() as u64;
+            for (row, tag) in batch.rows.iter().zip(&batch.tags) {
+                let key: Vec<Value> = self.group_idx.iter().map(|&i| row[i].clone()).collect();
+                // get-then-insert rather than the entry API: the key is only
+                // cloned on the once-per-group miss path, not per input row.
+                let slot = match index.get(&key) {
+                    Some(&slot) => slot,
+                    None => {
+                        let slot = groups.len();
+                        index.insert(key.clone(), slot);
+                        groups.push((
+                            key,
+                            GroupAcc {
+                                count: 0,
+                                sums: vec![0.0; n_aggs],
+                                int_sums: vec![0; n_aggs],
+                                all_int: vec![true; n_aggs],
+                                mins: vec![None; n_aggs],
+                                maxs: vec![None; n_aggs],
+                                non_null: vec![0; n_aggs],
+                                // Under narrowing this holds the first
+                                // member's tag as the all-NULL fallback; see
+                                // the finalize step below.
+                                tag: if narrow {
+                                    tag.clone()
+                                } else {
+                                    self.policy.empty_tag()
+                                },
+                                witness: None,
+                            },
+                        ));
+                        slot
+                    }
+                };
+                let acc = &mut groups[slot].1;
+                acc.count += 1;
+                for (ai, agg) in self.aggregates.iter().enumerate() {
+                    let v = eval_expr(&agg.input, self.in_schema, row)?;
+                    if v.is_null() {
+                        continue;
+                    }
+                    acc.non_null[ai] += 1;
+                    if let Some(f) = v.as_f64() {
+                        acc.sums[ai] += f;
+                    }
+                    match (&v, acc.all_int[ai]) {
+                        (Value::Int(i), true) => acc.int_sums[ai] += i,
+                        _ => acc.all_int[ai] = false,
+                    }
+                    if acc.mins[ai].as_ref().is_none_or(|m| &v < m) {
+                        acc.mins[ai] = Some(v.clone());
+                    }
+                    if acc.maxs[ai].as_ref().is_none_or(|m| &v > m) {
+                        acc.maxs[ai] = Some(v.clone());
+                    }
+                    if narrow {
+                        // Keep the first strictly-extremal row as the witness
+                        // whose tag represents the whole group.
+                        let better = match &acc.witness {
+                            None => true,
+                            Some((best, _)) => {
+                                if want_max {
+                                    v > *best
+                                } else {
+                                    v < *best
+                                }
+                            }
+                        };
+                        if better {
+                            acc.witness = Some((v.clone(), tag.clone()));
+                        }
+                    }
+                }
+                if !narrow {
+                    self.policy.merge_tags(&mut acc.tag, tag);
+                }
+            }
+        }
+
+        let mut out = Vec::with_capacity(groups.len());
+        for (key, acc) in groups {
+            let mut row = key;
+            for (ai, agg) in self.aggregates.iter().enumerate() {
+                let v = match agg.func {
+                    AggFunc::Count => Value::Int(acc.count),
+                    AggFunc::Sum => {
+                        if acc.non_null[ai] == 0 {
+                            Value::Null
+                        } else if acc.all_int[ai] {
+                            Value::Int(acc.int_sums[ai])
+                        } else {
+                            Value::Float(acc.sums[ai])
+                        }
+                    }
+                    AggFunc::Avg => {
+                        if acc.non_null[ai] == 0 {
+                            Value::Null
+                        } else {
+                            Value::Float(acc.sums[ai] / acc.non_null[ai] as f64)
+                        }
+                    }
+                    AggFunc::Min => acc.mins[ai].clone().unwrap_or(Value::Null),
+                    AggFunc::Max => acc.maxs[ai].clone().unwrap_or(Value::Null),
+                };
+                row.push(v);
+            }
+            let tag = if narrow {
+                // The extremal row's tag represents the group. When every
+                // aggregate input was NULL there is no extremal row, but the
+                // group still produces a `(key, NULL)` output — any single
+                // member suffices to reproduce it, so fall back to the first
+                // member's tag rather than dropping the group's provenance.
+                acc.witness.map(|(_, t)| t).unwrap_or(acc.tag)
+            } else {
+                acc.tag
+            };
+            out.push((row, tag));
+        }
+
+        // Global aggregation over an empty input still produces one row
+        // (count = 0, other aggregates NULL), matching SQL semantics.
+        if out.is_empty() && self.group_by_empty {
+            let mut row: Row = Vec::new();
+            for agg in self.aggregates {
+                row.push(match agg.func {
+                    AggFunc::Count => Value::Int(0),
+                    _ => Value::Null,
+                });
+            }
+            out.push((row, self.policy.empty_tag()));
+        }
+        self.out.fill(out);
+        Ok(())
+    }
+}
+
+impl<P: TagPolicy> BatchOp<P> for HashAggregateOp<'_, P> {
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Result<Option<Batch<P::Tag>>, ExecError> {
+        if !self.out.filled {
+            self.drain_input(stats)?;
+        }
+        Ok(self.out.emit())
+    }
+}
+
+struct HashJoinOp<'a, P: TagPolicy> {
+    left: BoxOp<'a, P>,
+    right: Option<BoxOp<'a, P>>,
+    li: usize,
+    ri: usize,
+    policy: &'a P,
+    build: HashMap<Value, Vec<usize>>,
+    build_rows: Vec<(Row, P::Tag)>,
+}
+
+impl<P: TagPolicy> BatchOp<P> for HashJoinOp<'_, P> {
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Result<Option<Batch<P::Tag>>, ExecError> {
+        if let Some(mut right) = self.right.take() {
+            while let Some(batch) = right.next_batch(stats)? {
+                stats.intermediate_rows += batch.len() as u64;
+                for (row, tag) in batch.rows.into_iter().zip(batch.tags) {
+                    let k = &row[self.ri];
+                    if k.is_null() {
+                        continue;
+                    }
+                    self.build
+                        .entry(k.clone())
+                        .or_default()
+                        .push(self.build_rows.len());
+                    self.build_rows.push((row, tag));
+                }
+            }
+        }
+        while let Some(batch) = self.left.next_batch(stats)? {
+            stats.intermediate_rows += batch.len() as u64;
+            let mut out = Batch::with_capacity(batch.len());
+            for (lrow, ltag) in batch.rows.into_iter().zip(batch.tags) {
+                let k = &lrow[self.li];
+                if k.is_null() {
+                    continue;
+                }
+                if let Some(matches) = self.build.get(k) {
+                    for &bi in matches {
+                        let (rrow, rtag) = &self.build_rows[bi];
+                        let mut row = lrow.clone();
+                        row.extend(rrow.iter().cloned());
+                        let mut tag = ltag.clone();
+                        self.policy.merge_tags(&mut tag, rtag);
+                        out.push(row, tag);
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
+        }
+        Ok(None)
+    }
+}
+
+struct NestedLoopCrossOp<'a, P: TagPolicy> {
+    left: BoxOp<'a, P>,
+    right: Option<BoxOp<'a, P>>,
+    policy: &'a P,
+    right_rows: Vec<(Row, P::Tag)>,
+    pending: std::collections::VecDeque<(Row, P::Tag)>,
+    current: Option<(Row, P::Tag)>,
+    right_pos: usize,
+    left_count: u64,
+    done: bool,
+}
+
+impl<'a, P: TagPolicy> NestedLoopCrossOp<'a, P> {
+    /// Pull the next left row, tracking the cardinality for the stats.
+    fn advance_left(&mut self, stats: &mut ExecStats) -> Result<bool, ExecError> {
+        // Left rows are pulled one batch at a time but consumed row-by-row:
+        // buffer the current batch in `pending`.
+        loop {
+            if let Some((row, tag)) = self.pending.pop_front() {
+                self.current = Some((row, tag));
+                self.right_pos = 0;
+                self.left_count += 1;
+                return Ok(true);
+            }
+            match self.left.next_batch(stats)? {
+                Some(batch) => {
+                    self.pending.extend(batch.rows.into_iter().zip(batch.tags));
+                }
+                None => return Ok(false),
+            }
+        }
+    }
+}
+
+impl<P: TagPolicy> BatchOp<P> for NestedLoopCrossOp<'_, P> {
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Result<Option<Batch<P::Tag>>, ExecError> {
+        if self.done {
+            return Ok(None);
+        }
+        if let Some(mut right) = self.right.take() {
+            while let Some(batch) = right.next_batch(stats)? {
+                self.right_rows
+                    .extend(batch.rows.into_iter().zip(batch.tags));
+            }
+        }
+        let mut out = Batch::with_capacity(BATCH_SIZE);
+        loop {
+            if self.current.is_none() && !self.advance_left(stats)? {
+                // Count the quadratic blow-up with saturating arithmetic
+                // so pathological inputs cannot overflow the counter.
+                stats.intermediate_rows = stats
+                    .intermediate_rows
+                    .saturating_add(self.left_count.saturating_mul(self.right_rows.len() as u64));
+                self.done = true;
+                break;
+            }
+            let (lrow, ltag) = self.current.as_ref().expect("set by advance_left");
+            while self.right_pos < self.right_rows.len() && out.len() < BATCH_SIZE {
+                let (rrow, rtag) = &self.right_rows[self.right_pos];
+                let mut row = lrow.clone();
+                row.extend(rrow.iter().cloned());
+                let mut tag = ltag.clone();
+                self.policy.merge_tags(&mut tag, rtag);
+                out.push(row, tag);
+                self.right_pos += 1;
+            }
+            if self.right_pos >= self.right_rows.len() {
+                self.current = None;
+            }
+            if out.len() >= BATCH_SIZE {
+                break;
+            }
+        }
+        Ok((!out.is_empty()).then_some(out))
+    }
+}
+
+struct SortOp<'a, P: TagPolicy> {
+    key_idx: Vec<(usize, bool)>,
+    topk_limit: Option<usize>,
+    input: Option<BoxOp<'a, P>>,
+    out: Emitter<P::Tag>,
+}
+
+impl<P: TagPolicy> BatchOp<P> for SortOp<'_, P> {
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Result<Option<Batch<P::Tag>>, ExecError> {
+        if let Some(mut input) = self.input.take() {
+            let mut rows: Vec<(Row, P::Tag)> = Vec::new();
+            while let Some(batch) = input.next_batch(stats)? {
+                rows.extend(batch.rows.into_iter().zip(batch.tags));
+            }
+            if let Some(limit) = self.topk_limit {
+                // `(limit, input_rows)` re-validates top-k sketch safety at
+                // runtime (footnote 1, Sec. 5 of the paper).
+                stats.topk_inputs.push((limit, rows.len() as u64));
+            }
+            let key_idx = &self.key_idx;
+            rows.sort_by(|(a, _), (b, _)| {
+                for &(idx, desc) in key_idx {
+                    let ord = a[idx].cmp(&b[idx]);
+                    let ord = if desc { ord.reverse() } else { ord };
+                    if !ord.is_eq() {
+                        return ord;
+                    }
+                }
+                // Break ties deterministically using the remaining columns
+                // (the paper's top-k operator assumes a total order).
+                a.cmp(b)
+            });
+            self.out.fill(rows);
+        }
+        Ok(self.out.emit())
+    }
+}
+
+struct DistinctOp<'a, P: TagPolicy> {
+    policy: &'a P,
+    input: Option<BoxOp<'a, P>>,
+    out: Emitter<P::Tag>,
+}
+
+impl<P: TagPolicy> BatchOp<P> for DistinctOp<'_, P> {
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Result<Option<Batch<P::Tag>>, ExecError> {
+        if let Some(mut input) = self.input.take() {
+            // Keys are hashed as `Value` rows directly: `Value`'s `Hash` is
+            // consistent with its exact `Eq`, so distinct 64-bit integers never
+            // conflate even where their `f64` images collide. Each surviving
+            // row is stored once (as the map key, with its arrival rank and
+            // merged tag as the entry) — first occurrence wins, duplicates
+            // only fold their tags in.
+            let mut seen: HashMap<Row, (usize, P::Tag)> = HashMap::new();
+            while let Some(batch) = input.next_batch(stats)? {
+                for (row, tag) in batch.rows.into_iter().zip(batch.tags) {
+                    match seen.get_mut(&row) {
+                        Some((_, merged)) => self.policy.merge_tags(merged, &tag),
+                        None => {
+                            let rank = seen.len();
+                            seen.insert(row, (rank, tag));
+                        }
+                    }
+                }
+            }
+            let mut uniques: Vec<(usize, Row, P::Tag)> = seen
+                .into_iter()
+                .map(|(row, (rank, tag))| (rank, row, tag))
+                .collect();
+            uniques.sort_unstable_by_key(|(rank, _, _)| *rank);
+            self.out.fill(
+                uniques
+                    .into_iter()
+                    .map(|(_, row, tag)| (row, tag))
+                    .collect(),
+            );
+        }
+        Ok(self.out.emit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbds_algebra::{col, lit, SortKey};
+    use pbds_storage::TableBuilder;
+
+    fn indexed_db() -> Database {
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("grp", DataType::Int)]);
+        let mut b = TableBuilder::new("t", schema);
+        b.block_size(100).index("id");
+        for i in 0..5_000i64 {
+            b.push(vec![Value::Int(i), Value::Int(i % 7)]);
+        }
+        let mut db = Database::new();
+        db.add_table(b.build());
+        db
+    }
+
+    fn zone_db() -> Database {
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("grp", DataType::Int)]);
+        let mut b = TableBuilder::new("t", schema);
+        b.block_size(100);
+        for i in 0..5_000i64 {
+            b.push(vec![Value::Int(i), Value::Int(i % 7)]);
+        }
+        let mut db = Database::new();
+        db.add_table(b.build());
+        db
+    }
+
+    fn run(db: &Database, plan: &LogicalPlan, profile: EngineProfile) -> (Relation, ExecStats) {
+        let mut stats = ExecStats::default();
+        let (rel, _) = execute_logical(db, plan, profile, &NoTag, &mut stats).unwrap();
+        (rel, stats)
+    }
+
+    #[test]
+    fn lowering_pushes_selection_into_index_scan() {
+        let db = indexed_db();
+        let plan = LogicalPlan::scan("t").filter(col("id").between(lit(10), lit(20)));
+        let physical = lower(&db, &plan, EngineProfile::Indexed).unwrap();
+        assert!(
+            matches!(physical.op, PhysOp::IndexRangeScan { .. }),
+            "got:\n{}",
+            physical.display_tree()
+        );
+    }
+
+    #[test]
+    fn lowering_falls_back_to_zone_map_then_seq() {
+        let db = zone_db();
+        let plan = LogicalPlan::scan("t").filter(col("id").between(lit(10), lit(20)));
+        let physical = lower(&db, &plan, EngineProfile::Indexed).unwrap();
+        assert!(matches!(physical.op, PhysOp::ZoneMapScan { .. }));
+        // The columnar profile never skips.
+        let physical = lower(&db, &plan, EngineProfile::ColumnarScan).unwrap();
+        assert!(matches!(
+            physical.op,
+            PhysOp::SeqScan {
+                filter: Some(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn lowering_splits_topk_into_sort_and_limit() {
+        let db = indexed_db();
+        let plan = LogicalPlan::scan("t").top_k(vec![SortKey::desc("id")], 3);
+        let physical = lower(&db, &plan, EngineProfile::Indexed).unwrap();
+        let PhysOp::Limit { limit, input } = &physical.op else {
+            panic!("expected Limit, got:\n{}", physical.display_tree());
+        };
+        assert_eq!(*limit, 3);
+        assert!(matches!(
+            input.op,
+            PhysOp::Sort {
+                topk_limit: Some(3),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn selection_chain_collapses_into_one_scan() {
+        let db = indexed_db();
+        let plan = LogicalPlan::scan("t")
+            .filter(col("id").ge(lit(100)))
+            .filter(col("id").le(lit(110)));
+        let physical = lower(&db, &plan, EngineProfile::Indexed).unwrap();
+        assert!(matches!(physical.op, PhysOp::IndexRangeScan { .. }));
+        let (rel, stats) = run(&db, &plan, EngineProfile::Indexed);
+        assert_eq!(rel.len(), 11);
+        assert_eq!(stats.index_scans, 1);
+        assert_eq!(stats.rows_scanned, 11);
+    }
+
+    #[test]
+    fn batches_flow_through_the_pipeline() {
+        let db = zone_db();
+        let plan = LogicalPlan::scan("t").filter(col("grp").eq(lit(3)));
+        let (rel, stats) = run(&db, &plan, EngineProfile::ColumnarScan);
+        assert_eq!(rel.len(), 714); // i % 7 == 3 for i in 0..5000
+                                    // 5000 input rows = 5 scan batches, filtered in place.
+        assert!(stats.batches >= 1);
+        assert_eq!(stats.full_scans, 1);
+    }
+
+    #[test]
+    fn profiles_agree_on_results() {
+        let db = indexed_db();
+        let db2 = zone_db();
+        let plan = LogicalPlan::scan("t")
+            .filter(col("id").between(lit(500), lit(1500)))
+            .aggregate(
+                vec!["grp"],
+                vec![AggExpr::new(AggFunc::Count, col("id"), "cnt")],
+            )
+            .top_k(vec![SortKey::desc("cnt")], 3);
+        let (a, _) = run(&db, &plan, EngineProfile::Indexed);
+        let (b, _) = run(&db, &plan, EngineProfile::ColumnarScan);
+        let (c, _) = run(&db2, &plan, EngineProfile::Indexed);
+        assert!(a.bag_eq(&b));
+        assert!(a.bag_eq(&c));
+    }
+
+    #[test]
+    fn limit_stops_pulling() {
+        let db = zone_db();
+        let plan = LogicalPlan::scan("t").top_k(vec![SortKey::asc("id")], 5);
+        let (rel, stats) = run(&db, &plan, EngineProfile::Indexed);
+        assert_eq!(rel.len(), 5);
+        assert_eq!(stats.topk_inputs, vec![(5, 5_000)]);
+    }
+
+    #[test]
+    fn distinct_merges_on_value_keys() {
+        let schema = Schema::from_pairs(&[("v", DataType::Float)]);
+        let mut b = TableBuilder::new("m", schema);
+        b.push(vec![Value::Int(1)]);
+        b.push(vec![Value::Float(1.0)]);
+        b.push(vec![Value::Int(2)]);
+        let mut db = Database::new();
+        db.add_table(b.build());
+        let plan = LogicalPlan::scan("m").distinct();
+        let (rel, _) = run(&db, &plan, EngineProfile::Indexed);
+        // Int(1) and Float(1.0) are equal values, so they deduplicate.
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn hash_operators_distinguish_ints_beyond_f64_precision() {
+        // 2^53 and 2^53 + 1 share an f64 image; group-by, distinct and join
+        // must still treat them as different keys.
+        const BIG: i64 = 1 << 53;
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Int)]);
+        let mut b = TableBuilder::new("big", schema);
+        b.push(vec![Value::Int(BIG), Value::Int(1)]);
+        b.push(vec![Value::Int(BIG + 1), Value::Int(2)]);
+        b.push(vec![Value::Int(BIG), Value::Int(3)]);
+        let mut db = Database::new();
+        db.add_table(b.build());
+
+        let distinct = LogicalPlan::scan("big")
+            .project(vec![(col("k"), "k")])
+            .distinct();
+        let (rel, _) = run(&db, &distinct, EngineProfile::Indexed);
+        assert_eq!(rel.len(), 2);
+
+        let grouped = LogicalPlan::scan("big").aggregate(
+            vec!["k"],
+            vec![AggExpr::new(AggFunc::Count, col("v"), "cnt")],
+        );
+        let (rel, _) = run(&db, &grouped, EngineProfile::Indexed);
+        assert_eq!(rel.len(), 2);
+
+        let join = LogicalPlan::scan("big").join(LogicalPlan::scan("big"), "k", "k");
+        let (rel, _) = run(&db, &join, EngineProfile::Indexed);
+        // BIG matches its two occurrences (2x2) and BIG+1 matches itself.
+        assert_eq!(rel.len(), 5);
+    }
+
+    #[test]
+    fn distinct_is_order_independent_for_mixed_int_float_keys() {
+        // Float(2^53) == Int(2^53) but != Int(2^53 + 1): the result must not
+        // depend on which row seeds the hash table.
+        const BIG: i64 = 1 << 53;
+        let variants = [
+            [
+                Value::Float(BIG as f64),
+                Value::Int(BIG),
+                Value::Int(BIG + 1),
+            ],
+            [
+                Value::Int(BIG),
+                Value::Int(BIG + 1),
+                Value::Float(BIG as f64),
+            ],
+            [
+                Value::Int(BIG + 1),
+                Value::Float(BIG as f64),
+                Value::Int(BIG),
+            ],
+        ];
+        for rows in variants {
+            let schema = Schema::from_pairs(&[("k", DataType::Float)]);
+            let mut b = TableBuilder::new("m", schema);
+            for v in rows.clone() {
+                b.push(vec![v]);
+            }
+            let mut db = Database::new();
+            db.add_table(b.build());
+            let plan = LogicalPlan::scan("m").distinct();
+            let (rel, _) = run(&db, &plan, EngineProfile::Indexed);
+            assert_eq!(rel.len(), 2, "order variant {rows:?}");
+        }
+    }
+
+    #[test]
+    fn stale_physical_plan_errors_instead_of_panicking() {
+        let db = indexed_db();
+        let plan = LogicalPlan::scan("t").filter(col("id").between(lit(10), lit(20)));
+        let physical = lower(&db, &plan, EngineProfile::Indexed).unwrap();
+        assert!(matches!(physical.op, PhysOp::IndexRangeScan { .. }));
+        // Replace the table with one that lost its index: the lowered plan
+        // is now stale and must surface an error, not panic.
+        let mut stale_db = Database::new();
+        let t = db.table("t").unwrap();
+        stale_db.add_table(Table::new("t", t.schema().clone(), t.rows().to_vec()));
+        let mut stats = ExecStats::default();
+        let err = execute_physical(&stale_db, &physical, &NoTag, &mut stats).unwrap_err();
+        assert!(matches!(err, ExecError::Plan(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn cross_product_counter_saturates_instead_of_overflowing() {
+        let mut stats = ExecStats {
+            intermediate_rows: u64::MAX - 10,
+            ..Default::default()
+        };
+        let db = zone_db();
+        let plan = LogicalPlan::scan("t")
+            .filter(col("id").lt(lit(3)))
+            .cross(LogicalPlan::scan("t").filter(col("id").lt(lit(4))));
+        let physical = lower(&db, &plan, EngineProfile::Indexed).unwrap();
+        let (rel, _) = execute_physical(&db, &physical, &NoTag, &mut stats).unwrap();
+        assert_eq!(rel.len(), 12);
+        assert_eq!(stats.intermediate_rows, u64::MAX);
+    }
+
+    #[test]
+    fn display_tree_shows_access_paths() {
+        let db = indexed_db();
+        let plan = LogicalPlan::scan("t")
+            .filter(col("id").gt(lit(10)))
+            .aggregate(
+                vec!["grp"],
+                vec![AggExpr::new(AggFunc::Count, col("id"), "cnt")],
+            );
+        let physical = lower(&db, &plan, EngineProfile::Indexed).unwrap();
+        let text = physical.display_tree();
+        assert!(text.contains("HashAggregate"));
+        assert!(text.contains("IndexRangeScan"));
+    }
+}

@@ -41,6 +41,9 @@ mod tests {
     fn profile_flags() {
         assert!(EngineProfile::Indexed.allows_skipping());
         assert!(!EngineProfile::ColumnarScan.allows_skipping());
-        assert_ne!(EngineProfile::Indexed.label(), EngineProfile::ColumnarScan.label());
+        assert_ne!(
+            EngineProfile::Indexed.label(),
+            EngineProfile::ColumnarScan.label()
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! derived from a provenance sketch, Sec. 8), the scan can answer it through
 //! an ordered index or skip zone-map blocks instead of reading every row.
 
-use crate::eval::{eval_predicate, ExecError};
+use crate::eval::ExecError;
 use crate::profile::EngineProfile;
 use crate::stats::ExecStats;
 use pbds_algebra::{BinOp, Expr};
@@ -184,65 +184,23 @@ pub fn extract_skip_ranges(pred: &Expr) -> Option<ColumnRanges> {
 /// appropriate access path allowed by the engine profile. The full predicate
 /// is always re-checked per row, so the access path only affects performance
 /// and the recorded statistics, never correctness.
+///
+/// This is a convenience wrapper over the physical scan operators: it lowers
+/// the access (see [`crate::physical::lower_scan`]) and drains the resulting
+/// operator, so standalone scans and pipeline scans share one code path.
 pub fn scan_table(
     table: &Table,
     predicate: Option<&Expr>,
     profile: EngineProfile,
     stats: &mut ExecStats,
 ) -> Result<Vec<Row>, ExecError> {
-    let schema = table.schema();
-    let filter = |rows: &mut Vec<Row>, pred: Option<&Expr>| -> Result<(), ExecError> {
-        if let Some(p) = pred {
-            let mut kept = Vec::with_capacity(rows.len());
-            for r in rows.drain(..) {
-                if eval_predicate(p, schema, &r)? {
-                    kept.push(r);
-                }
-            }
-            *rows = kept;
-        }
-        Ok(())
-    };
-
-    let skip_info = predicate
-        .filter(|_| profile.allows_skipping())
-        .and_then(extract_skip_ranges);
-
-    if let Some(cr) = skip_info {
-        // Access path 1: ordered index range scan.
-        if let Some(index) = table.index_on(&cr.column) {
-            let rids = index.multi_range(&cr.ranges);
-            stats.index_scans += 1;
-            stats.rows_scanned += rids.len() as u64;
-            let mut rows: Vec<Row> = rids
-                .iter()
-                .map(|&rid| table.rows()[rid as usize].clone())
-                .collect();
-            filter(&mut rows, predicate)?;
-            return Ok(rows);
-        }
-        // Access path 2: zone-map skip scan.
-        if let Some(zm) = table.zone_map() {
-            if let Some(col_idx) = schema.index_of(&cr.column) {
-                let blocks = zm.candidate_blocks(col_idx, &cr.ranges);
-                stats.blocks_total += zm.num_blocks() as u64;
-                stats.blocks_skipped += (zm.num_blocks() - blocks.len()) as u64;
-                let mut rows = Vec::new();
-                for b in blocks {
-                    stats.rows_scanned += (b.end - b.start) as u64;
-                    rows.extend_from_slice(&table.rows()[b.start..b.end]);
-                }
-                filter(&mut rows, predicate)?;
-                return Ok(rows);
-            }
-        }
+    use crate::physical::{lower_scan, make_scan_op, BatchOp, NoTag};
+    let plan = lower_scan(table, predicate.cloned(), profile);
+    let mut op = make_scan_op(table, &plan.op, &NoTag, stats)?;
+    let mut rows = Vec::new();
+    while let Some(batch) = BatchOp::<NoTag>::next_batch(&mut op, stats)? {
+        rows.extend(batch.rows);
     }
-
-    // Access path 3: full scan.
-    stats.full_scans += 1;
-    stats.rows_scanned += table.len() as u64;
-    let mut rows = table.rows().to_vec();
-    filter(&mut rows, predicate)?;
     Ok(rows)
 }
 
@@ -275,14 +233,20 @@ mod tests {
     #[test]
     fn extract_between_intersects_bounds() {
         let cr = extract_skip_ranges(&col("id").between(lit(10), lit(20))).unwrap();
-        assert_eq!(cr.ranges, vec![(Some(Value::Int(10)), Some(Value::Int(20)))]);
+        assert_eq!(
+            cr.ranges,
+            vec![(Some(Value::Int(10)), Some(Value::Int(20)))]
+        );
     }
 
     #[test]
     fn extract_prefers_sketch_ranges() {
         let sketch = Expr::InRanges {
             column: "grp".into(),
-            ranges: vec![ValueRange { lo: None, hi: Some(Value::Int(3)) }],
+            ranges: vec![ValueRange {
+                lo: None,
+                hi: Some(Value::Int(3)),
+            }],
             lookup: RangeLookup::BinarySearch,
         };
         let pred = col("id").gt(lit(0)).and(sketch);
@@ -293,7 +257,9 @@ mod tests {
 
     #[test]
     fn extract_or_of_ranges_on_same_column() {
-        let pred = col("id").between(lit(1), lit(5)).or(col("id").between(lit(100), lit(200)));
+        let pred = col("id")
+            .between(lit(1), lit(5))
+            .or(col("id").between(lit(100), lit(200)));
         let cr = extract_skip_ranges(&pred).unwrap();
         assert_eq!(cr.ranges.len(), 2);
     }
@@ -322,7 +288,11 @@ mod tests {
         let mut stats = ExecStats::default();
         let rows = scan_table(&t, Some(&pred), EngineProfile::Indexed, &mut stats).unwrap();
         assert_eq!(rows.len(), 100);
-        assert!(stats.blocks_skipped >= 98, "skipped {} blocks", stats.blocks_skipped);
+        assert!(
+            stats.blocks_skipped >= 98,
+            "skipped {} blocks",
+            stats.blocks_skipped
+        );
         assert!(stats.rows_scanned < 10_000);
     }
 
@@ -349,7 +319,9 @@ mod tests {
     fn access_paths_agree_on_results() {
         let t_idx = table(true);
         let t_zm = table(false);
-        let pred = col("id").between(lit(500), lit(777)).and(col("grp").eq(lit(3)));
+        let pred = col("id")
+            .between(lit(500), lit(777))
+            .and(col("grp").eq(lit(3)));
         let mut s1 = ExecStats::default();
         let mut s2 = ExecStats::default();
         let mut s3 = ExecStats::default();

@@ -24,6 +24,8 @@ pub struct ExecStats {
     pub full_scans: u64,
     /// Intermediate rows processed by joins/aggregates (a coarse work proxy).
     pub intermediate_rows: u64,
+    /// Batches emitted by the root of the physical operator pipeline.
+    pub batches: u64,
     /// `(limit, input_rows)` per top-k operator, used to re-validate sketch
     /// safety at runtime (footnote 1, Sec. 5 of the paper).
     pub topk_inputs: Vec<(usize, u64)>,
@@ -42,6 +44,7 @@ impl ExecStats {
         self.index_scans += other.index_scans;
         self.full_scans += other.full_scans;
         self.intermediate_rows += other.intermediate_rows;
+        self.batches += other.batches;
         self.topk_inputs.extend(other.topk_inputs.iter().cloned());
         self.elapsed += other.elapsed;
     }

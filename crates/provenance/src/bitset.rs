@@ -45,7 +45,11 @@ impl FragmentBitset {
 
     /// Set a fragment bit.
     pub fn set(&mut self, fragment: usize) {
-        assert!(fragment < self.nbits, "fragment {fragment} out of range {}", self.nbits);
+        assert!(
+            fragment < self.nbits,
+            "fragment {fragment} out of range {}",
+            self.nbits
+        );
         self.words[fragment / 64] |= 1u64 << (fragment % 64);
     }
 
@@ -176,19 +180,17 @@ impl Annotation {
                 };
                 *self = merged;
             }
-            MergeStrategy::DelayNoCopy => {
-                match (&mut *self, other) {
-                    (_, Annotation::Empty) => {}
-                    (Annotation::Empty, o) => *self = o.clone(),
-                    (Annotation::Bits(a), Annotation::Single(i)) => a.set(*i as usize),
-                    (Annotation::Bits(a), Annotation::Bits(b)) => a.or_assign(b),
-                    (slf, o) => {
-                        let mut bits = slf.to_bitset(nbits);
-                        bits.or_assign(&o.to_bitset(nbits));
-                        *slf = Annotation::Bits(bits);
-                    }
+            MergeStrategy::DelayNoCopy => match (&mut *self, other) {
+                (_, Annotation::Empty) => {}
+                (Annotation::Empty, o) => *self = o.clone(),
+                (Annotation::Bits(a), Annotation::Single(i)) => a.set(*i as usize),
+                (Annotation::Bits(a), Annotation::Bits(b)) => a.or_assign(b),
+                (slf, o) => {
+                    let mut bits = slf.to_bitset(nbits);
+                    bits.or_assign(&o.to_bitset(nbits));
+                    *slf = Annotation::Bits(bits);
                 }
-            }
+            },
         }
     }
 }

@@ -1,25 +1,32 @@
 //! Provenance sketch capture by query instrumentation (Sec. 7, rules r0–r7).
 //!
-//! Capture runs the query once while propagating, for every intermediate row,
-//! one sketch annotation per partitioned input relation:
+//! Capture runs the query once through the **same physical operator
+//! pipeline as plain execution** (`pbds-exec`'s [`pbds_exec::physical`]),
+//! with a [`TagPolicy`] that makes every row carry one sketch annotation per
+//! partitioned input relation:
 //!
 //! * `r0` — every row of a partitioned base table is annotated with the
-//!   singleton fragment it belongs to ([`FragmentAssigner`]);
+//!   singleton fragment it belongs to ([`FragmentAssigner`], the policy's
+//!   `seed_tag`);
 //! * `r1`/`r2`/`r5` — projection, selection and top-k simply keep the
-//!   annotations of their input rows;
+//!   annotations of their input rows (tags ride along in the batch);
 //! * `r3` — aggregation merges (bitwise-ORs) the annotations of each group;
-//!   for `min`/`max` only the extremal rows are merged;
+//!   for `min`/`max` only the extremal rows are merged (the pipeline's
+//!   min/max narrowing, enabled by the policy);
 //! * `r4`/`r6` — cross product / join merge the annotations of the joined
 //!   rows, union keeps them;
 //! * `r7` — a final BITOR over the annotations of the result rows yields the
-//!   provenance sketch.
+//!   provenance sketch ([`capture_sketches`]'s assembly step, the only part
+//!   left in this module).
+//!
+//! There is deliberately **no plan interpreter here** any more: capture is a
+//! pipeline *mode*, so execution and capture cannot drift apart.
 
 use crate::bitset::{Annotation, FragmentBitset, MergeStrategy};
 use crate::sketch::ProvenanceSketch;
-use pbds_algebra::{AggFunc, LogicalPlan, SortKey};
-use pbds_exec::{eval_expr, eval_predicate, ExecError};
-use pbds_storage::{Database, Partition, PartitionRef, Relation, Row, Schema, Value};
-use std::collections::HashMap;
+use pbds_algebra::LogicalPlan;
+use pbds_exec::{execute_logical, EngineProfile, ExecError, ExecStats, TagPolicy};
+use pbds_storage::{Database, Partition, PartitionRef, Relation, Row, Schema};
 use std::time::{Duration, Instant};
 
 /// How a tuple's fragment is computed when seeding annotations (Fig. 12a).
@@ -107,34 +114,94 @@ pub struct CaptureResult {
     pub elapsed: Duration,
 }
 
+/// The pipeline tag policy that turns execution into sketch capture: tags
+/// are one [`Annotation`] per requested partition.
+#[derive(Debug)]
+pub struct SketchTagPolicy<'a> {
+    assigners: &'a [FragmentAssigner],
+    config: &'a CaptureConfig,
+}
+
+impl<'a> SketchTagPolicy<'a> {
+    /// Create the policy for a set of fragment assigners.
+    pub fn new(assigners: &'a [FragmentAssigner], config: &'a CaptureConfig) -> Self {
+        SketchTagPolicy { assigners, config }
+    }
+}
+
+impl TagPolicy for SketchTagPolicy<'_> {
+    type Tag = Vec<Annotation>;
+
+    fn seed_tag(&self, table: &str, schema: &Schema, row: &Row, _row_id: u32) -> Vec<Annotation> {
+        // Rule r0: singleton annotations for rows of partitioned tables.
+        self.assigners
+            .iter()
+            .map(|a| {
+                if a.partition().table() == table {
+                    match a.assign(schema, row) {
+                        Some(f) => Annotation::Single(f as u32),
+                        None => Annotation::Empty,
+                    }
+                } else {
+                    Annotation::Empty
+                }
+            })
+            .collect()
+    }
+
+    fn empty_tag(&self) -> Vec<Annotation> {
+        vec![Annotation::Empty; self.assigners.len()]
+    }
+
+    fn merge_tags(&self, into: &mut Vec<Annotation>, from: &Vec<Annotation>) {
+        for (i, ann) in from.iter().enumerate() {
+            let nbits = self.assigners[i].partition().num_fragments();
+            into[i].merge(ann, nbits, self.config.merge);
+        }
+    }
+
+    fn minmax_narrowing(&self) -> bool {
+        self.config.minmax_narrowing
+    }
+}
+
 /// Capture provenance sketches for `plan` over `db` according to the given
-/// partitions (rule `INSTR` of Fig. 6).
+/// partitions (rule `INSTR` of Fig. 6), using the default indexed engine
+/// profile.
 pub fn capture_sketches(
     db: &Database,
     plan: &LogicalPlan,
     partitions: &[PartitionRef],
     config: &CaptureConfig,
 ) -> Result<CaptureResult, ExecError> {
+    capture_sketches_with_profile(db, plan, partitions, config, EngineProfile::default())
+}
+
+/// Capture provenance sketches using an explicit engine profile: the
+/// instrumented run goes through the same lowering and physical operators as
+/// plain execution on that profile.
+pub fn capture_sketches_with_profile(
+    db: &Database,
+    plan: &LogicalPlan,
+    partitions: &[PartitionRef],
+    config: &CaptureConfig,
+    profile: EngineProfile,
+) -> Result<CaptureResult, ExecError> {
     let start = Instant::now();
     let assigners: Vec<FragmentAssigner> = partitions
         .iter()
         .map(|p| FragmentAssigner::new(p.clone(), config.lookup))
         .collect();
-    let ctx = CaptureCtx {
-        db,
-        assigners: &assigners,
-        config,
-    };
-    let (schema, rows) = ctx.eval(plan)?;
+    let policy = SketchTagPolicy::new(&assigners, config);
+    let mut stats = ExecStats::default();
+    let (relation, tags) = execute_logical(db, plan, profile, &policy, &mut stats)?;
 
     // Rule r7: final BITOR over the annotations of the result rows.
     let mut final_bits: Vec<Annotation> = vec![Annotation::Empty; partitions.len()];
-    let mut relation = Relation::empty(schema);
-    for (row, anns) in rows {
+    for anns in &tags {
         for (i, ann) in anns.iter().enumerate() {
             final_bits[i].merge(ann, partitions[i].num_fragments(), config.merge);
         }
-        relation.push(row);
     }
     let sketches = partitions
         .iter()
@@ -151,276 +218,12 @@ pub fn capture_sketches(
     })
 }
 
-type AnnRow = (Row, Vec<Annotation>);
-
-struct CaptureCtx<'a> {
-    db: &'a Database,
-    assigners: &'a [FragmentAssigner],
-    config: &'a CaptureConfig,
-}
-
-impl CaptureCtx<'_> {
-    fn merge_anns(&self, into: &mut Vec<Annotation>, from: &[Annotation]) {
-        for (i, ann) in from.iter().enumerate() {
-            let nbits = self.assigners[i].partition().num_fragments();
-            into[i].merge(ann, nbits, self.config.merge);
-        }
-    }
-
-    fn eval(&self, plan: &LogicalPlan) -> Result<(Schema, Vec<AnnRow>), ExecError> {
-        match plan {
-            LogicalPlan::TableScan { table } => {
-                // Rule r0: seed singleton annotations for partitioned tables.
-                let t = self.db.table(table)?;
-                let schema = t.schema().clone();
-                let mut rows = Vec::with_capacity(t.len());
-                for row in t.rows() {
-                    let anns: Vec<Annotation> = self
-                        .assigners
-                        .iter()
-                        .map(|a| {
-                            if a.partition().table() == table {
-                                match a.assign(&schema, row) {
-                                    Some(f) => Annotation::Single(f as u32),
-                                    None => Annotation::Empty,
-                                }
-                            } else {
-                                Annotation::Empty
-                            }
-                        })
-                        .collect();
-                    rows.push((row.clone(), anns));
-                }
-                Ok((schema, rows))
-            }
-            LogicalPlan::Selection { predicate, input } => {
-                // Rule r2.
-                let (schema, rows) = self.eval(input)?;
-                let mut out = Vec::new();
-                for (row, anns) in rows {
-                    if eval_predicate(predicate, &schema, &row)? {
-                        out.push((row, anns));
-                    }
-                }
-                Ok((schema, out))
-            }
-            LogicalPlan::Projection { exprs, input } => {
-                // Rule r1.
-                let (schema, rows) = self.eval(input)?;
-                let out_schema = plan.schema(self.db)?;
-                let mut out = Vec::with_capacity(rows.len());
-                for (row, anns) in rows {
-                    let mut new_row = Vec::with_capacity(exprs.len());
-                    for (e, _) in exprs {
-                        new_row.push(eval_expr(e, &schema, &row)?);
-                    }
-                    out.push((new_row, anns));
-                }
-                Ok((out_schema, out))
-            }
-            LogicalPlan::Aggregate {
-                group_by,
-                aggregates,
-                input,
-            } => {
-                // Rule r3.
-                let (schema, rows) = self.eval(input)?;
-                let out_schema = plan.schema(self.db)?;
-                let group_idx: Vec<usize> = group_by
-                    .iter()
-                    .map(|g| {
-                        schema
-                            .index_of(g)
-                            .ok_or_else(|| ExecError::UnknownColumn(g.clone()))
-                    })
-                    .collect::<Result<_, _>>()?;
-                let mut groups: HashMap<Vec<Value>, Vec<AnnRow>> = HashMap::new();
-                let mut order = Vec::new();
-                for (row, anns) in rows {
-                    let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
-                    groups
-                        .entry(key.clone())
-                        .or_insert_with(|| {
-                            order.push(key.clone());
-                            Vec::new()
-                        })
-                        .push((row, anns));
-                }
-                // The min/max narrowing of r3 applies when the aggregation
-                // computes a single min or max.
-                let narrow_minmax = self.config.minmax_narrowing
-                    && aggregates.len() == 1
-                    && matches!(aggregates[0].func, AggFunc::Min | AggFunc::Max);
-
-                let mut out = Vec::new();
-                for key in order {
-                    let members = &groups[&key];
-                    let mut row = key.clone();
-                    let mut agg_values: Vec<Vec<Value>> = Vec::with_capacity(aggregates.len());
-                    for agg in aggregates {
-                        let vals: Vec<Value> = members
-                            .iter()
-                            .map(|(r, _)| eval_expr(&agg.input, &schema, r))
-                            .collect::<Result<_, _>>()?;
-                        agg_values.push(vals);
-                    }
-                    for (agg, vals) in aggregates.iter().zip(agg_values.iter()) {
-                        row.push(crate::lineage::aggregate_value(agg.func, vals));
-                    }
-                    // Merge group annotations.
-                    let mut merged: Vec<Annotation> =
-                        vec![Annotation::Empty; self.assigners.len()];
-                    if narrow_minmax {
-                        let vals = &agg_values[0];
-                        let target: Option<&Value> = match aggregates[0].func {
-                            AggFunc::Min => vals.iter().filter(|v| !v.is_null()).min(),
-                            _ => vals.iter().filter(|v| !v.is_null()).max(),
-                        };
-                        if let Some(target) = target {
-                            // Only one witness tuple is needed.
-                            if let Some(pos) = vals.iter().position(|v| v == target) {
-                                self.merge_anns(&mut merged, &members[pos].1);
-                            }
-                        }
-                    } else {
-                        for (_, anns) in members {
-                            self.merge_anns(&mut merged, anns);
-                        }
-                    }
-                    out.push((row, merged));
-                }
-                if out.is_empty() && group_by.is_empty() {
-                    let mut row = Vec::new();
-                    for agg in aggregates {
-                        row.push(match agg.func {
-                            AggFunc::Count => Value::Int(0),
-                            _ => Value::Null,
-                        });
-                    }
-                    out.push((row, vec![Annotation::Empty; self.assigners.len()]));
-                }
-                Ok((out_schema, out))
-            }
-            LogicalPlan::Join {
-                left,
-                right,
-                left_col,
-                right_col,
-            } => {
-                let (ls, lrows) = self.eval(left)?;
-                let (rs, rrows) = self.eval(right)?;
-                let li = ls
-                    .index_of(left_col)
-                    .ok_or_else(|| ExecError::UnknownColumn(left_col.clone()))?;
-                let ri = rs
-                    .index_of(right_col)
-                    .ok_or_else(|| ExecError::UnknownColumn(right_col.clone()))?;
-                let mut build: HashMap<Value, Vec<&AnnRow>> = HashMap::new();
-                for ar in &rrows {
-                    if !ar.0[ri].is_null() {
-                        build.entry(ar.0[ri].clone()).or_default().push(ar);
-                    }
-                }
-                let mut out = Vec::new();
-                for (lrow, lanns) in &lrows {
-                    if lrow[li].is_null() {
-                        continue;
-                    }
-                    if let Some(matches) = build.get(&lrow[li]) {
-                        for (rrow, ranns) in matches {
-                            let mut row = lrow.clone();
-                            row.extend(rrow.iter().cloned());
-                            let mut anns = lanns.clone();
-                            self.merge_anns(&mut anns, ranns);
-                            out.push((row, anns));
-                        }
-                    }
-                }
-                Ok((ls.concat(&rs), out))
-            }
-            LogicalPlan::CrossProduct { left, right } => {
-                // Rule r4.
-                let (ls, lrows) = self.eval(left)?;
-                let (rs, rrows) = self.eval(right)?;
-                let mut out = Vec::new();
-                for (lrow, lanns) in &lrows {
-                    for (rrow, ranns) in &rrows {
-                        let mut row = lrow.clone();
-                        row.extend(rrow.iter().cloned());
-                        let mut anns = lanns.clone();
-                        self.merge_anns(&mut anns, ranns);
-                        out.push((row, anns));
-                    }
-                }
-                Ok((ls.concat(&rs), out))
-            }
-            LogicalPlan::Distinct { input } => {
-                let (schema, rows) = self.eval(input)?;
-                let mut out: Vec<AnnRow> = Vec::new();
-                for (row, anns) in rows {
-                    if let Some(existing) = out.iter_mut().find(|(r, _)| *r == row) {
-                        self.merge_anns(&mut existing.1, &anns);
-                    } else {
-                        out.push((row, anns));
-                    }
-                }
-                Ok((schema, out))
-            }
-            LogicalPlan::TopK {
-                order_by,
-                limit,
-                input,
-            } => {
-                // Rule r5.
-                let (schema, mut rows) = self.eval(input)?;
-                sort_annotated(&schema, &mut rows, order_by)?;
-                rows.truncate(*limit);
-                Ok((schema, rows))
-            }
-            LogicalPlan::Union { left, right } => {
-                // Rule r6.
-                let (ls, mut lrows) = self.eval(left)?;
-                let (_, rrows) = self.eval(right)?;
-                lrows.extend(rrows);
-                Ok((ls, lrows))
-            }
-        }
-    }
-}
-
-fn sort_annotated(
-    schema: &Schema,
-    rows: &mut [AnnRow],
-    order_by: &[SortKey],
-) -> Result<(), ExecError> {
-    let key_idx: Vec<(usize, bool)> = order_by
-        .iter()
-        .map(|k| {
-            schema
-                .index_of(&k.column)
-                .map(|i| (i, k.descending))
-                .ok_or_else(|| ExecError::UnknownColumn(k.column.clone()))
-        })
-        .collect::<Result<_, _>>()?;
-    rows.sort_by(|(a, _), (b, _)| {
-        for &(idx, desc) in &key_idx {
-            let ord = a[idx].cmp(&b[idx]);
-            let ord = if desc { ord.reverse() } else { ord };
-            if !ord.is_eq() {
-                return ord;
-            }
-        }
-        a.cmp(b)
-    });
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::lineage::capture_lineage;
-    use pbds_algebra::{col, lit, AggExpr};
-    use pbds_storage::{DataType, RangePartition, TableBuilder};
+    use pbds_algebra::{col, lit, AggExpr, AggFunc, SortKey};
+    use pbds_storage::{DataType, RangePartition, TableBuilder, Value};
     use std::sync::Arc;
 
     fn cities_db() -> Database {
@@ -439,7 +242,11 @@ mod tests {
             (3700, "Austin", "TX"),
             (2500, "Houston", "TX"),
         ] {
-            b.push(vec![Value::Int(popden), Value::from(city), Value::from(state)]);
+            b.push(vec![
+                Value::Int(popden),
+                Value::from(city),
+                Value::from(state),
+            ]);
         }
         let mut db = Database::new();
         db.add_table(b.build());
@@ -476,8 +283,13 @@ mod tests {
     fn q2_capture_matches_paper_example_3() {
         // The sketch of Q2 on the state partition is {f1}.
         let db = cities_db();
-        let res =
-            capture_sketches(&db, &q2(), &[state_partition()], &CaptureConfig::optimized()).unwrap();
+        let res = capture_sketches(
+            &db,
+            &q2(),
+            &[state_partition()],
+            &CaptureConfig::optimized(),
+        )
+        .unwrap();
         assert_eq!(res.sketches.len(), 1);
         assert_eq!(res.sketches[0].selected_fragments(), vec![0]);
         assert_eq!(res.sketches[0].bitset().to_string(), "1000");
@@ -545,7 +357,13 @@ mod tests {
             )
             .filter(col("total").gt(lit(8000)));
         let part = state_partition();
-        let res = capture_sketches(&db, &plan, &[part.clone()], &CaptureConfig::optimized()).unwrap();
+        let res = capture_sketches(
+            &db,
+            &plan,
+            std::slice::from_ref(&part),
+            &CaptureConfig::optimized(),
+        )
+        .unwrap();
         let lineage = capture_lineage(&db, &plan).unwrap();
         let table = db.table("cities").unwrap();
         let accurate = ProvenanceSketch::from_rows(
@@ -560,13 +378,53 @@ mod tests {
     }
 
     #[test]
+    fn minmax_narrowing_keeps_all_null_groups_in_the_sketch() {
+        // A group whose aggregate inputs are all NULL has no extremal
+        // witness, but it still produces a `(key, NULL)` output row — its
+        // provenance must not vanish from the sketch, or re-executing over
+        // the sketch instance would drop the row.
+        let schema = Schema::from_pairs(&[("g", DataType::Int), ("v", DataType::Int)]);
+        let mut b = TableBuilder::new("t", schema);
+        b.push(vec![Value::Int(1), Value::Null]);
+        b.push(vec![Value::Int(1), Value::Null]);
+        b.push(vec![Value::Int(2), Value::Int(10)]);
+        b.push(vec![Value::Int(2), Value::Int(20)]);
+        let mut db = Database::new();
+        db.add_table(b.build());
+        let part: PartitionRef = Arc::new(Partition::Range(RangePartition::from_uppers(
+            "t",
+            "g",
+            vec![Value::Int(1)],
+        )));
+        let plan = LogicalPlan::scan("t").aggregate(
+            vec!["g"],
+            vec![AggExpr::new(pbds_algebra::AggFunc::Min, col("v"), "m")],
+        );
+        let res = capture_sketches(
+            &db,
+            &plan,
+            std::slice::from_ref(&part),
+            &CaptureConfig::optimized(),
+        )
+        .unwrap();
+        // Both fragments: group 1 (all NULL) via its fallback member, group
+        // 2 via the min witness.
+        assert_eq!(res.sketches[0].selected_fragments(), vec![0, 1]);
+        // Re-executing over the sketch instance reproduces the full answer,
+        // including the (1, NULL) row.
+        let restricted = crate::sketch::restrict_database(&db, &res.sketches).unwrap();
+        let engine = pbds_exec::Engine::new(EngineProfile::Indexed);
+        let replay = engine.execute(&restricted, &plan).unwrap().relation;
+        assert!(replay.bag_eq(&res.result));
+        assert_eq!(res.result.len(), 2);
+    }
+
+    #[test]
     fn minmax_narrowing_keeps_only_the_witness_fragment() {
         let db = cities_db();
         // max(popden) per state, then keep the global max states via HAVING.
-        let plan = LogicalPlan::scan("cities").aggregate(
-            vec![],
-            vec![AggExpr::new(AggFunc::Max, col("popden"), "m")],
-        );
+        let plan = LogicalPlan::scan("cities")
+            .aggregate(vec![], vec![AggExpr::new(AggFunc::Max, col("popden"), "m")]);
         let narrowed = capture_sketches(
             &db,
             &plan,
@@ -624,8 +482,13 @@ mod tests {
                 vec![AggExpr::new(AggFunc::Avg, col("popden"), "avgden")],
             )
             .top_k(vec![SortKey::desc("avgden")], 1);
-        let res = capture_sketches(&db, &plan, &[state_partition()], &CaptureConfig::optimized())
-            .unwrap();
+        let res = capture_sketches(
+            &db,
+            &plan,
+            &[state_partition()],
+            &CaptureConfig::optimized(),
+        )
+        .unwrap();
         // The winning region is West (CA rows, fragment f1).
         assert_eq!(res.sketches[0].selected_fragments(), vec![0]);
     }
@@ -638,7 +501,10 @@ mod tests {
         let a1 = FragmentAssigner::new(part.clone(), LookupMethod::CaseLinear);
         let a2 = FragmentAssigner::new(part, LookupMethod::BinarySearch);
         for row in table.rows() {
-            assert_eq!(a1.assign(table.schema(), row), a2.assign(table.schema(), row));
+            assert_eq!(
+                a1.assign(table.schema(), row),
+                a2.assign(table.schema(), row)
+            );
         }
     }
 }

@@ -19,6 +19,11 @@ pub mod lineage;
 pub mod sketch;
 
 pub use bitset::{Annotation, FragmentBitset, MergeStrategy};
-pub use capture::{capture_sketches, CaptureConfig, CaptureResult, FragmentAssigner, LookupMethod};
-pub use lineage::{capture_lineage, is_sufficient_subset, LineageResult, TupleSet};
+pub use capture::{
+    capture_sketches, capture_sketches_with_profile, CaptureConfig, CaptureResult,
+    FragmentAssigner, LookupMethod, SketchTagPolicy,
+};
+pub use lineage::{
+    capture_lineage, is_sufficient_subset, LineageResult, LineageTagPolicy, TupleSet,
+};
 pub use sketch::{restrict_database, ProvenanceSketch, SketchSet};

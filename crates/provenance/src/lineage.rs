@@ -5,11 +5,16 @@
 //! whole point of sketches — but this module provides it as a reference
 //! implementation: tests use it to verify that captured sketches really are
 //! supersets of the provenance and to build *accurate* sketches.
+//!
+//! Like sketch capture, lineage is just a [`TagPolicy`] over the shared
+//! physical operator pipeline: scans seed singleton `(table, row id)` sets,
+//! merge points take set unions, and min/max narrowing stays off because
+//! Lineage keeps the full witness set of every group.
 
-use pbds_exec::{eval_expr, eval_predicate, ExecError};
-use pbds_algebra::{AggFunc, LogicalPlan, SortKey};
+use pbds_algebra::{AggFunc, LogicalPlan};
+use pbds_exec::{execute_logical, EngineProfile, ExecError, ExecStats, TagPolicy};
 use pbds_storage::{Database, Relation, Row, Schema, Value};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// A set of base-table tuples identified by `(table name, row id)`.
 pub type TupleSet = BTreeSet<(String, u32)>;
@@ -36,16 +41,41 @@ impl LineageResult {
     }
 }
 
+/// The pipeline tag policy computing Lineage: tags are base-tuple sets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LineageTagPolicy;
+
+impl TagPolicy for LineageTagPolicy {
+    type Tag = TupleSet;
+
+    fn seed_tag(&self, table: &str, _schema: &Schema, _row: &Row, row_id: u32) -> TupleSet {
+        let mut set = TupleSet::new();
+        set.insert((table.to_string(), row_id));
+        set
+    }
+
+    fn empty_tag(&self) -> TupleSet {
+        TupleSet::new()
+    }
+
+    fn merge_tags(&self, into: &mut TupleSet, from: &TupleSet) {
+        into.extend(from.iter().cloned());
+    }
+}
+
 /// Compute the query result together with Lineage provenance.
 pub fn capture_lineage(db: &Database, plan: &LogicalPlan) -> Result<LineageResult, ExecError> {
-    let (schema, rows) = eval(db, plan)?;
-    let mut relation = Relation::empty(schema);
-    let mut per_row = Vec::with_capacity(rows.len());
+    let mut stats = ExecStats::default();
+    let (relation, per_row) = execute_logical(
+        db,
+        plan,
+        EngineProfile::default(),
+        &LineageTagPolicy,
+        &mut stats,
+    )?;
     let mut provenance = TupleSet::new();
-    for (row, lin) in rows {
+    for lin in &per_row {
         provenance.extend(lin.iter().cloned());
-        relation.push(row);
-        per_row.push(lin);
     }
     Ok(LineageResult {
         relation,
@@ -54,215 +84,21 @@ pub fn capture_lineage(db: &Database, plan: &LogicalPlan) -> Result<LineageResul
     })
 }
 
-type AnnRow = (Row, TupleSet);
-
-fn eval(db: &Database, plan: &LogicalPlan) -> Result<(Schema, Vec<AnnRow>), ExecError> {
-    match plan {
-        LogicalPlan::TableScan { table } => {
-            let t = db.table(table)?;
-            let rows = t
-                .rows()
-                .iter()
-                .enumerate()
-                .map(|(rid, r)| {
-                    let mut set = TupleSet::new();
-                    set.insert((table.clone(), rid as u32));
-                    (r.clone(), set)
-                })
-                .collect();
-            Ok((t.schema().clone(), rows))
-        }
-        LogicalPlan::Selection { predicate, input } => {
-            let (schema, rows) = eval(db, input)?;
-            let mut out = Vec::new();
-            for (row, lin) in rows {
-                if eval_predicate(predicate, &schema, &row)? {
-                    out.push((row, lin));
-                }
-            }
-            Ok((schema, out))
-        }
-        LogicalPlan::Projection { exprs, input } => {
-            let (schema, rows) = eval(db, input)?;
-            let out_schema = plan.schema(db)?;
-            let mut out = Vec::with_capacity(rows.len());
-            for (row, lin) in rows {
-                let mut new_row = Vec::with_capacity(exprs.len());
-                for (e, _) in exprs {
-                    new_row.push(eval_expr(e, &schema, &row)?);
-                }
-                out.push((new_row, lin));
-            }
-            Ok((out_schema, out))
-        }
-        LogicalPlan::Aggregate {
-            group_by,
-            aggregates,
-            input,
-        } => {
-            let (schema, rows) = eval(db, input)?;
-            let out_schema = plan.schema(db)?;
-            let group_idx: Vec<usize> = group_by
-                .iter()
-                .map(|g| {
-                    schema
-                        .index_of(g)
-                        .ok_or_else(|| ExecError::UnknownColumn(g.clone()))
-                })
-                .collect::<Result<_, _>>()?;
-            let mut groups: HashMap<Vec<Value>, (Vec<AnnRow>, usize)> = HashMap::new();
-            let mut order = Vec::new();
-            for (row, lin) in rows {
-                let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
-                let entry = groups.entry(key.clone()).or_insert_with(|| {
-                    order.push(key.clone());
-                    (Vec::new(), 0)
-                });
-                entry.0.push((row, lin));
-            }
-            let mut out = Vec::new();
-            for key in order {
-                let (members, _) = &groups[&key];
-                let mut row = key.clone();
-                let mut lineage = TupleSet::new();
-                for (_, lin) in members {
-                    lineage.extend(lin.iter().cloned());
-                }
-                for agg in aggregates {
-                    let vals: Vec<Value> = members
-                        .iter()
-                        .map(|(r, _)| eval_expr(&agg.input, &schema, r))
-                        .collect::<Result<_, _>>()?;
-                    row.push(aggregate_value(agg.func, &vals));
-                }
-                out.push((row, lineage));
-            }
-            // SQL-style global aggregate over an empty input.
-            if out.is_empty() && group_by.is_empty() {
-                let mut row = Vec::new();
-                for agg in aggregates {
-                    row.push(match agg.func {
-                        AggFunc::Count => Value::Int(0),
-                        _ => Value::Null,
-                    });
-                }
-                out.push((row, TupleSet::new()));
-            }
-            Ok((out_schema, out))
-        }
-        LogicalPlan::Join {
-            left,
-            right,
-            left_col,
-            right_col,
-        } => {
-            let (ls, lrows) = eval(db, left)?;
-            let (rs, rrows) = eval(db, right)?;
-            let li = ls
-                .index_of(left_col)
-                .ok_or_else(|| ExecError::UnknownColumn(left_col.clone()))?;
-            let ri = rs
-                .index_of(right_col)
-                .ok_or_else(|| ExecError::UnknownColumn(right_col.clone()))?;
-            let mut build: HashMap<Value, Vec<&AnnRow>> = HashMap::new();
-            for ar in &rrows {
-                if !ar.0[ri].is_null() {
-                    build.entry(ar.0[ri].clone()).or_default().push(ar);
-                }
-            }
-            let mut out = Vec::new();
-            for (lrow, llin) in &lrows {
-                if lrow[li].is_null() {
-                    continue;
-                }
-                if let Some(matches) = build.get(&lrow[li]) {
-                    for (rrow, rlin) in matches {
-                        let mut row = lrow.clone();
-                        row.extend(rrow.iter().cloned());
-                        let mut lin = llin.clone();
-                        lin.extend(rlin.iter().cloned());
-                        out.push((row, lin));
-                    }
-                }
-            }
-            Ok((ls.concat(&rs), out))
-        }
-        LogicalPlan::CrossProduct { left, right } => {
-            let (ls, lrows) = eval(db, left)?;
-            let (rs, rrows) = eval(db, right)?;
-            let mut out = Vec::new();
-            for (lrow, llin) in &lrows {
-                for (rrow, rlin) in &rrows {
-                    let mut row = lrow.clone();
-                    row.extend(rrow.iter().cloned());
-                    let mut lin = llin.clone();
-                    lin.extend(rlin.iter().cloned());
-                    out.push((row, lin));
-                }
-            }
-            Ok((ls.concat(&rs), out))
-        }
-        LogicalPlan::Distinct { input } => {
-            let (schema, rows) = eval(db, input)?;
-            let mut by_row: Vec<AnnRow> = Vec::new();
-            for (row, lin) in rows {
-                if let Some(existing) = by_row.iter_mut().find(|(r, _)| *r == row) {
-                    existing.1.extend(lin);
-                } else {
-                    by_row.push((row, lin));
-                }
-            }
-            Ok((schema, by_row))
-        }
-        LogicalPlan::TopK {
-            order_by,
-            limit,
-            input,
-        } => {
-            let (schema, mut rows) = eval(db, input)?;
-            sort_rows(&schema, &mut rows, order_by)?;
-            rows.truncate(*limit);
-            Ok((schema, rows))
-        }
-        LogicalPlan::Union { left, right } => {
-            let (ls, mut lrows) = eval(db, left)?;
-            let (_, rrows) = eval(db, right)?;
-            lrows.extend(rrows);
-            Ok((ls, lrows))
-        }
-    }
-}
-
-fn sort_rows(schema: &Schema, rows: &mut [AnnRow], order_by: &[SortKey]) -> Result<(), ExecError> {
-    let key_idx: Vec<(usize, bool)> = order_by
-        .iter()
-        .map(|k| {
-            schema
-                .index_of(&k.column)
-                .map(|i| (i, k.descending))
-                .ok_or_else(|| ExecError::UnknownColumn(k.column.clone()))
-        })
-        .collect::<Result<_, _>>()?;
-    rows.sort_by(|(a, _), (b, _)| {
-        for &(idx, desc) in &key_idx {
-            let ord = a[idx].cmp(&b[idx]);
-            let ord = if desc { ord.reverse() } else { ord };
-            if !ord.is_eq() {
-                return ord;
-            }
-        }
-        a.cmp(b)
-    });
-    Ok(())
-}
-
 /// Evaluate one aggregation function over the values of a group.
 pub fn aggregate_value(func: AggFunc, values: &[Value]) -> Value {
     let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
     match func {
         AggFunc::Count => Value::Int(values.len() as i64),
-        AggFunc::Min => non_null.iter().min().map(|v| (*v).clone()).unwrap_or(Value::Null),
-        AggFunc::Max => non_null.iter().max().map(|v| (*v).clone()).unwrap_or(Value::Null),
+        AggFunc::Min => non_null
+            .iter()
+            .min()
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
+        AggFunc::Max => non_null
+            .iter()
+            .max()
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
         AggFunc::Sum => {
             if non_null.is_empty() {
                 Value::Null
@@ -308,8 +144,8 @@ pub fn is_sufficient_subset(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pbds_algebra::{col, lit, AggExpr};
-    use pbds_exec::{Engine, EngineProfile};
+    use pbds_algebra::{col, lit, AggExpr, SortKey};
+    use pbds_exec::Engine;
     use pbds_storage::{DataType, TableBuilder};
 
     /// The running-example `cities` relation (Fig. 1b).
@@ -329,7 +165,11 @@ mod tests {
             (3700, "Austin", "TX"),
             (2500, "Houston", "TX"),
         ] {
-            b.push(vec![Value::Int(popden), Value::from(city), Value::from(state)]);
+            b.push(vec![
+                Value::Int(popden),
+                Value::from(city),
+                Value::from(state),
+            ]);
         }
         let mut db = Database::new();
         db.add_table(b.build());
@@ -369,8 +209,13 @@ mod tests {
             q2(),
             LogicalPlan::scan("cities")
                 .filter(col("popden").gt(lit(3000)))
-                .aggregate(vec!["state"], vec![AggExpr::new(AggFunc::Count, col("city"), "cnt")]),
-            LogicalPlan::scan("cities").project(vec![(col("state"), "state")]).distinct(),
+                .aggregate(
+                    vec!["state"],
+                    vec![AggExpr::new(AggFunc::Count, col("city"), "cnt")],
+                ),
+            LogicalPlan::scan("cities")
+                .project(vec![(col("state"), "state")])
+                .distinct(),
         ] {
             let plain = engine.execute(&db, &plan).unwrap().relation;
             let lin = capture_lineage(&db, &plan).unwrap().relation;

@@ -7,7 +7,9 @@
 //! the sketch returns `Q(D)`.
 
 use crate::bitset::FragmentBitset;
-use pbds_storage::{Database, Partition, PartitionRef, Row, Schema, StorageError, Table, Value, ValueRange};
+use pbds_storage::{
+    Database, Partition, PartitionRef, Row, Schema, StorageError, Table, Value, ValueRange,
+};
 use std::fmt;
 use std::sync::Arc;
 
@@ -191,7 +193,10 @@ pub type SketchSet = Vec<ProvenanceSketch>;
 
 /// Build the database `D_PS`: every sketched relation restricted to its
 /// sketch instance, all other relations unchanged (Sec. 4.2).
-pub fn restrict_database(db: &Database, sketches: &[ProvenanceSketch]) -> Result<Database, StorageError> {
+pub fn restrict_database(
+    db: &Database,
+    sketches: &[ProvenanceSketch],
+) -> Result<Database, StorageError> {
     let mut out = db.clone();
     for sketch in sketches {
         let table = db.table(sketch.table())?;
@@ -234,7 +239,11 @@ mod tests {
             (3700, "Austin", "TX"),
             (2500, "Houston", "TX"),
         ] {
-            b.push(vec![Value::Int(popden), Value::from(city), Value::from(state)]);
+            b.push(vec![
+                Value::Int(popden),
+                Value::from(city),
+                Value::from(state),
+            ]);
         }
         b.build()
     }
@@ -294,7 +303,11 @@ mod tests {
     fn superset_and_union() {
         let table = cities_table();
         let part = state_partition();
-        let small = ProvenanceSketch::from_rows(part.clone(), table.schema(), vec![table.rows()[1].clone()]);
+        let small = ProvenanceSketch::from_rows(
+            part.clone(),
+            table.schema(),
+            vec![table.rows()[1].clone()],
+        );
         let big = ProvenanceSketch::from_rows(
             part.clone(),
             table.schema(),

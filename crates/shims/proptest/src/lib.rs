@@ -1,0 +1,313 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build container has no crates.io registry cache, so the workspace
+//! vendors this shim. It supports the subset the PBDS property tests use:
+//! the `proptest!` macro with `#![proptest_config(...)]`, range and tuple
+//! strategies, `any::<T>()`, `prop::collection::vec`, and the `prop_assert*`
+//! macros. Inputs are drawn from a deterministic per-test RNG; there is no
+//! shrinking — a failing case panics with the offending inputs printed.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// Configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The RNG handed to strategies (re-exported so the macro can name it).
+pub type TestRng = StdRng;
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Strategy for "any value of `T`" — see [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draw an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                let raw: u64 = rng.gen();
+                raw as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Size specification for [`vec`]: an exact size or a half-open range.
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element` values with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 >= self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..self.size.hi)
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The `proptest::prelude` glob import surface.
+pub mod prelude {
+    pub use crate::collection as prop_collection;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` module alias used by `prop::collection::vec(...)`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Deterministic seed derived from the test's name.
+pub fn seed_for(name: &str) -> u64 {
+    // FNV-1a.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Run `cases` samples of a property (used by the `proptest!` expansion).
+pub fn run_cases<I: Debug>(
+    name: &str,
+    cases: u32,
+    mut gen: impl FnMut(&mut TestRng) -> I,
+    mut body: impl FnMut(&I),
+) {
+    let mut rng = TestRng::seed_from_u64(seed_for(name));
+    for case in 0..cases {
+        let input = gen(&mut rng);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&input)));
+        if let Err(panic) = result {
+            eprintln!("proptest '{name}' failed at case {case} with input: {input:#?}");
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+/// Assert inside a property (panics; no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `proptest!` test-definition macro.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(
+                stringify!($name),
+                config.cases,
+                |rng| ($($crate::Strategy::sample(&($strategy), rng),)+),
+                |input| {
+                    let ($(ref $arg,)+) = *input;
+                    $(let $arg = ::std::clone::Clone::clone($arg);)+
+                    $body
+                },
+            );
+        }
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    // With a block-level config.
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    // Without a config: default.
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn addition_commutes(a in -1000i64..1000, b in -1000i64..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(any::<u16>(), 3..10)) {
+            prop_assert!((3..10).contains(&v.len()));
+        }
+
+        #[test]
+        fn exact_vec_size(v in prop::collection::vec(any::<bool>(), 20)) {
+            prop_assert_eq!(v.len(), 20);
+        }
+
+        #[test]
+        fn tuples_compose(pair in (0i64..30, 1i64..100)) {
+            prop_assert!(pair.0 < 30 && pair.1 >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_seeding() {
+        assert_eq!(crate::seed_for("x"), crate::seed_for("x"));
+        assert_ne!(crate::seed_for("x"), crate::seed_for("y"));
+    }
+}

@@ -263,6 +263,7 @@ impl Formula {
     }
 
     /// Negation constructor.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f))
     }
@@ -328,7 +329,9 @@ mod tests {
 
     #[test]
     fn linexpr_arithmetic() {
-        let e = LinExpr::var("x").add(&LinExpr::var("y")).sub(&LinExpr::var("x"));
+        let e = LinExpr::var("x")
+            .add(&LinExpr::var("y"))
+            .sub(&LinExpr::var("x"));
         assert_eq!(e.coeff("x"), 0.0);
         assert_eq!(e.coeff("y"), 1.0);
         assert!(e.variables() == vec!["y"]);

@@ -479,7 +479,10 @@ mod tests {
         }
         let f = Formula::and_all(parts);
         let r = is_satisfiable(&f);
-        assert!(matches!(r, SolverResult::Unknown | SolverResult::Satisfiable));
+        assert!(matches!(
+            r,
+            SolverResult::Unknown | SolverResult::Satisfiable
+        ));
         // And validity of its negation must not be claimed.
         assert!(!is_valid(&Formula::not(f)));
     }

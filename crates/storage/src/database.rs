@@ -48,7 +48,8 @@ impl Database {
 
     /// Register a table (replacing any previous table of the same name).
     pub fn add_table(&mut self, table: Table) {
-        self.tables.insert(table.name().to_string(), Arc::new(table));
+        self.tables
+            .insert(table.name().to_string(), Arc::new(table));
     }
 
     /// Look up a table by name.

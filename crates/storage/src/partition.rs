@@ -65,8 +65,15 @@ pub struct RangePartition {
 impl RangePartition {
     /// Create a partition from explicit fragment upper bounds (must be
     /// strictly increasing).
-    pub fn from_uppers(table: impl Into<String>, attr: impl Into<String>, uppers: Vec<Value>) -> Self {
-        debug_assert!(uppers.windows(2).all(|w| w[0] < w[1]), "upper bounds must be strictly increasing");
+    pub fn from_uppers(
+        table: impl Into<String>,
+        attr: impl Into<String>,
+        uppers: Vec<Value>,
+    ) -> Self {
+        debug_assert!(
+            uppers.windows(2).all(|w| w[0] < w[1]),
+            "upper bounds must be strictly increasing"
+        );
         RangePartition {
             table: table.into(),
             attr: attr.into(),
@@ -400,7 +407,10 @@ mod tests {
 
     #[test]
     fn per_distinct_value_partition_isolates_values() {
-        let values: Vec<Value> = ["CA", "NY", "TX", "CA"].iter().map(|s| Value::from(*s)).collect();
+        let values: Vec<Value> = ["CA", "NY", "TX", "CA"]
+            .iter()
+            .map(|s| Value::from(*s))
+            .collect();
         let p = RangePartition::per_distinct_value("t", "state", &values).unwrap();
         assert_eq!(p.num_fragments(), 3);
         let fca = p.fragment_of(&Value::from("CA")).unwrap();
@@ -422,8 +432,14 @@ mod tests {
         let p = CompositePartition::build("crimes", &schema, &rows, &["area", "kind"]).unwrap();
         assert_eq!(p.num_fragments(), 3);
         let part = Partition::Composite(p);
-        assert_eq!(part.fragment_of_row(&schema, &rows[0]), part.fragment_of_row(&schema, &rows[1]));
-        assert_ne!(part.fragment_of_row(&schema, &rows[0]), part.fragment_of_row(&schema, &rows[2]));
+        assert_eq!(
+            part.fragment_of_row(&schema, &rows[0]),
+            part.fragment_of_row(&schema, &rows[1])
+        );
+        assert_ne!(
+            part.fragment_of_row(&schema, &rows[0]),
+            part.fragment_of_row(&schema, &rows[2])
+        );
     }
 
     #[test]
@@ -437,7 +453,11 @@ mod tests {
             ("city", DataType::Str),
             ("state", DataType::Str),
         ]);
-        let row = vec![Value::Int(6000), Value::from("San Diego"), Value::from("CA")];
+        let row = vec![
+            Value::Int(6000),
+            Value::from("San Diego"),
+            Value::from("CA"),
+        ];
         assert_eq!(p.fragment_of_row(&schema, &row), Some(0));
     }
 }

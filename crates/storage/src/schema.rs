@@ -38,10 +38,7 @@ impl Schema {
     /// Convenience constructor from `(name, type)` pairs.
     pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
         Schema {
-            columns: pairs
-                .iter()
-                .map(|(n, t)| Column::new(*n, *t))
-                .collect(),
+            columns: pairs.iter().map(|(n, t)| Column::new(*n, *t)).collect(),
         }
     }
 

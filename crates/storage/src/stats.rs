@@ -117,10 +117,10 @@ impl TableStats {
                     continue;
                 }
                 distinct.insert(v);
-                if min.as_ref().map_or(true, |m| v < m) {
+                if min.as_ref().is_none_or(|m| v < m) {
                     min = Some(v.clone());
                 }
-                if max.as_ref().map_or(true, |m| v > m) {
+                if max.as_ref().is_none_or(|m| v > m) {
                     max = Some(v.clone());
                 }
             }
@@ -181,11 +181,17 @@ mod tests {
         let pos: Vec<Row> = vec![vec![Value::Int(2)], vec![Value::Int(3)]];
         let zero: Vec<Row> = vec![vec![Value::Int(0)], vec![Value::Int(3)]];
         let neg: Vec<Row> = vec![vec![Value::Int(-1)], vec![Value::Int(3)]];
-        assert!(TableStats::compute(&schema, &pos).column("a").unwrap().strictly_positive());
+        assert!(TableStats::compute(&schema, &pos)
+            .column("a")
+            .unwrap()
+            .strictly_positive());
         let z = TableStats::compute(&schema, &zero);
         assert!(z.column("a").unwrap().non_negative());
         assert!(!z.column("a").unwrap().strictly_positive());
-        assert!(!TableStats::compute(&schema, &neg).column("a").unwrap().non_negative());
+        assert!(!TableStats::compute(&schema, &neg)
+            .column("a")
+            .unwrap()
+            .non_negative());
     }
 
     #[test]

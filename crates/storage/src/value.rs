@@ -158,10 +158,40 @@ impl Value {
     /// yields NULL like SQL).
     pub fn div(&self, other: &Value) -> Value {
         match (self.as_f64(), other.as_f64()) {
-            (Some(_), Some(b)) if b == 0.0 => Value::Null,
-            (Some(a), Some(b)) => Value::Float(a / b),
+            (Some(a), Some(b)) if b != 0.0 => Value::Float(a / b),
             _ => Value::Null,
         }
+    }
+}
+
+/// Exact comparison of an `i64` against an `f64`.
+///
+/// Casting the integer to `f64` loses precision beyond 2^53, which would
+/// make `Value`'s equivalence non-transitive (two distinct big integers both
+/// "equal" to their shared rounded double). Instead the float is compared
+/// against the integer at full precision; ties between mathematically equal
+/// values fall back to `total_cmp` so `-0.0` keeps its place just below
+/// `+0.0`, consistent with the `Float`/`Float` ordering.
+fn cmp_int_float(i: i64, f: f64) -> Ordering {
+    if f.is_nan() {
+        // NaNs never equal a real number; order them like total_cmp does.
+        return (i as f64).total_cmp(&f);
+    }
+    // 2^63 and -2^63 are exactly representable: every float at or beyond
+    // them lies outside (or at the edge of) the i64 range.
+    if f >= 9_223_372_036_854_775_808.0 {
+        return Ordering::Less;
+    }
+    if f < -9_223_372_036_854_775_808.0 {
+        return Ordering::Greater;
+    }
+    let t = f.trunc(); // integral, in i64 range → exact cast
+    match i.cmp(&(t as i64)) {
+        Ordering::Equal if f > t => Ordering::Less,
+        Ordering::Equal if f < t => Ordering::Greater,
+        // Mathematically equal; refine only the -0.0 / +0.0 distinction.
+        Ordering::Equal => (i as f64).total_cmp(&f),
+        other => other,
     }
 }
 
@@ -186,8 +216,8 @@ impl Ord for Value {
             (Null, Null) => Ordering::Equal,
             (Int(a), Int(b)) => a.cmp(b),
             (Float(a), Float(b)) => a.total_cmp(b),
-            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
-            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Int(a), Float(b)) => cmp_int_float(*a, *b),
+            (Float(a), Int(b)) => cmp_int_float(*b, *a).reverse(),
             (Str(a), Str(b)) => a.cmp(b),
             (Bool(a), Bool(b)) => a.cmp(b),
             _ => self.type_rank().cmp(&other.type_rank()),
@@ -195,6 +225,14 @@ impl Ord for Value {
     }
 }
 
+/// `Value` is its own hash-key representation: `Hash` is consistent with the
+/// exact, total-order `Eq` above, so the physical hash operators (group-by,
+/// hash join, duplicate elimination) key their tables on `Value` rows
+/// directly. A `Float` can only equal an `Int` when it is integer-valued and
+/// within the `i64` range, so exactly those floats hash via their `i64`
+/// value alongside `Int`s; every other float hashes via its bit pattern.
+/// This keeps equal values hashing equal without clustering large integer
+/// keys that share one `f64` image into a single bucket.
 impl Hash for Value {
     fn hash<H: Hasher>(&self, state: &mut H) {
         match self {
@@ -203,18 +241,23 @@ impl Hash for Value {
                 1u8.hash(state);
                 b.hash(state);
             }
-            // Int and Float hash consistently with their Ord equivalence:
-            // an Int hashes like the equivalent Float bit pattern.
             Value::Int(i) => {
                 2u8.hash(state);
-                (*i as f64).to_bits().hash(state);
+                i.hash(state);
             }
             Value::Float(f) => {
-                2u8.hash(state);
-                f.to_bits().hash(state);
+                if f.trunc() == *f
+                    && (-9_223_372_036_854_775_808.0..9_223_372_036_854_775_808.0).contains(f)
+                {
+                    2u8.hash(state);
+                    (*f as i64).hash(state);
+                } else {
+                    3u8.hash(state);
+                    f.to_bits().hash(state);
+                }
             }
             Value::Str(s) => {
-                3u8.hash(state);
+                4u8.hash(state);
                 s.hash(state);
             }
         }
@@ -339,6 +382,83 @@ mod tests {
         assert_eq!(Value::Int(42).to_string(), "42");
         assert_eq!(Value::from("CA").to_string(), "CA");
         assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn ordering_is_a_lawful_total_order_on_mixed_samples() {
+        // Antisymmetry + transitivity over a sample set spanning the 2^53
+        // precision boundary, ±0.0, infinities and cross-type pairs.
+        const BIG: i64 = 1 << 53;
+        let samples = vec![
+            Value::Null,
+            Value::Bool(false),
+            Value::Int(-5),
+            Value::Int(0),
+            Value::Int(3),
+            Value::Int(BIG),
+            Value::Int(BIG + 1),
+            Value::Float(-0.0),
+            Value::Float(0.0),
+            Value::Float(3.0),
+            Value::Float(3.5),
+            Value::Float(BIG as f64),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(f64::INFINITY),
+            Value::from("CA"),
+        ];
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(a.cmp(b), b.cmp(a).reverse(), "antisymmetry: {a:?} vs {b:?}");
+                for c in &samples {
+                    if a <= b && b <= c {
+                        assert!(a <= c, "transitivity: {a:?} <= {b:?} <= {c:?}");
+                    }
+                    if a == b && b == c {
+                        assert!(a == c, "eq transitivity: {a:?}, {b:?}, {c:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int_float_comparison_is_exact_beyond_f64_precision() {
+        const BIG: i64 = 1 << 53; // BIG and BIG + 1 share one f64 image
+        assert_ne!(Value::Int(BIG), Value::Int(BIG + 1));
+        assert_eq!(Value::Int(BIG), Value::Float(BIG as f64));
+        // The rounded double equals BIG exactly, so BIG + 1 is greater.
+        assert!(Value::Int(BIG + 1) > Value::Float(BIG as f64));
+        assert!(Value::Float(BIG as f64) < Value::Int(BIG + 1));
+        // Fractional and out-of-range floats.
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Int(-2) > Value::Float(-2.5));
+        assert!(Value::Int(i64::MAX) < Value::Float(1e19));
+        assert!(Value::Int(i64::MIN) > Value::Float(-1e19));
+        // -0.0 stays just below +0.0, like the Float/Float total order.
+        assert!(Value::Float(-0.0) < Value::Int(0));
+        assert_eq!(Value::Int(0), Value::Float(0.0));
+    }
+
+    #[test]
+    fn hash_stays_consistent_with_exact_equality() {
+        const BIG: i64 = 1 << 53;
+        // Equal values hash equal; unequal big ints collide in the hash but
+        // a HashSet (which re-checks Eq) still separates them.
+        assert_eq!(
+            hash_of(&Value::Int(BIG)),
+            hash_of(&Value::Float(BIG as f64))
+        );
+        // Large integers sharing one f64 image no longer share a bucket.
+        assert_ne!(hash_of(&Value::Int(BIG)), hash_of(&Value::Int(BIG + 1)));
+        use std::collections::HashSet;
+        let distinct: HashSet<Value> = [
+            Value::Int(BIG),
+            Value::Int(BIG + 1),
+            Value::Float(BIG as f64), // == Int(BIG)
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(distinct.len(), 2);
     }
 
     #[test]

@@ -62,8 +62,8 @@ pub fn generate(config: &CrimesConfig) -> Database {
         let area = area_dist.sample(&mut rng) as i64;
         // Blocks are nested within areas: block ids encode their area, which
         // reproduces the strong geographical correlation of the real data.
-        let block = area * config.blocks_per_area as i64
-            + rng.gen_range(0..config.blocks_per_area as i64);
+        let block =
+            area * config.blocks_per_area as i64 + rng.gen_range(0..config.blocks_per_area as i64);
         b.push(vec![
             Value::Int(id),
             Value::Int(area),

@@ -88,7 +88,7 @@ mod tests {
     fn zipf_zero_exponent_is_roughly_uniform() {
         let z = Zipf::new(10, 0.0);
         let mut rng = StdRng::seed_from_u64(3);
-        let mut counts = vec![0usize; 11];
+        let mut counts = [0usize; 11];
         for _ in 0..50_000 {
             counts[z.sample(&mut rng)] += 1;
         }

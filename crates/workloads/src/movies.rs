@@ -190,8 +190,22 @@ mod tests {
         let db = tiny();
         let engine = Engine::new(EngineProfile::Indexed);
         let qs = queries();
-        assert_eq!(engine.execute(&db, &qs[0].default_plan()).unwrap().relation.len(), 10);
-        assert_eq!(engine.execute(&db, &qs[2].default_plan()).unwrap().relation.len(), 10);
+        assert_eq!(
+            engine
+                .execute(&db, &qs[0].default_plan())
+                .unwrap()
+                .relation
+                .len(),
+            10
+        );
+        assert_eq!(
+            engine
+                .execute(&db, &qs[2].default_plan())
+                .unwrap()
+                .relation
+                .len(),
+            10
+        );
         // M-Q2 with a threshold scaled to the tiny dataset.
         let plan = qs[1].template.instantiate(&[Value::Int(60)]);
         let out = engine.execute(&db, &plan).unwrap();

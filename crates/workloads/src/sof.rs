@@ -179,7 +179,11 @@ pub fn queries() -> Vec<BenchQuery> {
                 LogicalPlan::scan("comments")
                     .aggregate(
                         vec!["userid"],
-                        vec![AggExpr::new(AggFunc::Count, col("commentid"), "num_comments")],
+                        vec![AggExpr::new(
+                            AggFunc::Count,
+                            col("commentid"),
+                            "num_comments",
+                        )],
                     )
                     .filter(
                         col("num_comments")
@@ -256,7 +260,9 @@ mod tests {
         let db = tiny();
         let engine = Engine::new(EngineProfile::Indexed);
         let q5 = &queries()[4];
-        let plan = q5.template.instantiate(&[Value::Int(50), Value::Int(5_000)]);
+        let plan = q5
+            .template
+            .instantiate(&[Value::Int(50), Value::Int(5_000)]);
         let out = engine.execute(&db, &plan).unwrap();
         assert!(!out.relation.is_empty());
         // All returned counts are within the interval.

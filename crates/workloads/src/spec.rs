@@ -75,10 +75,8 @@ mod tests {
 
     #[test]
     fn bench_query_instantiates_with_default_binding() {
-        let template = QueryTemplate::new(
-            "t",
-            LogicalPlan::scan("r").filter(col("a").gt(param(0))),
-        );
+        let template =
+            QueryTemplate::new("t", LogicalPlan::scan("r").filter(col("a").gt(param(0))));
         let q = BenchQuery::new(
             "Q-test",
             template,

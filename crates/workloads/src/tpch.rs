@@ -216,8 +216,13 @@ pub fn generate(config: &TpchConfig) -> Database {
 /// the same join shape and the same top-k / HAVING pattern over the same
 /// fact-table grouping attribute, with selection constants turned into
 /// parameters.
+#[allow(clippy::vec_init_then_push)]
 pub fn queries() -> Vec<BenchQuery> {
-    let revenue = || col("l_extendedprice").mul(lit(100).sub(col("l_discount"))).div(lit(100));
+    let revenue = || {
+        col("l_extendedprice")
+            .mul(lit(100).sub(col("l_discount")))
+            .div(lit(100))
+    };
     let mut out = Vec::new();
 
     // Q1 analogue: per-quantity-bucket aggregate over (almost) all of
@@ -272,7 +277,11 @@ pub fn queries() -> Vec<BenchQuery> {
         QueryTemplate::new(
             "tpch-q5",
             LogicalPlan::scan("orders")
-                .filter(col("o_orderdate").ge(param(0)).and(col("o_orderdate").lt(param(1))))
+                .filter(
+                    col("o_orderdate")
+                        .ge(param(0))
+                        .and(col("o_orderdate").lt(param(1))),
+                )
                 .join(LogicalPlan::scan("lineitem"), "o_orderkey", "l_orderkey")
                 .join(LogicalPlan::scan("supplier"), "l_suppkey", "s_suppkey")
                 .aggregate(
@@ -297,7 +306,11 @@ pub fn queries() -> Vec<BenchQuery> {
         QueryTemplate::new(
             "tpch-q10",
             LogicalPlan::scan("orders")
-                .filter(col("o_orderdate").ge(param(0)).and(col("o_orderdate").lt(param(1))))
+                .filter(
+                    col("o_orderdate")
+                        .ge(param(0))
+                        .and(col("o_orderdate").lt(param(1))),
+                )
                 .join(LogicalPlan::scan("lineitem"), "o_orderkey", "l_orderkey")
                 .aggregate(
                     vec!["o_custkey"],
@@ -320,7 +333,11 @@ pub fn queries() -> Vec<BenchQuery> {
         QueryTemplate::new(
             "tpch-q15",
             LogicalPlan::scan("lineitem")
-                .filter(col("l_shipdate").ge(param(0)).and(col("l_shipdate").lt(param(1))))
+                .filter(
+                    col("l_shipdate")
+                        .ge(param(0))
+                        .and(col("l_shipdate").lt(param(1))),
+                )
                 .aggregate(
                     vec!["l_suppkey"],
                     vec![AggExpr::new(AggFunc::Sum, revenue(), "total_revenue")],
@@ -347,7 +364,11 @@ pub fn queries() -> Vec<BenchQuery> {
                 .filter(col("total_qty").lt(param(0)))
                 .aggregate(
                     vec![],
-                    vec![AggExpr::new(AggFunc::Count, col("l_partkey"), "small_parts")],
+                    vec![AggExpr::new(
+                        AggFunc::Count,
+                        col("l_partkey"),
+                        "small_parts",
+                    )],
                 ),
         ),
         vec![Value::Int(40)],
@@ -383,10 +404,17 @@ pub fn queries() -> Vec<BenchQuery> {
         QueryTemplate::new(
             "tpch-q19",
             LogicalPlan::scan("lineitem")
-                .filter(col("l_quantity").ge(param(0)).and(col("l_quantity").le(param(1))))
+                .filter(
+                    col("l_quantity")
+                        .ge(param(0))
+                        .and(col("l_quantity").le(param(1))),
+                )
                 .join(LogicalPlan::scan("part"), "l_partkey", "p_partkey")
                 .filter(col("p_size").le(param(2)))
-                .aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, revenue(), "revenue")]),
+                .aggregate(
+                    vec![],
+                    vec![AggExpr::new(AggFunc::Sum, revenue(), "revenue")],
+                ),
         ),
         vec![Value::Int(48), Value::Int(50), Value::Int(5)],
         SketchSpec::Range {
@@ -474,10 +502,9 @@ mod tests {
         // small fraction of the table.
         let db = tiny();
         let q18 = queries().into_iter().find(|q| q.name == "Q18").unwrap();
-        let lineage =
-            pbds_provenance::capture_lineage(&db, &q18.default_plan()).unwrap();
-        let frac = lineage.rows_of("lineitem").len() as f64
-            / db.table("lineitem").unwrap().len() as f64;
+        let lineage = pbds_provenance::capture_lineage(&db, &q18.default_plan()).unwrap();
+        let frac =
+            lineage.rows_of("lineitem").len() as f64 / db.table("lineitem").unwrap().len() as f64;
         assert!(frac < 0.3, "provenance fraction {frac}");
     }
 }

@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run -p pbds-core --release --example quickstart`
 
-use pbds_core::{Pbds, PartitionAttr};
 use pbds_algebra::{col, AggExpr, AggFunc, LogicalPlan, SortKey};
+use pbds_core::{PartitionAttr, Pbds};
 use pbds_storage::{DataType, Database, Schema, TableBuilder, Value};
 
 fn main() {
@@ -43,7 +43,9 @@ fn main() {
     println!("sketches on sales.customer are safe: {}", safety.safe);
 
     // 4. Capture a provenance sketch over a 100-fragment range partition.
-    let partition = pbds.range_partition("sales", "customer", 100).expect("partition");
+    let partition = pbds
+        .range_partition("sales", "customer", 100)
+        .expect("partition");
     let captured = pbds.capture(&query, &[partition]).expect("capture");
     let sketch = &captured.sketches[0];
     println!(
@@ -59,7 +61,10 @@ fn main() {
     let skipped = pbds
         .execute_with_sketches(&query, &captured.sketches)
         .expect("sketch execution");
-    assert!(plain.relation.bag_eq(&skipped.relation), "results must match");
+    assert!(
+        plain.relation.bag_eq(&skipped.relation),
+        "results must match"
+    );
     println!(
         "plain:  {:>8.2} ms, {:>8} rows scanned",
         plain.stats.elapsed.as_secs_f64() * 1e3,

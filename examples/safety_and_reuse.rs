@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run -p pbds-core --release --example safety_and_reuse`
 
-use pbds_core::{Pbds, PartitionAttr};
 use pbds_algebra::{col, param, AggExpr, AggFunc, LogicalPlan, QueryTemplate, SortKey};
+use pbds_core::{PartitionAttr, Pbds};
 use pbds_storage::{DataType, Database, Schema, TableBuilder, Value};
 
 fn cities_db() -> Database {
@@ -25,7 +25,11 @@ fn cities_db() -> Database {
         (3700, "Austin", "TX"),
         (2500, "Houston", "TX"),
     ] {
-        b.push(vec![Value::Int(popden), Value::from(city), Value::from(state)]);
+        b.push(vec![
+            Value::Int(popden),
+            Value::from(city),
+            Value::from(state),
+        ]);
     }
     let mut db = Database::new();
     db.add_table(b.build());
@@ -82,10 +86,19 @@ fn main() {
     );
     let captured_binding = vec![Value::Int(100), Value::Int(10)];
     for (label, new_binding) in [
-        ("same popden, higher count threshold (Ex. 7)", vec![Value::Int(100), Value::Int(15)]),
-        ("lower count threshold", vec![Value::Int(100), Value::Int(5)]),
+        (
+            "same popden, higher count threshold (Ex. 7)",
+            vec![Value::Int(100), Value::Int(15)],
+        ),
+        (
+            "lower count threshold",
+            vec![Value::Int(100), Value::Int(5)],
+        ),
         ("weaker popden filter", vec![Value::Int(50), Value::Int(10)]),
-        ("stronger popden filter", vec![Value::Int(500), Value::Int(10)]),
+        (
+            "stronger popden filter",
+            vec![Value::Int(500), Value::Int(10)],
+        ),
     ] {
         let result = pbds.check_reuse(&template, &captured_binding, &new_binding);
         println!(

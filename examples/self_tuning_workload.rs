@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run -p pbds-core --release --example self_tuning_workload`
 
-use pbds_core::{cumulative_elapsed, Action, EngineProfile, SelfTuningExecutor, Strategy};
 use pbds_algebra::QueryTemplate;
+use pbds_core::{cumulative_elapsed, Action, EngineProfile, SelfTuningExecutor, Strategy};
 use pbds_storage::Value;
 use pbds_workloads::{normal, sof};
 use rand::rngs::StdRng;
@@ -51,8 +51,14 @@ fn main() {
         let mut exec = SelfTuningExecutor::new(&db, EngineProfile::Indexed, strategy, 500);
         let records = exec.run_workload(&workload).expect("workload");
         let cumulative = cumulative_elapsed(&records);
-        let captures = records.iter().filter(|r| r.action == Action::Capture).count();
-        let reuses = records.iter().filter(|r| r.action == Action::UseSketch).count();
+        let captures = records
+            .iter()
+            .filter(|r| r.action == Action::Capture)
+            .count();
+        let reuses = records
+            .iter()
+            .filter(|r| r.action == Action::UseSketch)
+            .count();
         println!(
             "{label}  total {:>9.2} ms   (captured {captures:>3} sketches, reused {reuses:>4} times)",
             cumulative.last().unwrap().as_secs_f64() * 1e3,

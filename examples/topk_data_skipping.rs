@@ -28,7 +28,11 @@ fn run_set(label: &str, pbds: &Pbds, queries: &[BenchQuery], fragments: usize) {
         let captured = pbds.capture(&plan, &[partition]).expect("capture");
         let plain = pbds.execute(&plan).expect("plain");
         let fast = pbds
-            .execute_with_sketches_styled(&plan, &captured.sketches, UsePredicateStyle::BinarySearch)
+            .execute_with_sketches_styled(
+                &plan,
+                &captured.sketches,
+                UsePredicateStyle::BinarySearch,
+            )
             .expect("sketch use");
         assert!(plain.relation.bag_eq(&fast.relation));
         println!(
@@ -49,7 +53,12 @@ fn main() {
         ratings: 150_000,
         ..Default::default()
     });
-    run_set("MovieLens-like (M-Q1..M-Q3, PS1000)", &Pbds::new(movies_db), &movies::queries(), 1_000);
+    run_set(
+        "MovieLens-like (M-Q1..M-Q3, PS1000)",
+        &Pbds::new(movies_db),
+        &movies::queries(),
+        1_000,
+    );
 
     let sof_db = sof::generate(&sof::SofConfig {
         users: 8_000,
@@ -58,5 +67,10 @@ fn main() {
         badges: 30_000,
         ..Default::default()
     });
-    run_set("Stack-Overflow-like (S-Q1..S-Q5, PS1000)", &Pbds::new(sof_db), &sof::queries(), 1_000);
+    run_set(
+        "Stack-Overflow-like (S-Q1..S-Q5, PS1000)",
+        &Pbds::new(sof_db),
+        &sof::queries(),
+        1_000,
+    );
 }

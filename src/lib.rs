@@ -1,0 +1,17 @@
+//! # pbds — workspace meta crate
+//!
+//! Re-exports the public surface of the PBDS reproduction so the
+//! repository-level integration tests and examples can depend on a single
+//! crate. See `pbds-core` for the full architecture documentation.
+
+#![warn(missing_docs)]
+
+pub use pbds_algebra as algebra;
+pub use pbds_core as core;
+pub use pbds_exec as exec;
+pub use pbds_provenance as provenance;
+pub use pbds_solver as solver;
+pub use pbds_storage as storage;
+pub use pbds_workloads as workloads;
+
+pub use pbds_core::{Pbds, PbdsError};

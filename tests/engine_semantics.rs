@@ -6,8 +6,8 @@
 //! query shapes and comparing results catches semantic drift in either one.
 //! The engine profiles (indexed vs columnar) must also agree with each other.
 
-use pbds_core::{Engine, EngineProfile};
 use pbds_algebra::{col, lit, AggExpr, AggFunc, LogicalPlan, SortKey};
+use pbds_core::{Engine, EngineProfile};
 use pbds_provenance::capture_lineage;
 use pbds_storage::{DataType, Database, Schema, TableBuilder, Value};
 use rand::rngs::StdRng;
@@ -62,11 +62,17 @@ fn query_family() -> Vec<LogicalPlan> {
         ),
         // HAVING.
         LogicalPlan::scan("r")
-            .aggregate(vec!["grp"], vec![AggExpr::new(AggFunc::Sum, col("v"), "total")])
+            .aggregate(
+                vec!["grp"],
+                vec![AggExpr::new(AggFunc::Sum, col("v"), "total")],
+            )
             .filter(col("total").gt(lit(10))),
         // Top-k over an aggregate.
         LogicalPlan::scan("r")
-            .aggregate(vec!["grp"], vec![AggExpr::new(AggFunc::Count, col("k"), "cnt")])
+            .aggregate(
+                vec!["grp"],
+                vec![AggExpr::new(AggFunc::Count, col("k"), "cnt")],
+            )
             .top_k(vec![SortKey::desc("cnt")], 3),
         // Join + aggregate.
         LogicalPlan::scan("r")
@@ -91,15 +97,21 @@ fn query_family() -> Vec<LogicalPlan> {
         // Cross product of two small aggregates.
         LogicalPlan::scan("r")
             .aggregate(vec![], vec![AggExpr::new(AggFunc::Max, col("v"), "mx")])
-            .cross(LogicalPlan::scan("r").aggregate(
-                vec![],
-                vec![AggExpr::new(AggFunc::Min, col("v"), "mn")],
-            )),
+            .cross(
+                LogicalPlan::scan("r")
+                    .aggregate(vec![], vec![AggExpr::new(AggFunc::Min, col("v"), "mn")]),
+            ),
         // Two-level aggregation.
         LogicalPlan::scan("r")
-            .aggregate(vec!["grp"], vec![AggExpr::new(AggFunc::Count, col("k"), "cnt")])
+            .aggregate(
+                vec!["grp"],
+                vec![AggExpr::new(AggFunc::Count, col("k"), "cnt")],
+            )
             .filter(col("cnt").ge(lit(3)))
-            .aggregate(vec![], vec![AggExpr::new(AggFunc::Count, col("grp"), "groups")]),
+            .aggregate(
+                vec![],
+                vec![AggExpr::new(AggFunc::Count, col("grp"), "groups")],
+            ),
     ]
 }
 
@@ -159,10 +171,16 @@ fn top_k_is_a_prefix_of_the_full_ordering() {
     let db = random_db(5, 400);
     let engine = Engine::new(EngineProfile::Indexed);
     let full = LogicalPlan::scan("r")
-        .aggregate(vec!["grp"], vec![AggExpr::new(AggFunc::Sum, col("v"), "total")])
+        .aggregate(
+            vec!["grp"],
+            vec![AggExpr::new(AggFunc::Sum, col("v"), "total")],
+        )
         .top_k(vec![SortKey::desc("total")], 100);
     let top3 = LogicalPlan::scan("r")
-        .aggregate(vec!["grp"], vec![AggExpr::new(AggFunc::Sum, col("v"), "total")])
+        .aggregate(
+            vec!["grp"],
+            vec![AggExpr::new(AggFunc::Sum, col("v"), "total")],
+        )
         .top_k(vec![SortKey::desc("total")], 3);
     let full_rows = engine.execute(&db, &full).unwrap().relation;
     let top_rows = engine.execute(&db, &top3).unwrap().relation;

@@ -2,8 +2,8 @@
 //! Fig. 5/7/8): the `cities` relation, queries Q1/Q2, the state and popden
 //! partitions, sketch capture, sketch safety and sketch reuse.
 
-use pbds_core::{Pbds, PartitionAttr, UsePredicateStyle};
 use pbds_algebra::{col, lit, param, AggExpr, AggFunc, LogicalPlan, QueryTemplate, SortKey};
+use pbds_core::{PartitionAttr, Pbds, UsePredicateStyle};
 use pbds_provenance::{capture_lineage, restrict_database};
 use pbds_storage::{DataType, Database, Partition, RangePartition, Schema, TableBuilder, Value};
 use std::sync::Arc;
@@ -26,7 +26,11 @@ fn cities_db() -> Database {
         (3700, "Austin", "TX"),
         (2500, "Houston", "TX"),
     ] {
-        b.push(vec![Value::Int(popden), Value::from(city), Value::from(state)]);
+        b.push(vec![
+            Value::Int(popden),
+            Value::from(city),
+            Value::from(state),
+        ]);
     }
     let mut db = Database::new();
     db.add_table(b.build());
@@ -104,7 +108,10 @@ fn example4_instrumented_q2_produces_the_same_result() {
     // Q2[P_state] adds `state BETWEEN 'AL' AND 'DE'` and returns Fig. 1d.
     let pbds = Pbds::new(cities_db());
     let captured = pbds.capture(&q2(), &[state_partition()]).unwrap();
-    for style in [UsePredicateStyle::BinarySearch, UsePredicateStyle::OrConditions] {
+    for style in [
+        UsePredicateStyle::BinarySearch,
+        UsePredicateStyle::OrConditions,
+    ] {
         let out = pbds
             .execute_with_sketches_styled(&q2(), &captured.sketches, style)
             .unwrap();
@@ -137,8 +144,15 @@ fn example5_popden_sketch_is_unsafe_in_practice() {
 #[test]
 fn theorem1_static_check_flags_popden_unsafe_and_state_safe() {
     let pbds = Pbds::new(cities_db());
-    assert!(pbds.check_safety(&q2(), &[PartitionAttr::new("cities", "state")]).safe);
-    assert!(!pbds.check_safety(&q2(), &[PartitionAttr::new("cities", "popden")]).safe);
+    assert!(
+        pbds.check_safety(&q2(), &[PartitionAttr::new("cities", "state")])
+            .safe
+    );
+    assert!(
+        !pbds
+            .check_safety(&q2(), &[PartitionAttr::new("cities", "popden")])
+            .safe
+    );
 }
 
 #[test]
@@ -151,8 +165,15 @@ fn example6_sum_having_query_popden_is_not_provably_safe() {
         )
         .filter(col("totden").lt(lit(7000)));
     let pbds = Pbds::new(cities_db());
-    assert!(!pbds.check_safety(&plan, &[PartitionAttr::new("cities", "popden")]).safe);
-    assert!(pbds.check_safety(&plan, &[PartitionAttr::new("cities", "state")]).safe);
+    assert!(
+        !pbds
+            .check_safety(&plan, &[PartitionAttr::new("cities", "popden")])
+            .safe
+    );
+    assert!(
+        pbds.check_safety(&plan, &[PartitionAttr::new("cities", "state")])
+            .safe
+    );
 }
 
 #[test]
@@ -171,13 +192,24 @@ fn example7_fig5_reuse_direction() {
     );
     let pbds = Pbds::new(cities_db());
     // Q = (100, 10), Q' = (100, 15): reusable (Ex. 7).
-    assert!(pbds
-        .check_reuse(&template, &[Value::Int(100), Value::Int(10)], &[Value::Int(100), Value::Int(15)])
-        .reusable);
+    assert!(
+        pbds.check_reuse(
+            &template,
+            &[Value::Int(100), Value::Int(10)],
+            &[Value::Int(100), Value::Int(15)]
+        )
+        .reusable
+    );
     // The opposite direction is not.
-    assert!(!pbds
-        .check_reuse(&template, &[Value::Int(100), Value::Int(15)], &[Value::Int(100), Value::Int(10)])
-        .reusable);
+    assert!(
+        !pbds
+            .check_reuse(
+                &template,
+                &[Value::Int(100), Value::Int(15)],
+                &[Value::Int(100), Value::Int(10)]
+            )
+            .reusable
+    );
 }
 
 #[test]
@@ -198,6 +230,9 @@ fn lemma5_adding_fragments_to_a_safe_sketch_keeps_the_result_correct() {
     let captured = pbds.capture(&q2(), &[state_partition()]).unwrap();
     let mut widened = captured.sketches[0].clone();
     widened.add_fragment(2);
-    let out = pbds.execute_with_sketches(&q2(), &[widened]).unwrap().relation;
+    let out = pbds
+        .execute_with_sketches(&q2(), &[widened])
+        .unwrap()
+        .relation;
     assert!(out.bag_eq(&pbds.execute(&q2()).unwrap().relation));
 }

@@ -1,0 +1,563 @@
+//! Logical-vs-physical equivalence tests.
+//!
+//! The physical operator pipeline (`pbds_exec::physical`) is the only
+//! production interpreter of query plans. To guard it against semantic
+//! drift, this suite re-implements the bag-relational-algebra semantics as a
+//! deliberately naive *oracle* interpreter (no access paths, no batches, no
+//! pushdown) and checks that lowering + pipeline execution produce identical
+//! relations and row counts for every query shape of `engine_semantics.rs`,
+//! under both engine profiles.
+//!
+//! A second group asserts capture equivalence: the sketches produced by the
+//! unified pipeline (capture as a tag-policy *mode*) still match the paper's
+//! worked examples — the values the seed's standalone capture interpreter
+//! produced — for every capture configuration and on both profiles.
+
+use pbds_algebra::{col, lit, AggExpr, AggFunc, LogicalPlan, SortKey};
+use pbds_exec::{eval_expr, eval_predicate, Engine, EngineProfile, ExecError};
+use pbds_provenance::{
+    capture_lineage, capture_sketches_with_profile, CaptureConfig, LookupMethod, MergeStrategy,
+    ProvenanceSketch,
+};
+use pbds_storage::{
+    DataType, Database, Partition, PartitionRef, RangePartition, Relation, Row, Schema,
+    TableBuilder, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// The oracle: a direct, materializing interpreter of the logical algebra.
+// ---------------------------------------------------------------------------
+
+fn oracle(db: &Database, plan: &LogicalPlan) -> Result<Relation, ExecError> {
+    let rows = oracle_rows(db, plan)?;
+    Ok(Relation::new(plan.schema(db)?, rows))
+}
+
+fn oracle_rows(db: &Database, plan: &LogicalPlan) -> Result<Vec<Row>, ExecError> {
+    match plan {
+        LogicalPlan::TableScan { table } => Ok(db.table(table)?.rows().to_vec()),
+        LogicalPlan::Selection { predicate, input } => {
+            let schema = input.schema(db)?;
+            let mut out = Vec::new();
+            for row in oracle_rows(db, input)? {
+                if eval_predicate(predicate, &schema, &row)? {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::Projection { exprs, input } => {
+            let schema = input.schema(db)?;
+            oracle_rows(db, input)?
+                .into_iter()
+                .map(|row| {
+                    exprs
+                        .iter()
+                        .map(|(e, _)| eval_expr(e, &schema, &row))
+                        .collect()
+                })
+                .collect()
+        }
+        LogicalPlan::Aggregate {
+            group_by,
+            aggregates,
+            input,
+        } => {
+            let schema = input.schema(db)?;
+            let group_idx: Vec<usize> = group_by
+                .iter()
+                .map(|g| {
+                    schema
+                        .index_of(g)
+                        .ok_or_else(|| ExecError::UnknownColumn(g.clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            let mut members: Vec<Vec<Row>> = Vec::new();
+            for row in oracle_rows(db, input)? {
+                let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
+                match order.iter().position(|k| *k == key) {
+                    Some(i) => members[i].push(row),
+                    None => {
+                        order.push(key);
+                        members.push(vec![row]);
+                    }
+                }
+            }
+            if order.is_empty() && group_by.is_empty() {
+                let row = aggregates
+                    .iter()
+                    .map(|a| match a.func {
+                        AggFunc::Count => Value::Int(0),
+                        _ => Value::Null,
+                    })
+                    .collect();
+                return Ok(vec![row]);
+            }
+            let mut out = Vec::with_capacity(order.len());
+            for (key, rows) in order.into_iter().zip(members) {
+                let mut result = key;
+                for agg in aggregates {
+                    let vals: Vec<Value> = rows
+                        .iter()
+                        .map(|r| eval_expr(&agg.input, &schema, r))
+                        .collect::<Result<_, _>>()?;
+                    result.push(pbds_provenance::lineage::aggregate_value(agg.func, &vals));
+                }
+                out.push(result);
+            }
+            Ok(out)
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_col,
+            right_col,
+        } => {
+            let ls = left.schema(db)?;
+            let rs = right.schema(db)?;
+            let li = ls
+                .index_of(left_col)
+                .ok_or_else(|| ExecError::UnknownColumn(left_col.clone()))?;
+            let ri = rs
+                .index_of(right_col)
+                .ok_or_else(|| ExecError::UnknownColumn(right_col.clone()))?;
+            let lrows = oracle_rows(db, left)?;
+            let rrows = oracle_rows(db, right)?;
+            let mut out = Vec::new();
+            for lrow in &lrows {
+                if lrow[li].is_null() {
+                    continue;
+                }
+                for rrow in &rrows {
+                    if !rrow[ri].is_null() && lrow[li] == rrow[ri] {
+                        let mut row = lrow.clone();
+                        row.extend(rrow.iter().cloned());
+                        out.push(row);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::CrossProduct { left, right } => {
+            let lrows = oracle_rows(db, left)?;
+            let rrows = oracle_rows(db, right)?;
+            let mut out = Vec::new();
+            for lrow in &lrows {
+                for rrow in &rrows {
+                    let mut row = lrow.clone();
+                    row.extend(rrow.iter().cloned());
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::Distinct { input } => {
+            let mut out: Vec<Row> = Vec::new();
+            for row in oracle_rows(db, input)? {
+                if !out.contains(&row) {
+                    out.push(row);
+                }
+            }
+            Ok(out)
+        }
+        LogicalPlan::TopK {
+            order_by,
+            limit,
+            input,
+        } => {
+            let schema = input.schema(db)?;
+            let key_idx: Vec<(usize, bool)> = order_by
+                .iter()
+                .map(|k| {
+                    schema
+                        .index_of(&k.column)
+                        .map(|i| (i, k.descending))
+                        .ok_or_else(|| ExecError::UnknownColumn(k.column.clone()))
+                })
+                .collect::<Result<_, _>>()?;
+            let mut rows = oracle_rows(db, input)?;
+            rows.sort_by(|a, b| {
+                for &(idx, desc) in &key_idx {
+                    let ord = a[idx].cmp(&b[idx]);
+                    let ord = if desc { ord.reverse() } else { ord };
+                    if !ord.is_eq() {
+                        return ord;
+                    }
+                }
+                a.cmp(b)
+            });
+            rows.truncate(*limit);
+            Ok(rows)
+        }
+        LogicalPlan::Union { left, right } => {
+            let mut rows = oracle_rows(db, left)?;
+            rows.extend(oracle_rows(db, right)?);
+            Ok(rows)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared fixtures (mirroring engine_semantics.rs and the paper examples).
+// ---------------------------------------------------------------------------
+
+fn random_db(seed: u64, rows: usize) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Schema::from_pairs(&[
+        ("k", DataType::Int),
+        ("grp", DataType::Int),
+        ("v", DataType::Int),
+        ("name", DataType::Str),
+    ]);
+    let mut b = TableBuilder::new("r", schema);
+    b.block_size(32).index("k");
+    for i in 0..rows {
+        b.push(vec![
+            Value::Int(i as i64),
+            Value::Int(rng.gen_range(0..10)),
+            Value::Int(rng.gen_range(-50..50)),
+            Value::from(format!("n{}", rng.gen_range(0..5))),
+        ]);
+    }
+    let schema_s = Schema::from_pairs(&[("grp_id", DataType::Int), ("weight", DataType::Int)]);
+    let mut s = TableBuilder::new("s", schema_s);
+    for g in 0..10i64 {
+        s.push(vec![Value::Int(g), Value::Int(rng.gen_range(1..5))]);
+    }
+    let mut db = Database::new();
+    db.add_table(b.build());
+    db.add_table(s.build());
+    db
+}
+
+/// The `engine_semantics.rs` query family: one query per operator shape.
+fn query_family() -> Vec<LogicalPlan> {
+    vec![
+        LogicalPlan::scan("r")
+            .filter(col("v").gt(lit(0)).and(col("grp").le(lit(5))))
+            .project(vec![(col("k"), "k"), (col("v").mul(lit(2)), "v2")]),
+        LogicalPlan::scan("r").aggregate(
+            vec!["grp"],
+            vec![
+                AggExpr::new(AggFunc::Count, col("k"), "cnt"),
+                AggExpr::new(AggFunc::Sum, col("v"), "sum_v"),
+                AggExpr::new(AggFunc::Avg, col("v"), "avg_v"),
+                AggExpr::new(AggFunc::Min, col("v"), "min_v"),
+                AggExpr::new(AggFunc::Max, col("v"), "max_v"),
+            ],
+        ),
+        LogicalPlan::scan("r")
+            .aggregate(
+                vec!["grp"],
+                vec![AggExpr::new(AggFunc::Sum, col("v"), "total")],
+            )
+            .filter(col("total").gt(lit(10))),
+        LogicalPlan::scan("r")
+            .aggregate(
+                vec!["grp"],
+                vec![AggExpr::new(AggFunc::Count, col("k"), "cnt")],
+            )
+            .top_k(vec![SortKey::desc("cnt")], 3),
+        LogicalPlan::scan("r")
+            .join(LogicalPlan::scan("s"), "grp", "grp_id")
+            .aggregate(
+                vec!["weight"],
+                vec![AggExpr::new(AggFunc::Count, col("k"), "cnt")],
+            ),
+        LogicalPlan::scan("r")
+            .project(vec![(col("grp"), "grp"), (col("name"), "name")])
+            .distinct(),
+        LogicalPlan::scan("r")
+            .filter(col("v").gt(lit(25)))
+            .project(vec![(col("k"), "k")])
+            .union(
+                LogicalPlan::scan("r")
+                    .filter(col("v").lt(lit(-25)))
+                    .project(vec![(col("k"), "k")]),
+            ),
+        LogicalPlan::scan("r")
+            .aggregate(vec![], vec![AggExpr::new(AggFunc::Max, col("v"), "mx")])
+            .cross(
+                LogicalPlan::scan("r")
+                    .aggregate(vec![], vec![AggExpr::new(AggFunc::Min, col("v"), "mn")]),
+            ),
+        LogicalPlan::scan("r")
+            .aggregate(
+                vec!["grp"],
+                vec![AggExpr::new(AggFunc::Count, col("k"), "cnt")],
+            )
+            .filter(col("cnt").ge(lit(3)))
+            .aggregate(
+                vec![],
+                vec![AggExpr::new(AggFunc::Count, col("grp"), "groups")],
+            ),
+        // Range predicates that exercise the index / zone-map access paths.
+        LogicalPlan::scan("r")
+            .filter(col("k").between(lit(40), lit(160)))
+            .aggregate(vec![], vec![AggExpr::new(AggFunc::Count, col("k"), "cnt")]),
+        LogicalPlan::scan("r")
+            .filter(col("k").ge(lit(10)))
+            .filter(col("k").le(lit(120)))
+            .top_k(vec![SortKey::asc("v"), SortKey::desc("k")], 7),
+    ]
+}
+
+#[test]
+fn pipeline_matches_direct_evaluation_on_every_query_and_profile() {
+    for seed in 0..4u64 {
+        let db = random_db(seed, 300);
+        for profile in [EngineProfile::Indexed, EngineProfile::ColumnarScan] {
+            let engine = Engine::new(profile);
+            for (i, plan) in query_family().iter().enumerate() {
+                let expected = oracle(&db, plan).unwrap();
+                let actual = engine.execute(&db, plan).unwrap().relation;
+                assert_eq!(
+                    actual.len(),
+                    expected.len(),
+                    "seed {seed}, query #{i}, {profile:?}: row counts differ\n{}",
+                    plan.display_tree()
+                );
+                assert!(
+                    actual.bag_eq(&expected),
+                    "seed {seed}, query #{i}, {profile:?}: relations differ\n{}",
+                    plan.display_tree()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pipeline_reports_errors_like_the_oracle() {
+    let db = random_db(1, 50);
+    let bad_plans = vec![
+        LogicalPlan::scan("missing"),
+        LogicalPlan::scan("r").filter(col("nope").gt(lit(1))),
+        LogicalPlan::scan("r").aggregate(
+            vec!["nope"],
+            vec![AggExpr::new(AggFunc::Count, col("k"), "cnt")],
+        ),
+        LogicalPlan::scan("r").top_k(vec![SortKey::asc("nope")], 2),
+    ];
+    let engine = Engine::new(EngineProfile::Indexed);
+    for plan in bad_plans {
+        let oracle_err = oracle(&db, &plan);
+        let engine_err = engine.execute(&db, &plan);
+        assert!(oracle_err.is_err() && engine_err.is_err(), "both must fail");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Capture equivalence: the unified pipeline reproduces the seed capture
+// results on the paper's worked examples.
+// ---------------------------------------------------------------------------
+
+fn cities_db() -> Database {
+    let schema = Schema::from_pairs(&[
+        ("popden", DataType::Int),
+        ("city", DataType::Str),
+        ("state", DataType::Str),
+    ]);
+    let mut b = TableBuilder::new("cities", schema);
+    b.block_size(2);
+    for (popden, city, state) in [
+        (4200, "Anchorage", "AK"),
+        (6000, "San Diego", "CA"),
+        (5000, "Sacramento", "CA"),
+        (7000, "New York", "NY"),
+        (2000, "Buffalo", "NY"),
+        (3700, "Austin", "TX"),
+        (2500, "Houston", "TX"),
+    ] {
+        b.push(vec![
+            Value::Int(popden),
+            Value::from(city),
+            Value::from(state),
+        ]);
+    }
+    let mut db = Database::new();
+    db.add_table(b.build());
+    db
+}
+
+fn state_partition() -> PartitionRef {
+    Arc::new(Partition::Range(RangePartition::from_uppers(
+        "cities",
+        "state",
+        vec![Value::from("DE"), Value::from("MI"), Value::from("OK")],
+    )))
+}
+
+fn popden_partition() -> PartitionRef {
+    Arc::new(Partition::Range(RangePartition::from_uppers(
+        "cities",
+        "popden",
+        vec![Value::Int(4000)],
+    )))
+}
+
+fn q2() -> LogicalPlan {
+    LogicalPlan::scan("cities")
+        .aggregate(
+            vec!["state"],
+            vec![AggExpr::new(AggFunc::Avg, col("popden"), "avgden")],
+        )
+        .top_k(vec![SortKey::desc("avgden")], 1)
+}
+
+fn all_configs() -> Vec<CaptureConfig> {
+    vec![
+        CaptureConfig::naive(),
+        CaptureConfig::optimized(),
+        CaptureConfig {
+            lookup: LookupMethod::BinarySearch,
+            merge: MergeStrategy::Delay,
+            minmax_narrowing: false,
+        },
+        CaptureConfig {
+            lookup: LookupMethod::CaseLinear,
+            merge: MergeStrategy::Bitor,
+            minmax_narrowing: true,
+        },
+    ]
+}
+
+#[test]
+fn unified_pipeline_reproduces_seed_capture_on_paper_examples() {
+    let db = cities_db();
+    for profile in [EngineProfile::Indexed, EngineProfile::ColumnarScan] {
+        for config in all_configs() {
+            // Ex. 3: the sketch of Q2 on the state partition is {f1}.
+            let res =
+                capture_sketches_with_profile(&db, &q2(), &[state_partition()], &config, profile)
+                    .unwrap();
+            assert_eq!(
+                res.sketches[0].selected_fragments(),
+                vec![0],
+                "{profile:?} {config:?}"
+            );
+            assert_eq!(res.sketches[0].bitset().to_string(), "1000");
+            assert_eq!(res.result.value(0, "state"), Some(&Value::from("CA")));
+
+            // Ex. 5: the popden-partition sketch of Q2 is {g2}.
+            let res =
+                capture_sketches_with_profile(&db, &q2(), &[popden_partition()], &config, profile)
+                    .unwrap();
+            assert_eq!(
+                res.sketches[0].selected_fragments(),
+                vec![1],
+                "{profile:?} {config:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn captured_sketches_cover_lineage_on_both_profiles() {
+    let db = cities_db();
+    let queries = vec![
+        q2(),
+        LogicalPlan::scan("cities")
+            .filter(col("popden").gt(lit(2400)))
+            .aggregate(
+                vec!["state"],
+                vec![AggExpr::new(AggFunc::Count, col("city"), "cnt")],
+            )
+            .filter(col("cnt").gt(lit(1))),
+        // No min/max-narrowed aggregate here: narrowing deliberately keeps
+        // only the witness fragment, which under-approximates full Lineage
+        // while remaining safe (covered by the dedicated test below).
+    ];
+    let table_schema = db.table("cities").unwrap().schema().clone();
+    for plan in queries {
+        let lineage = capture_lineage(&db, &plan).unwrap();
+        let accurate = ProvenanceSketch::from_rows(
+            state_partition(),
+            &table_schema,
+            lineage
+                .rows_of("cities")
+                .into_iter()
+                .map(|rid| db.table("cities").unwrap().rows()[rid as usize].clone()),
+        );
+        for profile in [EngineProfile::Indexed, EngineProfile::ColumnarScan] {
+            for config in all_configs() {
+                let res = capture_sketches_with_profile(
+                    &db,
+                    &plan,
+                    &[state_partition()],
+                    &config,
+                    profile,
+                )
+                .unwrap();
+                assert!(
+                    res.sketches[0].is_superset_of(&accurate),
+                    "sketch must cover lineage ({profile:?}, {config:?})\n{}",
+                    plan.display_tree()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn minmax_narrowing_still_selects_only_the_witness_fragment() {
+    let db = cities_db();
+    let plan = LogicalPlan::scan("cities")
+        .aggregate(vec![], vec![AggExpr::new(AggFunc::Max, col("popden"), "m")]);
+    for profile in [EngineProfile::Indexed, EngineProfile::ColumnarScan] {
+        let narrowed = capture_sketches_with_profile(
+            &db,
+            &plan,
+            &[state_partition()],
+            &CaptureConfig::optimized(),
+            profile,
+        )
+        .unwrap();
+        // The max row (New York, 7000) is in fragment f3 (index 2).
+        assert_eq!(narrowed.sketches[0].selected_fragments(), vec![2]);
+        let full = capture_sketches_with_profile(
+            &db,
+            &plan,
+            &[state_partition()],
+            &CaptureConfig {
+                minmax_narrowing: false,
+                ..CaptureConfig::optimized()
+            },
+            profile,
+        )
+        .unwrap();
+        assert_eq!(full.sketches[0].num_selected(), 3);
+    }
+}
+
+#[test]
+fn capture_result_relation_matches_plain_execution() {
+    let db = random_db(7, 250);
+    let part: PartitionRef = Arc::new(Partition::Range(RangePartition::from_uppers(
+        "r",
+        "grp",
+        vec![Value::Int(2), Value::Int(5), Value::Int(7)],
+    )));
+    for profile in [EngineProfile::Indexed, EngineProfile::ColumnarScan] {
+        let engine = Engine::new(profile);
+        for (i, plan) in query_family().iter().enumerate() {
+            let plain = engine.execute(&db, plan).unwrap().relation;
+            let captured = capture_sketches_with_profile(
+                &db,
+                plan,
+                std::slice::from_ref(&part),
+                &CaptureConfig::optimized(),
+                profile,
+            )
+            .unwrap();
+            assert!(
+                plain.bag_eq(&captured.result),
+                "query #{i}, {profile:?}: capture by-product differs from execution"
+            );
+        }
+    }
+}

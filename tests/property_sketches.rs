@@ -3,13 +3,11 @@
 //! instrumentation never changes results of safe queries, bitset algebra laws
 //! hold, and the solver's validity answers are consistent with evaluation.
 
-use pbds_core::{Pbds, PartitionAttr};
 use pbds_algebra::{col, lit, AggExpr, AggFunc, LogicalPlan, SortKey};
+use pbds_core::{PartitionAttr, Pbds};
 use pbds_provenance::{Annotation, FragmentBitset, MergeStrategy};
 use pbds_solver::{implies, CmpOp, Formula, LinExpr};
-use pbds_storage::{
-    Database, DataType, Partition, RangePartition, Schema, TableBuilder, Value,
-};
+use pbds_storage::{DataType, Database, Partition, RangePartition, Schema, TableBuilder, Value};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -158,7 +156,7 @@ proptest! {
         for plan in queries {
             prop_assert!(pbds.check_safety(&plan, &[PartitionAttr::new("t", "grp")]).safe);
             let partition = pbds.range_partition("t", "grp", fragments).unwrap();
-            let captured = pbds.capture(&plan, &[partition.clone()]).unwrap();
+            let captured = pbds.capture(&plan, std::slice::from_ref(&partition)).unwrap();
             let accurate = pbds.accurate_sketch(&plan, &partition).unwrap();
             prop_assert!(captured.sketches[0].is_superset_of(&accurate));
             let plain = pbds.execute(&plan).unwrap().relation;
@@ -177,7 +175,7 @@ proptest! {
         let pbds = Pbds::new(db);
         let plan = LogicalPlan::scan("t").filter(col("v").ge(lit(bound)));
         let partition = pbds.range_partition("t", "grp", 6).unwrap();
-        let captured = pbds.capture(&plan, &[partition.clone()]).unwrap();
+        let captured = pbds.capture(&plan, std::slice::from_ref(&partition)).unwrap();
         // Every qualifying row's fragment is in the sketch.
         let table = pbds.db().table("t").unwrap();
         for row in table.rows() {

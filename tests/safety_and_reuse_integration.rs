@@ -3,10 +3,10 @@
 //! sketch instance must return the original answer on randomized databases.
 //! This exercises Theorem 2 and Theorem 3 end-to-end.
 
-use pbds_core::{Pbds, PartitionAttr};
 use pbds_algebra::{col, lit, param, AggExpr, AggFunc, LogicalPlan, QueryTemplate, SortKey};
+use pbds_core::{PartitionAttr, Pbds};
 use pbds_provenance::restrict_database;
-use pbds_storage::{Database, DataType, Schema, TableBuilder, Value};
+use pbds_storage::{DataType, Database, Schema, TableBuilder, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -39,30 +39,45 @@ fn safety_cases() -> Vec<(&'static str, LogicalPlan, &'static str)> {
         (
             "top-1 sum per group",
             LogicalPlan::scan("fact")
-                .aggregate(vec!["grp"], vec![AggExpr::new(AggFunc::Sum, col("amount"), "total")])
+                .aggregate(
+                    vec!["grp"],
+                    vec![AggExpr::new(AggFunc::Sum, col("amount"), "total")],
+                )
                 .top_k(vec![SortKey::desc("total")], 1),
             "grp",
         ),
         (
             "HAVING lower bound on count",
             LogicalPlan::scan("fact")
-                .aggregate(vec!["grp"], vec![AggExpr::new(AggFunc::Count, col("id"), "cnt")])
+                .aggregate(
+                    vec!["grp"],
+                    vec![AggExpr::new(AggFunc::Count, col("id"), "cnt")],
+                )
                 .filter(col("cnt").gt(lit(45))),
             "grp",
         ),
         (
             "HAVING lower bound on count, sketch on a non-group attribute",
             LogicalPlan::scan("fact")
-                .aggregate(vec!["grp"], vec![AggExpr::new(AggFunc::Count, col("id"), "cnt")])
+                .aggregate(
+                    vec!["grp"],
+                    vec![AggExpr::new(AggFunc::Count, col("id"), "cnt")],
+                )
                 .filter(col("cnt").gt(lit(45))),
             "amount",
         ),
         (
             "two-level aggregation",
             LogicalPlan::scan("fact")
-                .aggregate(vec!["grp"], vec![AggExpr::new(AggFunc::Sum, col("amount"), "total")])
+                .aggregate(
+                    vec!["grp"],
+                    vec![AggExpr::new(AggFunc::Sum, col("amount"), "total")],
+                )
                 .filter(col("total").gt(lit(2_000)))
-                .aggregate(vec![], vec![AggExpr::new(AggFunc::Count, col("grp"), "ngroups")]),
+                .aggregate(
+                    vec![],
+                    vec![AggExpr::new(AggFunc::Count, col("grp"), "ngroups")],
+                ),
             "grp",
         ),
         (
@@ -99,7 +114,10 @@ fn safe_verdicts_hold_on_random_databases() {
             }
         }
     }
-    assert!(checked_safe >= 12, "too few safe verdicts exercised: {checked_safe}");
+    assert!(
+        checked_safe >= 12,
+        "too few safe verdicts exercised: {checked_safe}"
+    );
 }
 
 #[test]
@@ -109,10 +127,20 @@ fn unsafe_verdict_is_justified_for_the_min_topk_case() {
     let db = random_db(7, 500);
     let pbds = Pbds::new(db);
     let plan = LogicalPlan::scan("fact")
-        .aggregate(vec!["grp"], vec![AggExpr::new(AggFunc::Min, col("amount"), "m")])
+        .aggregate(
+            vec!["grp"],
+            vec![AggExpr::new(AggFunc::Min, col("amount"), "m")],
+        )
         .top_k(vec![SortKey::asc("m")], 1);
-    assert!(!pbds.check_safety(&plan, &[PartitionAttr::new("fact", "amount")]).safe);
-    assert!(pbds.check_safety(&plan, &[PartitionAttr::new("fact", "grp")]).safe);
+    assert!(
+        !pbds
+            .check_safety(&plan, &[PartitionAttr::new("fact", "amount")])
+            .safe
+    );
+    assert!(
+        pbds.check_safety(&plan, &[PartitionAttr::new("fact", "grp")])
+            .safe
+    );
 }
 
 fn having_template() -> QueryTemplate {
@@ -120,7 +148,10 @@ fn having_template() -> QueryTemplate {
         "fact-having",
         LogicalPlan::scan("fact")
             .filter(col("amount").gt(param(0)))
-            .aggregate(vec!["grp"], vec![AggExpr::new(AggFunc::Count, col("id"), "cnt")])
+            .aggregate(
+                vec!["grp"],
+                vec![AggExpr::new(AggFunc::Count, col("id"), "cnt")],
+            )
             .filter(col("cnt").gt(param(1))),
     )
 }
@@ -165,7 +196,10 @@ fn reusable_verdicts_hold_on_random_databases() {
             );
         }
     }
-    assert!(reusable_checked >= 4, "too few reusable verdicts exercised: {reusable_checked}");
+    assert!(
+        reusable_checked >= 4,
+        "too few reusable verdicts exercised: {reusable_checked}"
+    );
 }
 
 #[test]

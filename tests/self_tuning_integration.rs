@@ -2,8 +2,8 @@
 //! every strategy on mixed-template workloads, sketch reuse accumulation, and
 //! the work-saving effect of PBDS measured through engine counters.
 
-use pbds_core::{Action, EngineProfile, SelfTuningExecutor, Strategy};
 use pbds_algebra::QueryTemplate;
+use pbds_core::{Action, EngineProfile, SelfTuningExecutor, Strategy};
 use pbds_storage::Value;
 use pbds_workloads::{crimes, normal, sof};
 use rand::rngs::StdRng;
@@ -25,7 +25,10 @@ fn sof_workload(n: usize, mean: f64, sdv: f64, seed: u64) -> Vec<(QueryTemplate,
     (0..n)
         .map(|_| {
             let t = templates[rng.gen_range(0..templates.len())].clone();
-            (t, vec![Value::Int(normal(&mut rng, mean, sdv).max(1.0) as i64)])
+            (
+                t,
+                vec![Value::Int(normal(&mut rng, mean, sdv).max(1.0) as i64)],
+            )
         })
         .collect()
 }
@@ -36,7 +39,12 @@ fn all_strategies_return_identical_results_for_every_query() {
     let workload = sof_workload(40, 30.0, 4.0, 11);
     let strategies = [
         ("no-ps", Strategy::NoPbds),
-        ("eager", Strategy::Eager { selectivity_threshold: 0.75 }),
+        (
+            "eager",
+            Strategy::Eager {
+                selectivity_threshold: 0.75,
+            },
+        ),
         (
             "adaptive",
             Strategy::Adaptive {
@@ -67,12 +75,20 @@ fn eager_strategy_accumulates_reuse_and_saves_scanned_rows() {
     let mut eager = SelfTuningExecutor::new(
         &db,
         EngineProfile::Indexed,
-        Strategy::Eager { selectivity_threshold: 0.75 },
+        Strategy::Eager {
+            selectivity_threshold: 0.75,
+        },
         200,
     );
     let records = eager.run_workload(&workload).unwrap();
-    let reused = records.iter().filter(|r| r.action == Action::UseSketch).count();
-    let captured = records.iter().filter(|r| r.action == Action::Capture).count();
+    let reused = records
+        .iter()
+        .filter(|r| r.action == Action::UseSketch)
+        .count();
+    let captured = records
+        .iter()
+        .filter(|r| r.action == Action::Capture)
+        .count();
     assert!(captured >= 1, "eager never captured a sketch");
     assert!(
         reused > workload.len() / 2,
@@ -107,9 +123,14 @@ fn adaptive_strategy_captures_fewer_sketches_than_eager_on_spread_parameters() {
     let run = |strategy| {
         let mut exec = SelfTuningExecutor::new(&db, EngineProfile::Indexed, strategy, 200);
         let records = exec.run_workload(&workload).unwrap();
-        records.iter().filter(|r| r.action == Action::Capture).count()
+        records
+            .iter()
+            .filter(|r| r.action == Action::Capture)
+            .count()
     };
-    let eager_caps = run(Strategy::Eager { selectivity_threshold: 0.75 });
+    let eager_caps = run(Strategy::Eager {
+        selectivity_threshold: 0.75,
+    });
     let adaptive_caps = run(Strategy::Adaptive {
         selectivity_threshold: 0.75,
         evidence_threshold: 4,
@@ -149,12 +170,18 @@ fn crimes_mixed_template_workload_is_correct_under_eager() {
     let mut eager = SelfTuningExecutor::new(
         &db,
         EngineProfile::Indexed,
-        Strategy::Eager { selectivity_threshold: 0.75 },
+        Strategy::Eager {
+            selectivity_threshold: 0.75,
+        },
         64,
     );
     let records = eager.run_workload(&workload).unwrap();
     for (b, e) in baseline.iter().zip(&records) {
-        assert_eq!(b.result_rows, e.result_rows, "template {} diverged", b.template);
+        assert_eq!(
+            b.result_rows, e.result_rows,
+            "template {} diverged",
+            b.template
+        );
     }
 }
 
@@ -162,12 +189,15 @@ fn crimes_mixed_template_workload_is_correct_under_eager() {
 fn columnar_profile_self_tuning_is_also_correct() {
     let db = sof_db();
     let workload = sof_workload(20, 30.0, 4.0, 29);
-    let mut plain = SelfTuningExecutor::new(&db, EngineProfile::ColumnarScan, Strategy::NoPbds, 200);
+    let mut plain =
+        SelfTuningExecutor::new(&db, EngineProfile::ColumnarScan, Strategy::NoPbds, 200);
     let baseline = plain.run_workload(&workload).unwrap();
     let mut eager = SelfTuningExecutor::new(
         &db,
         EngineProfile::ColumnarScan,
-        Strategy::Eager { selectivity_threshold: 0.75 },
+        Strategy::Eager {
+            selectivity_threshold: 0.75,
+        },
         200,
     );
     let records = eager.run_workload(&workload).unwrap();

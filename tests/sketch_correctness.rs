@@ -3,7 +3,7 @@
 //! (b) — when built over attributes the safety checker approves — produce
 //! exactly the same query result when used for data skipping.
 
-use pbds_core::{Pbds, PartitionAttr, UsePredicateStyle};
+use pbds_core::{PartitionAttr, Pbds, UsePredicateStyle};
 use pbds_provenance::restrict_database;
 use pbds_workloads::{crimes, movies, sof, tpch, BenchQuery, SketchSpec};
 
@@ -22,7 +22,9 @@ fn check_query(pbds: &Pbds, query: &BenchQuery, fragments: usize) {
     let partition = build_partition(pbds, &query.sketch, fragments);
 
     // (a) Captured sketch covers the accurate sketch.
-    let captured = pbds.capture(&plan, &[partition.clone()]).unwrap();
+    let captured = pbds
+        .capture(&plan, std::slice::from_ref(&partition))
+        .unwrap();
     let accurate = pbds.accurate_sketch(&plan, &partition).unwrap();
     assert!(
         captured.sketches[0].is_superset_of(&accurate),
@@ -56,7 +58,10 @@ fn check_query(pbds: &Pbds, query: &BenchQuery, fragments: usize) {
         query.name, attrs
     );
 
-    for style in [UsePredicateStyle::BinarySearch, UsePredicateStyle::OrConditions] {
+    for style in [
+        UsePredicateStyle::BinarySearch,
+        UsePredicateStyle::OrConditions,
+    ] {
         let out = pbds
             .execute_with_sketches_styled(&plan, &captured.sketches, style)
             .unwrap();
