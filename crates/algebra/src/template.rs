@@ -15,6 +15,7 @@ pub struct QueryTemplate {
     name: String,
     plan: LogicalPlan,
     num_params: usize,
+    fingerprint: u64,
 }
 
 impl QueryTemplate {
@@ -24,16 +25,32 @@ impl QueryTemplate {
     /// used in the plan.
     pub fn new(name: impl Into<String>, plan: LogicalPlan) -> Self {
         let num_params = plan.params().iter().max().map(|m| m + 1).unwrap_or(0);
+        let fingerprint = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            format!("{plan:?}").hash(&mut h);
+            h.finish()
+        };
         QueryTemplate {
             name: name.into(),
             plan,
             num_params,
+            fingerprint,
         }
     }
 
     /// Template name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Structural fingerprint of the parameterized plan, computed once at
+    /// construction. Two templates that share a *name* but differ in query
+    /// shape have different fingerprints — stores keyed by templates (e.g.
+    /// the sketch catalog) combine name and fingerprint so a sketch captured
+    /// for one shape can never be offered to another.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The parameterized plan.
@@ -183,6 +200,29 @@ mod tests {
         let t = fig5_template();
         assert_eq!(t.num_params(), 2);
         assert_eq!(t.tables(), vec!["cities".to_string()]);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_shapes_not_names() {
+        let a = QueryTemplate::new(
+            "q",
+            LogicalPlan::scan("cities").filter(col("popden").gt(param(0))),
+        );
+        let b = QueryTemplate::new(
+            "q",
+            LogicalPlan::scan("cities").filter(col("popden").lt(param(0))),
+        );
+        let a2 = QueryTemplate::new("other", a.plan().clone());
+        assert_ne!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "different shapes, same name"
+        );
+        assert_eq!(
+            a.fingerprint(),
+            a2.fingerprint(),
+            "same shape, different name"
+        );
     }
 
     #[test]

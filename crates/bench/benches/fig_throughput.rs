@@ -1,0 +1,110 @@
+//! Throughput of the concurrent sketch-serving middleware: queries/sec of a
+//! Zipf-parameterized Stack-Overflow stream at 1/2/4/8 session threads, with
+//! the shared sketch catalog (eager self-tuning) and without it (the paper's
+//! No-PS baseline).
+//!
+//! Beyond wall-clock throughput, the bench prints and *checks* the
+//! machine-independent counter the paper's data skipping is about: the total
+//! rows scanned per pass. A warmed catalog must scan fewer rows than No-PS
+//! at every thread count — if it ever does not, the serving stack regressed
+//! and this bench panics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbds_bench::datasets;
+use pbds_bench::harness::TablePrinter;
+use pbds_core::{PbdsServer, ServerConfig, Strategy};
+use pbds_workloads::{sof_pools, zipf_stream, StreamSpec};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_throughput(c: &mut Criterion) {
+    let db = Arc::new(datasets::sof_small_db());
+    let stream = zipf_stream(
+        &sof_pools(12, 5),
+        &StreamSpec {
+            queries: 60,
+            skew: 1.1,
+            seed: 17,
+        },
+    );
+
+    let mut group = c.benchmark_group("fig_throughput_sof");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(300));
+
+    let mut table =
+        TablePrinter::new(&["threads", "mode", "q/s", "rows scanned", "hits", "stored"]);
+
+    for threads in THREAD_COUNTS {
+        for (label, strategy) in [
+            ("no_ps", Strategy::NoPbds),
+            (
+                "catalog",
+                Strategy::Eager {
+                    selectivity_threshold: 0.75,
+                },
+            ),
+        ] {
+            let server = PbdsServer::new(
+                Arc::clone(&db),
+                ServerConfig {
+                    strategy,
+                    fragments: 500,
+                    ..ServerConfig::default()
+                },
+            );
+            // Warm pass: let capture-on-miss land its sketches, so the
+            // measured passes serve a steady-state catalog.
+            server.serve_stream(&stream, threads).unwrap();
+            server.drain();
+
+            let mut rows_scanned = 0u64;
+            group.bench_with_input(BenchmarkId::new(label, threads), &stream, |b, stream| {
+                b.iter(|| {
+                    let served = server.serve_stream(stream, threads).unwrap();
+                    rows_scanned = served.iter().map(|s| s.record.stats.rows_scanned).sum();
+                    served.len()
+                })
+            });
+
+            // One more timed pass outside the bencher for the q/s column.
+            let start = Instant::now();
+            let served = server.serve_stream(&stream, threads).unwrap();
+            let elapsed = start.elapsed();
+            let qps = served.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+            let stats = server.catalog().stats();
+            table.row(vec![
+                threads.to_string(),
+                label.to_string(),
+                format!("{qps:.0}"),
+                rows_scanned.to_string(),
+                stats.hits.to_string(),
+                stats.stored.to_string(),
+            ]);
+
+            if label == "no_ps" {
+                NO_PS_ROWS.with(|c| c.set(rows_scanned));
+            } else {
+                let baseline = NO_PS_ROWS.with(|c| c.get());
+                assert!(
+                    rows_scanned < baseline,
+                    "catalog-enabled serving must scan fewer rows than No-PS \
+                     at {threads} thread(s): {rows_scanned} vs {baseline}"
+                );
+            }
+        }
+    }
+    group.finish();
+    eprintln!("\n{}", table.render());
+}
+
+thread_local! {
+    static NO_PS_ROWS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,885 @@
+//! The shared, thread-safe sketch catalog.
+//!
+//! The paper's deployment model (Sec. 6 / 9.5) is a *middleware* sitting in
+//! front of the database: sketches captured for one instance of a
+//! parameterized query are reused by later — possibly concurrent — instances.
+//! That makes the sketch store a shared, contended data structure, not a
+//! per-executor appendage. [`SketchCatalog`] is that store:
+//!
+//! * **template-keyed and sharded** — entries are grouped by template key
+//!   (name + structural fingerprint, so same-named templates of different
+//!   shape can never see each other's sketches);
+//!   templates are distributed over [`RwLock`]-protected shards so sessions
+//!   serving different templates never contend on one lock, and sessions
+//!   serving the *same* template share a read lock on the hot reuse path;
+//! * **memoized reuse checks** — the solver-backed reuse check
+//!   ([`crate::reuse::ReuseChecker`]) is the per-query CPU cost of PBDS
+//!   middleware. Its outcome depends only on `(template, captured binding,
+//!   new binding)` and the (immutable) table statistics, so the catalog
+//!   memoizes it per `(template, new binding)` and invalidates the memo when
+//!   the template's entry set changes;
+//! * **observable** — hit / miss / eviction / memo-hit counters
+//!   ([`CatalogStats`]) are maintained with atomics so monitoring never takes
+//!   a lock;
+//! * **bounded** — an optional byte budget triggers least-recently-used
+//!   eviction across shards, so a long-running server cannot grow its sketch
+//!   store without bound.
+//!
+//! The catalog also centralizes the per-template metadata the self-tuning
+//! loop needs — chosen safe attributes, adaptive-strategy evidence counters
+//! and built partitions — so any number of [`crate::SelfTuningExecutor`]s and
+//! [`crate::server::PbdsServer`] sessions can share one self-tuning state.
+
+use crate::reuse::ReuseChecker;
+use crate::safety::{PartitionAttr, SafetyChecker};
+use pbds_algebra::QueryTemplate;
+use pbds_provenance::ProvenanceSketch;
+use pbds_storage::{Database, Partition, PartitionRef, RangePartition, Value};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Configuration of a [`SketchCatalog`].
+#[derive(Debug, Clone)]
+pub struct CatalogConfig {
+    /// Number of lock shards (templates are hashed across them).
+    pub shards: usize,
+    /// Soft upper bound on the total bytes of stored sketches; `None` means
+    /// unbounded. When an insertion pushes the total above the budget, the
+    /// least-recently-used entries (other than the one just inserted) are
+    /// evicted until the total fits again.
+    pub byte_budget: Option<usize>,
+    /// Upper bound on memoized reuse-check outcomes per shard; when reached,
+    /// the shard's memo is cleared (the memo is a cache — clearing only costs
+    /// re-derivation).
+    pub memo_capacity: usize,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            shards: 8,
+            byte_budget: None,
+            memo_capacity: 4096,
+        }
+    }
+}
+
+/// Snapshot of the catalog's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Reuse lookups answered by a stored sketch.
+    pub hits: u64,
+    /// Reuse lookups no stored sketch could answer.
+    pub misses: u64,
+    /// Entries evicted by the byte-budget LRU policy.
+    pub evictions: u64,
+    /// Lookups answered from the reuse-check memo (subset of hits + misses).
+    pub memo_hits: u64,
+    /// Number of stored sketch entries.
+    pub stored: usize,
+    /// Total approximate bytes of stored sketches.
+    pub bytes: usize,
+}
+
+/// One stored sketch set: the binding it was captured for plus the captured
+/// sketches (one per partitioned relation).
+struct CatalogEntry {
+    /// Stable id (survives vector reshuffling on eviction).
+    id: u64,
+    binding: Vec<Value>,
+    sketches: Vec<ProvenanceSketch>,
+    bytes: usize,
+    /// Logical LRU timestamp (global clock tick of the last hit).
+    last_used: AtomicU64,
+    /// Number of instances that reused this entry.
+    uses: AtomicU64,
+}
+
+/// Memoized outcome of "which stored entry (if any) answers this binding?".
+type MemoKey = (String, Vec<Value>);
+
+/// Catalog key of a template: its name combined with its structural
+/// fingerprint, so two templates sharing a name but differing in query shape
+/// can never see each other's sketches, memos or metadata (important for
+/// `serve_plan`-style callers that pick names ad hoc).
+fn template_key(template: &QueryTemplate) -> String {
+    format!("{}#{:016x}", template.name(), template.fingerprint())
+}
+
+/// A catalog hit: the stored sketches plus the entry's stable id, which the
+/// caller reports back through
+/// [`SketchCatalog::note_revalidation_failure`] when the runtime top-k
+/// re-validation disproves the reuse.
+#[derive(Debug, Clone)]
+pub struct ReusableSketches {
+    /// Stable id of the stored entry that answered the lookup.
+    pub entry_id: u64,
+    /// The stored sketches (one per partitioned relation).
+    pub sketches: Vec<ProvenanceSketch>,
+}
+
+#[derive(Default)]
+struct Shard {
+    /// Template key (name + fingerprint) → stored entries, in insertion order.
+    entries: HashMap<String, Vec<CatalogEntry>>,
+    /// Reuse-check memo: `Some(id)` = entry `id` answers the binding,
+    /// `None` = nothing stored answers it.
+    memo: HashMap<MemoKey, Option<u64>>,
+    /// `(binding, entry)` pairs disproved by runtime top-k re-validation:
+    /// the solver said reusable, execution said otherwise. Unlike negative
+    /// memos, inserts do not clear these — a pair is only forgotten when the
+    /// set reaches its capacity bound and single pairs are evicted.
+    denied: HashSet<(MemoKey, u64)>,
+    /// Bumped whenever the entry set or denial set changes; guards against a
+    /// stale memo write racing with an insert/eviction/denial.
+    version: u64,
+}
+
+/// Per-template self-tuning metadata shared across sessions.
+#[derive(Default)]
+struct TemplateMeta {
+    /// Chosen safe partition attributes (`None` = query is not sketch-safe).
+    safe_attrs: Option<Option<Vec<PartitionAttr>>>,
+    /// Adaptive-strategy evidence counter (missed reuse opportunities).
+    evidence: usize,
+}
+
+/// A thread-safe, shared store of provenance sketches keyed by query
+/// template. See the [module docs](self) for the design.
+pub struct SketchCatalog {
+    config: CatalogConfig,
+    shards: Vec<RwLock<Shard>>,
+    meta: Mutex<HashMap<String, TemplateMeta>>,
+    partitions: RwLock<HashMap<(String, String), PartitionRef>>,
+    /// Bindings whose capture is currently in flight (server sessions use
+    /// this to avoid enqueueing duplicate capture work).
+    pending: Mutex<HashSet<MemoKey>>,
+    bytes: AtomicUsize,
+    clock: AtomicU64,
+    next_id: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    memo_hits: AtomicU64,
+}
+
+impl std::fmt::Debug for SketchCatalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SketchCatalog")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for SketchCatalog {
+    fn default() -> Self {
+        SketchCatalog::new(CatalogConfig::default())
+    }
+}
+
+impl SketchCatalog {
+    /// Create a catalog with the given configuration.
+    pub fn new(config: CatalogConfig) -> Self {
+        let shards = (0..config.shards.max(1))
+            .map(|_| RwLock::new(Shard::default()))
+            .collect();
+        SketchCatalog {
+            config,
+            shards,
+            meta: Mutex::new(HashMap::new()),
+            partitions: RwLock::new(HashMap::new()),
+            pending: Mutex::new(HashSet::new()),
+            bytes: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
+            next_id: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Create a catalog with a byte budget and default sharding.
+    pub fn with_byte_budget(budget: usize) -> Self {
+        SketchCatalog::new(CatalogConfig {
+            byte_budget: Some(budget),
+            ..CatalogConfig::default()
+        })
+    }
+
+    fn shard_for(&self, template: &str) -> &RwLock<Shard> {
+        let mut h = DefaultHasher::new();
+        template.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Find a stored sketch set that can answer `template(binding)`,
+    /// consulting the reuse-check memo first. Counts a hit or a miss and
+    /// refreshes the winning entry's LRU stamp.
+    pub fn find_reusable(
+        &self,
+        db: &Database,
+        template: &QueryTemplate,
+        binding: &[Value],
+    ) -> Option<ReusableSketches> {
+        let name = template_key(template);
+        let key: MemoKey = (name.clone(), binding.to_vec());
+        let shard = self.shard_for(&name);
+
+        // Fast path: memo lookup + fresh reuse scan under the read lock.
+        let (outcome, version) = {
+            let guard = shard.read().expect("catalog shard poisoned");
+            if let Some(&memo) = guard.memo.get(&key) {
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                match memo {
+                    Some(id) => {
+                        let entries = guard.entries.get(&name).expect("memoized template");
+                        let e = entries
+                            .iter()
+                            .find(|e| e.id == id)
+                            .expect("memo points at live entry");
+                        e.last_used.store(self.tick(), Ordering::Relaxed);
+                        e.uses.fetch_add(1, Ordering::Relaxed);
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Some(ReusableSketches {
+                            entry_id: id,
+                            sketches: e.sketches.clone(),
+                        });
+                    }
+                    None => {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        return None;
+                    }
+                }
+            }
+            let hit = scan_for_reusable(&guard, db, template, &key, binding);
+            match hit {
+                Some((id, sketches)) => {
+                    if let Some(e) = guard
+                        .entries
+                        .get(&name)
+                        .and_then(|entries| entries.iter().find(|e| e.id == id))
+                    {
+                        e.last_used.store(self.tick(), Ordering::Relaxed);
+                        e.uses.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    (Some((id, sketches)), guard.version)
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    (None, guard.version)
+                }
+            }
+        };
+
+        // Record the outcome in the memo — but only if no insert/eviction/
+        // denial changed the shard in between (a stale memo entry would
+        // otherwise suppress reuse of a sketch inserted concurrently, or
+        // resurrect a just-denied pair).
+        {
+            let mut guard = shard.write().expect("catalog shard poisoned");
+            if guard.version == version {
+                if guard.memo.len() >= self.config.memo_capacity {
+                    guard.memo.clear();
+                }
+                guard.memo.insert(key, outcome.as_ref().map(|(id, _)| *id));
+            }
+        }
+        outcome.map(|(entry_id, sketches)| ReusableSketches { entry_id, sketches })
+    }
+
+    /// Quiet coverage probe for background capture workers: true when a
+    /// stored sketch already answers `template(binding)`. Unlike
+    /// [`SketchCatalog::find_reusable`] this touches no hit/miss counters,
+    /// no use counts, no LRU stamps and no memo — monitoring keeps
+    /// reflecting serving traffic only, and a background re-check cannot
+    /// keep a cold entry alive under eviction.
+    pub fn is_covered(&self, db: &Database, template: &QueryTemplate, binding: &[Value]) -> bool {
+        let name = template_key(template);
+        let key: MemoKey = (name.clone(), binding.to_vec());
+        let guard = self
+            .shard_for(&name)
+            .read()
+            .expect("catalog shard poisoned");
+        if let Some(&memo) = guard.memo.get(&key) {
+            return memo.is_some();
+        }
+        scan_for_reusable(&guard, db, template, &key, binding).is_some()
+    }
+
+    /// Record that the runtime top-k re-validation disproved a reuse the
+    /// solver had approved: the `(binding, entry)` pair is not offered again
+    /// (until capacity-bound eviction forgets it), so the caller's plain
+    /// fallback happens once instead of on every future lookup of this
+    /// binding (an Eager client will capture a properly covering sketch on
+    /// its next miss).
+    pub fn note_revalidation_failure(
+        &self,
+        template: &QueryTemplate,
+        binding: &[Value],
+        entry_id: u64,
+    ) {
+        let name = template_key(template);
+        let key: MemoKey = (name.clone(), binding.to_vec());
+        let mut guard = self
+            .shard_for(&name)
+            .write()
+            .expect("catalog shard poisoned");
+        guard.version += 1; // invalidate concurrent memo writes for this pair
+        guard.memo.remove(&key);
+        // Bound the denial set by evicting single pairs, never wholesale: a
+        // resurrected pair costs a double execution, so forgetting should be
+        // as rare and as local as possible.
+        if guard.denied.len() >= self.config.memo_capacity {
+            if let Some(victim) = guard.denied.iter().next().cloned() {
+                guard.denied.remove(&victim);
+            }
+        }
+        guard.denied.insert((key, entry_id));
+    }
+
+    /// Store a freshly captured sketch set for `template(binding)`.
+    /// Invalidates the template's negative memo entries and evicts LRU
+    /// entries if the byte budget is exceeded. Returns the new entry's id.
+    pub fn insert(
+        &self,
+        template: &QueryTemplate,
+        binding: &[Value],
+        sketches: Vec<ProvenanceSketch>,
+    ) -> u64 {
+        let name = template_key(template);
+        let bytes: usize =
+            sketches.iter().map(|s| s.size_bytes()).sum::<usize>() + std::mem::size_of_val(binding);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let entry = CatalogEntry {
+            id,
+            binding: binding.to_vec(),
+            sketches,
+            bytes,
+            last_used: AtomicU64::new(self.tick()),
+            uses: AtomicU64::new(0),
+        };
+        {
+            let mut guard = self
+                .shard_for(&name)
+                .write()
+                .expect("catalog shard poisoned");
+            guard.version += 1;
+            // The new sketch may answer bindings that previously missed:
+            // negative memo entries for this template are now stale.
+            guard
+                .memo
+                .retain(|(t, _), outcome| *t != name || outcome.is_some());
+            guard.entries.entry(name).or_default().push(entry);
+        }
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        if let Some(budget) = self.config.byte_budget {
+            self.evict_to_budget(budget, id);
+        }
+        id
+    }
+
+    /// Evict least-recently-used entries (never `keep_id`) until the total
+    /// byte count fits the budget or nothing else can be evicted.
+    fn evict_to_budget(&self, budget: usize, keep_id: u64) {
+        // Outer loop only repeats when concurrent inserts re-exceed the
+        // budget while we evict; each iteration plans a whole *batch* of
+        // victims from one global scan, so steady-state churn costs one scan
+        // per over-budget insert, not one scan per evicted entry. Locks are
+        // taken one shard at a time, never pairwise, so this cannot deadlock
+        // against concurrent lookups or inserts.
+        loop {
+            let excess = self.bytes.load(Ordering::Relaxed).saturating_sub(budget);
+            if excess == 0 {
+                return;
+            }
+            // One global scan collecting (last_used, shard, id, bytes).
+            let mut candidates: Vec<(u64, usize, u64, usize)> = Vec::new();
+            for (si, shard) in self.shards.iter().enumerate() {
+                let guard = shard.read().expect("catalog shard poisoned");
+                for entries in guard.entries.values() {
+                    for e in entries {
+                        if e.id != keep_id {
+                            candidates.push((
+                                e.last_used.load(Ordering::Relaxed),
+                                si,
+                                e.id,
+                                e.bytes,
+                            ));
+                        }
+                    }
+                }
+            }
+            if candidates.is_empty() {
+                return; // nothing evictable (the new entry alone exceeds the budget)
+            }
+            // Plan the LRU-ordered batch covering the excess.
+            candidates.sort_unstable_by_key(|&(last_used, ..)| last_used);
+            let mut victims_by_shard: HashMap<usize, Vec<u64>> = HashMap::new();
+            let mut planned = 0usize;
+            for (_, si, id, bytes) in candidates {
+                victims_by_shard.entry(si).or_default().push(id);
+                planned += bytes;
+                if planned >= excess {
+                    break;
+                }
+            }
+            let mut evicted_any = false;
+            for (si, ids) in victims_by_shard {
+                let mut guard = self.shards[si].write().expect("catalog shard poisoned");
+                for vid in ids {
+                    let mut freed = None;
+                    for entries in guard.entries.values_mut() {
+                        if let Some(pos) = entries.iter().position(|e| e.id == vid) {
+                            freed = Some(entries[pos].bytes);
+                            entries.remove(pos);
+                            break;
+                        }
+                    }
+                    // A victim may have vanished concurrently; skip it.
+                    if let Some(freed) = freed {
+                        guard.version += 1;
+                        // Positive memo entries pointing at the evicted
+                        // sketch are now dangling.
+                        guard.memo.retain(|_, outcome| *outcome != Some(vid));
+                        self.bytes.fetch_sub(freed, Ordering::Relaxed);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        evicted_any = true;
+                    }
+                }
+            }
+            if !evicted_any {
+                return; // every planned victim vanished; avoid spinning
+            }
+        }
+    }
+
+    /// Number of stored sketch entries across all templates.
+    pub fn stored_sketches(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("catalog shard poisoned")
+                    .entries
+                    .values()
+                    .map(|v| v.len())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CatalogStats {
+        CatalogStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            stored: self.stored_sketches(),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Safe partition attributes for a template, computed once and shared
+    /// (`None` = the query admits no safe sketch).
+    pub fn safe_attrs(
+        &self,
+        db: &Database,
+        template: &QueryTemplate,
+    ) -> Option<Vec<PartitionAttr>> {
+        let key = template_key(template);
+        {
+            let meta = self.meta.lock().expect("catalog meta poisoned");
+            if let Some(known) = meta.get(&key).and_then(|m| m.safe_attrs.clone()) {
+                return known;
+            }
+        }
+        // Run the (solver-backed) safety analysis *outside* the lock so the
+        // first query of one template cannot stall concurrent sessions
+        // serving unrelated templates. A racing duplicate computation is
+        // deterministic, so first-writer-wins is safe.
+        let computed = SafetyChecker::new(db).choose_safe_attributes(template.plan(), &[]);
+        let mut meta = self.meta.lock().expect("catalog meta poisoned");
+        let entry = meta.entry(key).or_default();
+        if entry.safe_attrs.is_none() {
+            entry.safe_attrs = Some(computed);
+        }
+        entry.safe_attrs.clone().expect("just set")
+    }
+
+    /// Bump the adaptive-strategy evidence counter for a template; returns
+    /// `true` (and resets the counter) once `threshold` missed reuse
+    /// opportunities have accumulated.
+    pub fn evidence_reached(&self, template: &QueryTemplate, threshold: usize) -> bool {
+        let mut meta = self.meta.lock().expect("catalog meta poisoned");
+        let entry = meta.entry(template_key(template)).or_default();
+        entry.evidence += 1;
+        if entry.evidence >= threshold {
+            entry.evidence = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Build (or fetch the cached) range partition for a safe attribute.
+    pub fn partition_for(
+        &self,
+        db: &Database,
+        attr: &PartitionAttr,
+        fragments: usize,
+    ) -> Option<PartitionRef> {
+        let key = (attr.table.clone(), attr.column.clone());
+        if let Some(p) = self
+            .partitions
+            .read()
+            .expect("partition cache poisoned")
+            .get(&key)
+        {
+            return Some(p.clone());
+        }
+        let table = db.table(&attr.table).ok()?;
+        let values = table.column_values(&attr.column)?;
+        let distinct = table.stats().column(&attr.column)?.distinct;
+        let partition = if distinct <= fragments {
+            RangePartition::per_distinct_value(&attr.table, &attr.column, &values)?
+        } else {
+            RangePartition::equi_depth(&attr.table, &attr.column, &values, fragments)?
+        };
+        let part: PartitionRef = Arc::new(Partition::Range(partition));
+        // Under a race, hand every caller the cached winner so all captures
+        // share one `Arc<Partition>` per (table, column).
+        Some(
+            self.partitions
+                .write()
+                .expect("partition cache poisoned")
+                .entry(key)
+                .or_insert(part)
+                .clone(),
+        )
+    }
+
+    /// Mark a `(template, binding)` capture as in flight. Returns `false`
+    /// when it already was (the caller should not enqueue duplicate work).
+    pub fn begin_capture(&self, template: &QueryTemplate, binding: &[Value]) -> bool {
+        self.pending
+            .lock()
+            .expect("pending set poisoned")
+            .insert((template_key(template), binding.to_vec()))
+    }
+
+    /// Clear the in-flight mark set by [`SketchCatalog::begin_capture`].
+    pub fn finish_capture(&self, template: &QueryTemplate, binding: &[Value]) {
+        self.pending
+            .lock()
+            .expect("pending set poisoned")
+            .remove(&(template_key(template), binding.to_vec()));
+    }
+
+    /// Total use count of all stored entries (for tests and monitoring).
+    pub fn total_uses(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("catalog shard poisoned")
+                    .entries
+                    .values()
+                    .flatten()
+                    .map(|e| e.uses.load(Ordering::Relaxed))
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+}
+
+/// Scan a shard's entries for one the reuse check approves for `binding`,
+/// skipping `(binding, entry)` pairs disproved by runtime re-validation.
+/// Pure lookup: no counters, LRU stamps or memo writes (callers decide).
+fn scan_for_reusable(
+    shard: &Shard,
+    db: &Database,
+    template: &QueryTemplate,
+    key: &MemoKey,
+    binding: &[Value],
+) -> Option<(u64, Vec<ProvenanceSketch>)> {
+    let denied_ids: Vec<u64> = shard
+        .denied
+        .iter()
+        .filter(|(k, _)| k == key)
+        .map(|(_, id)| *id)
+        .collect();
+    let checker = ReuseChecker::new(db);
+    shard
+        .entries
+        .get(&key.0)?
+        .iter()
+        .find(|e| {
+            !denied_ids.contains(&e.id) && checker.can_reuse(template, &e.binding, binding).reusable
+        })
+        .map(|e| (e.id, e.sketches.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbds_algebra::{col, param, AggExpr, AggFunc, LogicalPlan};
+    use pbds_storage::{DataType, Schema, TableBuilder};
+
+    fn sales_db() -> Database {
+        let schema = Schema::from_pairs(&[("grp", DataType::Int), ("amount", DataType::Int)]);
+        let mut b = TableBuilder::new("sales", schema);
+        b.block_size(100).index("grp");
+        for i in 0..5_000i64 {
+            b.push(vec![Value::Int(i % 50), Value::Int((i * 37) % 1000 + 1)]);
+        }
+        let mut db = Database::new();
+        db.add_table(b.build());
+        db
+    }
+
+    fn having_template() -> QueryTemplate {
+        QueryTemplate::new(
+            "sales-having",
+            LogicalPlan::scan("sales")
+                .aggregate(
+                    vec!["grp"],
+                    vec![AggExpr::new(AggFunc::Sum, col("amount"), "total")],
+                )
+                .filter(col("total").gt(param(0))),
+        )
+    }
+
+    /// Capture a real sketch for one binding (via the safety checker and the
+    /// capture pipeline) so catalog tests exercise genuine reuse semantics.
+    fn capture_for(db: &Database, catalog: &SketchCatalog, bound: i64) -> Vec<ProvenanceSketch> {
+        let t = having_template();
+        let attrs = catalog.safe_attrs(db, &t).expect("sketch-safe");
+        let parts: Vec<PartitionRef> = attrs
+            .iter()
+            .filter_map(|a| catalog.partition_for(db, a, 16))
+            .collect();
+        let captured = pbds_provenance::capture_sketches(
+            db,
+            &t.instantiate(&[Value::Int(bound)]),
+            &parts,
+            &pbds_provenance::CaptureConfig::optimized(),
+        )
+        .expect("capture");
+        captured.sketches
+    }
+
+    #[test]
+    fn miss_then_insert_then_hit_with_counters() {
+        let db = sales_db();
+        let catalog = SketchCatalog::default();
+        let t = having_template();
+        let loose = vec![Value::Int(50_000)];
+        let tight = vec![Value::Int(53_000)];
+        assert!(catalog.find_reusable(&db, &t, &loose).is_none());
+        let sketches = capture_for(&db, &catalog, 50_000);
+        catalog.insert(&t, &loose, sketches);
+        // A tighter bound reuses the stored sketch.
+        assert!(catalog.find_reusable(&db, &t, &tight).is_some());
+        let stats = catalog.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.stored, 1);
+        assert!(stats.bytes > 0);
+        assert_eq!(catalog.total_uses(), 1);
+    }
+
+    #[test]
+    fn memo_answers_repeated_lookups_and_is_invalidated_by_insert() {
+        let db = sales_db();
+        let catalog = SketchCatalog::default();
+        let t = having_template();
+        let binding = vec![Value::Int(53_000)];
+        // Two identical misses: the second one comes from the memo.
+        assert!(catalog.find_reusable(&db, &t, &binding).is_none());
+        assert!(catalog.find_reusable(&db, &t, &binding).is_none());
+        assert_eq!(catalog.stats().memo_hits, 1);
+        // Inserting a reusable sketch must invalidate the negative memo:
+        // the same binding now hits.
+        let sketches = capture_for(&db, &catalog, 50_000);
+        catalog.insert(&t, &[Value::Int(50_000)], sketches);
+        assert!(
+            catalog.find_reusable(&db, &t, &binding).is_some(),
+            "negative memo survived an insert"
+        );
+        // And the positive outcome is memoized in turn.
+        assert!(catalog.find_reusable(&db, &t, &binding).is_some());
+        assert_eq!(catalog.stats().memo_hits, 2);
+    }
+
+    #[test]
+    fn eviction_follows_lru_order_and_invalidates_memo() {
+        let db = sales_db();
+        let t = having_template();
+        // Budget that fits two sketches but not three.
+        let probe = capture_for(&db, &SketchCatalog::default(), 50_000);
+        let one = probe.iter().map(|s| s.size_bytes()).sum::<usize>()
+            + std::mem::size_of_val(&[Value::Int(0)][..]);
+        let catalog = SketchCatalog::with_byte_budget(2 * one + one / 2);
+
+        let b1 = vec![Value::Int(50_000)];
+        let b2 = vec![Value::Int(40_000)];
+        let b3 = vec![Value::Int(30_000)];
+        catalog.insert(&t, &b1, capture_for(&db, &catalog, 50_000));
+        catalog.insert(&t, &b2, capture_for(&db, &catalog, 40_000));
+        // Touch entry 1 so entry 2 becomes the least recently used.
+        assert!(catalog
+            .find_reusable(&db, &t, &[Value::Int(53_000)])
+            .is_some());
+        catalog.insert(&t, &b3, capture_for(&db, &catalog, 30_000));
+
+        let stats = catalog.stats();
+        assert_eq!(stats.evictions, 1, "{stats:?}");
+        assert_eq!(stats.stored, 2);
+        assert!(stats.bytes <= 2 * one + one / 2);
+        // Entry 1 (recently touched) survived; a binding only entry 1
+        // answers still hits.
+        assert!(catalog
+            .find_reusable(&db, &t, &[Value::Int(55_000)])
+            .is_some());
+    }
+
+    #[test]
+    fn revalidation_failure_denies_the_pair_but_not_the_entry() {
+        let db = sales_db();
+        let catalog = SketchCatalog::default();
+        let t = having_template();
+        let captured = vec![Value::Int(50_000)];
+        catalog.insert(&t, &captured, capture_for(&db, &catalog, 50_000));
+
+        let bad = vec![Value::Int(53_000)];
+        let good = vec![Value::Int(54_000)];
+        let hit = catalog.find_reusable(&db, &t, &bad).expect("reusable");
+        catalog.note_revalidation_failure(&t, &bad, hit.entry_id);
+        // The disproved (binding, entry) pair is never offered again …
+        assert!(catalog.find_reusable(&db, &t, &bad).is_none());
+        assert!(!catalog.is_covered(&db, &t, &bad));
+        // … and inserts (which clear negative memos) do not resurrect it …
+        catalog.insert(
+            &t,
+            &[Value::Int(49_000)],
+            capture_for(&db, &catalog, 49_000),
+        );
+        let after = catalog.find_reusable(&db, &t, &bad).expect("new entry");
+        assert_ne!(after.entry_id, hit.entry_id, "denied entry resurfaced");
+        // … while other bindings still reuse the original entry.
+        assert!(catalog.find_reusable(&db, &t, &good).is_some());
+    }
+
+    #[test]
+    fn is_covered_probe_touches_no_counters() {
+        let db = sales_db();
+        let catalog = SketchCatalog::default();
+        let t = having_template();
+        catalog.insert(
+            &t,
+            &[Value::Int(50_000)],
+            capture_for(&db, &catalog, 50_000),
+        );
+        let before = catalog.stats();
+        assert!(catalog.is_covered(&db, &t, &[Value::Int(53_000)]));
+        assert!(!catalog.is_covered(&db, &t, &[Value::Int(10_000)]));
+        let after = catalog.stats();
+        assert_eq!(before, after, "quiet probe moved the counters");
+        assert_eq!(catalog.total_uses(), 0);
+    }
+
+    #[test]
+    fn pending_capture_marks_deduplicate() {
+        let catalog = SketchCatalog::default();
+        let t = having_template();
+        let b = vec![Value::Int(7)];
+        assert!(catalog.begin_capture(&t, &b));
+        assert!(!catalog.begin_capture(&t, &b));
+        catalog.finish_capture(&t, &b);
+        assert!(catalog.begin_capture(&t, &b));
+    }
+
+    #[test]
+    fn evidence_counter_is_shared_and_resets() {
+        let catalog = SketchCatalog::default();
+        let t = having_template();
+        assert!(!catalog.evidence_reached(&t, 3));
+        assert!(!catalog.evidence_reached(&t, 3));
+        assert!(catalog.evidence_reached(&t, 3));
+        assert!(!catalog.evidence_reached(&t, 3));
+    }
+
+    #[test]
+    fn same_name_different_shape_templates_never_share_sketches() {
+        // serve_plan-style callers pick names ad hoc: a sketch captured for
+        // one query shape must be invisible to a different shape that
+        // happens to reuse the name.
+        let db = sales_db();
+        let catalog = SketchCatalog::default();
+        let t = having_template();
+        catalog.insert(
+            &t,
+            &[Value::Int(50_000)],
+            capture_for(&db, &catalog, 50_000),
+        );
+        let other_shape = QueryTemplate::new(
+            t.name(), // same name, different plan
+            LogicalPlan::scan("sales")
+                .aggregate(
+                    vec!["grp"],
+                    vec![AggExpr::new(AggFunc::Count, col("amount"), "total")],
+                )
+                .filter(col("total").gt(param(0))),
+        );
+        assert!(
+            catalog
+                .find_reusable(&db, &other_shape, &[Value::Int(53_000)])
+                .is_none(),
+            "sketch leaked across query shapes"
+        );
+        assert!(!catalog.is_covered(&db, &other_shape, &[Value::Int(53_000)]));
+        // The original shape still hits.
+        assert!(catalog
+            .find_reusable(&db, &t, &[Value::Int(53_000)])
+            .is_some());
+    }
+
+    #[test]
+    fn concurrent_lookups_and_inserts_are_consistent() {
+        let db = Arc::new(sales_db());
+        let catalog = Arc::new(SketchCatalog::default());
+        let t = having_template();
+        let sketches = capture_for(&db, &catalog, 50_000);
+        catalog.insert(&t, &[Value::Int(50_000)], sketches);
+        std::thread::scope(|s| {
+            for w in 0..8 {
+                let db = Arc::clone(&db);
+                let catalog = Arc::clone(&catalog);
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        // Tighter bounds hit, looser bounds miss.
+                        let bound = 50_500 + ((w * 50 + i) % 40) * 100;
+                        let got = catalog.find_reusable(&db, &t, &[Value::Int(bound)]);
+                        assert!(got.is_some(), "bound {bound} should reuse");
+                    }
+                });
+            }
+        });
+        let stats = catalog.stats();
+        assert_eq!(stats.hits, 8 * 50);
+        assert!(stats.memo_hits > 0);
+        assert_eq!(catalog.total_uses(), 8 * 50);
+    }
+}

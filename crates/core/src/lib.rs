@@ -18,6 +18,10 @@
 //! * [`reuse`] — the parameterized-query reuse check of Sec. 6;
 //! * [`instrument`] — query instrumentation with sketch filters (Sec. 8);
 //! * [`tuning`] — the self-tuning eager/adaptive strategies of Sec. 9.5;
+//! * [`catalog`] — the shared, thread-safe sketch catalog (template-keyed,
+//!   memoized reuse checks, byte-budget LRU eviction);
+//! * [`server`] — the concurrent serving middleware: sessions consult the
+//!   catalog and enqueue capture-on-miss to a background worker pool;
 //! * [`Pbds`] — a facade tying everything together (see its example).
 //!
 //! Sketch *capture* (Sec. 7) lives in the `pbds-provenance` crate and is
@@ -50,20 +54,23 @@
 
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod encode;
 pub mod instrument;
 pub mod pbds;
 pub mod reuse;
 pub mod safety;
+pub mod server;
 pub mod tuning;
 
+pub use catalog::{CatalogConfig, CatalogStats, ReusableSketches, SketchCatalog};
 pub use instrument::{apply_sketches, sketch_predicate, UsePredicateStyle};
 pub use pbds::{Pbds, PbdsError};
 pub use reuse::{ReuseChecker, ReuseResult};
 pub use safety::{PartitionAttr, SafetyChecker, SafetyResult};
+pub use server::{PbdsServer, PbdsSession, ServedQuery, ServerConfig};
 pub use tuning::{
-    cumulative_elapsed, estimate_selectivity, Action, QueryRecord, SelfTuningExecutor,
-    StoredSketch, Strategy,
+    cumulative_elapsed, estimate_selectivity, Action, QueryRecord, SelfTuningExecutor, Strategy,
 };
 
 // Re-export the most commonly used items from the substrate crates so that

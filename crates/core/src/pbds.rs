@@ -1,9 +1,11 @@
 //! The PBDS facade: a convenient entry point tying together partitioning,
 //! safety checking, sketch capture, sketch use and self-tuning.
 
+use crate::catalog::SketchCatalog;
 use crate::instrument::{apply_sketches, UsePredicateStyle};
 use crate::reuse::{ReuseChecker, ReuseResult};
 use crate::safety::{PartitionAttr, SafetyChecker, SafetyResult};
+use crate::server::{PbdsServer, ServerConfig};
 use crate::tuning::{SelfTuningExecutor, Strategy};
 use pbds_algebra::{LogicalPlan, QueryTemplate};
 use pbds_exec::{Engine, EngineProfile, ExecError, QueryOutput};
@@ -82,8 +84,9 @@ impl From<ExecError> for PbdsError {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Pbds {
-    db: Database,
+    db: Arc<Database>,
     engine: Engine,
+    catalog: Arc<SketchCatalog>,
 }
 
 impl Pbds {
@@ -95,14 +98,21 @@ impl Pbds {
     /// Create a PBDS handle with an explicit engine profile.
     pub fn with_profile(db: Database, profile: EngineProfile) -> Self {
         Pbds {
-            db,
+            db: Arc::new(db),
             engine: Engine::new(profile),
+            catalog: Arc::new(SketchCatalog::default()),
         }
     }
 
     /// The underlying database.
     pub fn db(&self) -> &Database {
         &self.db
+    }
+
+    /// The shared sketch catalog backing this handle's self-tuning executors
+    /// and servers.
+    pub fn catalog(&self) -> &Arc<SketchCatalog> {
+        &self.catalog
     }
 
     /// The execution engine.
@@ -261,9 +271,31 @@ impl Pbds {
         Ok(self.engine.execute(&self.db, &instrumented)?)
     }
 
-    /// Create a self-tuning executor over this database (Sec. 9.5).
+    /// Create a self-tuning executor over this database (Sec. 9.5). All
+    /// executors created from one `Pbds` handle share its [`SketchCatalog`],
+    /// so sketches captured by one are reused by the others.
     pub fn self_tuning(&self, strategy: Strategy, fragments: usize) -> SelfTuningExecutor<'_> {
         SelfTuningExecutor::new(&self.db, self.engine.profile(), strategy, fragments)
+            .with_catalog(Arc::clone(&self.catalog))
+    }
+
+    /// Start a concurrent serving middleware over this database, sharing this
+    /// handle's database and sketch catalog (see [`crate::server`]).
+    ///
+    /// The server always runs with **this handle's engine profile** — the
+    /// `profile` field of `config` is ignored, because sketches captured
+    /// through the shared catalog must be produced and consumed by the same
+    /// execution profile. Construct a [`PbdsServer`] directly to pick an
+    /// independent profile.
+    pub fn serve(&self, config: ServerConfig) -> PbdsServer {
+        PbdsServer::with_catalog(
+            Arc::clone(&self.db),
+            Arc::clone(&self.catalog),
+            ServerConfig {
+                profile: self.engine.profile(),
+                ..config
+            },
+        )
     }
 }
 

@@ -1,0 +1,579 @@
+//! Concurrent sketch-serving middleware (the paper's deployment model,
+//! Sec. 6 / 9.5).
+//!
+//! A [`PbdsServer`] owns an `Arc<Database>` plus a shared
+//! [`SketchCatalog`] and serves a stream of
+//! parameterized query instances from any number of concurrent
+//! [`PbdsSession`]s. Each session:
+//!
+//! 1. **templatizes** the incoming instance (or accepts an already-split
+//!    `(template, binding)` pair),
+//! 2. **consults the catalog** — a memoized reuse check against the sketches
+//!    captured so far,
+//! 3. on a hit, **instruments** the query with the stored sketch and
+//!    executes the narrowed plan,
+//! 4. on a miss, executes the plain query and — when the self-tuning
+//!    [`Strategy`] says so — **enqueues capture work** for a background
+//!    worker pool, so capture cost never sits on the query's critical path
+//!    (the paper's middleware amortizes capture across the stream; a
+//!    synchronous capture would make the *first* user pay it).
+//!
+//! Results always contain exactly the rows plain execution would produce
+//! (bag equality; row *order* of unsorted results may differ with the chosen
+//! access path): sketches only narrow *where* the engine looks, never *what*
+//! the query means, and the top-k runtime re-validation falls back to plain
+//! execution when a stored sketch turns out not to cover the new instance.
+
+use crate::catalog::SketchCatalog;
+use crate::instrument::UsePredicateStyle;
+use crate::pbds::PbdsError;
+use crate::tuning::{estimate_selectivity, execute_with_reuse, Action, QueryRecord, Strategy};
+use pbds_algebra::{templatize, LogicalPlan, QueryTemplate};
+use pbds_exec::{Engine, EngineProfile};
+use pbds_provenance::{capture_sketches_with_profile, CaptureConfig};
+use pbds_storage::{Database, PartitionRef, Relation, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Configuration of a [`PbdsServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Engine profile used by sessions and capture workers.
+    pub profile: EngineProfile,
+    /// Self-tuning strategy deciding when to enqueue capture work.
+    pub strategy: Strategy,
+    /// Predicate style used when instrumenting with a sketch.
+    pub style: UsePredicateStyle,
+    /// Number of fragments for captured range partitions.
+    pub fragments: usize,
+    /// Background capture worker threads.
+    pub capture_workers: usize,
+    /// Morsel-parallel scan workers per query execution (1 = sequential).
+    pub scan_parallelism: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            profile: EngineProfile::Indexed,
+            strategy: Strategy::Eager {
+                selectivity_threshold: 0.75,
+            },
+            style: UsePredicateStyle::BinarySearch,
+            fragments: 256,
+            capture_workers: 1,
+            scan_parallelism: 1,
+        }
+    }
+}
+
+/// One served query: the result relation plus the execution record.
+#[derive(Debug, Clone)]
+pub struct ServedQuery {
+    /// The query result.
+    pub relation: Relation,
+    /// What the session did and what it cost.
+    pub record: QueryRecord,
+    /// True when this miss enqueued background capture work.
+    pub capture_enqueued: bool,
+}
+
+struct CaptureTask {
+    template: QueryTemplate,
+    binding: Vec<Value>,
+}
+
+/// State shared between sessions and capture workers.
+struct ServerShared {
+    db: Arc<Database>,
+    catalog: Arc<SketchCatalog>,
+    engine: Engine,
+    config: ServerConfig,
+    /// Capture tasks enqueued but not yet finished, with a condvar for
+    /// [`PbdsServer::drain`].
+    in_flight: Mutex<usize>,
+    drained: Condvar,
+    /// Completed background captures and their cumulative wall-clock nanos.
+    captures_done: AtomicU64,
+    capture_nanos: AtomicU64,
+}
+
+impl ServerShared {
+    fn capture_finished(&self) {
+        let mut n = self.in_flight.lock().expect("in_flight poisoned");
+        *n -= 1;
+        if *n == 0 {
+            self.drained.notify_all();
+        }
+    }
+}
+
+/// The concurrent sketch-serving middleware. See the [module docs](self).
+pub struct PbdsServer {
+    shared: Arc<ServerShared>,
+    /// `None` once shut down; dropping the sender stops the workers.
+    capture_tx: Option<Sender<CaptureTask>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PbdsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PbdsServer")
+            .field("config", &self.shared.config)
+            .field("catalog", &self.shared.catalog)
+            .finish()
+    }
+}
+
+impl PbdsServer {
+    /// Start a server with a fresh catalog.
+    pub fn new(db: Arc<Database>, config: ServerConfig) -> Self {
+        PbdsServer::with_catalog(db, Arc::new(SketchCatalog::default()), config)
+    }
+
+    /// Start a server over an existing (possibly shared) catalog.
+    pub fn with_catalog(
+        db: Arc<Database>,
+        catalog: Arc<SketchCatalog>,
+        config: ServerConfig,
+    ) -> Self {
+        let shared = Arc::new(ServerShared {
+            db,
+            catalog,
+            engine: Engine::new(config.profile).with_parallelism(config.scan_parallelism),
+            config,
+            in_flight: Mutex::new(0),
+            drained: Condvar::new(),
+            captures_done: AtomicU64::new(0),
+            capture_nanos: AtomicU64::new(0),
+        });
+        let (tx, rx) = channel::<CaptureTask>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.capture_workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || capture_worker(&shared, &rx))
+            })
+            .collect();
+        PbdsServer {
+            shared,
+            capture_tx: Some(tx),
+            workers,
+        }
+    }
+
+    /// The catalog this server reads and (through capture workers) writes.
+    pub fn catalog(&self) -> &Arc<SketchCatalog> {
+        &self.shared.catalog
+    }
+
+    /// The served database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.shared.db
+    }
+
+    /// Open a session. Sessions are lightweight and `Send`; open one per
+    /// serving thread.
+    pub fn session(&self) -> PbdsSession<'_> {
+        PbdsSession { server: self }
+    }
+
+    /// Serve a whole stream of `(template, binding)` instances across
+    /// `threads` session threads, preserving stream order in the returned
+    /// vector. Queries are striped over the threads (query `i` runs on
+    /// thread `i % threads`), so runs with different thread counts serve the
+    /// same stream.
+    pub fn serve_stream(
+        &self,
+        stream: &[(QueryTemplate, Vec<Value>)],
+        threads: usize,
+    ) -> Result<Vec<ServedQuery>, PbdsError> {
+        let threads = threads.clamp(1, stream.len().max(1));
+        let mut per_thread: Vec<Vec<(usize, ServedQuery)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let session = self.session();
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        for (i, (template, binding)) in stream.iter().enumerate() {
+                            if i % threads != t {
+                                continue;
+                            }
+                            match session.serve(template, binding) {
+                                Ok(served) => out.push((i, served)),
+                                Err(e) => return Err(e),
+                            }
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("session thread panicked"))
+                .collect::<Result<Vec<_>, PbdsError>>()
+        })?;
+        let mut merged: Vec<(usize, ServedQuery)> = per_thread.drain(..).flatten().collect();
+        merged.sort_by_key(|(i, _)| *i);
+        Ok(merged.into_iter().map(|(_, q)| q).collect())
+    }
+
+    /// Block until every enqueued capture task has finished.
+    pub fn drain(&self) {
+        let guard = self.shared.in_flight.lock().expect("in_flight poisoned");
+        let _unused = self
+            .shared
+            .drained
+            .wait_while(guard, |n| *n > 0)
+            .expect("in_flight poisoned");
+    }
+
+    /// `(completed background captures, cumulative capture wall-clock)`.
+    pub fn capture_totals(&self) -> (u64, std::time::Duration) {
+        (
+            self.shared.captures_done.load(Ordering::Relaxed),
+            std::time::Duration::from_nanos(self.shared.capture_nanos.load(Ordering::Relaxed)),
+        )
+    }
+}
+
+impl Drop for PbdsServer {
+    fn drop(&mut self) {
+        // Closing the channel ends the worker loops once the queue is empty.
+        self.capture_tx.take();
+        for w in self.workers.drain(..) {
+            let _unused = w.join();
+        }
+    }
+}
+
+/// A lightweight per-thread handle for serving queries.
+pub struct PbdsSession<'s> {
+    server: &'s PbdsServer,
+}
+
+impl PbdsSession<'_> {
+    /// Serve one instance of a template.
+    pub fn serve(
+        &self,
+        template: &QueryTemplate,
+        binding: &[Value],
+    ) -> Result<ServedQuery, PbdsError> {
+        let shared = &self.server.shared;
+        let plan = template.instantiate(binding);
+        if shared.config.strategy == Strategy::NoPbds {
+            return self.plain(template, &plan, false);
+        }
+
+        let Some(_attrs) = shared.catalog.safe_attrs(&shared.db, template) else {
+            return self.plain(template, &plan, false);
+        };
+
+        if let Some(est) = estimate_selectivity(&shared.db, &plan) {
+            if est > shared.config.strategy.selectivity_threshold() {
+                return self.plain(template, &plan, false);
+            }
+        }
+
+        // Catalog hit (including the revalidation fallback): same code path
+        // as the self-tuning executor, so the bookkeeping cannot drift.
+        if let Some((record, relation)) = execute_with_reuse(
+            &shared.db,
+            &shared.engine,
+            &shared.catalog,
+            shared.config.style,
+            template,
+            binding,
+            &plan,
+        )? {
+            return Ok(ServedQuery {
+                relation,
+                record,
+                capture_enqueued: false,
+            });
+        }
+
+        // Miss: maybe enqueue background capture, then answer plainly. The
+        // session never waits for the capture.
+        let enqueued = shared
+            .config
+            .strategy
+            .capture_on_miss(&shared.catalog, template)
+            && self.enqueue_capture(template, binding);
+        self.plain(template, &plan, enqueued)
+    }
+
+    /// Templatize a raw query instance (extracting its literal parameters)
+    /// and serve it. This is the entry point for callers that do not manage
+    /// templates themselves; instances of the same query shape share
+    /// sketches through the extracted template's name *and* structural
+    /// fingerprint, so reusing a name for a different query shape is safe.
+    pub fn serve_plan(&self, name: &str, plan: &LogicalPlan) -> Result<ServedQuery, PbdsError> {
+        let (template, binding) = templatize(name, plan);
+        self.serve(&template, &binding)
+    }
+
+    fn enqueue_capture(&self, template: &QueryTemplate, binding: &[Value]) -> bool {
+        let shared = &self.server.shared;
+        if !shared.catalog.begin_capture(template, binding) {
+            return false; // an identical capture is already in flight
+        }
+        let Some(tx) = self.server.capture_tx.as_ref() else {
+            shared.catalog.finish_capture(template, binding);
+            return false;
+        };
+        *shared.in_flight.lock().expect("in_flight poisoned") += 1;
+        let task = CaptureTask {
+            template: template.clone(),
+            binding: binding.to_vec(),
+        };
+        if tx.send(task).is_err() {
+            shared.catalog.finish_capture(template, binding);
+            shared.capture_finished();
+            return false;
+        }
+        true
+    }
+
+    fn plain(
+        &self,
+        template: &QueryTemplate,
+        plan: &LogicalPlan,
+        capture_enqueued: bool,
+    ) -> Result<ServedQuery, PbdsError> {
+        let shared = &self.server.shared;
+        let out = shared.engine.execute(&shared.db, plan)?;
+        Ok(ServedQuery {
+            record: QueryRecord {
+                template: template.name().to_string(),
+                action: Action::Plain,
+                elapsed: out.stats.elapsed,
+                result_rows: out.relation.len(),
+                stats: out.stats,
+            },
+            relation: out.relation,
+            capture_enqueued,
+        })
+    }
+}
+
+/// Background capture loop: pull tasks until the channel closes.
+fn capture_worker(shared: &ServerShared, rx: &Mutex<Receiver<CaptureTask>>) {
+    loop {
+        // Hold the lock only while receiving, so workers pull tasks
+        // round-robin instead of serializing on one another's captures.
+        let task = {
+            let rx = rx.lock().expect("capture receiver poisoned");
+            rx.recv()
+        };
+        let Ok(task) = task else {
+            return; // channel closed: server is shutting down
+        };
+        // Contain panics: a failed capture only loses an optimization, but a
+        // leaked `in_flight` count would deadlock every future `drain()` and
+        // a leaked pending mark would block the binding's capture forever.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_capture(shared, &task)));
+        shared.catalog.finish_capture(&task.template, &task.binding);
+        shared.capture_finished();
+        if result.is_err() {
+            eprintln!(
+                "pbds: background capture for template {:?} panicked; \
+                 the query stream is unaffected",
+                task.template.name()
+            );
+        }
+    }
+}
+
+fn run_capture(shared: &ServerShared, task: &CaptureTask) {
+    let started = std::time::Instant::now();
+    // A concurrent capture may have landed a sketch that already covers this
+    // binding; re-check before paying the capture cost. The quiet probe
+    // keeps hit/miss counters and LRU stamps reflecting serving traffic.
+    if shared
+        .catalog
+        .is_covered(&shared.db, &task.template, &task.binding)
+    {
+        return;
+    }
+    let Some(attrs) = shared.catalog.safe_attrs(&shared.db, &task.template) else {
+        return;
+    };
+    let partitions: Vec<PartitionRef> = attrs
+        .iter()
+        .filter_map(|a| {
+            shared
+                .catalog
+                .partition_for(&shared.db, a, shared.config.fragments)
+        })
+        .collect();
+    if partitions.is_empty() {
+        return;
+    }
+    let plan = task.template.instantiate(&task.binding);
+    let Ok(capture) = capture_sketches_with_profile(
+        &shared.db,
+        &plan,
+        &partitions,
+        &CaptureConfig::optimized(),
+        shared.config.profile,
+    ) else {
+        return; // capture failure only loses the optimization, never a result
+    };
+    shared
+        .catalog
+        .insert(&task.template, &task.binding, capture.sketches);
+    shared.captures_done.fetch_add(1, Ordering::Relaxed);
+    shared
+        .capture_nanos
+        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+}
+
+// Concurrency audit: the server and its catalog are shared across session
+// threads and capture workers.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SketchCatalog>();
+    assert_send_sync::<PbdsServer>();
+    assert_send_sync::<ServerShared>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbds_algebra::{col, lit, param, AggExpr, AggFunc};
+    use pbds_storage::{DataType, Schema, TableBuilder};
+
+    fn sales_db() -> Arc<Database> {
+        let schema = Schema::from_pairs(&[("grp", DataType::Int), ("amount", DataType::Int)]);
+        let mut b = TableBuilder::new("sales", schema);
+        b.block_size(100).index("grp");
+        for i in 0..5_000i64 {
+            b.push(vec![Value::Int(i % 50), Value::Int((i * 37) % 1000 + 1)]);
+        }
+        let mut db = Database::new();
+        db.add_table(b.build());
+        Arc::new(db)
+    }
+
+    fn having_template() -> QueryTemplate {
+        QueryTemplate::new(
+            "sales-having",
+            LogicalPlan::scan("sales")
+                .aggregate(
+                    vec!["grp"],
+                    vec![AggExpr::new(AggFunc::Sum, col("amount"), "total")],
+                )
+                .filter(col("total").gt(param(0))),
+        )
+    }
+
+    #[test]
+    fn miss_enqueues_capture_then_hits_after_drain() {
+        let db = sales_db();
+        let server = PbdsServer::new(Arc::clone(&db), ServerConfig::default());
+        let session = server.session();
+        let t = having_template();
+
+        let first = session.serve(&t, &[Value::Int(50_000)]).unwrap();
+        assert_eq!(first.record.action, Action::Plain);
+        assert!(first.capture_enqueued, "miss should enqueue capture");
+        server.drain();
+        assert_eq!(server.catalog().stored_sketches(), 1);
+        let (captures, _) = server.capture_totals();
+        assert_eq!(captures, 1);
+
+        // A tighter instance now reuses the captured sketch.
+        let second = session.serve(&t, &[Value::Int(53_000)]).unwrap();
+        assert_eq!(
+            second.record.action,
+            Action::UseSketch,
+            "{:?}",
+            second.record
+        );
+        // And scans less than the plain execution did.
+        assert!(second.record.stats.rows_scanned < first.record.stats.rows_scanned);
+    }
+
+    #[test]
+    fn results_match_plain_execution_regardless_of_action() {
+        let db = sales_db();
+        let server = PbdsServer::new(Arc::clone(&db), ServerConfig::default());
+        let session = server.session();
+        let engine = Engine::new(EngineProfile::Indexed);
+        let t = having_template();
+        for bound in [50_000, 53_000, 40_000, 52_000, 55_000] {
+            let served = session.serve(&t, &[Value::Int(bound)]).unwrap();
+            let plain = engine
+                .execute(&db, &t.instantiate(&[Value::Int(bound)]))
+                .unwrap();
+            assert!(
+                served.relation.bag_eq(&plain.relation),
+                "bound {bound}: {:?}",
+                served.record.action
+            );
+            server.drain(); // let captures land so later bounds exercise hits
+        }
+    }
+
+    #[test]
+    fn duplicate_misses_enqueue_only_one_capture() {
+        let db = sales_db();
+        let server = PbdsServer::new(Arc::clone(&db), ServerConfig::default());
+        let t = having_template();
+        let stream: Vec<(QueryTemplate, Vec<Value>)> = (0..8)
+            .map(|_| (t.clone(), vec![Value::Int(50_000)]))
+            .collect();
+        let served = server.serve_stream(&stream, 4).unwrap();
+        server.drain();
+        let enqueued = served.iter().filter(|s| s.capture_enqueued).count();
+        assert!(enqueued >= 1);
+        // The pending-capture dedup keeps the store from collecting
+        // duplicates of one binding.
+        assert_eq!(server.catalog().stored_sketches(), 1);
+    }
+
+    #[test]
+    fn serve_plan_templatizes_instances() {
+        let db = sales_db();
+        let server = PbdsServer::new(Arc::clone(&db), ServerConfig::default());
+        let session = server.session();
+        let make_plan = |bound: i64| {
+            LogicalPlan::scan("sales")
+                .aggregate(
+                    vec!["grp"],
+                    vec![AggExpr::new(AggFunc::Sum, col("amount"), "total")],
+                )
+                .filter(col("total").gt(lit(bound)))
+        };
+        let first = session.serve_plan("adhoc", &make_plan(50_000)).unwrap();
+        assert!(first.capture_enqueued);
+        server.drain();
+        let second = session.serve_plan("adhoc", &make_plan(53_000)).unwrap();
+        assert_eq!(second.record.action, Action::UseSketch);
+    }
+
+    #[test]
+    fn no_pbds_server_never_captures() {
+        let db = sales_db();
+        let server = PbdsServer::new(
+            Arc::clone(&db),
+            ServerConfig {
+                strategy: Strategy::NoPbds,
+                ..ServerConfig::default()
+            },
+        );
+        let t = having_template();
+        let stream: Vec<(QueryTemplate, Vec<Value>)> = (0..6)
+            .map(|i| (t.clone(), vec![Value::Int(50_000 + i * 500)]))
+            .collect();
+        let served = server.serve_stream(&stream, 3).unwrap();
+        server.drain();
+        assert!(served.iter().all(|s| s.record.action == Action::Plain));
+        assert_eq!(server.catalog().stored_sketches(), 0);
+    }
+}

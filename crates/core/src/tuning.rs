@@ -8,15 +8,37 @@
 //! * **adaptive** — only capture once enough instances have been seen that
 //!   *could have used* a sketch (evidence threshold), which avoids paying
 //!   capture cost for rarely repeated parameter values.
+//!
+//! # Strategies and the shared catalog
+//!
+//! The executor itself is a *thin client*: every piece of cross-query state —
+//! stored sketches, memoized reuse checks, chosen safe attributes, built
+//! partitions, and the adaptive strategy's evidence counters — lives in a
+//! shared, thread-safe [`SketchCatalog`]. Several executors (or the
+//! concurrent sessions of a [`crate::server::PbdsServer`]) pointed at the
+//! same catalog therefore *cooperate*:
+//!
+//! * a sketch captured by any client is immediately reusable by every other
+//!   client of the catalog — [`Strategy::Eager`] clients effectively warm the
+//!   catalog for everyone;
+//! * [`Strategy::Adaptive`]'s evidence threshold counts missed reuse
+//!   opportunities *across all clients*, matching the paper's middleware
+//!   model where the query stream, not an individual connection, provides
+//!   the evidence;
+//! * [`Strategy::NoPbds`] clients bypass the catalog entirely and are
+//!   unaffected by (and invisible to) the others.
+//!
+//! By default each executor created through [`SelfTuningExecutor::new`] gets
+//! a private catalog, preserving the single-session behaviour of the paper's
+//! experiments; pass a shared one with [`SelfTuningExecutor::with_catalog`]
+//! to opt into the middleware behaviour.
 
+use crate::catalog::SketchCatalog;
 use crate::instrument::{apply_sketches, UsePredicateStyle};
-use crate::reuse::ReuseChecker;
-use crate::safety::{PartitionAttr, SafetyChecker};
 use pbds_algebra::{BinOp, Expr, LogicalPlan, QueryTemplate};
 use pbds_exec::{Engine, EngineProfile, ExecError, ExecStats};
-use pbds_provenance::{capture_sketches_with_profile, CaptureConfig, ProvenanceSketch};
-use pbds_storage::{Database, Partition, PartitionRef, RangePartition, Value};
-use std::collections::HashMap;
+use pbds_provenance::{capture_sketches_with_profile, CaptureConfig};
+use pbds_storage::{Database, PartitionRef, Relation, Value};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -42,7 +64,7 @@ pub enum Strategy {
 }
 
 impl Strategy {
-    fn selectivity_threshold(&self) -> f64 {
+    pub(crate) fn selectivity_threshold(&self) -> f64 {
         match self {
             Strategy::NoPbds => 0.0,
             Strategy::Eager {
@@ -54,6 +76,68 @@ impl Strategy {
             } => *selectivity_threshold,
         }
     }
+
+    /// Decide whether a reuse miss should trigger capture, consulting the
+    /// catalog's shared evidence counters for the adaptive strategy.
+    pub(crate) fn capture_on_miss(
+        &self,
+        catalog: &SketchCatalog,
+        template: &QueryTemplate,
+    ) -> bool {
+        match self {
+            Strategy::Eager { .. } => true,
+            Strategy::Adaptive {
+                evidence_threshold, ..
+            } => catalog.evidence_reached(template, *evidence_threshold),
+            Strategy::NoPbds => false,
+        }
+    }
+}
+
+/// Answer `plan` from the catalog if a stored sketch covers it: on a hit the
+/// sketch-instrumented query is executed, falling back to plain execution —
+/// and denying the `(binding, entry)` pair — when the runtime top-k
+/// re-validation fails. Returns `None` on a catalog miss. Shared by
+/// [`SelfTuningExecutor::run`] and the server sessions so the
+/// hit/fallback/record bookkeeping cannot drift between them.
+pub(crate) fn execute_with_reuse(
+    db: &Database,
+    engine: &Engine,
+    catalog: &SketchCatalog,
+    style: UsePredicateStyle,
+    template: &QueryTemplate,
+    binding: &[Value],
+    plan: &LogicalPlan,
+) -> Result<Option<(QueryRecord, Relation)>, ExecError> {
+    let Some(reusable) = catalog.find_reusable(db, template, binding) else {
+        return Ok(None);
+    };
+    let instrumented = apply_sketches(plan, &reusable.sketches, style);
+    let out = engine.execute(db, &instrumented)?;
+    if !out.stats.topk_safety_revalidated() {
+        // Runtime re-validation failed: fall back to the plain query and
+        // stop offering this (binding, sketch) pair, so the double
+        // execution happens once, not on every future run.
+        catalog.note_revalidation_failure(template, binding, reusable.entry_id);
+        let plain = engine.execute(db, plan)?;
+        let elapsed = out.stats.elapsed + plain.stats.elapsed;
+        let record = QueryRecord {
+            template: template.name().to_string(),
+            action: Action::RevalidationFallback,
+            elapsed,
+            result_rows: plain.relation.len(),
+            stats: plain.stats,
+        };
+        return Ok(Some((record, plain.relation)));
+    }
+    let record = QueryRecord {
+        template: template.name().to_string(),
+        action: Action::UseSketch,
+        elapsed: out.stats.elapsed,
+        result_rows: out.relation.len(),
+        stats: out.stats,
+    };
+    Ok(Some((record, out.relation)))
 }
 
 /// What the executor decided to do for one query instance.
@@ -85,33 +169,21 @@ pub struct QueryRecord {
     pub result_rows: usize,
 }
 
-/// A stored sketch set together with the parameter binding it was captured
-/// for.
-#[derive(Debug, Clone)]
-pub struct StoredSketch {
-    /// Parameter binding of the instance the sketch was captured for.
-    pub binding: Vec<Value>,
-    /// The captured sketches (one per partitioned relation).
-    pub sketches: Vec<ProvenanceSketch>,
-    /// How many later instances reused this sketch.
-    pub uses: usize,
-}
-
-/// The self-tuning executor: owns the sketch store and decides per query.
+/// The self-tuning executor: a thin client of a (possibly shared)
+/// [`SketchCatalog`] that decides per query whether to capture, reuse or
+/// execute plainly. See the [module docs](self) for how several clients of
+/// one catalog interact.
 pub struct SelfTuningExecutor<'a> {
     db: &'a Database,
     engine: Engine,
     strategy: Strategy,
     style: UsePredicateStyle,
     fragments: usize,
-    store: HashMap<String, Vec<StoredSketch>>,
-    safe_attrs: HashMap<String, Option<Vec<PartitionAttr>>>,
-    evidence: HashMap<String, usize>,
-    partition_cache: HashMap<(String, String), PartitionRef>,
+    catalog: Arc<SketchCatalog>,
 }
 
 impl<'a> SelfTuningExecutor<'a> {
-    /// Create an executor over a database.
+    /// Create an executor over a database with a private catalog.
     pub fn new(
         db: &'a Database,
         profile: EngineProfile,
@@ -124,10 +196,7 @@ impl<'a> SelfTuningExecutor<'a> {
             strategy,
             style: UsePredicateStyle::BinarySearch,
             fragments,
-            store: HashMap::new(),
-            safe_attrs: HashMap::new(),
-            evidence: HashMap::new(),
-            partition_cache: HashMap::new(),
+            catalog: Arc::new(SketchCatalog::default()),
         }
     }
 
@@ -137,9 +206,20 @@ impl<'a> SelfTuningExecutor<'a> {
         self
     }
 
+    /// Share a catalog with other executors / server sessions.
+    pub fn with_catalog(mut self, catalog: Arc<SketchCatalog>) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// The catalog backing this executor.
+    pub fn catalog(&self) -> &Arc<SketchCatalog> {
+        &self.catalog
+    }
+
     /// Number of sketches currently stored.
     pub fn stored_sketches(&self) -> usize {
-        self.store.values().map(|v| v.len()).sum()
+        self.catalog.stored_sketches()
     }
 
     /// Execute one instance of a template.
@@ -153,15 +233,9 @@ impl<'a> SelfTuningExecutor<'a> {
             return self.run_plain(template, &plan);
         }
 
-        // Determine (once per template) which attributes are safe to sketch.
-        let attrs = self
-            .safe_attrs
-            .entry(template.name().to_string())
-            .or_insert_with(|| {
-                SafetyChecker::new(self.db).choose_safe_attributes(template.plan(), &[])
-            })
-            .clone();
-        let attrs = match attrs {
+        // Determine (once per template, shared through the catalog) which
+        // attributes are safe to sketch.
+        let attrs = match self.catalog.safe_attrs(self.db, template) {
             Some(a) => a,
             None => return self.run_plain(template, &plan),
         };
@@ -175,69 +249,30 @@ impl<'a> SelfTuningExecutor<'a> {
             }
         }
 
-        // Try to reuse a stored sketch.
-        let reuse = ReuseChecker::new(self.db);
-        let reusable_idx = self.store.get(template.name()).and_then(|stored| {
-            stored
-                .iter()
-                .position(|s| reuse.can_reuse(template, &s.binding, binding).reusable)
-        });
-        if let Some(idx) = reusable_idx {
-            let sketches = self.store.get(template.name()).expect("present")[idx]
-                .sketches
-                .clone();
-            let instrumented = apply_sketches(&plan, &sketches, self.style);
-            let out = self.engine.execute(self.db, &instrumented)?;
-            if !out.stats.topk_safety_revalidated() {
-                // Runtime re-validation failed: fall back to the plain query.
-                let plain = self.engine.execute(self.db, &plan)?;
-                let elapsed = out.stats.elapsed + plain.stats.elapsed;
-                return Ok(QueryRecord {
-                    template: template.name().to_string(),
-                    action: Action::RevalidationFallback,
-                    elapsed,
-                    result_rows: plain.relation.len(),
-                    stats: plain.stats,
-                });
-            }
-            self.store.get_mut(template.name()).expect("present")[idx].uses += 1;
-            return Ok(QueryRecord {
-                template: template.name().to_string(),
-                action: Action::UseSketch,
-                elapsed: out.stats.elapsed,
-                result_rows: out.relation.len(),
-                stats: out.stats,
-            });
+        // Try to reuse a stored sketch (memoized reuse check).
+        if let Some((record, _relation)) = execute_with_reuse(
+            self.db,
+            &self.engine,
+            &self.catalog,
+            self.style,
+            template,
+            binding,
+            &plan,
+        )? {
+            return Ok(record);
         }
 
         // No reusable sketch: decide whether to capture now.
-        let capture_now = match self.strategy {
-            Strategy::Eager { .. } => true,
-            Strategy::Adaptive {
-                evidence_threshold, ..
-            } => {
-                let counter = self
-                    .evidence
-                    .entry(template.name().to_string())
-                    .or_insert(0);
-                *counter += 1;
-                if *counter >= evidence_threshold {
-                    *counter = 0;
-                    true
-                } else {
-                    false
-                }
-            }
-            Strategy::NoPbds => false,
-        };
-        if !capture_now {
+        if !self.strategy.capture_on_miss(&self.catalog, template) {
             return self.run_plain(template, &plan);
         }
 
         // Capture: build (cached) partitions over the safe attributes and run
         // the instrumented capture query; its result is the query answer.
-        let partitions: Vec<PartitionRef> =
-            attrs.iter().filter_map(|a| self.partition_for(a)).collect();
+        let partitions: Vec<PartitionRef> = attrs
+            .iter()
+            .filter_map(|a| self.catalog.partition_for(self.db, a, self.fragments))
+            .collect();
         if partitions.is_empty() {
             return self.run_plain(template, &plan);
         }
@@ -259,14 +294,7 @@ impl<'a> SelfTuningExecutor<'a> {
             },
             result_rows: capture.result.len(),
         };
-        self.store
-            .entry(template.name().to_string())
-            .or_default()
-            .push(StoredSketch {
-                binding: binding.to_vec(),
-                sketches: capture.sketches,
-                uses: 0,
-            });
+        self.catalog.insert(template, binding, capture.sketches);
         Ok(record)
     }
 
@@ -291,24 +319,6 @@ impl<'a> SelfTuningExecutor<'a> {
             result_rows: out.relation.len(),
             stats: out.stats,
         })
-    }
-
-    fn partition_for(&mut self, attr: &PartitionAttr) -> Option<PartitionRef> {
-        let key = (attr.table.clone(), attr.column.clone());
-        if let Some(p) = self.partition_cache.get(&key) {
-            return Some(p.clone());
-        }
-        let table = self.db.table(&attr.table).ok()?;
-        let values = table.column_values(&attr.column)?;
-        let distinct = table.stats().column(&attr.column)?.distinct;
-        let partition = if distinct <= self.fragments {
-            RangePartition::per_distinct_value(&attr.table, &attr.column, &values)?
-        } else {
-            RangePartition::equi_depth(&attr.table, &attr.column, &values, self.fragments)?
-        };
-        let part: PartitionRef = Arc::new(Partition::Range(partition));
-        self.partition_cache.insert(key, part.clone());
-        Some(part)
     }
 }
 

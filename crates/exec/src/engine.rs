@@ -8,7 +8,10 @@
 //! from provenance sketches, can be answered through indexes and zone maps.
 
 use crate::eval::ExecError;
-use crate::physical::{execute_logical, lower, NoTag, PhysicalPlan};
+use crate::physical::{
+    execute_logical, execute_logical_parallel, execute_physical_parallel, lower, NoTag,
+    PhysicalPlan,
+};
 use crate::profile::EngineProfile;
 use crate::stats::ExecStats;
 use pbds_algebra::LogicalPlan;
@@ -28,12 +31,26 @@ pub struct QueryOutput {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Engine {
     profile: EngineProfile,
+    /// Number of scan workers; `0` and `1` both mean sequential.
+    parallelism: usize,
 }
 
 impl Engine {
-    /// Create an engine with the given profile.
+    /// Create an engine with the given profile (sequential scans).
     pub fn new(profile: EngineProfile) -> Self {
-        Engine { profile }
+        Engine {
+            profile,
+            parallelism: 1,
+        }
+    }
+
+    /// Use morsel-parallel base-table scans with (up to) `workers` threads.
+    /// See [`crate::physical::execute_physical_parallel`] — results are
+    /// identical to sequential execution; only wall-clock time and the
+    /// `elapsed` statistic change.
+    pub fn with_parallelism(mut self, workers: usize) -> Self {
+        self.parallelism = workers.max(1);
+        self
     }
 
     /// The engine profile.
@@ -41,12 +58,28 @@ impl Engine {
         self.profile
     }
 
+    /// Number of scan workers this engine uses (1 = sequential).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism.max(1)
+    }
+
     /// Execute a logical plan against a database: lower it to a physical
     /// plan, then run the batched operator pipeline without tags.
     pub fn execute(&self, db: &Database, plan: &LogicalPlan) -> Result<QueryOutput, ExecError> {
         let start = Instant::now();
         let mut stats = ExecStats::default();
-        let (relation, _tags) = execute_logical(db, plan, self.profile, &NoTag, &mut stats)?;
+        let (relation, _tags) = if self.parallelism() > 1 {
+            execute_logical_parallel(
+                db,
+                plan,
+                self.profile,
+                &NoTag,
+                self.parallelism(),
+                &mut stats,
+            )?
+        } else {
+            execute_logical(db, plan, self.profile, &NoTag, &mut stats)?
+        };
         stats.rows_output = relation.len() as u64;
         stats.elapsed = start.elapsed();
         Ok(QueryOutput { relation, stats })
@@ -66,7 +99,11 @@ impl Engine {
     ) -> Result<QueryOutput, ExecError> {
         let start = Instant::now();
         let mut stats = ExecStats::default();
-        let (relation, _tags) = crate::physical::execute_physical(db, plan, &NoTag, &mut stats)?;
+        let (relation, _tags) = if self.parallelism() > 1 {
+            execute_physical_parallel(db, plan, &NoTag, self.parallelism(), &mut stats)?
+        } else {
+            crate::physical::execute_physical(db, plan, &NoTag, &mut stats)?
+        };
         stats.rows_output = relation.len() as u64;
         stats.elapsed = start.elapsed();
         Ok(QueryOutput { relation, stats })

@@ -26,8 +26,8 @@ pub mod stats;
 pub use engine::{Engine, QueryOutput};
 pub use eval::{eval_expr, eval_predicate, ExecError};
 pub use physical::{
-    execute_logical, execute_physical, lower, lower_scan, Batch, NoTag, PhysOp, PhysicalPlan,
-    TagPolicy, BATCH_SIZE,
+    execute_logical, execute_logical_parallel, execute_physical, execute_physical_parallel, lower,
+    lower_scan, Batch, NoTag, PhysOp, PhysicalPlan, TagPolicy, BATCH_SIZE, PARALLEL_SCAN_THRESHOLD,
 };
 pub use profile::EngineProfile;
 pub use scan::{extract_skip_ranges, scan_table, ColumnRanges};

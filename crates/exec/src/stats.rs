@@ -34,19 +34,60 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
+    /// Upper bound on the `topk_inputs` vector after a parallel merge; see
+    /// [`ExecStats::merge_parallel`].
+    pub const TOPK_INPUTS_CAP: usize = 32;
+
     /// Merge another stats record into this one (used when the self-tuning
     /// framework accumulates per-workload totals).
+    ///
+    /// This is the *sequential* merge: the two executions happened one after
+    /// the other, so wall-clock times add up. For stats produced by workers
+    /// that ran *concurrently* (morsel-parallel scans), use
+    /// [`ExecStats::merge_parallel`] instead — summing `elapsed` across
+    /// parallel branches would overstate wall-clock time by the worker count.
     pub fn merge(&mut self, other: &ExecStats) {
+        self.merge_counters(other);
+        self.topk_inputs.extend(other.topk_inputs.iter().cloned());
+        self.elapsed += other.elapsed;
+    }
+
+    /// Merge stats of a *concurrent* execution branch into this one.
+    ///
+    /// Differences from the sequential [`ExecStats::merge`]:
+    ///
+    /// * `elapsed` is the **max** across branches, not the sum — branches
+    ///   overlapped in time, so the slowest one bounds the wall clock;
+    /// * `topk_inputs` growth is **bounded** at [`ExecStats::TOPK_INPUTS_CAP`]
+    ///   entries. When the cap is exceeded, the entries with the smallest
+    ///   `input / limit` slack are kept: those are the only ones that can make
+    ///   [`ExecStats::topk_safety_revalidated`] fail, so dropping the
+    ///   comfortable ones never turns a failing re-validation into a passing
+    ///   one.
+    pub fn merge_parallel(&mut self, other: &ExecStats) {
+        self.merge_counters(other);
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.topk_inputs.extend(other.topk_inputs.iter().cloned());
+        if self.topk_inputs.len() > Self::TOPK_INPUTS_CAP {
+            let slack = |&(limit, input): &(usize, u64)| input as f64 / (limit.max(1) as f64);
+            self.topk_inputs
+                .sort_by(|a, b| slack(a).total_cmp(&slack(b)));
+            self.topk_inputs.truncate(Self::TOPK_INPUTS_CAP);
+        }
+    }
+
+    /// Accumulate the deterministic counters shared by both merge flavours.
+    fn merge_counters(&mut self, other: &ExecStats) {
         self.rows_scanned += other.rows_scanned;
         self.rows_output += other.rows_output;
         self.blocks_skipped += other.blocks_skipped;
         self.blocks_total += other.blocks_total;
         self.index_scans += other.index_scans;
         self.full_scans += other.full_scans;
-        self.intermediate_rows += other.intermediate_rows;
+        self.intermediate_rows = self
+            .intermediate_rows
+            .saturating_add(other.intermediate_rows);
         self.batches += other.batches;
-        self.topk_inputs.extend(other.topk_inputs.iter().cloned());
-        self.elapsed += other.elapsed;
     }
 
     /// True if every top-k operator saw at least as many input rows as its
@@ -104,6 +145,46 @@ mod tests {
             ..Default::default()
         };
         assert!((s.skip_ratio() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_parallel_takes_max_elapsed_not_sum() {
+        let mut a = ExecStats {
+            rows_scanned: 10,
+            elapsed: Duration::from_millis(30),
+            ..Default::default()
+        };
+        let b = ExecStats {
+            rows_scanned: 5,
+            elapsed: Duration::from_millis(50),
+            ..Default::default()
+        };
+        a.merge_parallel(&b);
+        assert_eq!(a.rows_scanned, 15);
+        assert_eq!(a.elapsed, Duration::from_millis(50));
+        // The sequential merge, in contrast, sums.
+        let mut c = ExecStats {
+            elapsed: Duration::from_millis(30),
+            ..Default::default()
+        };
+        c.merge(&b);
+        assert_eq!(c.elapsed, Duration::from_millis(80));
+    }
+
+    #[test]
+    fn merge_parallel_bounds_topk_inputs_keeping_failing_entries() {
+        let mut a = ExecStats::default();
+        // One failing entry (input < limit) among many comfortable ones.
+        let mut other = ExecStats::default();
+        other.topk_inputs.push((10, 3)); // fails re-validation
+        for _ in 0..ExecStats::TOPK_INPUTS_CAP * 2 {
+            other.topk_inputs.push((5, 1_000)); // passes comfortably
+        }
+        a.merge_parallel(&other);
+        assert!(a.topk_inputs.len() <= ExecStats::TOPK_INPUTS_CAP);
+        // The failing entry must survive the truncation.
+        assert!(!a.topk_safety_revalidated());
+        assert!(a.topk_inputs.contains(&(10, 3)));
     }
 
     #[test]

@@ -27,3 +27,14 @@ pub use lineage::{
     capture_lineage, is_sufficient_subset, LineageResult, LineageTagPolicy, TupleSet,
 };
 pub use sketch::{restrict_database, ProvenanceSketch, SketchSet};
+
+// Concurrency audit: sketches are stored in the shared `SketchCatalog` and
+// cloned across serving threads; capture results cross the capture-worker
+// channel. Both must stay `Send + Sync` (sketches hold only `Arc`s to
+// immutable partitions and plain bitsets).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ProvenanceSketch>();
+    assert_send_sync::<FragmentBitset>();
+    assert_send_sync::<CaptureResult>();
+};

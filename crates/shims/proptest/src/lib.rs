@@ -130,7 +130,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Size specification for [`vec`]: an exact size or a half-open range.
+    /// Size specification for [`vec()`]: an exact size or a half-open range.
     pub struct SizeRange {
         lo: usize,
         hi: usize,

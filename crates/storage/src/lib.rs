@@ -31,3 +31,20 @@ pub use stats::{ColumnStats, EquiDepthHistogram, TableStats};
 pub use table::{Table, TableBuilder};
 pub use value::{DataType, Value};
 pub use zonemap::{BlockZone, ColumnZone, ZoneMap, DEFAULT_BLOCK_SIZE};
+
+// Concurrency audit: the serving middleware shares the database, tables and
+// partitions across session and capture-worker threads behind `Arc`s. Every
+// storage type is immutable after construction (no interior mutability), so
+// these bounds must hold — a compile error here means a change introduced
+// thread-unsafe state into the storage layer.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+    assert_send_sync::<Table>();
+    assert_send_sync::<Partition>();
+    assert_send_sync::<PartitionRef>();
+    assert_send_sync::<Relation>();
+    assert_send_sync::<Value>();
+    assert_send_sync::<ZoneMap>();
+    assert_send_sync::<OrderedIndex>();
+};

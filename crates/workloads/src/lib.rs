@@ -16,7 +16,9 @@ pub mod dist;
 pub mod movies;
 pub mod sof;
 pub mod spec;
+pub mod stream;
 pub mod tpch;
 
 pub use dist::{normal, Zipf};
 pub use spec::{BenchQuery, SketchSpec};
+pub use stream::{sof_pools, zipf_stream, StreamSpec, TemplatePool};

@@ -1,0 +1,189 @@
+//! Concurrency-equivalence tests for the sketch-serving middleware: N
+//! sessions serving the same Zipf stream concurrently must produce results
+//! identical (as bags — row order of unsorted results may vary with the
+//! access path) to a sequential run and to plain execution on every workload
+//! covered here, while scanning fewer rows than the No-PS baseline once the
+//! catalog is warm.
+
+use pbds_core::{Action, Engine, EngineProfile, PbdsServer, ServerConfig, SketchCatalog, Strategy};
+use pbds_storage::Database;
+use pbds_workloads::{sof, sof_pools, zipf_stream, StreamSpec, TemplatePool};
+use std::sync::Arc;
+
+fn small_sof() -> Arc<Database> {
+    Arc::new(sof::generate(&sof::SofConfig {
+        users: 1_500,
+        posts: 9_000,
+        comments: 12_000,
+        badges: 4_500,
+        ..Default::default()
+    }))
+}
+
+fn test_stream(
+    pools: &[TemplatePool],
+    queries: usize,
+) -> Vec<(pbds_algebra::QueryTemplate, Vec<pbds_storage::Value>)> {
+    zipf_stream(
+        pools,
+        &StreamSpec {
+            queries,
+            skew: 1.1,
+            seed: 41,
+        },
+    )
+}
+
+#[test]
+fn concurrent_sessions_match_sequential_and_plain_results() {
+    let db = small_sof();
+    let pools = sof_pools(10, 7);
+    let stream = test_stream(&pools, 48);
+    let engine = Engine::new(EngineProfile::Indexed);
+
+    // Ground truth: plain execution of every instance, no PBDS involved.
+    let truth: Vec<_> = stream
+        .iter()
+        .map(|(t, b)| engine.execute(&db, &t.instantiate(b)).unwrap().relation)
+        .collect();
+
+    // Sequential serving (1 thread) with an active catalog.
+    let sequential = PbdsServer::new(Arc::clone(&db), ServerConfig::default());
+    let seq_results = sequential.serve_stream(&stream, 1).unwrap();
+
+    for threads in [2, 4, 8] {
+        let server = PbdsServer::new(Arc::clone(&db), ServerConfig::default());
+        let results = server.serve_stream(&stream, threads).unwrap();
+        assert_eq!(results.len(), stream.len());
+        for (i, served) in results.iter().enumerate() {
+            // Identical contents to the sequential serve AND to plain
+            // execution (bag comparison: middleware makes no row-order
+            // promise across actions, but contents must match exactly).
+            assert!(
+                served.relation.bag_eq(&truth[i]),
+                "query {i} at {threads} threads diverged from plain execution \
+                 (action {:?})",
+                served.record.action
+            );
+            assert!(
+                served.relation.bag_eq(&seq_results[i].relation),
+                "query {i} at {threads} threads diverged from sequential serving"
+            );
+        }
+        server.drain();
+    }
+}
+
+#[test]
+fn warm_catalog_scans_fewer_rows_than_no_ps_at_every_thread_count() {
+    let db = small_sof();
+    let pools = sof_pools(8, 11);
+    let stream = test_stream(&pools, 36);
+
+    for threads in [1, 2, 4, 8] {
+        let total_rows = |strategy: Strategy| -> (u64, u64) {
+            let server = PbdsServer::new(
+                Arc::clone(&db),
+                ServerConfig {
+                    strategy,
+                    fragments: 300,
+                    ..ServerConfig::default()
+                },
+            );
+            // Warm pass lets capture-on-miss land its sketches.
+            server.serve_stream(&stream, threads).unwrap();
+            server.drain();
+            let served = server.serve_stream(&stream, threads).unwrap();
+            let rows = served.iter().map(|s| s.record.stats.rows_scanned).sum();
+            let hits = served
+                .iter()
+                .filter(|s| s.record.action == Action::UseSketch)
+                .count() as u64;
+            (rows, hits)
+        };
+        let (no_ps_rows, _) = total_rows(Strategy::NoPbds);
+        let (catalog_rows, hits) = total_rows(Strategy::Eager {
+            selectivity_threshold: 0.75,
+        });
+        assert!(
+            hits > 0,
+            "warm catalog produced no sketch hits at {threads} threads"
+        );
+        assert!(
+            catalog_rows < no_ps_rows,
+            "{threads} threads: catalog scanned {catalog_rows} rows, No-PS {no_ps_rows}"
+        );
+    }
+}
+
+#[test]
+fn shared_catalog_is_warmed_across_servers() {
+    // Two servers sharing one catalog: sketches captured while serving on
+    // the first are hits on the second from its very first query.
+    let db = small_sof();
+    let catalog = Arc::new(SketchCatalog::default());
+    let pools = sof_pools(6, 13);
+    let stream = test_stream(&pools, 24);
+
+    {
+        let first = PbdsServer::with_catalog(
+            Arc::clone(&db),
+            Arc::clone(&catalog),
+            ServerConfig::default(),
+        );
+        first.serve_stream(&stream, 4).unwrap();
+        first.drain();
+    }
+    assert!(catalog.stored_sketches() > 0);
+
+    let second = PbdsServer::with_catalog(
+        Arc::clone(&db),
+        Arc::clone(&catalog),
+        ServerConfig::default(),
+    );
+    let served = second.serve_stream(&stream, 4).unwrap();
+    let hits = served
+        .iter()
+        .filter(|s| s.record.action == Action::UseSketch)
+        .count();
+    assert!(
+        hits > served.len() / 2,
+        "expected a mostly-warm second server, got {hits}/{} hits",
+        served.len()
+    );
+}
+
+#[test]
+fn byte_budget_keeps_serving_correct_under_eviction() {
+    // A catalog too small to hold every sketch keeps evicting, but results
+    // must stay correct and counters consistent.
+    let db = small_sof();
+    // ~70 bytes per entry at 300 fragments: the budget fits one or two
+    // entries, so the three templates keep evicting each other's sketches.
+    let catalog = Arc::new(SketchCatalog::with_byte_budget(128));
+    let pools = sof_pools(8, 19);
+    let stream = test_stream(&pools, 30);
+    let engine = Engine::new(EngineProfile::Indexed);
+
+    let server = PbdsServer::with_catalog(
+        Arc::clone(&db),
+        Arc::clone(&catalog),
+        ServerConfig::default(),
+    );
+    let served = server.serve_stream(&stream, 4).unwrap();
+    server.drain();
+    for (i, s) in served.iter().enumerate() {
+        let (t, b) = &stream[i];
+        let truth = engine.execute(&db, &t.instantiate(b)).unwrap().relation;
+        assert!(
+            s.relation.bag_eq(&truth),
+            "query {i} diverged under eviction"
+        );
+    }
+    let stats = catalog.stats();
+    assert!(
+        stats.evictions > 0,
+        "budget of 128 bytes never evicted: {stats:?}"
+    );
+    assert!(stats.bytes <= 256, "budget overshot: {stats:?}");
+}
