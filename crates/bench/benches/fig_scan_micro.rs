@@ -1,0 +1,155 @@
+//! Filter-scan microbenchmark: rows/sec of the row-at-a-time expression
+//! interpreter vs the vectorized columnar scan path, at selectivities
+//! 0.1% / 1% / 10% / 100% on the `crimes` fact table.
+//!
+//! This is the regression gate for the scan hot path: the vectorized path
+//! must sustain at least **2×** the row interpreter's single-thread
+//! throughput at ≤ 10% selectivity, or the bench panics (and CI, which runs
+//! it in `--quick` smoke mode, fails loudly). Results are also written to
+//! `BENCH_scan.json` in the working directory so the repository can track a
+//! recorded baseline.
+//!
+//! Run with: `cargo bench --bench fig_scan_micro [-- --quick]`
+
+use pbds_algebra::{col, lit, LogicalPlan};
+use pbds_bench::harness::{median_time, TablePrinter};
+use pbds_exec::{execute_physical_with, lower, EngineProfile, ExecOptions, ExecStats, NoTag};
+use pbds_storage::Database;
+use pbds_workloads::crimes;
+use std::io::Write;
+
+const SELECTIVITIES: [f64; 4] = [0.001, 0.01, 0.1, 1.0];
+/// The acceptance bar: vectorized ≥ 2× row interpreter at ≤ 10% selectivity.
+const REQUIRED_SPEEDUP: f64 = 2.0;
+const GATED_SELECTIVITY: f64 = 0.1 + 1e-12;
+
+struct Measurement {
+    selectivity: f64,
+    rows_out: u64,
+    row_rps: f64,
+    vec_rps: f64,
+}
+
+fn measure(db: &Database, rows: usize, selectivity: f64, runs: usize) -> Measurement {
+    // `id` is sequential 0..rows, so a half-open upper bound gives an exact
+    // selectivity; the ColumnarScan profile forbids skipping, so both paths
+    // visit every row and the comparison isolates predicate evaluation.
+    let bound = ((rows as f64) * selectivity).round() as i64;
+    let plan = LogicalPlan::scan("crimes").filter(col("id").lt(lit(bound)));
+    let physical = lower(db, &plan, EngineProfile::ColumnarScan).expect("lower");
+
+    let run = |vectorized: bool| -> (f64, u64) {
+        let opts = ExecOptions { vectorized };
+        let mut rows_out = 0u64;
+        let elapsed = median_time(runs, || {
+            let mut stats = ExecStats::default();
+            let (rel, _) = execute_physical_with(db, &physical, &NoTag, opts, &mut stats).unwrap();
+            rows_out = rel.len() as u64;
+            rel
+        });
+        let rps = rows as f64 / elapsed.as_secs_f64().max(1e-9);
+        (rps, rows_out)
+    };
+
+    let (row_rps, row_out) = run(false);
+    let (vec_rps, vec_out) = run(true);
+    assert_eq!(
+        row_out, vec_out,
+        "paths disagree at selectivity {selectivity}"
+    );
+    Measurement {
+        selectivity,
+        rows_out: row_out,
+        row_rps,
+        vec_rps,
+    }
+}
+
+fn write_json(path: &str, rows: usize, quick: bool, measurements: &[Measurement]) {
+    let entries: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"selectivity\": {}, \"rows_out\": {}, \"row_interpreter_rows_per_sec\": {:.0}, \"vectorized_rows_per_sec\": {:.0}, \"speedup\": {:.2}}}",
+                m.selectivity,
+                m.rows_out,
+                m.row_rps,
+                m.vec_rps,
+                m.vec_rps / m.row_rps.max(1e-9)
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"fig_scan_micro\",\n  \"table\": \"crimes\",\n  \"rows\": {rows},\n  \"quick\": {quick},\n  \"required_speedup_at_low_selectivity\": {REQUIRED_SPEEDUP},\n  \"measurements\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (rows, runs) = if quick { (60_000, 7) } else { (200_000, 15) };
+    let db = crimes::generate(&crimes::CrimesConfig {
+        rows,
+        ..Default::default()
+    });
+    // Warm the columnar projection outside the timed region (it is built
+    // lazily once per table and cached).
+    let _ = db.table("crimes").unwrap().columnar_chunks();
+
+    eprintln!(
+        "== fig_scan_micro ({} rows, {} runs/point{})",
+        rows,
+        runs,
+        if quick { ", --quick" } else { "" }
+    );
+    let mut table = TablePrinter::new(&[
+        "selectivity",
+        "rows out",
+        "row interp (Mrows/s)",
+        "vectorized (Mrows/s)",
+        "speedup",
+    ]);
+    let mut measurements = Vec::new();
+    for sel in SELECTIVITIES {
+        let m = measure(&db, rows, sel, runs);
+        table.row(vec![
+            format!("{:.1}%", sel * 100.0),
+            m.rows_out.to_string(),
+            format!("{:.1}", m.row_rps / 1e6),
+            format!("{:.1}", m.vec_rps / 1e6),
+            format!("{:.2}x", m.vec_rps / m.row_rps.max(1e-9)),
+        ]);
+        measurements.push(m);
+    }
+    eprintln!("\n{}", table.render());
+    // Full runs record the baseline at the workspace root (cargo runs
+    // benches with the package dir as cwd) next to README/CHANGES; quick
+    // smoke runs (CI) must not clobber it with reduced-scale numbers.
+    if quick {
+        eprintln!("--quick: skipping BENCH_scan.json baseline update");
+    } else {
+        let out = format!("{}/../../BENCH_scan.json", env!("CARGO_MANIFEST_DIR"));
+        write_json(&out, rows, quick, &measurements);
+    }
+
+    for m in &measurements {
+        if m.selectivity <= GATED_SELECTIVITY {
+            let speedup = m.vec_rps / m.row_rps.max(1e-9);
+            assert!(
+                speedup >= REQUIRED_SPEEDUP,
+                "vectorized filter-scan regressed: {:.2}x < {REQUIRED_SPEEDUP}x \
+                 at selectivity {:.1}%",
+                speedup,
+                m.selectivity * 100.0
+            );
+        }
+    }
+    eprintln!(
+        "scan-path gate passed: vectorized >= {REQUIRED_SPEEDUP}x row interpreter \
+         at <= 10% selectivity"
+    );
+}

@@ -549,12 +549,12 @@ impl SketchCatalog {
             return Some(p.clone());
         }
         let table = db.table(&attr.table).ok()?;
-        let values = table.column_values(&attr.column)?;
+        let values = table.column_iter(&attr.column)?;
         let distinct = table.stats().column(&attr.column)?.distinct;
         let partition = if distinct <= fragments {
-            RangePartition::per_distinct_value(&attr.table, &attr.column, &values)?
+            RangePartition::per_distinct_value_from_iter(&attr.table, &attr.column, values)?
         } else {
-            RangePartition::equi_depth(&attr.table, &attr.column, &values, fragments)?
+            RangePartition::equi_depth_from_iter(&attr.table, &attr.column, values, fragments)?
         };
         let part: PartitionRef = Arc::new(Partition::Range(partition));
         // Under a race, hand every caller the cached winner so all captures

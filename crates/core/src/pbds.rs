@@ -135,7 +135,7 @@ impl Pbds {
         fragments: usize,
     ) -> Result<PartitionRef, PbdsError> {
         let t = self.db.table(table)?;
-        let values = t.column_values(attr).ok_or_else(|| {
+        let values = t.column_iter(attr).ok_or_else(|| {
             PbdsError::Storage(StorageError::UnknownColumn {
                 table: table.to_string(),
                 column: attr.to_string(),
@@ -147,9 +147,9 @@ impl Pbds {
             .map(|s| s.distinct)
             .unwrap_or(usize::MAX);
         let partition = if distinct <= fragments {
-            RangePartition::per_distinct_value(table, attr, &values)
+            RangePartition::per_distinct_value_from_iter(table, attr, values)
         } else {
-            RangePartition::equi_depth(table, attr, &values, fragments)
+            RangePartition::equi_depth_from_iter(table, attr, values, fragments)
         }
         .ok_or_else(|| {
             PbdsError::Partitioning(format!(

@@ -1,0 +1,318 @@
+//! Compiled expressions: column names bound to schema indexes once.
+//!
+//! [`crate::eval::eval_expr`] re-resolves every column name by string
+//! (`Schema::index_of`) *per row per expression node* — on the scan hot path
+//! that lookup dominates predicate evaluation. A [`CompiledExpr`] is the same
+//! expression with every `Expr::Column` resolved to a positional index once
+//! per `(expr, schema)` pair; evaluation is then pure index arithmetic.
+//!
+//! Error behaviour is **identical** to the interpreter: binding never fails
+//! eagerly. Unknown columns and unbound parameters compile to lazy error
+//! nodes that only raise when (and if) the interpreter would have evaluated
+//! them — short-circuiting `AND`/`OR`/`CASE` skip them exactly like
+//! `eval_expr` does. `tests/compiled_expr_equivalence.rs` proves
+//! `eval_expr == CompiledExpr::eval` (values *and* errors) by property
+//! testing.
+
+use crate::eval::{eval_binary, ExecError};
+use pbds_algebra::{BinOp, Expr, RangeLookup};
+use pbds_storage::{Row, Schema, Value, ValueRange};
+
+/// A column reference resolved against a schema — or recorded as unknown, to
+/// be raised lazily at evaluation time (matching the interpreter).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColRef {
+    /// Position of the column in the input row.
+    Idx(usize),
+    /// The schema has no such column; evaluating this node errors.
+    Unknown(String),
+}
+
+impl ColRef {
+    fn bind(schema: &Schema, name: &str) -> ColRef {
+        match schema.index_of(name) {
+            Some(i) => ColRef::Idx(i),
+            None => ColRef::Unknown(name.to_string()),
+        }
+    }
+
+    #[inline]
+    fn get<'r>(&self, row: &'r Row) -> Result<&'r Value, ExecError> {
+        match self {
+            ColRef::Idx(i) => Ok(&row[*i]),
+            ColRef::Unknown(name) => Err(ExecError::UnknownColumn(name.clone())),
+        }
+    }
+
+    /// The bound index, if the column resolved.
+    pub fn index(&self) -> Option<usize> {
+        match self {
+            ColRef::Idx(i) => Some(*i),
+            ColRef::Unknown(_) => None,
+        }
+    }
+}
+
+/// An [`Expr`] with all column references bound to row positions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledExpr {
+    /// Bound column access.
+    Column(ColRef),
+    /// Constant.
+    Literal(Value),
+    /// Unbound parameter: errors when evaluated, like the interpreter.
+    Param(usize),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<CompiledExpr>,
+        /// Right operand.
+        right: Box<CompiledExpr>,
+    },
+    /// Short-circuit conjunction (NULL collapses to `false`).
+    And(Vec<CompiledExpr>),
+    /// Short-circuit disjunction.
+    Or(Vec<CompiledExpr>),
+    /// Negation (`NOT NULL`-ish inputs collapse to `false`).
+    Not(Box<CompiledExpr>),
+    /// NULL test.
+    IsNull(Box<CompiledExpr>),
+    /// `CASE WHEN … THEN … ELSE …`.
+    Case {
+        /// `(condition, result)` branches, tested in order.
+        branches: Vec<(CompiledExpr, CompiledExpr)>,
+        /// Fallback result.
+        otherwise: Box<CompiledExpr>,
+    },
+    /// Range membership on one column (sketch-injected predicate).
+    InRanges {
+        /// Bound column.
+        column: ColRef,
+        /// Ordered, non-overlapping ranges.
+        ranges: Vec<ValueRange>,
+        /// Lookup strategy.
+        lookup: RangeLookup,
+    },
+    /// Sorted-list membership on a composite key.
+    InList {
+        /// Bound key columns.
+        columns: Vec<ColRef>,
+        /// Sorted member keys.
+        keys: Vec<Vec<Value>>,
+    },
+}
+
+impl CompiledExpr {
+    /// Bind `expr`'s column names against `schema`. Never fails: unknown
+    /// columns and parameters become lazy error nodes so evaluation reports
+    /// exactly what the interpreter would.
+    pub fn compile(expr: &Expr, schema: &Schema) -> CompiledExpr {
+        match expr {
+            Expr::Column(name) => CompiledExpr::Column(ColRef::bind(schema, name)),
+            Expr::Literal(v) => CompiledExpr::Literal(v.clone()),
+            Expr::Param(i) => CompiledExpr::Param(*i),
+            Expr::Binary { op, left, right } => CompiledExpr::Binary {
+                op: *op,
+                left: Box::new(Self::compile(left, schema)),
+                right: Box::new(Self::compile(right, schema)),
+            },
+            Expr::And(es) => {
+                CompiledExpr::And(es.iter().map(|e| Self::compile(e, schema)).collect())
+            }
+            Expr::Or(es) => CompiledExpr::Or(es.iter().map(|e| Self::compile(e, schema)).collect()),
+            Expr::Not(e) => CompiledExpr::Not(Box::new(Self::compile(e, schema))),
+            Expr::IsNull(e) => CompiledExpr::IsNull(Box::new(Self::compile(e, schema))),
+            Expr::Case {
+                branches,
+                otherwise,
+            } => CompiledExpr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, r)| (Self::compile(c, schema), Self::compile(r, schema)))
+                    .collect(),
+                otherwise: Box::new(Self::compile(otherwise, schema)),
+            },
+            Expr::InRanges {
+                column,
+                ranges,
+                lookup,
+            } => CompiledExpr::InRanges {
+                column: ColRef::bind(schema, column),
+                ranges: ranges.clone(),
+                lookup: *lookup,
+            },
+            Expr::InList { columns, keys } => CompiledExpr::InList {
+                columns: columns.iter().map(|c| ColRef::bind(schema, c)).collect(),
+                keys: keys.clone(),
+            },
+        }
+    }
+
+    /// Evaluate against one row. Semantics mirror
+    /// [`crate::eval::eval_expr`] node for node.
+    pub fn eval(&self, row: &Row) -> Result<Value, ExecError> {
+        match self {
+            CompiledExpr::Column(c) => Ok(c.get(row)?.clone()),
+            CompiledExpr::Literal(v) => Ok(v.clone()),
+            CompiledExpr::Param(i) => Err(ExecError::UnboundParameter(*i)),
+            CompiledExpr::Binary { op, left, right } => {
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                Ok(eval_binary(*op, &l, &r))
+            }
+            CompiledExpr::And(es) => {
+                for e in es {
+                    match e.eval(row)?.as_bool() {
+                        Some(true) => {}
+                        _ => return Ok(Value::Bool(false)),
+                    }
+                }
+                Ok(Value::Bool(true))
+            }
+            CompiledExpr::Or(es) => {
+                for e in es {
+                    if e.eval(row)?.as_bool() == Some(true) {
+                        return Ok(Value::Bool(true));
+                    }
+                }
+                Ok(Value::Bool(false))
+            }
+            CompiledExpr::Not(e) => {
+                let v = e.eval(row)?;
+                Ok(match v.as_bool() {
+                    Some(b) => Value::Bool(!b),
+                    None => Value::Bool(false),
+                })
+            }
+            CompiledExpr::IsNull(e) => Ok(Value::Bool(e.eval(row)?.is_null())),
+            CompiledExpr::Case {
+                branches,
+                otherwise,
+            } => {
+                for (cond, result) in branches {
+                    if cond.eval(row)?.as_bool() == Some(true) {
+                        return result.eval(row);
+                    }
+                }
+                otherwise.eval(row)
+            }
+            CompiledExpr::InRanges {
+                column,
+                ranges,
+                lookup,
+            } => {
+                let v = column.get(row)?;
+                if v.is_null() {
+                    return Ok(Value::Bool(false));
+                }
+                let found = match lookup {
+                    RangeLookup::Linear => ranges.iter().any(|r| r.contains(v)),
+                    RangeLookup::BinarySearch => {
+                        let pos = ranges.partition_point(|r| match &r.hi {
+                            Some(hi) => hi < v,
+                            None => false,
+                        });
+                        ranges.get(pos).map(|r| r.contains(v)).unwrap_or(false)
+                    }
+                };
+                Ok(Value::Bool(found))
+            }
+            CompiledExpr::InList { columns, keys } => {
+                let mut key = Vec::with_capacity(columns.len());
+                for c in columns {
+                    key.push(c.get(row)?.clone());
+                }
+                Ok(Value::Bool(keys.binary_search(&key).is_ok()))
+            }
+        }
+    }
+
+    /// Evaluate as a predicate: SQL three-valued logic collapses NULL /
+    /// unknown to `false` (mirrors [`crate::eval::eval_predicate`]).
+    #[inline]
+    pub fn matches(&self, row: &Row) -> Result<bool, ExecError> {
+        Ok(self.eval(row)?.as_bool() == Some(true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_expr, eval_predicate};
+    use pbds_algebra::{col, lit, param};
+    use pbds_storage::DataType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("popden", DataType::Int),
+            ("city", DataType::Str),
+            ("state", DataType::Str),
+        ])
+    }
+
+    fn row() -> Row {
+        vec![
+            Value::Int(6000),
+            Value::from("San Diego"),
+            Value::from("CA"),
+        ]
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_on_basics() {
+        let exprs = vec![
+            col("state").eq(lit("CA")).and(col("popden").gt(lit(5000))),
+            col("state").eq(lit("NY")).or(col("popden").lt(lit(100))),
+            col("popden").mul(lit(2)).add(lit(1)),
+            Expr::IsNull(Box::new(col("city"))),
+            col("popden").gt(lit(10_000)).not(),
+        ];
+        let s = schema();
+        let r = row();
+        for e in exprs {
+            let compiled = CompiledExpr::compile(&e, &s);
+            assert_eq!(compiled.eval(&r), eval_expr(&e, &s, &r), "expr {e}");
+        }
+    }
+
+    #[test]
+    fn unknown_column_errors_lazily_like_the_interpreter() {
+        let s = schema();
+        let r = row();
+        // The unknown column sits behind a short-circuit: neither path errors.
+        let guarded = col("state").eq(lit("NY")).and(col("nope").gt(lit(1)));
+        let compiled = CompiledExpr::compile(&guarded, &s);
+        assert_eq!(compiled.eval(&r), eval_expr(&guarded, &s, &r));
+        assert_eq!(compiled.eval(&r), Ok(Value::Bool(false)));
+        // Reached directly: both error identically.
+        let direct = col("nope").gt(lit(1));
+        let compiled = CompiledExpr::compile(&direct, &s);
+        assert_eq!(compiled.eval(&r), eval_expr(&direct, &s, &r));
+        assert!(compiled.eval(&r).is_err());
+    }
+
+    #[test]
+    fn unbound_param_parity() {
+        let s = schema();
+        let r = row();
+        let e = col("popden").gt(param(0));
+        let compiled = CompiledExpr::compile(&e, &s);
+        assert_eq!(compiled.eval(&r), eval_expr(&e, &s, &r));
+        assert_eq!(compiled.eval(&r), Err(ExecError::UnboundParameter(0)));
+    }
+
+    #[test]
+    fn matches_collapses_null_like_eval_predicate() {
+        let s = Schema::from_pairs(&[("a", DataType::Int)]);
+        let r: Row = vec![Value::Null];
+        let e = col("a").gt(lit(1));
+        let compiled = CompiledExpr::compile(&e, &s);
+        assert_eq!(
+            compiled.matches(&r).unwrap(),
+            eval_predicate(&e, &s, &r).unwrap()
+        );
+        assert!(!compiled.matches(&r).unwrap());
+    }
+}

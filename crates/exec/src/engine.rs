@@ -9,8 +9,8 @@
 
 use crate::eval::ExecError;
 use crate::physical::{
-    execute_logical, execute_logical_parallel, execute_physical_parallel, lower, NoTag,
-    PhysicalPlan,
+    execute_logical_parallel_with, execute_logical_with, execute_physical_parallel_with,
+    execute_physical_with, lower, ExecOptions, NoTag, PhysicalPlan,
 };
 use crate::profile::EngineProfile;
 use crate::stats::ExecStats;
@@ -28,20 +28,45 @@ pub struct QueryOutput {
 }
 
 /// The execution engine.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct Engine {
     profile: EngineProfile,
     /// Number of scan workers; `0` and `1` both mean sequential.
     parallelism: usize,
+    /// Execution switches (vectorized scan path on by default).
+    opts: ExecOptions,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineProfile::default())
+    }
 }
 
 impl Engine {
-    /// Create an engine with the given profile (sequential scans).
+    /// Create an engine with the given profile (sequential scans,
+    /// vectorized scan filters).
     pub fn new(profile: EngineProfile) -> Self {
         Engine {
             profile,
             parallelism: 1,
+            opts: ExecOptions::default(),
         }
+    }
+
+    /// Toggle the vectorized columnar scan path. With `false`, pushed-down
+    /// scan filters run through the row-at-a-time expression interpreter —
+    /// the oracle the vectorized path is proven byte-identical against, and
+    /// the baseline of the `fig_scan_micro` benchmark. Results are identical
+    /// either way; only speed changes.
+    pub fn with_vectorization(mut self, on: bool) -> Self {
+        self.opts.vectorized = on;
+        self
+    }
+
+    /// Whether scans take the vectorized columnar path.
+    pub fn vectorized(&self) -> bool {
+        self.opts.vectorized
     }
 
     /// Use morsel-parallel base-table scans with (up to) `workers` threads.
@@ -69,16 +94,17 @@ impl Engine {
         let start = Instant::now();
         let mut stats = ExecStats::default();
         let (relation, _tags) = if self.parallelism() > 1 {
-            execute_logical_parallel(
+            execute_logical_parallel_with(
                 db,
                 plan,
                 self.profile,
                 &NoTag,
                 self.parallelism(),
+                self.opts,
                 &mut stats,
             )?
         } else {
-            execute_logical(db, plan, self.profile, &NoTag, &mut stats)?
+            execute_logical_with(db, plan, self.profile, &NoTag, self.opts, &mut stats)?
         };
         stats.rows_output = relation.len() as u64;
         stats.elapsed = start.elapsed();
@@ -100,9 +126,16 @@ impl Engine {
         let start = Instant::now();
         let mut stats = ExecStats::default();
         let (relation, _tags) = if self.parallelism() > 1 {
-            execute_physical_parallel(db, plan, &NoTag, self.parallelism(), &mut stats)?
+            execute_physical_parallel_with(
+                db,
+                plan,
+                &NoTag,
+                self.parallelism(),
+                self.opts,
+                &mut stats,
+            )?
         } else {
-            crate::physical::execute_physical(db, plan, &NoTag, &mut stats)?
+            execute_physical_with(db, plan, &NoTag, self.opts, &mut stats)?
         };
         stats.rows_output = relation.len() as u64;
         stats.elapsed = start.elapsed();

@@ -138,7 +138,7 @@ pub fn eval_predicate(expr: &Expr, schema: &Schema, row: &Row) -> Result<bool, E
     Ok(eval_expr(expr, schema, row)?.as_bool() == Some(true))
 }
 
-fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Value {
+pub(crate) fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Value {
     use BinOp::*;
     match op {
         Add => l.add(r),

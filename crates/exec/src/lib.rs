@@ -16,19 +16,25 @@
 
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod engine;
 pub mod eval;
 pub mod physical;
 pub mod profile;
 pub mod scan;
 pub mod stats;
+pub mod vector;
 
+pub use compiled::{ColRef, CompiledExpr};
 pub use engine::{Engine, QueryOutput};
 pub use eval::{eval_expr, eval_predicate, ExecError};
 pub use physical::{
-    execute_logical, execute_logical_parallel, execute_physical, execute_physical_parallel, lower,
-    lower_scan, Batch, NoTag, PhysOp, PhysicalPlan, TagPolicy, BATCH_SIZE, PARALLEL_SCAN_THRESHOLD,
+    execute_logical, execute_logical_parallel, execute_logical_parallel_with, execute_logical_with,
+    execute_physical, execute_physical_parallel, execute_physical_parallel_with,
+    execute_physical_with, lower, lower_scan, Batch, ExecOptions, NoTag, PhysOp, PhysicalPlan,
+    TagPolicy, BATCH_SIZE, PARALLEL_SCAN_THRESHOLD,
 };
 pub use profile::EngineProfile;
 pub use scan::{extract_skip_ranges, scan_table, ColumnRanges};
 pub use stats::ExecStats;
+pub use vector::{eval_filter_block, SelBitmap};

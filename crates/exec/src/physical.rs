@@ -26,13 +26,35 @@
 //! both sides (r4), union keeps (r6). The final fold over the result tags
 //! (r7) is done by the caller.
 
-use crate::eval::{eval_expr, eval_predicate, ExecError};
+use crate::compiled::CompiledExpr;
+use crate::eval::{eval_predicate, ExecError};
 use crate::profile::EngineProfile;
 use crate::scan::{extract_skip_ranges, InclusiveRange};
 use crate::stats::ExecStats;
+use crate::vector::{eval_filter_block, SelBitmap};
 use pbds_algebra::{infer_type, AggExpr, AggFunc, Expr, LogicalPlan, SortKey};
 use pbds_storage::{Column, DataType, Database, Relation, Row, Schema, Table, Value};
+use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, Hasher};
+
+/// Execution-time switches for the physical pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Evaluate pushed-down scan filters over the table's columnar chunk
+    /// projection with vectorized kernels (the fast path). When `false`,
+    /// scans use the row-at-a-time expression interpreter — the oracle the
+    /// vectorized path is proven byte-identical against
+    /// (`tests/physical_equivalence.rs`) and the baseline of the
+    /// `fig_scan_micro` benchmark.
+    pub vectorized: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { vectorized: true }
+    }
+}
 
 /// Number of rows per pipeline batch.
 pub const BATCH_SIZE: usize = 1024;
@@ -572,7 +594,19 @@ pub fn execute_physical<P: TagPolicy>(
     policy: &P,
     stats: &mut ExecStats,
 ) -> Result<(Relation, Vec<P::Tag>), ExecError> {
-    let op = build_op(db, plan, policy, stats, None)?;
+    execute_physical_with(db, plan, policy, ExecOptions::default(), stats)
+}
+
+/// [`execute_physical`] with explicit [`ExecOptions`] (e.g. to force the
+/// row-at-a-time scan interpreter for an A/B comparison).
+pub fn execute_physical_with<P: TagPolicy>(
+    db: &Database,
+    plan: &PhysicalPlan,
+    policy: &P,
+    opts: ExecOptions,
+    stats: &mut ExecStats,
+) -> Result<(Relation, Vec<P::Tag>), ExecError> {
+    let op = build_op(db, plan, policy, stats, opts, None)?;
     drain_root(op, plan, stats)
 }
 
@@ -598,13 +632,29 @@ where
     P: TagPolicy + Sync,
     P::Tag: Send,
 {
+    execute_physical_parallel_with(db, plan, policy, workers, ExecOptions::default(), stats)
+}
+
+/// [`execute_physical_parallel`] with explicit [`ExecOptions`].
+pub fn execute_physical_parallel_with<P>(
+    db: &Database,
+    plan: &PhysicalPlan,
+    policy: &P,
+    workers: usize,
+    opts: ExecOptions,
+    stats: &mut ExecStats,
+) -> Result<(Relation, Vec<P::Tag>), ExecError>
+where
+    P: TagPolicy + Sync,
+    P::Tag: Send,
+{
     if workers <= 1 {
-        return execute_physical(db, plan, policy, stats);
+        return execute_physical_with(db, plan, policy, opts, stats);
     }
     let hook = move |table: &Table, op: &PhysOp, stats: &mut ExecStats| {
-        parallel_scan(table, op, policy, workers, stats)
+        parallel_scan(table, op, policy, workers, opts, stats)
     };
-    let op = build_op(db, plan, policy, stats, Some(&hook))?;
+    let op = build_op(db, plan, policy, stats, opts, Some(&hook))?;
     drain_root(op, plan, stats)
 }
 
@@ -634,8 +684,20 @@ pub fn execute_logical<P: TagPolicy>(
     policy: &P,
     stats: &mut ExecStats,
 ) -> Result<(Relation, Vec<P::Tag>), ExecError> {
+    execute_logical_with(db, plan, profile, policy, ExecOptions::default(), stats)
+}
+
+/// [`execute_logical`] with explicit [`ExecOptions`].
+pub fn execute_logical_with<P: TagPolicy>(
+    db: &Database,
+    plan: &LogicalPlan,
+    profile: EngineProfile,
+    policy: &P,
+    opts: ExecOptions,
+    stats: &mut ExecStats,
+) -> Result<(Relation, Vec<P::Tag>), ExecError> {
     let physical = lower(db, plan, profile)?;
-    execute_physical(db, &physical, policy, stats)
+    execute_physical_with(db, &physical, policy, opts, stats)
 }
 
 /// Lower a logical plan and execute it with morsel-parallel scans.
@@ -651,8 +713,33 @@ where
     P: TagPolicy + Sync,
     P::Tag: Send,
 {
+    execute_logical_parallel_with(
+        db,
+        plan,
+        profile,
+        policy,
+        workers,
+        ExecOptions::default(),
+        stats,
+    )
+}
+
+/// [`execute_logical_parallel`] with explicit [`ExecOptions`].
+pub fn execute_logical_parallel_with<P>(
+    db: &Database,
+    plan: &LogicalPlan,
+    profile: EngineProfile,
+    policy: &P,
+    workers: usize,
+    opts: ExecOptions,
+    stats: &mut ExecStats,
+) -> Result<(Relation, Vec<P::Tag>), ExecError>
+where
+    P: TagPolicy + Sync,
+    P::Tag: Send,
+{
     let physical = lower(db, plan, profile)?;
-    execute_physical_parallel(db, &physical, policy, workers, stats)
+    execute_physical_parallel_with(db, &physical, policy, workers, opts, stats)
 }
 
 pub(crate) trait BatchOp<P: TagPolicy> {
@@ -677,6 +764,7 @@ fn build_op<'a, P: TagPolicy>(
     plan: &'a PhysicalPlan,
     policy: &'a P,
     stats: &mut ExecStats,
+    opts: ExecOptions,
     parallel: Option<&ParallelScanHook<'_, P>>,
 ) -> Result<BoxOp<'a, P>, ExecError> {
     match &plan.op {
@@ -691,17 +779,18 @@ fn build_op<'a, P: TagPolicy>(
                     return Ok(Box::new(PrefetchedOp::<P> { out }));
                 }
             }
-            Ok(Box::new(make_scan_op(t, &plan.op, policy, stats)?))
+            make_scan_op(t, &plan.op, policy, opts, stats)
         }
         PhysOp::Filter { predicate, input } => Ok(Box::new(FilterOp {
-            schema: &input.schema,
-            predicate,
-            input: build_op(db, input, policy, stats, parallel)?,
+            predicate: CompiledExpr::compile(predicate, &input.schema),
+            input: build_op(db, input, policy, stats, opts, parallel)?,
         })),
         PhysOp::Project { exprs, input } => Ok(Box::new(ProjectOp {
-            in_schema: &input.schema,
-            exprs,
-            input: build_op(db, input, policy, stats, parallel)?,
+            exprs: exprs
+                .iter()
+                .map(|(e, _)| CompiledExpr::compile(e, &input.schema))
+                .collect(),
+            input: build_op(db, input, policy, stats, opts, parallel)?,
         })),
         PhysOp::HashAggregate {
             group_by,
@@ -718,12 +807,15 @@ fn build_op<'a, P: TagPolicy>(
                 })
                 .collect::<Result<_, _>>()?;
             Ok(Box::new(HashAggregateOp {
-                in_schema: &input.schema,
                 group_idx,
                 group_by_empty: group_by.is_empty(),
                 aggregates,
+                agg_inputs: aggregates
+                    .iter()
+                    .map(|a| CompiledExpr::compile(&a.input, &input.schema))
+                    .collect(),
                 policy,
-                input: Some(build_op(db, input, policy, stats, parallel)?),
+                input: Some(build_op(db, input, policy, stats, opts, parallel)?),
                 out: Emitter::new(),
             }))
         }
@@ -742,18 +834,19 @@ fn build_op<'a, P: TagPolicy>(
                 .index_of(right_col)
                 .ok_or_else(|| ExecError::UnknownColumn(right_col.clone()))?;
             Ok(Box::new(HashJoinOp {
-                left: build_op(db, left, policy, stats, parallel)?,
-                right: Some(build_op(db, right, policy, stats, parallel)?),
+                left: build_op(db, left, policy, stats, opts, parallel)?,
+                right: Some(build_op(db, right, policy, stats, opts, parallel)?),
                 li,
                 ri,
                 policy,
+                hasher: RandomState::new(),
                 build: HashMap::new(),
                 build_rows: Vec::new(),
             }))
         }
         PhysOp::NestedLoopCross { left, right } => Ok(Box::new(NestedLoopCrossOp {
-            left: build_op(db, left, policy, stats, parallel)?,
-            right: Some(build_op(db, right, policy, stats, parallel)?),
+            left: build_op(db, left, policy, stats, opts, parallel)?,
+            right: Some(build_op(db, right, policy, stats, opts, parallel)?),
             policy,
             right_rows: Vec::new(),
             pending: std::collections::VecDeque::new(),
@@ -780,22 +873,22 @@ fn build_op<'a, P: TagPolicy>(
             Ok(Box::new(SortOp {
                 key_idx,
                 topk_limit: *topk_limit,
-                input: Some(build_op(db, input, policy, stats, parallel)?),
+                input: Some(build_op(db, input, policy, stats, opts, parallel)?),
                 out: Emitter::new(),
             }))
         }
         PhysOp::Limit { limit, input } => Ok(Box::new(LimitOp {
             remaining: *limit,
-            input: build_op(db, input, policy, stats, parallel)?,
+            input: build_op(db, input, policy, stats, opts, parallel)?,
         })),
         PhysOp::Distinct { input } => Ok(Box::new(DistinctOp {
             policy,
-            input: Some(build_op(db, input, policy, stats, parallel)?),
+            input: Some(build_op(db, input, policy, stats, opts, parallel)?),
             out: Emitter::new(),
         })),
         PhysOp::Append { left, right } => Ok(Box::new(AppendOp {
-            left: Some(build_op(db, left, policy, stats, parallel)?),
-            right: Some(build_op(db, right, policy, stats, parallel)?),
+            left: Some(build_op(db, left, policy, stats, opts, parallel)?),
+            right: Some(build_op(db, right, policy, stats, opts, parallel)?),
         })),
     }
 }
@@ -967,25 +1060,61 @@ pub(crate) struct ScanOp<'a, P: TagPolicy> {
     table: &'a Table,
     policy: &'a P,
     filter: Option<&'a Expr>,
+    /// Pre-bound filter; used instead of the interpreter when present
+    /// (rid-list scans under [`ExecOptions::vectorized`]).
+    compiled: Option<CompiledExpr>,
     source: RidSource,
 }
 
 /// Build the executor for a scan operator over an already-resolved table
 /// (`scan.rs`'s `scan_table` shares this path).
+///
+/// Under [`ExecOptions::vectorized`], scans over contiguous row segments
+/// (sequential and zone-map scans) with a pushed-down filter evaluate the
+/// predicate per columnar chunk into a selection bitmap and late-materialize
+/// the surviving rows ([`VectorScanOp`]); rid-list scans (index probes) keep
+/// the row-at-a-time loop but with a pre-bound [`CompiledExpr`]. With
+/// `vectorized` off, everything runs through the row interpreter — the
+/// oracle path.
 pub(crate) fn make_scan_op<'a, P: TagPolicy>(
     table: &'a Table,
     op: &'a PhysOp,
     policy: &'a P,
+    opts: ExecOptions,
     stats: &mut ExecStats,
-) -> Result<ScanOp<'a, P>, ExecError> {
+) -> Result<BoxOp<'a, P>, ExecError> {
     let (filter, source) = resolve_scan(table, op, stats)?;
     stats.rows_scanned += source.row_count() as u64;
-    Ok(ScanOp {
+    if opts.vectorized {
+        if let Some(pred) = filter {
+            let compiled = CompiledExpr::compile(pred, table.schema());
+            if let ScanSource::Segments(segs) = &source {
+                stats.vectorized_scans += 1;
+                return Ok(Box::new(VectorScanOp {
+                    table,
+                    policy,
+                    compiled,
+                    pieces: chunk_aligned_pieces(segs, table.columnar_chunks().block_size())
+                        .into_iter(),
+                    current: None,
+                }));
+            }
+            return Ok(Box::new(ScanOp {
+                table,
+                policy,
+                filter,
+                compiled: Some(compiled),
+                source: source.into_rid_source(),
+            }));
+        }
+    }
+    Ok(Box::new(ScanOp {
         table,
         policy,
         filter,
+        compiled: None,
         source: source.into_rid_source(),
-    })
+    }))
 }
 
 impl<P: TagPolicy> BatchOp<P> for ScanOp<'_, P> {
@@ -998,13 +1127,88 @@ impl<P: TagPolicy> BatchOp<P> for ScanOp<'_, P> {
                 break;
             };
             let row = &self.table.rows()[rid as usize];
-            if let Some(pred) = self.filter {
+            if let Some(compiled) = &self.compiled {
+                if !compiled.matches(row)? {
+                    continue;
+                }
+            } else if let Some(pred) = self.filter {
                 if !eval_predicate(pred, schema, row)? {
                     continue;
                 }
             }
             let tag = self.policy.seed_tag(name, schema, row, rid);
             batch.push(row.clone(), tag);
+        }
+        Ok((!batch.is_empty()).then_some(batch))
+    }
+}
+
+// -- vectorized scans -------------------------------------------------------
+
+/// Cut contiguous row-id segments at columnar-chunk boundaries, yielding
+/// `[lo, hi)` pieces that each lie within a single chunk (in table order).
+fn chunk_aligned_pieces(segments: &[(usize, usize)], block_size: usize) -> Vec<(usize, usize)> {
+    let mut pieces = Vec::new();
+    for &(start, end) in segments {
+        let mut lo = start;
+        while lo < end {
+            let hi = ((lo / block_size) + 1) * block_size;
+            let hi = hi.min(end);
+            pieces.push((lo, hi));
+            lo = hi;
+        }
+    }
+    pieces
+}
+
+/// Leaf scan that filters chunk-at-a-time: each piece's predicate evaluation
+/// produces a selection bitmap ([`eval_filter_block`]), and only the
+/// surviving rows are materialized from the row store into batches — every
+/// operator above the scan sees byte-identical input to the row-interpreter
+/// path.
+struct VectorScanOp<'a, P: TagPolicy> {
+    table: &'a Table,
+    policy: &'a P,
+    compiled: CompiledExpr,
+    pieces: std::vec::IntoIter<(usize, usize)>,
+    /// Currently drained piece: `(piece_lo, selection, next bit index)`.
+    current: Option<(usize, SelBitmap, usize)>,
+}
+
+impl<P: TagPolicy> BatchOp<P> for VectorScanOp<'_, P> {
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Result<Option<Batch<P::Tag>>, ExecError> {
+        let schema = self.table.schema();
+        let name = self.table.name();
+        let rows = self.table.rows();
+        let mut batch = Batch::with_capacity(BATCH_SIZE);
+        while batch.len() < BATCH_SIZE {
+            let Some((lo, sel, pos)) = &mut self.current else {
+                let Some((lo, hi)) = self.pieces.next() else {
+                    break;
+                };
+                let chunk = self
+                    .table
+                    .columnar_chunks()
+                    .chunk_for(lo)
+                    .ok_or_else(|| ExecError::Plan("row id beyond chunk range".into()))?;
+                let sel = eval_filter_block(&self.compiled, chunk, rows, lo, hi)?;
+                stats.vectorized_blocks += 1;
+                self.current = Some((lo, sel, 0));
+                continue;
+            };
+            while *pos < sel.len() && batch.len() < BATCH_SIZE {
+                let j = *pos;
+                *pos += 1;
+                if sel.get(j) {
+                    let rid = *lo + j;
+                    let row = &rows[rid];
+                    let tag = self.policy.seed_tag(name, schema, row, rid as u32);
+                    batch.push(row.clone(), tag);
+                }
+            }
+            if *pos >= sel.len() {
+                self.current = None;
+            }
         }
         Ok((!batch.is_empty()).then_some(batch))
     }
@@ -1037,9 +1241,16 @@ impl<P: TagPolicy> BatchOp<P> for PrefetchedOp<P> {
 /// Scan one morsel on a worker thread: visit the morsel's row ids in order,
 /// apply the pushed-down filter, seed tags, and count the visited rows in a
 /// worker-local [`ExecStats`].
+///
+/// Mirrors the sequential scan's path choice: when the coordinator compiled
+/// the filter (`compiled` is `Some`, i.e. [`ExecOptions::vectorized`]),
+/// contiguous segments take the vectorized chunk path (morsel cuts that fall
+/// inside a chunk evaluate a partial block) and rid lists use the compiled
+/// row filter; otherwise everything runs through the row interpreter.
 fn scan_morsel<P: TagPolicy>(
     table: &Table,
     filter: Option<&Expr>,
+    compiled: Option<&CompiledExpr>,
     source: ScanSource,
     policy: &P,
 ) -> MorselResult<P::Tag> {
@@ -1047,6 +1258,38 @@ fn scan_morsel<P: TagPolicy>(
     let name = table.name();
     let mut local = ExecStats::default();
     let mut out = Vec::new();
+    if let Some(compiled) = compiled {
+        if let ScanSource::Segments(segs) = &source {
+            let chunks = table.columnar_chunks();
+            let rows = table.rows();
+            for (lo, hi) in chunk_aligned_pieces(segs, chunks.block_size()) {
+                let chunk = chunks
+                    .chunk_for(lo)
+                    .ok_or_else(|| ExecError::Plan("row id beyond chunk range".into()))?;
+                let sel = eval_filter_block(compiled, chunk, rows, lo, hi)?;
+                local.rows_scanned += (hi - lo) as u64;
+                local.vectorized_blocks += 1;
+                for j in sel.iter_ones() {
+                    let rid = lo + j;
+                    let row = &rows[rid];
+                    let tag = policy.seed_tag(name, schema, row, rid as u32);
+                    out.push((row.clone(), tag));
+                }
+            }
+            return Ok((out, local));
+        }
+        let mut rids = source.into_rid_source();
+        while let Some(rid) = rids.next_rid() {
+            local.rows_scanned += 1;
+            let row = &table.rows()[rid as usize];
+            if !compiled.matches(row)? {
+                continue;
+            }
+            let tag = policy.seed_tag(name, schema, row, rid);
+            out.push((row.clone(), tag));
+        }
+        return Ok((out, local));
+    }
     let mut rids = source.into_rid_source();
     while let Some(rid) = rids.next_rid() {
         local.rows_scanned += 1;
@@ -1075,6 +1318,7 @@ fn parallel_scan<P>(
     op: &PhysOp,
     policy: &P,
     workers: usize,
+    opts: ExecOptions,
     stats: &mut ExecStats,
 ) -> Result<Option<TaggedRows<P::Tag>>, ExecError>
 where
@@ -1085,10 +1329,26 @@ where
         return Ok(None);
     }
     let (filter, source) = resolve_scan(table, op, stats)?;
+    if opts.vectorized && filter.is_some() && matches!(source, ScanSource::Segments(_)) {
+        stats.vectorized_scans += 1;
+    }
+    // Compile the filter once on the coordinating thread (it can hold large
+    // sketch range/key sets) and share it with every morsel worker; also
+    // pre-build the chunk projection so workers share the cached build
+    // instead of racing to construct it.
+    let compiled = if opts.vectorized {
+        filter.map(|pred| {
+            let _ = table.columnar_chunks();
+            CompiledExpr::compile(pred, table.schema())
+        })
+    } else {
+        None
+    };
+    let compiled = compiled.as_ref();
     if source.row_count() < PARALLEL_SCAN_THRESHOLD {
         // The access path already narrowed the scan (index probe / zone-map
         // skipping); scan the survivors sequentially as a single morsel.
-        let (rows, local) = scan_morsel(table, filter, source, policy)?;
+        let (rows, local) = scan_morsel(table, filter, compiled, source, policy)?;
         stats.merge_parallel(&local);
         return Ok(Some(rows));
     }
@@ -1096,7 +1356,7 @@ where
     let results: Vec<MorselResult<P::Tag>> = std::thread::scope(|s| {
         let handles: Vec<_> = morsels
             .into_iter()
-            .map(|m| s.spawn(move || scan_morsel(table, filter, m, policy)))
+            .map(|m| s.spawn(move || scan_morsel(table, filter, compiled, m, policy)))
             .collect();
         handles
             .into_iter()
@@ -1115,8 +1375,8 @@ where
 // -- streaming operators ----------------------------------------------------
 
 struct FilterOp<'a, P: TagPolicy> {
-    schema: &'a Schema,
-    predicate: &'a Expr,
+    /// Predicate with column names bound once against the input schema.
+    predicate: CompiledExpr,
     input: BoxOp<'a, P>,
 }
 
@@ -1125,7 +1385,7 @@ impl<P: TagPolicy> BatchOp<P> for FilterOp<'_, P> {
         while let Some(batch) = self.input.next_batch(stats)? {
             let mut out = Batch::with_capacity(batch.len());
             for (row, tag) in batch.rows.into_iter().zip(batch.tags) {
-                if eval_predicate(self.predicate, self.schema, &row)? {
+                if self.predicate.matches(&row)? {
                     out.push(row, tag);
                 }
             }
@@ -1138,8 +1398,8 @@ impl<P: TagPolicy> BatchOp<P> for FilterOp<'_, P> {
 }
 
 struct ProjectOp<'a, P: TagPolicy> {
-    in_schema: &'a Schema,
-    exprs: &'a [(Expr, String)],
+    /// Output expressions with column names bound once.
+    exprs: Vec<CompiledExpr>,
     input: BoxOp<'a, P>,
 }
 
@@ -1151,8 +1411,8 @@ impl<P: TagPolicy> BatchOp<P> for ProjectOp<'_, P> {
         let mut out = Batch::with_capacity(batch.len());
         for (row, tag) in batch.rows.into_iter().zip(batch.tags) {
             let mut new_row = Vec::with_capacity(self.exprs.len());
-            for (e, _) in self.exprs {
-                new_row.push(eval_expr(e, self.in_schema, &row)?);
+            for e in &self.exprs {
+                new_row.push(e.eval(&row)?);
             }
             out.push(new_row, tag);
         }
@@ -1250,13 +1510,23 @@ struct GroupAcc<T> {
 }
 
 struct HashAggregateOp<'a, P: TagPolicy> {
-    in_schema: &'a Schema,
     group_idx: Vec<usize>,
     group_by_empty: bool,
     aggregates: &'a [AggExpr],
+    /// Aggregate input expressions, bound once against the input schema.
+    agg_inputs: Vec<CompiledExpr>,
     policy: &'a P,
     input: Option<BoxOp<'a, P>>,
     out: Emitter<P::Tag>,
+}
+
+/// Hash a borrowed sequence of key values with a shared [`RandomState`].
+fn hash_borrowed_key<'v>(state: &RandomState, values: impl Iterator<Item = &'v Value>) -> u64 {
+    let mut h = state.build_hasher();
+    for v in values {
+        v.hash(&mut h);
+    }
+    h.finish()
 }
 
 impl<P: TagPolicy> HashAggregateOp<'_, P> {
@@ -1270,24 +1540,35 @@ impl<P: TagPolicy> HashAggregateOp<'_, P> {
             && matches!(self.aggregates[0].func, AggFunc::Min | AggFunc::Max);
         let want_max = matches!(self.aggregates.first().map(|a| a.func), Some(AggFunc::Max));
 
-        // Keys are hashed as `Value` rows directly: `Value`'s `Hash` is
-        // consistent with its exact, transitive `Eq` (Int/Float compare at
-        // full precision), so distinct 64-bit integers never conflate even
-        // where their `f64` images collide.
-        let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+        // Keys hash as borrowed `Value`s (`Hash` is consistent with the
+        // exact, transitive `Eq`: Int/Float compare at full precision, so
+        // distinct 64-bit integers never conflate even where their `f64`
+        // images collide). The map is keyed by the 64-bit hash with explicit
+        // candidate comparison, so the per-row path neither clones the group
+        // key nor allocates a probe `Vec<Value>` — the key is materialized
+        // once per *group*, on the miss path only.
+        let hasher = RandomState::new();
+        let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
         let mut groups: Vec<(Vec<Value>, GroupAcc<P::Tag>)> = Vec::new();
 
         while let Some(batch) = input.next_batch(stats)? {
             stats.intermediate_rows += batch.len() as u64;
             for (row, tag) in batch.rows.iter().zip(&batch.tags) {
-                let key: Vec<Value> = self.group_idx.iter().map(|&i| row[i].clone()).collect();
-                // get-then-insert rather than the entry API: the key is only
-                // cloned on the once-per-group miss path, not per input row.
-                let slot = match index.get(&key) {
-                    Some(&slot) => slot,
+                let h = hash_borrowed_key(&hasher, self.group_idx.iter().map(|&i| &row[i]));
+                let candidates = index.entry(h).or_default();
+                let found = candidates.iter().copied().find(|&slot| {
+                    self.group_idx
+                        .iter()
+                        .zip(&groups[slot].0)
+                        .all(|(&i, k)| row[i] == *k)
+                });
+                let slot = match found {
+                    Some(slot) => slot,
                     None => {
+                        let key: Vec<Value> =
+                            self.group_idx.iter().map(|&i| row[i].clone()).collect();
                         let slot = groups.len();
-                        index.insert(key.clone(), slot);
+                        candidates.push(slot);
                         groups.push((
                             key,
                             GroupAcc {
@@ -1314,8 +1595,8 @@ impl<P: TagPolicy> HashAggregateOp<'_, P> {
                 };
                 let acc = &mut groups[slot].1;
                 acc.count += 1;
-                for (ai, agg) in self.aggregates.iter().enumerate() {
-                    let v = eval_expr(&agg.input, self.in_schema, row)?;
+                for (ai, _agg) in self.aggregates.iter().enumerate() {
+                    let v = self.agg_inputs[ai].eval(row)?;
                     if v.is_null() {
                         continue;
                     }
@@ -1429,7 +1710,11 @@ struct HashJoinOp<'a, P: TagPolicy> {
     li: usize,
     ri: usize,
     policy: &'a P,
-    build: HashMap<Value, Vec<usize>>,
+    hasher: RandomState,
+    /// Build-side index keyed by the 64-bit key hash; the key itself lives
+    /// only inside `build_rows` (no per-row key clone), so both build and
+    /// probe compare candidates against the stored row's key column.
+    build: HashMap<u64, Vec<usize>>,
     build_rows: Vec<(Row, P::Tag)>,
 }
 
@@ -1443,10 +1728,8 @@ impl<P: TagPolicy> BatchOp<P> for HashJoinOp<'_, P> {
                     if k.is_null() {
                         continue;
                     }
-                    self.build
-                        .entry(k.clone())
-                        .or_default()
-                        .push(self.build_rows.len());
+                    let h = hash_borrowed_key(&self.hasher, std::iter::once(k));
+                    self.build.entry(h).or_default().push(self.build_rows.len());
                     self.build_rows.push((row, tag));
                 }
             }
@@ -1459,9 +1742,13 @@ impl<P: TagPolicy> BatchOp<P> for HashJoinOp<'_, P> {
                 if k.is_null() {
                     continue;
                 }
-                if let Some(matches) = self.build.get(k) {
-                    for &bi in matches {
+                let h = hash_borrowed_key(&self.hasher, std::iter::once(k));
+                if let Some(candidates) = self.build.get(&h) {
+                    for &bi in candidates {
                         let (rrow, rtag) = &self.build_rows[bi];
+                        if rrow[self.ri] != *k {
+                            continue; // hash collision between distinct keys
+                        }
                         let mut row = lrow.clone();
                         row.extend(rrow.iter().cloned());
                         let mut tag = ltag.clone();

@@ -194,11 +194,11 @@ pub fn scan_table(
     profile: EngineProfile,
     stats: &mut ExecStats,
 ) -> Result<Vec<Row>, ExecError> {
-    use crate::physical::{lower_scan, make_scan_op, BatchOp, NoTag};
+    use crate::physical::{lower_scan, make_scan_op, ExecOptions, NoTag};
     let plan = lower_scan(table, predicate.cloned(), profile);
-    let mut op = make_scan_op(table, &plan.op, &NoTag, stats)?;
+    let mut op = make_scan_op(table, &plan.op, &NoTag, ExecOptions::default(), stats)?;
     let mut rows = Vec::new();
-    while let Some(batch) = BatchOp::<NoTag>::next_batch(&mut op, stats)? {
+    while let Some(batch) = op.next_batch(stats)? {
         rows.extend(batch.rows);
     }
     Ok(rows)

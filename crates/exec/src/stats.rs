@@ -26,6 +26,10 @@ pub struct ExecStats {
     pub intermediate_rows: u64,
     /// Batches emitted by the root of the physical operator pipeline.
     pub batches: u64,
+    /// Scans whose pushed-down filter ran on the vectorized columnar path.
+    pub vectorized_scans: u64,
+    /// Columnar blocks evaluated into selection bitmaps by vectorized scans.
+    pub vectorized_blocks: u64,
     /// `(limit, input_rows)` per top-k operator, used to re-validate sketch
     /// safety at runtime (footnote 1, Sec. 5 of the paper).
     pub topk_inputs: Vec<(usize, u64)>,
@@ -88,6 +92,8 @@ impl ExecStats {
             .intermediate_rows
             .saturating_add(other.intermediate_rows);
         self.batches += other.batches;
+        self.vectorized_scans += other.vectorized_scans;
+        self.vectorized_blocks += other.vectorized_blocks;
     }
 
     /// True if every top-k operator saw at least as many input rows as its

@@ -1,0 +1,553 @@
+//! Vectorized predicate evaluation over columnar chunks.
+//!
+//! [`eval_filter_block`] evaluates a compiled predicate column-at-a-time over
+//! one [`ColumnarChunk`] and returns a `u64`-word selection bitmap of the
+//! qualifying rows. Sub-expressions with a typed kernel (comparisons against
+//! literals, `AND`/`OR`/`NOT`, `IS NULL`, sketch range predicates) run as
+//! tight loops over the typed column vectors; anything else (arithmetic,
+//! `CASE`, `IN`-lists, unbound parameters, unknown columns) falls back to
+//! row-at-a-time [`CompiledExpr::eval`] — applied only to rows that survived
+//! the earlier conjuncts, which reproduces the interpreter's short-circuit
+//! `AND` exactly (including *which* rows can raise errors).
+//!
+//! Truth is tracked as **two** bitmaps, `known-true` and `known-false`, with
+//! NULL/unknown being neither — this is what lets `NOT` distinguish a
+//! comparison that evaluated to `false` (negates to `true`) from one that
+//! evaluated to `NULL` (negates to `false`), exactly like the interpreter.
+
+use crate::compiled::{ColRef, CompiledExpr};
+use crate::eval::ExecError;
+use pbds_algebra::{BinOp, RangeLookup};
+use pbds_storage::{ColumnData, ColumnVector, ColumnarChunk, Row, Value, ValueRange};
+use std::cmp::Ordering;
+
+/// A fixed-length selection bitmap over `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelBitmap {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl SelBitmap {
+    /// All-zero bitmap of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        SelBitmap {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// All-one bitmap of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut b = SelBitmap {
+            len,
+            words: vec![!0u64; len.div_ceil(64)],
+        };
+        b.mask_tail();
+        b
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bit can be set (`len == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Test bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Word-wise intersection.
+    pub fn and_assign(&mut self, other: &SelBitmap) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// Word-wise union.
+    pub fn or_assign(&mut self, other: &SelBitmap) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// Word-wise complement (tail bits beyond `len` stay zero).
+    pub fn negated(&self) -> SelBitmap {
+        let mut out = SelBitmap {
+            len: self.len,
+            words: self.words.iter().map(|w| !w).collect(),
+        };
+        out.mask_tail();
+        out
+    }
+
+    /// Number of set bits (popcount).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate the set bit positions in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut word = *w;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let bit = word.trailing_zeros() as usize;
+                word &= word - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        if self.len == 0 {
+            self.words.clear();
+        }
+    }
+}
+
+/// Evaluate `pred` over the rows `[lo, hi)` of the table (which must lie
+/// inside `chunk`), returning the selection bitmap of qualifying rows (bit
+/// `j` ↔ table row `lo + j`). `rows` is the table's row store, used by the
+/// row-at-a-time fallback for non-vectorizable conjuncts.
+pub fn eval_filter_block(
+    pred: &CompiledExpr,
+    chunk: &ColumnarChunk,
+    rows: &[Row],
+    lo: usize,
+    hi: usize,
+) -> Result<SelBitmap, ExecError> {
+    debug_assert!(chunk.start <= lo && hi <= chunk.end);
+    let n = hi - lo;
+    let mut sel = SelBitmap::ones(n);
+    let conjuncts: &[CompiledExpr] = match pred {
+        CompiledExpr::And(es) => es,
+        other => std::slice::from_ref(other),
+    };
+    for conjunct in conjuncts {
+        match vec_truth(conjunct, chunk, lo, hi) {
+            Some((truth, _)) => sel.and_assign(&truth),
+            None => {
+                // Fallback: evaluate row-at-a-time, but only on rows that
+                // passed the previous conjuncts — the same (row, conjunct)
+                // pairs the interpreter's short-circuit AND evaluates.
+                let mut keep = SelBitmap::zeros(n);
+                for j in sel.iter_ones() {
+                    if conjunct.matches(&rows[lo + j])? {
+                        keep.set(j);
+                    }
+                }
+                sel = keep;
+            }
+        }
+    }
+    Ok(sel)
+}
+
+/// Try to evaluate `expr` with typed kernels over `[lo, hi)`; returns the
+/// `(known-true, known-false)` bitmap pair, or `None` when the node has no
+/// kernel (caller falls back to row-at-a-time evaluation).
+fn vec_truth(
+    expr: &CompiledExpr,
+    chunk: &ColumnarChunk,
+    lo: usize,
+    hi: usize,
+) -> Option<(SelBitmap, SelBitmap)> {
+    let n = hi - lo;
+    match expr {
+        CompiledExpr::Literal(v) => Some(match v.as_bool() {
+            Some(true) => (SelBitmap::ones(n), SelBitmap::zeros(n)),
+            Some(false) => (SelBitmap::zeros(n), SelBitmap::ones(n)),
+            None => (SelBitmap::zeros(n), SelBitmap::zeros(n)),
+        }),
+        CompiledExpr::Binary { op, left, right } if op.is_comparison() => {
+            match (&**left, &**right) {
+                (CompiledExpr::Column(ColRef::Idx(c)), CompiledExpr::Literal(v)) => {
+                    Some(cmp_kernel(chunk, *c, lo, hi, *op, v))
+                }
+                (CompiledExpr::Literal(v), CompiledExpr::Column(ColRef::Idx(c))) => {
+                    Some(cmp_kernel(chunk, *c, lo, hi, flip_cmp(*op), v))
+                }
+                _ => None,
+            }
+        }
+        CompiledExpr::And(es) => {
+            let mut truth = SelBitmap::ones(n);
+            for e in es {
+                let (t, _) = vec_truth(e, chunk, lo, hi)?;
+                truth.and_assign(&t);
+            }
+            // AND always yields a definite boolean (NULL collapses to false).
+            let falsity = truth.negated();
+            Some((truth, falsity))
+        }
+        CompiledExpr::Or(es) => {
+            let mut truth = SelBitmap::zeros(n);
+            for e in es {
+                let (t, _) = vec_truth(e, chunk, lo, hi)?;
+                truth.or_assign(&t);
+            }
+            let falsity = truth.negated();
+            Some((truth, falsity))
+        }
+        CompiledExpr::Not(e) => {
+            // NOT x is true exactly when x is known-false; NULL/unknown
+            // negates to false (the interpreter's `as_bool` collapse).
+            let (_, f) = vec_truth(e, chunk, lo, hi)?;
+            let falsity = f.negated();
+            Some((f, falsity))
+        }
+        CompiledExpr::IsNull(e) => match &**e {
+            CompiledExpr::Column(ColRef::Idx(c)) => {
+                let col = chunk.column(*c);
+                let mut truth = SelBitmap::zeros(n);
+                if col.has_nulls() {
+                    for j in 0..n {
+                        if col.is_null(lo - chunk.start + j) {
+                            truth.set(j);
+                        }
+                    }
+                }
+                let falsity = truth.negated();
+                Some((truth, falsity))
+            }
+            _ => None,
+        },
+        CompiledExpr::InRanges {
+            column: ColRef::Idx(c),
+            ranges,
+            lookup,
+        } => Some(ranges_kernel(chunk, *c, lo, hi, ranges, *lookup)),
+        _ => None,
+    }
+}
+
+fn flip_cmp(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+#[inline]
+fn cmp_holds(op: BinOp, ord: Ordering) -> bool {
+    match op {
+        BinOp::Eq => ord.is_eq(),
+        BinOp::Ne => !ord.is_eq(),
+        BinOp::Lt => ord.is_lt(),
+        BinOp::Le => ord.is_le(),
+        BinOp::Gt => ord.is_gt(),
+        BinOp::Ge => ord.is_ge(),
+        _ => unreachable!("comparison operator"),
+    }
+}
+
+/// `Value::cmp` semantics for a string cell against any literal without
+/// materializing a `Value::Str`: same-type is lexicographic, cross-type
+/// follows the fixed type ranks (strings rank above every other type).
+#[inline]
+fn cmp_str_value(s: &str, v: &Value) -> Ordering {
+    match v {
+        Value::Str(t) => s.cmp(t.as_str()),
+        _ => Ordering::Greater,
+    }
+}
+
+/// Compare the non-null cell at chunk-relative index `i` against `v`, with
+/// exactly [`Value::cmp`]'s total-order semantics.
+#[inline]
+fn cmp_cell(col: &ColumnVector, i: usize, v: &Value) -> Ordering {
+    match col.data() {
+        ColumnData::Int(xs) => Value::Int(xs[i]).cmp(v),
+        ColumnData::Float(xs) => Value::Float(xs[i]).cmp(v),
+        ColumnData::Bool(xs) => Value::Bool(xs[i]).cmp(v),
+        ColumnData::Dict { dict, codes } => cmp_str_value(&dict[codes[i] as usize], v),
+        ColumnData::Mixed(xs) => xs[i].cmp(v),
+    }
+}
+
+/// `column <op> literal` over `[lo, hi)`. NULL cells (and a NULL literal) are
+/// neither true nor false, matching the interpreter's three-valued compare.
+fn cmp_kernel(
+    chunk: &ColumnarChunk,
+    c: usize,
+    lo: usize,
+    hi: usize,
+    op: BinOp,
+    lit: &Value,
+) -> (SelBitmap, SelBitmap) {
+    let n = hi - lo;
+    let mut truth = SelBitmap::zeros(n);
+    let mut falsity = SelBitmap::zeros(n);
+    if lit.is_null() {
+        return (truth, falsity);
+    }
+    let col = chunk.column(c);
+    let base = lo - chunk.start;
+    let mut record = |j: usize, holds: bool| {
+        if holds {
+            truth.set(j);
+        } else {
+            falsity.set(j);
+        }
+    };
+    match (col.data(), lit) {
+        // Hot path: pure i64 comparison, no `Value` in the loop.
+        (ColumnData::Int(xs), Value::Int(l)) => {
+            for j in 0..n {
+                if !col.is_null(base + j) {
+                    record(j, cmp_holds(op, xs[base + j].cmp(l)));
+                }
+            }
+        }
+        // Dictionary columns against a string literal: one binary search in
+        // the sorted dict, then pure `u32` code comparisons.
+        (ColumnData::Dict { dict, codes }, Value::Str(s)) => {
+            let lb = dict.partition_point(|d| d.as_str() < s.as_str()) as u32;
+            let exact = dict.get(lb as usize).is_some_and(|d| d == s);
+            for j in 0..n {
+                if col.is_null(base + j) {
+                    continue;
+                }
+                let code = codes[base + j];
+                let holds = match op {
+                    BinOp::Eq => exact && code == lb,
+                    BinOp::Ne => !(exact && code == lb),
+                    BinOp::Lt => code < lb,
+                    BinOp::Le => code < lb + exact as u32,
+                    BinOp::Gt => code >= lb + exact as u32,
+                    BinOp::Ge => code >= lb,
+                    _ => unreachable!("comparison operator"),
+                };
+                record(j, holds);
+            }
+        }
+        _ => {
+            for j in 0..n {
+                if !col.is_null(base + j) {
+                    record(j, cmp_holds(op, cmp_cell(col, base + j, lit)));
+                }
+            }
+        }
+    }
+    (truth, falsity)
+}
+
+/// Sketch range membership over `[lo, hi)`; NULL cells are known-false, like
+/// the interpreter's `InRanges`.
+fn ranges_kernel(
+    chunk: &ColumnarChunk,
+    c: usize,
+    lo: usize,
+    hi: usize,
+    ranges: &[ValueRange],
+    lookup: RangeLookup,
+) -> (SelBitmap, SelBitmap) {
+    let n = hi - lo;
+    let mut truth = SelBitmap::zeros(n);
+    let mut falsity = SelBitmap::zeros(n);
+    let col = chunk.column(c);
+    let base = lo - chunk.start;
+    // `contains` with `cmp_cell`: v in (lo, hi] ⇔ !(v <= lo) && !(v > hi).
+    let contains = |i: usize, r: &ValueRange| -> bool {
+        if let Some(rlo) = &r.lo {
+            if cmp_cell(col, i, rlo) != Ordering::Greater {
+                return false;
+            }
+        }
+        if let Some(rhi) = &r.hi {
+            if cmp_cell(col, i, rhi) == Ordering::Greater {
+                return false;
+            }
+        }
+        true
+    };
+    for j in 0..n {
+        let i = base + j;
+        if col.is_null(i) {
+            falsity.set(j);
+            continue;
+        }
+        let found = match lookup {
+            RangeLookup::Linear => ranges.iter().any(|r| contains(i, r)),
+            RangeLookup::BinarySearch => {
+                // Identical to the interpreter: first range whose upper bound
+                // is >= v, then a containment test.
+                let pos = ranges.partition_point(|r| match &r.hi {
+                    Some(rhi) => cmp_cell(col, i, rhi) == Ordering::Greater,
+                    None => false,
+                });
+                ranges.get(pos).map(|r| contains(i, r)).unwrap_or(false)
+            }
+        };
+        if found {
+            truth.set(j);
+        } else {
+            falsity.set(j);
+        }
+    }
+    (truth, falsity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_predicate;
+    use pbds_algebra::{col, lit, Expr};
+    use pbds_storage::{ColumnarChunks, DataType, Schema};
+
+    fn fixture() -> (Schema, Vec<Row>, ColumnarChunks) {
+        let schema = Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("s", DataType::Str),
+            ("f", DataType::Float),
+        ]);
+        let rows: Vec<Row> = (0..200)
+            .map(|i| {
+                vec![
+                    if i % 11 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i)
+                    },
+                    Value::Str(format!("v{:02}", i % 17)),
+                    Value::Float(i as f64 / 3.0),
+                ]
+            })
+            .collect();
+        let chunks = ColumnarChunks::build(&schema, &rows, 64);
+        (schema, rows, chunks)
+    }
+
+    fn assert_block_matches_rows(pred: &Expr) {
+        let (schema, rows, chunks) = fixture();
+        let compiled = CompiledExpr::compile(pred, &schema);
+        for chunk in chunks.chunks() {
+            let sel = eval_filter_block(&compiled, chunk, &rows, chunk.start, chunk.end).unwrap();
+            for (j, rid) in (chunk.start..chunk.end).enumerate() {
+                assert_eq!(
+                    sel.get(j),
+                    eval_predicate(pred, &schema, &rows[rid]).unwrap(),
+                    "row {rid} of {pred}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_kernels_match_interpreter() {
+        for pred in [
+            col("a").lt(lit(50)),
+            col("a").ge(lit(120)),
+            col("a").eq(lit(33)),
+            col("s").eq(lit("v03")),
+            col("s").gt(lit("v10")),
+            col("f").le(lit(20.0)),
+            lit(7).lt(col("a")),
+        ] {
+            assert_block_matches_rows(&pred);
+        }
+    }
+
+    #[test]
+    fn boolean_combinators_match_interpreter() {
+        for pred in [
+            col("a").ge(lit(10)).and(col("a").lt(lit(90))),
+            col("s").eq(lit("v01")).or(col("a").gt(lit(180))),
+            col("a").lt(lit(100)).not(),
+            Expr::IsNull(Box::new(col("a"))),
+            Expr::IsNull(Box::new(col("a"))).not(),
+        ] {
+            assert_block_matches_rows(&pred);
+        }
+    }
+
+    #[test]
+    fn null_cells_are_neither_true_nor_false_under_not() {
+        // NOT (a < 50): NULL a must stay excluded (the interpreter returns
+        // false for NOT NULL-comparison), while a >= 50 rows pass.
+        assert_block_matches_rows(&col("a").lt(lit(50)).not());
+    }
+
+    #[test]
+    fn fallback_conjuncts_only_see_surviving_rows() {
+        // `a * 2 < 100` has no kernel; combined with a kernel conjunct the
+        // result must still match the interpreter row for row.
+        assert_block_matches_rows(&col("a").ge(lit(3)).and(col("a").mul(lit(2)).lt(lit(100))));
+    }
+
+    #[test]
+    fn in_ranges_kernel_matches_interpreter() {
+        use pbds_algebra::RangeLookup;
+        for lookup in [RangeLookup::Linear, RangeLookup::BinarySearch] {
+            let pred = Expr::InRanges {
+                column: "a".into(),
+                ranges: vec![
+                    ValueRange {
+                        lo: None,
+                        hi: Some(Value::Int(20)),
+                    },
+                    ValueRange {
+                        lo: Some(Value::Int(50)),
+                        hi: Some(Value::Int(60)),
+                    },
+                    ValueRange {
+                        lo: Some(Value::Int(150)),
+                        hi: None,
+                    },
+                ],
+                lookup,
+            };
+            assert_block_matches_rows(&pred);
+        }
+    }
+
+    #[test]
+    fn bitmap_primitives() {
+        let mut b = SelBitmap::zeros(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 64, 129]);
+        assert!(b.get(64));
+        b.clear(64);
+        assert!(!b.get(64));
+        let ones = SelBitmap::ones(130);
+        assert_eq!(ones.count(), 130);
+        assert_eq!(ones.negated().count(), 0);
+    }
+}

@@ -40,16 +40,30 @@ pub enum LookupMethod {
 }
 
 /// Assigns rows of a partitioned table to fragments.
+///
+/// The partitioning attributes are resolved against the table schema **once**
+/// on first use and cached; the per-row hot path (`seed_tag` calls this for
+/// every scanned row of the partitioned table) is then pure index access —
+/// the same bind-once discipline the execution pipeline's compiled
+/// predicates follow.
 #[derive(Debug, Clone)]
 pub struct FragmentAssigner {
     partition: PartitionRef,
     lookup: LookupMethod,
+    /// Resolved attribute indexes (`None` inside = some attribute missing
+    /// from the schema). Seeded lazily because the schema only becomes
+    /// available per row batch.
+    attr_idx: std::sync::OnceLock<Option<Vec<usize>>>,
 }
 
 impl FragmentAssigner {
     /// Create an assigner for a partition.
     pub fn new(partition: PartitionRef, lookup: LookupMethod) -> Self {
-        FragmentAssigner { partition, lookup }
+        FragmentAssigner {
+            partition,
+            lookup,
+            attr_idx: std::sync::OnceLock::new(),
+        }
     }
 
     /// The partition.
@@ -59,12 +73,50 @@ impl FragmentAssigner {
 
     /// Fragment of a row (None for rows whose partitioning value is NULL).
     pub fn assign(&self, schema: &Schema, row: &Row) -> Option<usize> {
-        match (self.partition.as_ref(), self.lookup) {
-            (Partition::Range(p), LookupMethod::CaseLinear) => {
-                let idx = schema.index_of(p.attr())?;
-                p.fragment_of_linear(&row[idx])
+        let cached = self
+            .attr_idx
+            .get_or_init(|| self.partition.resolve_attrs(schema));
+        match cached {
+            // The cached binding is only trusted after re-checking it against
+            // *this* schema (a fixed-position name comparison per attribute —
+            // cheap next to the per-row `index_of` scans it replaces). A
+            // caller reusing one assigner across schemas with different
+            // column orders falls through to per-call resolution.
+            Some(idxs) if self.cache_matches(idxs, schema) => {
+                match (self.partition.as_ref(), self.lookup) {
+                    (Partition::Range(p), LookupMethod::CaseLinear) => {
+                        p.fragment_of_linear(&row[*idxs.first()?])
+                    }
+                    _ => self.partition.fragment_of_row_at(idxs, row),
+                }
             }
-            _ => self.partition.fragment_of_row(schema, row),
+            _ => match (self.partition.as_ref(), self.lookup) {
+                (Partition::Range(p), LookupMethod::CaseLinear) => {
+                    let idx = schema.index_of(p.attr())?;
+                    p.fragment_of_linear(&row[idx])
+                }
+                _ => self.partition.fragment_of_row(schema, row),
+            },
+        }
+    }
+
+    /// True when the cached attribute indexes still name the partitioning
+    /// attributes under `schema`.
+    fn cache_matches(&self, idxs: &[usize], schema: &Schema) -> bool {
+        match self.partition.as_ref() {
+            Partition::Range(p) => {
+                idxs.len() == 1
+                    && schema
+                        .column_at(idxs[0])
+                        .is_some_and(|c| c.name == p.attr())
+            }
+            Partition::Composite(p) => {
+                idxs.len() == p.attrs().len()
+                    && idxs
+                        .iter()
+                        .zip(p.attrs())
+                        .all(|(&i, a)| schema.column_at(i).is_some_and(|c| c.name == *a))
+            }
         }
     }
 }
@@ -491,6 +543,31 @@ mod tests {
         .unwrap();
         // The winning region is West (CA rows, fragment f1).
         assert_eq!(res.sketches[0].selected_fragments(), vec![0]);
+    }
+
+    #[test]
+    fn fragment_assigner_survives_schema_reordering() {
+        // One assigner used across two schemas that place the partitioning
+        // attribute at different positions: the index cache must not leak
+        // the first schema's binding into the second.
+        let part = state_partition();
+        let a = FragmentAssigner::new(part, LookupMethod::BinarySearch);
+        let schema1 = Schema::from_pairs(&[
+            ("popden", pbds_storage::DataType::Int),
+            ("city", pbds_storage::DataType::Str),
+            ("state", pbds_storage::DataType::Str),
+        ]);
+        let row1 = vec![Value::Int(1), Value::from("San Diego"), Value::from("CA")];
+        assert_eq!(a.assign(&schema1, &row1), Some(0)); // CA → f1, seeds the cache
+        let schema2 = Schema::from_pairs(&[
+            ("state", pbds_storage::DataType::Str),
+            ("popden", pbds_storage::DataType::Int),
+        ]);
+        let row2 = vec![Value::from("NY"), Value::Int(2)];
+        assert_eq!(a.assign(&schema2, &row2), Some(2)); // NY → f3, not row2[2] (OOB)
+                                                        // And a schema missing the attribute yields None, not a stale index.
+        let schema3 = Schema::from_pairs(&[("x", pbds_storage::DataType::Int)]);
+        assert_eq!(a.assign(&schema3, &vec![Value::Int(9)]), None);
     }
 
     #[test]

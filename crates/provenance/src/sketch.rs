@@ -47,9 +47,12 @@ impl ProvenanceSketch {
         rows: impl IntoIterator<Item = Row>,
     ) -> Self {
         let mut bits = FragmentBitset::new(partition.num_fragments());
-        for row in rows {
-            if let Some(f) = partition.fragment_of_row(schema, &row) {
-                bits.set(f);
+        // Resolve the partitioning attributes once, not per row.
+        if let Some(idxs) = partition.resolve_attrs(schema) {
+            for row in rows {
+                if let Some(f) = partition.fragment_of_row_at(&idxs, &row) {
+                    bits.set(f);
+                }
             }
         }
         ProvenanceSketch::new(partition, bits)
@@ -129,11 +132,19 @@ impl ProvenanceSketch {
     /// Row ids of the sketch instance `R_P` (all rows of the table that
     /// belong to a selected fragment).
     pub fn instance_row_ids(&self, table: &Table) -> Vec<u32> {
+        let Some(idxs) = self.partition.resolve_attrs(table.schema()) else {
+            return Vec::new();
+        };
         table
             .rows()
             .iter()
             .enumerate()
-            .filter(|(_, r)| self.covers_row(table.schema(), r))
+            .filter(|(_, r)| {
+                self.partition
+                    .fragment_of_row_at(&idxs, r)
+                    .map(|f| self.fragments.get(f))
+                    .unwrap_or(false)
+            })
             .map(|(i, _)| i as u32)
             .collect()
     }

@@ -1,0 +1,341 @@
+//! Columnar chunk projections of base tables.
+//!
+//! The row store (`Vec<Row>` of dynamically typed [`Value`]s) stays the
+//! source of truth; a [`ColumnarChunks`] is a derived, cached projection the
+//! execution engine uses to evaluate predicates column-at-a-time. Each chunk
+//! covers one zone-map block of rows and holds one typed vector per column:
+//! `i64` / `f64` / dictionary-encoded strings / booleans, each with a `u64`
+//! null-bitmap, falling back to a plain `Value` vector for columns whose
+//! non-null values mix types (the dynamically typed row store allows that).
+//!
+//! String dictionaries are per chunk and **sorted**, so dictionary codes are
+//! order-preserving within the chunk: a range or comparison predicate against
+//! a string literal translates to a comparison on `u32` codes.
+
+use crate::relation::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Typed storage of one column within one chunk.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// All non-null values are `Value::Int`.
+    Int(Vec<i64>),
+    /// All non-null values are `Value::Float`.
+    Float(Vec<f64>),
+    /// All non-null values are `Value::Str`, dictionary-encoded. `dict` is
+    /// sorted and deduplicated, so codes preserve the string order.
+    Dict {
+        /// Sorted distinct strings of the chunk.
+        dict: Vec<String>,
+        /// Per-row index into `dict` (0 for NULL rows; check the null bitmap).
+        codes: Vec<u32>,
+    },
+    /// All non-null values are `Value::Bool`.
+    Bool(Vec<bool>),
+    /// Mixed-type column (e.g. `Int` and `Float` rows in one column): kept as
+    /// plain values so the engine falls back to `Value` comparison semantics.
+    Mixed(Vec<Value>),
+}
+
+/// One column of one chunk: typed data plus a null bitmap.
+#[derive(Debug, Clone)]
+pub struct ColumnVector {
+    /// One bit per row of the chunk; set = NULL. `None` when the chunk has no
+    /// NULLs in this column.
+    nulls: Option<Vec<u64>>,
+    data: ColumnData,
+}
+
+impl ColumnVector {
+    /// The typed data vector.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// True when row `i` (chunk-relative) is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match &self.nulls {
+            Some(words) => words[i / 64] & (1u64 << (i % 64)) != 0,
+            None => false,
+        }
+    }
+
+    /// True when the column holds at least one NULL in this chunk.
+    pub fn has_nulls(&self) -> bool {
+        self.nulls.is_some()
+    }
+
+    /// The null bitmap as `u64` words (little-endian bit order), if any row
+    /// is NULL.
+    pub fn null_words(&self) -> Option<&[u64]> {
+        self.nulls.as_deref()
+    }
+}
+
+/// A contiguous run of rows (`[start, end)`) stored column-wise.
+#[derive(Debug, Clone)]
+pub struct ColumnarChunk {
+    /// Table-level index of the first row of the chunk.
+    pub start: usize,
+    /// One past the last row of the chunk.
+    pub end: usize,
+    columns: Vec<ColumnVector>,
+}
+
+impl ColumnarChunk {
+    /// Number of rows in the chunk.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the chunk holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The column vector at schema position `idx`.
+    pub fn column(&self, idx: usize) -> &ColumnVector {
+        &self.columns[idx]
+    }
+}
+
+/// The columnar projection of a whole table: one chunk per zone-map block.
+#[derive(Debug, Clone)]
+pub struct ColumnarChunks {
+    block_size: usize,
+    chunks: Vec<ColumnarChunk>,
+}
+
+impl ColumnarChunks {
+    /// Build the projection over `rows` with `block_size` rows per chunk
+    /// (aligned with the table's zone-map blocks).
+    pub fn build(schema: &Schema, rows: &[Row], block_size: usize) -> Self {
+        assert!(block_size > 0, "chunk size must be positive");
+        let arity = schema.arity();
+        let mut chunks = Vec::with_capacity(rows.len().div_ceil(block_size));
+        let mut start = 0usize;
+        while start < rows.len() {
+            let end = (start + block_size).min(rows.len());
+            let columns = (0..arity)
+                .map(|c| build_column(&rows[start..end], c))
+                .collect();
+            chunks.push(ColumnarChunk {
+                start,
+                end,
+                columns,
+            });
+            start = end;
+        }
+        ColumnarChunks { block_size, chunks }
+    }
+
+    /// Rows per chunk (matches the zone-map block size it was built with).
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// All chunks in table order.
+    pub fn chunks(&self) -> &[ColumnarChunk] {
+        &self.chunks
+    }
+
+    /// The chunk containing table row `rid`, if in range.
+    pub fn chunk_for(&self, rid: usize) -> Option<&ColumnarChunk> {
+        self.chunks.get(rid / self.block_size)
+    }
+}
+
+/// Classify and pack one column of a row slice.
+fn build_column(rows: &[Row], col: usize) -> ColumnVector {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Kind {
+        Unknown,
+        Int,
+        Float,
+        Str,
+        Bool,
+        Mixed,
+    }
+    let mut kind = Kind::Unknown;
+    let mut any_null = false;
+    for row in rows {
+        let k = match &row[col] {
+            Value::Null => {
+                any_null = true;
+                continue;
+            }
+            Value::Int(_) => Kind::Int,
+            Value::Float(_) => Kind::Float,
+            Value::Str(_) => Kind::Str,
+            Value::Bool(_) => Kind::Bool,
+        };
+        if kind == Kind::Unknown {
+            kind = k;
+        } else if kind != k && kind != Kind::Mixed {
+            // Keep scanning: the null bitmap below needs every row seen.
+            kind = Kind::Mixed;
+        }
+    }
+
+    let nulls = if any_null {
+        let mut words = vec![0u64; rows.len().div_ceil(64)];
+        for (i, row) in rows.iter().enumerate() {
+            if row[col].is_null() {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        Some(words)
+    } else {
+        None
+    };
+
+    let data = match kind {
+        Kind::Int => ColumnData::Int(
+            rows.iter()
+                .map(|r| match &r[col] {
+                    Value::Int(i) => *i,
+                    _ => 0, // NULL placeholder; masked by the bitmap
+                })
+                .collect(),
+        ),
+        Kind::Float => ColumnData::Float(
+            rows.iter()
+                .map(|r| match &r[col] {
+                    Value::Float(f) => *f,
+                    _ => 0.0,
+                })
+                .collect(),
+        ),
+        Kind::Bool => ColumnData::Bool(
+            rows.iter()
+                .map(|r| match &r[col] {
+                    Value::Bool(b) => *b,
+                    _ => false,
+                })
+                .collect(),
+        ),
+        Kind::Str => {
+            let mut dict: Vec<String> = rows
+                .iter()
+                .filter_map(|r| match &r[col] {
+                    Value::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .collect();
+            dict.sort_unstable();
+            dict.dedup();
+            let codes = rows
+                .iter()
+                .map(|r| match &r[col] {
+                    Value::Str(s) => dict
+                        .binary_search_by(|d| d.as_str().cmp(s))
+                        .expect("in dict") as u32,
+                    _ => 0,
+                })
+                .collect();
+            ColumnData::Dict { dict, codes }
+        }
+        // All-NULL columns pack as Mixed so every accessor stays trivial.
+        Kind::Unknown | Kind::Mixed => {
+            ColumnData::Mixed(rows.iter().map(|r| r[col].clone()).collect())
+        }
+    };
+
+    ColumnVector { nulls, data }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("i", DataType::Int),
+            ("f", DataType::Float),
+            ("s", DataType::Str),
+            ("m", DataType::Float),
+        ])
+    }
+
+    fn rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i as i64)
+                    },
+                    Value::Float(i as f64 / 2.0),
+                    Value::Str(format!("s{}", i % 7)),
+                    // Mixed-type column: alternating Int and Float.
+                    if i % 2 == 0 {
+                        Value::Int(i as i64)
+                    } else {
+                        Value::Float(i as f64)
+                    },
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunking_follows_block_size() {
+        let rows = rows(250);
+        let c = ColumnarChunks::build(&schema(), &rows, 100);
+        assert_eq!(c.chunks().len(), 3);
+        assert_eq!(c.chunks()[0].start, 0);
+        assert_eq!(c.chunks()[0].end, 100);
+        assert_eq!(c.chunks()[2].len(), 50);
+        assert_eq!(c.chunk_for(150).unwrap().start, 100);
+        assert!(c.chunk_for(999).is_none());
+    }
+
+    #[test]
+    fn columns_classify_by_value_types() {
+        let rows = rows(64);
+        let c = ColumnarChunks::build(&schema(), &rows, 64);
+        let chunk = &c.chunks()[0];
+        assert!(matches!(chunk.column(0).data(), ColumnData::Int(_)));
+        assert!(matches!(chunk.column(1).data(), ColumnData::Float(_)));
+        assert!(matches!(chunk.column(2).data(), ColumnData::Dict { .. }));
+        assert!(matches!(chunk.column(3).data(), ColumnData::Mixed(_)));
+        assert!(chunk.column(0).has_nulls());
+        assert!(chunk.column(0).is_null(0));
+        assert!(!chunk.column(0).is_null(1));
+        assert!(!chunk.column(1).has_nulls());
+    }
+
+    #[test]
+    fn dictionary_codes_preserve_string_order() {
+        let rows = rows(50);
+        let c = ColumnarChunks::build(&schema(), &rows, 50);
+        let ColumnData::Dict { dict, codes } = c.chunks()[0].column(2).data() else {
+            panic!("expected dict column");
+        };
+        assert!(dict.windows(2).all(|w| w[0] < w[1]));
+        for (i, row) in rows.iter().enumerate() {
+            let Value::Str(s) = &row[2] else {
+                unreachable!()
+            };
+            assert_eq!(&dict[codes[i] as usize], s);
+        }
+    }
+
+    #[test]
+    fn all_null_column_is_mixed_with_full_bitmap() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        let rows: Vec<Row> = (0..10).map(|_| vec![Value::Null]).collect();
+        let c = ColumnarChunks::build(&schema, &rows, 4);
+        for chunk in c.chunks() {
+            let col = chunk.column(0);
+            assert!(matches!(col.data(), ColumnData::Mixed(_)));
+            for i in 0..chunk.len() {
+                assert!(col.is_null(i));
+            }
+        }
+    }
+}

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod database;
 pub mod index;
 pub mod partition;
@@ -22,6 +23,7 @@ pub mod table;
 pub mod value;
 pub mod zonemap;
 
+pub use columnar::{ColumnData, ColumnVector, ColumnarChunk, ColumnarChunks};
 pub use database::{Database, StorageError};
 pub use index::OrderedIndex;
 pub use partition::{CompositePartition, Partition, PartitionRef, RangePartition, ValueRange};
@@ -47,4 +49,5 @@ const _: () = {
     assert_send_sync::<Value>();
     assert_send_sync::<ZoneMap>();
     assert_send_sync::<OrderedIndex>();
+    assert_send_sync::<ColumnarChunks>();
 };

@@ -90,7 +90,19 @@ impl RangePartition {
         values: &[Value],
         fragments: usize,
     ) -> Option<Self> {
-        let hist = EquiDepthHistogram::build(values, fragments)?;
+        Self::equi_depth_from_iter(table, attr, values.iter(), fragments)
+    }
+
+    /// Like [`RangePartition::equi_depth`], but over borrowed values (e.g.
+    /// straight from `Table::column_iter`) so callers need not clone the
+    /// column into an owned `Vec<Value>` first.
+    pub fn equi_depth_from_iter<'a>(
+        table: impl Into<String>,
+        attr: impl Into<String>,
+        values: impl IntoIterator<Item = &'a Value>,
+        fragments: usize,
+    ) -> Option<Self> {
+        let hist = EquiDepthHistogram::build_from_iter(values, fragments)?;
         let bounds = hist.boundaries();
         // boundaries = [min, u1, u2, ..., max]; drop the minimum, use interior
         // boundaries as inclusive uppers; the final fragment is unbounded.
@@ -110,7 +122,21 @@ impl RangePartition {
         attr: impl Into<String>,
         values: &[Value],
     ) -> Option<Self> {
-        let mut distinct: Vec<Value> = values.iter().filter(|v| !v.is_null()).cloned().collect();
+        Self::per_distinct_value_from_iter(table, attr, values.iter())
+    }
+
+    /// Like [`RangePartition::per_distinct_value`], but over borrowed values;
+    /// only the distinct values are cloned.
+    pub fn per_distinct_value_from_iter<'a>(
+        table: impl Into<String>,
+        attr: impl Into<String>,
+        values: impl IntoIterator<Item = &'a Value>,
+    ) -> Option<Self> {
+        let mut distinct: Vec<Value> = values
+            .into_iter()
+            .filter(|v| !v.is_null())
+            .cloned()
+            .collect();
         distinct.sort();
         distinct.dedup();
         if distinct.is_empty() {
@@ -303,18 +329,28 @@ impl Partition {
 
     /// Fragment a row of the partitioned table belongs to.
     pub fn fragment_of_row(&self, schema: &Schema, row: &Row) -> Option<usize> {
+        let idxs = self.resolve_attrs(schema)?;
+        self.fragment_of_row_at(&idxs, row)
+    }
+
+    /// Resolve the partitioning attributes against a schema once; the result
+    /// can be reused for every row via [`Partition::fragment_of_row_at`],
+    /// avoiding the per-row string lookups of [`Partition::fragment_of_row`].
+    pub fn resolve_attrs(&self, schema: &Schema) -> Option<Vec<usize>> {
         match self {
-            Partition::Range(p) => {
-                let idx = schema.index_of(p.attr())?;
-                p.fragment_of(&row[idx])
-            }
+            Partition::Range(p) => Some(vec![schema.index_of(p.attr())?]),
+            Partition::Composite(p) => p.attrs().iter().map(|a| schema.index_of(a)).collect(),
+        }
+    }
+
+    /// Fragment of a row given pre-resolved attribute indexes (see
+    /// [`Partition::resolve_attrs`]).
+    pub fn fragment_of_row_at(&self, idxs: &[usize], row: &Row) -> Option<usize> {
+        match self {
+            Partition::Range(p) => p.fragment_of(&row[*idxs.first()?]),
             Partition::Composite(p) => {
-                let key: Option<Vec<Value>> = p
-                    .attrs()
-                    .iter()
-                    .map(|a| schema.index_of(a).map(|i| row[i].clone()))
-                    .collect();
-                p.fragment_of_key(&key?)
+                let key: Vec<Value> = idxs.iter().map(|&i| row[i].clone()).collect();
+                p.fragment_of_key(&key)
             }
         }
     }

@@ -71,10 +71,17 @@ impl Relation {
         self.rows.get(row).and_then(|r| r.get(idx))
     }
 
-    /// Extract a full column by name.
+    /// Extract a full column by name (clones every value); prefer
+    /// [`Relation::column_iter`] when a borrowed walk suffices.
     pub fn column_values(&self, column: &str) -> Option<Vec<Value>> {
         let idx = self.schema.index_of(column)?;
         Some(self.rows.iter().map(|r| r[idx].clone()).collect())
+    }
+
+    /// Borrowing iterator over one column's values (no clones).
+    pub fn column_iter(&self, column: &str) -> Option<impl Iterator<Item = &Value> + Clone + '_> {
+        let idx = self.schema.index_of(column)?;
+        Some(self.rows.iter().map(move |r| &r[idx]))
     }
 
     /// Sort rows lexicographically; useful for order-insensitive comparisons

@@ -53,10 +53,20 @@ impl EquiDepthHistogram {
     /// non-null values of a column. Returns `None` when there are no non-null
     /// values or `buckets == 0`.
     pub fn build(values: &[Value], buckets: usize) -> Option<Self> {
+        Self::build_from_iter(values.iter(), buckets)
+    }
+
+    /// Like [`EquiDepthHistogram::build`], but over borrowed values — lets
+    /// callers feed a column straight from the row store (e.g.
+    /// `Table::column_iter`) without materializing a cloned `Vec<Value>`.
+    pub fn build_from_iter<'a>(
+        values: impl IntoIterator<Item = &'a Value>,
+        buckets: usize,
+    ) -> Option<Self> {
         if buckets == 0 {
             return None;
         }
-        let mut sorted: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+        let mut sorted: Vec<&Value> = values.into_iter().filter(|v| !v.is_null()).collect();
         if sorted.is_empty() {
             return None;
         }

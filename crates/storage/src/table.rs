@@ -1,6 +1,7 @@
 //! Base tables: a relation plus its physical design artifacts (zone maps,
 //! ordered indexes) and statistics.
 
+use crate::columnar::ColumnarChunks;
 use crate::index::OrderedIndex;
 use crate::relation::{Relation, Row};
 use crate::schema::Schema;
@@ -8,6 +9,7 @@ use crate::stats::TableStats;
 use crate::value::Value;
 use crate::zonemap::{ZoneMap, DEFAULT_BLOCK_SIZE};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// A named base table with optional physical design artifacts.
 #[derive(Debug, Clone)]
@@ -19,6 +21,9 @@ pub struct Table {
     zone_map: Option<ZoneMap>,
     indexes: HashMap<String, OrderedIndex>,
     stats: TableStats,
+    /// Lazily built columnar projection (one chunk per zone-map block); the
+    /// row store stays the source of truth.
+    columnar: OnceLock<ColumnarChunks>,
 }
 
 impl Table {
@@ -35,6 +40,7 @@ impl Table {
             zone_map: None,
             indexes: HashMap::new(),
             stats,
+            columnar: OnceLock::new(),
         }
     }
 
@@ -78,10 +84,19 @@ impl Table {
         self.block_size
     }
 
-    /// Build (or rebuild) zone maps with the given block size.
+    /// Build (or rebuild) zone maps with the given block size. Invalidates
+    /// the cached columnar projection so its chunks stay block-aligned.
     pub fn build_zone_map(&mut self, block_size: usize) {
         self.block_size = block_size;
         self.zone_map = Some(ZoneMap::build(&self.schema, &self.rows, block_size));
+        self.columnar = OnceLock::new();
+    }
+
+    /// The columnar chunk projection of the table, built lazily on first use
+    /// and cached (thread-safe; tables are immutable once shared).
+    pub fn columnar_chunks(&self) -> &ColumnarChunks {
+        self.columnar
+            .get_or_init(|| ColumnarChunks::build(&self.schema, &self.rows, self.block_size))
     }
 
     /// Build an ordered index on `column`. Returns false if the column does
@@ -107,9 +122,18 @@ impl Table {
     }
 
     /// Values of one column (used to build partitions and histograms).
+    ///
+    /// Clones every value; prefer [`Table::column_iter`] when a borrowed
+    /// walk suffices.
     pub fn column_values(&self, column: &str) -> Option<Vec<Value>> {
         let idx = self.schema.index_of(column)?;
         Some(self.rows.iter().map(|r| r[idx].clone()).collect())
+    }
+
+    /// Borrowing iterator over one column's values (no clones).
+    pub fn column_iter(&self, column: &str) -> Option<impl Iterator<Item = &Value> + Clone + '_> {
+        let idx = self.schema.index_of(column)?;
+        Some(self.rows.iter().map(move |r| &r[idx]))
     }
 
     /// View the table as a plain relation (clones the rows).

@@ -64,5 +64,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "rows scanned: {} plain vs {} with the sketch",
         plain.stats.rows_scanned, fast.stats.rows_scanned
     );
+
+    // Which scans took the vectorized columnar path? Under the scan-only
+    // columnar profile the sketch predicate cannot use the index, so the
+    // filter runs vectorized over the table's columnar chunks instead —
+    // `ExecStats` records both the scan count and the blocks it evaluated
+    // into selection bitmaps.
+    let columnar = Engine::new(EngineProfile::ColumnarScan);
+    let out = columnar.execute(pbds.db(), &instrumented)?;
+    println!(
+        "\ncolumnar profile: {} scan(s) took the vectorized path \
+         ({} chunk(s) -> selection bitmaps, {} rows scanned)",
+        out.stats.vectorized_scans, out.stats.vectorized_blocks, out.stats.rows_scanned
+    );
+    let row_path = columnar
+        .with_vectorization(false)
+        .execute(pbds.db(), &instrumented)?;
+    assert_eq!(out.relation, row_path.relation);
+    println!(
+        "row-interpreter oracle agrees: {} identical rows (vectorized_scans = {})",
+        row_path.relation.len(),
+        row_path.stats.vectorized_scans
+    );
     Ok(())
 }

@@ -14,10 +14,13 @@
 //! produced — for every capture configuration and on both profiles.
 
 use pbds_algebra::{col, lit, AggExpr, AggFunc, LogicalPlan, SortKey};
-use pbds_exec::{eval_expr, eval_predicate, Engine, EngineProfile, ExecError};
+use pbds_exec::{
+    eval_expr, eval_predicate, execute_logical_parallel_with, execute_logical_with, Engine,
+    EngineProfile, ExecError, ExecOptions, ExecStats,
+};
 use pbds_provenance::{
-    capture_lineage, capture_sketches_with_profile, CaptureConfig, LookupMethod, MergeStrategy,
-    ProvenanceSketch,
+    capture_lineage, capture_sketches_with_profile, CaptureConfig, FragmentAssigner, LookupMethod,
+    MergeStrategy, ProvenanceSketch, SketchTagPolicy,
 };
 use pbds_storage::{
     DataType, Database, Partition, PartitionRef, RangePartition, Relation, Row, Schema,
@@ -531,6 +534,106 @@ fn minmax_narrowing_still_selects_only_the_witness_fragment() {
         )
         .unwrap();
         assert_eq!(full.sketches[0].num_selected(), 3);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized vs row-interpreter scan path: byte-identical rows *and* tags.
+// ---------------------------------------------------------------------------
+
+/// Run one plan through both scan paths and assert the result relations are
+/// identical row for row (not just bag-equal) with equal tag vectors.
+fn assert_paths_identical<P>(
+    db: &Database,
+    plan: &LogicalPlan,
+    profile: EngineProfile,
+    workers: usize,
+    policy: &P,
+    context: &str,
+) where
+    P: pbds_exec::TagPolicy + Sync,
+    P::Tag: Send + PartialEq + std::fmt::Debug,
+{
+    let run = |vectorized: bool| {
+        let opts = ExecOptions { vectorized };
+        let mut stats = ExecStats::default();
+        let out = if workers > 1 {
+            execute_logical_parallel_with(db, plan, profile, policy, workers, opts, &mut stats)
+        } else {
+            execute_logical_with(db, plan, profile, policy, opts, &mut stats)
+        }
+        .unwrap();
+        (out, stats)
+    };
+    let ((rel_row, tags_row), stats_row) = run(false);
+    let ((rel_vec, tags_vec), stats_vec) = run(true);
+    assert_eq!(
+        rel_row,
+        rel_vec,
+        "{context}: relations differ between scan paths\n{}",
+        plan.display_tree()
+    );
+    assert_eq!(
+        tags_row,
+        tags_vec,
+        "{context}: tags differ between scan paths\n{}",
+        plan.display_tree()
+    );
+    // The machine-independent scan accounting must agree too.
+    assert_eq!(stats_row.rows_scanned, stats_vec.rows_scanned, "{context}");
+    assert_eq!(stats_row.full_scans, stats_vec.full_scans, "{context}");
+    assert_eq!(stats_row.index_scans, stats_vec.index_scans, "{context}");
+    assert_eq!(
+        stats_row.blocks_skipped, stats_vec.blocks_skipped,
+        "{context}"
+    );
+}
+
+#[test]
+fn vectorized_path_is_byte_identical_for_plain_execution() {
+    for seed in 0..3u64 {
+        let db = random_db(seed, 300);
+        for profile in [EngineProfile::Indexed, EngineProfile::ColumnarScan] {
+            for workers in [1usize, 4] {
+                for (i, plan) in query_family().iter().enumerate() {
+                    assert_paths_identical(
+                        &db,
+                        plan,
+                        profile,
+                        workers,
+                        &pbds_exec::NoTag,
+                        &format!("seed {seed}, query #{i}, {profile:?}, workers {workers}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn vectorized_path_is_byte_identical_for_sketch_capture_tags() {
+    let db = random_db(11, 300);
+    let part: PartitionRef = Arc::new(Partition::Range(RangePartition::from_uppers(
+        "r",
+        "grp",
+        vec![Value::Int(2), Value::Int(5), Value::Int(7)],
+    )));
+    let config = CaptureConfig::optimized();
+    let assigners = vec![FragmentAssigner::new(part, config.lookup)];
+    let policy = SketchTagPolicy::new(&assigners, &config);
+    for profile in [EngineProfile::Indexed, EngineProfile::ColumnarScan] {
+        for workers in [1usize, 4] {
+            for (i, plan) in query_family().iter().enumerate() {
+                assert_paths_identical(
+                    &db,
+                    plan,
+                    profile,
+                    workers,
+                    &policy,
+                    &format!("capture query #{i}, {profile:?}, workers {workers}"),
+                );
+            }
+        }
     }
 }
 

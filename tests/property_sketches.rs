@@ -82,7 +82,6 @@ proptest! {
         let or1 = x.or(&y);
         let or2 = y.or(&x);
         prop_assert_eq!(&or1, &or2);
-        prop_assert_eq!(&or1, &x.or_bytewise(&y));
         let mut inplace = x.clone();
         inplace.or_assign(&y);
         prop_assert_eq!(&or1, &inplace);
