@@ -15,9 +15,17 @@
 //! * **memoized reuse checks** — the solver-backed reuse check
 //!   ([`crate::reuse::ReuseChecker`]) is the per-query CPU cost of PBDS
 //!   middleware. Its outcome depends only on `(template, captured binding,
-//!   new binding)` and the (immutable) table statistics, so the catalog
-//!   memoizes it per `(template, new binding)` and invalidates the memo when
-//!   the template's entry set changes;
+//!   new binding)` and the table statistics, so the catalog memoizes it per
+//!   `(template, new binding)` and invalidates the memo when the template's
+//!   entry set changes or the underlying data mutates;
+//! * **epoch-checked under mutation** — every stored entry records, per
+//!   sketched table, the table epoch its sketches reflect.
+//!   [`SketchCatalog::on_append`] extends stored sketches with the fragments
+//!   that received new rows (safe supersets, Lemma 5) and
+//!   [`SketchCatalog::on_delete`] keeps them as still-safe supersets while
+//!   invalidating everything derived from the old statistics; a lookup only
+//!   ever offers entries whose recorded epochs match the serving database,
+//!   so stale sketches are structurally unreachable;
 //! * **observable** — hit / miss / eviction / memo-hit counters
 //!   ([`CatalogStats`]) are maintained with atomics so monitoring never takes
 //!   a lock;
@@ -34,7 +42,7 @@ use crate::reuse::ReuseChecker;
 use crate::safety::{PartitionAttr, SafetyChecker};
 use pbds_algebra::QueryTemplate;
 use pbds_provenance::ProvenanceSketch;
-use pbds_storage::{Database, Partition, PartitionRef, RangePartition, Value};
+use pbds_storage::{Database, Partition, PartitionRef, RangePartition, Row, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -78,6 +86,12 @@ pub struct CatalogStats {
     pub evictions: u64,
     /// Lookups answered from the reuse-check memo (subset of hits + misses).
     pub memo_hits: u64,
+    /// Stored sketches incrementally extended by an append
+    /// ([`SketchCatalog::on_append`]).
+    pub extended: u64,
+    /// Entries invalidated by table mutations (unmaintainable on append,
+    /// epoch gap, or stale at insert time).
+    pub invalidated: u64,
     /// Number of stored sketch entries.
     pub stored: usize,
     /// Total approximate bytes of stored sketches.
@@ -91,11 +105,47 @@ struct CatalogEntry {
     id: u64,
     binding: Vec<Value>,
     sketches: Vec<ProvenanceSketch>,
+    /// Per sketched table, the table epoch the sketches reflect: the epoch
+    /// of the database they were captured against, advanced by
+    /// [`SketchCatalog::on_append`] / [`SketchCatalog::on_delete`] as the
+    /// sketches are maintained across mutations. A reuse lookup only offers
+    /// an entry whose recorded epochs match the serving database exactly, so
+    /// a mutation that bypassed the maintenance hooks silently disables —
+    /// never mis-serves — the stored sketches.
+    capture_epochs: HashMap<String, u64>,
     bytes: usize,
     /// Logical LRU timestamp (global clock tick of the last hit).
     last_used: AtomicU64,
     /// Number of instances that reused this entry.
     uses: AtomicU64,
+}
+
+impl CatalogEntry {
+    /// True when every sketched table still sits at the data epoch this
+    /// entry's sketches were maintained to. Data epochs are globally unique
+    /// (see `pbds_storage::Table::data_epoch`), so equality implies the
+    /// table content is exactly the state the sketches describe — even
+    /// across copy-on-write forks of a database; and design-only changes
+    /// (new index, new block size) do not disturb freshness.
+    fn fresh(&self, db: &Database) -> bool {
+        self.capture_epochs.iter().all(|(table, &epoch)| {
+            db.table(table)
+                .map(|t| t.data_epoch() == epoch)
+                .unwrap_or(false)
+        })
+    }
+}
+
+/// Record, per sketched table, the data epoch of the database the sketches
+/// were captured against.
+fn capture_epochs_of(db: &Database, sketches: &[ProvenanceSketch]) -> HashMap<String, u64> {
+    let mut epochs = HashMap::new();
+    for s in sketches {
+        if let Ok(t) = db.table(s.table()) {
+            epochs.insert(s.table().to_string(), t.data_epoch());
+        }
+    }
+    epochs
 }
 
 /// Memoized outcome of "which stored entry (if any) answers this binding?".
@@ -145,6 +195,10 @@ struct TemplateMeta {
     safe_attrs: Option<Option<Vec<PartitionAttr>>>,
     /// Adaptive-strategy evidence counter (missed reuse opportunities).
     evidence: usize,
+    /// Base tables the template reads (`None` until first seen). Lets
+    /// mutation maintenance invalidate only the templates that actually
+    /// touch the mutated table instead of wiping every cache.
+    tables: Option<HashSet<String>>,
 }
 
 /// A thread-safe, shared store of provenance sketches keyed by query
@@ -157,6 +211,9 @@ pub struct SketchCatalog {
     /// Bindings whose capture is currently in flight (server sessions use
     /// this to avoid enqueueing duplicate capture work).
     pending: Mutex<HashSet<MemoKey>>,
+    /// Per-table epoch of the last mutation the catalog processed; inserts
+    /// of sketch sets captured against an older epoch are rejected as stale.
+    table_epochs: RwLock<HashMap<String, u64>>,
     bytes: AtomicUsize,
     clock: AtomicU64,
     next_id: AtomicU64,
@@ -164,6 +221,8 @@ pub struct SketchCatalog {
     misses: AtomicU64,
     evictions: AtomicU64,
     memo_hits: AtomicU64,
+    extended: AtomicU64,
+    invalidated: AtomicU64,
 }
 
 impl std::fmt::Debug for SketchCatalog {
@@ -193,6 +252,7 @@ impl SketchCatalog {
             meta: Mutex::new(HashMap::new()),
             partitions: RwLock::new(HashMap::new()),
             pending: Mutex::new(HashSet::new()),
+            table_epochs: RwLock::new(HashMap::new()),
             bytes: AtomicUsize::new(0),
             clock: AtomicU64::new(0),
             next_id: AtomicU64::new(0),
@@ -200,6 +260,8 @@ impl SketchCatalog {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
+            extended: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
         }
     }
 
@@ -238,23 +300,31 @@ impl SketchCatalog {
         let (outcome, version) = {
             let guard = shard.read().expect("catalog shard poisoned");
             if let Some(&memo) = guard.memo.get(&key) {
-                self.memo_hits.fetch_add(1, Ordering::Relaxed);
                 match memo {
+                    // The memoized entry is only served while its capture
+                    // epochs still match the database: a mutation that
+                    // bypassed the maintenance hooks falls through to the
+                    // epoch-checked scan below instead of serving stale
+                    // sketches.
                     Some(id) => {
                         let entries = guard.entries.get(&name).expect("memoized template");
                         let e = entries
                             .iter()
                             .find(|e| e.id == id)
                             .expect("memo points at live entry");
-                        e.last_used.store(self.tick(), Ordering::Relaxed);
-                        e.uses.fetch_add(1, Ordering::Relaxed);
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                        return Some(ReusableSketches {
-                            entry_id: id,
-                            sketches: e.sketches.clone(),
-                        });
+                        if e.fresh(db) {
+                            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                            e.last_used.store(self.tick(), Ordering::Relaxed);
+                            e.uses.fetch_add(1, Ordering::Relaxed);
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            return Some(ReusableSketches {
+                                entry_id: id,
+                                sketches: e.sketches.clone(),
+                            });
+                        }
                     }
                     None => {
+                        self.memo_hits.fetch_add(1, Ordering::Relaxed);
                         self.misses.fetch_add(1, Ordering::Relaxed);
                         return None;
                     }
@@ -284,10 +354,19 @@ impl SketchCatalog {
         // Record the outcome in the memo — but only if no insert/eviction/
         // denial changed the shard in between (a stale memo entry would
         // otherwise suppress reuse of a sketch inserted concurrently, or
-        // resurrect a just-denied pair).
+        // resurrect a just-denied pair), and only if every entry of the
+        // template is fresh against `db`. An outcome computed while any
+        // entry disagrees with the snapshot's data epoch — e.g. a session
+        // holding a pre-mutation snapshot after the entry was maintained
+        // forward — is snapshot-dependent: caching its miss would suppress
+        // reuse for every later current-snapshot lookup of this binding.
         {
             let mut guard = shard.write().expect("catalog shard poisoned");
-            if guard.version == version {
+            let all_fresh = guard
+                .entries
+                .get(&name)
+                .is_none_or(|es| es.iter().all(|e| e.fresh(db)));
+            if guard.version == version && all_fresh {
                 if guard.memo.len() >= self.config.memo_capacity {
                     guard.memo.clear();
                 }
@@ -347,16 +426,47 @@ impl SketchCatalog {
         guard.denied.insert((key, entry_id));
     }
 
-    /// Store a freshly captured sketch set for `template(binding)`.
-    /// Invalidates the template's negative memo entries and evicts LRU
-    /// entries if the byte budget is exceeded. Returns the new entry's id.
+    /// Store a freshly captured sketch set for `template(binding)`,
+    /// recording — per sketched table — the epoch of `db` (the database the
+    /// capture ran against) so later mutations can maintain or invalidate
+    /// the entry. A sketch set captured against a table epoch older than the
+    /// last mutation this catalog processed is **rejected** (it would serve
+    /// pre-mutation data) and `None` is returned; otherwise invalidates the
+    /// template's negative memo entries, evicts LRU entries if the byte
+    /// budget is exceeded, and returns the new entry's id.
     pub fn insert(
         &self,
+        db: &Database,
         template: &QueryTemplate,
         binding: &[Value],
         sketches: Vec<ProvenanceSketch>,
-    ) -> u64 {
+    ) -> Option<u64> {
+        let capture_epochs = capture_epochs_of(db, &sketches);
+        {
+            let mut known = self.table_epochs.write().expect("table epochs poisoned");
+            for (table, &epoch) in &capture_epochs {
+                match known.get(table) {
+                    Some(&k) if k > epoch => {
+                        // Captured against a pre-mutation snapshot: stale.
+                        self.invalidated.fetch_add(1, Ordering::Relaxed);
+                        return None;
+                    }
+                    _ => {
+                        known.insert(table.clone(), epoch);
+                    }
+                }
+            }
+        }
         let name = template_key(template);
+        // Record which base tables the template reads, so mutation
+        // maintenance can spare the caches of unrelated templates.
+        self.meta
+            .lock()
+            .expect("catalog meta poisoned")
+            .entry(name.clone())
+            .or_default()
+            .tables
+            .get_or_insert_with(|| template.plan().tables().into_iter().collect());
         let bytes: usize =
             sketches.iter().map(|s| s.size_bytes()).sum::<usize>() + std::mem::size_of_val(binding);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
@@ -364,6 +474,7 @@ impl SketchCatalog {
             id,
             binding: binding.to_vec(),
             sketches,
+            capture_epochs,
             bytes,
             last_used: AtomicU64::new(self.tick()),
             uses: AtomicU64::new(0),
@@ -385,7 +496,150 @@ impl SketchCatalog {
         if let Some(budget) = self.config.byte_budget {
             self.evict_to_budget(budget, id);
         }
-        id
+        Some(id)
+    }
+
+    /// Maintain the catalog across an append of `new_rows` to `table`
+    /// (`db` is the **post-mutation** database; `prev_epoch` the table's
+    /// *data* epoch before the append).
+    ///
+    /// Per the paper's superset semantics, a stored sketch stays safe across
+    /// an append when every fragment that received new rows joins the
+    /// sketch: untouched groups keep their membership, and any group whose
+    /// aggregate the new rows changed lives entirely inside a now-included
+    /// fragment (the partition attributes are the group-defining safe
+    /// attributes). Entries are therefore *extended* in place — unless a new
+    /// row has no fragment under an entry's partition (novel composite key /
+    /// NULL partitioning value) or the entry missed an earlier mutation
+    /// (epoch gap), in which case the entry is dropped and must be
+    /// recaptured. Reuse memos and cached safe-attribute choices of the
+    /// templates reading this table are invalidated (the reuse check and
+    /// safety analysis depend on its statistics, which changed; e.g. a new
+    /// negative value can break a non-negativity assumption) — templates
+    /// over unrelated tables keep their caches.
+    pub fn on_append(&self, db: &Database, table: &str, new_rows: &[Row], prev_epoch: u64) {
+        let Ok(t) = db.table(table) else { return };
+        let schema = t.schema();
+        let new_epoch = t.data_epoch();
+        self.table_epochs
+            .write()
+            .expect("table epochs poisoned")
+            .insert(table.to_string(), new_epoch);
+        let unaffected = self.templates_unaffected_by(table);
+        for shard in &self.shards {
+            let mut guard = shard.write().expect("catalog shard poisoned");
+            guard.version += 1;
+            guard.memo.retain(|(tkey, _), _| unaffected.contains(tkey));
+            let mut freed = 0usize;
+            let mut dropped = 0u64;
+            let mut extended = 0u64;
+            for entries in guard.entries.values_mut() {
+                entries.retain_mut(|e| {
+                    if !e.capture_epochs.contains_key(table) {
+                        return true; // entry does not sketch this table
+                    }
+                    let maintainable = e.capture_epochs.get(table) == Some(&prev_epoch)
+                        && e.sketches
+                            .iter_mut()
+                            .filter(|s| s.table() == table)
+                            .all(|s| s.extend_for_append(schema, new_rows));
+                    if maintainable {
+                        e.capture_epochs.insert(table.to_string(), new_epoch);
+                        extended += 1;
+                        true
+                    } else {
+                        freed += e.bytes;
+                        dropped += 1;
+                        false
+                    }
+                });
+            }
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
+            self.invalidated.fetch_add(dropped, Ordering::Relaxed);
+            self.extended.fetch_add(extended, Ordering::Relaxed);
+        }
+        self.reset_template_meta(table, false);
+    }
+
+    /// Maintain the catalog across a delete from `table` (`db` is the
+    /// **post-mutation** database; `prev_epoch` the table's *data* epoch
+    /// before the delete).
+    ///
+    /// Stored sketches are kept: a sketch instance still contains *all*
+    /// remaining rows of every included fragment, so aggregates over
+    /// included groups are computed correctly, and under the safety rules'
+    /// monotonicity assumptions a group that was excluded cannot enter the
+    /// result by losing rows — the sketch remains a safe superset. What a
+    /// delete does invalidate is everything derived from the old
+    /// statistics: reuse memos, memoized safe-attribute choices, adaptive
+    /// evidence counters, and cached range partitions of the table (their
+    /// equi-depth boundaries came from the old histogram). Entries that
+    /// missed an earlier mutation (epoch gap) are dropped.
+    pub fn on_delete(&self, db: &Database, table: &str, prev_epoch: u64) {
+        let Ok(t) = db.table(table) else { return };
+        let new_epoch = t.data_epoch();
+        self.table_epochs
+            .write()
+            .expect("table epochs poisoned")
+            .insert(table.to_string(), new_epoch);
+        let unaffected = self.templates_unaffected_by(table);
+        for shard in &self.shards {
+            let mut guard = shard.write().expect("catalog shard poisoned");
+            guard.version += 1;
+            guard.memo.retain(|(tkey, _), _| unaffected.contains(tkey));
+            let mut freed = 0usize;
+            let mut dropped = 0u64;
+            for entries in guard.entries.values_mut() {
+                entries.retain_mut(|e| {
+                    if !e.capture_epochs.contains_key(table) {
+                        return true;
+                    }
+                    if e.capture_epochs.get(table) == Some(&prev_epoch) {
+                        e.capture_epochs.insert(table.to_string(), new_epoch);
+                        true
+                    } else {
+                        freed += e.bytes;
+                        dropped += 1;
+                        false
+                    }
+                });
+            }
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
+            self.invalidated.fetch_add(dropped, Ordering::Relaxed);
+        }
+        self.partitions
+            .write()
+            .expect("partition cache poisoned")
+            .retain(|(t, _), _| t != table);
+        self.reset_template_meta(table, true);
+    }
+
+    /// Clear memoized safe-attribute choices (they depend on table
+    /// statistics) and, when `reset_evidence`, the adaptive strategy's
+    /// evidence counters — but only for templates that read `table` (or
+    /// whose table set is not known yet); templates over unrelated tables
+    /// keep their caches.
+    fn reset_template_meta(&self, table: &str, reset_evidence: bool) {
+        let mut meta = self.meta.lock().expect("catalog meta poisoned");
+        for entry in meta.values_mut() {
+            if entry.tables.as_ref().is_none_or(|ts| ts.contains(table)) {
+                entry.safe_attrs = None;
+                if reset_evidence {
+                    entry.evidence = 0;
+                }
+            }
+        }
+    }
+
+    /// Template keys proven *not* to read `table` (their memoized reuse
+    /// outcomes survive a mutation of `table`); everything else — including
+    /// templates the catalog has no table set for — must be invalidated.
+    fn templates_unaffected_by(&self, table: &str) -> HashSet<String> {
+        let meta = self.meta.lock().expect("catalog meta poisoned");
+        meta.iter()
+            .filter(|(_, m)| m.tables.as_ref().is_some_and(|ts| !ts.contains(table)))
+            .map(|(k, _)| k.clone())
+            .collect()
     }
 
     /// Evict least-recently-used entries (never `keep_id`) until the total
@@ -485,6 +739,8 @@ impl SketchCatalog {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            extended: self.extended.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
             stored: self.stored_sketches(),
             bytes: self.bytes.load(Ordering::Relaxed),
         }
@@ -514,6 +770,9 @@ impl SketchCatalog {
         if entry.safe_attrs.is_none() {
             entry.safe_attrs = Some(computed);
         }
+        entry
+            .tables
+            .get_or_insert_with(|| template.plan().tables().into_iter().collect());
         entry.safe_attrs.clone().expect("just set")
     }
 
@@ -604,8 +863,10 @@ impl SketchCatalog {
 }
 
 /// Scan a shard's entries for one the reuse check approves for `binding`,
-/// skipping `(binding, entry)` pairs disproved by runtime re-validation.
-/// Pure lookup: no counters, LRU stamps or memo writes (callers decide).
+/// skipping `(binding, entry)` pairs disproved by runtime re-validation and
+/// entries whose capture epochs no longer match the database (stale after an
+/// unprocessed mutation). Pure lookup: no counters, LRU stamps or memo
+/// writes (callers decide).
 fn scan_for_reusable(
     shard: &Shard,
     db: &Database,
@@ -625,7 +886,9 @@ fn scan_for_reusable(
         .get(&key.0)?
         .iter()
         .find(|e| {
-            !denied_ids.contains(&e.id) && checker.can_reuse(template, &e.binding, binding).reusable
+            !denied_ids.contains(&e.id)
+                && e.fresh(db)
+                && checker.can_reuse(template, &e.binding, binding).reusable
         })
         .map(|e| (e.id, e.sketches.clone()))
 }
@@ -688,7 +951,7 @@ mod tests {
         let tight = vec![Value::Int(53_000)];
         assert!(catalog.find_reusable(&db, &t, &loose).is_none());
         let sketches = capture_for(&db, &catalog, 50_000);
-        catalog.insert(&t, &loose, sketches);
+        catalog.insert(&db, &t, &loose, sketches);
         // A tighter bound reuses the stored sketch.
         assert!(catalog.find_reusable(&db, &t, &tight).is_some());
         let stats = catalog.stats();
@@ -712,7 +975,7 @@ mod tests {
         // Inserting a reusable sketch must invalidate the negative memo:
         // the same binding now hits.
         let sketches = capture_for(&db, &catalog, 50_000);
-        catalog.insert(&t, &[Value::Int(50_000)], sketches);
+        catalog.insert(&db, &t, &[Value::Int(50_000)], sketches);
         assert!(
             catalog.find_reusable(&db, &t, &binding).is_some(),
             "negative memo survived an insert"
@@ -735,13 +998,13 @@ mod tests {
         let b1 = vec![Value::Int(50_000)];
         let b2 = vec![Value::Int(40_000)];
         let b3 = vec![Value::Int(30_000)];
-        catalog.insert(&t, &b1, capture_for(&db, &catalog, 50_000));
-        catalog.insert(&t, &b2, capture_for(&db, &catalog, 40_000));
+        catalog.insert(&db, &t, &b1, capture_for(&db, &catalog, 50_000));
+        catalog.insert(&db, &t, &b2, capture_for(&db, &catalog, 40_000));
         // Touch entry 1 so entry 2 becomes the least recently used.
         assert!(catalog
             .find_reusable(&db, &t, &[Value::Int(53_000)])
             .is_some());
-        catalog.insert(&t, &b3, capture_for(&db, &catalog, 30_000));
+        catalog.insert(&db, &t, &b3, capture_for(&db, &catalog, 30_000));
 
         let stats = catalog.stats();
         assert_eq!(stats.evictions, 1, "{stats:?}");
@@ -760,7 +1023,7 @@ mod tests {
         let catalog = SketchCatalog::default();
         let t = having_template();
         let captured = vec![Value::Int(50_000)];
-        catalog.insert(&t, &captured, capture_for(&db, &catalog, 50_000));
+        catalog.insert(&db, &t, &captured, capture_for(&db, &catalog, 50_000));
 
         let bad = vec![Value::Int(53_000)];
         let good = vec![Value::Int(54_000)];
@@ -771,6 +1034,7 @@ mod tests {
         assert!(!catalog.is_covered(&db, &t, &bad));
         // … and inserts (which clear negative memos) do not resurrect it …
         catalog.insert(
+            &db,
             &t,
             &[Value::Int(49_000)],
             capture_for(&db, &catalog, 49_000),
@@ -787,6 +1051,7 @@ mod tests {
         let catalog = SketchCatalog::default();
         let t = having_template();
         catalog.insert(
+            &db,
             &t,
             &[Value::Int(50_000)],
             capture_for(&db, &catalog, 50_000),
@@ -829,6 +1094,7 @@ mod tests {
         let catalog = SketchCatalog::default();
         let t = having_template();
         catalog.insert(
+            &db,
             &t,
             &[Value::Int(50_000)],
             capture_for(&db, &catalog, 50_000),
@@ -855,13 +1121,225 @@ mod tests {
             .is_some());
     }
 
+    /// Append rows to `sales` (copy-on-write) and run the catalog's append
+    /// maintenance, returning the mutated database.
+    fn append_sales(db: &Database, catalog: &SketchCatalog, rows: Vec<Vec<Value>>) -> Database {
+        let mut db2 = db.clone();
+        let prev = db2.table("sales").unwrap().data_epoch();
+        let old_len = db2.table("sales").unwrap().len();
+        db2.append_rows("sales", rows).unwrap();
+        let new_rows = db2.table("sales").unwrap().rows()[old_len..].to_vec();
+        catalog.on_append(&db2, "sales", &new_rows, prev);
+        db2
+    }
+
+    #[test]
+    fn append_extends_stored_sketches_and_keeps_them_reusable() {
+        let db = sales_db();
+        let catalog = SketchCatalog::default();
+        let t = having_template();
+        catalog.insert(
+            &db,
+            &t,
+            &[Value::Int(50_000)],
+            capture_for(&db, &catalog, 50_000),
+        );
+        let tight = vec![Value::Int(53_000)];
+        assert!(catalog.find_reusable(&db, &t, &tight).is_some());
+
+        let db2 = append_sales(
+            &db,
+            &catalog,
+            (0..40)
+                .map(|i| vec![Value::Int(i), Value::Int(500)])
+                .collect(),
+        );
+        // The maintained entry serves the post-mutation database…
+        assert!(
+            catalog.find_reusable(&db2, &t, &tight).is_some(),
+            "maintained sketch must stay reusable after an append"
+        );
+        assert!(catalog.stats().extended >= 1);
+        assert_eq!(catalog.stats().invalidated, 0);
+        // …and is never offered against the pre-mutation snapshot (its
+        // epochs no longer match), so a stale-snapshot reader cannot observe
+        // fragments that only exist in the future.
+        assert!(catalog.find_reusable(&db, &t, &tight).is_none());
+        // The stale-snapshot miss must not poison the memo: the next
+        // current-snapshot lookup of the same binding still hits.
+        assert!(
+            catalog.find_reusable(&db2, &t, &tight).is_some(),
+            "a stale-snapshot lookup memoized its miss for fresh snapshots"
+        );
+    }
+
+    #[test]
+    fn design_changes_do_not_invalidate_stored_sketches() {
+        let db = sales_db();
+        let catalog = SketchCatalog::default();
+        let t = having_template();
+        catalog.insert(
+            &db,
+            &t,
+            &[Value::Int(50_000)],
+            capture_for(&db, &catalog, 50_000),
+        );
+        // Building a new index bumps the table's design epoch but not its
+        // data epoch: sketches describe data, so reuse must survive.
+        let mut db2 = db.clone();
+        assert!(db2.table_mut("sales").unwrap().create_index("amount"));
+        assert_ne!(
+            db.table("sales").unwrap().epoch(),
+            db2.table("sales").unwrap().epoch()
+        );
+        assert_eq!(
+            db.table("sales").unwrap().data_epoch(),
+            db2.table("sales").unwrap().data_epoch()
+        );
+        assert!(
+            catalog
+                .find_reusable(&db2, &t, &[Value::Int(53_000)])
+                .is_some(),
+            "an index build stranded every stored sketch"
+        );
+    }
+
+    #[test]
+    fn mutations_spare_caches_of_unrelated_templates() {
+        let db = sales_db();
+        let catalog = SketchCatalog::default();
+        let t = having_template();
+        // An unrelated template over a different table with memoized state.
+        let mut db_both = db.clone();
+        let other_schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        db_both.add_table(pbds_storage::Table::new(
+            "other",
+            other_schema,
+            (0..100i64).map(|i| vec![Value::Int(i)]).collect(),
+        ));
+        let other_t = QueryTemplate::new(
+            "other-having",
+            LogicalPlan::scan("other")
+                .aggregate(vec!["x"], vec![AggExpr::new(AggFunc::Count, col("x"), "c")])
+                .filter(col("c").gt(param(0))),
+        );
+        // Learn both templates' table sets and memoize a miss for `other`.
+        catalog.safe_attrs(&db_both, &t);
+        catalog.safe_attrs(&db_both, &other_t);
+        assert!(catalog
+            .find_reusable(&db_both, &other_t, &[Value::Int(5)])
+            .is_none());
+        let memo_before = catalog.stats().memo_hits;
+
+        // Mutating `sales` must not clear the memo of the `other` template.
+        let mut db2 = db_both.clone();
+        let prev = db2.table("sales").unwrap().data_epoch();
+        db2.append_rows("sales", vec![vec![Value::Int(1), Value::Int(7)]])
+            .unwrap();
+        let new_rows = vec![db2.table("sales").unwrap().rows().last().unwrap().clone()];
+        catalog.on_append(&db2, "sales", &new_rows, prev);
+
+        assert!(catalog
+            .find_reusable(&db2, &other_t, &[Value::Int(5)])
+            .is_none());
+        assert!(
+            catalog.stats().memo_hits > memo_before,
+            "unrelated template's memo was wiped by the mutation"
+        );
+    }
+
+    #[test]
+    fn delete_keeps_entries_as_supersets_and_invalidates_partitions() {
+        let db = sales_db();
+        let catalog = SketchCatalog::default();
+        let t = having_template();
+        let attr = catalog.safe_attrs(&db, &t).unwrap().remove(0);
+        let part_before = catalog.partition_for(&db, &attr, 16).unwrap();
+        catalog.insert(
+            &db,
+            &t,
+            &[Value::Int(50_000)],
+            capture_for(&db, &catalog, 50_000),
+        );
+
+        let mut db2 = db.clone();
+        let prev = db2.table("sales").unwrap().data_epoch();
+        db2.delete_where("sales", |r| r[1] == Value::Int(38))
+            .unwrap();
+        catalog.on_delete(&db2, "sales", prev);
+
+        // Entries survive as still-safe supersets and serve the new state.
+        assert_eq!(catalog.stored_sketches(), 1);
+        assert!(catalog
+            .find_reusable(&db2, &t, &[Value::Int(53_000)])
+            .is_some());
+        // The cached partition was rebuilt from the new statistics.
+        let part_after = catalog.partition_for(&db2, &attr, 16).unwrap();
+        assert!(
+            !Arc::ptr_eq(&part_before, &part_after),
+            "partition cache survived a delete"
+        );
+    }
+
+    #[test]
+    fn stale_capture_insert_is_rejected() {
+        let db = sales_db();
+        let catalog = SketchCatalog::default();
+        let t = having_template();
+        // Capture against the pre-mutation snapshot…
+        let sketches = capture_for(&db, &catalog, 50_000);
+        // …then a mutation is processed before the capture lands.
+        let db2 = append_sales(&db, &catalog, vec![vec![Value::Int(1), Value::Int(7)]]);
+        assert!(
+            catalog
+                .insert(&db, &t, &[Value::Int(50_000)], sketches)
+                .is_none(),
+            "stale sketch set must be rejected"
+        );
+        assert_eq!(catalog.stored_sketches(), 0);
+        assert!(catalog.stats().invalidated >= 1);
+        // A capture against the current snapshot is accepted.
+        let fresh = capture_for(&db2, &catalog, 50_000);
+        assert!(catalog
+            .insert(&db2, &t, &[Value::Int(50_000)], fresh)
+            .is_some());
+    }
+
+    #[test]
+    fn unfragmentable_append_forces_recapture() {
+        use pbds_storage::CompositePartition;
+        let db = sales_db();
+        let catalog = SketchCatalog::default();
+        let t = having_template();
+        // A composite (PSMIX-style) sketch has one fragment per *seen* key:
+        // an appended row with a novel group has no fragment, so the stored
+        // sketch cannot be maintained and must be dropped.
+        let table = db.table("sales").unwrap();
+        let part: PartitionRef = Arc::new(Partition::Composite(
+            CompositePartition::build("sales", table.schema(), table.rows(), &["grp"]).unwrap(),
+        ));
+        let mut sketch = ProvenanceSketch::empty(part);
+        sketch.add_fragment(0);
+        catalog.insert(&db, &t, &[Value::Int(50_000)], vec![sketch]);
+        assert_eq!(catalog.stored_sketches(), 1);
+
+        // grp = 999 never occurred: partition shape changed.
+        let _db2 = append_sales(&db, &catalog, vec![vec![Value::Int(999), Value::Int(1)]]);
+        assert_eq!(
+            catalog.stored_sketches(),
+            0,
+            "sketch over an outgrown partition must be invalidated"
+        );
+        assert!(catalog.stats().invalidated >= 1);
+    }
+
     #[test]
     fn concurrent_lookups_and_inserts_are_consistent() {
         let db = Arc::new(sales_db());
         let catalog = Arc::new(SketchCatalog::default());
         let t = having_template();
         let sketches = capture_for(&db, &catalog, 50_000);
-        catalog.insert(&t, &[Value::Int(50_000)], sketches);
+        catalog.insert(&db, &t, &[Value::Int(50_000)], sketches);
         std::thread::scope(|s| {
             for w in 0..8 {
                 let db = Arc::clone(&db);

@@ -68,7 +68,7 @@ pub use instrument::{apply_sketches, sketch_predicate, UsePredicateStyle};
 pub use pbds::{Pbds, PbdsError};
 pub use reuse::{ReuseChecker, ReuseResult};
 pub use safety::{PartitionAttr, SafetyChecker, SafetyResult};
-pub use server::{PbdsServer, PbdsSession, ServedQuery, ServerConfig};
+pub use server::{Mutation, MutationOutcome, PbdsServer, PbdsSession, ServedQuery, ServerConfig};
 pub use tuning::{
     cumulative_elapsed, estimate_selectivity, Action, QueryRecord, SelfTuningExecutor, Strategy,
 };

@@ -28,13 +28,13 @@ use crate::catalog::SketchCatalog;
 use crate::instrument::UsePredicateStyle;
 use crate::pbds::PbdsError;
 use crate::tuning::{estimate_selectivity, execute_with_reuse, Action, QueryRecord, Strategy};
-use pbds_algebra::{templatize, LogicalPlan, QueryTemplate};
-use pbds_exec::{Engine, EngineProfile};
+use pbds_algebra::{templatize, Expr, LogicalPlan, QueryTemplate};
+use pbds_exec::{CompiledExpr, Engine, EngineProfile};
 use pbds_provenance::{capture_sketches_with_profile, CaptureConfig};
-use pbds_storage::{Database, PartitionRef, Relation, Value};
+use pbds_storage::{Database, PartitionRef, Relation, Row, Value};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 /// Configuration of a [`PbdsServer`].
@@ -85,9 +85,16 @@ struct CaptureTask {
     binding: Vec<Value>,
 }
 
-/// State shared between sessions and capture workers.
+/// State shared between sessions, capture workers and mutators.
 struct ServerShared {
-    db: Arc<Database>,
+    /// The served database, swapped atomically by [`PbdsServer::apply_mutation`].
+    /// Sessions and capture workers take an `Arc` snapshot per unit of work,
+    /// so every query executes against one consistent database state.
+    db: RwLock<Arc<Database>>,
+    /// Serializes mutators: the whole read-snapshot → copy-on-write → swap
+    /// cycle runs under this lock, so concurrent `apply_mutation` calls are
+    /// linearized and no update can be lost.
+    mutation_lock: Mutex<()>,
     catalog: Arc<SketchCatalog>,
     engine: Engine,
     config: ServerConfig,
@@ -101,6 +108,11 @@ struct ServerShared {
 }
 
 impl ServerShared {
+    /// The current database snapshot.
+    fn snapshot(&self) -> Arc<Database> {
+        Arc::clone(&self.db.read().expect("database lock poisoned"))
+    }
+
     fn capture_finished(&self) {
         let mut n = self.in_flight.lock().expect("in_flight poisoned");
         *n -= 1;
@@ -108,6 +120,28 @@ impl ServerShared {
             self.drained.notify_all();
         }
     }
+}
+
+/// A data mutation applied through the serving middleware.
+#[derive(Debug, Clone)]
+pub enum Mutation {
+    /// Append rows at the tail of the table.
+    Append(Vec<Row>),
+    /// Delete every row matching the predicate (evaluated against the
+    /// table's schema; NULL counts as not matching).
+    DeleteWhere(Expr),
+}
+
+/// What [`PbdsServer::apply_mutation`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutationOutcome {
+    /// The mutated table.
+    pub table: String,
+    /// The table's new data epoch (unchanged for an empty append or a
+    /// delete matching nothing).
+    pub epoch: u64,
+    /// Rows appended or deleted.
+    pub rows_affected: usize,
 }
 
 /// The concurrent sketch-serving middleware. See the [module docs](self).
@@ -140,7 +174,8 @@ impl PbdsServer {
         config: ServerConfig,
     ) -> Self {
         let shared = Arc::new(ServerShared {
-            db,
+            db: RwLock::new(db),
+            mutation_lock: Mutex::new(()),
             catalog,
             engine: Engine::new(config.profile).with_parallelism(config.scan_parallelism),
             config,
@@ -170,9 +205,83 @@ impl PbdsServer {
         &self.shared.catalog
     }
 
-    /// The served database.
-    pub fn db(&self) -> &Arc<Database> {
-        &self.shared.db
+    /// A snapshot of the served database (the state as of the last applied
+    /// mutation).
+    pub fn db(&self) -> Arc<Database> {
+        self.shared.snapshot()
+    }
+
+    /// Apply a data mutation to a served table, maintaining every derived
+    /// layer: the storage epoch advances (invalidating zone maps, indexes,
+    /// columnar chunks and statistics), and the shared [`SketchCatalog`] is
+    /// told to extend or invalidate its stored sketches, reuse memos,
+    /// partitions and safe-attribute choices.
+    ///
+    /// Mutations are serialized against each other, and against in-flight
+    /// session workers via database snapshots: the table is mutated
+    /// copy-on-write and the new database is swapped in atomically, so every
+    /// query — including ones running while the mutation lands — executes
+    /// against exactly one consistent state, and every query admitted after
+    /// `apply_mutation` returns observes the mutation. Serving therefore
+    /// stays linearizable: queries and mutations behave as if executed one
+    /// at a time in admission order.
+    pub fn apply_mutation(
+        &self,
+        table: &str,
+        mutation: Mutation,
+    ) -> Result<MutationOutcome, PbdsError> {
+        let shared = &self.shared;
+        let _serialized = shared.mutation_lock.lock().expect("mutation lock poisoned");
+        let current = shared.snapshot();
+        let prev_epoch = current.table(table)?.data_epoch();
+        let mut db = (*current).clone();
+        let outcome = match mutation {
+            Mutation::Append(rows) => {
+                let appended = rows.len();
+                let old_len = current.table(table)?.len();
+                let epoch = db.append_rows(table, rows)?;
+                if appended > 0 {
+                    let t = db.table(table)?;
+                    shared
+                        .catalog
+                        .on_append(&db, table, &t.rows()[old_len..], prev_epoch);
+                }
+                MutationOutcome {
+                    table: table.to_string(),
+                    epoch,
+                    rows_affected: appended,
+                }
+            }
+            Mutation::DeleteWhere(predicate) => {
+                // Evaluate the predicate first (propagating evaluation
+                // errors before anything is deleted), then delete by mask.
+                let doomed: Vec<bool> = {
+                    let t = db.table(table)?;
+                    let compiled = CompiledExpr::compile(&predicate, t.schema());
+                    t.rows()
+                        .iter()
+                        .map(|row| compiled.matches(row))
+                        .collect::<Result<_, _>>()?
+                };
+                let mut i = 0;
+                let deleted = db.delete_where(table, |_| {
+                    let d = doomed[i];
+                    i += 1;
+                    d
+                })?;
+                let epoch = db.table(table)?.data_epoch();
+                if deleted > 0 {
+                    shared.catalog.on_delete(&db, table, prev_epoch);
+                }
+                MutationOutcome {
+                    table: table.to_string(),
+                    epoch,
+                    rows_affected: deleted,
+                }
+            }
+        };
+        *shared.db.write().expect("database lock poisoned") = Arc::new(db);
+        Ok(outcome)
     }
 
     /// Open a session. Sessions are lightweight and `Send`; open one per
@@ -263,25 +372,31 @@ impl PbdsSession<'_> {
         binding: &[Value],
     ) -> Result<ServedQuery, PbdsError> {
         let shared = &self.server.shared;
+        // One snapshot per query: the whole serve — safety analysis, reuse
+        // lookup, execution — sees a single consistent database state even
+        // while mutations land concurrently. The catalog's per-entry epoch
+        // check guarantees no sketch maintained past this snapshot's epoch
+        // (nor one lagging behind it) is ever offered against it.
+        let db = shared.snapshot();
         let plan = template.instantiate(binding);
         if shared.config.strategy == Strategy::NoPbds {
-            return self.plain(template, &plan, false);
+            return self.plain(&db, template, &plan, false);
         }
 
-        let Some(_attrs) = shared.catalog.safe_attrs(&shared.db, template) else {
-            return self.plain(template, &plan, false);
+        let Some(_attrs) = shared.catalog.safe_attrs(&db, template) else {
+            return self.plain(&db, template, &plan, false);
         };
 
-        if let Some(est) = estimate_selectivity(&shared.db, &plan) {
+        if let Some(est) = estimate_selectivity(&db, &plan) {
             if est > shared.config.strategy.selectivity_threshold() {
-                return self.plain(template, &plan, false);
+                return self.plain(&db, template, &plan, false);
             }
         }
 
         // Catalog hit (including the revalidation fallback): same code path
         // as the self-tuning executor, so the bookkeeping cannot drift.
         if let Some((record, relation)) = execute_with_reuse(
-            &shared.db,
+            &db,
             &shared.engine,
             &shared.catalog,
             shared.config.style,
@@ -303,7 +418,7 @@ impl PbdsSession<'_> {
             .strategy
             .capture_on_miss(&shared.catalog, template)
             && self.enqueue_capture(template, binding);
-        self.plain(template, &plan, enqueued)
+        self.plain(&db, template, &plan, enqueued)
     }
 
     /// Templatize a raw query instance (extracting its literal parameters)
@@ -340,12 +455,13 @@ impl PbdsSession<'_> {
 
     fn plain(
         &self,
+        db: &Database,
         template: &QueryTemplate,
         plan: &LogicalPlan,
         capture_enqueued: bool,
     ) -> Result<ServedQuery, PbdsError> {
         let shared = &self.server.shared;
-        let out = shared.engine.execute(&shared.db, plan)?;
+        let out = shared.engine.execute(db, plan)?;
         Ok(ServedQuery {
             record: QueryRecord {
                 template: template.name().to_string(),
@@ -391,16 +507,20 @@ fn capture_worker(shared: &ServerShared, rx: &Mutex<Receiver<CaptureTask>>) {
 
 fn run_capture(shared: &ServerShared, task: &CaptureTask) {
     let started = std::time::Instant::now();
+    // The capture runs against one database snapshot; if a mutation lands
+    // mid-capture, the catalog's epoch-checked insert rejects the (now
+    // stale) sketch set rather than storing pre-mutation provenance.
+    let db = shared.snapshot();
     // A concurrent capture may have landed a sketch that already covers this
     // binding; re-check before paying the capture cost. The quiet probe
     // keeps hit/miss counters and LRU stamps reflecting serving traffic.
     if shared
         .catalog
-        .is_covered(&shared.db, &task.template, &task.binding)
+        .is_covered(&db, &task.template, &task.binding)
     {
         return;
     }
-    let Some(attrs) = shared.catalog.safe_attrs(&shared.db, &task.template) else {
+    let Some(attrs) = shared.catalog.safe_attrs(&db, &task.template) else {
         return;
     };
     let partitions: Vec<PartitionRef> = attrs
@@ -408,7 +528,7 @@ fn run_capture(shared: &ServerShared, task: &CaptureTask) {
         .filter_map(|a| {
             shared
                 .catalog
-                .partition_for(&shared.db, a, shared.config.fragments)
+                .partition_for(&db, a, shared.config.fragments)
         })
         .collect();
     if partitions.is_empty() {
@@ -416,7 +536,7 @@ fn run_capture(shared: &ServerShared, task: &CaptureTask) {
     }
     let plan = task.template.instantiate(&task.binding);
     let Ok(capture) = capture_sketches_with_profile(
-        &shared.db,
+        &db,
         &plan,
         &partitions,
         &CaptureConfig::optimized(),
@@ -424,9 +544,13 @@ fn run_capture(shared: &ServerShared, task: &CaptureTask) {
     ) else {
         return; // capture failure only loses the optimization, never a result
     };
-    shared
+    if shared
         .catalog
-        .insert(&task.template, &task.binding, capture.sketches);
+        .insert(&db, &task.template, &task.binding, capture.sketches)
+        .is_none()
+    {
+        return; // rejected as stale: a mutation landed while capturing
+    }
     shared.captures_done.fetch_add(1, Ordering::Relaxed);
     shared
         .capture_nanos
@@ -555,6 +679,105 @@ mod tests {
         server.drain();
         let second = session.serve_plan("adhoc", &make_plan(53_000)).unwrap();
         assert_eq!(second.record.action, Action::UseSketch);
+    }
+
+    #[test]
+    fn append_mutation_keeps_serving_fresh_and_correct() {
+        let db = sales_db();
+        let server = PbdsServer::new(Arc::clone(&db), ServerConfig::default());
+        let session = server.session();
+        let t = having_template();
+        let tight = vec![Value::Int(53_000)];
+        session.serve(&t, &[Value::Int(50_000)]).unwrap();
+        server.drain();
+        assert_eq!(
+            session.serve(&t, &tight).unwrap().record.action,
+            Action::UseSketch
+        );
+
+        // Push two groups' totals around; every new row lands in an
+        // existing fragment, so the stored sketch is extended, not dropped.
+        let outcome = server
+            .apply_mutation(
+                "sales",
+                Mutation::Append(
+                    (0..60)
+                        .map(|i| vec![Value::Int(i % 3), Value::Int(900)])
+                        .collect(),
+                ),
+            )
+            .unwrap();
+        assert_eq!(outcome.rows_affected, 60);
+        assert_eq!(server.db().table("sales").unwrap().len(), 5_060);
+
+        let served = session.serve(&t, &tight).unwrap();
+        let plain = Engine::new(EngineProfile::Indexed)
+            .execute(&server.db(), &t.instantiate(&tight))
+            .unwrap();
+        assert!(
+            served.relation.bag_eq(&plain.relation),
+            "served result diverged from plain execution after append \
+             (action {:?})",
+            served.record.action
+        );
+        assert!(server.catalog().stats().extended >= 1);
+        // The maintained sketch keeps answering without recapture.
+        assert_eq!(served.record.action, Action::UseSketch);
+    }
+
+    #[test]
+    fn delete_mutation_keeps_serving_fresh_and_correct() {
+        let db = sales_db();
+        let server = PbdsServer::new(Arc::clone(&db), ServerConfig::default());
+        let session = server.session();
+        let t = having_template();
+        let tight = vec![Value::Int(53_000)];
+        session.serve(&t, &[Value::Int(50_000)]).unwrap();
+        server.drain();
+
+        let outcome = server
+            .apply_mutation("sales", Mutation::DeleteWhere(col("amount").gt(lit(900))))
+            .unwrap();
+        assert!(outcome.rows_affected > 0);
+        let expected_len = 5_000 - outcome.rows_affected;
+        assert_eq!(server.db().table("sales").unwrap().len(), expected_len);
+
+        let served = session.serve(&t, &tight).unwrap();
+        let plain = Engine::new(EngineProfile::Indexed)
+            .execute(&server.db(), &t.instantiate(&tight))
+            .unwrap();
+        assert!(
+            served.relation.bag_eq(&plain.relation),
+            "served result diverged from plain execution after delete \
+             (action {:?})",
+            served.record.action
+        );
+    }
+
+    #[test]
+    fn bad_mutations_are_rejected_without_side_effects() {
+        let db = sales_db();
+        let server = PbdsServer::new(Arc::clone(&db), ServerConfig::default());
+        // Wrong arity: nothing is appended, the snapshot is unchanged.
+        let err = server
+            .apply_mutation("sales", Mutation::Append(vec![vec![Value::Int(1)]]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PbdsError::Storage(pbds_storage::StorageError::ArityMismatch { .. })
+        ));
+        assert_eq!(server.db().table("sales").unwrap().len(), 5_000);
+        // Unknown table.
+        assert!(server
+            .apply_mutation("nope", Mutation::Append(vec![]))
+            .is_err());
+        // A delete predicate referencing a missing column errors before
+        // deleting anything.
+        let err = server
+            .apply_mutation("sales", Mutation::DeleteWhere(col("missing").gt(lit(0))))
+            .unwrap_err();
+        assert!(matches!(err, PbdsError::Exec(_)));
+        assert_eq!(server.db().table("sales").unwrap().len(), 5_000);
     }
 
     #[test]

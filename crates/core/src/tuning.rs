@@ -294,7 +294,8 @@ impl<'a> SelfTuningExecutor<'a> {
             },
             result_rows: capture.result.len(),
         };
-        self.catalog.insert(template, binding, capture.sketches);
+        self.catalog
+            .insert(self.db, template, binding, capture.sketches);
         Ok(record)
     }
 

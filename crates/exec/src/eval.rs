@@ -36,6 +36,7 @@ impl From<pbds_storage::StorageError> for ExecError {
             pbds_storage::StorageError::UnknownColumn { column, .. } => {
                 ExecError::UnknownColumn(column)
             }
+            e @ pbds_storage::StorageError::ArityMismatch { .. } => ExecError::Plan(e.to_string()),
         }
     }
 }

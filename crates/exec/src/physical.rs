@@ -1064,6 +1064,27 @@ pub(crate) struct ScanOp<'a, P: TagPolicy> {
     /// (rid-list scans under [`ExecOptions::vectorized`]).
     compiled: Option<CompiledExpr>,
     source: RidSource,
+    /// Table epoch the row-id set was resolved at; re-validated before every
+    /// batch so a mutation can never make the scan read stale row ids.
+    epoch: u64,
+}
+
+/// Validate that the table still is at the epoch a scan's row-id set (or
+/// chunk projection) was resolved at. Rust's borrow rules make an in-scan
+/// mutation impossible for `&Table` scans, but the check turns any future
+/// interior-mutability bug — or a plan executed across a mutation — into a
+/// reported error instead of silently wrong rows.
+fn check_scan_epoch(table: &Table, resolved_at: u64) -> Result<(), ExecError> {
+    if table.epoch() != resolved_at {
+        return Err(ExecError::Plan(format!(
+            "table {} mutated during scan (epoch {} -> {}); re-plan against \
+             the current database",
+            table.name(),
+            resolved_at,
+            table.epoch()
+        )));
+    }
+    Ok(())
 }
 
 /// Build the executor for a scan operator over an already-resolved table
@@ -1085,18 +1106,24 @@ pub(crate) fn make_scan_op<'a, P: TagPolicy>(
 ) -> Result<BoxOp<'a, P>, ExecError> {
     let (filter, source) = resolve_scan(table, op, stats)?;
     stats.rows_scanned += source.row_count() as u64;
+    let epoch = table.epoch();
     if opts.vectorized {
         if let Some(pred) = filter {
             let compiled = CompiledExpr::compile(pred, table.schema());
             if let ScanSource::Segments(segs) = &source {
                 stats.vectorized_scans += 1;
+                // The chunk projection is fetched once through the
+                // epoch-checked cache; the op re-validates the epoch before
+                // trusting it for each batch.
+                let chunks = table.columnar_chunks();
                 return Ok(Box::new(VectorScanOp {
                     table,
                     policy,
                     compiled,
-                    pieces: chunk_aligned_pieces(segs, table.columnar_chunks().block_size())
-                        .into_iter(),
+                    pieces: chunk_aligned_pieces(segs, chunks.block_size()).into_iter(),
+                    chunks,
                     current: None,
+                    epoch,
                 }));
             }
             return Ok(Box::new(ScanOp {
@@ -1105,6 +1132,7 @@ pub(crate) fn make_scan_op<'a, P: TagPolicy>(
                 filter,
                 compiled: Some(compiled),
                 source: source.into_rid_source(),
+                epoch,
             }));
         }
     }
@@ -1114,11 +1142,13 @@ pub(crate) fn make_scan_op<'a, P: TagPolicy>(
         filter,
         compiled: None,
         source: source.into_rid_source(),
+        epoch,
     }))
 }
 
 impl<P: TagPolicy> BatchOp<P> for ScanOp<'_, P> {
     fn next_batch(&mut self, _stats: &mut ExecStats) -> Result<Option<Batch<P::Tag>>, ExecError> {
+        check_scan_epoch(self.table, self.epoch)?;
         let schema = self.table.schema();
         let name = self.table.name();
         let mut batch = Batch::with_capacity(BATCH_SIZE);
@@ -1171,12 +1201,17 @@ struct VectorScanOp<'a, P: TagPolicy> {
     policy: &'a P,
     compiled: CompiledExpr,
     pieces: std::vec::IntoIter<(usize, usize)>,
+    /// Chunk projection snapshot fetched (epoch-checked) at operator build.
+    chunks: std::sync::Arc<pbds_storage::ColumnarChunks>,
     /// Currently drained piece: `(piece_lo, selection, next bit index)`.
     current: Option<(usize, SelBitmap, usize)>,
+    /// Table epoch `chunks` was fetched at; re-validated per batch.
+    epoch: u64,
 }
 
 impl<P: TagPolicy> BatchOp<P> for VectorScanOp<'_, P> {
     fn next_batch(&mut self, stats: &mut ExecStats) -> Result<Option<Batch<P::Tag>>, ExecError> {
+        check_scan_epoch(self.table, self.epoch)?;
         let schema = self.table.schema();
         let name = self.table.name();
         let rows = self.table.rows();
@@ -1187,8 +1222,7 @@ impl<P: TagPolicy> BatchOp<P> for VectorScanOp<'_, P> {
                     break;
                 };
                 let chunk = self
-                    .table
-                    .columnar_chunks()
+                    .chunks
                     .chunk_for(lo)
                     .ok_or_else(|| ExecError::Plan("row id beyond chunk range".into()))?;
                 let sel = eval_filter_block(&self.compiled, chunk, rows, lo, hi)?;
@@ -1253,7 +1287,9 @@ fn scan_morsel<P: TagPolicy>(
     compiled: Option<&CompiledExpr>,
     source: ScanSource,
     policy: &P,
+    epoch: u64,
 ) -> MorselResult<P::Tag> {
+    check_scan_epoch(table, epoch)?;
     let schema = table.schema();
     let name = table.name();
     let mut local = ExecStats::default();
@@ -1329,6 +1365,7 @@ where
         return Ok(None);
     }
     let (filter, source) = resolve_scan(table, op, stats)?;
+    let epoch = table.epoch();
     if opts.vectorized && filter.is_some() && matches!(source, ScanSource::Segments(_)) {
         stats.vectorized_scans += 1;
     }
@@ -1348,7 +1385,7 @@ where
     if source.row_count() < PARALLEL_SCAN_THRESHOLD {
         // The access path already narrowed the scan (index probe / zone-map
         // skipping); scan the survivors sequentially as a single morsel.
-        let (rows, local) = scan_morsel(table, filter, compiled, source, policy)?;
+        let (rows, local) = scan_morsel(table, filter, compiled, source, policy, epoch)?;
         stats.merge_parallel(&local);
         return Ok(Some(rows));
     }
@@ -1356,7 +1393,7 @@ where
     let results: Vec<MorselResult<P::Tag>> = std::thread::scope(|s| {
         let handles: Vec<_> = morsels
             .into_iter()
-            .map(|m| s.spawn(move || scan_morsel(table, filter, compiled, m, policy)))
+            .map(|m| s.spawn(move || scan_morsel(table, filter, compiled, m, policy, epoch)))
             .collect();
         handles
             .into_iter()

@@ -99,6 +99,31 @@ impl ProvenanceSketch {
         self.fragments.set(fragment);
     }
 
+    /// Maintain the sketch across an append to the partitioned table: add
+    /// the fragment of every appended row, so the sketch stays a superset of
+    /// the accurate sketch over the grown data (fragments that received no
+    /// new rows keep their membership; fragments that did are now fully
+    /// included, covering any group whose aggregate the append changed).
+    ///
+    /// Returns `false` when some new row has **no** fragment under this
+    /// partition (a novel composite key, or a NULL partitioning value): the
+    /// partition's shape cannot describe the new data, so the sketch cannot
+    /// be maintained and the caller must force a recapture. Fragments set
+    /// before the failing row stay set — the sketch only ever grows, which
+    /// is harmless for a sketch about to be discarded.
+    pub fn extend_for_append(&mut self, schema: &Schema, new_rows: &[Row]) -> bool {
+        let Some(idxs) = self.partition.resolve_attrs(schema) else {
+            return false;
+        };
+        for row in new_rows {
+            match self.partition.fragment_of_row_at(&idxs, row) {
+                Some(f) => self.fragments.set(f),
+                None => return false,
+            }
+        }
+        true
+    }
+
     /// Union with another sketch over the same partition.
     pub fn union(&self, other: &ProvenanceSketch) -> ProvenanceSketch {
         assert!(Arc::ptr_eq(&self.partition, &other.partition) || self.compatible_with(other));
@@ -344,6 +369,28 @@ mod tests {
         assert_eq!(ranges[0].hi, Some(Value::from("DE")));
         assert_eq!(ranges[1].lo, Some(Value::from("MI")));
         assert!(sketch.to_keys().is_none());
+    }
+
+    #[test]
+    fn extend_for_append_adds_new_row_fragments() {
+        let table = cities_table();
+        let mut sketch = ProvenanceSketch::from_rows(
+            state_partition(),
+            table.schema(),
+            vec![table.rows()[1].clone()], // CA -> fragment 0
+        );
+        assert_eq!(sketch.selected_fragments(), vec![0]);
+        // Appending an NY row (fragment 2) extends the sketch.
+        let new_rows = vec![vec![
+            Value::Int(1234),
+            Value::from("Albany"),
+            Value::from("NY"),
+        ]];
+        assert!(sketch.extend_for_append(table.schema(), &new_rows));
+        assert_eq!(sketch.selected_fragments(), vec![0, 2]);
+        // A NULL partitioning value has no fragment: maintenance fails.
+        let null_row = vec![vec![Value::Int(1), Value::from("x"), Value::Null]];
+        assert!(!sketch.extend_for_append(table.schema(), &null_row));
     }
 
     #[test]

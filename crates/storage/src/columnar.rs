@@ -15,6 +15,7 @@
 use crate::relation::Row;
 use crate::schema::Schema;
 use crate::value::Value;
+use std::sync::Arc;
 
 /// Typed storage of one column within one chunk.
 #[derive(Debug, Clone)]
@@ -102,10 +103,15 @@ impl ColumnarChunk {
 }
 
 /// The columnar projection of a whole table: one chunk per zone-map block.
+///
+/// Chunks are stored behind `Arc` so that extending the projection after an
+/// append (see [`ColumnarChunks::extend`]) reuses the untouched chunks
+/// instead of re-encoding — only the trailing partial chunk is rebuilt and
+/// new tail chunks are added.
 #[derive(Debug, Clone)]
 pub struct ColumnarChunks {
     block_size: usize,
-    chunks: Vec<ColumnarChunk>,
+    chunks: Vec<Arc<ColumnarChunk>>,
 }
 
 impl ColumnarChunks {
@@ -113,22 +119,43 @@ impl ColumnarChunks {
     /// (aligned with the table's zone-map blocks).
     pub fn build(schema: &Schema, rows: &[Row], block_size: usize) -> Self {
         assert!(block_size > 0, "chunk size must be positive");
+        let mut out = ColumnarChunks {
+            block_size,
+            chunks: Vec::with_capacity(rows.len().div_ceil(block_size)),
+        };
+        out.append_chunks(schema, rows, 0);
+        out
+    }
+
+    /// Extend the projection after rows were appended at the tail: `covered`
+    /// is the row count it was built over. The (possibly partial) last chunk
+    /// is re-encoded and new tail chunks are added; untouched chunks are
+    /// shared with the previous projection. The result is value-identical to
+    /// a from-scratch [`ColumnarChunks::build`] over all `rows`.
+    pub fn extend(&mut self, schema: &Schema, rows: &[Row], covered: usize) {
+        assert!(covered <= rows.len(), "extend cannot shrink a projection");
+        let rebuilt_from = covered - (covered % self.block_size);
+        self.chunks.retain(|c| c.end <= rebuilt_from);
+        self.append_chunks(schema, rows, rebuilt_from);
+    }
+
+    /// Encode `rows[from..]` into chunks appended at the tail (`from` must
+    /// be a multiple of the block size).
+    fn append_chunks(&mut self, schema: &Schema, rows: &[Row], from: usize) {
         let arity = schema.arity();
-        let mut chunks = Vec::with_capacity(rows.len().div_ceil(block_size));
-        let mut start = 0usize;
+        let mut start = from;
         while start < rows.len() {
-            let end = (start + block_size).min(rows.len());
+            let end = (start + self.block_size).min(rows.len());
             let columns = (0..arity)
                 .map(|c| build_column(&rows[start..end], c))
                 .collect();
-            chunks.push(ColumnarChunk {
+            self.chunks.push(Arc::new(ColumnarChunk {
                 start,
                 end,
                 columns,
-            });
+            }));
             start = end;
         }
-        ColumnarChunks { block_size, chunks }
     }
 
     /// Rows per chunk (matches the zone-map block size it was built with).
@@ -137,13 +164,13 @@ impl ColumnarChunks {
     }
 
     /// All chunks in table order.
-    pub fn chunks(&self) -> &[ColumnarChunk] {
+    pub fn chunks(&self) -> &[Arc<ColumnarChunk>] {
         &self.chunks
     }
 
     /// The chunk containing table row `rid`, if in range.
     pub fn chunk_for(&self, rid: usize) -> Option<&ColumnarChunk> {
-        self.chunks.get(rid / self.block_size)
+        self.chunks.get(rid / self.block_size).map(Arc::as_ref)
     }
 }
 
@@ -322,6 +349,47 @@ mod tests {
                 unreachable!()
             };
             assert_eq!(&dict[codes[i] as usize], s);
+        }
+    }
+
+    #[test]
+    fn extend_shares_full_chunks_and_matches_fresh_build() {
+        let all = rows(250);
+        let mut c = ColumnarChunks::build(&schema(), &all[..130], 100);
+        let first_chunk = Arc::clone(&c.chunks()[0]);
+        c.extend(&schema(), &all, 130);
+        let fresh = ColumnarChunks::build(&schema(), &all, 100);
+        assert_eq!(c.chunks().len(), fresh.chunks().len());
+        // The untouched full chunk is shared, not re-encoded.
+        assert!(Arc::ptr_eq(&c.chunks()[0], &first_chunk));
+        // Every chunk decodes to the same values as a fresh build.
+        for (a, b) in c.chunks().iter().zip(fresh.chunks()) {
+            assert_eq!((a.start, a.end), (b.start, b.end));
+            for col in 0..4 {
+                for i in 0..a.len() {
+                    assert_eq!(a.column(col).is_null(i), b.column(col).is_null(i));
+                }
+                match (a.column(col).data(), b.column(col).data()) {
+                    (ColumnData::Int(x), ColumnData::Int(y)) => assert_eq!(x, y),
+                    (ColumnData::Float(x), ColumnData::Float(y)) => assert_eq!(x, y),
+                    (ColumnData::Bool(x), ColumnData::Bool(y)) => assert_eq!(x, y),
+                    (ColumnData::Mixed(x), ColumnData::Mixed(y)) => assert_eq!(x, y),
+                    (
+                        ColumnData::Dict {
+                            dict: d1,
+                            codes: c1,
+                        },
+                        ColumnData::Dict {
+                            dict: d2,
+                            codes: c2,
+                        },
+                    ) => {
+                        assert_eq!(d1, d2);
+                        assert_eq!(c1, c2);
+                    }
+                    (x, y) => panic!("chunk column kind diverged: {x:?} vs {y:?}"),
+                }
+            }
         }
     }
 

@@ -16,6 +16,15 @@ pub enum StorageError {
         /// Missing column name.
         column: String,
     },
+    /// A row's arity does not match the schema it is being stored under.
+    ArityMismatch {
+        /// What was being built or mutated (table name or "relation").
+        context: String,
+        /// The schema's arity.
+        expected: usize,
+        /// The offending row's arity.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for StorageError {
@@ -24,6 +33,16 @@ impl std::fmt::Display for StorageError {
             StorageError::UnknownTable(t) => write!(f, "unknown table: {t}"),
             StorageError::UnknownColumn { table, column } => {
                 write!(f, "unknown column {column} in table {table}")
+            }
+            StorageError::ArityMismatch {
+                context,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "row arity mismatch in {context}: schema has {expected} columns, row has {got}"
+                )
             }
         }
     }
@@ -80,6 +99,37 @@ impl Database {
         let mut db = self.clone();
         db.add_table(table);
         db
+    }
+
+    /// Mutable access to a table for in-place mutation. Shared tables are
+    /// cloned copy-on-write (the clone shares already built derived
+    /// artifacts via `Arc` until the mutation invalidates them), so readers
+    /// holding the old `Arc<Table>` keep a consistent snapshot.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StorageError> {
+        self.tables
+            .get_mut(name)
+            .map(Arc::make_mut)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Append rows to a table (copy-on-write when shared); returns the
+    /// table's new epoch. See [`Table::append_rows`].
+    pub fn append_rows(
+        &mut self,
+        table: &str,
+        rows: Vec<crate::relation::Row>,
+    ) -> Result<u64, StorageError> {
+        self.table_mut(table)?.append_rows(rows)
+    }
+
+    /// Delete rows matching `pred` from a table (copy-on-write when shared);
+    /// returns the number of rows deleted. See [`Table::delete_where`].
+    pub fn delete_where(
+        &mut self,
+        table: &str,
+        pred: impl FnMut(&crate::relation::Row) -> bool,
+    ) -> Result<usize, StorageError> {
+        Ok(self.table_mut(table)?.delete_where(pred))
     }
 }
 

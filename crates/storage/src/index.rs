@@ -38,6 +38,27 @@ impl OrderedIndex {
         })
     }
 
+    /// Extend the index after rows were appended at the tail: `covered` is
+    /// the row count it was built over; `rows[covered..]`'s ids are inserted.
+    /// Appended row ids exceed every indexed id, so per-key id lists stay
+    /// sorted and the result equals a from-scratch build. Returns false (and
+    /// leaves the index untouched) when the column vanished from the schema.
+    pub fn extend(&mut self, schema: &Schema, rows: &[Row], covered: usize) -> bool {
+        assert!(covered <= rows.len(), "extend cannot shrink an index");
+        let Some(idx) = schema.index_of(&self.column) else {
+            return false;
+        };
+        for (rid, row) in rows.iter().enumerate().skip(covered) {
+            let v = &row[idx];
+            if v.is_null() {
+                continue;
+            }
+            self.entries.entry(v.clone()).or_default().push(rid as u32);
+        }
+        self.indexed_rows = rows.len();
+        true
+    }
+
     /// The indexed column name.
     pub fn column(&self) -> &str {
         &self.column
@@ -143,6 +164,19 @@ mod tests {
         let rows = vec![vec![Value::Null], vec![Value::Int(1)]];
         let idx = OrderedIndex::build(&schema, &rows, "k").unwrap();
         assert_eq!(idx.range(None, None), vec![1]);
+    }
+
+    #[test]
+    fn extend_equals_from_scratch_build() {
+        let (schema, rows) = setup();
+        let mut idx = OrderedIndex::build(&schema, &rows[..60], "k").unwrap();
+        assert!(idx.extend(&schema, &rows, 60));
+        let fresh = OrderedIndex::build(&schema, &rows, "k").unwrap();
+        assert_eq!(idx.indexed_rows(), 100);
+        assert_eq!(idx.num_keys(), fresh.num_keys());
+        for k in 0..10 {
+            assert_eq!(idx.lookup(&Value::Int(k)), fresh.lookup(&Value::Int(k)));
+        }
     }
 
     #[test]

@@ -30,15 +30,17 @@ pub use partition::{CompositePartition, Partition, PartitionRef, RangePartition,
 pub use relation::{Relation, Row};
 pub use schema::{Column, Schema};
 pub use stats::{ColumnStats, EquiDepthHistogram, TableStats};
-pub use table::{Table, TableBuilder};
+pub use table::{MutationKind, Table, TableBuilder};
 pub use value::{DataType, Value};
 pub use zonemap::{BlockZone, ColumnZone, ZoneMap, DEFAULT_BLOCK_SIZE};
 
 // Concurrency audit: the serving middleware shares the database, tables and
-// partitions across session and capture-worker threads behind `Arc`s. Every
-// storage type is immutable after construction (no interior mutability), so
-// these bounds must hold — a compile error here means a change introduced
-// thread-unsafe state into the storage layer.
+// partitions across session and capture-worker threads behind `Arc`s. Rows
+// and partitions are immutable once shared (mutation goes through
+// copy-on-write `Database::table_mut`); `Table`'s derived-artifact caches use
+// an internal `RwLock` and hand out `Arc` snapshots, so these bounds must
+// hold — a compile error here means a change introduced thread-unsafe state
+// into the storage layer.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Database>();

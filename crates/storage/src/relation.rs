@@ -1,5 +1,6 @@
 //! In-memory relations (bags of rows) used as intermediate query results.
 
+use crate::database::StorageError;
 use crate::schema::Schema;
 use crate::value::Value;
 use std::fmt;
@@ -19,11 +20,25 @@ pub struct Relation {
 }
 
 impl Relation {
-    /// Create a relation from a schema and rows. Rows are trusted to match the
-    /// schema arity (checked in debug builds).
+    /// Create a relation from a schema and rows. Panics if any row's arity
+    /// does not match the schema (in release builds too — a wrong-arity row
+    /// would silently corrupt columnar builds and hash operators downstream);
+    /// use [`Relation::try_new`] to handle the mismatch as an error.
     pub fn new(schema: Schema, rows: Vec<Row>) -> Self {
-        debug_assert!(rows.iter().all(|r| r.len() == schema.arity()));
-        Relation { schema, rows }
+        Relation::try_new(schema, rows).expect("Relation::new: row arity does not match schema")
+    }
+
+    /// Create a relation, returning [`StorageError::ArityMismatch`] when a
+    /// row does not match the schema's arity.
+    pub fn try_new(schema: Schema, rows: Vec<Row>) -> Result<Self, StorageError> {
+        if let Some(row) = rows.iter().find(|r| r.len() != schema.arity()) {
+            return Err(StorageError::ArityMismatch {
+                context: "relation".to_string(),
+                expected: schema.arity(),
+                got: row.len(),
+            });
+        }
+        Ok(Relation { schema, rows })
     }
 
     /// An empty relation with the given schema.
@@ -54,10 +69,25 @@ impl Relation {
         self.rows.is_empty()
     }
 
-    /// Append a row.
+    /// Append a row. Panics on an arity mismatch (in release builds too);
+    /// use [`Relation::try_push`] to handle the mismatch as an error.
     pub fn push(&mut self, row: Row) {
-        debug_assert_eq!(row.len(), self.schema.arity());
+        self.try_push(row)
+            .expect("Relation::push: row arity does not match schema");
+    }
+
+    /// Append a row, returning [`StorageError::ArityMismatch`] when the row
+    /// does not match the schema's arity.
+    pub fn try_push(&mut self, row: Row) -> Result<(), StorageError> {
+        if row.len() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                context: "relation".to_string(),
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
         self.rows.push(row);
+        Ok(())
     }
 
     /// Consume the relation and return its rows.
@@ -95,10 +125,12 @@ impl Relation {
         }
     }
 
-    /// True if the two relations contain the same bag of rows (ignoring
-    /// order). Schemas must have equal arity.
+    /// True if the two relations have the same schema (column names *and*
+    /// types, not just arity) and contain the same bag of rows (ignoring
+    /// order). Relations over different schemas are never bag-equal, even
+    /// when their rows coincide.
     pub fn bag_eq(&self, other: &Relation) -> bool {
-        if self.schema.arity() != other.schema.arity() || self.len() != other.len() {
+        if self.schema != other.schema || self.len() != other.len() {
             return false;
         }
         self.sorted().rows == other.sorted().rows
@@ -163,6 +195,36 @@ mod tests {
         let b = rel();
         a.push(vec![Value::Int(2), Value::from("y")]);
         assert!(!a.bag_eq(&b));
+    }
+
+    #[test]
+    fn bag_equality_requires_matching_schemas() {
+        // Same arity, same rows — but different column names / types must
+        // never compare bag-equal.
+        let rows = vec![vec![Value::Int(1)], vec![Value::Int(2)]];
+        let a = Relation::new(Schema::from_pairs(&[("a", DataType::Int)]), rows.clone());
+        let renamed = Relation::new(Schema::from_pairs(&[("b", DataType::Int)]), rows.clone());
+        let retyped = Relation::new(Schema::from_pairs(&[("a", DataType::Float)]), rows.clone());
+        assert!(a.bag_eq(&a.clone()));
+        assert!(!a.bag_eq(&renamed));
+        assert!(!a.bag_eq(&retyped));
+    }
+
+    #[test]
+    fn try_new_and_try_push_report_arity_mismatch() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Str)]);
+        assert!(matches!(
+            Relation::try_new(schema.clone(), vec![vec![Value::Int(1)]]),
+            Err(crate::database::StorageError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
+        ));
+        let mut r = Relation::empty(schema);
+        assert!(r.try_push(vec![Value::Int(1)]).is_err());
+        assert!(r.try_push(vec![Value::Int(1), Value::from("x")]).is_ok());
+        assert_eq!(r.len(), 1);
     }
 
     #[test]

@@ -1,7 +1,39 @@
 //! Base tables: a relation plus its physical design artifacts (zone maps,
-//! ordered indexes) and statistics.
+//! ordered indexes, columnar chunks, statistics) and a mutation API.
+//!
+//! # Epochs and derived-artifact invalidation
+//!
+//! A table's row store is the single source of truth; everything else — the
+//! zone map, ordered indexes, the columnar chunk projection and the table
+//! statistics — is *derived*. Every mutation ([`Table::append_rows`],
+//! [`Table::delete_where`]) and every physical-design change
+//! ([`Table::build_zone_map`], [`Table::create_index`]) advances the table's
+//! **epoch** through the single `Table::invalidate_derived` helper, so no
+//! mutator can ever forget to invalidate a cache. Epochs are drawn from one
+//! process-wide monotone counter, so two tables (or two copy-on-write forks
+//! of one table) that diverged can never reuse each other's epoch values —
+//! equal epochs always mean identical content. Derived artifacts are rebuilt
+//! lazily: each cached artifact is stamped with the epoch (and row count) it
+//! was built at, and an accessor that observes a newer table epoch refreshes
+//! the artifact before handing it out. For append-only epoch gaps the
+//! refresh is *incremental* — zone maps grow new tail blocks, columnar
+//! projections grow new tail chunks and indexes absorb the new row ids —
+//! while deletes and block-size changes force a full rebuild (row ids
+//! shift).
+//!
+//! Next to the all-encompassing `epoch` the table keeps a **data epoch**
+//! ([`Table::data_epoch`]) that only advances when row *content* changes
+//! (append / delete), not on physical-design changes: provenance sketches
+//! describe data, so the catalog layer stamps and validates them against the
+//! data epoch — building an index must not strand every stored sketch.
+//!
+//! Accessors hand out `Arc` snapshots, so a scan that fetched an artifact
+//! keeps a consistent view even if the table is mutated (behind copy-on-write
+//! cloning) afterwards; the execution layer additionally re-validates the
+//! table epoch before trusting previously fetched row-id lists or chunks.
 
 use crate::columnar::ColumnarChunks;
+use crate::database::StorageError;
 use crate::index::OrderedIndex;
 use crate::relation::{Relation, Row};
 use crate::schema::Schema;
@@ -9,38 +41,117 @@ use crate::stats::TableStats;
 use crate::value::Value;
 use crate::zonemap::{ZoneMap, DEFAULT_BLOCK_SIZE};
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
-/// A named base table with optional physical design artifacts.
+/// Process-wide epoch source: every invalidation (and every fresh table)
+/// draws the next value, so epochs are unique across tables and
+/// copy-on-write forks — equal epochs imply identical content.
+static EPOCH_SOURCE: AtomicU64 = AtomicU64::new(1);
+
+fn next_epoch() -> u64 {
+    EPOCH_SOURCE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// What a mutation did to the table; decides whether derived artifacts can
+/// be extended incrementally or must be rebuilt, and whether the *data*
+/// epoch (which provenance sketches are validated against) advances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Rows were appended at the tail; derived artifacts stamped at the
+    /// previous epoch can be *extended* with the new rows.
+    Append,
+    /// Rows were removed: row ids shifted, derived artifacts must be rebuilt
+    /// from scratch.
+    Delete,
+    /// The physical design changed (block size, new index request): derived
+    /// artifacts rebuild, but row content — and therefore the data epoch —
+    /// is untouched.
+    Design,
+}
+
+/// A derived artifact plus the table state (epoch, row count) it reflects.
 #[derive(Debug, Clone)]
+struct Stamped<T> {
+    epoch: u64,
+    rows: usize,
+    value: T,
+}
+
+/// Lazily maintained derived artifacts, all epoch-stamped.
+#[derive(Debug, Clone, Default)]
+struct DerivedCaches {
+    stats: Option<Stamped<Arc<TableStats>>>,
+    zone_map: Option<Stamped<Arc<ZoneMap>>>,
+    columnar: Option<Stamped<Arc<ColumnarChunks>>>,
+    indexes: HashMap<String, Stamped<Arc<OrderedIndex>>>,
+}
+
+/// A named base table with epoch-invalidated physical design artifacts.
+#[derive(Debug)]
 pub struct Table {
     name: String,
     schema: Schema,
     rows: Vec<Row>,
+    /// Version of the table as a whole (data *and* physical design); bumped
+    /// by `invalidate_derived` on every mutation. Drawn from the process-wide
+    /// [`EPOCH_SOURCE`], so values are never reused across forks.
+    epoch: u64,
+    /// Version of the row *content* only: advances on append/delete, not on
+    /// design changes. Provenance sketches are stamped with this.
+    data_epoch: u64,
+    /// Epoch of the last *structural* mutation. Artifacts stamped at an epoch
+    /// `>= rebuild_epoch` saw every row that still exists at its original
+    /// position, so an append-only gap can be closed incrementally.
+    rebuild_epoch: u64,
     block_size: usize,
-    zone_map: Option<ZoneMap>,
-    indexes: HashMap<String, OrderedIndex>,
-    stats: TableStats,
-    /// Lazily built columnar projection (one chunk per zone-map block); the
-    /// row store stays the source of truth.
-    columnar: OnceLock<ColumnarChunks>,
+    /// Whether a zone map is requested/maintained for this table.
+    with_zone_map: bool,
+    /// Columns with a requested/maintained ordered index.
+    index_columns: Vec<String>,
+    derived: RwLock<DerivedCaches>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            epoch: self.epoch,
+            data_epoch: self.data_epoch,
+            rebuild_epoch: self.rebuild_epoch,
+            block_size: self.block_size,
+            with_zone_map: self.with_zone_map,
+            index_columns: self.index_columns.clone(),
+            // Clones share the already built artifacts via `Arc`.
+            derived: RwLock::new(self.derived.read().expect("derived cache poisoned").clone()),
+        }
+    }
 }
 
 impl Table {
-    /// Create a table from a schema and rows. Statistics are computed
-    /// eagerly; zone maps and indexes are built on demand via
+    /// Create a table from a schema and rows. Statistics, zone maps and
+    /// indexes are built on demand; request the latter via
     /// [`Table::build_zone_map`] and [`Table::create_index`].
     pub fn new(name: impl Into<String>, schema: Schema, rows: Vec<Row>) -> Self {
-        let stats = TableStats::compute(&schema, &rows);
+        assert!(
+            rows.iter().all(|r| r.len() == schema.arity()),
+            "Table::new: row arity does not match schema arity {}",
+            schema.arity()
+        );
+        let epoch = next_epoch();
         Table {
             name: name.into(),
             schema,
             rows,
+            epoch,
+            data_epoch: epoch,
+            rebuild_epoch: epoch,
             block_size: DEFAULT_BLOCK_SIZE,
-            zone_map: None,
-            indexes: HashMap::new(),
-            stats,
-            columnar: OnceLock::new(),
+            with_zone_map: false,
+            index_columns: Vec::new(),
+            derived: RwLock::new(DerivedCaches::default()),
         }
     }
 
@@ -69,56 +180,248 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// Precomputed table statistics.
-    pub fn stats(&self) -> &TableStats {
-        &self.stats
+    /// The table's current epoch (data *and* physical design). Advances on
+    /// every mutation or design change; derived artifacts record the epoch
+    /// they were built at so staleness is checkable.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
-    /// The zone map, if built.
-    pub fn zone_map(&self) -> Option<&ZoneMap> {
-        self.zone_map.as_ref()
+    /// The table's current *data* epoch: advances on append/delete only,
+    /// never on physical-design changes. Provenance sketches describe data,
+    /// so the catalog stamps and validates stored sketches against this —
+    /// building an index does not invalidate them.
+    pub fn data_epoch(&self) -> u64 {
+        self.data_epoch
     }
 
-    /// The block size used for zone maps.
+    /// The single invalidation point for all derived caches: draws a fresh
+    /// globally unique epoch and, depending on the mutation kind, advances
+    /// the data epoch (append/delete) and the rebuild watermark
+    /// (delete/design). Every mutator — [`Table::append_rows`],
+    /// [`Table::delete_where`], [`Table::build_zone_map`],
+    /// [`Table::create_index`] and any future mutation — must route through
+    /// here, so no cache can be missed. Returns the new epoch.
+    fn invalidate_derived(&mut self, kind: MutationKind) -> u64 {
+        self.epoch = next_epoch();
+        match kind {
+            MutationKind::Append => self.data_epoch = self.epoch,
+            MutationKind::Delete => {
+                self.data_epoch = self.epoch;
+                self.rebuild_epoch = self.epoch;
+            }
+            MutationKind::Design => self.rebuild_epoch = self.epoch,
+        }
+        self.epoch
+    }
+
+    /// Append rows at the tail of the table. Every row's arity is validated
+    /// up front (in release builds too); on any mismatch nothing is appended
+    /// and a [`StorageError::ArityMismatch`] is returned. Returns the new
+    /// epoch. Appending an empty batch is a no-op that keeps the epoch.
+    pub fn append_rows(&mut self, rows: Vec<Row>) -> Result<u64, StorageError> {
+        let expected = self.schema.arity();
+        for row in &rows {
+            if row.len() != expected {
+                return Err(StorageError::ArityMismatch {
+                    context: format!("append to table {}", self.name),
+                    expected,
+                    got: row.len(),
+                });
+            }
+        }
+        if rows.is_empty() {
+            return Ok(self.epoch);
+        }
+        self.rows.extend(rows);
+        Ok(self.invalidate_derived(MutationKind::Append))
+    }
+
+    /// Delete every row for which `pred` returns true. `pred` is called once
+    /// per row in storage order. Returns the number of rows deleted; when any
+    /// row is deleted the epoch advances structurally (row ids shift, so all
+    /// derived artifacts rebuild on next access).
+    pub fn delete_where(&mut self, mut pred: impl FnMut(&Row) -> bool) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|r| !pred(r));
+        let deleted = before - self.rows.len();
+        if deleted > 0 {
+            self.invalidate_derived(MutationKind::Delete);
+        }
+        deleted
+    }
+
+    /// Precomputed table statistics (recomputed lazily after mutations).
+    pub fn stats(&self) -> Arc<TableStats> {
+        {
+            let g = self.derived.read().expect("derived cache poisoned");
+            if let Some(s) = g.stats.as_ref().filter(|s| s.epoch == self.epoch) {
+                return s.value.clone();
+            }
+        }
+        let mut g = self.derived.write().expect("derived cache poisoned");
+        if let Some(s) = g.stats.as_ref().filter(|s| s.epoch == self.epoch) {
+            return s.value.clone();
+        }
+        // Statistics always recompute in full: the distinct-value count
+        // cannot be extended without retaining the whole value set.
+        let value = Arc::new(TableStats::compute(&self.schema, &self.rows));
+        g.stats = Some(self.stamp(value.clone()));
+        value
+    }
+
+    /// The zone map, if this table maintains one. Lazily (re)built: after an
+    /// append-only epoch gap the existing map is extended with tail blocks,
+    /// after a structural change it is rebuilt.
+    pub fn zone_map(&self) -> Option<Arc<ZoneMap>> {
+        if !self.with_zone_map {
+            return None;
+        }
+        {
+            let g = self.derived.read().expect("derived cache poisoned");
+            if let Some(s) = g.zone_map.as_ref().filter(|s| s.epoch == self.epoch) {
+                return Some(s.value.clone());
+            }
+        }
+        let mut g = self.derived.write().expect("derived cache poisoned");
+        match g.zone_map.take() {
+            Some(s) if s.epoch == self.epoch => {
+                let value = s.value.clone();
+                g.zone_map = Some(s);
+                Some(value)
+            }
+            Some(s) if self.append_only_gap(&s) => {
+                let mut arc = s.value;
+                Arc::make_mut(&mut arc).extend(&self.schema, &self.rows, s.rows);
+                g.zone_map = Some(self.stamp(arc.clone()));
+                Some(arc)
+            }
+            _ => {
+                let arc = Arc::new(ZoneMap::build(&self.schema, &self.rows, self.block_size));
+                g.zone_map = Some(self.stamp(arc.clone()));
+                Some(arc)
+            }
+        }
+    }
+
+    /// The block size used for zone maps and columnar chunks.
     pub fn block_size(&self) -> usize {
         self.block_size
     }
 
-    /// Build (or rebuild) zone maps with the given block size. Invalidates
-    /// the cached columnar projection so its chunks stay block-aligned.
+    /// Request (or re-request with a different block size) a zone map.
+    /// Structural invalidation: the cached columnar projection must stay
+    /// block-aligned, so it rebuilds too.
     pub fn build_zone_map(&mut self, block_size: usize) {
+        assert!(block_size > 0, "block size must be positive");
+        self.with_zone_map = true;
         self.block_size = block_size;
-        self.zone_map = Some(ZoneMap::build(&self.schema, &self.rows, block_size));
-        self.columnar = OnceLock::new();
+        self.invalidate_derived(MutationKind::Design);
     }
 
-    /// The columnar chunk projection of the table, built lazily on first use
-    /// and cached (thread-safe; tables are immutable once shared).
-    pub fn columnar_chunks(&self) -> &ColumnarChunks {
-        self.columnar
-            .get_or_init(|| ColumnarChunks::build(&self.schema, &self.rows, self.block_size))
-    }
-
-    /// Build an ordered index on `column`. Returns false if the column does
-    /// not exist.
-    pub fn create_index(&mut self, column: &str) -> bool {
-        match OrderedIndex::build(&self.schema, &self.rows, column) {
-            Some(idx) => {
-                self.indexes.insert(column.to_string(), idx);
-                true
+    /// The columnar chunk projection of the table (one chunk per zone-map
+    /// block), built lazily and cached; extended with tail chunks after
+    /// appends, rebuilt after structural changes.
+    pub fn columnar_chunks(&self) -> Arc<ColumnarChunks> {
+        {
+            let g = self.derived.read().expect("derived cache poisoned");
+            if let Some(s) = g.columnar.as_ref().filter(|s| s.epoch == self.epoch) {
+                return s.value.clone();
             }
-            None => false,
+        }
+        let mut g = self.derived.write().expect("derived cache poisoned");
+        match g.columnar.take() {
+            Some(s) if s.epoch == self.epoch => {
+                let value = s.value.clone();
+                g.columnar = Some(s);
+                value
+            }
+            Some(s) if self.append_only_gap(&s) && s.value.block_size() == self.block_size => {
+                let mut arc = s.value;
+                Arc::make_mut(&mut arc).extend(&self.schema, &self.rows, s.rows);
+                g.columnar = Some(self.stamp(arc.clone()));
+                arc
+            }
+            _ => {
+                let arc = Arc::new(ColumnarChunks::build(
+                    &self.schema,
+                    &self.rows,
+                    self.block_size,
+                ));
+                g.columnar = Some(self.stamp(arc.clone()));
+                arc
+            }
         }
     }
 
-    /// The index on `column`, if any.
-    pub fn index_on(&self, column: &str) -> Option<&OrderedIndex> {
-        self.indexes.get(column)
+    /// Request an ordered index on `column`. Returns false if the column does
+    /// not exist. The index is built lazily on first use and maintained
+    /// across mutations like every other derived artifact.
+    pub fn create_index(&mut self, column: &str) -> bool {
+        if self.schema.index_of(column).is_none() {
+            return false;
+        }
+        if self.index_columns.iter().any(|c| c == column) {
+            return true; // already maintained: a true no-op
+        }
+        self.index_columns.push(column.to_string());
+        self.invalidate_derived(MutationKind::Design);
+        true
+    }
+
+    /// The index on `column`, if one is maintained. Lazily (re)built; after
+    /// an append-only gap the new row ids are inserted incrementally.
+    pub fn index_on(&self, column: &str) -> Option<Arc<OrderedIndex>> {
+        if !self.index_columns.iter().any(|c| c == column) {
+            return None;
+        }
+        {
+            let g = self.derived.read().expect("derived cache poisoned");
+            if let Some(s) = g.indexes.get(column).filter(|s| s.epoch == self.epoch) {
+                return Some(s.value.clone());
+            }
+        }
+        let mut g = self.derived.write().expect("derived cache poisoned");
+        match g.indexes.remove(column) {
+            Some(s) if s.epoch == self.epoch => {
+                let value = s.value.clone();
+                g.indexes.insert(column.to_string(), s);
+                Some(value)
+            }
+            Some(s) if self.append_only_gap(&s) => {
+                let mut arc = s.value;
+                Arc::make_mut(&mut arc).extend(&self.schema, &self.rows, s.rows);
+                g.indexes
+                    .insert(column.to_string(), self.stamp(arc.clone()));
+                Some(arc)
+            }
+            _ => {
+                let arc = Arc::new(OrderedIndex::build(&self.schema, &self.rows, column)?);
+                g.indexes
+                    .insert(column.to_string(), self.stamp(arc.clone()));
+                Some(arc)
+            }
+        }
     }
 
     /// Names of indexed columns.
     pub fn indexed_columns(&self) -> Vec<&str> {
-        self.indexes.keys().map(|s| s.as_str()).collect()
+        self.index_columns.iter().map(|s| s.as_str()).collect()
+    }
+
+    /// Stamp an artifact with the current epoch and row count.
+    fn stamp<T>(&self, value: T) -> Stamped<T> {
+        Stamped {
+            epoch: self.epoch,
+            rows: self.rows.len(),
+            value,
+        }
+    }
+
+    /// True when the gap between the artifact's stamp and the current epoch
+    /// consists of appends only, so the artifact can be extended in place.
+    fn append_only_gap<T>(&self, s: &Stamped<T>) -> bool {
+        s.epoch >= self.rebuild_epoch && s.rows <= self.rows.len()
     }
 
     /// Values of one column (used to build partitions and histograms).
@@ -166,16 +469,33 @@ impl TableBuilder {
         }
     }
 
-    /// Append a row.
+    /// Append a row. Panics on an arity mismatch (in release builds too —
+    /// a wrong-arity row must never corrupt the columnar build downstream);
+    /// use [`TableBuilder::try_push`] to handle the mismatch as an error.
     pub fn push(&mut self, row: Row) -> &mut Self {
-        debug_assert_eq!(row.len(), self.schema.arity());
-        self.rows.push(row);
-        self
+        self.try_push(row)
+            .expect("TableBuilder::push: row arity does not match the schema")
     }
 
-    /// Append many rows.
+    /// Append a row, returning [`StorageError::ArityMismatch`] when the row
+    /// does not match the schema's arity.
+    pub fn try_push(&mut self, row: Row) -> Result<&mut Self, StorageError> {
+        if row.len() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                context: format!("build of table {}", self.name),
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(self)
+    }
+
+    /// Append many rows (each validated like [`TableBuilder::push`]).
     pub fn extend(&mut self, rows: impl IntoIterator<Item = Row>) -> &mut Self {
-        self.rows.extend(rows);
+        for row in rows {
+            self.push(row);
+        }
         self
     }
 
@@ -197,13 +517,15 @@ impl TableBuilder {
         self
     }
 
-    /// Finish building: computes statistics, zone maps and indexes.
+    /// Finish building: registers the requested physical design (statistics,
+    /// zone maps and indexes materialize lazily on first use).
     pub fn build(&mut self) -> Table {
         let mut table = Table::new(
             std::mem::take(&mut self.name),
             self.schema.clone(),
             std::mem::take(&mut self.rows),
         );
+        table.block_size = self.block_size;
         if self.with_zone_map {
             table.build_zone_map(self.block_size);
         }
@@ -262,5 +584,120 @@ mod tests {
         let r = t.to_relation();
         assert_eq!(r.len(), 5);
         assert_eq!(r.schema(), t.schema());
+    }
+
+    #[test]
+    fn append_bumps_epoch_and_extends_artifacts() {
+        let mut t = build_table(250);
+        // Materialize every artifact at the current epoch.
+        let zm0 = t.zone_map().unwrap();
+        let idx0 = t.index_on("id").unwrap();
+        let ch0 = t.columnar_chunks();
+        let st0 = t.stats();
+        let e0 = t.epoch();
+        assert_eq!(zm0.num_blocks(), 3);
+
+        let rows: Vec<Row> = (250..420)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 7)])
+            .collect();
+        let e1 = t.append_rows(rows).unwrap();
+        assert!(e1 > e0);
+
+        // Refreshed artifacts cover the appended tail and agree with a
+        // from-scratch build.
+        let zm1 = t.zone_map().unwrap();
+        assert_eq!(zm1.num_blocks(), 5);
+        let fresh = ZoneMap::build(t.schema(), t.rows(), t.block_size());
+        for (a, b) in zm1.blocks().iter().zip(fresh.blocks()) {
+            assert_eq!((a.start, a.end), (b.start, b.end));
+            assert_eq!(a.columns, b.columns);
+        }
+        let idx1 = t.index_on("id").unwrap();
+        assert_eq!(idx1.indexed_rows(), 420);
+        assert_eq!(idx1.range(None, None).len(), 420);
+        let ch1 = t.columnar_chunks();
+        assert_eq!(ch1.chunks().len(), 5);
+        assert_eq!(ch1.chunks().last().unwrap().end, 420);
+        let st1 = t.stats();
+        assert_eq!(st1.column("id").unwrap().max, Some(Value::Int(419)));
+
+        // The pre-append snapshots are untouched (scans holding them keep a
+        // consistent view).
+        assert_eq!(zm0.num_blocks(), 3);
+        assert_eq!(idx0.indexed_rows(), 250);
+        assert_eq!(ch0.chunks().len(), 3);
+        assert_eq!(st0.column("id").unwrap().max, Some(Value::Int(249)));
+    }
+
+    #[test]
+    fn delete_forces_full_rebuild() {
+        let mut t = build_table(300);
+        let _ = (t.zone_map(), t.index_on("id"), t.columnar_chunks());
+        let e0 = t.epoch();
+        let deleted = t.delete_where(|r| matches!(r[1], Value::Int(3)));
+        assert!(deleted > 0);
+        assert!(t.epoch() > e0);
+        assert_eq!(t.len(), 300 - deleted);
+        // Row ids shifted: the refreshed index must reflect the new layout.
+        let idx = t.index_on("id").unwrap();
+        assert_eq!(idx.indexed_rows(), t.len());
+        let ch = t.columnar_chunks();
+        assert_eq!(ch.chunks().last().unwrap().end, t.len());
+        let zm = t.zone_map().unwrap();
+        assert_eq!(zm.blocks().last().unwrap().end, t.len());
+        // Deleting nothing keeps the epoch.
+        let e1 = t.epoch();
+        assert_eq!(t.delete_where(|_| false), 0);
+        assert_eq!(t.epoch(), e1);
+    }
+
+    #[test]
+    fn append_arity_mismatch_is_rejected_atomically() {
+        let mut t = build_table(10);
+        let e0 = t.epoch();
+        let err = t
+            .append_rows(vec![
+                vec![Value::Int(10), Value::Int(3)],
+                vec![Value::Int(11)], // wrong arity
+            ])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+        assert_eq!(t.len(), 10, "nothing may be appended on error");
+        assert_eq!(t.epoch(), e0);
+    }
+
+    #[test]
+    fn empty_append_keeps_epoch() {
+        let mut t = build_table(10);
+        let e0 = t.epoch();
+        assert_eq!(t.append_rows(Vec::new()).unwrap(), e0);
+        assert_eq!(t.epoch(), e0);
+    }
+
+    #[test]
+    fn clone_shares_built_artifacts() {
+        let mut t = build_table(100);
+        let _ = t.columnar_chunks();
+        let c = t.clone();
+        assert_eq!(c.epoch(), t.epoch());
+        assert!(Arc::ptr_eq(&c.columnar_chunks(), &t.columnar_chunks()));
+        // Mutating the clone does not disturb the original.
+        t.append_rows(vec![vec![Value::Int(100), Value::Int(2)]])
+            .unwrap();
+        assert_eq!(c.len(), 100);
+        assert_eq!(t.len(), 101);
+        assert_ne!(c.epoch(), t.epoch());
+    }
+
+    #[test]
+    fn try_push_reports_arity_mismatch() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        let mut b = TableBuilder::new("t", schema);
+        assert!(b.try_push(vec![Value::Int(1)]).is_ok());
+        assert!(matches!(
+            b.try_push(vec![Value::Int(1), Value::Int(2)]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+        assert_eq!(b.build().len(), 1);
     }
 }

@@ -91,25 +91,47 @@ impl ZoneMap {
     /// Build zone maps over `rows` with the given block size.
     pub fn build(schema: &Schema, rows: &[Row], block_size: usize) -> Self {
         assert!(block_size > 0, "block size must be positive");
+        let mut zm = ZoneMap {
+            block_size,
+            blocks: Vec::with_capacity(rows.len() / block_size + 1),
+        };
+        zm.append_blocks(schema, rows, 0);
+        zm
+    }
+
+    /// Extend the zone map after rows were appended at the tail: `covered`
+    /// is the row count the map was built over. The (possibly partial) last
+    /// block is rebuilt and new tail blocks are appended, so the result is
+    /// identical to a from-scratch [`ZoneMap::build`] over all `rows`.
+    pub fn extend(&mut self, schema: &Schema, rows: &[Row], covered: usize) {
+        assert!(covered <= rows.len(), "extend cannot shrink a zone map");
+        // Re-summarize from the last full-block boundary: the trailing
+        // partial block (if any) absorbs appended rows.
+        let rebuilt_from = covered - (covered % self.block_size);
+        self.blocks.retain(|b| b.end <= rebuilt_from);
+        self.append_blocks(schema, rows, rebuilt_from);
+    }
+
+    /// Summarize `rows[from..]` into blocks appended at the tail (`from`
+    /// must be a multiple of the block size).
+    fn append_blocks(&mut self, schema: &Schema, rows: &[Row], from: usize) {
         let arity = schema.arity();
-        let mut blocks = Vec::with_capacity(rows.len() / block_size + 1);
-        let mut start = 0usize;
+        let mut start = from;
         while start < rows.len() {
-            let end = (start + block_size).min(rows.len());
+            let end = (start + self.block_size).min(rows.len());
             let mut columns = vec![ColumnZone::empty(); arity];
             for row in &rows[start..end] {
                 for (col, zone) in row.iter().zip(columns.iter_mut()) {
                     zone.observe(col);
                 }
             }
-            blocks.push(BlockZone {
+            self.blocks.push(BlockZone {
                 start,
                 end,
                 columns,
             });
             start = end;
         }
-        ZoneMap { block_size, blocks }
     }
 
     /// The block size this zone map was built with.
@@ -206,6 +228,22 @@ mod tests {
         let zm = ZoneMap::build(&schema(), &rows(5000), 1000);
         let cands = zm.candidate_blocks(0, &[(None, None)]);
         assert_eq!(cands.len(), 5);
+    }
+
+    #[test]
+    fn extend_matches_from_scratch_build() {
+        // Extending over a partial last block must equal a fresh build.
+        for initial in [0usize, 999, 1000, 1500, 2000] {
+            let all = rows(2750);
+            let mut zm = ZoneMap::build(&schema(), &all[..initial], 1000);
+            zm.extend(&schema(), &all, initial);
+            let fresh = ZoneMap::build(&schema(), &all, 1000);
+            assert_eq!(zm.num_blocks(), fresh.num_blocks(), "initial={initial}");
+            for (a, b) in zm.blocks().iter().zip(fresh.blocks()) {
+                assert_eq!((a.start, a.end), (b.start, b.end), "initial={initial}");
+                assert_eq!(a.columns, b.columns, "initial={initial}");
+            }
+        }
     }
 
     #[test]
