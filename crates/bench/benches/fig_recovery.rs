@@ -1,0 +1,231 @@
+//! Cold start vs warm start from a persisted sketch catalog.
+//!
+//! The paper's middleware amortizes capture cost across a query stream; the
+//! durability layer (`pbds-persist`) makes that amortization survive a
+//! restart. This bench serves the same Zipf-parameterized Stack-Overflow
+//! stream twice over one durability directory:
+//!
+//! * **cold** — a fresh `PbdsServer::create`: the catalog starts empty,
+//!   every new binding pays a capture, hits only begin once captures land;
+//! * **warm** — `PbdsServer::open` after the cold server checkpointed on
+//!   shutdown: the catalog is imported from disk and the stream hits from
+//!   query one, with zero captures.
+//!
+//! Reported per phase: the index of the first catalog hit, the wall-clock
+//! **time to first hit** (for the warm phase this includes the recovery
+//! itself — reading the snapshot, importing the catalog, replaying the WAL)
+//! and the **rows scanned over the first N queries** (the data-skipping win
+//! a restart would otherwise forfeit). Full runs record the baseline in
+//! `BENCH_recovery.json`; `--quick` (CI) only smoke-checks the gate:
+//! the warm start must hit at query one, pay zero captures, and scan fewer
+//! rows than the cold start over the first N queries.
+//!
+//! Run with: `cargo bench --bench fig_recovery [-- --quick]`
+
+use pbds_bench::harness::TablePrinter;
+use pbds_core::tuning::Action;
+use pbds_core::{PbdsServer, ServerConfig};
+use pbds_workloads::sof::{generate, SofConfig};
+use pbds_workloads::stream::{sof_pools, zipf_stream, StreamSpec};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Queries over which the early-stream scan volume is compared.
+const EARLY_WINDOW: usize = 30;
+
+struct PhaseMetrics {
+    label: &'static str,
+    /// Index of the first catalog hit (`None` = the phase never hit).
+    first_hit: Option<usize>,
+    /// Wall clock from phase start (including open/recovery) to the end of
+    /// the first hitting query.
+    time_to_first_hit: Duration,
+    /// Rows scanned over the first [`EARLY_WINDOW`] queries.
+    early_rows_scanned: u64,
+    /// Rows scanned over the whole stream.
+    total_rows_scanned: u64,
+    /// Background captures paid during the phase.
+    captures: u64,
+}
+
+/// Serve the stream sequentially, draining after every enqueued capture so
+/// hit/miss behavior is deterministic, and collect the phase metrics.
+fn serve_phase(
+    label: &'static str,
+    server: &PbdsServer,
+    stream: &[(pbds_algebra::QueryTemplate, Vec<pbds_storage::Value>)],
+    started: Instant,
+) -> PhaseMetrics {
+    let session = server.session();
+    let mut first_hit = None;
+    let mut time_to_first_hit = Duration::ZERO;
+    let mut early_rows = 0u64;
+    let mut total_rows = 0u64;
+    for (i, (template, binding)) in stream.iter().enumerate() {
+        let served = session.serve(template, binding).expect("serve");
+        if served.capture_enqueued {
+            server.drain();
+        }
+        if i < EARLY_WINDOW {
+            early_rows += served.record.stats.rows_scanned;
+        }
+        total_rows += served.record.stats.rows_scanned;
+        if first_hit.is_none() && served.record.action == Action::UseSketch {
+            first_hit = Some(i);
+            time_to_first_hit = started.elapsed();
+        }
+    }
+    if first_hit.is_none() {
+        time_to_first_hit = started.elapsed();
+    }
+    let (captures, _) = server.capture_totals();
+    PhaseMetrics {
+        label,
+        first_hit,
+        time_to_first_hit,
+        early_rows_scanned: early_rows,
+        total_rows_scanned: total_rows,
+        captures,
+    }
+}
+
+fn write_json(path: &str, queries: usize, quick: bool, phases: &[&PhaseMetrics]) {
+    let entries: Vec<String> = phases
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"phase\": \"{}\", \"first_hit_query\": {}, \"time_to_first_hit_ms\": {:.3}, \"rows_scanned_first_{}\": {}, \"rows_scanned_total\": {}, \"captures\": {}}}",
+                m.label,
+                m.first_hit.map_or(-1i64, |i| i as i64),
+                m.time_to_first_hit.as_secs_f64() * 1e3,
+                EARLY_WINDOW,
+                m.early_rows_scanned,
+                m.total_rows_scanned,
+                m.captures
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"fig_recovery\",\n  \"workload\": \"sof zipf stream\",\n  \"queries\": {queries},\n  \"quick\": {quick},\n  \"phases\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (sof, queries) = if quick {
+        (
+            SofConfig {
+                users: 2_000,
+                posts: 12_000,
+                comments: 15_000,
+                badges: 6_000,
+                ..Default::default()
+            },
+            60,
+        )
+    } else {
+        (
+            SofConfig {
+                users: 8_000,
+                posts: 48_000,
+                comments: 60_000,
+                badges: 24_000,
+                ..Default::default()
+            },
+            200,
+        )
+    };
+    let dir: PathBuf = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("fig_recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Arc::new(generate(&sof));
+    let stream = zipf_stream(
+        &sof_pools(16, 29),
+        &StreamSpec {
+            queries,
+            skew: 1.1,
+            seed: 13,
+        },
+    );
+    let config = ServerConfig {
+        capture_workers: 2,
+        ..ServerConfig::default()
+    };
+    eprintln!(
+        "== fig_recovery ({} rows, {} queries{})",
+        db.total_rows(),
+        queries,
+        if quick { ", --quick" } else { "" }
+    );
+
+    // Cold phase: fresh directory, empty catalog, shutdown checkpoints.
+    let started = Instant::now();
+    let server = PbdsServer::create(&dir, Arc::clone(&db), config).expect("create");
+    let cold = serve_phase("cold", &server, &stream, started);
+    server.shutdown().expect("shutdown");
+
+    // Warm phase: reopen from disk; recovery time counts toward the first
+    // hit, because it is what a restart actually costs.
+    let started = Instant::now();
+    let server = PbdsServer::open(&dir, config).expect("open");
+    let recovery = server.recovery_report().expect("recovery report");
+    let warm = serve_phase("warm", &server, &stream, started);
+
+    let mut table = TablePrinter::new(&[
+        "phase",
+        "first hit",
+        "t-to-first-hit (ms)",
+        &format!("rows scanned (first {EARLY_WINDOW})"),
+        "rows scanned (all)",
+        "captures",
+    ]);
+    for m in [&cold, &warm] {
+        table.row(vec![
+            m.label.to_string(),
+            m.first_hit.map_or("never".into(), |i| format!("#{i}")),
+            format!("{:.2}", m.time_to_first_hit.as_secs_f64() * 1e3),
+            m.early_rows_scanned.to_string(),
+            m.total_rows_scanned.to_string(),
+            m.captures.to_string(),
+        ]);
+    }
+    eprintln!("\n{}", table.render());
+    eprintln!(
+        "recovery: {} catalog entries imported, {} dropped, {} WAL records replayed",
+        recovery.catalog_imported, recovery.catalog_dropped, recovery.wal_replayed
+    );
+
+    if quick {
+        eprintln!("--quick: skipping BENCH_recovery.json baseline update");
+    } else {
+        let out = format!("{}/../../BENCH_recovery.json", env!("CARGO_MANIFEST_DIR"));
+        write_json(&out, queries, quick, &[&cold, &warm]);
+    }
+
+    // The gate: a restart must not forfeit the catalog.
+    assert_eq!(recovery.catalog_dropped, 0, "no entry may recover stale");
+    assert_eq!(
+        warm.first_hit,
+        Some(0),
+        "warm start must hit the catalog from the first query"
+    );
+    assert_eq!(warm.captures, 0, "warm start must not pay capture again");
+    assert!(
+        warm.early_rows_scanned < cold.early_rows_scanned,
+        "warm start scanned {} rows in the first {EARLY_WINDOW} queries, \
+         cold start {} — persistence bought nothing",
+        warm.early_rows_scanned,
+        cold.early_rows_scanned
+    );
+    eprintln!(
+        "recovery gate passed: warm start hits from query one \
+         (cold first hit {:?}), zero warm captures, early-stream rows {} -> {}",
+        cold.first_hit, cold.early_rows_scanned, warm.early_rows_scanned
+    );
+}

@@ -41,6 +41,7 @@
 use crate::reuse::ReuseChecker;
 use crate::safety::{PartitionAttr, SafetyChecker};
 use pbds_algebra::QueryTemplate;
+use pbds_persist::{PersistedCatalog, PersistedCatalogEntry};
 use pbds_provenance::ProvenanceSketch;
 use pbds_storage::{Database, Partition, PartitionRef, RangePartition, Row, Value};
 use std::collections::hash_map::DefaultHasher;
@@ -157,6 +158,16 @@ type MemoKey = (String, Vec<Value>);
 /// `serve_plan`-style callers that pick names ad hoc).
 fn template_key(template: &QueryTemplate) -> String {
     format!("{}#{:016x}", template.name(), template.fingerprint())
+}
+
+/// Outcome of [`SketchCatalog::import`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CatalogImport {
+    /// Entries accepted (every capture epoch matched the recovered
+    /// database).
+    pub imported: usize,
+    /// Entries dropped as epoch-stale (or structurally unusable).
+    pub dropped: usize,
 }
 
 /// A catalog hit: the stored sketches plus the entry's stable id, which the
@@ -715,6 +726,114 @@ impl SketchCatalog {
                 return; // every planned victim vanished; avoid spinning
             }
         }
+    }
+
+    /// Export every stored entry into the durable
+    /// [`PersistedCatalog`] format: template key, binding,
+    /// sketches and the per-table capture epochs each entry was maintained
+    /// to. Volatile state — reuse memos, denial sets, LRU stamps, counters,
+    /// safe-attribute choices, cached partitions — is deliberately *not*
+    /// exported; it is cheap to re-derive and much of it depends on table
+    /// statistics that a later process may not reproduce. Entries are
+    /// emitted in a deterministic order (template key, then binding).
+    pub fn export(&self) -> PersistedCatalog {
+        let mut entries: Vec<PersistedCatalogEntry> = Vec::new();
+        for shard in &self.shards {
+            let guard = shard.read().expect("catalog shard poisoned");
+            for (key, stored) in &guard.entries {
+                for e in stored {
+                    let mut capture_epochs: Vec<(String, u64)> = e
+                        .capture_epochs
+                        .iter()
+                        .map(|(t, &epoch)| (t.clone(), epoch))
+                        .collect();
+                    capture_epochs.sort();
+                    entries.push(PersistedCatalogEntry {
+                        template_key: key.clone(),
+                        binding: e.binding.clone(),
+                        sketches: e.sketches.clone(),
+                        capture_epochs,
+                    });
+                }
+            }
+        }
+        entries.sort_by(|a, b| (&a.template_key, &a.binding).cmp(&(&b.template_key, &b.binding)));
+        PersistedCatalog { entries }
+    }
+
+    /// Import entries from a persisted catalog, validating each against the
+    /// recovered database: an entry is accepted only when **every** sketch's
+    /// table exists in `db` and sits at exactly the data epoch the entry
+    /// recorded — anything else (a table that was mutated after the catalog
+    /// was written, a table the snapshot no longer has, an entry missing an
+    /// epoch for one of its sketched tables) is dropped and counted. Stale
+    /// sketches are therefore structurally unreachable across restarts
+    /// exactly as they are within a process. Also seeds the catalog's
+    /// per-table mutation epochs from `db`, so a capture racing a later
+    /// mutation is rejected just as in a fresh catalog.
+    ///
+    /// Intended for a freshly created catalog during recovery; imported
+    /// entries start with cold LRU stamps and zero use counts.
+    pub fn import(&self, db: &Database, persisted: PersistedCatalog) -> CatalogImport {
+        {
+            let mut known = self.table_epochs.write().expect("table epochs poisoned");
+            for name in db.table_names() {
+                let epoch = db.table(name).expect("listed table exists").data_epoch();
+                known.insert(name.to_string(), epoch);
+            }
+        }
+        let mut report = CatalogImport::default();
+        for entry in persisted.entries {
+            let epochs: HashMap<String, u64> = entry.capture_epochs.into_iter().collect();
+            let valid = !entry.sketches.is_empty()
+                && entry.sketches.iter().all(|s| {
+                    epochs.get(s.table()).is_some_and(|&epoch| {
+                        db.table(s.table())
+                            .map(|t| t.data_epoch() == epoch)
+                            .unwrap_or(false)
+                    })
+                })
+                && epochs.iter().all(|(table, &epoch)| {
+                    db.table(table)
+                        .map(|t| t.data_epoch() == epoch)
+                        .unwrap_or(false)
+                });
+            if !valid {
+                report.dropped += 1;
+                continue;
+            }
+            let bytes: usize = entry.sketches.iter().map(|s| s.size_bytes()).sum::<usize>()
+                + std::mem::size_of_val(&entry.binding[..]);
+            let stored = CatalogEntry {
+                id: self.next_id.fetch_add(1, Ordering::Relaxed),
+                binding: entry.binding,
+                sketches: entry.sketches,
+                capture_epochs: epochs,
+                bytes,
+                last_used: AtomicU64::new(self.tick()),
+                uses: AtomicU64::new(0),
+            };
+            {
+                let mut guard = self
+                    .shard_for(&entry.template_key)
+                    .write()
+                    .expect("catalog shard poisoned");
+                guard.version += 1;
+                guard
+                    .entries
+                    .entry(entry.template_key)
+                    .or_default()
+                    .push(stored);
+            }
+            self.bytes.fetch_add(bytes, Ordering::Relaxed);
+            report.imported += 1;
+        }
+        self.invalidated
+            .fetch_add(report.dropped as u64, Ordering::Relaxed);
+        if let Some(budget) = self.config.byte_budget {
+            self.evict_to_budget(budget, u64::MAX);
+        }
+        report
     }
 
     /// Number of stored sketch entries across all templates.
@@ -1331,6 +1450,72 @@ mod tests {
             "sketch over an outgrown partition must be invalidated"
         );
         assert!(catalog.stats().invalidated >= 1);
+    }
+
+    #[test]
+    fn export_import_round_trip_restores_reuse() {
+        let db = sales_db();
+        let catalog = SketchCatalog::default();
+        let t = having_template();
+        catalog.insert(
+            &db,
+            &t,
+            &[Value::Int(50_000)],
+            capture_for(&db, &catalog, 50_000),
+        );
+        let exported = catalog.export();
+        assert_eq!(exported.entries.len(), 1);
+        assert_eq!(
+            exported.entries[0].capture_epochs,
+            vec![("sales".to_string(), db.table("sales").unwrap().data_epoch())]
+        );
+
+        // Import into a fresh catalog against the same database state: the
+        // entry survives and answers reuse lookups immediately.
+        let recovered = SketchCatalog::default();
+        let report = recovered.import(&db, exported.clone());
+        assert_eq!((report.imported, report.dropped), (1, 0));
+        assert!(recovered
+            .find_reusable(&db, &t, &[Value::Int(53_000)])
+            .is_some());
+        assert_eq!(recovered.stats().bytes, catalog.stats().bytes);
+
+        // Against a database whose table was mutated after the export, the
+        // entry is epoch-stale and must be dropped — never offered.
+        let mut mutated = db.clone();
+        mutated
+            .append_rows("sales", vec![vec![Value::Int(1), Value::Int(7)]])
+            .unwrap();
+        let cold = SketchCatalog::default();
+        let report = cold.import(&mutated, exported);
+        assert_eq!((report.imported, report.dropped), (0, 1));
+        assert_eq!(cold.stored_sketches(), 0);
+        assert!(cold
+            .find_reusable(&mutated, &t, &[Value::Int(53_000)])
+            .is_none());
+        assert!(cold.stats().invalidated >= 1);
+    }
+
+    #[test]
+    fn import_seeds_table_epochs_so_stale_captures_stay_rejected() {
+        let db = sales_db();
+        let recovered = SketchCatalog::default();
+        recovered.import(&db, PersistedCatalog::default());
+        let t = having_template();
+        // A capture taken against a pre-import (older) snapshot of `sales`
+        // must be rejected exactly as in a long-running catalog.
+        let sketches = capture_for(&db, &recovered, 50_000);
+        let mut mutated = db.clone();
+        mutated
+            .append_rows("sales", vec![vec![Value::Int(1), Value::Int(7)]])
+            .unwrap();
+        recovered.import(&mutated, PersistedCatalog::default());
+        assert!(
+            recovered
+                .insert(&db, &t, &[Value::Int(50_000)], sketches)
+                .is_none(),
+            "stale capture accepted after import seeded newer epochs"
+        );
     }
 
     #[test]

@@ -63,12 +63,14 @@ pub mod safety;
 pub mod server;
 pub mod tuning;
 
-pub use catalog::{CatalogConfig, CatalogStats, ReusableSketches, SketchCatalog};
+pub use catalog::{CatalogConfig, CatalogImport, CatalogStats, ReusableSketches, SketchCatalog};
 pub use instrument::{apply_sketches, sketch_predicate, UsePredicateStyle};
 pub use pbds::{Pbds, PbdsError};
 pub use reuse::{ReuseChecker, ReuseResult};
 pub use safety::{PartitionAttr, SafetyChecker, SafetyResult};
-pub use server::{Mutation, MutationOutcome, PbdsServer, PbdsSession, ServedQuery, ServerConfig};
+pub use server::{
+    Mutation, MutationOutcome, PbdsServer, PbdsSession, RecoveryReport, ServedQuery, ServerConfig,
+};
 pub use tuning::{
     cumulative_elapsed, estimate_selectivity, Action, QueryRecord, SelfTuningExecutor, Strategy,
 };
@@ -77,6 +79,7 @@ pub use tuning::{
 // downstream users (examples, benches) can depend on `pbds-core` alone.
 pub use pbds_algebra as algebra;
 pub use pbds_exec as exec;
+pub use pbds_persist as persist;
 pub use pbds_provenance as provenance;
 pub use pbds_solver as solver;
 pub use pbds_storage as storage;

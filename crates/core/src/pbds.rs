@@ -26,6 +26,11 @@ pub enum PbdsError {
     Exec(ExecError),
     /// A partition could not be built (e.g. the column holds only NULLs).
     Partitioning(String),
+    /// A durability-layer error (snapshot / WAL / persisted catalog).
+    Persist(pbds_persist::PersistError),
+    /// A durability operation (checkpoint, shutdown-with-persist) was asked
+    /// of a server that has no durability directory attached.
+    NotDurable,
 }
 
 impl std::fmt::Display for PbdsError {
@@ -34,6 +39,10 @@ impl std::fmt::Display for PbdsError {
             PbdsError::Storage(e) => write!(f, "storage error: {e}"),
             PbdsError::Exec(e) => write!(f, "execution error: {e}"),
             PbdsError::Partitioning(msg) => write!(f, "partitioning error: {msg}"),
+            PbdsError::Persist(e) => write!(f, "persistence error: {e}"),
+            PbdsError::NotDurable => {
+                write!(f, "server was not opened over a durability directory")
+            }
         }
     }
 }
@@ -48,6 +57,11 @@ impl From<StorageError> for PbdsError {
 impl From<ExecError> for PbdsError {
     fn from(e: ExecError) -> Self {
         PbdsError::Exec(e)
+    }
+}
+impl From<pbds_persist::PersistError> for PbdsError {
+    fn from(e: pbds_persist::PersistError) -> Self {
+        PbdsError::Persist(e)
     }
 }
 

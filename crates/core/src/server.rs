@@ -30,8 +30,13 @@ use crate::pbds::PbdsError;
 use crate::tuning::{estimate_selectivity, execute_with_reuse, Action, QueryRecord, Strategy};
 use pbds_algebra::{templatize, Expr, LogicalPlan, QueryTemplate};
 use pbds_exec::{CompiledExpr, Engine, EngineProfile};
+use pbds_persist::{
+    encode_op, read_catalog, read_snapshot, write_catalog, write_snapshot, MutationWal, WalOp,
+    WalOpRef, CATALOG_FILE, SNAPSHOT_FILE, WAL_FILE,
+};
 use pbds_provenance::{capture_sketches_with_profile, CaptureConfig};
 use pbds_storage::{Database, PartitionRef, Relation, Row, Value};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -52,6 +57,13 @@ pub struct ServerConfig {
     pub capture_workers: usize,
     /// Morsel-parallel scan workers per query execution (1 = sequential).
     pub scan_parallelism: usize,
+    /// Automatic checkpoint policy for durable servers: after this many
+    /// WAL-logged mutations the server checkpoints (snapshot + catalog
+    /// export + WAL truncation) on the mutator's thread, bounding both WAL
+    /// growth and replay time. `None` disables the policy (checkpoints then
+    /// happen only via [`PbdsServer::checkpoint`] /
+    /// [`PbdsServer::shutdown`]). Ignored for in-memory servers.
+    pub checkpoint_every: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +77,7 @@ impl Default for ServerConfig {
             fragments: 256,
             capture_workers: 1,
             scan_parallelism: 1,
+            checkpoint_every: Some(256),
         }
     }
 }
@@ -144,12 +157,40 @@ pub struct MutationOutcome {
     pub rows_affected: usize,
 }
 
+/// Durable state of a server opened over a durability directory.
+struct Persistence {
+    dir: PathBuf,
+    wal: MutationWal,
+    /// Sequence number the next WAL record will carry.
+    next_seq: u64,
+    /// Mutations logged since the last checkpoint (drives the automatic
+    /// checkpoint policy).
+    since_checkpoint: usize,
+}
+
+/// What [`PbdsServer::open`] recovered from disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Catalog entries imported (all of them epoch-valid against the
+    /// recovered database).
+    pub catalog_imported: usize,
+    /// Catalog entries dropped as epoch-stale.
+    pub catalog_dropped: usize,
+    /// WAL mutations replayed on top of the snapshot (records the snapshot
+    /// already covered are skipped by sequence number).
+    pub wal_replayed: usize,
+}
+
 /// The concurrent sketch-serving middleware. See the [module docs](self).
 pub struct PbdsServer {
     shared: Arc<ServerShared>,
     /// `None` once shut down; dropping the sender stops the workers.
     capture_tx: Option<Sender<CaptureTask>>,
     workers: Vec<JoinHandle<()>>,
+    /// Durability state; `None` for a purely in-memory server.
+    persist: Option<Mutex<Persistence>>,
+    /// Set by [`PbdsServer::open`].
+    recovery: Option<RecoveryReport>,
 }
 
 impl std::fmt::Debug for PbdsServer {
@@ -197,7 +238,168 @@ impl PbdsServer {
             shared,
             capture_tx: Some(tx),
             workers,
+            persist: None,
+            recovery: None,
         }
+    }
+
+    /// Initialize a durability directory with `db` as its first snapshot and
+    /// start a durable server over it. Any stale WAL or catalog file left in
+    /// the directory (e.g. from a previous experiment) is reset — `create`
+    /// means "this database is the new initial state"; use
+    /// [`PbdsServer::open`] to resume an existing directory instead.
+    pub fn create(
+        dir: &Path,
+        db: Arc<Database>,
+        config: ServerConfig,
+    ) -> Result<PbdsServer, PbdsError> {
+        std::fs::create_dir_all(dir).map_err(pbds_persist::PersistError::from)?;
+        // Reset the WAL and catalog *before* renaming the new snapshot in:
+        // a crash anywhere in this sequence leaves either the previous
+        // incarnation intact (old snapshot + emptied WAL/catalog — a
+        // consistent, merely cold state) or the new initial state. Writing
+        // the snapshot first instead would open a window where open() could
+        // replay the previous incarnation's WAL onto the new database.
+        let (mut wal, stale) = MutationWal::open(&dir.join(WAL_FILE))?;
+        if !stale.is_empty() {
+            wal.truncate()?;
+        }
+        write_catalog(&dir.join(CATALOG_FILE), &Default::default())?;
+        write_snapshot(&dir.join(SNAPSHOT_FILE), &db, 0)?;
+        let mut server = PbdsServer::new(db, config);
+        server.persist = Some(Mutex::new(Persistence {
+            dir: dir.to_path_buf(),
+            wal,
+            next_seq: 1,
+            since_checkpoint: 0,
+        }));
+        Ok(server)
+    }
+
+    /// Open a durable server from a durability directory written by
+    /// [`PbdsServer::create`] / [`PbdsServer::checkpoint`]:
+    ///
+    /// 1. the **snapshot** is read back (tables with their persisted
+    ///    `epoch` / `data_epoch`; derived artifacts rebuild lazily);
+    /// 2. the persisted **catalog** is imported — every entry is validated
+    ///    against the recovered tables' data epochs and dropped if stale, so
+    ///    no restart can resurrect a sketch describing other data;
+    /// 3. the **WAL** is replayed through the same mutation path a live
+    ///    server uses (records the snapshot already covers are skipped by
+    ///    sequence number; a torn tail is truncated to the longest
+    ///    whole-record prefix), maintaining the imported catalog entries
+    ///    across each replayed mutation exactly as live serving would.
+    ///
+    /// The result serves with a warm catalog: the first instance of a
+    /// template captured before the restart reuses its sketch with no
+    /// recapture. See [`PbdsServer::recovery_report`].
+    pub fn open(dir: &Path, config: ServerConfig) -> Result<PbdsServer, PbdsError> {
+        let (mut db, applied_seq) = read_snapshot(&dir.join(SNAPSHOT_FILE))?;
+        let catalog = Arc::new(SketchCatalog::default());
+        let import = catalog.import(&db, read_catalog(&dir.join(CATALOG_FILE))?);
+        let (wal, records) = MutationWal::open(&dir.join(WAL_FILE))?;
+        let mut next_seq = applied_seq + 1;
+        let mut replayed = 0usize;
+        for record in records {
+            if record.seq <= applied_seq {
+                continue; // the snapshot already includes this mutation
+            }
+            let (table, mutation) = match record.op {
+                WalOp::Append { table, rows } => (table, Mutation::Append(rows)),
+                WalOp::DeleteWhere { table, predicate } => {
+                    (table, Mutation::DeleteWhere(predicate))
+                }
+            };
+            // A record was logged only after the mutation succeeded in
+            // memory, and replay starts from the same state, so replay
+            // errors indicate corruption rather than a bad mutation.
+            let (_, maintenance) = mutate_database(&mut db, &table, mutation).map_err(|e| {
+                pbds_persist::PersistError::corrupt(format!(
+                    "WAL record {} does not replay: {e}",
+                    record.seq
+                ))
+            })?;
+            maintain_catalog(&catalog, &db, &table, &maintenance);
+            next_seq = record.seq + 1;
+            replayed += 1;
+        }
+        let mut server = PbdsServer::with_catalog(Arc::new(db), catalog, config);
+        server.persist = Some(Mutex::new(Persistence {
+            dir: dir.to_path_buf(),
+            wal,
+            next_seq,
+            since_checkpoint: replayed,
+        }));
+        server.recovery = Some(RecoveryReport {
+            catalog_imported: import.imported,
+            catalog_dropped: import.dropped,
+            wal_replayed: replayed,
+        });
+        Ok(server)
+    }
+
+    /// What [`PbdsServer::open`] recovered (`None` for servers not opened
+    /// from a durability directory).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery
+    }
+
+    /// True when this server persists its state to a durability directory.
+    pub fn is_durable(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Checkpoint the durable state: write a snapshot of the current
+    /// database (recording the WAL sequence it includes), export the sketch
+    /// catalog, then truncate the WAL. Both files are written atomically
+    /// (temp + rename), and the ordering tolerates a crash at any point: a
+    /// snapshot without the matching WAL truncation skips the already
+    /// included records by sequence number, and a catalog file older than
+    /// the snapshot merely loses entries to the epoch check on import.
+    ///
+    /// Errors with [`PbdsError::NotDurable`] on an in-memory server.
+    pub fn checkpoint(&self) -> Result<(), PbdsError> {
+        let _serialized = self
+            .shared
+            .mutation_lock
+            .lock()
+            .expect("mutation lock poisoned");
+        self.checkpoint_locked()
+    }
+
+    /// Checkpoint body; the caller must hold the mutation lock so the
+    /// database cannot move between "snapshot written" and "WAL truncated".
+    fn checkpoint_locked(&self) -> Result<(), PbdsError> {
+        let Some(persist) = &self.persist else {
+            return Err(PbdsError::NotDurable);
+        };
+        let mut p = persist.lock().expect("persistence state poisoned");
+        self.checkpoint_with(&mut p)
+    }
+
+    /// Checkpoint body for callers already holding both the mutation lock
+    /// and the persistence state.
+    fn checkpoint_with(&self, p: &mut Persistence) -> Result<(), PbdsError> {
+        let db = self.shared.snapshot();
+        write_snapshot(&p.dir.join(SNAPSHOT_FILE), &db, p.next_seq - 1)?;
+        // Captures may land concurrently; the export is simply the set of
+        // entries present now. A capture finishing after the export is lost
+        // from *this* checkpoint — an optimization, never an answer.
+        write_catalog(&p.dir.join(CATALOG_FILE), &self.shared.catalog.export())?;
+        p.wal.truncate()?;
+        p.since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Graceful shutdown: drain in-flight captures so their sketches make it
+    /// into the persisted catalog, checkpoint (durable servers), and stop
+    /// the worker pool. In-memory servers just drain and stop.
+    pub fn shutdown(self) -> Result<(), PbdsError> {
+        self.drain();
+        if self.persist.is_some() {
+            self.checkpoint()?;
+        }
+        Ok(()) // dropping `self` joins the capture workers
     }
 
     /// The catalog this server reads and (through capture workers) writes.
@@ -225,6 +427,12 @@ impl PbdsServer {
     /// `apply_mutation` returns observes the mutation. Serving therefore
     /// stays linearizable: queries and mutations behave as if executed one
     /// at a time in admission order.
+    ///
+    /// On a durable server the mutation is also appended to the WAL and
+    /// fsynced **before** it becomes visible (or is reported to the caller),
+    /// so an acknowledged mutation survives a crash; when the automatic
+    /// checkpoint policy ([`ServerConfig::checkpoint_every`]) comes due, the
+    /// checkpoint runs on this call before it returns.
     pub fn apply_mutation(
         &self,
         table: &str,
@@ -233,54 +441,59 @@ impl PbdsServer {
         let shared = &self.shared;
         let _serialized = shared.mutation_lock.lock().expect("mutation lock poisoned");
         let current = shared.snapshot();
-        let prev_epoch = current.table(table)?.data_epoch();
         let mut db = (*current).clone();
-        let outcome = match mutation {
-            Mutation::Append(rows) => {
-                let appended = rows.len();
-                let old_len = current.table(table)?.len();
-                let epoch = db.append_rows(table, rows)?;
-                if appended > 0 {
-                    let t = db.table(table)?;
-                    shared
-                        .catalog
-                        .on_append(&db, table, &t.rows()[old_len..], prev_epoch);
-                }
-                MutationOutcome {
-                    table: table.to_string(),
-                    epoch,
-                    rows_affected: appended,
-                }
+        // Encode the WAL record body from the borrowed mutation before it is
+        // consumed — no clone of a bulk append's rows, and nothing is
+        // encoded at all on in-memory servers.
+        let wal_bytes = self.persist.as_ref().map(|_| {
+            encode_op(match &mutation {
+                Mutation::Append(rows) => WalOpRef::Append { table, rows },
+                Mutation::DeleteWhere(predicate) => WalOpRef::DeleteWhere { table, predicate },
+            })
+        });
+        let (outcome, maintenance) = mutate_database(&mut db, table, mutation)?;
+        // Write-ahead: the record must be durable before the mutation is
+        // visible to any session or acknowledged to the caller. On failure
+        // nothing is swapped in and the catalog is untouched.
+        let mut checkpoint_due = false;
+        if let (Some(persist), Some(bytes)) = (&self.persist, wal_bytes) {
+            let mut p = persist.lock().expect("persistence state poisoned");
+            let seq = p.next_seq;
+            if p.wal.append_encoded(seq, &bytes).is_err() {
+                // The WAL may be poisoned by an earlier failure (a torn
+                // append that could not be rolled back, or a checkpoint
+                // whose truncation died half way). A checkpoint is the
+                // recovery move in both cases: it persists every state the
+                // log was covering into the snapshot and rebuilds the log
+                // from scratch — after which this record can be appended.
+                // If even the checkpoint fails, the mutation is refused
+                // (nothing has become visible) and the next one retries.
+                self.checkpoint_with(&mut p)?;
+                p.wal.append_encoded(seq, &bytes)?;
             }
-            Mutation::DeleteWhere(predicate) => {
-                // Evaluate the predicate first (propagating evaluation
-                // errors before anything is deleted), then delete by mask.
-                let doomed: Vec<bool> = {
-                    let t = db.table(table)?;
-                    let compiled = CompiledExpr::compile(&predicate, t.schema());
-                    t.rows()
-                        .iter()
-                        .map(|row| compiled.matches(row))
-                        .collect::<Result<_, _>>()?
-                };
-                let mut i = 0;
-                let deleted = db.delete_where(table, |_| {
-                    let d = doomed[i];
-                    i += 1;
-                    d
-                })?;
-                let epoch = db.table(table)?.data_epoch();
-                if deleted > 0 {
-                    shared.catalog.on_delete(&db, table, prev_epoch);
-                }
-                MutationOutcome {
-                    table: table.to_string(),
-                    epoch,
-                    rows_affected: deleted,
-                }
-            }
-        };
+            p.next_seq += 1;
+            p.since_checkpoint += 1;
+            checkpoint_due = shared
+                .config
+                .checkpoint_every
+                .is_some_and(|n| p.since_checkpoint >= n);
+        }
+        maintain_catalog(&shared.catalog, &db, table, &maintenance);
         *shared.db.write().expect("database lock poisoned") = Arc::new(db);
+        if checkpoint_due {
+            // Still under the mutation lock: the snapshot written here is
+            // exactly the state the just-logged record produced. The
+            // mutation itself is already durable and visible at this point,
+            // so a checkpoint failure must not be reported as a mutation
+            // failure (a retrying caller would double-apply); the WAL keeps
+            // the record and the next mutation retries the checkpoint.
+            if let Err(e) = self.checkpoint_locked() {
+                eprintln!(
+                    "pbds: automatic checkpoint failed ({e}); mutations remain \
+                     recoverable from the WAL and the checkpoint will be retried"
+                );
+            }
+        }
         Ok(outcome)
     }
 
@@ -473,6 +686,107 @@ impl PbdsSession<'_> {
             relation: out.relation,
             capture_enqueued,
         })
+    }
+}
+
+/// Catalog maintenance owed after a database mutation (computed by
+/// [`mutate_database`], applied by [`maintain_catalog`]). Split in two so a
+/// durable server can make the WAL record durable *between* mutating its
+/// copy-on-write database and touching the shared catalog.
+enum Maintenance {
+    /// Nothing changed (empty append / delete matching nothing).
+    None,
+    /// Rows were appended starting at `old_len`; the table's data epoch was
+    /// `prev_epoch` before the append.
+    Append { old_len: usize, prev_epoch: u64 },
+    /// Rows were deleted; the table's data epoch was `prev_epoch` before.
+    Delete { prev_epoch: u64 },
+}
+
+/// Apply a mutation to a database in place (no catalog, no WAL): the shared
+/// core of [`PbdsServer::apply_mutation`] and WAL replay, so a replayed
+/// record takes exactly the code path the live mutation took.
+fn mutate_database(
+    db: &mut Database,
+    table: &str,
+    mutation: Mutation,
+) -> Result<(MutationOutcome, Maintenance), PbdsError> {
+    let prev_epoch = db.table(table)?.data_epoch();
+    match mutation {
+        Mutation::Append(rows) => {
+            let appended = rows.len();
+            let old_len = db.table(table)?.len();
+            let epoch = db.append_rows(table, rows)?;
+            let maintenance = if appended > 0 {
+                Maintenance::Append {
+                    old_len,
+                    prev_epoch,
+                }
+            } else {
+                Maintenance::None
+            };
+            Ok((
+                MutationOutcome {
+                    table: table.to_string(),
+                    epoch,
+                    rows_affected: appended,
+                },
+                maintenance,
+            ))
+        }
+        Mutation::DeleteWhere(predicate) => {
+            // Evaluate the predicate first (propagating evaluation errors
+            // before anything is deleted), then delete by mask.
+            let doomed: Vec<bool> = {
+                let t = db.table(table)?;
+                let compiled = CompiledExpr::compile(&predicate, t.schema());
+                t.rows()
+                    .iter()
+                    .map(|row| compiled.matches(row))
+                    .collect::<Result<_, _>>()?
+            };
+            let mut i = 0;
+            let deleted = db.delete_where(table, |_| {
+                let d = doomed[i];
+                i += 1;
+                d
+            })?;
+            let epoch = db.table(table)?.data_epoch();
+            let maintenance = if deleted > 0 {
+                Maintenance::Delete { prev_epoch }
+            } else {
+                Maintenance::None
+            };
+            Ok((
+                MutationOutcome {
+                    table: table.to_string(),
+                    epoch,
+                    rows_affected: deleted,
+                },
+                maintenance,
+            ))
+        }
+    }
+}
+
+/// Run the sketch-catalog maintenance owed for a mutation (`db` is the
+/// post-mutation database).
+fn maintain_catalog(
+    catalog: &SketchCatalog,
+    db: &Database,
+    table: &str,
+    maintenance: &Maintenance,
+) {
+    match *maintenance {
+        Maintenance::None => {}
+        Maintenance::Append {
+            old_len,
+            prev_epoch,
+        } => {
+            let t = db.table(table).expect("mutated table exists");
+            catalog.on_append(db, table, &t.rows()[old_len..], prev_epoch);
+        }
+        Maintenance::Delete { prev_epoch } => catalog.on_delete(db, table, prev_epoch),
     }
 }
 
@@ -778,6 +1092,234 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, PbdsError::Exec(_)));
         assert_eq!(server.db().table("sales").unwrap().len(), 5_000);
+    }
+
+    /// A fresh scratch directory under the workspace `target/` dir (tests
+    /// must not write outside the repository).
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/core-unit-tests")
+            .join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create test dir");
+        dir
+    }
+
+    #[test]
+    fn durable_server_reopens_with_a_warm_catalog() {
+        let dir = test_dir("durable_warm");
+        let db = sales_db();
+        let t = having_template();
+        let rows_before;
+        {
+            let server =
+                PbdsServer::create(&dir, Arc::clone(&db), ServerConfig::default()).unwrap();
+            let session = server.session();
+            let first = session.serve(&t, &[Value::Int(50_000)]).unwrap();
+            assert!(first.capture_enqueued);
+            server.drain();
+            assert_eq!(server.catalog().stored_sketches(), 1);
+            rows_before = server.db().table("sales").unwrap().rows().to_vec();
+            server.shutdown().unwrap();
+        }
+
+        let server = PbdsServer::open(&dir, ServerConfig::default()).unwrap();
+        let report = server.recovery_report().unwrap();
+        assert_eq!(report.catalog_imported, 1, "{report:?}");
+        assert_eq!(report.catalog_dropped, 0);
+        assert_eq!(report.wal_replayed, 0);
+        assert_eq!(
+            server.db().table("sales").unwrap().rows(),
+            &rows_before[..],
+            "recovered rows must be byte-identical"
+        );
+        // The very first query of the recovered server reuses the persisted
+        // sketch — no recapture.
+        let session = server.session();
+        let served = session.serve(&t, &[Value::Int(53_000)]).unwrap();
+        assert_eq!(
+            served.record.action,
+            Action::UseSketch,
+            "{:?}",
+            served.record
+        );
+        assert!(!served.capture_enqueued);
+        let (captures, _) = server.capture_totals();
+        assert_eq!(captures, 0, "warm start must not pay capture again");
+    }
+
+    #[test]
+    fn uncheckpointed_mutations_replay_from_the_wal() {
+        let dir = test_dir("durable_wal_replay");
+        let db = sales_db();
+        let t = having_template();
+        let config = ServerConfig {
+            checkpoint_every: None, // keep everything in the WAL
+            ..ServerConfig::default()
+        };
+        let expected_rows;
+        {
+            let server = PbdsServer::create(&dir, Arc::clone(&db), config).unwrap();
+            let session = server.session();
+            session.serve(&t, &[Value::Int(50_000)]).unwrap();
+            server.drain();
+            server
+                .apply_mutation(
+                    "sales",
+                    Mutation::Append(
+                        (0..30)
+                            .map(|i| vec![Value::Int(i % 3), Value::Int(800)])
+                            .collect(),
+                    ),
+                )
+                .unwrap();
+            server
+                .apply_mutation("sales", Mutation::DeleteWhere(col("amount").gt(lit(950))))
+                .unwrap();
+            expected_rows = server.db().table("sales").unwrap().rows().to_vec();
+            // No shutdown, no checkpoint: simulate a crash.
+            drop(server);
+        }
+
+        let server = PbdsServer::open(&dir, config).unwrap();
+        let report = server.recovery_report().unwrap();
+        assert_eq!(report.wal_replayed, 2, "{report:?}");
+        assert_eq!(
+            server.db().table("sales").unwrap().rows(),
+            &expected_rows[..]
+        );
+        // Every surviving catalog entry is epoch-valid against the
+        // recovered database (maintained through the replayed mutations or
+        // dropped — never stale).
+        let db_now = server.db();
+        for entry in server.catalog().export().entries {
+            for (table, epoch) in entry.capture_epochs {
+                assert_eq!(
+                    db_now.table(&table).unwrap().data_epoch(),
+                    epoch,
+                    "entry for {table} recovered epoch-stale"
+                );
+            }
+        }
+        // Serving still matches plain execution.
+        let session = server.session();
+        let served = session.serve(&t, &[Value::Int(53_000)]).unwrap();
+        let plain = Engine::new(EngineProfile::Indexed)
+            .execute(&server.db(), &t.instantiate(&[Value::Int(53_000)]))
+            .unwrap();
+        assert!(served.relation.bag_eq(&plain.relation));
+    }
+
+    #[test]
+    fn automatic_checkpoint_policy_truncates_the_wal() {
+        let dir = test_dir("durable_auto_checkpoint");
+        let db = sales_db();
+        let config = ServerConfig {
+            checkpoint_every: Some(2),
+            ..ServerConfig::default()
+        };
+        let server = PbdsServer::create(&dir, db, config).unwrap();
+        let append = |i: i64| Mutation::Append(vec![vec![Value::Int(i % 50), Value::Int(10)]]);
+        server.apply_mutation("sales", append(0)).unwrap();
+        let (records, _) = pbds_persist::read_records(&dir.join(WAL_FILE)).unwrap();
+        assert_eq!(records.len(), 1, "first mutation stays in the WAL");
+        server.apply_mutation("sales", append(1)).unwrap();
+        let (records, _) = pbds_persist::read_records(&dir.join(WAL_FILE)).unwrap();
+        assert!(
+            records.is_empty(),
+            "second mutation must trigger the checkpoint and truncate"
+        );
+        // The checkpointed snapshot carries the post-mutation state.
+        let (snap_db, _) = read_snapshot(&dir.join(SNAPSHOT_FILE)).unwrap();
+        assert_eq!(snap_db.table("sales").unwrap().len(), 5_002);
+        // A third mutation restarts the WAL with a fresh sequence.
+        server.apply_mutation("sales", append(2)).unwrap();
+        let (records, _) = pbds_persist::read_records(&dir.join(WAL_FILE)).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].seq, 3);
+        drop(server);
+        let reopened = PbdsServer::open(&dir, config).unwrap();
+        assert_eq!(reopened.recovery_report().unwrap().wal_replayed, 1);
+        assert_eq!(reopened.db().table("sales").unwrap().len(), 5_003);
+    }
+
+    #[test]
+    fn create_over_a_stale_directory_discards_the_old_incarnation() {
+        let dir = test_dir("durable_recreate");
+        let config = ServerConfig {
+            checkpoint_every: None,
+            ..ServerConfig::default()
+        };
+        {
+            let server = PbdsServer::create(&dir, sales_db(), config).unwrap();
+            let session = server.session();
+            session
+                .serve(&having_template(), &[Value::Int(50_000)])
+                .unwrap();
+            server.drain();
+            server
+                .apply_mutation(
+                    "sales",
+                    Mutation::Append(vec![vec![Value::Int(1), Value::Int(5)]]),
+                )
+                .unwrap();
+            server.checkpoint().unwrap(); // persist a catalog entry
+            server
+                .apply_mutation(
+                    "sales",
+                    Mutation::Append(vec![vec![Value::Int(2), Value::Int(6)]]),
+                )
+                .unwrap();
+            drop(server); // leaves an uncheckpointed WAL record + catalog
+        }
+        // Re-create over the same directory with a different initial state:
+        // the old incarnation's WAL and catalog must not leak into it.
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]);
+        let mut fresh = Database::new();
+        fresh.add_table(pbds_storage::Table::new(
+            "other",
+            schema,
+            vec![vec![Value::Int(1)]],
+        ));
+        let server = PbdsServer::create(&dir, Arc::new(fresh), config).unwrap();
+        drop(server);
+        let reopened = PbdsServer::open(&dir, config).unwrap();
+        let report = reopened.recovery_report().unwrap();
+        assert_eq!(report.wal_replayed, 0, "{report:?}");
+        assert_eq!(report.catalog_imported, 0, "{report:?}");
+        assert_eq!(reopened.db().table_names(), vec!["other"]);
+    }
+
+    #[test]
+    fn durability_calls_on_memory_servers_error() {
+        let server = PbdsServer::new(sales_db(), ServerConfig::default());
+        assert!(!server.is_durable());
+        assert!(server.recovery_report().is_none());
+        assert_eq!(server.checkpoint().unwrap_err(), PbdsError::NotDurable);
+        // Shutdown of an in-memory server is still a clean no-op.
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn failed_mutations_are_not_logged_to_the_wal() {
+        let dir = test_dir("durable_failed_mutation");
+        let server = PbdsServer::create(&dir, sales_db(), ServerConfig::default()).unwrap();
+        let err = server
+            .apply_mutation("sales", Mutation::Append(vec![vec![Value::Int(1)]]))
+            .unwrap_err();
+        assert!(matches!(err, PbdsError::Storage(_)));
+        let err = server
+            .apply_mutation("sales", Mutation::DeleteWhere(col("missing").gt(lit(0))))
+            .unwrap_err();
+        assert!(matches!(err, PbdsError::Exec(_)));
+        drop(server);
+        let (records, _) = pbds_persist::read_records(&dir.join(WAL_FILE)).unwrap();
+        assert!(
+            records.is_empty(),
+            "failed mutations must not be replayable"
+        );
+        let reopened = PbdsServer::open(&dir, ServerConfig::default()).unwrap();
+        assert_eq!(reopened.db().table("sales").unwrap().len(), 5_000);
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Whole-database snapshots.
+//!
+//! A snapshot persists exactly the durable state of a [`Database`]: for each
+//! table its name, schema, rows, **epochs** (`epoch` / `data_epoch` — the
+//! validity tokens the sketch catalog's entries are checked against) and the
+//! *declaration* of its physical design (block size, zone-map flag, indexed
+//! columns). Derived artifacts — zone maps, ordered indexes, columnar
+//! chunks, statistics — are **not** serialized: after a restore they rebuild
+//! lazily through the same epoch-stamped cache machinery that serves them in
+//! a live process, so a snapshot can never hand the engine a stale artifact.
+//!
+//! Layout: a [`FileKind::Snapshot`] header frame, a meta frame (the WAL
+//! sequence number the snapshot includes and the table count), then one
+//! frame per table. Snapshots are written to a temporary file, fsynced and
+//! renamed into place, so readers only ever observe a whole snapshot; any
+//! torn frame is therefore reported as corruption, never tolerated.
+
+use crate::codec::{decode_table_image, encode_table_image, ByteReader, ByteWriter};
+use crate::frame::{check_header, file_header, read_frame, write_frame, FileKind, FrameRead};
+use crate::PersistError;
+use pbds_storage::{Database, Table};
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// Default snapshot file name inside a durability directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.pbds";
+
+/// Write `f`'s output to `path` atomically: temp file, fsync, rename, and
+/// fsync of the containing directory.
+pub(crate) fn write_atomically(
+    path: &Path,
+    f: impl FnOnce(&mut Vec<u8>) -> Result<(), PersistError>,
+) -> Result<(), PersistError> {
+    let mut bytes = Vec::new();
+    f(&mut bytes)?;
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Make the rename itself durable. Directories cannot be fsynced on
+        // every platform; failure to open one is not a correctness problem
+        // for the rename already performed.
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Write a snapshot of `db` to `path` (atomically). `applied_seq` is the
+/// highest WAL sequence number whose effects the snapshot includes; replay
+/// after a restore skips records at or below it.
+pub fn write_snapshot(path: &Path, db: &Database, applied_seq: u64) -> Result<(), PersistError> {
+    write_atomically(path, |out| {
+        write_frame(out, &file_header(FileKind::Snapshot))?;
+        let mut meta = ByteWriter::new();
+        meta.u64(applied_seq);
+        meta.u32(db.table_names().len() as u32);
+        write_frame(out, &meta.into_bytes())?;
+        for name in db.table_names() {
+            let table = db.table(name).expect("listed table exists");
+            let mut w = ByteWriter::new();
+            encode_table_image(&mut w, &table.image());
+            write_frame(out, &w.into_bytes())?;
+        }
+        Ok(())
+    })
+}
+
+/// Read a snapshot, returning the reconstructed database and the
+/// `applied_seq` recorded at write time.
+pub fn read_snapshot(path: &Path) -> Result<(Database, u64), PersistError> {
+    let bytes = fs::read(path)?;
+    let mut pos = 0;
+    let mut next = |what: &str| -> Result<&[u8], PersistError> {
+        match read_frame(&bytes, pos) {
+            FrameRead::Frame { payload, next } => {
+                pos = next;
+                Ok(payload)
+            }
+            _ => Err(PersistError::corrupt(format!(
+                "snapshot {}: missing or torn {what} frame",
+                path.display()
+            ))),
+        }
+    };
+    check_header(next("header")?, FileKind::Snapshot)?;
+    let meta_payload = next("meta")?;
+    let mut meta = ByteReader::new(meta_payload);
+    let applied_seq = meta.u64()?;
+    let table_count = meta.u32()? as usize;
+    meta.finish("snapshot meta")?;
+    let mut db = Database::new();
+    for _ in 0..table_count {
+        let payload = next("table")?;
+        let mut r = ByteReader::new(payload);
+        let image = decode_table_image(&mut r)?;
+        r.finish("table frame")?;
+        db.add_table(Table::restore(image));
+    }
+    if read_frame(&bytes, pos) != FrameRead::End {
+        return Err(PersistError::corrupt("snapshot has trailing frames"));
+    }
+    Ok((db, applied_seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+    use pbds_storage::{DataType, Schema, TableBuilder, Value};
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("f", DataType::Float)]);
+        let mut b = TableBuilder::new("t", schema);
+        b.block_size(16).index("id");
+        for i in 0..100i64 {
+            b.push(vec![
+                Value::Int(i),
+                if i % 10 == 0 {
+                    Value::Float(f64::NAN)
+                } else {
+                    Value::Float(-0.0)
+                },
+            ]);
+        }
+        db.add_table(b.build());
+        let schema2 = Schema::from_pairs(&[("s", DataType::Str)]);
+        db.add_table(pbds_storage::Table::new(
+            "u",
+            schema2,
+            vec![vec![Value::from("a")], vec![Value::Null]],
+        ));
+        db
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_rows_epochs_and_design() {
+        let dir = test_dir("snapshot_round_trip");
+        let path = dir.join(SNAPSHOT_FILE);
+        let db = sample_db();
+        write_snapshot(&path, &db, 42).unwrap();
+        let (restored, seq) = read_snapshot(&path).unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(restored.table_names(), db.table_names());
+        for name in db.table_names() {
+            let a = db.table(name).unwrap();
+            let b = restored.table(name).unwrap();
+            assert_eq!(a.rows(), b.rows(), "{name}");
+            assert_eq!(a.epoch(), b.epoch(), "{name}");
+            assert_eq!(a.data_epoch(), b.data_epoch(), "{name}");
+            assert_eq!(a.block_size(), b.block_size(), "{name}");
+            assert_eq!(a.has_zone_map(), b.has_zone_map(), "{name}");
+            assert_eq!(a.indexed_columns(), b.indexed_columns(), "{name}");
+        }
+    }
+
+    #[test]
+    fn truncated_snapshot_is_corruption() {
+        let dir = test_dir("snapshot_truncated");
+        let path = dir.join(SNAPSHOT_FILE);
+        write_snapshot(&path, &sample_db(), 0).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        for cut in [bytes.len() - 1, bytes.len() / 2, 10, 0] {
+            fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(
+                read_snapshot(&path).is_err(),
+                "truncation to {cut} bytes went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_kind_file_is_rejected() {
+        let dir = test_dir("snapshot_wrong_kind");
+        let path = dir.join("file.pbds");
+        let mut out = Vec::new();
+        write_frame(&mut out, &file_header(FileKind::Wal)).unwrap();
+        fs::write(&path, &out).unwrap();
+        assert!(read_snapshot(&path).is_err());
+    }
+}

@@ -1,0 +1,452 @@
+//! The mutation write-ahead log.
+//!
+//! Every data mutation the serving middleware applies between checkpoints is
+//! appended here as one checksummed frame and fsynced before the mutation is
+//! acknowledged, so a crash loses at most the in-flight record — and a
+//! record it *did* acknowledge is always replayable. The log is
+//! **torn-tail tolerant**: a crash mid-append leaves a trailing partial
+//! frame, which [`MutationWal::open`] detects via the frame CRC, truncates
+//! away, and resumes appending after. Recovery therefore always lands on
+//! the state of the *longest whole-record prefix* of the log.
+//!
+//! Records carry a monotone sequence number. The snapshot stores the highest
+//! sequence it includes ([`crate::snapshot::write_snapshot`]), so replay
+//! after a restart skips records the snapshot already covers — a crash
+//! between "snapshot renamed" and "WAL truncated" can never double-apply an
+//! append.
+
+use crate::codec::{decode_expr, encode_expr, ByteReader, ByteWriter};
+use crate::frame::{check_header, file_header, frame_bytes, read_frame, FileKind, FrameRead};
+use crate::PersistError;
+use pbds_algebra::Expr;
+use pbds_storage::Row;
+use std::fs::{self, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Default WAL file name inside a durability directory.
+pub const WAL_FILE: &str = "wal.pbds";
+
+/// A logged mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// Rows appended at the tail of `table`.
+    Append {
+        /// The mutated table.
+        table: String,
+        /// The appended rows.
+        rows: Vec<Row>,
+    },
+    /// Rows deleted from `table` by predicate.
+    DeleteWhere {
+        /// The mutated table.
+        table: String,
+        /// The delete predicate (re-evaluated deterministically on replay
+        /// against the same pre-mutation state).
+        predicate: Expr,
+    },
+}
+
+/// One WAL record: a sequence number plus the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Monotone sequence number (1-based; snapshots record the highest
+    /// sequence they include).
+    pub seq: u64,
+    /// The logged mutation.
+    pub op: WalOp,
+}
+
+/// A borrowed view of a WAL operation, so callers can encode a record
+/// without cloning its payload (a bulk append's rows can be encoded straight
+/// from the caller's buffer — or the table's tail — before ownership moves).
+#[derive(Debug, Clone, Copy)]
+pub enum WalOpRef<'a> {
+    /// Rows appended at the tail of `table`.
+    Append {
+        /// The mutated table.
+        table: &'a str,
+        /// The appended rows.
+        rows: &'a [Row],
+    },
+    /// Rows deleted from `table` by predicate.
+    DeleteWhere {
+        /// The mutated table.
+        table: &'a str,
+        /// The delete predicate.
+        predicate: &'a Expr,
+    },
+}
+
+impl WalOp {
+    fn as_ref(&self) -> WalOpRef<'_> {
+        match self {
+            WalOp::Append { table, rows } => WalOpRef::Append { table, rows },
+            WalOp::DeleteWhere { table, predicate } => WalOpRef::DeleteWhere { table, predicate },
+        }
+    }
+}
+
+/// Encode a WAL operation body (everything but the sequence number), for use
+/// with [`MutationWal::append_encoded`].
+pub fn encode_op(op: WalOpRef<'_>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match op {
+        WalOpRef::Append { table, rows } => {
+            w.u8(0);
+            w.str(table);
+            w.u32(rows.len() as u32);
+            for row in rows {
+                w.values(row);
+            }
+        }
+        WalOpRef::DeleteWhere { table, predicate } => {
+            w.u8(1);
+            w.str(table);
+            encode_expr(&mut w, predicate);
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_record(payload: &[u8]) -> Result<WalRecord, PersistError> {
+    let mut r = ByteReader::new(payload);
+    let seq = r.u64()?;
+    let op = match r.u8()? {
+        0 => {
+            let table = r.str()?;
+            let n = r.u32()? as usize;
+            let n = r.count(n, "appended row")?;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push(r.values()?);
+            }
+            WalOp::Append { table, rows }
+        }
+        1 => {
+            let table = r.str()?;
+            let predicate = decode_expr(&mut r)?;
+            WalOp::DeleteWhere { table, predicate }
+        }
+        other => return Err(PersistError::corrupt(format!("unknown WAL op {other}"))),
+    };
+    r.finish("WAL record")?;
+    Ok(WalRecord { seq, op })
+}
+
+/// Scan a WAL file, returning every whole valid record and the byte length
+/// of the valid prefix (header included). A missing file reads as empty.
+/// The first torn or corrupt frame ends the scan — it and everything after
+/// it are treated as the torn tail.
+pub fn read_records(path: &Path) -> Result<(Vec<WalRecord>, u64), PersistError> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(e) => return Err(e.into()),
+    };
+    let mut pos = 0;
+    // Header: a torn header (crash during the very first creation) makes the
+    // whole file an empty log.
+    match read_frame(&bytes, pos) {
+        FrameRead::Frame { payload, next } => {
+            check_header(payload, FileKind::Wal)?;
+            pos = next;
+        }
+        FrameRead::End | FrameRead::Torn => return Ok((Vec::new(), 0)),
+    }
+    let mut records = Vec::new();
+    while let FrameRead::Frame { payload, next } = read_frame(&bytes, pos) {
+        // A frame that checksums but does not decode is corruption in the
+        // middle of the log only if more valid frames follow; we cannot
+        // know, so treat it like a torn tail as well — the prefix before it
+        // is still the longest trustworthy state.
+        let Ok(record) = decode_record(payload) else {
+            break;
+        };
+        records.push(record);
+        pos = next;
+    }
+    Ok((records, pos as u64))
+}
+
+/// An open, appendable mutation WAL.
+#[derive(Debug)]
+pub struct MutationWal {
+    path: PathBuf,
+    file: fs::File,
+    /// Length of the valid prefix (header + whole records). A failed append
+    /// rolls the file back to this point, so later appends can never land
+    /// after a torn frame in the middle of the log.
+    len: u64,
+    /// Cleared when a failed append could not be rolled back; further
+    /// appends are refused rather than silently written after torn bytes.
+    healthy: bool,
+}
+
+impl MutationWal {
+    /// Open (creating if needed) the WAL at `path`. Existing whole records
+    /// are returned; a torn tail is truncated away so subsequent appends
+    /// extend the valid prefix.
+    pub fn open(path: &Path) -> Result<(MutationWal, Vec<WalRecord>), PersistError> {
+        let (records, valid_len) = read_records(path)?;
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        let len = if valid_len == 0 {
+            // Fresh (or unusable) log: start over with a clean header.
+            file.set_len(0)?;
+            write_header(&mut file)?
+        } else {
+            file.set_len(valid_len)?;
+            file.sync_all()?;
+            valid_len
+        };
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::Start(len))?;
+        Ok((
+            MutationWal {
+                path: path.to_path_buf(),
+                file,
+                len,
+                healthy: true,
+            },
+            records,
+        ))
+    }
+
+    /// The file this WAL appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record and fsync it. On return the record is durable.
+    pub fn append(&mut self, record: &WalRecord) -> Result<(), PersistError> {
+        self.append_encoded(record.seq, &encode_op(record.op.as_ref()))
+    }
+
+    /// Append a record from its pre-encoded operation body (see
+    /// [`encode_op`]) and fsync it. The frame is streamed to the file —
+    /// length prefix, sequence number, the caller's bytes, incrementally
+    /// computed CRC — so a bulk append's payload is never copied again. On
+    /// return the record is durable; on error the file is rolled back to
+    /// the last whole record, so the error is clean — nothing of the failed
+    /// record can survive a later replay.
+    pub fn append_encoded(&mut self, seq: u64, op_bytes: &[u8]) -> Result<(), PersistError> {
+        if !self.healthy {
+            return Err(PersistError::Io(
+                "WAL is unusable: a failed append or truncate could not be rolled back".into(),
+            ));
+        }
+        let payload_len = 8 + op_bytes.len();
+        let len = u32::try_from(payload_len).map_err(|_| {
+            PersistError::corrupt(format!(
+                "WAL record payload of {payload_len} bytes exceeds the u32 length prefix"
+            ))
+        })?;
+        let seq_bytes = seq.to_le_bytes();
+        let crc = crate::frame::crc32_finish(crate::frame::crc32_extend(
+            crate::frame::crc32_extend(crate::frame::crc32_start(), &seq_bytes),
+            op_bytes,
+        ));
+        let wrote = self
+            .file
+            .write_all(&len.to_le_bytes())
+            .and_then(|()| self.file.write_all(&seq_bytes))
+            .and_then(|()| self.file.write_all(op_bytes))
+            .and_then(|()| self.file.write_all(&crc.to_le_bytes()))
+            .and_then(|()| self.file.sync_data());
+        match wrote {
+            Ok(()) => {
+                self.len += 8 + payload_len as u64;
+                Ok(())
+            }
+            Err(e) => {
+                // A partial write would otherwise sit *between* the valid
+                // prefix and any future (successful, acknowledged) append,
+                // and recovery would truncate those acknowledged records
+                // away at the torn frame. Roll back to the whole-record
+                // prefix; if even that fails, poison the log.
+                use std::io::Seek;
+                let rolled = self
+                    .file
+                    .set_len(self.len)
+                    .and_then(|()| self.file.seek(std::io::SeekFrom::Start(self.len)))
+                    .and_then(|_| self.file.sync_data());
+                if rolled.is_err() {
+                    self.healthy = false;
+                }
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Drop every record (after a checkpoint made them redundant), keeping
+    /// the file header. A fully successful truncation also restores a
+    /// poisoned log to health (it removes whatever torn bytes a failed
+    /// rollback left behind); a truncation that fails partway — e.g. a
+    /// half-written header — poisons the log instead, so no later append
+    /// can land bytes that recovery would misparse or discard.
+    pub fn truncate(&mut self) -> Result<(), PersistError> {
+        let result = (|| {
+            self.file.set_len(0)?;
+            use std::io::Seek;
+            self.file.seek(std::io::SeekFrom::Start(0))?;
+            write_header(&mut self.file)
+        })();
+        match result {
+            Ok(header_len) => {
+                self.len = header_len;
+                self.healthy = true;
+                Ok(())
+            }
+            Err(e) => {
+                self.healthy = false;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Write the WAL header frame; returns the header length in bytes.
+fn write_header(file: &mut fs::File) -> Result<u64, PersistError> {
+    let header = frame_bytes(&file_header(FileKind::Wal))?;
+    file.write_all(&header)?;
+    file.sync_all()?;
+    Ok(header.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+    use pbds_algebra::{col, lit};
+    use pbds_storage::Value;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord {
+                seq: 1,
+                op: WalOp::Append {
+                    table: "t".into(),
+                    rows: vec![
+                        vec![Value::Int(1), Value::from("a")],
+                        vec![Value::Float(-0.0), Value::Null],
+                    ],
+                },
+            },
+            WalRecord {
+                seq: 2,
+                op: WalOp::DeleteWhere {
+                    table: "t".into(),
+                    predicate: col("v").between(lit(3), lit(9)),
+                },
+            },
+            WalRecord {
+                seq: 3,
+                op: WalOp::Append {
+                    table: "u".into(),
+                    rows: vec![],
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn append_reopen_round_trip() {
+        let dir = test_dir("wal_round_trip");
+        let path = dir.join(WAL_FILE);
+        let (mut wal, existing) = MutationWal::open(&path).unwrap();
+        assert!(existing.is_empty());
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        drop(wal);
+        let (_, records) = MutationWal::open(&path).unwrap();
+        assert_eq!(records, sample_records());
+    }
+
+    #[test]
+    fn every_byte_truncation_recovers_the_longest_whole_prefix() {
+        let dir = test_dir("wal_torn_tail");
+        let path = dir.join(WAL_FILE);
+        let (mut wal, _) = MutationWal::open(&path).unwrap();
+        let all = sample_records();
+        // Record the valid length after each whole record.
+        let mut boundaries = vec![fs::metadata(&path).unwrap().len()];
+        for r in &all {
+            wal.append(r).unwrap();
+            boundaries.push(fs::metadata(&path).unwrap().len());
+        }
+        drop(wal);
+        let bytes = fs::read(&path).unwrap();
+        let torn = dir.join("torn.pbds");
+        for cut in 0..=bytes.len() {
+            fs::write(&torn, &bytes[..cut]).unwrap();
+            // A cut inside the header leaves no whole record (and no header).
+            let whole = boundaries
+                .iter()
+                .filter(|&&b| b <= cut as u64)
+                .count()
+                .saturating_sub(1);
+            let (records, valid_len) = read_records(&torn).unwrap();
+            assert_eq!(records.len(), whole, "cut at {cut}");
+            assert_eq!(&records[..], &all[..whole], "cut at {cut}");
+            if whole > 0 {
+                assert_eq!(valid_len, boundaries[whole], "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn appends_after_torn_tail_truncation_are_readable() {
+        let dir = test_dir("wal_torn_then_append");
+        let path = dir.join(WAL_FILE);
+        let (mut wal, _) = MutationWal::open(&path).unwrap();
+        let all = sample_records();
+        wal.append(&all[0]).unwrap();
+        wal.append(&all[1]).unwrap();
+        drop(wal);
+        // Tear the last record.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (mut wal, records) = MutationWal::open(&path).unwrap();
+        assert_eq!(&records[..], &all[..1]);
+        wal.append(&all[2]).unwrap();
+        drop(wal);
+        let (records, _) = read_records(&path).unwrap();
+        assert_eq!(records, vec![all[0].clone(), all[2].clone()]);
+    }
+
+    #[test]
+    fn truncate_empties_the_log_but_keeps_it_appendable() {
+        let dir = test_dir("wal_truncate");
+        let path = dir.join(WAL_FILE);
+        let (mut wal, _) = MutationWal::open(&path).unwrap();
+        for r in sample_records() {
+            wal.append(&r).unwrap();
+        }
+        wal.truncate().unwrap();
+        let extra = WalRecord {
+            seq: 9,
+            op: WalOp::Append {
+                table: "t".into(),
+                rows: vec![vec![Value::Int(5)]],
+            },
+        };
+        wal.append(&extra).unwrap();
+        drop(wal);
+        let (records, _) = read_records(&path).unwrap();
+        assert_eq!(records, vec![extra]);
+    }
+
+    #[test]
+    fn missing_file_reads_as_empty() {
+        let dir = test_dir("wal_missing");
+        let (records, len) = read_records(&dir.join("nope.pbds")).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(len, 0);
+    }
+}

@@ -33,6 +33,30 @@ impl FragmentBitset {
         b
     }
 
+    /// Reconstruct a bitset from its durable state (`nbits` plus the raw
+    /// `u64` words, as exposed by [`FragmentBitset::words`]). Returns `None`
+    /// when the word count does not match `nbits` or a bit beyond `nbits` is
+    /// set — either indicates a corrupt image.
+    pub fn from_words(nbits: usize, words: Vec<u64>) -> Option<Self> {
+        if words.len() != nbits.div_ceil(64) {
+            return None;
+        }
+        if !nbits.is_multiple_of(64) {
+            if let Some(last) = words.last() {
+                if last >> (nbits % 64) != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(FragmentBitset { nbits, words })
+    }
+
+    /// The raw backing words (64 fragments per word, low bit first). The
+    /// durable counterpart of [`FragmentBitset::from_words`].
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Number of fragments this bitset ranges over.
     pub fn len(&self) -> usize {
         self.nbits

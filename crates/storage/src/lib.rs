@@ -30,7 +30,7 @@ pub use partition::{CompositePartition, Partition, PartitionRef, RangePartition,
 pub use relation::{Relation, Row};
 pub use schema::{Column, Schema};
 pub use stats::{ColumnStats, EquiDepthHistogram, TableStats};
-pub use table::{MutationKind, Table, TableBuilder};
+pub use table::{MutationKind, Table, TableBuilder, TableImage};
 pub use value::{DataType, Value};
 pub use zonemap::{BlockZone, ColumnZone, ZoneMap, DEFAULT_BLOCK_SIZE};
 

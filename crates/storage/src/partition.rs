@@ -161,6 +161,14 @@ impl RangePartition {
         &self.attr
     }
 
+    /// The inclusive upper bounds of fragments `0..n-1` (the last fragment is
+    /// unbounded above). Together with the table and attribute this is the
+    /// partition's complete durable state — see
+    /// [`RangePartition::from_uppers`].
+    pub fn uppers(&self) -> &[Value] {
+        &self.uppers
+    }
+
     /// Number of fragments.
     pub fn num_fragments(&self) -> usize {
         self.uppers.len() + 1
@@ -263,6 +271,33 @@ impl CompositePartition {
         })
     }
 
+    /// Reconstruct a composite partition from its durable state: the ordered
+    /// list of fragment keys (fragment `i` holds the rows matching
+    /// `keys[i]`). Returns `None` when `keys` is empty, a key's arity does
+    /// not match `attrs`, or two keys are equal (a corrupt image — fragment
+    /// identity would be ambiguous).
+    pub fn from_keys(
+        table: impl Into<String>,
+        attrs: Vec<String>,
+        keys: Vec<Vec<Value>>,
+    ) -> Option<Self> {
+        if keys.is_empty() || keys.iter().any(|k| k.len() != attrs.len()) {
+            return None;
+        }
+        let mut key_to_fragment = HashMap::with_capacity(keys.len());
+        for (i, key) in keys.iter().enumerate() {
+            if key_to_fragment.insert(key.clone(), i).is_some() {
+                return None;
+            }
+        }
+        Some(CompositePartition {
+            table: table.into(),
+            attrs,
+            key_to_fragment,
+            fragment_keys: keys,
+        })
+    }
+
     /// The partitioned table.
     pub fn table(&self) -> &str {
         &self.table
@@ -271,6 +306,12 @@ impl CompositePartition {
     /// The partitioning attributes.
     pub fn attrs(&self) -> &[String] {
         &self.attrs
+    }
+
+    /// All fragment keys in fragment order (the inverse of
+    /// [`CompositePartition::from_keys`]).
+    pub fn keys(&self) -> &[Vec<Value>] {
+        &self.fragment_keys
     }
 
     /// Number of fragments.

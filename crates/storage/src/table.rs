@@ -87,6 +87,32 @@ struct DerivedCaches {
     indexes: HashMap<String, Stamped<Arc<OrderedIndex>>>,
 }
 
+/// An owned, self-contained image of a table's durable state: everything a
+/// snapshot must persist to reconstruct the table ([`Table::restore`]), and
+/// nothing more — derived artifacts (zone maps, indexes, columnar chunks,
+/// statistics) are *not* part of the image; they are re-declared here
+/// (`with_zone_map`, `index_columns`, `block_size`) and rebuilt lazily
+/// through the normal epoch-stamped cache machinery after a restore.
+#[derive(Debug, Clone)]
+pub struct TableImage {
+    /// Table name.
+    pub name: String,
+    /// Table schema.
+    pub schema: Schema,
+    /// All rows, in storage order.
+    pub rows: Vec<Row>,
+    /// The table's epoch at image time (see [`Table::epoch`]).
+    pub epoch: u64,
+    /// The table's data epoch at image time (see [`Table::data_epoch`]).
+    pub data_epoch: u64,
+    /// Zone-map / columnar block size.
+    pub block_size: usize,
+    /// Whether a zone map is maintained.
+    pub with_zone_map: bool,
+    /// Columns with a maintained ordered index.
+    pub index_columns: Vec<String>,
+}
+
 /// A named base table with epoch-invalidated physical design artifacts.
 #[derive(Debug)]
 pub struct Table {
@@ -153,6 +179,65 @@ impl Table {
             index_columns: Vec::new(),
             derived: RwLock::new(DerivedCaches::default()),
         }
+    }
+
+    /// Reconstruct a table from a persisted [`TableImage`], keeping the
+    /// epochs it was persisted with.
+    ///
+    /// Restored epochs must stay authoritative: a provenance-sketch catalog
+    /// imported alongside the snapshot validates its entries against these
+    /// exact values. To keep the global invariant that equal epochs imply
+    /// identical content, the process-wide epoch source is advanced past
+    /// every restored epoch, so no *future* mutation (in this process) can
+    /// ever mint an epoch a restored table already carries.
+    pub fn restore(image: TableImage) -> Self {
+        assert!(
+            image.rows.iter().all(|r| r.len() == image.schema.arity()),
+            "Table::restore: row arity does not match schema arity {}",
+            image.schema.arity()
+        );
+        assert!(image.block_size > 0, "block size must be positive");
+        // `epoch >= data_epoch` holds for every live table; tolerate images
+        // that violate it (hand-crafted or corrupt) by flooring on both.
+        EPOCH_SOURCE.fetch_max(
+            image.epoch.max(image.data_epoch).saturating_add(1),
+            Ordering::Relaxed,
+        );
+        Table {
+            name: image.name,
+            schema: image.schema,
+            rows: image.rows,
+            epoch: image.epoch,
+            data_epoch: image.data_epoch,
+            // Derived caches start empty in a fresh process; everything
+            // rebuilds from scratch on first access.
+            rebuild_epoch: image.epoch,
+            block_size: image.block_size,
+            with_zone_map: image.with_zone_map,
+            index_columns: image.index_columns,
+            derived: RwLock::new(DerivedCaches::default()),
+        }
+    }
+
+    /// An owned image of the table's durable state (clones the rows). The
+    /// inverse of [`Table::restore`].
+    pub fn image(&self) -> TableImage {
+        TableImage {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            epoch: self.epoch,
+            data_epoch: self.data_epoch,
+            block_size: self.block_size,
+            with_zone_map: self.with_zone_map,
+            index_columns: self.index_columns.clone(),
+        }
+    }
+
+    /// Whether this table maintains a zone map (without forcing it to be
+    /// built, unlike [`Table::zone_map`]).
+    pub fn has_zone_map(&self) -> bool {
+        self.with_zone_map
     }
 
     /// Table name.
@@ -687,6 +772,49 @@ mod tests {
         assert_eq!(c.len(), 100);
         assert_eq!(t.len(), 101);
         assert_ne!(c.epoch(), t.epoch());
+    }
+
+    #[test]
+    fn image_restore_round_trip_keeps_epochs_and_design() {
+        let mut t = build_table(300);
+        let _ = (t.zone_map(), t.index_on("id"));
+        t.append_rows(vec![vec![Value::Int(300), Value::Int(2)]])
+            .unwrap();
+        let image = t.image();
+        let restored = Table::restore(image);
+        assert_eq!(restored.name(), t.name());
+        assert_eq!(restored.schema(), t.schema());
+        assert_eq!(restored.rows(), t.rows());
+        assert_eq!(restored.epoch(), t.epoch());
+        assert_eq!(restored.data_epoch(), t.data_epoch());
+        assert_eq!(restored.block_size(), t.block_size());
+        assert_eq!(restored.has_zone_map(), t.has_zone_map());
+        assert_eq!(restored.indexed_columns(), t.indexed_columns());
+        // Derived artifacts rebuild lazily and agree with the original's.
+        assert_eq!(
+            restored.zone_map().unwrap().num_blocks(),
+            t.zone_map().unwrap().num_blocks()
+        );
+        assert_eq!(
+            restored.index_on("id").unwrap().indexed_rows(),
+            t.index_on("id").unwrap().indexed_rows()
+        );
+    }
+
+    #[test]
+    fn restore_advances_the_epoch_source_past_restored_epochs() {
+        let t = build_table(10);
+        let image = t.image();
+        let frozen_epoch = image.epoch;
+        let mut restored = Table::restore(image);
+        // A mutation after restore must draw an epoch strictly beyond every
+        // restored one — equal epochs must keep implying identical content.
+        let e = restored
+            .append_rows(vec![vec![Value::Int(10), Value::Int(0)]])
+            .unwrap();
+        assert!(e > frozen_epoch);
+        // Even a brand-new table can no longer collide with restored epochs.
+        assert!(build_table(1).epoch() > frozen_epoch);
     }
 
     #[test]

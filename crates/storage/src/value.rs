@@ -264,6 +264,75 @@ impl Hash for Value {
     }
 }
 
+// Tag bytes of the canonical binary encoding. Part of the on-disk format
+// (snapshots and the mutation WAL), so these values must never be reused or
+// renumbered — add new tags instead.
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_BOOL_FALSE: u8 = 4;
+const TAG_BOOL_TRUE: u8 = 5;
+
+impl Value {
+    /// Append the canonical binary encoding of this value to `out`.
+    ///
+    /// The encoding is exact: floats are written as their raw IEEE-754 bit
+    /// pattern, so `NaN` payloads and `-0.0` survive a round trip and the
+    /// decoded value keeps the same position in `Value`'s total order and the
+    /// same hash as the original (see
+    /// [`Value::decode_from`]). Integers are little-endian `i64`, strings are
+    /// a `u32` byte length followed by UTF-8 bytes.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(TAG_NULL),
+            Value::Int(i) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                out.push(TAG_FLOAT);
+                // Raw bits, not a numeric cast: NaN payloads and the sign of
+                // zero are part of the value's identity under `total_cmp`.
+                out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(TAG_STR);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bool(b) => out.push(if *b { TAG_BOOL_TRUE } else { TAG_BOOL_FALSE }),
+        }
+    }
+
+    /// Decode one value from the front of `bytes`, returning the value and
+    /// the number of bytes consumed, or `None` when the bytes are truncated
+    /// or malformed (unknown tag, invalid UTF-8).
+    pub fn decode_from(bytes: &[u8]) -> Option<(Value, usize)> {
+        let (&tag, rest) = bytes.split_first()?;
+        match tag {
+            TAG_NULL => Some((Value::Null, 1)),
+            TAG_INT => {
+                let raw: [u8; 8] = rest.get(..8)?.try_into().ok()?;
+                Some((Value::Int(i64::from_le_bytes(raw)), 9))
+            }
+            TAG_FLOAT => {
+                let raw: [u8; 8] = rest.get(..8)?.try_into().ok()?;
+                Some((Value::Float(f64::from_bits(u64::from_le_bytes(raw))), 9))
+            }
+            TAG_STR => {
+                let raw: [u8; 4] = rest.get(..4)?.try_into().ok()?;
+                let len = u32::from_le_bytes(raw) as usize;
+                let s = std::str::from_utf8(rest.get(4..4 + len)?).ok()?;
+                Some((Value::Str(s.to_string()), 1 + 4 + len))
+            }
+            TAG_BOOL_FALSE => Some((Value::Bool(false), 1)),
+            TAG_BOOL_TRUE => Some((Value::Bool(true), 1)),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -459,6 +528,117 @@ mod tests {
         .into_iter()
         .collect();
         assert_eq!(distinct.len(), 2);
+    }
+
+    fn round_trip(v: &Value) -> Value {
+        let mut buf = Vec::new();
+        v.encode_into(&mut buf);
+        let (decoded, used) = Value::decode_from(&buf).expect("decodable");
+        assert_eq!(used, buf.len(), "{v:?} left trailing bytes");
+        decoded
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_variant() {
+        for v in [
+            Value::Null,
+            Value::Int(0),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(3.25),
+            Value::from(""),
+            Value::from("héllo, wörld"),
+            Value::Bool(true),
+            Value::Bool(false),
+        ] {
+            let d = round_trip(&v);
+            assert_eq!(v.cmp(&d), Ordering::Equal, "{v:?} changed under codec");
+            assert_eq!(hash_of(&v), hash_of(&d), "{v:?} hash changed under codec");
+        }
+    }
+
+    #[test]
+    fn float_round_trip_is_bit_exact_for_nan_and_negative_zero() {
+        // NaN: not equal to itself under `==` semantics elsewhere, but
+        // `Value`'s total order treats it as a point; the codec must
+        // preserve the exact bit pattern (payload included), keeping both
+        // the total order position and the hash.
+        let nan = Value::Float(f64::NAN);
+        let Value::Float(back) = round_trip(&nan) else {
+            panic!("NaN decoded to a different variant");
+        };
+        assert_eq!(back.to_bits(), f64::NAN.to_bits());
+        assert_eq!(nan.cmp(&Value::Float(back)), Ordering::Equal);
+        assert_eq!(hash_of(&nan), hash_of(&Value::Float(back)));
+        // A NaN with a non-default payload round-trips bit-exactly too.
+        let weird = f64::from_bits(f64::NAN.to_bits() | 0xdead);
+        let Value::Float(back) = round_trip(&Value::Float(weird)) else {
+            panic!("payload NaN decoded to a different variant");
+        };
+        assert_eq!(back.to_bits(), weird.to_bits());
+
+        // -0.0 and +0.0 are distinct points of the total order (and -0.0
+        // equals Int(0) only via +0.0's slot); the codec must not collapse
+        // them through a numeric cast.
+        let neg = round_trip(&Value::Float(-0.0));
+        let pos = round_trip(&Value::Float(0.0));
+        let Value::Float(n) = &neg else {
+            unreachable!()
+        };
+        assert!(n.is_sign_negative(), "-0.0 lost its sign");
+        assert_eq!(neg.cmp(&pos), Ordering::Less, "-0.0 must stay below +0.0");
+        assert_eq!(pos, Value::Int(0));
+        assert_ne!(neg, Value::Int(0));
+        // Infinities survive as well.
+        for f in [f64::INFINITY, f64::NEG_INFINITY] {
+            let Value::Float(back) = round_trip(&Value::Float(f)) else {
+                panic!("infinity decoded to a different variant");
+            };
+            assert_eq!(back.to_bits(), f.to_bits());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_malformed_bytes() {
+        let mut buf = Vec::new();
+        Value::from("abcdef").encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(
+                Value::decode_from(&buf[..cut]).is_none(),
+                "truncation at {cut} went unnoticed"
+            );
+        }
+        assert!(
+            Value::decode_from(&[0xff]).is_none(),
+            "unknown tag accepted"
+        );
+        assert!(Value::decode_from(&[]).is_none());
+        // Invalid UTF-8 behind a string tag is rejected, not replaced.
+        let mut bad = vec![3u8];
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&[0xc3, 0x28]);
+        assert!(Value::decode_from(&bad).is_none());
+    }
+
+    #[test]
+    fn decode_reports_consumed_length_for_concatenated_values() {
+        let mut buf = Vec::new();
+        let vals = [
+            Value::Int(7),
+            Value::from("xy"),
+            Value::Null,
+            Value::Bool(true),
+        ];
+        for v in &vals {
+            v.encode_into(&mut buf);
+        }
+        let mut off = 0;
+        for v in &vals {
+            let (d, used) = Value::decode_from(&buf[off..]).unwrap();
+            assert_eq!(&d, v);
+            off += used;
+        }
+        assert_eq!(off, buf.len());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 pub use pbds_algebra as algebra;
 pub use pbds_core as core;
 pub use pbds_exec as exec;
+pub use pbds_persist as persist;
 pub use pbds_provenance as provenance;
 pub use pbds_solver as solver;
 pub use pbds_storage as storage;
