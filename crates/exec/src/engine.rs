@@ -69,6 +69,30 @@ impl Engine {
         self.opts.vectorized
     }
 
+    /// Toggle adaptive scan lowering (on by default): each vectorized scan
+    /// re-decides between the bitmap path and the row loop from its predicted
+    /// selectivity (see [`crate::scan::scan_prefers_vectorized`]). With
+    /// `false`, [`Engine::with_vectorization`] is a static A/B switch — the
+    /// configuration the `fig_scan_micro` benchmark measures.
+    pub fn with_adaptive(mut self, on: bool) -> Self {
+        self.opts.adaptive = on;
+        self
+    }
+
+    /// Whether scans re-decide their path adaptively.
+    pub fn adaptive(&self) -> bool {
+        self.opts.adaptive
+    }
+
+    /// Feed observed execution statistics back into the adaptive scan
+    /// decision: the measured scan selectivity of a previous run of the same
+    /// workload ([`ExecStats::observed_scan_selectivity`]) overrides the
+    /// static table-stats estimate in subsequent executions.
+    pub fn with_observed_stats(mut self, stats: &ExecStats) -> Self {
+        self.opts.observed_selectivity = stats.observed_scan_selectivity();
+        self
+    }
+
     /// Use morsel-parallel base-table scans with (up to) `workers` threads.
     /// See [`crate::physical::execute_physical_parallel`] — results are
     /// identical to sequential execution; only wall-clock time and the

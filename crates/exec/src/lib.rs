@@ -35,6 +35,9 @@ pub use physical::{
     TagPolicy, BATCH_SIZE, PARALLEL_SCAN_THRESHOLD,
 };
 pub use profile::EngineProfile;
-pub use scan::{extract_skip_ranges, scan_table, ColumnRanges};
+pub use scan::{
+    estimate_scan_selectivity, extract_skip_ranges, scan_prefers_vectorized, scan_table,
+    ColumnRanges, VECTORIZED_SELECTIVITY_CUTOFF,
+};
 pub use stats::ExecStats;
-pub use vector::{eval_filter_block, SelBitmap};
+pub use vector::{eval_filter_block, eval_filter_block_counted, SelBitmap};

@@ -29,30 +29,51 @@
 use crate::compiled::CompiledExpr;
 use crate::eval::{eval_predicate, ExecError};
 use crate::profile::EngineProfile;
-use crate::scan::{extract_skip_ranges, InclusiveRange};
+use crate::scan::{
+    estimate_scan_selectivity, extract_skip_ranges, scan_prefers_vectorized, InclusiveRange,
+};
 use crate::stats::ExecStats;
-use crate::vector::{eval_filter_block, SelBitmap};
+use crate::vector::{eval_filter_block_counted, sel_without_nulls, SelBitmap};
 use pbds_algebra::{infer_type, AggExpr, AggFunc, Expr, LogicalPlan, SortKey};
-use pbds_storage::{Column, DataType, Database, Relation, Row, Schema, Table, Value};
+use pbds_storage::{
+    Column, ColumnData, ColumnVector, DataType, Database, Relation, Row, Schema, Table, Value,
+};
 use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, Hasher};
 
 /// Execution-time switches for the physical pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExecOptions {
     /// Evaluate pushed-down scan filters over the table's columnar chunk
     /// projection with vectorized kernels (the fast path). When `false`,
     /// scans use the row-at-a-time expression interpreter — the oracle the
     /// vectorized path is proven byte-identical against
     /// (`tests/physical_equivalence.rs`) and the baseline of the
-    /// `fig_scan_micro` benchmark.
+    /// `fig_scan_micro` benchmark. `false` is a hard override: the adaptive
+    /// decision below never upgrades an oracle run to the vectorized path.
     pub vectorized: bool,
+    /// Decide the scan path per scan instead of statically: a scan whose
+    /// predicted selectivity (observed feedback first, then a table-stats
+    /// estimate — see [`estimate_scan_selectivity`]) says nearly every row
+    /// survives is lowered to the row loop with a pre-bound filter, because
+    /// the bitmap pass would materialize everything anyway. Only consulted
+    /// when `vectorized` is `true`; the scan→aggregate pushdown, which never
+    /// materializes rows, bypasses it.
+    pub adaptive: bool,
+    /// Observed selectivity of a previous execution of the same workload
+    /// ([`ExecStats::observed_scan_selectivity`]); when set, it overrides the
+    /// static table-stats estimate in the adaptive decision.
+    pub observed_selectivity: Option<f64>,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { vectorized: true }
+        ExecOptions {
+            vectorized: true,
+            adaptive: true,
+            observed_selectivity: None,
+        }
     }
 }
 
@@ -117,6 +138,14 @@ pub trait TagPolicy {
     fn minmax_narrowing(&self) -> bool {
         false
     }
+
+    /// True when tags carry no information (seed/merge are no-ops and every
+    /// tag equals [`TagPolicy::empty_tag`]). Lets the scan→aggregate pushdown
+    /// skip visiting individual rows: a path that never observes a row can
+    /// still produce the correct tags, because they are all the empty tag.
+    fn tags_are_trivial(&self) -> bool {
+        false
+    }
 }
 
 /// The trivial policy for plain execution: tags are `()` and every hook is a
@@ -129,6 +158,9 @@ impl TagPolicy for NoTag {
     fn seed_tag(&self, _table: &str, _schema: &Schema, _row: &Row, _row_id: u32) {}
     fn empty_tag(&self) {}
     fn merge_tags(&self, _into: &mut (), _from: &()) {}
+    fn tags_are_trivial(&self) -> bool {
+        true
+    }
 }
 
 /// A physical plan: an operator tree with its output schema.
@@ -806,6 +838,17 @@ fn build_op<'a, P: TagPolicy>(
                         .ok_or_else(|| ExecError::UnknownColumn(g.clone()))
                 })
                 .collect::<Result<_, _>>()?;
+            // An aggregate directly above a chunk-aligned scan can aggregate
+            // over the selection bitmaps without materializing row batches.
+            // The parallel hook keeps priority: when a worker pool wants the
+            // scan, the generic operator pair consumes its prefetched rows.
+            if parallel.is_none() {
+                if let Some(op) =
+                    try_agg_pushdown(db, input, &group_idx, aggregates, policy, opts, stats)?
+                {
+                    return Ok(op);
+                }
+            }
             Ok(Box::new(HashAggregateOp {
                 group_idx,
                 group_by_empty: group_by.is_empty(),
@@ -1087,6 +1130,14 @@ fn check_scan_epoch(table: &Table, resolved_at: u64) -> Result<(), ExecError> {
     Ok(())
 }
 
+/// Predicted selectivity of a pushed-down scan filter for the adaptive
+/// lowering decision: observed feedback from a previous run of the same
+/// workload wins over the static table-stats estimate.
+fn predicted_scan_selectivity(table: &Table, pred: &Expr, opts: &ExecOptions) -> Option<f64> {
+    opts.observed_selectivity
+        .or_else(|| estimate_scan_selectivity(table, pred))
+}
+
 /// Build the executor for a scan operator over an already-resolved table
 /// (`scan.rs`'s `scan_table` shares this path).
 ///
@@ -1094,7 +1145,10 @@ fn check_scan_epoch(table: &Table, resolved_at: u64) -> Result<(), ExecError> {
 /// (sequential and zone-map scans) with a pushed-down filter evaluate the
 /// predicate per columnar chunk into a selection bitmap and late-materialize
 /// the surviving rows ([`VectorScanOp`]); rid-list scans (index probes) keep
-/// the row-at-a-time loop but with a pre-bound [`CompiledExpr`]. With
+/// the row-at-a-time loop but with a pre-bound [`CompiledExpr`]. Under
+/// [`ExecOptions::adaptive`], a segment scan whose predicted selectivity says
+/// nearly every row survives is lowered to that row loop as well — the bitmap
+/// pass buys nothing when everything is materialized anyway. With
 /// `vectorized` off, everything runs through the row interpreter — the
 /// oracle path.
 pub(crate) fn make_scan_op<'a, P: TagPolicy>(
@@ -1110,21 +1164,25 @@ pub(crate) fn make_scan_op<'a, P: TagPolicy>(
     if opts.vectorized {
         if let Some(pred) = filter {
             let compiled = CompiledExpr::compile(pred, table.schema());
-            if let ScanSource::Segments(segs) = &source {
-                stats.vectorized_scans += 1;
-                // The chunk projection is fetched once through the
-                // epoch-checked cache; the op re-validates the epoch before
-                // trusting it for each batch.
-                let chunks = table.columnar_chunks();
-                return Ok(Box::new(VectorScanOp {
-                    table,
-                    policy,
-                    compiled,
-                    pieces: chunk_aligned_pieces(segs, chunks.block_size()).into_iter(),
-                    chunks,
-                    current: None,
-                    epoch,
-                }));
+            let vectorize = !opts.adaptive
+                || scan_prefers_vectorized(predicted_scan_selectivity(table, pred, &opts));
+            if vectorize {
+                if let ScanSource::Segments(segs) = &source {
+                    stats.vectorized_scans += 1;
+                    // The chunk projection is fetched once through the
+                    // epoch-checked cache; the op re-validates the epoch
+                    // before trusting it for each batch.
+                    let chunks = table.columnar_chunks();
+                    return Ok(Box::new(VectorScanOp {
+                        table,
+                        policy,
+                        compiled,
+                        pieces: chunk_aligned_pieces(segs, chunks.block_size()).into_iter(),
+                        chunks,
+                        current: None,
+                        epoch,
+                    }));
+                }
             }
             return Ok(Box::new(ScanOp {
                 table,
@@ -1225,7 +1283,7 @@ impl<P: TagPolicy> BatchOp<P> for VectorScanOp<'_, P> {
                     .chunks
                     .chunk_for(lo)
                     .ok_or_else(|| ExecError::Plan("row id beyond chunk range".into()))?;
-                let sel = eval_filter_block(&self.compiled, chunk, rows, lo, hi)?;
+                let sel = eval_filter_block_counted(&self.compiled, chunk, rows, lo, hi, stats)?;
                 stats.vectorized_blocks += 1;
                 self.current = Some((lo, sel, 0));
                 continue;
@@ -1277,14 +1335,17 @@ impl<P: TagPolicy> BatchOp<P> for PrefetchedOp<P> {
 /// worker-local [`ExecStats`].
 ///
 /// Mirrors the sequential scan's path choice: when the coordinator compiled
-/// the filter (`compiled` is `Some`, i.e. [`ExecOptions::vectorized`]),
-/// contiguous segments take the vectorized chunk path (morsel cuts that fall
-/// inside a chunk evaluate a partial block) and rid lists use the compiled
-/// row filter; otherwise everything runs through the row interpreter.
+/// the filter (`compiled` is `Some`, i.e. [`ExecOptions::vectorized`]) and
+/// the adaptive decision kept the chunk path (`use_chunks`), contiguous
+/// segments take the vectorized chunk path (morsel cuts that fall inside a
+/// chunk evaluate a partial block); rid lists — and adaptively row-lowered
+/// segment scans — use the compiled row filter; otherwise everything runs
+/// through the row interpreter.
 fn scan_morsel<P: TagPolicy>(
     table: &Table,
     filter: Option<&Expr>,
     compiled: Option<&CompiledExpr>,
+    use_chunks: bool,
     source: ScanSource,
     policy: &P,
     epoch: u64,
@@ -1295,24 +1356,26 @@ fn scan_morsel<P: TagPolicy>(
     let mut local = ExecStats::default();
     let mut out = Vec::new();
     if let Some(compiled) = compiled {
-        if let ScanSource::Segments(segs) = &source {
-            let chunks = table.columnar_chunks();
-            let rows = table.rows();
-            for (lo, hi) in chunk_aligned_pieces(segs, chunks.block_size()) {
-                let chunk = chunks
-                    .chunk_for(lo)
-                    .ok_or_else(|| ExecError::Plan("row id beyond chunk range".into()))?;
-                let sel = eval_filter_block(compiled, chunk, rows, lo, hi)?;
-                local.rows_scanned += (hi - lo) as u64;
-                local.vectorized_blocks += 1;
-                for j in sel.iter_ones() {
-                    let rid = lo + j;
-                    let row = &rows[rid];
-                    let tag = policy.seed_tag(name, schema, row, rid as u32);
-                    out.push((row.clone(), tag));
+        if use_chunks {
+            if let ScanSource::Segments(segs) = &source {
+                let chunks = table.columnar_chunks();
+                let rows = table.rows();
+                for (lo, hi) in chunk_aligned_pieces(segs, chunks.block_size()) {
+                    let chunk = chunks
+                        .chunk_for(lo)
+                        .ok_or_else(|| ExecError::Plan("row id beyond chunk range".into()))?;
+                    let sel = eval_filter_block_counted(compiled, chunk, rows, lo, hi, &mut local)?;
+                    local.rows_scanned += (hi - lo) as u64;
+                    local.vectorized_blocks += 1;
+                    for j in sel.iter_ones() {
+                        let rid = lo + j;
+                        let row = &rows[rid];
+                        let tag = policy.seed_tag(name, schema, row, rid as u32);
+                        out.push((row.clone(), tag));
+                    }
                 }
+                return Ok((out, local));
             }
-            return Ok((out, local));
         }
         let mut rids = source.into_rid_source();
         while let Some(rid) = rids.next_rid() {
@@ -1366,7 +1429,15 @@ where
     }
     let (filter, source) = resolve_scan(table, op, stats)?;
     let epoch = table.epoch();
-    if opts.vectorized && filter.is_some() && matches!(source, ScanSource::Segments(_)) {
+    // Same adaptive decision as the sequential `make_scan_op`: a segment
+    // scan predicted to keep nearly every row skips the bitmap pass, but the
+    // compiled filter is still shared with the workers' row loops.
+    let use_chunks = opts.vectorized
+        && filter.is_some_and(|pred| {
+            !opts.adaptive
+                || scan_prefers_vectorized(predicted_scan_selectivity(table, pred, &opts))
+        });
+    if use_chunks && matches!(source, ScanSource::Segments(_)) {
         stats.vectorized_scans += 1;
     }
     // Compile the filter once on the coordinating thread (it can hold large
@@ -1375,7 +1446,9 @@ where
     // instead of racing to construct it.
     let compiled = if opts.vectorized {
         filter.map(|pred| {
-            let _ = table.columnar_chunks();
+            if use_chunks {
+                let _ = table.columnar_chunks();
+            }
             CompiledExpr::compile(pred, table.schema())
         })
     } else {
@@ -1385,7 +1458,8 @@ where
     if source.row_count() < PARALLEL_SCAN_THRESHOLD {
         // The access path already narrowed the scan (index probe / zone-map
         // skipping); scan the survivors sequentially as a single morsel.
-        let (rows, local) = scan_morsel(table, filter, compiled, source, policy, epoch)?;
+        let (rows, local) =
+            scan_morsel(table, filter, compiled, use_chunks, source, policy, epoch)?;
         stats.merge_parallel(&local);
         return Ok(Some(rows));
     }
@@ -1393,7 +1467,9 @@ where
     let results: Vec<MorselResult<P::Tag>> = std::thread::scope(|s| {
         let handles: Vec<_> = morsels
             .into_iter()
-            .map(|m| s.spawn(move || scan_morsel(table, filter, compiled, m, policy, epoch)))
+            .map(|m| {
+                s.spawn(move || scan_morsel(table, filter, compiled, use_chunks, m, policy, epoch))
+            })
             .collect();
         handles
             .into_iter()
@@ -1532,6 +1608,10 @@ impl<T> Emitter<T> {
     }
 }
 
+/// Accumulated aggregation state before finalization: one (group key,
+/// accumulator) pair per group, in first-seen order.
+type Groups<T> = Vec<(Vec<Value>, GroupAcc<T>)>;
+
 /// Per-group accumulator: the running aggregates plus the group's merged tag
 /// (and, under min/max narrowing, the extremal witness row's tag).
 struct GroupAcc<T> {
@@ -1544,6 +1624,22 @@ struct GroupAcc<T> {
     non_null: Vec<i64>,
     tag: T,
     witness: Option<(Value, T)>,
+}
+
+impl<T> GroupAcc<T> {
+    fn new(n_aggs: usize, tag: T) -> Self {
+        GroupAcc {
+            count: 0,
+            sums: vec![0.0; n_aggs],
+            int_sums: vec![0; n_aggs],
+            all_int: vec![true; n_aggs],
+            mins: vec![None; n_aggs],
+            maxs: vec![None; n_aggs],
+            non_null: vec![0; n_aggs],
+            tag,
+            witness: None,
+        }
+    }
 }
 
 struct HashAggregateOp<'a, P: TagPolicy> {
@@ -1586,7 +1682,7 @@ impl<P: TagPolicy> HashAggregateOp<'_, P> {
         // once per *group*, on the miss path only.
         let hasher = RandomState::new();
         let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
-        let mut groups: Vec<(Vec<Value>, GroupAcc<P::Tag>)> = Vec::new();
+        let mut groups: Groups<P::Tag> = Vec::new();
 
         while let Some(batch) = input.next_batch(stats)? {
             stats.intermediate_rows += batch.len() as u64;
@@ -1606,26 +1702,19 @@ impl<P: TagPolicy> HashAggregateOp<'_, P> {
                             self.group_idx.iter().map(|&i| row[i].clone()).collect();
                         let slot = groups.len();
                         candidates.push(slot);
+                        // Under narrowing the accumulator's tag holds the
+                        // first member's tag as the all-NULL fallback; see
+                        // `finalize_groups`.
                         groups.push((
                             key,
-                            GroupAcc {
-                                count: 0,
-                                sums: vec![0.0; n_aggs],
-                                int_sums: vec![0; n_aggs],
-                                all_int: vec![true; n_aggs],
-                                mins: vec![None; n_aggs],
-                                maxs: vec![None; n_aggs],
-                                non_null: vec![0; n_aggs],
-                                // Under narrowing this holds the first
-                                // member's tag as the all-NULL fallback; see
-                                // the finalize step below.
-                                tag: if narrow {
+                            GroupAcc::new(
+                                n_aggs,
+                                if narrow {
                                     tag.clone()
                                 } else {
                                     self.policy.empty_tag()
                                 },
-                                witness: None,
-                            },
+                            ),
                         ));
                         slot
                     }
@@ -1675,67 +1764,570 @@ impl<P: TagPolicy> HashAggregateOp<'_, P> {
             }
         }
 
-        let mut out = Vec::with_capacity(groups.len());
-        for (key, acc) in groups {
-            let mut row = key;
-            for (ai, agg) in self.aggregates.iter().enumerate() {
-                let v = match agg.func {
-                    AggFunc::Count => Value::Int(acc.count),
-                    AggFunc::Sum => {
-                        if acc.non_null[ai] == 0 {
-                            Value::Null
-                        } else if acc.all_int[ai] {
-                            Value::Int(acc.int_sums[ai])
-                        } else {
-                            Value::Float(acc.sums[ai])
-                        }
-                    }
-                    AggFunc::Avg => {
-                        if acc.non_null[ai] == 0 {
-                            Value::Null
-                        } else {
-                            Value::Float(acc.sums[ai] / acc.non_null[ai] as f64)
-                        }
-                    }
-                    AggFunc::Min => acc.mins[ai].clone().unwrap_or(Value::Null),
-                    AggFunc::Max => acc.maxs[ai].clone().unwrap_or(Value::Null),
-                };
-                row.push(v);
-            }
-            let tag = if narrow {
-                // The extremal row's tag represents the group. When every
-                // aggregate input was NULL there is no extremal row, but the
-                // group still produces a `(key, NULL)` output — any single
-                // member suffices to reproduce it, so fall back to the first
-                // member's tag rather than dropping the group's provenance.
-                acc.witness.map(|(_, t)| t).unwrap_or(acc.tag)
-            } else {
-                acc.tag
-            };
-            out.push((row, tag));
-        }
-
-        // Global aggregation over an empty input still produces one row
-        // (count = 0, other aggregates NULL), matching SQL semantics.
-        if out.is_empty() && self.group_by_empty {
-            let mut row: Row = Vec::new();
-            for agg in self.aggregates {
-                row.push(match agg.func {
-                    AggFunc::Count => Value::Int(0),
-                    _ => Value::Null,
-                });
-            }
-            out.push((row, self.policy.empty_tag()));
-        }
-        self.out.fill(out);
+        self.out.fill(finalize_groups(
+            self.policy,
+            self.aggregates,
+            groups,
+            narrow,
+            self.group_by_empty,
+        ));
         Ok(())
     }
+}
+
+/// Turn accumulated groups into output rows, including the SQL empty-input
+/// synthesis of the global aggregate. Shared by [`HashAggregateOp`] and the
+/// scan→aggregate pushdown ([`AggScanOp`]) so both paths finalize
+/// byte-identically.
+fn finalize_groups<P: TagPolicy>(
+    policy: &P,
+    aggregates: &[AggExpr],
+    groups: Groups<P::Tag>,
+    narrow: bool,
+    group_by_empty: bool,
+) -> Vec<(Row, P::Tag)> {
+    let mut out = Vec::with_capacity(groups.len());
+    for (key, acc) in groups {
+        let mut row = key;
+        for (ai, agg) in aggregates.iter().enumerate() {
+            let v = match agg.func {
+                AggFunc::Count => Value::Int(acc.count),
+                AggFunc::Sum => {
+                    if acc.non_null[ai] == 0 {
+                        Value::Null
+                    } else if acc.all_int[ai] {
+                        Value::Int(acc.int_sums[ai])
+                    } else {
+                        Value::Float(acc.sums[ai])
+                    }
+                }
+                AggFunc::Avg => {
+                    if acc.non_null[ai] == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(acc.sums[ai] / acc.non_null[ai] as f64)
+                    }
+                }
+                AggFunc::Min => acc.mins[ai].clone().unwrap_or(Value::Null),
+                AggFunc::Max => acc.maxs[ai].clone().unwrap_or(Value::Null),
+            };
+            row.push(v);
+        }
+        let tag = if narrow {
+            // The extremal row's tag represents the group. When every
+            // aggregate input was NULL there is no extremal row, but the
+            // group still produces a `(key, NULL)` output — any single
+            // member suffices to reproduce it, so fall back to the first
+            // member's tag rather than dropping the group's provenance.
+            acc.witness.map(|(_, t)| t).unwrap_or(acc.tag)
+        } else {
+            acc.tag
+        };
+        out.push((row, tag));
+    }
+
+    // Global aggregation over an empty input still produces one row
+    // (count = 0, other aggregates NULL), matching SQL semantics.
+    if out.is_empty() && group_by_empty {
+        let mut row: Row = Vec::new();
+        for agg in aggregates {
+            row.push(match agg.func {
+                AggFunc::Count => Value::Int(0),
+                _ => Value::Null,
+            });
+        }
+        out.push((row, policy.empty_tag()));
+    }
+    out
 }
 
 impl<P: TagPolicy> BatchOp<P> for HashAggregateOp<'_, P> {
     fn next_batch(&mut self, stats: &mut ExecStats) -> Result<Option<Batch<P::Tag>>, ExecError> {
         if !self.out.filled {
             self.drain_input(stats)?;
+        }
+        Ok(self.out.emit())
+    }
+}
+
+// -- scan→aggregate pushdown ------------------------------------------------
+
+/// Try to collapse a `HashAggregate` sitting directly above a base-table
+/// scan into the fused [`AggScanOp`], which aggregates straight off the scan
+/// source and never materializes `Batch` rows. Chunk-aligned scans
+/// (sequential and zone-map) aggregate over per-chunk selection bitmaps;
+/// rid-list index probes aggregate row-at-a-time in rid order, exactly as
+/// [`ScanOp`] would have fetched them.
+///
+/// Returns `Ok(None)` — keeping the generic scan + aggregate operator pair —
+/// whenever any semantic detail could make the pushdown observable beyond
+/// speed: vectorization is off, or an aggregate input is not a plain
+/// base-table column (expression inputs keep the generic operator's
+/// evaluation and error behavior). All declining checks run *before*
+/// [`resolve_scan`] so a declined attempt records no stats.
+fn try_agg_pushdown<'a, P: TagPolicy>(
+    db: &'a Database,
+    input: &'a PhysicalPlan,
+    group_idx: &[usize],
+    aggregates: &'a [AggExpr],
+    policy: &'a P,
+    opts: ExecOptions,
+    stats: &mut ExecStats,
+) -> Result<Option<BoxOp<'a, P>>, ExecError> {
+    if !opts.vectorized {
+        return Ok(None);
+    }
+    let table_name = match &input.op {
+        PhysOp::SeqScan { table, .. }
+        | PhysOp::ZoneMapScan { table, .. }
+        | PhysOp::IndexRangeScan { table, .. } => table,
+        _ => return Ok(None),
+    };
+    let table = db.table(table_name)?;
+    let mut agg_cols = Vec::with_capacity(aggregates.len());
+    for a in aggregates {
+        match &a.input {
+            Expr::Column(name) => match table.schema().index_of(name) {
+                Some(i) => agg_cols.push(i),
+                None => return Ok(None),
+            },
+            _ => return Ok(None),
+        }
+    }
+    // Committed: resolve the scan, mirroring `make_scan_op`'s accounting.
+    let (filter, source) = resolve_scan(table, &input.op, stats)?;
+    stats.rows_scanned += source.row_count() as u64;
+    let source = match source {
+        ScanSource::Segments(segs) => {
+            // A segment scan with a filter is a vectorized bitmap scan;
+            // rid-list probes stay row-wise, exactly like `make_scan_op`.
+            if filter.is_some() {
+                stats.vectorized_scans += 1;
+            }
+            let chunks = table.columnar_chunks();
+            let pieces = chunk_aligned_pieces(&segs, chunks.block_size());
+            AggSource::Chunks { pieces, chunks }
+        }
+        ScanSource::Rids(rids) => AggSource::Rids(rids),
+    };
+    Ok(Some(Box::new(AggScanOp {
+        table,
+        policy,
+        aggregates,
+        group_idx: group_idx.to_vec(),
+        agg_cols,
+        filter: filter.map(|pred| CompiledExpr::compile(pred, table.schema())),
+        source,
+        epoch: table.epoch(),
+        out: Emitter::new(),
+    })))
+}
+
+/// Fused scan + aggregate ([`try_agg_pushdown`]): evaluates the pushed-down
+/// filter straight off the scan source and aggregates the selected rows
+/// without ever building `Batch` rows. Three accumulation strategies, all
+/// byte-identical — rows and capture tags — to scanning then
+/// hash-aggregating:
+///
+/// * **column-at-a-time** when the source is chunks, there are no group
+///   keys, tags are trivial and every aggregate input is a numeric column:
+///   each aggregate reads its column directly from the chunk, with run-aware
+///   shortcuts on run-length data (a run selected `k` times contributes
+///   `k·value` to a SUM in O(1));
+/// * **row-at-a-time over the bitmap** for other chunk sources: grouping,
+///   tag merging and min/max narrowing replicate [`HashAggregateOp`]
+///   exactly, but on *borrowed* rows — the per-row `Row` clone of the scan
+///   boundary is still skipped;
+/// * **row-at-a-time in rid order** for index probes, re-checking the
+///   compiled predicate per fetched row exactly like [`ScanOp`].
+struct AggScanOp<'a, P: TagPolicy> {
+    table: &'a Table,
+    policy: &'a P,
+    aggregates: &'a [AggExpr],
+    /// Table-schema indexes of the group-by keys.
+    group_idx: Vec<usize>,
+    /// Table-schema index of each aggregate's input column.
+    agg_cols: Vec<usize>,
+    filter: Option<CompiledExpr>,
+    /// Where the candidate rows come from.
+    source: AggSource,
+    /// Table epoch the source was resolved at; re-validated at drain.
+    epoch: u64,
+    out: Emitter<P::Tag>,
+}
+
+/// Candidate-row source of a fused scan + aggregate.
+enum AggSource {
+    /// Chunk-aligned pieces of a sequential or zone-map scan, filtered per
+    /// chunk into selection bitmaps (exactly like [`VectorScanOp`]).
+    Chunks {
+        /// Chunk-aligned `[lo, hi)` row-id pieces, in table order.
+        pieces: Vec<(usize, usize)>,
+        /// Chunk projection snapshot fetched (epoch-checked) at build.
+        chunks: std::sync::Arc<pbds_storage::ColumnarChunks>,
+    },
+    /// Explicit row-id list from an index probe, filtered row-at-a-time.
+    Rids(Vec<u32>),
+}
+
+/// Chunk-level layout class of an aggregate input column, decided over the
+/// *whole* table so the accumulator knows up front whether `f64` running
+/// sums can ever be observed (see [`AggScanOp::drain_columnar`]).
+#[derive(Clone, Copy, PartialEq)]
+enum NumShape {
+    /// Every chunk stores the column as integers (plain, run-length or
+    /// bit-packed): `all_int` stays true, so only exact integer sums and the
+    /// row count are observable and run shortcuts are exact.
+    Ints,
+    /// Every chunk stores the column as plain floats: sums accumulate per
+    /// row in row order, exactly like the row path.
+    Floats,
+}
+
+/// The column's [`NumShape`], or `None` when chunks disagree or any chunk
+/// holds a non-numeric layout — those columns take the row-at-a-time path.
+fn numeric_column_shape(chunks: &pbds_storage::ColumnarChunks, c: usize) -> Option<NumShape> {
+    let mut shape = None;
+    for chunk in chunks.chunks() {
+        let s = match chunk.column(c).data() {
+            ColumnData::Int(_) | ColumnData::RleInt(_) | ColumnData::PackedInt(_) => NumShape::Ints,
+            ColumnData::Float(_) => NumShape::Floats,
+            _ => return None,
+        };
+        match shape {
+            None => shape = Some(s),
+            Some(prev) if prev == s => {}
+            _ => return None,
+        }
+    }
+    // An empty table has no chunks; any shape works (nothing accumulates).
+    shape.or(Some(NumShape::Ints))
+}
+
+impl<P: TagPolicy> AggScanOp<'_, P> {
+    fn drain(&mut self, stats: &mut ExecStats) -> Result<(), ExecError> {
+        check_scan_epoch(self.table, self.epoch)?;
+        let n_aggs = self.aggregates.len();
+        let narrow = self.policy.minmax_narrowing()
+            && n_aggs == 1
+            && matches!(self.aggregates[0].func, AggFunc::Min | AggFunc::Max);
+        // The column-at-a-time path may visit values out of row order (run
+        // shortcuts), so it is only taken where order can never show:
+        // no group keys (one global accumulator), trivial tags (no per-row
+        // seeding or witness), no AVG (its f64 division observes the f64
+        // running sum even over integers), and numeric single-layout columns.
+        let columnar = match &self.source {
+            AggSource::Rids(_) => false,
+            AggSource::Chunks { chunks, .. } => {
+                self.group_idx.is_empty()
+                    && !narrow
+                    && self.policy.tags_are_trivial()
+                    && !self
+                        .aggregates
+                        .iter()
+                        .any(|a| matches!(a.func, AggFunc::Avg))
+                    && self
+                        .agg_cols
+                        .iter()
+                        .all(|&c| numeric_column_shape(chunks, c).is_some())
+            }
+        };
+        let groups = if columnar {
+            self.drain_columnar(stats)?
+        } else {
+            self.drain_rowwise(narrow, stats)?
+        };
+        self.out.fill(finalize_groups(
+            self.policy,
+            self.aggregates,
+            groups,
+            narrow,
+            self.group_idx.is_empty(),
+        ));
+        Ok(())
+    }
+
+    /// Filter one piece into its selection bitmap and record the pushdown's
+    /// stats: the same `vectorized_blocks` a [`VectorScanOp`] would count,
+    /// `agg_pushdown_blocks`, and the selected rows as `intermediate_rows`
+    /// (the rows the generic aggregate would have counted batch-wise).
+    fn select_piece<'c>(
+        &self,
+        chunks: &'c pbds_storage::ColumnarChunks,
+        lo: usize,
+        hi: usize,
+        stats: &mut ExecStats,
+    ) -> Result<(&'c pbds_storage::ColumnarChunk, SelBitmap), ExecError> {
+        let chunk = chunks
+            .chunk_for(lo)
+            .ok_or_else(|| ExecError::Plan("row id beyond chunk range".into()))?;
+        let sel = match &self.filter {
+            Some(pred) => {
+                let sel = eval_filter_block_counted(pred, chunk, self.table.rows(), lo, hi, stats)?;
+                stats.vectorized_blocks += 1;
+                sel
+            }
+            None => SelBitmap::ones(hi - lo),
+        };
+        stats.agg_pushdown_blocks += 1;
+        stats.intermediate_rows += sel.count() as u64;
+        Ok((chunk, sel))
+    }
+
+    /// Global aggregation column-at-a-time over the selection bitmaps.
+    fn drain_columnar(&self, stats: &mut ExecStats) -> Result<Groups<P::Tag>, ExecError> {
+        let AggSource::Chunks { pieces, chunks } = &self.source else {
+            unreachable!("columnar accumulation requires a chunk source");
+        };
+        let n_aggs = self.aggregates.len();
+        let mut acc = GroupAcc::new(n_aggs, self.policy.empty_tag());
+        for &(lo, hi) in pieces {
+            let (chunk, sel) = self.select_piece(chunks, lo, hi, stats)?;
+            let selected = sel.count();
+            if selected == 0 {
+                continue;
+            }
+            acc.count += selected as i64;
+            let base = lo - chunk.start;
+            for (ai, &c) in self.agg_cols.iter().enumerate() {
+                accumulate_column(chunk.column(c), &sel, base, &mut acc, ai);
+            }
+        }
+        // The row path creates the global group on its first row; with no
+        // selected row it synthesizes the empty-input output instead.
+        Ok(if acc.count > 0 {
+            vec![(Vec::new(), acc)]
+        } else {
+            Vec::new()
+        })
+    }
+
+    /// Grouped / tagged aggregation row-at-a-time, replicating
+    /// [`HashAggregateOp::drain_input`] on borrowed rows. Chunk sources walk
+    /// the per-piece selection bitmaps; rid sources walk the rid list in
+    /// order, re-checking the compiled filter per row like [`ScanOp`].
+    fn drain_rowwise(
+        &self,
+        narrow: bool,
+        stats: &mut ExecStats,
+    ) -> Result<Groups<P::Tag>, ExecError> {
+        let rows = self.table.rows();
+        let hasher = RandomState::new();
+        let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+        let mut groups: Groups<P::Tag> = Vec::new();
+        match &self.source {
+            AggSource::Chunks { pieces, chunks } => {
+                for &(lo, hi) in pieces {
+                    let (_, sel) = self.select_piece(chunks, lo, hi, stats)?;
+                    for j in sel.iter_ones() {
+                        let rid = lo + j;
+                        self.fold_row(rid, &rows[rid], narrow, &hasher, &mut index, &mut groups);
+                    }
+                }
+            }
+            AggSource::Rids(rids) => {
+                // The whole rid probe is one pushdown unit; the surviving
+                // rows are what the generic aggregate would have counted
+                // batch-wise as `intermediate_rows`.
+                let mut selected = 0u64;
+                for &rid in rids {
+                    let row = &rows[rid as usize];
+                    if let Some(pred) = &self.filter {
+                        if !pred.matches(row)? {
+                            continue;
+                        }
+                    }
+                    selected += 1;
+                    self.fold_row(rid as usize, row, narrow, &hasher, &mut index, &mut groups);
+                }
+                stats.agg_pushdown_blocks += 1;
+                stats.intermediate_rows += selected;
+            }
+        }
+        Ok(groups)
+    }
+
+    /// Fold one selected row into its group: the per-row body of
+    /// [`HashAggregateOp::drain_input`], verbatim, on a borrowed row.
+    fn fold_row(
+        &self,
+        rid: usize,
+        row: &Row,
+        narrow: bool,
+        hasher: &RandomState,
+        index: &mut HashMap<u64, Vec<usize>>,
+        groups: &mut Groups<P::Tag>,
+    ) {
+        let n_aggs = self.aggregates.len();
+        let want_max = matches!(self.aggregates.first().map(|a| a.func), Some(AggFunc::Max));
+        let tag = self
+            .policy
+            .seed_tag(self.table.name(), self.table.schema(), row, rid as u32);
+        let h = hash_borrowed_key(hasher, self.group_idx.iter().map(|&i| &row[i]));
+        let candidates = index.entry(h).or_default();
+        let found = candidates.iter().copied().find(|&slot| {
+            self.group_idx
+                .iter()
+                .zip(&groups[slot].0)
+                .all(|(&i, k)| row[i] == *k)
+        });
+        let slot = match found {
+            Some(slot) => slot,
+            None => {
+                let key: Vec<Value> = self.group_idx.iter().map(|&i| row[i].clone()).collect();
+                let slot = groups.len();
+                candidates.push(slot);
+                groups.push((
+                    key,
+                    GroupAcc::new(
+                        n_aggs,
+                        if narrow {
+                            tag.clone()
+                        } else {
+                            self.policy.empty_tag()
+                        },
+                    ),
+                ));
+                slot
+            }
+        };
+        let acc = &mut groups[slot].1;
+        acc.count += 1;
+        for ai in 0..n_aggs {
+            let v = &row[self.agg_cols[ai]];
+            if v.is_null() {
+                continue;
+            }
+            acc.non_null[ai] += 1;
+            if let Some(f) = v.as_f64() {
+                acc.sums[ai] += f;
+            }
+            match (v, acc.all_int[ai]) {
+                (Value::Int(i), true) => acc.int_sums[ai] += i,
+                _ => acc.all_int[ai] = false,
+            }
+            if acc.mins[ai].as_ref().is_none_or(|m| v < m) {
+                acc.mins[ai] = Some(v.clone());
+            }
+            if acc.maxs[ai].as_ref().is_none_or(|m| v > m) {
+                acc.maxs[ai] = Some(v.clone());
+            }
+            if narrow {
+                let better = match &acc.witness {
+                    None => true,
+                    Some((best, _)) => {
+                        if want_max {
+                            v > best
+                        } else {
+                            v < best
+                        }
+                    }
+                };
+                if better {
+                    acc.witness = Some((v.clone(), tag.clone()));
+                }
+            }
+        }
+        if !narrow {
+            self.policy.merge_tags(&mut acc.tag, &tag);
+        }
+    }
+}
+
+/// Fold one chunk-column's selected values into the global accumulator.
+///
+/// Only reachable for columns [`numeric_column_shape`] accepted, so the
+/// observable state is exactly what the row path would produce: for integer
+/// layouts only `count`/`non_null`/`int_sums`/`mins`/`maxs` matter (`all_int`
+/// stays true, `sums` is never read), which makes the run-length `k·value`
+/// shortcut exact; for float columns `sums` accumulates per selected row in
+/// row order, matching the row path's addition order bit-for-bit.
+fn accumulate_column<T>(
+    col: &ColumnVector,
+    sel: &SelBitmap,
+    base: usize,
+    acc: &mut GroupAcc<T>,
+    ai: usize,
+) {
+    match col.data() {
+        ColumnData::Int(xs) => {
+            for j in sel.iter_ones() {
+                let i = base + j;
+                if !col.is_null(i) {
+                    note_int(acc, ai, xs[i], 1);
+                }
+            }
+        }
+        ColumnData::PackedInt(p) => {
+            for j in sel.iter_ones() {
+                let i = base + j;
+                if !col.is_null(i) {
+                    note_int(acc, ai, p.get(i), 1);
+                }
+            }
+        }
+        ColumnData::RleInt(runs) => {
+            // The encoder merges NULL rows into runs; clear them from the
+            // selection once so run counts only see real values.
+            let no_nulls = sel_without_nulls(sel, col, base);
+            let eff = no_nulls.as_ref().unwrap_or(sel);
+            let n = sel.len();
+            for (s, e, v) in runs.iter() {
+                if e <= base {
+                    continue;
+                }
+                if s >= base + n {
+                    break;
+                }
+                let w_lo = s.max(base) - base;
+                let w_hi = e.min(base + n) - base;
+                let cnt = eff.count_range(w_lo, w_hi);
+                if cnt > 0 {
+                    note_int(acc, ai, v, cnt as i64);
+                }
+            }
+        }
+        ColumnData::Float(xs) => {
+            for j in sel.iter_ones() {
+                let i = base + j;
+                if col.is_null(i) {
+                    continue;
+                }
+                acc.non_null[ai] += 1;
+                acc.sums[ai] += xs[i];
+                acc.all_int[ai] = false;
+                let v = Value::Float(xs[i]);
+                if acc.mins[ai].as_ref().is_none_or(|m| &v < m) {
+                    acc.mins[ai] = Some(v.clone());
+                }
+                if acc.maxs[ai].as_ref().is_none_or(|m| &v > m) {
+                    acc.maxs[ai] = Some(v);
+                }
+            }
+        }
+        _ => unreachable!("column-at-a-time aggregation only runs on numeric columns"),
+    }
+}
+
+/// Record `cnt` selected occurrences of integer value `v` for aggregate `ai`
+/// — the run-length shortcut: a whole run folds into a SUM as `cnt · v` and
+/// into MIN/MAX as a single compare.
+fn note_int<T>(acc: &mut GroupAcc<T>, ai: usize, v: i64, cnt: i64) {
+    acc.non_null[ai] += cnt;
+    acc.int_sums[ai] += v * cnt;
+    let val = Value::Int(v);
+    if acc.mins[ai].as_ref().is_none_or(|m| &val < m) {
+        acc.mins[ai] = Some(val.clone());
+    }
+    if acc.maxs[ai].as_ref().is_none_or(|m| &val > m) {
+        acc.maxs[ai] = Some(val);
+    }
+}
+
+impl<P: TagPolicy> BatchOp<P> for AggScanOp<'_, P> {
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Result<Option<Batch<P::Tag>>, ExecError> {
+        if !self.out.filled {
+            self.drain(stats)?;
         }
         Ok(self.out.emit())
     }
@@ -2314,5 +2906,235 @@ mod tests {
         let text = physical.display_tree();
         assert!(text.contains("HashAggregate"));
         assert!(text.contains("IndexRangeScan"));
+    }
+
+    /// Execute with explicit options, returning relation + stats.
+    fn run_with_opts(
+        db: &Database,
+        plan: &LogicalPlan,
+        profile: EngineProfile,
+        opts: ExecOptions,
+    ) -> (Relation, ExecStats) {
+        let mut stats = ExecStats::default();
+        let (rel, _) = execute_logical_with(db, plan, profile, &NoTag, opts, &mut stats).unwrap();
+        (rel, stats)
+    }
+
+    /// Options pinning the scan path statically (no adaptive re-decision).
+    fn pinned(vectorized: bool) -> ExecOptions {
+        ExecOptions {
+            vectorized,
+            adaptive: false,
+            ..ExecOptions::default()
+        }
+    }
+
+    #[test]
+    fn agg_pushdown_matches_row_path_on_global_aggregates() {
+        let db = zone_db();
+        // Pure-int columns + no groups + NoTag: the column-at-a-time path
+        // with run shortcuts.
+        let plan = LogicalPlan::scan("t")
+            .filter(col("id").between(lit(500), lit(4_200)))
+            .aggregate(
+                vec![],
+                vec![
+                    AggExpr::new(AggFunc::Count, col("id"), "n"),
+                    AggExpr::new(AggFunc::Sum, col("grp"), "total"),
+                    AggExpr::new(AggFunc::Min, col("id"), "lo"),
+                    AggExpr::new(AggFunc::Max, col("grp"), "hi"),
+                ],
+            );
+        for profile in [EngineProfile::Indexed, EngineProfile::ColumnarScan] {
+            let (fast, fast_stats) = run_with_opts(&db, &plan, profile, pinned(true));
+            let (oracle, oracle_stats) = run_with_opts(&db, &plan, profile, pinned(false));
+            assert_eq!(fast, oracle, "profile {profile:?}");
+            assert_eq!(fast_stats.rows_scanned, oracle_stats.rows_scanned);
+            assert!(fast_stats.agg_pushdown_blocks > 0);
+            assert_eq!(oracle_stats.agg_pushdown_blocks, 0);
+            assert_eq!(fast.value(0, "n"), Some(&Value::Int(3_701)));
+            assert_eq!(fast.value(0, "lo"), Some(&Value::Int(500)));
+            assert_eq!(fast.value(0, "hi"), Some(&Value::Int(6)));
+        }
+    }
+
+    #[test]
+    fn agg_pushdown_handles_index_rid_probes() {
+        let db = indexed_db();
+        // Under the Indexed profile the filter lowers to an IndexRangeScan:
+        // the pushdown aggregates the rid list row-at-a-time, in rid order,
+        // re-checking the predicate per row exactly like the generic ScanOp.
+        let global = LogicalPlan::scan("t")
+            .filter(col("id").between(lit(500), lit(4_200)))
+            .aggregate(
+                vec![],
+                vec![
+                    AggExpr::new(AggFunc::Count, col("id"), "n"),
+                    AggExpr::new(AggFunc::Sum, col("grp"), "total"),
+                ],
+            );
+        let (fast, fast_stats) = run_with_opts(&db, &global, EngineProfile::Indexed, pinned(true));
+        let (oracle, oracle_stats) =
+            run_with_opts(&db, &global, EngineProfile::Indexed, pinned(false));
+        assert_eq!(fast, oracle);
+        assert_eq!(fast.value(0, "n"), Some(&Value::Int(3_701)));
+        assert_eq!(fast_stats.index_scans, 1);
+        assert_eq!(fast_stats.rows_scanned, oracle_stats.rows_scanned);
+        // The whole rid probe counts as one pushdown unit; no bitmap work.
+        assert_eq!(fast_stats.agg_pushdown_blocks, 1);
+        assert_eq!(fast_stats.vectorized_scans, 0);
+        assert_eq!(fast_stats.vectorized_blocks, 0);
+        assert_eq!(fast_stats.intermediate_rows, oracle_stats.intermediate_rows);
+
+        // Grouping over a rid probe exercises the shared fold-row path.
+        let grouped = LogicalPlan::scan("t")
+            .filter(col("id").lt(lit(3_000)))
+            .aggregate(
+                vec!["grp"],
+                vec![AggExpr::new(AggFunc::Avg, col("id"), "avg")],
+            );
+        let (fast, fast_stats) = run_with_opts(&db, &grouped, EngineProfile::Indexed, pinned(true));
+        let (oracle, _) = run_with_opts(&db, &grouped, EngineProfile::Indexed, pinned(false));
+        assert_eq!(fast, oracle);
+        assert_eq!(fast_stats.intermediate_rows, 3_000);
+    }
+
+    #[test]
+    fn agg_pushdown_matches_row_path_on_grouped_and_avg_aggregates() {
+        let db = zone_db();
+        // Group keys and AVG force the row-at-a-time pushdown variant; the
+        // output (including group order) must still match the generic pair.
+        let plan = LogicalPlan::scan("t")
+            .filter(col("id").lt(lit(3_000)))
+            .aggregate(
+                vec!["grp"],
+                vec![
+                    AggExpr::new(AggFunc::Sum, col("id"), "total"),
+                    AggExpr::new(AggFunc::Avg, col("id"), "avg"),
+                ],
+            );
+        let (fast, fast_stats) =
+            run_with_opts(&db, &plan, EngineProfile::ColumnarScan, pinned(true));
+        let (oracle, _) = run_with_opts(&db, &plan, EngineProfile::ColumnarScan, pinned(false));
+        assert_eq!(fast, oracle);
+        assert!(fast_stats.agg_pushdown_blocks > 0);
+        // A scan of [0, 3000) over 100-row blocks under a zone map... the
+        // ColumnarScan profile always sequential-scans, so every block of the
+        // table flows through the pushdown.
+        assert_eq!(fast_stats.agg_pushdown_blocks, 50);
+        assert_eq!(fast_stats.intermediate_rows, 3_000);
+    }
+
+    #[test]
+    fn agg_pushdown_handles_unfiltered_scans_and_empty_selections() {
+        let db = zone_db();
+        let whole = LogicalPlan::scan("t")
+            .aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, col("id"), "total")]);
+        let (fast, fast_stats) =
+            run_with_opts(&db, &whole, EngineProfile::ColumnarScan, pinned(true));
+        let (oracle, _) = run_with_opts(&db, &whole, EngineProfile::ColumnarScan, pinned(false));
+        assert_eq!(fast, oracle);
+        assert_eq!(fast.value(0, "total"), Some(&Value::Int(4_999 * 5_000 / 2)));
+        assert!(fast_stats.agg_pushdown_blocks > 0);
+        // No pushed-down filter: no bitmap evaluation to count.
+        assert_eq!(fast_stats.vectorized_blocks, 0);
+
+        let empty = LogicalPlan::scan("t")
+            .filter(col("id").lt(lit(0)))
+            .aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, col("id"), "total")]);
+        let (fast, _) = run_with_opts(&db, &empty, EngineProfile::ColumnarScan, pinned(true));
+        let (oracle, _) = run_with_opts(&db, &empty, EngineProfile::ColumnarScan, pinned(false));
+        assert_eq!(fast, oracle);
+        assert_eq!(fast.value(0, "total"), Some(&Value::Null));
+        assert_eq!(fast.len(), 1);
+    }
+
+    #[test]
+    fn agg_pushdown_declines_expression_inputs() {
+        let db = zone_db();
+        // `id * 2` is not a plain column: the generic operator pair keeps the
+        // aggregate, and the result still matches the oracle.
+        let plan = LogicalPlan::scan("t")
+            .filter(col("id").lt(lit(100)))
+            .aggregate(
+                vec![],
+                vec![AggExpr::new(AggFunc::Sum, col("id").mul(lit(2)), "total")],
+            );
+        let (fast, fast_stats) =
+            run_with_opts(&db, &plan, EngineProfile::ColumnarScan, pinned(true));
+        let (oracle, _) = run_with_opts(&db, &plan, EngineProfile::ColumnarScan, pinned(false));
+        assert_eq!(fast, oracle);
+        assert_eq!(fast_stats.agg_pushdown_blocks, 0);
+        assert_eq!(fast.value(0, "total"), Some(&Value::Int(9_900)));
+    }
+
+    #[test]
+    fn adaptive_lowering_follows_predicted_selectivity() {
+        let db = zone_db();
+        let opts = ExecOptions::default(); // vectorized + adaptive
+        assert!(opts.adaptive);
+
+        // ~2% selectivity: the bitmap path wins and is chosen.
+        let narrow_scan = LogicalPlan::scan("t").filter(col("id").lt(lit(100)));
+        let (rel, stats) = run_with_opts(&db, &narrow_scan, EngineProfile::ColumnarScan, opts);
+        assert_eq!(rel.len(), 100);
+        assert_eq!(stats.vectorized_scans, 1);
+
+        // ~100% selectivity: everything materializes anyway; the scan is
+        // adaptively lowered to the row loop (same rows, no bitmap pass).
+        let full_scan = LogicalPlan::scan("t").filter(col("id").ge(lit(0)));
+        let (rel, stats) = run_with_opts(&db, &full_scan, EngineProfile::ColumnarScan, opts);
+        assert_eq!(rel.len(), 5_000);
+        assert_eq!(stats.vectorized_scans, 0);
+        assert_eq!(stats.vectorized_blocks, 0);
+
+        // Observed feedback overrides the static estimate in both directions.
+        let observed_high = ExecOptions {
+            observed_selectivity: Some(1.0),
+            ..ExecOptions::default()
+        };
+        let (_, stats) = run_with_opts(
+            &db,
+            &narrow_scan,
+            EngineProfile::ColumnarScan,
+            observed_high,
+        );
+        assert_eq!(stats.vectorized_scans, 0);
+        let observed_low = ExecOptions {
+            observed_selectivity: Some(0.01),
+            ..ExecOptions::default()
+        };
+        let (_, stats) = run_with_opts(&db, &full_scan, EngineProfile::ColumnarScan, observed_low);
+        assert_eq!(stats.vectorized_scans, 1);
+
+        // The oracle override: vectorized off is never upgraded.
+        let oracle = ExecOptions {
+            vectorized: false,
+            ..ExecOptions::default()
+        };
+        let (_, stats) = run_with_opts(&db, &narrow_scan, EngineProfile::ColumnarScan, oracle);
+        assert_eq!(stats.vectorized_scans, 0);
+    }
+
+    #[test]
+    fn adaptive_parallel_scan_matches_sequential_decision() {
+        let db = zone_db();
+        let full_scan = LogicalPlan::scan("t").filter(col("id").ge(lit(0)));
+        let mut stats = ExecStats::default();
+        let (rel, _) = execute_logical_parallel_with(
+            &db,
+            &full_scan,
+            EngineProfile::ColumnarScan,
+            &NoTag,
+            4,
+            ExecOptions::default(),
+            &mut stats,
+        )
+        .unwrap();
+        assert_eq!(rel.len(), 5_000);
+        // Workers took the compiled row loop, not the chunk path.
+        assert_eq!(stats.vectorized_scans, 0);
+        assert_eq!(stats.vectorized_blocks, 0);
+        assert_eq!(stats.rows_scanned, 5_000);
     }
 }

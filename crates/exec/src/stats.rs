@@ -30,6 +30,15 @@ pub struct ExecStats {
     pub vectorized_scans: u64,
     /// Columnar blocks evaluated into selection bitmaps by vectorized scans.
     pub vectorized_blocks: u64,
+    /// Vectorized blocks whose chunk carried at least one compressed
+    /// (run-length or bit-packed) column.
+    pub encoded_blocks: u64,
+    /// Conjuncts that fell back to row-at-a-time evaluation over a block
+    /// with compressed columns (no encoded kernel applied).
+    pub encoded_kernel_fallbacks: u64,
+    /// Columnar blocks aggregated directly over the selection bitmap by the
+    /// scan→aggregate pushdown, skipping row materialization.
+    pub agg_pushdown_blocks: u64,
     /// `(limit, input_rows)` per top-k operator, used to re-validate sketch
     /// safety at runtime (footnote 1, Sec. 5 of the paper).
     pub topk_inputs: Vec<(usize, u64)>,
@@ -94,6 +103,20 @@ impl ExecStats {
         self.batches += other.batches;
         self.vectorized_scans += other.vectorized_scans;
         self.vectorized_blocks += other.vectorized_blocks;
+        self.encoded_blocks += other.encoded_blocks;
+        self.encoded_kernel_fallbacks += other.encoded_kernel_fallbacks;
+        self.agg_pushdown_blocks += other.agg_pushdown_blocks;
+    }
+
+    /// The selectivity this execution actually observed at its scans
+    /// (`rows_output / rows_scanned`), used as feedback for adaptive scan
+    /// lowering; `None` when nothing was scanned.
+    pub fn observed_scan_selectivity(&self) -> Option<f64> {
+        if self.rows_scanned == 0 {
+            None
+        } else {
+            Some((self.rows_output as f64 / self.rows_scanned as f64).clamp(0.0, 1.0))
+        }
     }
 
     /// True if every top-k operator saw at least as many input rows as its
@@ -157,16 +180,27 @@ mod tests {
     fn merge_parallel_takes_max_elapsed_not_sum() {
         let mut a = ExecStats {
             rows_scanned: 10,
+            encoded_blocks: 2,
+            encoded_kernel_fallbacks: 1,
+            agg_pushdown_blocks: 3,
             elapsed: Duration::from_millis(30),
             ..Default::default()
         };
         let b = ExecStats {
             rows_scanned: 5,
+            encoded_blocks: 4,
+            encoded_kernel_fallbacks: 2,
+            agg_pushdown_blocks: 5,
             elapsed: Duration::from_millis(50),
             ..Default::default()
         };
         a.merge_parallel(&b);
         assert_eq!(a.rows_scanned, 15);
+        // Deterministic counters sum across parallel branches; only the
+        // wall clock takes the max.
+        assert_eq!(a.encoded_blocks, 6);
+        assert_eq!(a.encoded_kernel_fallbacks, 3);
+        assert_eq!(a.agg_pushdown_blocks, 8);
         assert_eq!(a.elapsed, Duration::from_millis(50));
         // The sequential merge, in contrast, sums.
         let mut c = ExecStats {
@@ -191,6 +225,24 @@ mod tests {
         // The failing entry must survive the truncation.
         assert!(!a.topk_safety_revalidated());
         assert!(a.topk_inputs.contains(&(10, 3)));
+    }
+
+    #[test]
+    fn observed_scan_selectivity_is_a_clamped_ratio() {
+        assert_eq!(ExecStats::default().observed_scan_selectivity(), None);
+        let s = ExecStats {
+            rows_scanned: 200,
+            rows_output: 50,
+            ..Default::default()
+        };
+        assert!((s.observed_scan_selectivity().unwrap() - 0.25).abs() < 1e-12);
+        // Joins can output more rows than they scan; the feedback clamps.
+        let blown = ExecStats {
+            rows_scanned: 10,
+            rows_output: 100,
+            ..Default::default()
+        };
+        assert_eq!(blown.observed_scan_selectivity(), Some(1.0));
     }
 
     #[test]

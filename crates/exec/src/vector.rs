@@ -14,9 +14,28 @@
 //! NULL/unknown being neither — this is what lets `NOT` distinguish a
 //! comparison that evaluated to `false` (negates to `true`) from one that
 //! evaluated to `NULL` (negates to `false`), exactly like the interpreter.
+//!
+//! ## Kernels on encoded data
+//!
+//! Compressed column layouts are evaluated **without decoding**:
+//!
+//! * run-length columns ([`ColumnData::RleInt`], [`ColumnData::RleDict`])
+//!   compare once per *run* and fill the covered bit range word-wise — NULL
+//!   rows, which the encoder merged into their surrounding run, are cleared
+//!   afterwards with one masked pass over the null-bitmap window;
+//! * frame-of-reference packed columns ([`ColumnData::PackedInt`]) compare
+//!   the unpacked lane against the literal in a tight loop, with a
+//!   whole-window constant fill when the literal's type rank already decides
+//!   the ordering (e.g. any `Int` vs. a `Str` literal).
+//!
+//! [`eval_filter_block_counted`] is the same evaluation with `ExecStats`
+//! attribution: it counts blocks that carried at least one encoded column and
+//! conjuncts that had to fall back to row-at-a-time evaluation over such a
+//! block.
 
 use crate::compiled::{ColRef, CompiledExpr};
 use crate::eval::ExecError;
+use crate::stats::ExecStats;
 use pbds_algebra::{BinOp, RangeLookup};
 use pbds_storage::{ColumnData, ColumnVector, ColumnarChunk, Row, Value, ValueRange};
 use std::cmp::Ordering;
@@ -75,6 +94,47 @@ impl SelBitmap {
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Set every bit in `[lo, hi)` word-wise — the fill primitive of the
+    /// run-length kernels.
+    pub fn set_range(&mut self, lo: usize, hi: usize) {
+        debug_assert!(lo <= hi && hi <= self.len);
+        if lo >= hi {
+            return;
+        }
+        let (wl, wh) = (lo / 64, (hi - 1) / 64);
+        let lmask = !0u64 << (lo % 64);
+        let hmask = !0u64 >> (63 - (hi - 1) % 64);
+        if wl == wh {
+            self.words[wl] |= lmask & hmask;
+        } else {
+            self.words[wl] |= lmask;
+            for w in &mut self.words[wl + 1..wh] {
+                *w = !0;
+            }
+            self.words[wh] |= hmask;
+        }
+    }
+
+    /// Number of set bits in `[lo, hi)` — word-wise popcount, used by the
+    /// run-aware aggregation shortcuts.
+    pub fn count_range(&self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi && hi <= self.len);
+        if lo >= hi {
+            return 0;
+        }
+        let (wl, wh) = (lo / 64, (hi - 1) / 64);
+        let lmask = !0u64 << (lo % 64);
+        let hmask = !0u64 >> (63 - (hi - 1) % 64);
+        if wl == wh {
+            return (self.words[wl] & lmask & hmask).count_ones() as usize;
+        }
+        let mut c = (self.words[wl] & lmask).count_ones() as usize;
+        for w in &self.words[wl + 1..wh] {
+            c += w.count_ones() as usize;
+        }
+        c + (self.words[wh] & hmask).count_ones() as usize
     }
 
     /// Word-wise intersection.
@@ -147,7 +207,27 @@ pub fn eval_filter_block(
     lo: usize,
     hi: usize,
 ) -> Result<SelBitmap, ExecError> {
+    let mut stats = ExecStats::default();
+    eval_filter_block_counted(pred, chunk, rows, lo, hi, &mut stats)
+}
+
+/// [`eval_filter_block`] with `ExecStats` attribution: bumps
+/// `encoded_blocks` when the chunk carries at least one compressed column
+/// and `encoded_kernel_fallbacks` for every conjunct that takes the
+/// row-at-a-time fallback over such a chunk.
+pub fn eval_filter_block_counted(
+    pred: &CompiledExpr,
+    chunk: &ColumnarChunk,
+    rows: &[Row],
+    lo: usize,
+    hi: usize,
+    stats: &mut ExecStats,
+) -> Result<SelBitmap, ExecError> {
     debug_assert!(chunk.start <= lo && hi <= chunk.end);
+    let encoded = chunk.encoded_columns() > 0;
+    if encoded {
+        stats.encoded_blocks += 1;
+    }
     let n = hi - lo;
     let mut sel = SelBitmap::ones(n);
     let conjuncts: &[CompiledExpr] = match pred {
@@ -158,6 +238,9 @@ pub fn eval_filter_block(
         match vec_truth(conjunct, chunk, lo, hi) {
             Some((truth, _)) => sel.and_assign(&truth),
             None => {
+                if encoded {
+                    stats.encoded_kernel_fallbacks += 1;
+                }
                 // Fallback: evaluate row-at-a-time, but only on rows that
                 // passed the previous conjuncts — the same (row, conjunct)
                 // pairs the interpreter's short-circuit AND evaluates.
@@ -230,14 +313,8 @@ fn vec_truth(
         CompiledExpr::IsNull(e) => match &**e {
             CompiledExpr::Column(ColRef::Idx(c)) => {
                 let col = chunk.column(*c);
-                let mut truth = SelBitmap::zeros(n);
-                if col.has_nulls() {
-                    for j in 0..n {
-                        if col.is_null(lo - chunk.start + j) {
-                            truth.set(j);
-                        }
-                    }
-                }
+                let truth =
+                    null_window(col, lo - chunk.start, n).unwrap_or_else(|| SelBitmap::zeros(n));
                 let falsity = truth.negated();
                 Some((truth, falsity))
             }
@@ -296,6 +373,100 @@ fn cmp_cell(col: &ColumnVector, i: usize, v: &Value) -> Ordering {
         ColumnData::Bool(xs) => Value::Bool(xs[i]).cmp(v),
         ColumnData::Dict { dict, codes } => cmp_str_value(&dict[codes[i] as usize], v),
         ColumnData::Mixed(xs) => xs[i].cmp(v),
+        ColumnData::RleInt(runs) => Value::Int(runs.value_at(i)).cmp(v),
+        ColumnData::PackedInt(p) => Value::Int(p.get(i)).cmp(v),
+        ColumnData::RleDict { dict, runs } => cmp_str_value(&dict[runs.value_at(i) as usize], v),
+    }
+}
+
+/// The null bits of `col` over the chunk-relative window `[base, base + n)`
+/// as a bitmap (bit `j` ↔ row `base + j` is NULL), or `None` when the column
+/// has no NULLs in the chunk. Stitches adjacent words when `base % 64 != 0`.
+fn null_window(col: &ColumnVector, base: usize, n: usize) -> Option<SelBitmap> {
+    let words = col.null_words()?;
+    let mut out = SelBitmap::zeros(n);
+    let shift = base % 64;
+    let w0 = base / 64;
+    for wi in 0..out.words.len() {
+        let lo_part = words.get(w0 + wi).copied().unwrap_or(0) >> shift;
+        let hi_part = if shift == 0 {
+            0
+        } else {
+            words.get(w0 + wi + 1).copied().unwrap_or(0) << (64 - shift)
+        };
+        out.words[wi] = lo_part | hi_part;
+    }
+    out.mask_tail();
+    Some(out)
+}
+
+/// Clear NULL-row bits from both truth bitmaps (a NULL comparison is neither
+/// true nor false). The run-length kernels fill whole runs first — which
+/// includes the NULLs the encoder merged into them — and fix up here with one
+/// word-wise pass.
+fn clear_null_bits(
+    col: &ColumnVector,
+    base: usize,
+    n: usize,
+    truth: &mut SelBitmap,
+    falsity: &mut SelBitmap,
+) {
+    if let Some(nw) = null_window(col, base, n) {
+        for ((t, f), w) in truth
+            .words
+            .iter_mut()
+            .zip(falsity.words.iter_mut())
+            .zip(&nw.words)
+        {
+            *t &= !w;
+            *f &= !w;
+        }
+    }
+}
+
+/// `sel` with the NULL rows of `col` cleared (the selection covers the
+/// chunk-relative window starting at `base`), or `None` when the column has
+/// no NULLs in the chunk and `sel` can be used as-is. Used by the
+/// scan→aggregate pushdown, whose run-length shortcuts must not count the
+/// NULLs the encoder merged into runs.
+pub(crate) fn sel_without_nulls(
+    sel: &SelBitmap,
+    col: &ColumnVector,
+    base: usize,
+) -> Option<SelBitmap> {
+    let nw = null_window(col, base, sel.len())?;
+    let mut out = sel.clone();
+    for (o, w) in out.words.iter_mut().zip(&nw.words) {
+        *o &= !w;
+    }
+    Some(out)
+}
+
+/// Fill `truth`/`falsity` for comparison `op` from per-run orderings: one
+/// `cmp_holds` per run, then a word-wise range fill of the run's overlap
+/// with the window `[base, base + n)` (run bounds are chunk-relative).
+fn cmp_fill_runs(
+    runs: impl Iterator<Item = (usize, usize, Ordering)>,
+    op: BinOp,
+    base: usize,
+    n: usize,
+    truth: &mut SelBitmap,
+    falsity: &mut SelBitmap,
+) {
+    for (s, e, ord) in runs {
+        if s >= base + n {
+            break;
+        }
+        let (rs, re) = (s.max(base), e.min(base + n));
+        if rs >= re {
+            continue;
+        }
+        let dst = if cmp_holds(op, ord) {
+            &mut *truth
+        } else {
+            &mut *falsity
+        };
+        dst.set_range(rs - base, re - base);
     }
 }
 
@@ -317,21 +488,106 @@ fn cmp_kernel(
     }
     let col = chunk.column(c);
     let base = lo - chunk.start;
-    let mut record = |j: usize, holds: bool| {
-        if holds {
-            truth.set(j);
-        } else {
-            falsity.set(j);
-        }
-    };
     match (col.data(), lit) {
         // Hot path: pure i64 comparison, no `Value` in the loop.
         (ColumnData::Int(xs), Value::Int(l)) => {
             for j in 0..n {
                 if !col.is_null(base + j) {
-                    record(j, cmp_holds(op, xs[base + j].cmp(l)));
+                    if cmp_holds(op, xs[base + j].cmp(l)) {
+                        truth.set(j);
+                    } else {
+                        falsity.set(j);
+                    }
                 }
             }
+        }
+        // Run-length integers: one `Value` comparison per run — this is the
+        // O(runs)-not-O(rows) path — then a null fix-up pass.
+        (ColumnData::RleInt(runs), _) => {
+            cmp_fill_runs(
+                runs.iter().map(|(s, e, v)| (s, e, Value::Int(v).cmp(lit))),
+                op,
+                base,
+                n,
+                &mut truth,
+                &mut falsity,
+            );
+            clear_null_bits(col, base, n, &mut truth, &mut falsity);
+        }
+        // Run-length dictionary codes: one string comparison per run.
+        (ColumnData::RleDict { dict, runs }, _) => {
+            cmp_fill_runs(
+                runs.iter()
+                    .map(|(s, e, code)| (s, e, cmp_str_value(&dict[code as usize], lit))),
+                op,
+                base,
+                n,
+                &mut truth,
+                &mut falsity,
+            );
+            clear_null_bits(col, base, n, &mut truth, &mut falsity);
+        }
+        // Packed integers against an `Int` literal. The frame-of-reference
+        // header bounds every stored value to `[base, base + 2^width - 1]`,
+        // so a literal outside that window decides the whole chunk with one
+        // ordering — the common case for selective point/range predicates
+        // over clustered columns. Otherwise: unpack-and-compare in a tight
+        // lane loop, still no `Value` materialization.
+        (ColumnData::PackedInt(p), Value::Int(l)) => {
+            let span = (1i64 << p.width().min(62)) - 1;
+            let decided = if p.base().saturating_add(span) < *l {
+                Some(Ordering::Less)
+            } else if p.base() > *l {
+                Some(Ordering::Greater)
+            } else {
+                None
+            };
+            if let Some(ord) = decided {
+                cmp_fill_runs(
+                    std::iter::once((0, chunk.len(), ord)),
+                    op,
+                    base,
+                    n,
+                    &mut truth,
+                    &mut falsity,
+                );
+                clear_null_bits(col, base, n, &mut truth, &mut falsity);
+                return (truth, falsity);
+            }
+            for j in 0..n {
+                if !col.is_null(base + j) {
+                    if cmp_holds(op, p.get(base + j).cmp(l)) {
+                        truth.set(j);
+                    } else {
+                        falsity.set(j);
+                    }
+                }
+            }
+        }
+        // Cross-type literal against a packed-int column: the type-rank
+        // order decides every row identically (Int < Str, Int > Bool), so
+        // fill the whole window at once.
+        (ColumnData::PackedInt(_), Value::Str(_)) => {
+            cmp_fill_runs(
+                std::iter::once((0, chunk.len(), Ordering::Less)),
+                op,
+                base,
+                n,
+                &mut truth,
+                &mut falsity,
+            );
+            clear_null_bits(col, base, n, &mut truth, &mut falsity);
+        }
+        (ColumnData::PackedInt(_), Value::Bool(_)) => {
+            cmp_fill_runs(
+                std::iter::once((0, chunk.len(), Ordering::Greater)),
+                op,
+                base,
+                n,
+                &mut truth,
+                &mut falsity,
+            );
+            clear_null_bits(col, base, n, &mut truth, &mut falsity);
         }
         // Dictionary columns against a string literal: one binary search in
         // the sorted dict, then pure `u32` code comparisons.
@@ -352,18 +608,60 @@ fn cmp_kernel(
                     BinOp::Ge => code >= lb,
                     _ => unreachable!("comparison operator"),
                 };
-                record(j, holds);
+                if holds {
+                    truth.set(j);
+                } else {
+                    falsity.set(j);
+                }
             }
         }
         _ => {
             for j in 0..n {
                 if !col.is_null(base + j) {
-                    record(j, cmp_holds(op, cmp_cell(col, base + j, lit)));
+                    if cmp_holds(op, cmp_cell(col, base + j, lit)) {
+                        truth.set(j);
+                    } else {
+                        falsity.set(j);
+                    }
                 }
             }
         }
     }
     (truth, falsity)
+}
+
+/// Range-membership of a cell given a `cell vs. bound` comparator —
+/// identical logic for the per-row and per-run callers: containment is
+/// `v > lo && !(v > hi)`, and `BinarySearch` finds the first range whose
+/// upper bound is `>= v` exactly like the interpreter.
+fn ranges_found(
+    cmp: &impl Fn(&Value) -> Ordering,
+    ranges: &[ValueRange],
+    lookup: RangeLookup,
+) -> bool {
+    let contains = |r: &ValueRange| -> bool {
+        if let Some(rlo) = &r.lo {
+            if cmp(rlo) != Ordering::Greater {
+                return false;
+            }
+        }
+        if let Some(rhi) = &r.hi {
+            if cmp(rhi) == Ordering::Greater {
+                return false;
+            }
+        }
+        true
+    };
+    match lookup {
+        RangeLookup::Linear => ranges.iter().any(contains),
+        RangeLookup::BinarySearch => {
+            let pos = ranges.partition_point(|r| match &r.hi {
+                Some(rhi) => cmp(rhi) == Ordering::Greater,
+                None => false,
+            });
+            ranges.get(pos).map(contains).unwrap_or(false)
+        }
+    }
 }
 
 /// Sketch range membership over `[lo, hi)`; NULL cells are known-false, like
@@ -381,42 +679,62 @@ fn ranges_kernel(
     let mut falsity = SelBitmap::zeros(n);
     let col = chunk.column(c);
     let base = lo - chunk.start;
-    // `contains` with `cmp_cell`: v in (lo, hi] ⇔ !(v <= lo) && !(v > hi).
-    let contains = |i: usize, r: &ValueRange| -> bool {
-        if let Some(rlo) = &r.lo {
-            if cmp_cell(col, i, rlo) != Ordering::Greater {
-                return false;
+    // Run-length columns: one membership test per run, then mark NULL rows
+    // known-false (they were filled with their run's verdict).
+    let mut fill_runs = |found_runs: &mut dyn Iterator<Item = (usize, usize, bool)>| {
+        for (s, e, found) in found_runs {
+            if s >= base + n {
+                break;
             }
-        }
-        if let Some(rhi) = &r.hi {
-            if cmp_cell(col, i, rhi) == Ordering::Greater {
-                return false;
+            let (rs, re) = (s.max(base), e.min(base + n));
+            if rs >= re {
+                continue;
             }
+            let dst = if found { &mut truth } else { &mut falsity };
+            dst.set_range(rs - base, re - base);
         }
-        true
     };
-    for j in 0..n {
-        let i = base + j;
-        if col.is_null(i) {
-            falsity.set(j);
-            continue;
+    match col.data() {
+        ColumnData::RleInt(runs) => {
+            fill_runs(&mut runs.iter().map(|(s, e, v)| {
+                (
+                    s,
+                    e,
+                    ranges_found(&|b| Value::Int(v).cmp(b), ranges, lookup),
+                )
+            }));
         }
-        let found = match lookup {
-            RangeLookup::Linear => ranges.iter().any(|r| contains(i, r)),
-            RangeLookup::BinarySearch => {
-                // Identical to the interpreter: first range whose upper bound
-                // is >= v, then a containment test.
-                let pos = ranges.partition_point(|r| match &r.hi {
-                    Some(rhi) => cmp_cell(col, i, rhi) == Ordering::Greater,
-                    None => false,
-                });
-                ranges.get(pos).map(|r| contains(i, r)).unwrap_or(false)
+        ColumnData::RleDict { dict, runs } => {
+            fill_runs(&mut runs.iter().map(|(s, e, code)| {
+                let cmp = |b: &Value| cmp_str_value(&dict[code as usize], b);
+                (s, e, ranges_found(&cmp, ranges, lookup))
+            }));
+        }
+        _ => {
+            for j in 0..n {
+                let i = base + j;
+                if col.is_null(i) {
+                    falsity.set(j);
+                    continue;
+                }
+                if ranges_found(&|b| cmp_cell(col, i, b), ranges, lookup) {
+                    truth.set(j);
+                } else {
+                    falsity.set(j);
+                }
             }
-        };
-        if found {
-            truth.set(j);
-        } else {
-            falsity.set(j);
+            return (truth, falsity);
+        }
+    }
+    if let Some(nw) = null_window(col, base, n) {
+        for ((t, f), w) in truth
+            .words
+            .iter_mut()
+            .zip(falsity.words.iter_mut())
+            .zip(&nw.words)
+        {
+            *t &= !w;
+            *f |= w;
         }
     }
     (truth, falsity)
@@ -452,19 +770,59 @@ mod tests {
         (schema, rows, chunks)
     }
 
-    fn assert_block_matches_rows(pred: &Expr) {
-        let (schema, rows, chunks) = fixture();
-        let compiled = CompiledExpr::compile(pred, &schema);
+    /// Runny data so the encoder picks `RleInt` / `RleDict`: long runs with
+    /// NULLs sprinkled inside them (merged into runs by the encoder). 192
+    /// rows = three full 64-row chunks, so every chunk clears the encoder's
+    /// minimum-length bar.
+    fn runny_fixture() -> (Schema, Vec<Row>, ColumnarChunks) {
+        let schema = Schema::from_pairs(&[
+            ("g", DataType::Int),
+            ("s", DataType::Str),
+            ("a", DataType::Int),
+        ]);
+        let rows: Vec<Row> = (0..192)
+            .map(|i| {
+                vec![
+                    if i % 23 == 5 {
+                        Value::Null
+                    } else {
+                        Value::Int(i / 25)
+                    },
+                    if i % 31 == 7 {
+                        Value::Null
+                    } else {
+                        Value::Str(if (i / 40) % 2 == 0 { "AAA" } else { "BBB" }.into())
+                    },
+                    Value::Int(i % 50),
+                ]
+            })
+            .collect();
+        let chunks = ColumnarChunks::build(&schema, &rows, 64);
+        (schema, rows, chunks)
+    }
+
+    fn assert_block_matches_rows_on(
+        schema: &Schema,
+        rows: &[Row],
+        chunks: &ColumnarChunks,
+        pred: &Expr,
+    ) {
+        let compiled = CompiledExpr::compile(pred, schema);
         for chunk in chunks.chunks() {
-            let sel = eval_filter_block(&compiled, chunk, &rows, chunk.start, chunk.end).unwrap();
+            let sel = eval_filter_block(&compiled, chunk, rows, chunk.start, chunk.end).unwrap();
             for (j, rid) in (chunk.start..chunk.end).enumerate() {
                 assert_eq!(
                     sel.get(j),
-                    eval_predicate(pred, &schema, &rows[rid]).unwrap(),
+                    eval_predicate(pred, schema, &rows[rid]).unwrap(),
                     "row {rid} of {pred}"
                 );
             }
         }
+    }
+
+    fn assert_block_matches_rows(pred: &Expr) {
+        let (schema, rows, chunks) = fixture();
+        assert_block_matches_rows_on(&schema, &rows, &chunks, pred);
     }
 
     #[test]
@@ -480,6 +838,121 @@ mod tests {
         ] {
             assert_block_matches_rows(&pred);
         }
+    }
+
+    #[test]
+    fn encoded_kernels_match_interpreter() {
+        let (schema, rows, chunks) = runny_fixture();
+        // The fixture must actually exercise the encoded layouts.
+        assert!(chunks
+            .chunks()
+            .iter()
+            .all(|c| c.column(0).data().encoding_name() == "rle-int"));
+        assert!(chunks
+            .chunks()
+            .iter()
+            .all(|c| c.column(1).data().encoding_name() == "rle-dict"));
+        assert!(chunks
+            .chunks()
+            .iter()
+            .all(|c| c.column(2).data().encoding_name() == "packed-int"));
+        for pred in [
+            col("g").lt(lit(4)),
+            col("g").eq(lit(2)),
+            col("g").ne(lit(0)),
+            col("g").ge(lit(7)),
+            // Cross-type literals: constant type-rank orderings.
+            col("g").lt(lit("zz")),
+            col("g").gt(Expr::Literal(Value::Bool(true))),
+            col("s").eq(lit("BBB")),
+            col("s").le(lit("AAA")),
+            col("s").gt(lit(3)),
+            col("a").lt(lit(25)),
+            col("a").ge(lit(49)),
+            col("a").lt(lit("zz")),
+            Expr::IsNull(Box::new(col("g"))),
+            Expr::IsNull(Box::new(col("s"))).not(),
+            col("g").eq(lit(1)).and(col("a").lt(lit(30))),
+            col("g").lt(lit(2)).or(col("s").eq(lit("BBB"))),
+            col("g").lt(lit(5)).not(),
+        ] {
+            assert_block_matches_rows_on(&schema, &rows, &chunks, &pred);
+        }
+    }
+
+    #[test]
+    fn encoded_in_ranges_matches_interpreter() {
+        use pbds_algebra::RangeLookup;
+        let (schema, rows, chunks) = runny_fixture();
+        for lookup in [RangeLookup::Linear, RangeLookup::BinarySearch] {
+            for column in ["g", "s", "a"] {
+                let ranges = if column == "s" {
+                    vec![ValueRange {
+                        lo: Some(Value::Str("AA".into())),
+                        hi: Some(Value::Str("AZ".into())),
+                    }]
+                } else {
+                    vec![
+                        ValueRange {
+                            lo: None,
+                            hi: Some(Value::Int(2)),
+                        },
+                        ValueRange {
+                            lo: Some(Value::Int(4)),
+                            hi: Some(Value::Int(6)),
+                        },
+                    ]
+                };
+                let pred = Expr::InRanges {
+                    column: column.into(),
+                    ranges,
+                    lookup,
+                };
+                assert_block_matches_rows_on(&schema, &rows, &chunks, &pred);
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_chunks_select_identically_to_plain_chunks() {
+        let (schema, rows, encoded) = runny_fixture();
+        let plain = ColumnarChunks::build_plain(&schema, &rows, 64);
+        assert!(plain.chunks().iter().all(|c| c.encoded_columns() == 0));
+        for pred in [
+            col("g").le(lit(3)).and(col("a").ge(lit(10))),
+            col("s").ne(lit("AAA")),
+        ] {
+            let compiled = CompiledExpr::compile(&pred, &schema);
+            for (ec, pc) in encoded.chunks().iter().zip(plain.chunks()) {
+                let a = eval_filter_block(&compiled, ec, &rows, ec.start, ec.end).unwrap();
+                let b = eval_filter_block(&compiled, pc, &rows, pc.start, pc.end).unwrap();
+                assert_eq!(a, b, "{pred}");
+            }
+        }
+    }
+
+    #[test]
+    fn counted_eval_attributes_encoded_blocks_and_fallbacks() {
+        let (schema, rows, chunks) = runny_fixture();
+        let mut stats = ExecStats::default();
+        // Kernel-only predicate: blocks counted, no fallbacks.
+        let kernel = CompiledExpr::compile(&col("g").lt(lit(3)), &schema);
+        for chunk in chunks.chunks() {
+            eval_filter_block_counted(&kernel, chunk, &rows, chunk.start, chunk.end, &mut stats)
+                .unwrap();
+        }
+        assert_eq!(stats.encoded_blocks as usize, chunks.chunks().len());
+        assert_eq!(stats.encoded_kernel_fallbacks, 0);
+        // Arithmetic conjunct has no kernel: one fallback per encoded block.
+        let fallback = CompiledExpr::compile(&col("a").mul(lit(2)).lt(lit(40)), &schema);
+        for chunk in chunks.chunks() {
+            eval_filter_block_counted(&fallback, chunk, &rows, chunk.start, chunk.end, &mut stats)
+                .unwrap();
+        }
+        assert_eq!(
+            stats.encoded_kernel_fallbacks as usize,
+            chunks.chunks().len()
+        );
     }
 
     #[test]
@@ -549,5 +1022,48 @@ mod tests {
         let ones = SelBitmap::ones(130);
         assert_eq!(ones.count(), 130);
         assert_eq!(ones.negated().count(), 0);
+    }
+
+    #[test]
+    fn bitmap_range_primitives() {
+        let mut b = SelBitmap::zeros(200);
+        b.set_range(3, 3); // empty
+        assert_eq!(b.count(), 0);
+        b.set_range(5, 9); // within one word
+        b.set_range(60, 135); // spans three words
+        assert_eq!(b.count(), 4 + 75);
+        for i in 0..200 {
+            assert_eq!(b.get(i), (5..9).contains(&i) || (60..135).contains(&i));
+        }
+        assert_eq!(b.count_range(0, 200), b.count());
+        assert_eq!(b.count_range(5, 9), 4);
+        assert_eq!(b.count_range(6, 8), 2);
+        assert_eq!(b.count_range(0, 5), 0);
+        assert_eq!(b.count_range(64, 128), 64);
+        assert_eq!(b.count_range(130, 140), 5);
+        assert_eq!(b.count_range(140, 140), 0);
+    }
+
+    #[test]
+    fn null_window_handles_unaligned_bases() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        let rows: Vec<Row> = (0..200)
+            .map(|i| {
+                vec![if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i as i64)
+                }]
+            })
+            .collect();
+        let chunks = ColumnarChunks::build(&schema, &rows, 200);
+        let col = chunks.chunks()[0].column(0);
+        for (base, n) in [(0, 200), (1, 63), (63, 70), (64, 64), (100, 37)] {
+            let w = null_window(col, base, n).expect("column has nulls");
+            assert_eq!(w.len(), n);
+            for j in 0..n {
+                assert_eq!(w.get(j), (base + j) % 7 == 0, "base {base} bit {j}");
+            }
+        }
     }
 }

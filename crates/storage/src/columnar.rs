@@ -11,11 +11,179 @@
 //! String dictionaries are per chunk and **sorted**, so dictionary codes are
 //! order-preserving within the chunk: a range or comparison predicate against
 //! a string literal translates to a comparison on `u32` codes.
+//!
+//! ## Compressed layouts
+//!
+//! On top of the plain typed vectors, the encoder picks a compressed layout
+//! per chunk-column with a cheap statistics pass at build time:
+//!
+//! * [`ColumnData::RleInt`] — run-length encoding for integer columns whose
+//!   values repeat in runs (sorted or near-constant data). NULL rows merge
+//!   into the surrounding run (the null bitmap still marks them), so
+//!   interspersed NULLs do not break runs.
+//! * [`ColumnData::RleDict`] — the same run-length layout over the sorted
+//!   dictionary codes of a low-cardinality string column.
+//! * [`ColumnData::PackedInt`] — frame-of-reference bit-packing for integer
+//!   columns with a small value range: each value is stored as an unsigned
+//!   delta from the chunk minimum in 1/2/4/8/16 bits.
+//!
+//! The choice is a deterministic function of the chunk's rows, so
+//! [`ColumnarChunks::extend`] re-encoding only the tail chunk yields exactly
+//! the layouts a from-scratch build would. Columns that fit no compressed
+//! layout keep the plain vectors, and `Mixed` semantics are untouched.
 
 use crate::relation::Row;
 use crate::schema::Schema;
 use crate::value::Value;
+use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Chunks shorter than this are never worth encoding; the plain vectors win.
+const MIN_ENCODE_ROWS: usize = 16;
+
+/// A run-length encoded sequence: run `k` holds `values[k]` and covers the
+/// row range `[ends[k-1], ends[k])` (with an implicit `ends[-1] == 0`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Runs<T> {
+    values: Vec<T>,
+    ends: Vec<u32>,
+}
+
+impl<T: Copy + PartialEq> Runs<T> {
+    /// Build runs from a dense slice of per-row values.
+    pub fn from_values(vals: &[T]) -> Self {
+        debug_assert!(vals.len() <= u32::MAX as usize);
+        let mut values = Vec::new();
+        let mut ends = Vec::new();
+        for (i, v) in vals.iter().enumerate() {
+            if values.last() != Some(v) {
+                if !values.is_empty() {
+                    ends.push(i as u32);
+                }
+                values.push(*v);
+            }
+        }
+        if !values.is_empty() {
+            ends.push(vals.len() as u32);
+        }
+        Runs { values, ends }
+    }
+
+    /// Number of rows covered by all runs.
+    pub fn len(&self) -> usize {
+        self.ends.last().map_or(0, |&e| e as usize)
+    }
+
+    /// True when no rows are covered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value covering row `i` (chunk-relative).
+    #[inline]
+    pub fn value_at(&self, i: usize) -> T {
+        let k = self.ends.partition_point(|&e| e as usize <= i);
+        self.values[k]
+    }
+
+    /// Iterate the runs as `(start, end, value)` triples in row order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, T)> + '_ {
+        self.values
+            .iter()
+            .zip(self.ends.iter())
+            .scan(0usize, |start, (&v, &e)| {
+                let s = *start;
+                *start = e as usize;
+                Some((s, e as usize, v))
+            })
+    }
+
+    /// The distinct run values in row order.
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<T>() + self.ends.len() * 4
+    }
+}
+
+/// Frame-of-reference bit-packed integers: each value is stored as an
+/// unsigned delta from `base` in `width` bits (1, 2, 4, 8 or 16 — widths
+/// that divide 64, so no value straddles a word boundary).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedInts {
+    base: i64,
+    width: u32,
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl PackedInts {
+    /// Pack `vals` relative to `base`; every `v - base` must fit `width` bits.
+    pub fn pack(vals: impl ExactSizeIterator<Item = i64>, base: i64, width: u32) -> Self {
+        debug_assert!(matches!(width, 1 | 2 | 4 | 8 | 16));
+        let len = vals.len();
+        let per = (64 / width) as usize;
+        let mut words = vec![0u64; len.div_ceil(per)];
+        for (i, v) in vals.enumerate() {
+            let delta = (v - base) as u64;
+            debug_assert!(delta < (1u64 << width));
+            words[i / per] |= delta << ((i % per) as u32 * width);
+        }
+        PackedInts {
+            base,
+            width,
+            len,
+            words,
+        }
+    }
+
+    /// The frame-of-reference base (the chunk minimum).
+    pub fn base(&self) -> i64 {
+        self.base
+    }
+
+    /// Bits per value.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of packed values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no values are packed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed words (little-endian lane order within each word).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The value at row `i` (chunk-relative).
+    #[inline]
+    pub fn get(&self, i: usize) -> i64 {
+        let per = (64 / self.width) as usize;
+        let lane = (i % per) as u32;
+        let mask = (1u64 << self.width) - 1;
+        self.base + ((self.words[i / per] >> (lane * self.width)) & mask) as i64
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
 
 /// Typed storage of one column within one chunk.
 #[derive(Debug, Clone)]
@@ -37,6 +205,69 @@ pub enum ColumnData {
     /// Mixed-type column (e.g. `Int` and `Float` rows in one column): kept as
     /// plain values so the engine falls back to `Value` comparison semantics.
     Mixed(Vec<Value>),
+    /// Run-length encoded integer column. NULL rows merge into the
+    /// surrounding run (check the null bitmap); a leading NULL carries the
+    /// first non-null value.
+    RleInt(Runs<i64>),
+    /// Frame-of-reference bit-packed integer column (NULL rows pack as the
+    /// base; check the null bitmap).
+    PackedInt(PackedInts),
+    /// Run-length encoding over the sorted dictionary codes of a
+    /// low-cardinality string column. NULL rows merge into the surrounding
+    /// run (check the null bitmap).
+    RleDict {
+        /// Sorted distinct strings of the chunk.
+        dict: Vec<String>,
+        /// Run-length encoded codes indexing into `dict`.
+        runs: Runs<u32>,
+    },
+}
+
+impl ColumnData {
+    /// A short stable name of the physical layout, for plans and benchmarks.
+    pub fn encoding_name(&self) -> &'static str {
+        match self {
+            ColumnData::Int(_) => "int",
+            ColumnData::Float(_) => "float",
+            ColumnData::Dict { .. } => "dict",
+            ColumnData::Bool(_) => "bool",
+            ColumnData::Mixed(_) => "mixed",
+            ColumnData::RleInt(_) => "rle-int",
+            ColumnData::PackedInt(_) => "packed-int",
+            ColumnData::RleDict { .. } => "rle-dict",
+        }
+    }
+
+    /// True for the compressed layouts (RLE / bit-packed).
+    pub fn is_encoded(&self) -> bool {
+        matches!(
+            self,
+            ColumnData::RleInt(_) | ColumnData::PackedInt(_) | ColumnData::RleDict { .. }
+        )
+    }
+
+    /// Approximate heap footprint in bytes (dictionary strings included).
+    pub fn approx_bytes(&self) -> usize {
+        let dict_bytes = |dict: &[String]| dict.iter().map(|s| s.len() + 24).sum::<usize>();
+        match self {
+            ColumnData::Int(v) => v.len() * 8,
+            ColumnData::Float(v) => v.len() * 8,
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Dict { dict, codes } => dict_bytes(dict) + codes.len() * 4,
+            ColumnData::Mixed(v) => {
+                v.len() * std::mem::size_of::<Value>()
+                    + v.iter()
+                        .map(|val| match val {
+                            Value::Str(s) => s.len(),
+                            _ => 0,
+                        })
+                        .sum::<usize>()
+            }
+            ColumnData::RleInt(runs) => runs.approx_bytes(),
+            ColumnData::PackedInt(p) => p.approx_bytes(),
+            ColumnData::RleDict { dict, runs } => dict_bytes(dict) + runs.approx_bytes(),
+        }
+    }
 }
 
 /// One column of one chunk: typed data plus a null bitmap.
@@ -73,6 +304,31 @@ impl ColumnVector {
     pub fn null_words(&self) -> Option<&[u64]> {
         self.nulls.as_deref()
     }
+
+    /// Decode row `i` (chunk-relative) back to a [`Value`] — NULL-aware, so
+    /// encoding placeholders are never observable.
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Dict { dict, codes } => Value::Str(dict[codes[i] as usize].clone()),
+            ColumnData::Mixed(v) => v[i].clone(),
+            ColumnData::RleInt(runs) => Value::Int(runs.value_at(i)),
+            ColumnData::PackedInt(p) => Value::Int(p.get(i)),
+            ColumnData::RleDict { dict, runs } => {
+                Value::Str(dict[runs.value_at(i) as usize].clone())
+            }
+        }
+    }
+
+    /// Approximate heap footprint in bytes (null bitmap included).
+    pub fn approx_bytes(&self) -> usize {
+        self.data.approx_bytes() + self.nulls.as_ref().map_or(0, |w| w.len() * 8)
+    }
 }
 
 /// A contiguous run of rows (`[start, end)`) stored column-wise.
@@ -100,6 +356,19 @@ impl ColumnarChunk {
     pub fn column(&self, idx: usize) -> &ColumnVector {
         &self.columns[idx]
     }
+
+    /// Number of columns stored with a compressed layout in this chunk.
+    pub fn encoded_columns(&self) -> usize {
+        self.columns
+            .iter()
+            .filter(|c| c.data().is_encoded())
+            .count()
+    }
+
+    /// Approximate heap footprint of the chunk in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.approx_bytes()).sum()
+    }
 }
 
 /// The columnar projection of a whole table: one chunk per zone-map block.
@@ -111,16 +380,30 @@ impl ColumnarChunk {
 #[derive(Debug, Clone)]
 pub struct ColumnarChunks {
     block_size: usize,
+    encode: bool,
     chunks: Vec<Arc<ColumnarChunk>>,
 }
 
 impl ColumnarChunks {
     /// Build the projection over `rows` with `block_size` rows per chunk
-    /// (aligned with the table's zone-map blocks).
+    /// (aligned with the table's zone-map blocks), picking a compressed
+    /// layout per chunk-column where the stats heuristic pays off.
     pub fn build(schema: &Schema, rows: &[Row], block_size: usize) -> Self {
+        Self::build_inner(schema, rows, block_size, true)
+    }
+
+    /// Build the projection with compressed layouts disabled: every column
+    /// keeps the plain typed vectors. Used as the decode oracle in
+    /// equivalence tests and benchmarks.
+    pub fn build_plain(schema: &Schema, rows: &[Row], block_size: usize) -> Self {
+        Self::build_inner(schema, rows, block_size, false)
+    }
+
+    fn build_inner(schema: &Schema, rows: &[Row], block_size: usize, encode: bool) -> Self {
         assert!(block_size > 0, "chunk size must be positive");
         let mut out = ColumnarChunks {
             block_size,
+            encode,
             chunks: Vec::with_capacity(rows.len().div_ceil(block_size)),
         };
         out.append_chunks(schema, rows, 0);
@@ -131,7 +414,8 @@ impl ColumnarChunks {
     /// is the row count it was built over. The (possibly partial) last chunk
     /// is re-encoded and new tail chunks are added; untouched chunks are
     /// shared with the previous projection. The result is value-identical to
-    /// a from-scratch [`ColumnarChunks::build`] over all `rows`.
+    /// a from-scratch [`ColumnarChunks::build`] over all `rows` — including
+    /// the compressed-layout choices, which depend only on chunk contents.
     pub fn extend(&mut self, schema: &Schema, rows: &[Row], covered: usize) {
         assert!(covered <= rows.len(), "extend cannot shrink a projection");
         let rebuilt_from = covered - (covered % self.block_size);
@@ -147,7 +431,7 @@ impl ColumnarChunks {
         while start < rows.len() {
             let end = (start + self.block_size).min(rows.len());
             let columns = (0..arity)
-                .map(|c| build_column(&rows[start..end], c))
+                .map(|c| build_column(&rows[start..end], c, self.encode))
                 .collect();
             self.chunks.push(Arc::new(ColumnarChunk {
                 start,
@@ -172,10 +456,31 @@ impl ColumnarChunks {
     pub fn chunk_for(&self, rid: usize) -> Option<&ColumnarChunk> {
         self.chunks.get(rid / self.block_size).map(Arc::as_ref)
     }
+
+    /// Approximate heap footprint of the whole projection in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.approx_bytes()).sum()
+    }
+
+    /// Per-encoding chunk counts for schema column `col` — e.g.
+    /// `{"rle-int": 3, "packed-int": 9}`. Used by `EXPLAIN` output and the
+    /// scan microbenchmark to report the layouts actually chosen.
+    pub fn column_encoding_counts(&self, col: usize) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for chunk in &self.chunks {
+            *counts
+                .entry(chunk.column(col).data().encoding_name())
+                .or_insert(0) += 1;
+        }
+        counts
+    }
 }
 
-/// Classify and pack one column of a row slice.
-fn build_column(rows: &[Row], col: usize) -> ColumnVector {
+/// Classify and pack one column of a row slice. With `encode` set, integer
+/// and dictionary columns additionally go through the compressed-layout
+/// heuristic; the choice is a pure function of `rows`, which keeps
+/// [`ColumnarChunks::extend`] equivalent to a fresh build.
+fn build_column(rows: &[Row], col: usize, encode: bool) -> ColumnVector {
     #[derive(PartialEq, Clone, Copy)]
     enum Kind {
         Unknown,
@@ -219,14 +524,7 @@ fn build_column(rows: &[Row], col: usize) -> ColumnVector {
     };
 
     let data = match kind {
-        Kind::Int => ColumnData::Int(
-            rows.iter()
-                .map(|r| match &r[col] {
-                    Value::Int(i) => *i,
-                    _ => 0, // NULL placeholder; masked by the bitmap
-                })
-                .collect(),
-        ),
+        Kind::Int => encode_int_column(rows, col, encode),
         Kind::Float => ColumnData::Float(
             rows.iter()
                 .map(|r| match &r[col] {
@@ -253,7 +551,7 @@ fn build_column(rows: &[Row], col: usize) -> ColumnVector {
                 .collect();
             dict.sort_unstable();
             dict.dedup();
-            let codes = rows
+            let codes: Vec<u32> = rows
                 .iter()
                 .map(|r| match &r[col] {
                     Value::Str(s) => dict
@@ -262,7 +560,7 @@ fn build_column(rows: &[Row], col: usize) -> ColumnVector {
                     _ => 0,
                 })
                 .collect();
-            ColumnData::Dict { dict, codes }
+            encode_dict_column(rows, col, dict, codes, encode)
         }
         // All-NULL columns pack as Mixed so every accessor stays trivial.
         Kind::Unknown | Kind::Mixed => {
@@ -271,6 +569,87 @@ fn build_column(rows: &[Row], col: usize) -> ColumnVector {
     };
 
     ColumnVector { nulls, data }
+}
+
+/// The compressed-layout heuristic for an all-Int (modulo NULLs) column:
+/// RLE when runs cover ≥4 rows on average, else frame-of-reference packing
+/// when the value range fits 16 bits or fewer, else the plain `i64` vector.
+fn encode_int_column(rows: &[Row], col: usize, encode: bool) -> ColumnData {
+    if encode && rows.len() >= MIN_ENCODE_ROWS && rows.len() <= u32::MAX as usize {
+        // Fill NULL rows forward so they merge into the surrounding run (a
+        // leading NULL takes the first non-null value); the null bitmap keeps
+        // them distinguishable.
+        let first = rows
+            .iter()
+            .find_map(|r| match &r[col] {
+                Value::Int(i) => Some(*i),
+                _ => None,
+            })
+            .expect("int column has a non-null value");
+        let mut filled = Vec::with_capacity(rows.len());
+        let (mut last, mut min, mut max) = (first, first, first);
+        for row in rows {
+            if let Value::Int(i) = &row[col] {
+                last = *i;
+                min = min.min(*i);
+                max = max.max(*i);
+            }
+            filled.push(last);
+        }
+        let runs = Runs::from_values(&filled);
+        if runs.run_count() * 4 <= rows.len() {
+            return ColumnData::RleInt(runs);
+        }
+        let range = max as i128 - min as i128;
+        for width in [1u32, 2, 4, 8, 16] {
+            if range < (1i128 << width) {
+                let vals = rows.iter().map(|r| match &r[col] {
+                    Value::Int(i) => *i,
+                    _ => min, // NULL placeholder; masked by the bitmap
+                });
+                return ColumnData::PackedInt(PackedInts::pack(vals, min, width));
+            }
+        }
+    }
+    ColumnData::Int(
+        rows.iter()
+            .map(|r| match &r[col] {
+                Value::Int(i) => *i,
+                _ => 0, // NULL placeholder; masked by the bitmap
+            })
+            .collect(),
+    )
+}
+
+/// The compressed-layout heuristic for a dictionary column: RLE over the
+/// order-preserving codes when runs cover ≥4 rows on average.
+fn encode_dict_column(
+    rows: &[Row],
+    col: usize,
+    dict: Vec<String>,
+    codes: Vec<u32>,
+    encode: bool,
+) -> ColumnData {
+    if encode && rows.len() >= MIN_ENCODE_ROWS && rows.len() <= u32::MAX as usize {
+        // Fill NULL rows forward over codes, mirroring the integer path.
+        let first = rows
+            .iter()
+            .position(|r| matches!(&r[col], Value::Str(_)))
+            .expect("str column has a non-null value");
+        let mut filled = Vec::with_capacity(rows.len());
+        let mut last = codes[first];
+        for (i, row) in rows.iter().enumerate() {
+            if !row[col].is_null() {
+                last = codes[i];
+            }
+            filled.push(last);
+        }
+        let runs = Runs::from_values(&filled);
+        if runs.run_count() * 4 <= rows.len() {
+            return ColumnData::RleDict { dict, runs };
+        }
+    }
+    ColumnData::Dict { dict, codes }
 }
 
 #[cfg(test)]
@@ -326,7 +705,8 @@ mod tests {
         let rows = rows(64);
         let c = ColumnarChunks::build(&schema(), &rows, 64);
         let chunk = &c.chunks()[0];
-        assert!(matches!(chunk.column(0).data(), ColumnData::Int(_)));
+        // Ascending ints with a small range pack frame-of-reference.
+        assert!(matches!(chunk.column(0).data(), ColumnData::PackedInt(_)));
         assert!(matches!(chunk.column(1).data(), ColumnData::Float(_)));
         assert!(matches!(chunk.column(2).data(), ColumnData::Dict { .. }));
         assert!(matches!(chunk.column(3).data(), ColumnData::Mixed(_)));
@@ -334,6 +714,15 @@ mod tests {
         assert!(chunk.column(0).is_null(0));
         assert!(!chunk.column(0).is_null(1));
         assert!(!chunk.column(1).has_nulls());
+    }
+
+    #[test]
+    fn build_plain_keeps_plain_vectors() {
+        let rows = rows(64);
+        let c = ColumnarChunks::build_plain(&schema(), &rows, 64);
+        let chunk = &c.chunks()[0];
+        assert!(matches!(chunk.column(0).data(), ColumnData::Int(_)));
+        assert_eq!(chunk.encoded_columns(), 0);
     }
 
     #[test]
@@ -362,7 +751,9 @@ mod tests {
         assert_eq!(c.chunks().len(), fresh.chunks().len());
         // The untouched full chunk is shared, not re-encoded.
         assert!(Arc::ptr_eq(&c.chunks()[0], &first_chunk));
-        // Every chunk decodes to the same values as a fresh build.
+        // Every chunk decodes to the same values as a fresh build — and the
+        // compressed-layout choices agree, since they are pure functions of
+        // the chunk rows.
         for (a, b) in c.chunks().iter().zip(fresh.chunks()) {
             assert_eq!((a.start, a.end), (b.start, b.end));
             for col in 0..4 {
@@ -374,6 +765,8 @@ mod tests {
                     (ColumnData::Float(x), ColumnData::Float(y)) => assert_eq!(x, y),
                     (ColumnData::Bool(x), ColumnData::Bool(y)) => assert_eq!(x, y),
                     (ColumnData::Mixed(x), ColumnData::Mixed(y)) => assert_eq!(x, y),
+                    (ColumnData::RleInt(x), ColumnData::RleInt(y)) => assert_eq!(x, y),
+                    (ColumnData::PackedInt(x), ColumnData::PackedInt(y)) => assert_eq!(x, y),
                     (
                         ColumnData::Dict {
                             dict: d1,
@@ -386,6 +779,13 @@ mod tests {
                     ) => {
                         assert_eq!(d1, d2);
                         assert_eq!(c1, c2);
+                    }
+                    (
+                        ColumnData::RleDict { dict: d1, runs: r1 },
+                        ColumnData::RleDict { dict: d2, runs: r2 },
+                    ) => {
+                        assert_eq!(d1, d2);
+                        assert_eq!(r1, r2);
                     }
                     (x, y) => panic!("chunk column kind diverged: {x:?} vs {y:?}"),
                 }
@@ -405,5 +805,128 @@ mod tests {
                 assert!(col.is_null(i));
             }
         }
+    }
+
+    #[test]
+    fn runny_ints_pick_rle_and_nulls_merge_into_runs() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        // Three long runs with NULLs sprinkled inside the middle one.
+        let rows: Vec<Row> = (0..90)
+            .map(|i| {
+                if i % 13 == 7 && (30..60).contains(&i) {
+                    vec![Value::Null]
+                } else {
+                    vec![Value::Int((i / 30) as i64 * 10)]
+                }
+            })
+            .collect();
+        let c = ColumnarChunks::build(&schema, &rows, 90);
+        let col = c.chunks()[0].column(0);
+        let ColumnData::RleInt(runs) = col.data() else {
+            panic!("expected RLE, got {}", col.data().encoding_name());
+        };
+        assert_eq!(runs.run_count(), 3);
+        assert_eq!(runs.len(), 90);
+        // Decoding is NULL-aware and placeholder-free.
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(col.value(i), row[0]);
+        }
+        assert_eq!(runs.value_at(0), 0);
+        assert_eq!(runs.value_at(45), 10);
+        assert_eq!(runs.value_at(89), 20);
+    }
+
+    #[test]
+    fn small_range_ints_pick_frame_of_reference_packing() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        let rows: Vec<Row> = (0..64)
+            .map(|i| vec![Value::Int(1000 + (i as i64 * 7) % 13)])
+            .collect();
+        let c = ColumnarChunks::build(&schema, &rows, 64);
+        let col = c.chunks()[0].column(0);
+        let ColumnData::PackedInt(p) = col.data() else {
+            panic!("expected packed, got {}", col.data().encoding_name());
+        };
+        assert_eq!(p.base(), 1000);
+        assert_eq!(p.width(), 4);
+        assert_eq!(p.len(), 64);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(col.value(i), row[0]);
+            assert_eq!(Value::Int(p.get(i)), row[0]);
+        }
+        // 4 bits per value: 64 values fit 4 words instead of 64.
+        assert_eq!(p.words().len(), 4);
+        assert!(col.approx_bytes() < 64 * 8);
+    }
+
+    #[test]
+    fn short_and_wide_columns_stay_plain() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        // Below MIN_ENCODE_ROWS: plain even though perfectly runny.
+        let short: Vec<Row> = (0..8).map(|_| vec![Value::Int(1)]).collect();
+        let c = ColumnarChunks::build(&schema, &short, 8);
+        assert!(matches!(c.chunks()[0].column(0).data(), ColumnData::Int(_)));
+        // Wide range, no runs: plain.
+        let wide: Vec<Row> = (0..64)
+            .map(|i| vec![Value::Int(i as i64 * 1_000_000)])
+            .collect();
+        let c = ColumnarChunks::build(&schema, &wide, 64);
+        assert!(matches!(c.chunks()[0].column(0).data(), ColumnData::Int(_)));
+    }
+
+    #[test]
+    fn low_cardinality_strings_pick_rle_dict() {
+        let schema = Schema::from_pairs(&[("s", DataType::Str)]);
+        let rows: Vec<Row> = (0..80)
+            .map(|i| {
+                if i == 40 {
+                    vec![Value::Null]
+                } else {
+                    vec![Value::Str(if i < 40 { "aa" } else { "bb" }.to_string())]
+                }
+            })
+            .collect();
+        let c = ColumnarChunks::build(&schema, &rows, 80);
+        let col = c.chunks()[0].column(0);
+        let ColumnData::RleDict { dict, runs } = col.data() else {
+            panic!("expected rle-dict, got {}", col.data().encoding_name());
+        };
+        assert_eq!(dict, &["aa".to_string(), "bb".to_string()]);
+        // The NULL at row 40 merges into the preceding "aa" run.
+        assert_eq!(runs.run_count(), 2);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(col.value(i), row[0]);
+        }
+    }
+
+    #[test]
+    fn encoding_counts_and_footprint() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int)]);
+        let rows: Vec<Row> = (0..200).map(|i| vec![Value::Int(i as i64 % 10)]).collect();
+        let enc = ColumnarChunks::build(&schema, &rows, 50);
+        let plain = ColumnarChunks::build_plain(&schema, &rows, 50);
+        let counts = enc.column_encoding_counts(0);
+        assert_eq!(counts.values().sum::<usize>(), 4);
+        assert!(counts.contains_key("packed-int"), "counts: {counts:?}");
+        assert!(enc.approx_bytes() < plain.approx_bytes());
+        assert_eq!(plain.column_encoding_counts(0)["int"], 4);
+    }
+
+    #[test]
+    fn runs_accessors_are_consistent() {
+        let runs = Runs::from_values(&[5i64, 5, 5, 7, 7, 2]);
+        assert_eq!(runs.run_count(), 3);
+        assert_eq!(runs.len(), 6);
+        assert!(!runs.is_empty());
+        assert_eq!(
+            runs.iter().collect::<Vec<_>>(),
+            vec![(0, 3, 5), (3, 5, 7), (5, 6, 2)]
+        );
+        for i in 0..6 {
+            assert_eq!(runs.value_at(i), [5, 5, 5, 7, 7, 2][i]);
+        }
+        let empty: Runs<i64> = Runs::from_values(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.len(), 0);
     }
 }

@@ -5,7 +5,8 @@
 //!
 //! Run with: `cargo run --release --example explain`
 
-use pbds_core::algebra::{col, AggExpr, AggFunc, LogicalPlan, SortKey};
+use pbds_core::algebra::{col, lit, AggExpr, AggFunc, LogicalPlan, SortKey};
+use pbds_core::exec::estimate_scan_selectivity;
 use pbds_core::storage::{DataType, Database, Schema, TableBuilder, Value};
 use pbds_core::{Engine, EngineProfile, Pbds};
 
@@ -86,5 +87,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         row_path.relation.len(),
         row_path.stats.vectorized_scans
     );
+
+    // What do those columnar chunks actually hold? The build picks an
+    // encoding per chunk-column from cheap stats: run-length for runny ints
+    // (`grp` repeats each value 40 ways but in i%40 order — no runs, so it
+    // bit-packs), frame-of-reference packing for small-domain ints, plain
+    // vectors otherwise. The kernels above evaluated directly on these.
+    let table = pbds.db().table("t")?;
+    let chunks = table.columnar_chunks();
+    println!("\nper-column chunk encodings:");
+    for (i, c) in table.schema().columns().iter().enumerate() {
+        println!("  {:<8} {:?}", c.name, chunks.column_encoding_counts(i));
+    }
+
+    // A global aggregate directly above the scan never materializes rows at
+    // all: the scan→aggregate pushdown folds each selection bitmap straight
+    // into the accumulators (`agg_pushdown_blocks` counts the blocks).
+    let agg = LogicalPlan::scan("t")
+        .filter(col("v").lt(lit(500)))
+        .aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, col("v"), "total")]);
+    let pushed = columnar.execute(pbds.db(), &agg)?;
+    println!(
+        "\nscan+aggregate pushdown: total = {:?}, {} block(s) aggregated \
+         bitmap-driven, 0 rows materialized",
+        pushed.relation.value(0, "total").unwrap(),
+        pushed.stats.agg_pushdown_blocks
+    );
+
+    // Adaptive lowering: the engine predicts each filter's selectivity from
+    // table stats (and any observed stats fed back) and only takes the
+    // bitmap path when enough rows get filtered out to pay for the
+    // late-materialization pass. A filter that keeps every row is lowered
+    // back to the compiled row loop automatically.
+    let pred_all = col("v").ge(lit(0));
+    let pred_few = col("v").lt(lit(20));
+    for (name, pred) in [("keeps every row", pred_all), ("keeps ~2%", pred_few)] {
+        let est = estimate_scan_selectivity(table, &pred);
+        let out = columnar.execute(pbds.db(), &LogicalPlan::scan("t").filter(pred))?;
+        println!(
+            "adaptive lowering ({name}): estimated selectivity {:?} -> {}",
+            est,
+            if out.stats.vectorized_scans > 0 {
+                "vectorized bitmap scan"
+            } else {
+                "compiled row loop"
+            }
+        );
+    }
     Ok(())
 }

@@ -56,7 +56,14 @@ fn main() {
         sketch.selectivity(pbds.db()).unwrap() * 100.0
     );
 
-    // 5. Re-run the query with and without the sketch and compare.
+    // 5. Re-run the query with and without the sketch and compare. One
+    //    untimed warm-up of each path first: derived artifacts (the ordered
+    //    index, the columnar chunk projection) build lazily on first touch,
+    //    and that one-time cost would otherwise drown the steady-state
+    //    comparison.
+    pbds.execute(&query).expect("warm-up");
+    pbds.execute_with_sketches(&query, &captured.sketches)
+        .expect("warm-up");
     let plain = pbds.execute(&query).expect("plain execution");
     let skipped = pbds
         .execute_with_sketches(&query, &captured.sketches)

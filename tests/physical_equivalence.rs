@@ -218,12 +218,29 @@ fn random_db(seed: u64, rows: usize) -> Database {
     ]);
     let mut b = TableBuilder::new("r", schema);
     b.block_size(32).index("k");
+    // Runny, small-domain columns so the columnar build picks real encodings
+    // (RLE runs over `grp`, frame-of-reference packing over `k`/`v`, RLE over
+    // dict codes for `name`) and the oracle comparison below also covers the
+    // encoded kernels and the aggregation pushdown over them. Occasional
+    // NULLs exercise the null fix-up passes.
+    let mut grp = rng.gen_range(0..10i64);
+    let mut name = rng.gen_range(0..5u32);
     for i in 0..rows {
+        if rng.gen_range(0..5) == 0 {
+            grp = rng.gen_range(0..10);
+        }
+        if rng.gen_range(0..7) == 0 {
+            name = rng.gen_range(0..5);
+        }
         b.push(vec![
             Value::Int(i as i64),
-            Value::Int(rng.gen_range(0..10)),
-            Value::Int(rng.gen_range(-50..50)),
-            Value::from(format!("n{}", rng.gen_range(0..5))),
+            Value::Int(grp),
+            if rng.gen_range(0..30) == 0 {
+                Value::Null
+            } else {
+                Value::Int(rng.gen_range(-50..50))
+            },
+            Value::from(format!("n{name}")),
         ]);
     }
     let schema_s = Schema::from_pairs(&[("grp_id", DataType::Int), ("weight", DataType::Int)]);
@@ -332,6 +349,16 @@ fn pipeline_matches_direct_evaluation_on_every_query_and_profile() {
             }
         }
     }
+}
+
+/// The random fixture must actually hit the encoded kernels, or the oracle
+/// comparisons above prove nothing about them.
+#[test]
+fn random_db_produces_encoded_chunks() {
+    let db = random_db(0, 300);
+    let chunks = db.table("r").unwrap().columnar_chunks();
+    let encoded: usize = chunks.chunks().iter().map(|c| c.encoded_columns()).sum();
+    assert!(encoded > 0, "fixture produced no encoded chunk-columns");
 }
 
 #[test]
@@ -555,7 +582,16 @@ fn assert_paths_identical<P>(
     P::Tag: Send + PartialEq + std::fmt::Debug,
 {
     let run = |vectorized: bool| {
-        let opts = ExecOptions { vectorized };
+        // Adaptive lowering off: the A/B must pin each arm to its path so the
+        // vectorized arm really exercises the bitmap kernels and the
+        // scan→aggregate pushdown rather than adaptively re-picking the row
+        // loop (both arms of the adaptive decision are row/tag-identical by
+        // construction — this test is what proves it for each pinned path).
+        let opts = ExecOptions {
+            vectorized,
+            adaptive: false,
+            ..ExecOptions::default()
+        };
         let mut stats = ExecStats::default();
         let out = if workers > 1 {
             execute_logical_parallel_with(db, plan, profile, policy, workers, opts, &mut stats)
