@@ -1,0 +1,325 @@
+//! Sustained write throughput under group commit, with concurrent readers.
+//!
+//! PR 7 rebuilt the server write path around group commit: mutations enter a
+//! bounded ingest queue, a dedicated commit thread drains them into batches,
+//! and each batch pays **one** WAL append + fsync, **one** copy-on-write
+//! database fork and **one** atomic snapshot swap — so durability cost is
+//! amortized across every concurrently submitted mutation. This bench
+//! measures what that buys: `WRITERS` threads apply mutations as fast as
+//! acknowledgements allow while `READERS` threads serve a Zipf query stream
+//! against the same server, once with batching (`commit_batch_limit` at its
+//! default) and once with the per-mutation-fsync baseline
+//! (`commit_batch_limit: 1` — the pre-group-commit write path).
+//!
+//! Every reader asserts **epoch consistency** on every query: writers append
+//! rows in atomic blocks of [`ROWS_PER_MUTATION`] with `v = 1` into per-block
+//! groups, so each group's `SUM(v)` must always be a multiple of the block
+//! size — a reader observing a torn batch (some rows of an append visible,
+//! others not) fails immediately. After the batched phase the server is
+//! dropped without shutdown and reopened: the group-committed WAL must
+//! replay to the exact acknowledged state.
+//!
+//! Full runs record `BENCH_mutation.json`; `--quick` (CI) runs a smaller
+//! burst and gates on a conservative 2× speedup (full gate: 5× at 8
+//! writers, the PR's acceptance bar).
+//!
+//! Run with: `cargo bench --bench fig_mutation [-- --quick]`
+
+use pbds_algebra::{col, param, AggExpr, AggFunc, LogicalPlan, QueryTemplate};
+use pbds_bench::harness::TablePrinter;
+use pbds_core::{Mutation, PbdsServer, ServerConfig};
+use pbds_storage::{DataType, Database, Row, Schema, TableBuilder, Value};
+use pbds_workloads::stream::{zipf_stream, StreamSpec, TemplatePool};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Concurrent writer threads (the acceptance gate requires ≥ 8).
+const WRITERS: usize = 8;
+/// Concurrent Zipf reader threads.
+const READERS: usize = 4;
+/// Rows per mutation; the readers' consistency invariant checks that every
+/// group total is a multiple of this (appends are atomic or invisible).
+const ROWS_PER_MUTATION: i64 = 4;
+/// Distinct writer groups.
+const GROUPS: i64 = 50;
+/// Base rows per group (a multiple of [`ROWS_PER_MUTATION`]).
+const BASE_PER_GROUP: i64 = 40;
+
+/// `w(grp INT, v INT)`: [`GROUPS`] groups × [`BASE_PER_GROUP`] rows, `v = 1`.
+fn write_table_db() -> Database {
+    let schema = Schema::from_pairs(&[("grp", DataType::Int), ("v", DataType::Int)]);
+    let mut b = TableBuilder::new("w", schema);
+    b.block_size(256);
+    for g in 0..GROUPS {
+        for _ in 0..BASE_PER_GROUP {
+            b.push(vec![Value::Int(g), Value::Int(1)]);
+        }
+    }
+    let mut db = Database::new();
+    db.add_table(b.build());
+    db
+}
+
+/// The readers' template: per-group totals above a threshold.
+fn reader_pool() -> TemplatePool {
+    let template = QueryTemplate::new(
+        "w-having",
+        LogicalPlan::scan("w")
+            .aggregate(
+                vec!["grp"],
+                vec![AggExpr::new(AggFunc::Sum, col("v"), "total")],
+            )
+            .filter(col("total").gt(param(0))),
+    );
+    let bindings = (0..12)
+        .map(|i| vec![Value::Int(BASE_PER_GROUP - 8 + i * ROWS_PER_MUTATION)])
+        .collect();
+    TemplatePool::new(template, bindings)
+}
+
+struct PhaseResult {
+    label: &'static str,
+    mutations: u64,
+    elapsed: Duration,
+    rate: f64,
+    fsyncs: u64,
+    batched_commits: u64,
+    max_batch: u64,
+    reader_queries: u64,
+}
+
+/// Run one phase: `WRITERS` threads each applying `per_writer` mutations
+/// while `READERS` threads serve the Zipf stream in a loop, asserting the
+/// group-total invariant on every result. Returns the phase metrics and the
+/// final acknowledged rows of `w` (for the replay check).
+fn run_phase(
+    label: &'static str,
+    dir: &PathBuf,
+    config: ServerConfig,
+    per_writer: usize,
+) -> (PhaseResult, Vec<Row>, PbdsServer) {
+    let _ = std::fs::remove_dir_all(dir);
+    let server = PbdsServer::create(dir, Arc::new(write_table_db()), config).expect("create");
+    let server = Arc::new(server);
+    let stream = zipf_stream(
+        &[reader_pool()],
+        &StreamSpec {
+            queries: 400,
+            skew: 1.1,
+            seed: 23,
+        },
+    );
+    let stop = AtomicBool::new(false);
+    let reader_queries = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let server = Arc::clone(&server);
+            s.spawn(move || {
+                for i in 0..per_writer {
+                    let grp = ((w * per_writer + i) as i64) % GROUPS;
+                    let rows: Vec<Row> = (0..ROWS_PER_MUTATION)
+                        .map(|_| vec![Value::Int(grp), Value::Int(1)])
+                        .collect();
+                    server
+                        .apply_mutation("w", Mutation::Append(rows))
+                        .expect("append");
+                }
+            });
+        }
+        for _ in 0..READERS {
+            let server = Arc::clone(&server);
+            let stream = &stream;
+            let stop = &stop;
+            let reader_queries = &reader_queries;
+            s.spawn(move || {
+                let session = server.session();
+                'outer: loop {
+                    for (template, binding) in stream {
+                        if stop.load(Ordering::Relaxed) {
+                            break 'outer;
+                        }
+                        let served = session.serve(template, binding).expect("serve");
+                        // Epoch consistency: appends are atomic blocks of
+                        // ROWS_PER_MUTATION rows with v = 1, so every group
+                        // total the snapshot shows must be a whole number of
+                        // blocks. A torn batch breaks this instantly.
+                        for row in served.relation.rows() {
+                            let Value::Int(total) = row[1] else {
+                                panic!("unexpected total type in {row:?}");
+                            };
+                            assert_eq!(
+                                total % ROWS_PER_MUTATION,
+                                0,
+                                "torn append visible: group {:?} total {total}",
+                                row[0]
+                            );
+                        }
+                        reader_queries.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        // Writer threads exit on their own; scope waits for them. Readers
+        // poll `stop`, which flips once the writers' mutation count lands.
+        while server.commit_stats().mutations_committed < (WRITERS * per_writer) as u64 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = started.elapsed();
+    let stats = server.commit_stats();
+    assert_eq!(stats.mutations_committed, (WRITERS * per_writer) as u64);
+    let rows = server.db().table("w").unwrap().rows().to_vec();
+    let result = PhaseResult {
+        label,
+        mutations: stats.mutations_committed,
+        elapsed,
+        rate: stats.mutations_committed as f64 / elapsed.as_secs_f64(),
+        fsyncs: stats.fsyncs,
+        batched_commits: stats.batched_commits,
+        max_batch: stats.max_batch,
+        reader_queries: reader_queries.load(Ordering::Relaxed),
+    };
+    let server = Arc::into_inner(server).expect("all threads joined");
+    (result, rows, server)
+}
+
+fn write_json(path: &str, quick: bool, speedup: f64, phases: &[&PhaseResult]) {
+    let entries: Vec<String> = phases
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"phase\": \"{}\", \"writers\": {}, \"readers\": {}, \"mutations\": {}, \"elapsed_ms\": {:.3}, \"mutations_per_sec\": {:.1}, \"fsyncs\": {}, \"batched_commits\": {}, \"max_batch\": {}, \"reader_queries\": {}}}",
+                p.label,
+                WRITERS,
+                READERS,
+                p.mutations,
+                p.elapsed.as_secs_f64() * 1e3,
+                p.rate,
+                p.fsyncs,
+                p.batched_commits,
+                p.max_batch,
+                p.reader_queries
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"fig_mutation\",\n  \"workload\": \"concurrent appends + zipf readers\",\n  \"quick\": {quick},\n  \"speedup_vs_per_mutation_fsync\": {speedup:.2},\n  \"phases\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let per_writer = if quick { 75 } else { 400 };
+    let config = ServerConfig {
+        checkpoint_every: None, // keep every fsync attributable to the WAL
+        capture_workers: 2,
+        ..ServerConfig::default()
+    };
+    let base = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    eprintln!(
+        "== fig_mutation ({WRITERS} writers x {per_writer} mutations, {READERS} zipf readers{})",
+        if quick { ", --quick" } else { "" }
+    );
+
+    // Batched phase (group commit at the default batch limit), then the
+    // per-mutation-fsync baseline: the identical pipeline with batches of 1.
+    let (batched, acked_rows, server) = run_phase(
+        "batched",
+        &base.join("fig_mutation_batched"),
+        config,
+        per_writer,
+    );
+    drop(server); // crash, no shutdown: recovery must come from the WAL
+    let baseline_config = ServerConfig {
+        commit_batch_limit: 1,
+        ..config
+    };
+    let (baseline, _, server) = run_phase(
+        "per-mutation-fsync",
+        &base.join("fig_mutation_baseline"),
+        baseline_config,
+        per_writer,
+    );
+    drop(server);
+
+    // The batched WAL replays to the exact acknowledged state.
+    let reopened = PbdsServer::open(&base.join("fig_mutation_batched"), config).expect("open");
+    let replayed = reopened.recovery_report().expect("report").wal_replayed;
+    assert_eq!(
+        reopened.db().table("w").unwrap().rows(),
+        &acked_rows[..],
+        "group-committed WAL did not replay to the acknowledged state"
+    );
+    drop(reopened);
+
+    let speedup = batched.rate / baseline.rate;
+    let mut table = TablePrinter::new(&[
+        "phase",
+        "mutations",
+        "elapsed (ms)",
+        "mutations/s",
+        "fsyncs",
+        "batches",
+        "max batch",
+        "reader queries",
+    ]);
+    for p in [&batched, &baseline] {
+        table.row(vec![
+            p.label.to_string(),
+            p.mutations.to_string(),
+            format!("{:.1}", p.elapsed.as_secs_f64() * 1e3),
+            format!("{:.0}", p.rate),
+            p.fsyncs.to_string(),
+            p.batched_commits.to_string(),
+            p.max_batch.to_string(),
+            p.reader_queries.to_string(),
+        ]);
+    }
+    eprintln!("\n{}", table.render());
+    eprintln!(
+        "speedup {speedup:.2}x over per-mutation fsync; batched WAL replayed {replayed} records"
+    );
+
+    if quick {
+        eprintln!("--quick: skipping BENCH_mutation.json baseline update");
+    } else {
+        let out = format!("{}/../../BENCH_mutation.json", env!("CARGO_MANIFEST_DIR"));
+        write_json(&out, quick, speedup, &[&batched, &baseline]);
+    }
+
+    // The gate. Group commit must amortize fsyncs and clones across the
+    // concurrent writers; the quick bound is conservative for noisy CI.
+    assert!(
+        batched.max_batch > 1,
+        "group commit never batched: {}",
+        batched.max_batch
+    );
+    assert!(
+        batched.fsyncs < batched.mutations,
+        "batched phase paid one fsync per mutation ({} for {})",
+        batched.fsyncs,
+        batched.mutations
+    );
+    let required = if quick { 2.0 } else { 5.0 };
+    assert!(
+        speedup >= required,
+        "group commit speedup {speedup:.2}x below the {required}x gate \
+         (batched {:.0}/s vs baseline {:.0}/s)",
+        batched.rate,
+        baseline.rate
+    );
+    eprintln!(
+        "mutation gate passed: {speedup:.2}x >= {required}x at {WRITERS} writers, \
+         readers consistent"
+    );
+}

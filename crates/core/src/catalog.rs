@@ -43,7 +43,7 @@ use crate::safety::{PartitionAttr, SafetyChecker};
 use pbds_algebra::QueryTemplate;
 use pbds_persist::{PersistedCatalog, PersistedCatalogEntry};
 use pbds_provenance::ProvenanceSketch;
-use pbds_storage::{Database, Partition, PartitionRef, RangePartition, Row, Value};
+use pbds_storage::{Database, Partition, PartitionRef, RangePartition, Row, Schema, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -93,10 +93,91 @@ pub struct CatalogStats {
     /// Entries invalidated by table mutations (unmaintainable on append,
     /// epoch gap, or stale at insert time).
     pub invalidated: u64,
+    /// Coalesced mutation deltas processed by catalog maintenance
+    /// ([`SketchCatalog::apply_deltas`] and the per-mutation hooks). Under
+    /// group commit this grows by the number of *coalesced* deltas per
+    /// batch, not the number of mutations — `mutations ≫ maintenance_deltas`
+    /// is the batching win made visible.
+    pub maintenance_deltas: u64,
     /// Number of stored sketch entries.
     pub stored: usize,
     /// Total approximate bytes of stored sketches.
     pub bytes: usize,
+}
+
+/// One coalesced table-level mutation delta of a commit batch, for
+/// [`SketchCatalog::apply_deltas`]. The group-commit thread merges a batch's
+/// per-mutation effects into at most a few of these per table (consecutive
+/// appends collapse into one `Append` covering the combined rows) so the
+/// catalog walks its shards once per batch instead of once per mutation.
+#[derive(Debug, Clone)]
+pub enum CatalogDelta {
+    /// Rows appended to `table`: entries maintained to `prev_epoch` are
+    /// extended over the appended rows and advance to `new_epoch`; entries
+    /// with an epoch gap (or whose sketches cannot absorb a new row) are
+    /// dropped.
+    Append {
+        /// The mutated table.
+        table: String,
+        /// The table's *data* epoch before the append(s).
+        prev_epoch: u64,
+        /// The table's data epoch after the append(s).
+        new_epoch: u64,
+        /// The appended rows, when the producer had to materialize them
+        /// (e.g. a later delete in the same batch shifted the table's rows);
+        /// `None` means "read them from `range` of the post-batch table".
+        rows: Option<Vec<Row>>,
+        /// Row positions the append covers in the post-batch table (used
+        /// when `rows` is `None`).
+        range: std::ops::Range<usize>,
+    },
+    /// Rows deleted from `table`: entries maintained to `prev_epoch` stay
+    /// (still-safe supersets) and advance to `new_epoch`; entries with an
+    /// epoch gap are dropped. Cached partitions and statistics-derived
+    /// template metadata for the table are reset.
+    Delete {
+        /// The mutated table.
+        table: String,
+        /// The table's data epoch before the delete.
+        prev_epoch: u64,
+        /// The table's data epoch after the delete.
+        new_epoch: u64,
+    },
+}
+
+/// A [`CatalogDelta`] with its row payload resolved against the post-batch
+/// database (borrowed — nothing is cloned on the maintenance path).
+enum ResolvedDelta<'a> {
+    Append {
+        table: &'a str,
+        schema: &'a Schema,
+        prev_epoch: u64,
+        new_epoch: u64,
+        /// `None` when the rows could not be resolved: affected entries are
+        /// dropped instead of extended over unknown rows.
+        rows: Option<&'a [Row]>,
+    },
+    Delete {
+        table: &'a str,
+        prev_epoch: u64,
+        new_epoch: u64,
+    },
+}
+
+impl ResolvedDelta<'_> {
+    fn table(&self) -> &str {
+        match self {
+            ResolvedDelta::Append { table, .. } | ResolvedDelta::Delete { table, .. } => table,
+        }
+    }
+
+    fn new_epoch(&self) -> u64 {
+        match self {
+            ResolvedDelta::Append { new_epoch, .. } | ResolvedDelta::Delete { new_epoch, .. } => {
+                *new_epoch
+            }
+        }
+    }
 }
 
 /// One stored sketch set: the binding it was captured for plus the captured
@@ -234,6 +315,7 @@ pub struct SketchCatalog {
     memo_hits: AtomicU64,
     extended: AtomicU64,
     invalidated: AtomicU64,
+    maintenance_deltas: AtomicU64,
 }
 
 impl std::fmt::Debug for SketchCatalog {
@@ -273,6 +355,7 @@ impl SketchCatalog {
             memo_hits: AtomicU64::new(0),
             extended: AtomicU64::new(0),
             invalidated: AtomicU64::new(0),
+            maintenance_deltas: AtomicU64::new(0),
         }
     }
 
@@ -530,46 +613,13 @@ impl SketchCatalog {
     /// over unrelated tables keep their caches.
     pub fn on_append(&self, db: &Database, table: &str, new_rows: &[Row], prev_epoch: u64) {
         let Ok(t) = db.table(table) else { return };
-        let schema = t.schema();
-        let new_epoch = t.data_epoch();
-        self.table_epochs
-            .write()
-            .expect("table epochs poisoned")
-            .insert(table.to_string(), new_epoch);
-        let unaffected = self.templates_unaffected_by(table);
-        for shard in &self.shards {
-            let mut guard = shard.write().expect("catalog shard poisoned");
-            guard.version += 1;
-            guard.memo.retain(|(tkey, _), _| unaffected.contains(tkey));
-            let mut freed = 0usize;
-            let mut dropped = 0u64;
-            let mut extended = 0u64;
-            for entries in guard.entries.values_mut() {
-                entries.retain_mut(|e| {
-                    if !e.capture_epochs.contains_key(table) {
-                        return true; // entry does not sketch this table
-                    }
-                    let maintainable = e.capture_epochs.get(table) == Some(&prev_epoch)
-                        && e.sketches
-                            .iter_mut()
-                            .filter(|s| s.table() == table)
-                            .all(|s| s.extend_for_append(schema, new_rows));
-                    if maintainable {
-                        e.capture_epochs.insert(table.to_string(), new_epoch);
-                        extended += 1;
-                        true
-                    } else {
-                        freed += e.bytes;
-                        dropped += 1;
-                        false
-                    }
-                });
-            }
-            self.bytes.fetch_sub(freed, Ordering::Relaxed);
-            self.invalidated.fetch_add(dropped, Ordering::Relaxed);
-            self.extended.fetch_add(extended, Ordering::Relaxed);
-        }
-        self.reset_template_meta(table, false);
+        self.apply_resolved(&[ResolvedDelta::Append {
+            table,
+            schema: t.schema(),
+            prev_epoch,
+            new_epoch: t.data_epoch(),
+            rows: Some(new_rows),
+        }]);
     }
 
     /// Maintain the catalog across a delete from `table` (`db` is the
@@ -588,41 +638,160 @@ impl SketchCatalog {
     /// missed an earlier mutation (epoch gap) are dropped.
     pub fn on_delete(&self, db: &Database, table: &str, prev_epoch: u64) {
         let Ok(t) = db.table(table) else { return };
-        let new_epoch = t.data_epoch();
-        self.table_epochs
-            .write()
-            .expect("table epochs poisoned")
-            .insert(table.to_string(), new_epoch);
-        let unaffected = self.templates_unaffected_by(table);
+        self.apply_resolved(&[ResolvedDelta::Delete {
+            table,
+            prev_epoch,
+            new_epoch: t.data_epoch(),
+        }]);
+    }
+
+    /// Maintain the catalog across a whole **commit batch** of coalesced
+    /// mutation deltas in one pass: the table-epoch map, reuse memos, every
+    /// stored entry, cached partitions and per-template metadata are each
+    /// visited **once** for the batch instead of once per mutation, and
+    /// every entry is extended/advanced through the deltas *in order* — so a
+    /// sketch captured at the pre-batch epoch ends the pass stamped with the
+    /// post-batch epoch exactly as if [`SketchCatalog::on_append`] /
+    /// [`SketchCatalog::on_delete`] had run per mutation. `db` is the
+    /// **post-batch** database (deltas that reference appended rows by tail
+    /// range resolve against it). Deltas for tables `db` does not contain
+    /// are skipped, matching the per-mutation hooks.
+    pub fn apply_deltas(&self, db: &Database, deltas: &[CatalogDelta]) {
+        let resolved: Vec<ResolvedDelta<'_>> = deltas
+            .iter()
+            .filter_map(|d| match d {
+                CatalogDelta::Append {
+                    table,
+                    prev_epoch,
+                    new_epoch,
+                    rows,
+                    range,
+                } => {
+                    let t = db.table(table).ok()?;
+                    // A range that no longer addresses the post-batch table
+                    // (a later delete shifted rows and the producer failed to
+                    // materialize) resolves to `None`: affected entries are
+                    // dropped rather than extended over the wrong rows.
+                    let rows: Option<&[Row]> = match rows {
+                        Some(owned) => Some(owned.as_slice()),
+                        None => t.rows().get(range.clone()),
+                    };
+                    Some(ResolvedDelta::Append {
+                        table,
+                        schema: t.schema(),
+                        prev_epoch: *prev_epoch,
+                        new_epoch: *new_epoch,
+                        rows,
+                    })
+                }
+                CatalogDelta::Delete {
+                    table,
+                    prev_epoch,
+                    new_epoch,
+                } => {
+                    db.table(table).ok()?;
+                    Some(ResolvedDelta::Delete {
+                        table,
+                        prev_epoch: *prev_epoch,
+                        new_epoch: *new_epoch,
+                    })
+                }
+            })
+            .collect();
+        self.apply_resolved(&resolved);
+    }
+
+    /// Shared implementation of [`SketchCatalog::on_append`],
+    /// [`SketchCatalog::on_delete`] and [`SketchCatalog::apply_deltas`]:
+    /// one pass over the catalog applying each delta in order.
+    fn apply_resolved(&self, deltas: &[ResolvedDelta<'_>]) {
+        if deltas.is_empty() {
+            return;
+        }
+        self.maintenance_deltas
+            .fetch_add(deltas.len() as u64, Ordering::Relaxed);
+        {
+            let mut known = self.table_epochs.write().expect("table epochs poisoned");
+            for d in deltas {
+                known.insert(d.table().to_string(), d.new_epoch());
+            }
+        }
+        let affected: HashSet<&str> = deltas.iter().map(|d| d.table()).collect();
+        let deleted: HashSet<&str> = deltas
+            .iter()
+            .filter(|d| matches!(d, ResolvedDelta::Delete { .. }))
+            .map(|d| d.table())
+            .collect();
+        let unaffected = self.templates_unaffected_by_all(&affected);
         for shard in &self.shards {
             let mut guard = shard.write().expect("catalog shard poisoned");
             guard.version += 1;
             guard.memo.retain(|(tkey, _), _| unaffected.contains(tkey));
             let mut freed = 0usize;
             let mut dropped = 0u64;
+            let mut extended = 0u64;
             for entries in guard.entries.values_mut() {
                 entries.retain_mut(|e| {
-                    if !e.capture_epochs.contains_key(table) {
-                        return true;
+                    for d in deltas {
+                        let table = d.table();
+                        if !e.capture_epochs.contains_key(table) {
+                            continue; // entry does not sketch this table
+                        }
+                        let keep = match d {
+                            ResolvedDelta::Append {
+                                prev_epoch,
+                                new_epoch,
+                                schema,
+                                rows,
+                                ..
+                            } => {
+                                let maintainable = e.capture_epochs.get(table) == Some(prev_epoch)
+                                    && rows.is_some_and(|rows| {
+                                        e.sketches
+                                            .iter_mut()
+                                            .filter(|s| s.table() == table)
+                                            .all(|s| s.extend_for_append(schema, rows))
+                                    });
+                                if maintainable {
+                                    e.capture_epochs.insert(table.to_string(), *new_epoch);
+                                    extended += 1;
+                                }
+                                maintainable
+                            }
+                            ResolvedDelta::Delete {
+                                prev_epoch,
+                                new_epoch,
+                                ..
+                            } => {
+                                let current = e.capture_epochs.get(table) == Some(prev_epoch);
+                                if current {
+                                    e.capture_epochs.insert(table.to_string(), *new_epoch);
+                                }
+                                current
+                            }
+                        };
+                        if !keep {
+                            freed += e.bytes;
+                            dropped += 1;
+                            return false;
+                        }
                     }
-                    if e.capture_epochs.get(table) == Some(&prev_epoch) {
-                        e.capture_epochs.insert(table.to_string(), new_epoch);
-                        true
-                    } else {
-                        freed += e.bytes;
-                        dropped += 1;
-                        false
-                    }
+                    true
                 });
             }
             self.bytes.fetch_sub(freed, Ordering::Relaxed);
             self.invalidated.fetch_add(dropped, Ordering::Relaxed);
+            self.extended.fetch_add(extended, Ordering::Relaxed);
         }
-        self.partitions
-            .write()
-            .expect("partition cache poisoned")
-            .retain(|(t, _), _| t != table);
-        self.reset_template_meta(table, true);
+        if !deleted.is_empty() {
+            self.partitions
+                .write()
+                .expect("partition cache poisoned")
+                .retain(|(t, _), _| !deleted.contains(t.as_str()));
+        }
+        for table in affected {
+            self.reset_template_meta(table, deleted.contains(table));
+        }
     }
 
     /// Clear memoized safe-attribute choices (they depend on table
@@ -642,13 +811,18 @@ impl SketchCatalog {
         }
     }
 
-    /// Template keys proven *not* to read `table` (their memoized reuse
-    /// outcomes survive a mutation of `table`); everything else — including
-    /// templates the catalog has no table set for — must be invalidated.
-    fn templates_unaffected_by(&self, table: &str) -> HashSet<String> {
+    /// Template keys proven *not* to read any of `tables` (their memoized
+    /// reuse outcomes survive a batch mutating those tables); everything
+    /// else — including templates the catalog has no table set for — must be
+    /// invalidated.
+    fn templates_unaffected_by_all(&self, tables: &HashSet<&str>) -> HashSet<String> {
         let meta = self.meta.lock().expect("catalog meta poisoned");
         meta.iter()
-            .filter(|(_, m)| m.tables.as_ref().is_some_and(|ts| !ts.contains(table)))
+            .filter(|(_, m)| {
+                m.tables
+                    .as_ref()
+                    .is_some_and(|ts| tables.iter().all(|t| !ts.contains(*t)))
+            })
             .map(|(k, _)| k.clone())
             .collect()
     }
@@ -860,6 +1034,7 @@ impl SketchCatalog {
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             extended: self.extended.load(Ordering::Relaxed),
             invalidated: self.invalidated.load(Ordering::Relaxed),
+            maintenance_deltas: self.maintenance_deltas.load(Ordering::Relaxed),
             stored: self.stored_sketches(),
             bytes: self.bytes.load(Ordering::Relaxed),
         }
@@ -1290,6 +1465,101 @@ mod tests {
             catalog.find_reusable(&db2, &t, &tight).is_some(),
             "a stale-snapshot lookup memoized its miss for fresh snapshots"
         );
+    }
+
+    #[test]
+    fn batched_deltas_match_sequential_maintenance() {
+        // Applying a coalesced batch of deltas in one pass must leave the
+        // catalog exactly as reusable as running the per-mutation hooks —
+        // including an append *followed by* a delete of the same table,
+        // where the append rows must be carried by value because the delete
+        // shifted the tail.
+        let db = sales_db();
+        let t = having_template();
+        let tight = vec![Value::Int(53_000)];
+
+        // Sequential reference: append then delete via the hooks.
+        let seq = SketchCatalog::default();
+        seq.insert(
+            &db,
+            &t,
+            &[Value::Int(50_000)],
+            capture_for(&db, &seq, 50_000),
+        );
+        let new_rows: Vec<Vec<Value>> = (0..10)
+            .map(|i| vec![Value::Int(i), Value::Int(500)])
+            .collect();
+        let db_seq = append_sales(&db, &seq, new_rows.clone());
+        let mut db_seq2 = db_seq.clone();
+        let prev_del = db_seq2.table("sales").unwrap().data_epoch();
+        db_seq2
+            .delete_where("sales", |r| r[1] == Value::Int(500))
+            .unwrap();
+        seq.on_delete(&db_seq2, "sales", prev_del);
+        assert!(seq.find_reusable(&db_seq2, &t, &tight).is_some());
+
+        // Batched: same mutations through one apply_deltas call.
+        let batched = SketchCatalog::default();
+        batched.insert(
+            &db,
+            &t,
+            &[Value::Int(50_000)],
+            capture_for(&db, &batched, 50_000),
+        );
+        let mut db2 = db.clone();
+        let prev_append = db2.table("sales").unwrap().data_epoch();
+        let old_len = db2.table("sales").unwrap().len();
+        db2.append_rows("sales", new_rows.clone()).unwrap();
+        let mid_epoch = db2.table("sales").unwrap().data_epoch();
+        let appended = db2.table("sales").unwrap().rows()[old_len..].to_vec();
+        db2.delete_where("sales", |r| r[1] == Value::Int(500))
+            .unwrap();
+        let final_epoch = db2.table("sales").unwrap().data_epoch();
+        batched.apply_deltas(
+            &db2,
+            &[
+                CatalogDelta::Append {
+                    table: "sales".into(),
+                    prev_epoch: prev_append,
+                    new_epoch: mid_epoch,
+                    rows: Some(appended), // materialized: the delete shifted the tail
+                    range: old_len..old_len + new_rows.len(),
+                },
+                CatalogDelta::Delete {
+                    table: "sales".into(),
+                    prev_epoch: mid_epoch,
+                    new_epoch: final_epoch,
+                },
+            ],
+        );
+        assert!(
+            batched.find_reusable(&db2, &t, &tight).is_some(),
+            "entry must ride an append+delete batch and stay reusable"
+        );
+        assert_eq!(batched.stats().invalidated, 0);
+        assert!(batched.stats().extended >= 1);
+        // The batch counted as two coalesced deltas, the sequential run too
+        // (one per hook call) — the *batching* win shows when many mutations
+        // coalesce into few deltas, which the server tests exercise.
+        assert_eq!(batched.stats().maintenance_deltas, 2);
+        // An entry that missed an epoch (gap) is dropped by a batch, too.
+        let gap = SketchCatalog::default();
+        gap.insert(
+            &db,
+            &t,
+            &[Value::Int(50_000)],
+            capture_for(&db, &gap, 50_000),
+        );
+        gap.apply_deltas(
+            &db2,
+            &[CatalogDelta::Delete {
+                table: "sales".into(),
+                prev_epoch: mid_epoch, // entry holds prev_append → gap
+                new_epoch: final_epoch,
+            }],
+        );
+        assert_eq!(gap.stats().invalidated, 1);
+        assert!(gap.find_reusable(&db2, &t, &tight).is_none());
     }
 
     #[test]

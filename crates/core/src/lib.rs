@@ -63,13 +63,16 @@ pub mod safety;
 pub mod server;
 pub mod tuning;
 
-pub use catalog::{CatalogConfig, CatalogImport, CatalogStats, ReusableSketches, SketchCatalog};
+pub use catalog::{
+    CatalogConfig, CatalogDelta, CatalogImport, CatalogStats, ReusableSketches, SketchCatalog,
+};
 pub use instrument::{apply_sketches, sketch_predicate, UsePredicateStyle};
 pub use pbds::{Pbds, PbdsError};
 pub use reuse::{ReuseChecker, ReuseResult};
 pub use safety::{PartitionAttr, SafetyChecker, SafetyResult};
 pub use server::{
-    Mutation, MutationOutcome, PbdsServer, PbdsSession, RecoveryReport, ServedQuery, ServerConfig,
+    CommitStats, Mutation, MutationOutcome, MutationTicket, PbdsServer, PbdsSession,
+    RecoveryReport, ServedQuery, ServerConfig,
 };
 pub use tuning::{
     cumulative_elapsed, estimate_selectivity, Action, QueryRecord, SelfTuningExecutor, Strategy,

@@ -24,21 +24,22 @@
 //! the query means, and the top-k runtime re-validation falls back to plain
 //! execution when a stored sketch turns out not to cover the new instance.
 
-use crate::catalog::SketchCatalog;
+use crate::catalog::{CatalogDelta, SketchCatalog};
 use crate::instrument::UsePredicateStyle;
 use crate::pbds::PbdsError;
 use crate::tuning::{estimate_selectivity, execute_with_reuse, Action, QueryRecord, Strategy};
 use pbds_algebra::{templatize, Expr, LogicalPlan, QueryTemplate};
 use pbds_exec::{CompiledExpr, Engine, EngineProfile};
 use pbds_persist::{
-    encode_op, read_catalog, read_snapshot, write_catalog, write_snapshot, MutationWal, WalOp,
-    WalOpRef, CATALOG_FILE, SNAPSHOT_FILE, WAL_FILE,
+    encode_op, read_catalog, read_snapshot, write_catalog, write_snapshot, MutationWal,
+    PersistError, WalOp, WalOpRef, CATALOG_FILE, SNAPSHOT_FILE, WAL_FILE,
 };
 use pbds_provenance::{capture_sketches_with_profile, CaptureConfig};
-use pbds_storage::{Database, PartitionRef, Relation, Row, Value};
+use pbds_storage::{Database, PartitionRef, Relation, Row, StorageError, Value};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
@@ -59,11 +60,20 @@ pub struct ServerConfig {
     pub scan_parallelism: usize,
     /// Automatic checkpoint policy for durable servers: after this many
     /// WAL-logged mutations the server checkpoints (snapshot + catalog
-    /// export + WAL truncation) on the mutator's thread, bounding both WAL
+    /// export + WAL truncation) on the commit thread, bounding both WAL
     /// growth and replay time. `None` disables the policy (checkpoints then
     /// happen only via [`PbdsServer::checkpoint`] /
     /// [`PbdsServer::shutdown`]). Ignored for in-memory servers.
     pub checkpoint_every: Option<usize>,
+    /// Capacity of the bounded mutation ingest queue
+    /// ([`PbdsServer::submit_mutation`]). When the queue is full, submitters
+    /// block — backpressure instead of unbounded memory growth.
+    pub ingest_queue_depth: usize,
+    /// Maximum mutations the commit thread folds into one group commit
+    /// (one WAL fsync + one copy-on-write fork + one snapshot swap). `1`
+    /// degenerates to the per-mutation-fsync write path (the baseline the
+    /// `fig_mutation` bench compares against).
+    pub commit_batch_limit: usize,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +88,8 @@ impl Default for ServerConfig {
             capture_workers: 1,
             scan_parallelism: 1,
             checkpoint_every: Some(256),
+            ingest_queue_depth: 1024,
+            commit_batch_limit: 128,
         }
     }
 }
@@ -98,26 +110,41 @@ struct CaptureTask {
     binding: Vec<Value>,
 }
 
-/// State shared between sessions, capture workers and mutators.
+/// State shared between sessions, capture workers, submitters and the
+/// commit thread.
 struct ServerShared {
-    /// The served database, swapped atomically by [`PbdsServer::apply_mutation`].
+    /// The served database, swapped atomically once per commit batch.
     /// Sessions and capture workers take an `Arc` snapshot per unit of work,
     /// so every query executes against one consistent database state.
     db: RwLock<Arc<Database>>,
-    /// Serializes mutators: the whole read-snapshot → copy-on-write → swap
-    /// cycle runs under this lock, so concurrent `apply_mutation` calls are
-    /// linearized and no update can be lost.
+    /// Serializes the commit thread's batch application against explicit
+    /// [`PbdsServer::checkpoint`] calls: the whole read-snapshot →
+    /// copy-on-write → swap cycle runs under this lock, so the snapshot a
+    /// checkpoint writes can never interleave with a half-applied batch.
     mutation_lock: Mutex<()>,
     catalog: Arc<SketchCatalog>,
     engine: Engine,
     config: ServerConfig,
+    /// Durability state; `None` for a purely in-memory server. Lives in the
+    /// shared state so the commit thread can append and checkpoint.
+    persist: Option<Mutex<Persistence>>,
     /// Capture tasks enqueued but not yet finished, with a condvar for
     /// [`PbdsServer::drain`].
     in_flight: Mutex<usize>,
     drained: Condvar,
+    /// Mutations submitted to the ingest queue but not yet completed, with a
+    /// condvar so [`PbdsServer::drain`] can also flush the write path.
+    backlog: Mutex<usize>,
+    backlog_drained: Condvar,
     /// Completed background captures and their cumulative wall-clock nanos.
     captures_done: AtomicU64,
     capture_nanos: AtomicU64,
+    /// Write-path counters (see [`CommitStats`]).
+    mutations_submitted: AtomicU64,
+    mutations_committed: AtomicU64,
+    batched_commits: AtomicU64,
+    fsyncs: AtomicU64,
+    max_batch: AtomicU64,
 }
 
 impl ServerShared {
@@ -132,6 +159,28 @@ impl ServerShared {
         if *n == 0 {
             self.drained.notify_all();
         }
+    }
+
+    fn writes_finished(&self, count: usize) {
+        let mut n = self.backlog.lock().expect("backlog poisoned");
+        *n -= count;
+        if *n == 0 {
+            self.backlog_drained.notify_all();
+        }
+    }
+
+    /// Checkpoint body for callers holding both the mutation lock and the
+    /// persistence state (the commit thread and [`PbdsServer::checkpoint`]).
+    fn checkpoint_with(&self, p: &mut Persistence) -> Result<(), PbdsError> {
+        let db = self.snapshot();
+        write_snapshot(&p.dir.join(SNAPSHOT_FILE), &db, p.next_seq - 1)?;
+        // Captures may land concurrently; the export is simply the set of
+        // entries present now. A capture finishing after the export is lost
+        // from *this* checkpoint — an optimization, never an answer.
+        write_catalog(&p.dir.join(CATALOG_FILE), &self.catalog.export())?;
+        p.wal.truncate()?;
+        p.since_checkpoint = 0;
+        Ok(())
     }
 }
 
@@ -155,6 +204,108 @@ pub struct MutationOutcome {
     pub epoch: u64,
     /// Rows appended or deleted.
     pub rows_affected: usize,
+    /// WAL sequence number the mutation was logged under. `None` on
+    /// in-memory servers and for no-op mutations (empty append, delete
+    /// matching nothing), which write no WAL record.
+    pub wal_seq: Option<u64>,
+    /// Number of mutations the commit batch that acknowledged this one
+    /// carried (all durable under the same fsync). `0` for mutations
+    /// short-circuited before the ingest queue.
+    pub batch_len: usize,
+}
+
+/// Write-path counters of a [`PbdsServer`] (see
+/// [`PbdsServer::commit_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Mutations accepted into the ingest queue (short-circuited no-ops are
+    /// not counted).
+    pub mutations_submitted: u64,
+    /// Mutations completed successfully by the commit thread.
+    pub mutations_committed: u64,
+    /// Commit batches that applied at least one mutation — `committed ≫
+    /// batched_commits` is group commit working.
+    pub batched_commits: u64,
+    /// WAL fsyncs issued (one per batch with at least one effective record;
+    /// `0` on in-memory servers).
+    pub fsyncs: u64,
+    /// Largest batch committed so far.
+    pub max_batch: u64,
+}
+
+/// Shared completion slot of one submitted mutation.
+struct TicketState {
+    done: Mutex<Option<Result<MutationOutcome, PbdsError>>>,
+    cv: Condvar,
+}
+
+impl TicketState {
+    fn new() -> Arc<TicketState> {
+        Arc::new(TicketState {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Complete the ticket; later completions (e.g. the panic backstop after
+    /// a normal completion) are ignored.
+    fn complete(&self, result: Result<MutationOutcome, PbdsError>) {
+        let mut slot = self.done.lock().expect("ticket poisoned");
+        if slot.is_none() {
+            *slot = Some(result);
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Result<MutationOutcome, PbdsError> {
+        let mut slot = self.done.lock().expect("ticket poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self.cv.wait(slot).expect("ticket poisoned");
+        }
+    }
+}
+
+/// Handle for a mutation submitted to the ingest queue
+/// ([`PbdsServer::submit_mutation`]). The mutation is acknowledged —
+/// durable on a durable server, visible to new snapshots — exactly when
+/// [`MutationTicket::wait`] returns `Ok`. Dropping the ticket without
+/// waiting is allowed; the mutation still commits.
+#[must_use = "a ticket resolves to the mutation's outcome; drop it only if you don't need acknowledgement"]
+pub struct MutationTicket {
+    state: Arc<TicketState>,
+}
+
+impl MutationTicket {
+    /// Block until the commit thread completes the mutation and return its
+    /// outcome. On `Ok`, the mutation is durable (durable servers) and
+    /// visible to every subsequently taken snapshot.
+    pub fn wait(self) -> Result<MutationOutcome, PbdsError> {
+        self.state.wait()
+    }
+
+    /// True once the mutation has been completed (successfully or not);
+    /// [`MutationTicket::wait`] will then return without blocking.
+    pub fn is_complete(&self) -> bool {
+        self.state.done.lock().expect("ticket poisoned").is_some()
+    }
+}
+
+impl std::fmt::Debug for MutationTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MutationTicket")
+            .field("complete", &self.is_complete())
+            .finish()
+    }
+}
+
+/// One queue entry: a mutation plus the ticket to complete.
+struct WriteRequest {
+    table: String,
+    mutation: Mutation,
+    ticket: Arc<TicketState>,
 }
 
 /// Durable state of a server opened over a durability directory.
@@ -187,8 +338,10 @@ pub struct PbdsServer {
     /// `None` once shut down; dropping the sender stops the workers.
     capture_tx: Option<Sender<CaptureTask>>,
     workers: Vec<JoinHandle<()>>,
-    /// Durability state; `None` for a purely in-memory server.
-    persist: Option<Mutex<Persistence>>,
+    /// Bounded ingest queue feeding the commit thread; dropping the sender
+    /// lets the commit thread drain what is queued and exit.
+    ingest_tx: Option<SyncSender<WriteRequest>>,
+    commit_thread: Option<JoinHandle<()>>,
     /// Set by [`PbdsServer::open`].
     recovery: Option<RecoveryReport>,
 }
@@ -214,16 +367,37 @@ impl PbdsServer {
         catalog: Arc<SketchCatalog>,
         config: ServerConfig,
     ) -> Self {
+        PbdsServer::build(db, catalog, config, None, None)
+    }
+
+    /// Assemble the shared state and spawn the capture workers and the
+    /// commit thread. All constructors funnel through here so the commit
+    /// thread always owns the (optional) durability state.
+    fn build(
+        db: Arc<Database>,
+        catalog: Arc<SketchCatalog>,
+        config: ServerConfig,
+        persist: Option<Persistence>,
+        recovery: Option<RecoveryReport>,
+    ) -> Self {
         let shared = Arc::new(ServerShared {
             db: RwLock::new(db),
             mutation_lock: Mutex::new(()),
             catalog,
             engine: Engine::new(config.profile).with_parallelism(config.scan_parallelism),
             config,
+            persist: persist.map(Mutex::new),
             in_flight: Mutex::new(0),
             drained: Condvar::new(),
+            backlog: Mutex::new(0),
+            backlog_drained: Condvar::new(),
             captures_done: AtomicU64::new(0),
             capture_nanos: AtomicU64::new(0),
+            mutations_submitted: AtomicU64::new(0),
+            mutations_committed: AtomicU64::new(0),
+            batched_commits: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
         });
         let (tx, rx) = channel::<CaptureTask>();
         let rx = Arc::new(Mutex::new(rx));
@@ -234,12 +408,18 @@ impl PbdsServer {
                 std::thread::spawn(move || capture_worker(&shared, &rx))
             })
             .collect();
+        let (ingest_tx, ingest_rx) = sync_channel::<WriteRequest>(config.ingest_queue_depth.max(1));
+        let commit_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || commit_loop(&shared, &ingest_rx))
+        };
         PbdsServer {
             shared,
             capture_tx: Some(tx),
             workers,
-            persist: None,
-            recovery: None,
+            ingest_tx: Some(ingest_tx),
+            commit_thread: Some(commit_thread),
+            recovery,
         }
     }
 
@@ -266,14 +446,18 @@ impl PbdsServer {
         }
         write_catalog(&dir.join(CATALOG_FILE), &Default::default())?;
         write_snapshot(&dir.join(SNAPSHOT_FILE), &db, 0)?;
-        let mut server = PbdsServer::new(db, config);
-        server.persist = Some(Mutex::new(Persistence {
-            dir: dir.to_path_buf(),
-            wal,
-            next_seq: 1,
-            since_checkpoint: 0,
-        }));
-        Ok(server)
+        Ok(PbdsServer::build(
+            db,
+            Arc::new(SketchCatalog::default()),
+            config,
+            Some(Persistence {
+                dir: dir.to_path_buf(),
+                wal,
+                next_seq: 1,
+                since_checkpoint: 0,
+            }),
+            None,
+        ))
     }
 
     /// Open a durable server from a durability directory written by
@@ -313,29 +497,34 @@ impl PbdsServer {
             // A record was logged only after the mutation succeeded in
             // memory, and replay starts from the same state, so replay
             // errors indicate corruption rather than a bad mutation.
-            let (_, maintenance) = mutate_database(&mut db, &table, mutation).map_err(|e| {
+            let (_, delta) = mutate_database(&mut db, &table, mutation).map_err(|e| {
                 pbds_persist::PersistError::corrupt(format!(
                     "WAL record {} does not replay: {e}",
                     record.seq
                 ))
             })?;
-            maintain_catalog(&catalog, &db, &table, &maintenance);
+            if let Some(delta) = delta {
+                catalog.apply_deltas(&db, &[delta]);
+            }
             next_seq = record.seq + 1;
             replayed += 1;
         }
-        let mut server = PbdsServer::with_catalog(Arc::new(db), catalog, config);
-        server.persist = Some(Mutex::new(Persistence {
-            dir: dir.to_path_buf(),
-            wal,
-            next_seq,
-            since_checkpoint: replayed,
-        }));
-        server.recovery = Some(RecoveryReport {
-            catalog_imported: import.imported,
-            catalog_dropped: import.dropped,
-            wal_replayed: replayed,
-        });
-        Ok(server)
+        Ok(PbdsServer::build(
+            Arc::new(db),
+            catalog,
+            config,
+            Some(Persistence {
+                dir: dir.to_path_buf(),
+                wal,
+                next_seq,
+                since_checkpoint: replayed,
+            }),
+            Some(RecoveryReport {
+                catalog_imported: import.imported,
+                catalog_dropped: import.dropped,
+                wal_replayed: replayed,
+            }),
+        ))
     }
 
     /// What [`PbdsServer::open`] recovered (`None` for servers not opened
@@ -346,7 +535,7 @@ impl PbdsServer {
 
     /// True when this server persists its state to a durability directory.
     pub fn is_durable(&self) -> bool {
-        self.persist.is_some()
+        self.shared.persist.is_some()
     }
 
     /// Checkpoint the durable state: write a snapshot of the current
@@ -370,36 +559,25 @@ impl PbdsServer {
     /// Checkpoint body; the caller must hold the mutation lock so the
     /// database cannot move between "snapshot written" and "WAL truncated".
     fn checkpoint_locked(&self) -> Result<(), PbdsError> {
-        let Some(persist) = &self.persist else {
+        let Some(persist) = &self.shared.persist else {
             return Err(PbdsError::NotDurable);
         };
         let mut p = persist.lock().expect("persistence state poisoned");
-        self.checkpoint_with(&mut p)
+        self.shared.checkpoint_with(&mut p)
     }
 
-    /// Checkpoint body for callers already holding both the mutation lock
-    /// and the persistence state.
-    fn checkpoint_with(&self, p: &mut Persistence) -> Result<(), PbdsError> {
-        let db = self.shared.snapshot();
-        write_snapshot(&p.dir.join(SNAPSHOT_FILE), &db, p.next_seq - 1)?;
-        // Captures may land concurrently; the export is simply the set of
-        // entries present now. A capture finishing after the export is lost
-        // from *this* checkpoint — an optimization, never an answer.
-        write_catalog(&p.dir.join(CATALOG_FILE), &self.shared.catalog.export())?;
-        p.wal.truncate()?;
-        p.since_checkpoint = 0;
-        Ok(())
-    }
-
-    /// Graceful shutdown: drain in-flight captures so their sketches make it
-    /// into the persisted catalog, checkpoint (durable servers), and stop
-    /// the worker pool. In-memory servers just drain and stop.
+    /// Graceful shutdown: flush the ingest queue (every acknowledged — and
+    /// even every merely submitted — mutation commits and, on durable
+    /// servers, reaches the WAL), drain in-flight captures so their sketches
+    /// make it into the persisted catalog, checkpoint (durable servers), and
+    /// stop the worker pool. In-memory servers just drain and stop. No
+    /// acknowledged-but-unflushed mutation can exist after this returns.
     pub fn shutdown(self) -> Result<(), PbdsError> {
         self.drain();
-        if self.persist.is_some() {
+        if self.shared.persist.is_some() {
             self.checkpoint()?;
         }
-        Ok(()) // dropping `self` joins the capture workers
+        Ok(()) // dropping `self` joins the commit thread and capture workers
     }
 
     /// The catalog this server reads and (through capture workers) writes.
@@ -419,82 +597,106 @@ impl PbdsServer {
     /// told to extend or invalidate its stored sketches, reuse memos,
     /// partitions and safe-attribute choices.
     ///
-    /// Mutations are serialized against each other, and against in-flight
-    /// session workers via database snapshots: the table is mutated
-    /// copy-on-write and the new database is swapped in atomically, so every
-    /// query — including ones running while the mutation lands — executes
-    /// against exactly one consistent state, and every query admitted after
-    /// `apply_mutation` returns observes the mutation. Serving therefore
-    /// stays linearizable: queries and mutations behave as if executed one
-    /// at a time in admission order.
+    /// This is [`PbdsServer::submit_mutation`] + [`MutationTicket::wait`]:
+    /// the mutation rides a group-commit batch with every concurrently
+    /// submitted mutation, and this call returns once that batch is durable
+    /// and visible. Serving stays linearizable: batches apply in submission
+    /// order, the new database is swapped in atomically once per batch, so
+    /// every query — including ones running while the batch lands —
+    /// executes against exactly one consistent state, and every query
+    /// admitted after `apply_mutation` returns observes the mutation.
     ///
-    /// On a durable server the mutation is also appended to the WAL and
-    /// fsynced **before** it becomes visible (or is reported to the caller),
-    /// so an acknowledged mutation survives a crash; when the automatic
-    /// checkpoint policy ([`ServerConfig::checkpoint_every`]) comes due, the
-    /// checkpoint runs on this call before it returns.
+    /// On a durable server the mutation is appended to the WAL and covered
+    /// by the batch's fsync **before** it becomes visible (or is reported to
+    /// the caller), so an acknowledged mutation survives a crash; when the
+    /// automatic checkpoint policy ([`ServerConfig::checkpoint_every`])
+    /// comes due, the commit thread checkpoints before acknowledging the
+    /// next batch.
     pub fn apply_mutation(
         &self,
         table: &str,
         mutation: Mutation,
     ) -> Result<MutationOutcome, PbdsError> {
-        let shared = &self.shared;
-        let _serialized = shared.mutation_lock.lock().expect("mutation lock poisoned");
-        let current = shared.snapshot();
-        let mut db = (*current).clone();
-        // Encode the WAL record body from the borrowed mutation before it is
-        // consumed — no clone of a bulk append's rows, and nothing is
-        // encoded at all on in-memory servers.
-        let wal_bytes = self.persist.as_ref().map(|_| {
-            encode_op(match &mutation {
-                Mutation::Append(rows) => WalOpRef::Append { table, rows },
-                Mutation::DeleteWhere(predicate) => WalOpRef::DeleteWhere { table, predicate },
-            })
-        });
-        let (outcome, maintenance) = mutate_database(&mut db, table, mutation)?;
-        // Write-ahead: the record must be durable before the mutation is
-        // visible to any session or acknowledged to the caller. On failure
-        // nothing is swapped in and the catalog is untouched.
-        let mut checkpoint_due = false;
-        if let (Some(persist), Some(bytes)) = (&self.persist, wal_bytes) {
-            let mut p = persist.lock().expect("persistence state poisoned");
-            let seq = p.next_seq;
-            if p.wal.append_encoded(seq, &bytes).is_err() {
-                // The WAL may be poisoned by an earlier failure (a torn
-                // append that could not be rolled back, or a checkpoint
-                // whose truncation died half way). A checkpoint is the
-                // recovery move in both cases: it persists every state the
-                // log was covering into the snapshot and rebuilds the log
-                // from scratch — after which this record can be appended.
-                // If even the checkpoint fails, the mutation is refused
-                // (nothing has become visible) and the next one retries.
-                self.checkpoint_with(&mut p)?;
-                p.wal.append_encoded(seq, &bytes)?;
-            }
-            p.next_seq += 1;
-            p.since_checkpoint += 1;
-            checkpoint_due = shared
-                .config
-                .checkpoint_every
-                .is_some_and(|n| p.since_checkpoint >= n);
+        self.submit_mutation(table, mutation).wait()
+    }
+
+    /// Submit a mutation to the bounded ingest queue and return immediately
+    /// with a [`MutationTicket`]. The dedicated commit thread drains the
+    /// queue into batches (up to [`ServerConfig::commit_batch_limit`] per
+    /// batch), applies each batch through one copy-on-write fork, appends
+    /// all of its WAL records under **one** fsync, advances the catalog with
+    /// the batch's coalesced deltas, swaps the new database in atomically,
+    /// and only then completes the tickets — so durability cost is
+    /// amortized across every concurrently submitted mutation. Pipelining
+    /// submissions (submit many, then wait) from a single thread batches
+    /// exactly like concurrent submitters do.
+    ///
+    /// No-op mutations (an empty append; and, decided at apply time, a
+    /// delete matching no rows) write no WAL record and bump no epoch.
+    /// Empty appends short-circuit here without entering the queue.
+    ///
+    /// Blocks only when the ingest queue is full (backpressure, see
+    /// [`ServerConfig::ingest_queue_depth`]).
+    pub fn submit_mutation(&self, table: &str, mutation: Mutation) -> MutationTicket {
+        let state = TicketState::new();
+        let ticket = MutationTicket {
+            state: Arc::clone(&state),
+        };
+        // Fix: an empty append cannot change any state — complete it here
+        // with no WAL record, no epoch bump and no queue round-trip. (The
+        // equivalent delete short-circuit needs the predicate evaluated
+        // against the batch-time state, so the commit thread decides it.)
+        if matches!(&mutation, Mutation::Append(rows) if rows.is_empty()) {
+            let result = self
+                .shared
+                .snapshot()
+                .table(table)
+                .map(|t| MutationOutcome {
+                    table: table.to_string(),
+                    epoch: t.data_epoch(),
+                    rows_affected: 0,
+                    wal_seq: None,
+                    batch_len: 0,
+                })
+                .map_err(PbdsError::from);
+            state.complete(result);
+            return ticket;
         }
-        maintain_catalog(&shared.catalog, &db, table, &maintenance);
-        *shared.db.write().expect("database lock poisoned") = Arc::new(db);
-        if checkpoint_due {
-            // Still under the mutation lock: the snapshot written here is
-            // exactly the state the just-logged record produced. The
-            // mutation itself is already durable and visible at this point,
-            // so a checkpoint failure must not be reported as a mutation
-            // failure (a retrying caller would double-apply); the WAL keeps
-            // the record and the next mutation retries the checkpoint.
-            if let Err(e) = self.checkpoint_locked() {
-                eprintln!(
-                    "pbds: automatic checkpoint failed ({e}); mutations remain \
-                     recoverable from the WAL and the checkpoint will be retried"
-                );
-            }
+        self.shared
+            .mutations_submitted
+            .fetch_add(1, Ordering::Relaxed);
+        *self.shared.backlog.lock().expect("backlog poisoned") += 1;
+        let request = WriteRequest {
+            table: table.to_string(),
+            mutation,
+            ticket: state,
+        };
+        let sent = match &self.ingest_tx {
+            Some(tx) => tx.send(request).map_err(|e| e.0),
+            None => Err(request),
+        };
+        if let Err(request) = sent {
+            // Only reachable mid-teardown: the commit thread is gone.
+            request
+                .ticket
+                .complete(Err(PbdsError::Persist(PersistError::Io(
+                    "commit thread unavailable (server shutting down)".into(),
+                ))));
+            self.shared.writes_finished(1);
         }
-        Ok(outcome)
+        ticket
+    }
+
+    /// Write-path counters: batches, fsyncs, largest batch. See
+    /// [`CommitStats`].
+    pub fn commit_stats(&self) -> CommitStats {
+        CommitStats {
+            mutations_submitted: self.shared.mutations_submitted.load(Ordering::Relaxed),
+            mutations_committed: self.shared.mutations_committed.load(Ordering::Relaxed),
+            batched_commits: self.shared.batched_commits.load(Ordering::Relaxed),
+            fsyncs: self.shared.fsyncs.load(Ordering::Relaxed),
+            max_batch: self.shared.max_batch.load(Ordering::Relaxed),
+        }
     }
 
     /// Open a session. Sessions are lightweight and `Send`; open one per
@@ -543,8 +745,17 @@ impl PbdsServer {
         Ok(merged.into_iter().map(|(_, q)| q).collect())
     }
 
-    /// Block until every enqueued capture task has finished.
+    /// Block until every submitted mutation has committed and every enqueued
+    /// capture task has finished.
     pub fn drain(&self) {
+        {
+            let guard = self.shared.backlog.lock().expect("backlog poisoned");
+            let _unused = self
+                .shared
+                .backlog_drained
+                .wait_while(guard, |n| *n > 0)
+                .expect("backlog poisoned");
+        }
         let guard = self.shared.in_flight.lock().expect("in_flight poisoned");
         let _unused = self
             .shared
@@ -564,7 +775,13 @@ impl PbdsServer {
 
 impl Drop for PbdsServer {
     fn drop(&mut self) {
-        // Closing the channel ends the worker loops once the queue is empty.
+        // Closing the ingest channel ends the commit loop once it has
+        // drained (and committed) every queued mutation; then closing the
+        // capture channel ends the worker loops once that queue is empty.
+        self.ingest_tx.take();
+        if let Some(commit) = self.commit_thread.take() {
+            let _unused = commit.join();
+        }
         self.capture_tx.take();
         for w in self.workers.drain(..) {
             let _unused = w.join();
@@ -689,49 +906,40 @@ impl PbdsSession<'_> {
     }
 }
 
-/// Catalog maintenance owed after a database mutation (computed by
-/// [`mutate_database`], applied by [`maintain_catalog`]). Split in two so a
-/// durable server can make the WAL record durable *between* mutating its
-/// copy-on-write database and touching the shared catalog.
-enum Maintenance {
-    /// Nothing changed (empty append / delete matching nothing).
-    None,
-    /// Rows were appended starting at `old_len`; the table's data epoch was
-    /// `prev_epoch` before the append.
-    Append { old_len: usize, prev_epoch: u64 },
-    /// Rows were deleted; the table's data epoch was `prev_epoch` before.
-    Delete { prev_epoch: u64 },
-}
-
 /// Apply a mutation to a database in place (no catalog, no WAL): the shared
-/// core of [`PbdsServer::apply_mutation`] and WAL replay, so a replayed
-/// record takes exactly the code path the live mutation took.
+/// core of the commit thread's batch application and WAL replay, so a
+/// replayed record takes exactly the code path the live mutation took.
+/// Returns the outcome (with the WAL fields unfilled — the commit thread
+/// stamps them once the batch's sequence numbers are durable) and the
+/// [`CatalogDelta`] the sketch catalog is owed, or `None` when nothing
+/// changed (empty append / delete matching nothing).
 fn mutate_database(
     db: &mut Database,
     table: &str,
     mutation: Mutation,
-) -> Result<(MutationOutcome, Maintenance), PbdsError> {
+) -> Result<(MutationOutcome, Option<CatalogDelta>), PbdsError> {
     let prev_epoch = db.table(table)?.data_epoch();
     match mutation {
         Mutation::Append(rows) => {
             let appended = rows.len();
             let old_len = db.table(table)?.len();
             let epoch = db.append_rows(table, rows)?;
-            let maintenance = if appended > 0 {
-                Maintenance::Append {
-                    old_len,
-                    prev_epoch,
-                }
-            } else {
-                Maintenance::None
-            };
+            let delta = (appended > 0).then(|| CatalogDelta::Append {
+                table: table.to_string(),
+                prev_epoch,
+                new_epoch: epoch,
+                rows: None,
+                range: old_len..old_len + appended,
+            });
             Ok((
                 MutationOutcome {
                     table: table.to_string(),
                     epoch,
                     rows_affected: appended,
+                    wal_seq: None,
+                    batch_len: 0,
                 },
-                maintenance,
+                delta,
             ))
         }
         Mutation::DeleteWhere(predicate) => {
@@ -752,41 +960,366 @@ fn mutate_database(
                 d
             })?;
             let epoch = db.table(table)?.data_epoch();
-            let maintenance = if deleted > 0 {
-                Maintenance::Delete { prev_epoch }
-            } else {
-                Maintenance::None
-            };
+            let delta = (deleted > 0).then(|| CatalogDelta::Delete {
+                table: table.to_string(),
+                prev_epoch,
+                new_epoch: epoch,
+            });
             Ok((
                 MutationOutcome {
                     table: table.to_string(),
                     epoch,
                     rows_affected: deleted,
+                    wal_seq: None,
+                    batch_len: 0,
                 },
-                maintenance,
+                delta,
             ))
         }
     }
 }
 
-/// Run the sketch-catalog maintenance owed for a mutation (`db` is the
-/// post-mutation database).
-fn maintain_catalog(
-    catalog: &SketchCatalog,
-    db: &Database,
-    table: &str,
-    maintenance: &Maintenance,
-) {
-    match *maintenance {
-        Maintenance::None => {}
-        Maintenance::Append {
-            old_len,
-            prev_epoch,
-        } => {
-            let t = db.table(table).expect("mutated table exists");
-            catalog.on_append(db, table, &t.rows()[old_len..], prev_epoch);
+/// An open run of consecutive appends to one table inside a commit batch,
+/// merged into a single epoch advance (appends to the same table commute
+/// with each other, so `k` queued appends cost one `invalidate_derived`
+/// and produce one [`CatalogDelta::Append`] instead of `k`).
+struct AppendRun {
+    /// Table length before the first append of the run.
+    old_len: usize,
+    /// Table data epoch before the first append of the run.
+    prev_epoch: u64,
+    /// `(pending index, rows in that append)` for every merged request, in
+    /// submission order — used to stamp per-request outcomes after the run
+    /// lands.
+    members: Vec<(usize, usize)>,
+    /// The queued row batches, in submission order.
+    batches: Vec<Vec<Row>>,
+}
+
+/// A submitted mutation travelling through a commit batch.
+struct PendingWrite {
+    ticket: Arc<TicketState>,
+    /// Set once the mutation has applied (or short-circuited); `Err` means
+    /// the request was rejected without touching any state.
+    result: Option<Result<MutationOutcome, PbdsError>>,
+    /// Encoded WAL record body, present on durable servers for every
+    /// mutation that actually changed state.
+    wal_bytes: Option<Vec<u8>>,
+}
+
+/// Commit-thread main loop: block for the next write, then greedily drain
+/// the queue (up to [`ServerConfig::commit_batch_limit`]) so every mutation
+/// that arrived while the previous batch was fsyncing rides the next batch
+/// — classic group commit. Exits when the ingest channel closes, after
+/// committing everything still queued.
+fn commit_loop(shared: &ServerShared, rx: &Receiver<WriteRequest>) {
+    let limit = shared.config.commit_batch_limit.max(1);
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while batch.len() < limit {
+            match rx.try_recv() {
+                Ok(req) => batch.push(req),
+                Err(_) => break,
+            }
         }
-        Maintenance::Delete { prev_epoch } => catalog.on_delete(db, table, prev_epoch),
+        let n = batch.len();
+        let tickets: Vec<Arc<TicketState>> = batch.iter().map(|r| Arc::clone(&r.ticket)).collect();
+        // Contain panics: a commit panic must not strand submitters on
+        // never-completed tickets or leave `backlog` counted forever.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| commit_batch(shared, batch)));
+        if outcome.is_err() {
+            eprintln!("pbds: commit batch panicked; failing its {n} mutation(s)");
+            for t in &tickets {
+                t.complete(Err(PbdsError::Persist(PersistError::Io(
+                    "commit batch panicked".into(),
+                ))));
+            }
+        }
+        shared.writes_finished(n);
+    }
+}
+
+/// Commit one batch of writes: one copy-on-write database fork, one WAL
+/// append + fsync covering every record, one catalog delta pass, one atomic
+/// swap, then ticket completion. Per-request validation failures (unknown
+/// table, arity mismatch, predicate type error) fail only that ticket; the
+/// rest of the batch commits. A WAL failure fails the whole batch and
+/// nothing becomes visible.
+fn commit_batch(shared: &ServerShared, batch: Vec<WriteRequest>) {
+    let _serialized = shared.mutation_lock.lock().expect("mutation lock poisoned");
+    let current = shared.snapshot();
+    let mut db = (*current).clone();
+    let durable = shared.persist.is_some();
+
+    let mut pending: Vec<PendingWrite> = Vec::with_capacity(batch.len());
+    let mut deltas: Vec<CatalogDelta> = Vec::new();
+    // Open append runs per table: consecutive appends to a table merge into
+    // one epoch advance. A delete on the table closes its run first (the
+    // delete shifts row indices, so the run's delta must materialize its
+    // rows before they move).
+    let mut runs: HashMap<String, AppendRun> = HashMap::new();
+
+    fn flush_run(
+        db: &mut Database,
+        runs: &mut HashMap<String, AppendRun>,
+        pending: &mut [PendingWrite],
+        deltas: &mut Vec<CatalogDelta>,
+        table: &str,
+        materialize_rows: bool,
+    ) {
+        let Some(run) = runs.remove(table) else {
+            return;
+        };
+        let total: usize = run.members.iter().map(|(_, n)| n).sum();
+        match db.append_row_batches(table, run.batches) {
+            Ok(epoch) => {
+                let new_len = run.old_len + total;
+                let rows = materialize_rows.then(|| {
+                    db.table(table).expect("appended table exists").rows()[run.old_len..new_len]
+                        .to_vec()
+                });
+                deltas.push(CatalogDelta::Append {
+                    table: table.to_string(),
+                    prev_epoch: run.prev_epoch,
+                    new_epoch: epoch,
+                    rows,
+                    range: run.old_len..new_len,
+                });
+                for (idx, appended) in run.members {
+                    pending[idx].result = Some(Ok(MutationOutcome {
+                        table: table.to_string(),
+                        epoch,
+                        rows_affected: appended,
+                        wal_seq: None,
+                        batch_len: 0,
+                    }));
+                }
+            }
+            Err(e) => {
+                // Every row was arity-checked before joining the run, and
+                // the table existed; only an unforeseen storage failure
+                // lands here. Fail the run's members, drop their WAL bytes.
+                for (idx, _) in run.members {
+                    pending[idx].result = Some(Err(PbdsError::Storage(e.clone())));
+                    pending[idx].wal_bytes = None;
+                }
+            }
+        }
+    }
+
+    for request in batch {
+        let WriteRequest {
+            table,
+            mutation,
+            ticket,
+        } = request;
+        let idx = pending.len();
+        pending.push(PendingWrite {
+            ticket,
+            result: None,
+            wal_bytes: None,
+        });
+        // Encode the WAL record body from the borrowed mutation before it
+        // is consumed — no clone of a bulk append's rows, and nothing is
+        // encoded at all on in-memory servers.
+        let wal_bytes = durable.then(|| {
+            encode_op(match &mutation {
+                Mutation::Append(rows) => WalOpRef::Append {
+                    table: &table,
+                    rows,
+                },
+                Mutation::DeleteWhere(predicate) => WalOpRef::DeleteWhere {
+                    table: &table,
+                    predicate,
+                },
+            })
+        });
+        match mutation {
+            Mutation::Append(rows) => {
+                // Validate now so a bad request fails alone; the actual
+                // append is deferred into the table's open run.
+                let (len, arity, prev_epoch) = match db.table(&table) {
+                    Ok(t) => (t.len(), t.schema().arity(), t.data_epoch()),
+                    Err(e) => {
+                        pending[idx].result = Some(Err(PbdsError::Storage(e)));
+                        continue;
+                    }
+                };
+                if let Some(bad) = rows.iter().find(|r| r.len() != arity) {
+                    pending[idx].result =
+                        Some(Err(PbdsError::Storage(StorageError::ArityMismatch {
+                            context: table.clone(),
+                            expected: arity,
+                            got: bad.len(),
+                        })));
+                    continue;
+                }
+                if rows.is_empty() {
+                    // No-op: no WAL record, no epoch bump, not part of any run.
+                    pending[idx].result = Some(Ok(MutationOutcome {
+                        table: table.clone(),
+                        epoch: prev_epoch,
+                        rows_affected: 0,
+                        wal_seq: None,
+                        batch_len: 0,
+                    }));
+                    continue;
+                }
+                pending[idx].wal_bytes = wal_bytes;
+                let run = runs.entry(table).or_insert(AppendRun {
+                    old_len: len,
+                    prev_epoch,
+                    members: Vec::new(),
+                    batches: Vec::new(),
+                });
+                run.members.push((idx, rows.len()));
+                run.batches.push(rows);
+            }
+            Mutation::DeleteWhere(_) => {
+                // The delete must observe the run's rows and will shift
+                // indices, so the table's open run lands first — with its
+                // delta rows materialized, since `range` would dangle.
+                flush_run(&mut db, &mut runs, &mut pending, &mut deltas, &table, true);
+                match mutate_database(&mut db, &table, mutation) {
+                    Ok((outcome, delta)) => {
+                        if delta.is_some() {
+                            // Only a delete that removed rows is logged.
+                            pending[idx].wal_bytes = wal_bytes;
+                            deltas.extend(delta);
+                        }
+                        pending[idx].result = Some(Ok(outcome));
+                    }
+                    Err(e) => pending[idx].result = Some(Err(e)),
+                }
+            }
+        }
+    }
+    let tables: Vec<String> = runs.keys().cloned().collect();
+    for table in tables {
+        flush_run(&mut db, &mut runs, &mut pending, &mut deltas, &table, false);
+    }
+
+    // Write-ahead: every surviving record must be durable before anything
+    // becomes visible or is acknowledged. One append, one fsync.
+    let logged = pending.iter().filter(|p| p.wal_bytes.is_some()).count();
+    let mut checkpoint_due = false;
+    if logged > 0 {
+        let persist = shared.persist.as_ref().expect("wal_bytes implies durable");
+        let mut p = persist.lock().expect("persistence state poisoned");
+        let base = p.next_seq;
+        let records: Vec<(u64, &[u8])> = pending
+            .iter()
+            .filter_map(|w| w.wal_bytes.as_deref())
+            .enumerate()
+            .map(|(i, bytes)| (base + i as u64, bytes))
+            .collect();
+        let mut appended = p.wal.append_batch(&records).map_err(PbdsError::from);
+        if appended.is_err() {
+            // The WAL may be poisoned by an earlier failure (a torn append
+            // that could not be rolled back, or a checkpoint whose
+            // truncation died half way). A checkpoint is the recovery move
+            // in both cases: it persists every state the log was covering
+            // into the snapshot and rebuilds the log from scratch — after
+            // which this batch can be appended. If even that fails, the
+            // whole batch is refused (nothing has become visible) and the
+            // next batch retries.
+            appended = shared
+                .checkpoint_with(&mut p)
+                .and_then(|()| p.wal.append_batch(&records).map_err(PbdsError::from));
+        }
+        match appended {
+            Ok(()) => {
+                shared.fsyncs.fetch_add(1, Ordering::Relaxed);
+                p.next_seq = base + logged as u64;
+                p.since_checkpoint += logged;
+                checkpoint_due = shared
+                    .config
+                    .checkpoint_every
+                    .is_some_and(|n| p.since_checkpoint >= n);
+                // Stamp each logged mutation's durable sequence number.
+                let mut seq = base;
+                for w in &mut pending {
+                    if w.wal_bytes.is_some() {
+                        if let Some(Ok(outcome)) = &mut w.result {
+                            outcome.wal_seq = Some(seq);
+                        }
+                        seq += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                // Nothing was swapped in and the catalog is untouched;
+                // refuse every mutation that needed the log. (No-ops and
+                // already-failed requests keep their results.)
+                for w in &mut pending {
+                    if w.wal_bytes.is_some() {
+                        w.result = Some(Err(e.clone()));
+                    }
+                }
+                for w in pending {
+                    let result = w.result.unwrap_or_else(|| {
+                        Err(PbdsError::Persist(PersistError::Io(
+                            "commit batch aborted".into(),
+                        )))
+                    });
+                    w.ticket.complete(result);
+                }
+                return;
+            }
+        }
+    }
+
+    // Maintain the shared catalog with the batch's coalesced deltas, then
+    // publish the new database in one atomic swap.
+    let committed = pending
+        .iter()
+        .filter(|w| matches!(&w.result, Some(Ok(o)) if o.rows_affected > 0 || o.wal_seq.is_some()))
+        .count();
+    if !deltas.is_empty() {
+        shared.catalog.apply_deltas(&db, &deltas);
+        *shared.db.write().expect("database lock poisoned") = Arc::new(db);
+    }
+    if committed > 0 {
+        shared
+            .mutations_committed
+            .fetch_add(committed as u64, Ordering::Relaxed);
+        shared.batched_commits.fetch_add(1, Ordering::Relaxed);
+        shared
+            .max_batch
+            .fetch_max(committed as u64, Ordering::Relaxed);
+    }
+    if checkpoint_due {
+        // Still under the mutation lock: the snapshot written here is
+        // exactly the state the just-logged batch produced. The batch is
+        // already durable at this point, so a checkpoint failure must not
+        // be reported as a mutation failure (a retrying caller would
+        // double-apply); the WAL keeps the records and the next batch
+        // retries the checkpoint. Runs before ticket completion so a
+        // returned `apply_mutation` implies the due checkpoint happened.
+        let persist = shared
+            .persist
+            .as_ref()
+            .expect("checkpoint_due implies durable");
+        let mut p = persist.lock().expect("persistence state poisoned");
+        if let Err(e) = shared.checkpoint_with(&mut p) {
+            eprintln!(
+                "pbds: automatic checkpoint failed ({e}); mutations remain \
+                 recoverable from the WAL and the checkpoint will be retried"
+            );
+        }
+    }
+
+    for w in pending {
+        let mut result = w.result.unwrap_or_else(|| {
+            Err(PbdsError::Persist(PersistError::Io(
+                "commit batch dropped a request".into(),
+            )))
+        });
+        if let Ok(outcome) = &mut result {
+            outcome.batch_len = committed;
+        }
+        w.ticket.complete(result);
     }
 }
 
@@ -1340,5 +1873,216 @@ mod tests {
         server.drain();
         assert!(served.iter().all(|s| s.record.action == Action::Plain));
         assert_eq!(server.catalog().stored_sketches(), 0);
+    }
+
+    #[test]
+    fn pipelined_submissions_ride_one_batch() {
+        let dir = test_dir("durable_group_commit");
+        let server = PbdsServer::create(&dir, sales_db(), ServerConfig::default()).unwrap();
+        // Submit-then-wait: while the first batch holds the commit thread,
+        // the rest queue up and must land under a shared fsync.
+        let tickets: Vec<MutationTicket> = (0..32)
+            .map(|i| {
+                server.submit_mutation(
+                    "sales",
+                    Mutation::Append(vec![vec![Value::Int(i), Value::Int(1)]]),
+                )
+            })
+            .collect();
+        let outcomes: Vec<MutationOutcome> =
+            tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        assert_eq!(server.db().table("sales").unwrap().len(), 5_032);
+        // WAL sequences are dense and in submission order.
+        let seqs: Vec<u64> = outcomes.iter().map(|o| o.wal_seq.unwrap()).collect();
+        assert_eq!(seqs, (1..=32).collect::<Vec<u64>>());
+        let stats = server.commit_stats();
+        assert_eq!(stats.mutations_submitted, 32);
+        assert_eq!(stats.mutations_committed, 32);
+        assert!(
+            stats.batched_commits < 32,
+            "32 pipelined mutations must not take 32 batches: {stats:?}"
+        );
+        assert_eq!(stats.fsyncs, stats.batched_commits);
+        assert!(stats.max_batch > 1, "{stats:?}");
+        assert!(outcomes.iter().any(|o| o.batch_len > 1), "{outcomes:?}");
+        // Every record replays: the batched WAL is byte-compatible with the
+        // sequential framing.
+        drop(server);
+        let reopened = PbdsServer::open(&dir, ServerConfig::default()).unwrap();
+        assert_eq!(reopened.recovery_report().unwrap().wal_replayed, 32);
+        assert_eq!(reopened.db().table("sales").unwrap().len(), 5_032);
+    }
+
+    #[test]
+    fn batched_appends_to_one_table_advance_the_epoch_once() {
+        let server = PbdsServer::new(sales_db(), ServerConfig::default());
+        let before = server.db().table("sales").unwrap().data_epoch();
+        let tickets: Vec<MutationTicket> = (0..8)
+            .map(|i| {
+                server.submit_mutation(
+                    "sales",
+                    Mutation::Append(vec![vec![Value::Int(i), Value::Int(1)]]),
+                )
+            })
+            .collect();
+        let outcomes: Vec<MutationOutcome> =
+            tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        let after = server.db().table("sales").unwrap().data_epoch();
+        let batches = server.commit_stats().batched_commits;
+        assert!(
+            after - before < 8,
+            "appends merged into {batches} batch(es) must advance the epoch \
+             fewer than 8 times (epoch {before} -> {after})"
+        );
+        // Members of a merged run all report the run's final epoch.
+        assert!(outcomes.iter().all(|o| o.epoch <= after));
+        assert_eq!(server.db().table("sales").unwrap().len(), 5_008);
+    }
+
+    #[test]
+    fn noop_mutations_write_no_wal_record_and_keep_the_epoch() {
+        let dir = test_dir("durable_noop");
+        let server = PbdsServer::create(&dir, sales_db(), ServerConfig::default()).unwrap();
+        let epoch = server.db().table("sales").unwrap().data_epoch();
+
+        // Empty append: short-circuits before the queue.
+        let out = server
+            .apply_mutation("sales", Mutation::Append(vec![]))
+            .unwrap();
+        assert_eq!(out.rows_affected, 0);
+        assert_eq!(out.wal_seq, None);
+        assert_eq!(out.batch_len, 0);
+
+        // Delete matching nothing: decided at apply time, same guarantees.
+        let out = server
+            .apply_mutation(
+                "sales",
+                Mutation::DeleteWhere(col("amount").gt(lit(1_000_000))),
+            )
+            .unwrap();
+        assert_eq!(out.rows_affected, 0);
+        assert_eq!(out.wal_seq, None);
+
+        assert_eq!(
+            server.db().table("sales").unwrap().data_epoch(),
+            epoch,
+            "no-op mutations must not bump the epoch"
+        );
+        let (records, _) = pbds_persist::read_records(&dir.join(WAL_FILE)).unwrap();
+        assert!(records.is_empty(), "no-op mutations must not be logged");
+        assert_eq!(server.commit_stats().mutations_committed, 0);
+
+        // And an effective mutation afterwards still gets sequence 1.
+        let out = server
+            .apply_mutation(
+                "sales",
+                Mutation::Append(vec![vec![Value::Int(1), Value::Int(1)]]),
+            )
+            .unwrap();
+        assert_eq!(out.wal_seq, Some(1));
+    }
+
+    #[test]
+    fn rejected_requests_fail_alone_within_a_batch() {
+        let server = PbdsServer::new(sales_db(), ServerConfig::default());
+        let bad_table = server.submit_mutation(
+            "nope",
+            Mutation::Append(vec![vec![Value::Int(1), Value::Int(1)]]),
+        );
+        let bad_arity =
+            server.submit_mutation("sales", Mutation::Append(vec![vec![Value::Int(1)]]));
+        let good = server.submit_mutation(
+            "sales",
+            Mutation::Append(vec![vec![Value::Int(1), Value::Int(1)]]),
+        );
+        assert!(matches!(
+            bad_table.wait(),
+            Err(PbdsError::Storage(StorageError::UnknownTable(_)))
+        ));
+        assert!(matches!(
+            bad_arity.wait(),
+            Err(PbdsError::Storage(StorageError::ArityMismatch { .. }))
+        ));
+        assert_eq!(good.wait().unwrap().rows_affected, 1);
+        assert_eq!(server.db().table("sales").unwrap().len(), 5_001);
+    }
+
+    #[test]
+    fn shutdown_flushes_the_ingest_queue() {
+        let dir = test_dir("durable_shutdown_flush");
+        let server = PbdsServer::create(&dir, sales_db(), ServerConfig::default()).unwrap();
+        // Submit without waiting, then shut down: every submitted mutation
+        // must still commit and survive the restart.
+        let tickets: Vec<MutationTicket> = (0..16)
+            .map(|i| {
+                server.submit_mutation(
+                    "sales",
+                    Mutation::Append(vec![vec![Value::Int(i), Value::Int(2)]]),
+                )
+            })
+            .collect();
+        server.shutdown().unwrap();
+        assert!(tickets.iter().all(|t| t.is_complete()));
+        let reopened = PbdsServer::open(&dir, ServerConfig::default()).unwrap();
+        assert_eq!(reopened.db().table("sales").unwrap().len(), 5_016);
+    }
+
+    #[test]
+    fn concurrent_submitters_batch_and_stay_linearizable() {
+        let server = Arc::new(PbdsServer::new(sales_db(), ServerConfig::default()));
+        std::thread::scope(|s| {
+            for w in 0..8i64 {
+                let server = Arc::clone(&server);
+                s.spawn(move || {
+                    for i in 0..20 {
+                        server
+                            .apply_mutation(
+                                "sales",
+                                Mutation::Append(vec![vec![Value::Int(w), Value::Int(i)]]),
+                            )
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(server.db().table("sales").unwrap().len(), 5_160);
+        let stats = server.commit_stats();
+        assert_eq!(stats.mutations_committed, 160);
+    }
+
+    #[test]
+    fn delete_in_a_batch_observes_earlier_appends() {
+        let server = PbdsServer::new(sales_db(), ServerConfig::default());
+        // Queue appends and a delete that matches only the appended rows
+        // (amount 7777): the delete must see them despite run merging.
+        let a1 = server.submit_mutation(
+            "sales",
+            Mutation::Append(vec![vec![Value::Int(1), Value::Int(7_777)]]),
+        );
+        let a2 = server.submit_mutation(
+            "sales",
+            Mutation::Append(vec![vec![Value::Int(2), Value::Int(7_777)]]),
+        );
+        let d =
+            server.submit_mutation("sales", Mutation::DeleteWhere(col("amount").gt(lit(7_000))));
+        let a3 = server.submit_mutation(
+            "sales",
+            Mutation::Append(vec![vec![Value::Int(3), Value::Int(7_777)]]),
+        );
+        assert_eq!(a1.wait().unwrap().rows_affected, 1);
+        assert_eq!(a2.wait().unwrap().rows_affected, 1);
+        // Whether or not the requests shared a batch, the delete runs after
+        // both appends in submission order and removes exactly those rows.
+        assert_eq!(d.wait().unwrap().rows_affected, 2);
+        assert_eq!(a3.wait().unwrap().rows_affected, 1);
+        let t = server.db();
+        let t = t.table("sales").unwrap();
+        assert_eq!(t.len(), 5_001);
+        let sevens = t
+            .rows()
+            .iter()
+            .filter(|r| r[1] == Value::Int(7_777))
+            .count();
+        assert_eq!(sevens, 1, "only the post-delete append survives");
     }
 }

@@ -228,39 +228,70 @@ impl MutationWal {
     }
 
     /// Append a record from its pre-encoded operation body (see
-    /// [`encode_op`]) and fsync it. The frame is streamed to the file —
-    /// length prefix, sequence number, the caller's bytes, incrementally
-    /// computed CRC — so a bulk append's payload is never copied again. On
-    /// return the record is durable; on error the file is rolled back to
-    /// the last whole record, so the error is clean — nothing of the failed
-    /// record can survive a later replay.
+    /// [`encode_op`]) and fsync it. Equivalent to a one-record
+    /// [`MutationWal::append_batch`].
     pub fn append_encoded(&mut self, seq: u64, op_bytes: &[u8]) -> Result<(), PersistError> {
+        self.append_batch(&[(seq, op_bytes)])
+    }
+
+    /// Group commit: append every record in `records` (sequence number +
+    /// pre-encoded operation body, see [`encode_op`]) as consecutive
+    /// per-record CRC frames, then issue **one** `sync_data` for the whole
+    /// batch. The on-disk format is byte-identical to appending each record
+    /// with [`MutationWal::append_encoded`] — torn-tail recovery and
+    /// seq-skipping replay see individual records, never batch boundaries —
+    /// but the durability cost is amortized: one fsync covers them all.
+    ///
+    /// On success every record is durable. On error the file is rolled back
+    /// to the last previously-acknowledged whole record, so nothing of the
+    /// failed batch (not even its leading records) can survive a later
+    /// replay — all-or-nothing, matching the "tickets complete only after
+    /// the batch is durable" contract. An empty batch is a no-op (no write,
+    /// no fsync).
+    pub fn append_batch<B: AsRef<[u8]>>(
+        &mut self,
+        records: &[(u64, B)],
+    ) -> Result<(), PersistError> {
         if !self.healthy {
             return Err(PersistError::Io(
                 "WAL is unusable: a failed append or truncate could not be rolled back".into(),
             ));
         }
-        let payload_len = 8 + op_bytes.len();
-        let len = u32::try_from(payload_len).map_err(|_| {
-            PersistError::corrupt(format!(
-                "WAL record payload of {payload_len} bytes exceeds the u32 length prefix"
-            ))
-        })?;
-        let seq_bytes = seq.to_le_bytes();
-        let crc = crate::frame::crc32_finish(crate::frame::crc32_extend(
-            crate::frame::crc32_extend(crate::frame::crc32_start(), &seq_bytes),
-            op_bytes,
-        ));
+        if records.is_empty() {
+            return Ok(());
+        }
+        // Frame the whole batch into one buffer so the kernel sees a single
+        // contiguous write followed by a single flush.
+        let total: usize = records
+            .iter()
+            .map(|(_, b)| 8 + 8 + b.as_ref().len() + 4)
+            .sum();
+        let mut buf = Vec::with_capacity(total);
+        for (seq, op_bytes) in records {
+            let op_bytes = op_bytes.as_ref();
+            let payload_len = 8 + op_bytes.len();
+            let len = u32::try_from(payload_len).map_err(|_| {
+                PersistError::corrupt(format!(
+                    "WAL record payload of {payload_len} bytes exceeds the u32 length prefix"
+                ))
+            })?;
+            let seq_bytes = seq.to_le_bytes();
+            let crc = crate::frame::crc32_finish(crate::frame::crc32_extend(
+                crate::frame::crc32_extend(crate::frame::crc32_start(), &seq_bytes),
+                op_bytes,
+            ));
+            buf.extend_from_slice(&len.to_le_bytes());
+            buf.extend_from_slice(&seq_bytes);
+            buf.extend_from_slice(op_bytes);
+            buf.extend_from_slice(&crc.to_le_bytes());
+        }
         let wrote = self
             .file
-            .write_all(&len.to_le_bytes())
-            .and_then(|()| self.file.write_all(&seq_bytes))
-            .and_then(|()| self.file.write_all(op_bytes))
-            .and_then(|()| self.file.write_all(&crc.to_le_bytes()))
+            .write_all(&buf)
             .and_then(|()| self.file.sync_data());
         match wrote {
             Ok(()) => {
-                self.len += 8 + payload_len as u64;
+                self.len += buf.len() as u64;
                 Ok(())
             }
             Err(e) => {
@@ -440,6 +471,74 @@ mod tests {
         drop(wal);
         let (records, _) = read_records(&path).unwrap();
         assert_eq!(records, vec![extra]);
+    }
+
+    #[test]
+    fn batched_append_is_byte_identical_to_sequential_appends() {
+        let dir = test_dir("wal_batch_identical");
+        let all = sample_records();
+        let encoded: Vec<(u64, Vec<u8>)> = all
+            .iter()
+            .map(|r| (r.seq, encode_op(r.op.as_ref())))
+            .collect();
+
+        let one_by_one = dir.join("sequential.pbds");
+        let (mut wal, _) = MutationWal::open(&one_by_one).unwrap();
+        for (seq, bytes) in &encoded {
+            wal.append_encoded(*seq, bytes).unwrap();
+        }
+        drop(wal);
+
+        let batched = dir.join("batched.pbds");
+        let (mut wal, _) = MutationWal::open(&batched).unwrap();
+        wal.append_batch(&encoded).unwrap();
+        drop(wal);
+
+        assert_eq!(fs::read(&one_by_one).unwrap(), fs::read(&batched).unwrap());
+        let (records, _) = read_records(&batched).unwrap();
+        assert_eq!(records, all);
+    }
+
+    #[test]
+    fn torn_tail_inside_a_batch_recovers_the_whole_record_prefix() {
+        // A crash mid-batch must land recovery on a *record* boundary within
+        // the batch, never a partial record — batches are a durability
+        // optimization, not a recovery unit.
+        let dir = test_dir("wal_batch_torn");
+        let path = dir.join(WAL_FILE);
+        let all = sample_records();
+        let (mut wal, _) = MutationWal::open(&path).unwrap();
+        let encoded: Vec<(u64, Vec<u8>)> = all
+            .iter()
+            .map(|r| (r.seq, encode_op(r.op.as_ref())))
+            .collect();
+        wal.append_batch(&encoded).unwrap();
+        drop(wal);
+        let bytes = fs::read(&path).unwrap();
+        let torn = dir.join("torn.pbds");
+        let mut seen_partial_prefixes = 0;
+        for cut in 0..=bytes.len() {
+            fs::write(&torn, &bytes[..cut]).unwrap();
+            let (records, _) = read_records(&torn).unwrap();
+            assert_eq!(&records[..], &all[..records.len()], "cut at {cut}");
+            if !records.is_empty() && records.len() < all.len() {
+                seen_partial_prefixes += 1;
+            }
+        }
+        // Some cut points really do land between records of the batch.
+        assert!(seen_partial_prefixes > 0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let dir = test_dir("wal_batch_empty");
+        let path = dir.join(WAL_FILE);
+        let (mut wal, _) = MutationWal::open(&path).unwrap();
+        let before = fs::metadata(&path).unwrap().len();
+        wal.append_batch::<&[u8]>(&[]).unwrap();
+        assert_eq!(fs::metadata(&path).unwrap().len(), before);
+        let (records, _) = read_records(&path).unwrap();
+        assert!(records.is_empty());
     }
 
     #[test]

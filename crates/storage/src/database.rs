@@ -122,6 +122,17 @@ impl Database {
         self.table_mut(table)?.append_rows(rows)
     }
 
+    /// Append several row batches to a table through a single epoch advance
+    /// (copy-on-write when shared); returns the table's new epoch. See
+    /// [`Table::append_row_batches`].
+    pub fn append_row_batches(
+        &mut self,
+        table: &str,
+        batches: Vec<Vec<crate::relation::Row>>,
+    ) -> Result<u64, StorageError> {
+        self.table_mut(table)?.append_row_batches(batches)
+    }
+
     /// Delete rows matching `pred` from a table (copy-on-write when shared);
     /// returns the number of rows deleted. See [`Table::delete_where`].
     pub fn delete_where(

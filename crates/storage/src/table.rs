@@ -322,6 +322,36 @@ impl Table {
         Ok(self.invalidate_derived(MutationKind::Append))
     }
 
+    /// Append several row batches at once through a **single** epoch
+    /// advance — the multi-delta `invalidate_derived` path group commit
+    /// relies on. Semantically identical to calling [`Table::append_rows`]
+    /// once per batch (same validation: *every* row of *every* batch is
+    /// arity-checked before anything is appended, so the whole call is
+    /// atomic), but derived caches are invalidated once instead of once per
+    /// batch, and sketch maintenance sees one combined append delta. Returns
+    /// the new epoch; an all-empty set of batches keeps the epoch.
+    pub fn append_row_batches(&mut self, batches: Vec<Vec<Row>>) -> Result<u64, StorageError> {
+        let expected = self.schema.arity();
+        for row in batches.iter().flatten() {
+            if row.len() != expected {
+                return Err(StorageError::ArityMismatch {
+                    context: format!("append to table {}", self.name),
+                    expected,
+                    got: row.len(),
+                });
+            }
+        }
+        let total: usize = batches.iter().map(Vec::len).sum();
+        if total == 0 {
+            return Ok(self.epoch);
+        }
+        self.rows.reserve(total);
+        for batch in batches {
+            self.rows.extend(batch);
+        }
+        Ok(self.invalidate_derived(MutationKind::Append))
+    }
+
     /// Delete every row for which `pred` returns true. `pred` is called once
     /// per row in storage order. Returns the number of rows deleted; when any
     /// row is deleted the epoch advances structurally (row ids shift, so all
@@ -756,6 +786,53 @@ mod tests {
         let mut t = build_table(10);
         let e0 = t.epoch();
         assert_eq!(t.append_rows(Vec::new()).unwrap(), e0);
+        assert_eq!(t.epoch(), e0);
+    }
+
+    #[test]
+    fn batched_append_bumps_one_epoch_and_matches_sequential_rows() {
+        let mut a = build_table(100);
+        let mut b = build_table(100);
+        let batches: Vec<Vec<Row>> = (0..4)
+            .map(|k| {
+                (0..25)
+                    .map(|i| vec![Value::Int(100 + k * 25 + i), Value::Int(i % 7)])
+                    .collect()
+            })
+            .collect();
+        let mut seq_epochs = Vec::new();
+        for batch in batches.clone() {
+            seq_epochs.push(a.append_rows(batch).unwrap());
+        }
+        let e0 = b.epoch();
+        let e1 = b.append_row_batches(batches).unwrap();
+        // Same final rows, but one epoch advance instead of four.
+        assert_eq!(a.rows(), b.rows());
+        assert!(e1 > e0);
+        assert_eq!(b.epoch(), b.data_epoch());
+        assert_eq!(seq_epochs.len(), 4);
+        // Derived artifacts rebuilt at the single new epoch cover the tail.
+        assert_eq!(b.columnar_chunks().chunks().last().unwrap().end, 200);
+    }
+
+    #[test]
+    fn batched_append_validates_every_batch_before_appending() {
+        let mut t = build_table(10);
+        let e0 = t.epoch();
+        let err = t
+            .append_row_batches(vec![
+                vec![vec![Value::Int(10), Value::Int(3)]], // valid
+                vec![vec![Value::Int(11)]],                // wrong arity
+            ])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+        assert_eq!(t.len(), 10, "nothing may be appended on error");
+        assert_eq!(t.epoch(), e0);
+        // All-empty batches are a no-op that keeps the epoch.
+        assert_eq!(
+            t.append_row_batches(vec![Vec::new(), Vec::new()]).unwrap(),
+            e0
+        );
         assert_eq!(t.epoch(), e0);
     }
 

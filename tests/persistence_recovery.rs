@@ -442,3 +442,155 @@ fn snapshot_written_after_wal_records_skips_them_on_replay() {
     assert_eq!(server.db().table("r").unwrap().rows(), &expected[..]);
     assert_eq!(server.db().table("r").unwrap().len(), 403);
 }
+
+// ---------------------------------------------------------------------------
+// 5. Group commit: batched WAL appends keep every recovery guarantee
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Pipeline a whole mutation sequence through `submit_mutation` (so the
+    /// commit thread writes multi-record batches under single fsyncs), crash,
+    /// then truncate the WAL at **every byte prefix**: recovery must land on
+    /// a whole-*record* prefix — never a half-batch state and never a state
+    /// no ticket could have observed — and the full log must replay to the
+    /// exact database the live server acknowledged.
+    #[test]
+    fn torn_wal_from_batched_commits_recovers_whole_record_prefixes(
+        seed in 0u64..1_000_000,
+        raw_ops in prop::collection::vec((0u8..2, 0u64..1_000_000, 1i64..350), 6..16),
+    ) {
+        let dir = test_dir("torn-batched");
+        let config = ServerConfig {
+            checkpoint_every: None,
+            ..ServerConfig::default()
+        };
+        // Build the mutation list once; the live server and the shadow
+        // replayer both consume clones of the same deterministic sequence.
+        let mut next_k = 150i64;
+        let mutations: Vec<Mutation> = raw_ops
+            .iter()
+            .copied()
+            .map(|raw| to_mutation(&decode_op(raw), &mut next_k))
+            .collect();
+        let outcomes: Vec<_>;
+        let live_rows;
+        {
+            let server =
+                PbdsServer::create(&dir, Arc::new(base_db(seed, 150)), config).unwrap();
+            // Submit everything before waiting on anything: while the commit
+            // thread fsyncs one batch, the rest of the queue accumulates
+            // into the next one.
+            let tickets: Vec<_> = mutations
+                .iter()
+                .map(|m| server.submit_mutation("r", m.clone()))
+                .collect();
+            outcomes = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+            live_rows = server.db().table("r").unwrap().rows().to_vec();
+            drop(server); // crash: no shutdown, no checkpoint
+        }
+        // Effective mutations got dense WAL sequences in submission order;
+        // no-ops (deletes matching nothing) were never logged.
+        let logged: Vec<&Mutation> = outcomes
+            .iter()
+            .zip(&mutations)
+            .filter(|(o, _)| o.wal_seq.is_some())
+            .map(|(_, m)| m)
+            .collect();
+        let seqs: Vec<u64> = outcomes.iter().filter_map(|o| o.wal_seq).collect();
+        prop_assert_eq!(&seqs, &(1..=logged.len() as u64).collect::<Vec<_>>());
+
+        // Shadow states: `states[i]` is the database after the first `i`
+        // logged records, computed one record at a time — exactly what
+        // recovery replays, independent of how the live server batched.
+        let shadow = PbdsServer::new(Arc::new(base_db(seed, 150)), config);
+        let mut states: Vec<Arc<Database>> = vec![shadow.db()];
+        for m in &logged {
+            shadow.apply_mutation("r", (*m).clone()).unwrap();
+            states.push(shadow.db());
+        }
+        // Batch application must equal record-at-a-time application.
+        prop_assert_eq!(
+            &live_rows,
+            states.last().unwrap().table("r").unwrap().rows(),
+            "live batched state diverged from sequential replay"
+        );
+
+        let wal_bytes = fs::read(dir.join(WAL_FILE)).unwrap();
+        let rec = test_dir("torn-batched-recovery");
+        for f in ["snapshot.pbds", "catalog.pbds"] {
+            fs::copy(dir.join(f), rec.join(f)).unwrap();
+        }
+        let mut prev = 0usize;
+        for cut in 0..=wal_bytes.len() {
+            fs::write(rec.join(WAL_FILE), &wal_bytes[..cut]).unwrap();
+            let server = PbdsServer::open(&rec, config).unwrap();
+            let replayed = server.recovery_report().unwrap().wal_replayed;
+            let ctx = format!("seed {seed}, cut {cut} ({replayed} whole records)");
+            prop_assert!(replayed >= prev, "{}: replay count went backwards", &ctx);
+            prop_assert!(replayed <= logged.len(), "{}", &ctx);
+            prop_assert_eq!(
+                server.db().table("r").unwrap().rows(),
+                states[replayed].table("r").unwrap().rows(),
+                "{}: recovered state is not the whole-record prefix state",
+                &ctx
+            );
+            prev = replayed;
+        }
+        prop_assert_eq!(prev, logged.len(), "the full WAL must replay every acked record");
+    }
+}
+
+/// Every acknowledged mutation of a group-committed burst survives a crash
+/// that happens *after* the acks but *before* any checkpoint: the on-disk
+/// snapshot still predates the burst, so the recovered state comes entirely
+/// from the batched WAL records.
+#[test]
+fn acknowledged_batches_survive_a_crash_before_any_checkpoint() {
+    let dir = test_dir("ack-before-checkpoint");
+    let config = ServerConfig {
+        checkpoint_every: None,
+        ..ServerConfig::default()
+    };
+    let expected;
+    {
+        let server = PbdsServer::create(&dir, Arc::new(base_db(11, 200)), config).unwrap();
+        let tickets: Vec<_> = (0..64i64)
+            .map(|i| {
+                server.submit_mutation(
+                    "r",
+                    Mutation::Append(vec![vec![
+                        Value::Int(200 + i),
+                        Value::Int(i % 10),
+                        Value::Int(5 + i),
+                    ]]),
+                )
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap(); // acknowledged: durable by contract
+        }
+        let stats = server.commit_stats();
+        assert_eq!(stats.mutations_committed, 64);
+        assert!(
+            stats.max_batch > 1,
+            "a pipelined burst of 64 must group-commit: {stats:?}"
+        );
+        assert!(
+            stats.fsyncs < 64,
+            "group commit must amortize fsyncs: {stats:?}"
+        );
+        expected = server.db().table("r").unwrap().rows().to_vec();
+        drop(server); // crash between ack and checkpoint
+    }
+    // The snapshot on disk is still the create-time one: nothing of the
+    // burst was checkpointed.
+    let (snap_db, _) = pbds_persist::read_snapshot(&dir.join(SNAPSHOT_FILE)).unwrap();
+    assert_eq!(snap_db.table("r").unwrap().len(), 200);
+
+    let server = PbdsServer::open(&dir, config).unwrap();
+    assert_eq!(server.recovery_report().unwrap().wal_replayed, 64);
+    assert_eq!(server.db().table("r").unwrap().rows(), &expected[..]);
+    assert_oracle_agrees(&server.db(), &server.db().clone(), "acked-batch recovery");
+}
