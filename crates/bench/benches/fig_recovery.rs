@@ -11,20 +11,29 @@
 //!   shutdown: the catalog is imported from disk and the stream hits from
 //!   query one, with zero captures.
 //!
+//! A third **fault-drill** phase reopens the same directory behind a fault
+//! injector, survives an fsyncgate WAL failure plus an ENOSPC'd repair
+//! checkpoint (janitor heals both), serves the stream again, crashes, and
+//! proves a clean reopen is *still* warm — transient durability faults must
+//! not forfeit the catalog either.
+//!
 //! Reported per phase: the index of the first catalog hit, the wall-clock
 //! **time to first hit** (for the warm phase this includes the recovery
 //! itself — reading the snapshot, importing the catalog, replaying the WAL)
 //! and the **rows scanned over the first N queries** (the data-skipping win
 //! a restart would otherwise forfeit). Full runs record the baseline in
-//! `BENCH_recovery.json`; `--quick` (CI) only smoke-checks the gate:
+//! `BENCH_recovery.json`; `--quick` (CI) only smoke-checks the gates:
 //! the warm start must hit at query one, pay zero captures, and scan fewer
-//! rows than the cold start over the first N queries.
+//! rows than the cold start over the first N queries — and the fault drill
+//! must refuse the un-durable write, repair, and stay warm.
 //!
 //! Run with: `cargo bench --bench fig_recovery [-- --quick]`
 
 use pbds_bench::harness::TablePrinter;
+use pbds_core::persist::{FaultInjector, FaultIo, FaultKind, FaultSpec, FileClass};
 use pbds_core::tuning::Action;
-use pbds_core::{PbdsServer, ServerConfig};
+use pbds_core::{HealthState, Mutation, PbdsServer, ServerConfig};
+use pbds_storage::Value;
 use pbds_workloads::sof::{generate, SofConfig};
 use pbds_workloads::stream::{sof_pools, zipf_stream, StreamSpec};
 use std::io::Write;
@@ -117,6 +126,17 @@ fn write_json(path: &str, queries: usize, quick: bool, phases: &[&PhaseMetrics])
     }
 }
 
+/// A single synthetic row for the `posts` table, used by the fault drill:
+/// `(postid, owneruserid, favorites, score)`.
+fn drill_post(postid: i64) -> Mutation {
+    Mutation::Append(vec![vec![
+        Value::Int(postid),
+        Value::Int(1),
+        Value::Int(0),
+        Value::Int(0),
+    ]])
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (sof, queries) = if quick {
@@ -176,6 +196,61 @@ fn main() {
     let server = PbdsServer::open(&dir, config).expect("open");
     let recovery = server.recovery_report().expect("recovery report");
     let warm = serve_phase("warm", &server, &stream, started);
+    drop(server);
+
+    // Fault drill: reopen the same directory behind a fault injector. The
+    // first write hits an fsyncgate WAL fsync failure and must be refused;
+    // the janitor's repair checkpoint then eats an ENOSPC before landing.
+    // Once the server heals, the stream must still serve warm.
+    let started = Instant::now();
+    let injector = FaultInjector::new(0xD811);
+    let server =
+        PbdsServer::open_with_io(&dir, config, Arc::new(FaultIo::new(Arc::clone(&injector))))
+            .expect("open for fault drill");
+    injector.inject(FaultSpec {
+        kind: FaultKind::FsyncFail,
+        class: FileClass::Wal,
+        skip: 0,
+    });
+    injector.inject(FaultSpec {
+        kind: FaultKind::Enospc,
+        class: FileClass::Snapshot,
+        skip: 0,
+    });
+    let refused = server.apply_mutation("posts", drill_post(9_000_000));
+    assert!(
+        refused.is_err(),
+        "a write whose WAL fsync failed must be refused, not acked"
+    );
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.health() != HealthState::Healthy && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let events = server.robustness_events();
+    assert_eq!(
+        server.health(),
+        HealthState::Healthy,
+        "janitor failed to repair after the fault cycle: {events:?}"
+    );
+    assert_eq!(events.wal_append_failures, 1);
+    assert!(
+        events.repairs_succeeded >= 1,
+        "the repair campaign must be what healed the server: {events:?}"
+    );
+    assert_eq!(injector.armed_remaining(), 0, "both faults must have fired");
+    server
+        .apply_mutation("posts", drill_post(9_000_001))
+        .expect("write after repair");
+    let drill = serve_phase("fault-drill", &server, &stream, started);
+    // Crash without shutdown: the repair checkpoint plus the WAL must carry
+    // the post-fault state on their own.
+    drop(server);
+
+    // Post-drill: a clean reopen after the fault cycle must still be warm.
+    let started = Instant::now();
+    let server = PbdsServer::open(&dir, config).expect("reopen after fault drill");
+    let drill_recovery = server.recovery_report().expect("recovery report");
+    let post_drill = serve_phase("post-drill", &server, &stream, started);
 
     let mut table = TablePrinter::new(&[
         "phase",
@@ -185,7 +260,7 @@ fn main() {
         "rows scanned (all)",
         "captures",
     ]);
-    for m in [&cold, &warm] {
+    for m in [&cold, &warm, &drill, &post_drill] {
         table.row(vec![
             m.label.to_string(),
             m.first_hit.map_or("never".into(), |i| format!("#{i}")),
@@ -200,12 +275,18 @@ fn main() {
         "recovery: {} catalog entries imported, {} dropped, {} WAL records replayed",
         recovery.catalog_imported, recovery.catalog_dropped, recovery.wal_replayed
     );
+    eprintln!(
+        "post-drill recovery: {} catalog entries imported, {} dropped, {} WAL records replayed",
+        drill_recovery.catalog_imported,
+        drill_recovery.catalog_dropped,
+        drill_recovery.wal_replayed
+    );
 
     if quick {
         eprintln!("--quick: skipping BENCH_recovery.json baseline update");
     } else {
         let out = format!("{}/../../BENCH_recovery.json", env!("CARGO_MANIFEST_DIR"));
-        write_json(&out, queries, quick, &[&cold, &warm]);
+        write_json(&out, queries, quick, &[&cold, &warm, &drill, &post_drill]);
     }
 
     // The gate: a restart must not forfeit the catalog.
@@ -223,9 +304,31 @@ fn main() {
         warm.early_rows_scanned,
         cold.early_rows_scanned
     );
+    // The drill gate: a transient durability fault must not forfeit the
+    // catalog either — the healed server and the clean reopen after its
+    // crash both still serve warm.
+    assert_eq!(
+        drill.first_hit,
+        Some(0),
+        "the healed server must still hit the catalog from the first query"
+    );
+    assert_eq!(
+        drill_recovery.catalog_dropped, 0,
+        "no entry may recover stale after the fault cycle"
+    );
+    assert_eq!(
+        post_drill.first_hit,
+        Some(0),
+        "a fault cycle must not cost the warm start"
+    );
+    assert_eq!(
+        post_drill.captures, 0,
+        "the reopen after the fault cycle must not pay capture again"
+    );
     eprintln!(
         "recovery gate passed: warm start hits from query one \
-         (cold first hit {:?}), zero warm captures, early-stream rows {} -> {}",
+         (cold first hit {:?}), zero warm captures, early-stream rows {} -> {}; \
+         fault drill refused the un-durable write, repaired, and stayed warm",
         cold.first_hit, cold.early_rows_scanned, warm.early_rows_scanned
     );
 }

@@ -71,8 +71,8 @@ pub use pbds::{Pbds, PbdsError};
 pub use reuse::{ReuseChecker, ReuseResult};
 pub use safety::{PartitionAttr, SafetyChecker, SafetyResult};
 pub use server::{
-    CommitStats, Mutation, MutationOutcome, MutationTicket, PbdsServer, PbdsSession,
-    RecoveryReport, ServedQuery, ServerConfig,
+    CommitStats, HealthState, Mutation, MutationOutcome, MutationTicket, PanicSite, PbdsServer,
+    PbdsSession, RecoveryReport, RobustnessEvents, ServedQuery, ServerConfig,
 };
 pub use tuning::{
     cumulative_elapsed, estimate_selectivity, Action, QueryRecord, SelfTuningExecutor, Strategy,

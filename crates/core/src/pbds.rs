@@ -31,6 +31,22 @@ pub enum PbdsError {
     /// A durability operation (checkpoint, shutdown-with-persist) was asked
     /// of a server that has no durability directory attached.
     NotDurable,
+    /// The server has degraded to read-only: a durability failure (e.g. a
+    /// failed WAL fsync) means new writes could be acknowledged but lost, so
+    /// they are refused fast while reads keep serving. The janitor thread
+    /// retries repair in the background; a successful repair (or an explicit
+    /// [`crate::server::PbdsServer::checkpoint`]) restores write service.
+    ReadOnly,
+    /// The server is fail-stopped: repeated repair attempts could not
+    /// re-establish durability. Reads and writes are both refused — serving
+    /// answers that could silently diverge from the durable state is worse
+    /// than refusing. Terminal for this server instance; restart via
+    /// [`crate::server::PbdsServer::open`].
+    FailStop,
+    /// A session thread panicked while serving part of a query stream
+    /// ([`crate::server::PbdsServer::serve_stream`]); the stream's results
+    /// are incomplete. Other sessions and the server itself are unaffected.
+    SessionPanicked,
 }
 
 impl std::fmt::Display for PbdsError {
@@ -42,6 +58,18 @@ impl std::fmt::Display for PbdsError {
             PbdsError::Persist(e) => write!(f, "persistence error: {e}"),
             PbdsError::NotDurable => {
                 write!(f, "server was not opened over a durability directory")
+            }
+            PbdsError::ReadOnly => write!(
+                f,
+                "server is read-only: durability is degraded, writes are \
+                 refused until repair succeeds"
+            ),
+            PbdsError::FailStop => write!(
+                f,
+                "server is fail-stopped: durability could not be repaired"
+            ),
+            PbdsError::SessionPanicked => {
+                write!(f, "a session thread panicked while serving the stream")
             }
         }
     }

@@ -23,6 +23,23 @@
 //! access path): sketches only narrow *where* the engine looks, never *what*
 //! the query means, and the top-k runtime re-validation falls back to plain
 //! execution when a stored sketch turns out not to cover the new instance.
+//!
+//! ## Failure model
+//!
+//! Long-lived middleware must degrade, not crash. The server runs a
+//! fail-safe state machine ([`HealthState`]: `Healthy → Degraded → ReadOnly
+//! → FailStop`) whose transitions are driven by the durability layer:
+//! a failed WAL append/fsync refuses further writes (read-only) because an
+//! acknowledgement it cannot back with durability would be a silent-loss
+//! bug; a failed checkpoint merely degrades (the WAL still holds every
+//! acknowledged record); repeated capture panics blow a fuse that disables
+//! background capture (an optimization, never an answer). A janitor thread
+//! repairs in the background — fresh WAL descriptor, re-verify, checkpoint
+//! — with capped exponential backoff; success settles health, exhaustion
+//! from read-only fail-stops the server. Every event is counted and logged
+//! in [`RobustnessEvents`]. Fault drills use [`PbdsServer::create_with_io`]
+//! / [`PbdsServer::open_with_io`] (deterministic injected I/O faults) and
+//! [`PbdsServer::inject_panic`] (one-shot thread panics).
 
 use crate::catalog::{CatalogDelta, SketchCatalog};
 use crate::instrument::UsePredicateStyle;
@@ -31,14 +48,15 @@ use crate::tuning::{estimate_selectivity, execute_with_reuse, Action, QueryRecor
 use pbds_algebra::{templatize, Expr, LogicalPlan, QueryTemplate};
 use pbds_exec::{CompiledExpr, Engine, EngineProfile};
 use pbds_persist::{
-    encode_op, read_catalog, read_snapshot, write_catalog, write_snapshot, MutationWal,
-    PersistError, WalOp, WalOpRef, CATALOG_FILE, SNAPSHOT_FILE, WAL_FILE,
+    encode_op, read_catalog_with, read_snapshot_with, write_catalog_with, write_snapshot_with, Io,
+    MutationWal, PersistError, PersistedCatalog, RealIo, WalOp, WalOpRef, CATALOG_FILE,
+    SNAPSHOT_FILE, WAL_FILE,
 };
 use pbds_provenance::{capture_sketches_with_profile, CaptureConfig};
 use pbds_storage::{Database, PartitionRef, Relation, Row, StorageError, Value};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -74,6 +92,15 @@ pub struct ServerConfig {
     /// degenerates to the per-mutation-fsync write path (the baseline the
     /// `fig_mutation` bench compares against).
     pub commit_batch_limit: usize,
+    /// How many times the background janitor thread retries repairing a
+    /// degraded durability layer (reopen-and-verify the WAL + checkpoint)
+    /// before giving up, with capped exponential backoff between attempts.
+    /// Exhausting the attempts while the server is read-only escalates it to
+    /// [`HealthState::FailStop`]. `0` disables background repair entirely:
+    /// the server then stays [`HealthState::ReadOnly`] (stable — never
+    /// fail-stopped by the janitor) until an explicit
+    /// [`PbdsServer::checkpoint`] succeeds. Ignored for in-memory servers.
+    pub repair_attempts: usize,
 }
 
 impl Default for ServerConfig {
@@ -90,9 +117,118 @@ impl Default for ServerConfig {
             checkpoint_every: Some(256),
             ingest_queue_depth: 1024,
             commit_batch_limit: 128,
+            repair_attempts: 8,
         }
     }
 }
+
+/// Fail-safe degradation state of a [`PbdsServer`]. Health only ever
+/// escalates (`fetch_max` on the shared atom) while a failure is being
+/// handled, and is settled back down only after a *successful* repair —
+/// never optimistically. The lattice:
+///
+/// * [`HealthState::Healthy`] — full service.
+/// * [`HealthState::Degraded`] — full service, but a non-critical component
+///   failed (a checkpoint failed and will be retried; background capture was
+///   disabled after repeated panics). Acknowledged writes are still durable
+///   (the WAL holds them); the degradation costs recovery time, not data.
+/// * [`HealthState::ReadOnly`] — a WAL append or fsync failed, so new writes
+///   can no longer be made durable before acknowledgement. Writes are
+///   refused fast with [`PbdsError::ReadOnly`]; reads keep serving from the
+///   consistent in-memory state. The janitor retries repair with backoff.
+/// * [`HealthState::FailStop`] — repair was exhausted from read-only.
+///   Terminal: reads and writes are both refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Full service.
+    Healthy,
+    /// Serving fully, but a non-critical durability component is impaired.
+    Degraded,
+    /// Writes refused (durability cannot be guaranteed); reads keep serving.
+    ReadOnly,
+    /// Terminal: repair exhausted, reads and writes both refused.
+    FailStop,
+}
+
+impl HealthState {
+    fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    fn from_u8(v: u8) -> HealthState {
+        match v {
+            0 => HealthState::Healthy,
+            1 => HealthState::Degraded,
+            2 => HealthState::ReadOnly,
+            _ => HealthState::FailStop,
+        }
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthState::Healthy => write!(f, "healthy"),
+            HealthState::Degraded => write!(f, "degraded"),
+            HealthState::ReadOnly => write!(f, "read-only"),
+            HealthState::FailStop => write!(f, "fail-stop"),
+        }
+    }
+}
+
+/// Snapshot of a server's robustness counters and recent event messages
+/// ([`PbdsServer::robustness_events`]). Counters are cumulative over the
+/// server's lifetime; `messages` holds the most recent human-readable events
+/// (oldest first, bounded), replacing what used to be `eprintln!`
+/// diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RobustnessEvents {
+    /// Commit batches that panicked (their mutations were failed, not lost
+    /// silently).
+    pub commit_panics: u64,
+    /// Background capture tasks that panicked.
+    pub capture_panics: u64,
+    /// Session threads that panicked under [`PbdsServer::serve_stream`].
+    pub session_panics: u64,
+    /// WAL batch appends that failed (each one degrades the server to
+    /// read-only until repaired).
+    pub wal_append_failures: u64,
+    /// Automatic checkpoints that failed (mutations stay recoverable from
+    /// the WAL; the janitor retries).
+    pub checkpoint_failures: u64,
+    /// Repair attempts made by the janitor thread.
+    pub repair_attempts: u64,
+    /// Repairs that succeeded (each one settles health back down).
+    pub repairs_succeeded: u64,
+    /// Corrupt persisted catalogs quarantined at [`PbdsServer::open`].
+    pub catalogs_quarantined: u64,
+    /// True once background capture was disabled after repeated panics.
+    pub capture_disabled: bool,
+    /// Most recent event messages, oldest first.
+    pub messages: Vec<String>,
+}
+
+/// Where [`PbdsServer::inject_panic`] plants a one-shot panic (for fault
+/// drills and the robustness test suite).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicSite {
+    /// The next commit batch panics mid-commit.
+    Commit = 0,
+    /// The next background capture task panics.
+    Capture = 1,
+    /// The next served query panics its session thread.
+    Session = 2,
+}
+
+/// Background capture is disabled after this many capture panics.
+const MAX_CAPTURE_PANICS: u64 = 3;
+
+/// Most recent robustness event messages retained.
+const EVENT_LOG_CAP: usize = 32;
+
+/// Janitor backoff between repair attempts is `1ms << (attempt - 2)`,
+/// capped here.
+const MAX_REPAIR_BACKOFF_MS: u64 = 64;
 
 /// One served query: the result relation plus the execution record.
 #[derive(Debug, Clone)]
@@ -145,6 +281,38 @@ struct ServerShared {
     batched_commits: AtomicU64,
     fsyncs: AtomicU64,
     max_batch: AtomicU64,
+    /// Current [`HealthState`] as its `u8` discriminant. Escalations use
+    /// `fetch_max` (health never accidentally improves under a race);
+    /// settling back down happens only in [`ServerShared::settle_health`]
+    /// after a successful repair.
+    health: AtomicU8,
+    /// Robustness counters (see [`RobustnessEvents`]).
+    commit_panics: AtomicU64,
+    capture_panics: AtomicU64,
+    session_panics: AtomicU64,
+    wal_append_failures: AtomicU64,
+    checkpoint_failures: AtomicU64,
+    repair_attempts_made: AtomicU64,
+    repairs_succeeded: AtomicU64,
+    catalogs_quarantined: AtomicU64,
+    /// Set once capture panicked [`MAX_CAPTURE_PANICS`] times; further
+    /// capture work is refused at enqueue time.
+    capture_disabled: AtomicBool,
+    /// Bounded ring of recent event messages (see
+    /// [`RobustnessEvents::messages`]).
+    event_log: Mutex<VecDeque<String>>,
+    /// Janitor wake-up state + condvar ([`ServerShared::request_repair`]).
+    repair: Mutex<RepairState>,
+    repair_cv: Condvar,
+    /// One-shot injected panics, indexed by [`PanicSite`] discriminant.
+    injected_panics: [AtomicBool; 3],
+}
+
+/// Janitor thread wake-up state.
+#[derive(Default)]
+struct RepairState {
+    wanted: bool,
+    shutdown: bool,
 }
 
 impl ServerShared {
@@ -170,17 +338,115 @@ impl ServerShared {
     }
 
     /// Checkpoint body for callers holding both the mutation lock and the
-    /// persistence state (the commit thread and [`PbdsServer::checkpoint`]).
+    /// persistence state (the commit thread, the janitor and
+    /// [`PbdsServer::checkpoint`]).
     fn checkpoint_with(&self, p: &mut Persistence) -> Result<(), PbdsError> {
         let db = self.snapshot();
-        write_snapshot(&p.dir.join(SNAPSHOT_FILE), &db, p.next_seq - 1)?;
+        write_snapshot_with(
+            p.io.as_ref(),
+            &p.dir.join(SNAPSHOT_FILE),
+            &db,
+            p.next_seq - 1,
+        )?;
         // Captures may land concurrently; the export is simply the set of
         // entries present now. A capture finishing after the export is lost
         // from *this* checkpoint — an optimization, never an answer.
-        write_catalog(&p.dir.join(CATALOG_FILE), &self.catalog.export())?;
+        write_catalog_with(
+            p.io.as_ref(),
+            &p.dir.join(CATALOG_FILE),
+            &self.catalog.export(),
+        )?;
         p.wal.truncate()?;
         p.since_checkpoint = 0;
         Ok(())
+    }
+
+    /// Acquire the mutation-serialization lock, recovering from poisoning.
+    /// The lock guards no data (`Mutex<()>`): it only orders commit batches,
+    /// explicit checkpoints and repair campaigns against each other. A panic
+    /// while holding it is already contained (the commit loop catches it and
+    /// requests checkpoint repair), so honoring the poison flag would turn
+    /// one contained panic into a permanently wedged write path.
+    fn serialize_mutations(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.mutation_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Current health state.
+    fn health(&self) -> HealthState {
+        HealthState::from_u8(self.health.load(Ordering::SeqCst))
+    }
+
+    /// Escalate health to at least `to` (never downward — `fetch_max`) and
+    /// log why. Transitions taken on the write path run under the mutation
+    /// lock, so a batch can never commit concurrently with the degradation
+    /// it should have observed.
+    fn degrade(&self, to: HealthState, why: String) {
+        let prev = self.health.fetch_max(to.as_u8(), Ordering::SeqCst);
+        if prev < to.as_u8() {
+            self.note(format!(
+                "health {} -> {to}: {why}",
+                HealthState::from_u8(prev)
+            ));
+        } else {
+            self.note(why);
+        }
+    }
+
+    /// Settle health back down after a *successful* repair or checkpoint:
+    /// to `Degraded` while capture stays disabled, else `Healthy`.
+    /// `FailStop` is terminal and never settled. Callers hold the mutation
+    /// lock, so the write path observes the restored state consistently.
+    fn settle_health(&self) {
+        loop {
+            let cur = self.health.load(Ordering::SeqCst);
+            let target = if self.capture_disabled.load(Ordering::SeqCst) {
+                HealthState::Degraded
+            } else {
+                HealthState::Healthy
+            }
+            .as_u8();
+            if cur == HealthState::FailStop.as_u8() || cur <= target {
+                return;
+            }
+            if self
+                .health
+                .compare_exchange(cur, target, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.note(format!(
+                    "health {} -> {}: repair succeeded",
+                    HealthState::from_u8(cur),
+                    HealthState::from_u8(target)
+                ));
+                return;
+            }
+        }
+    }
+
+    /// Record an event message (bounded ring, oldest dropped).
+    fn note(&self, msg: String) {
+        let mut log = self.event_log.lock().expect("event log poisoned");
+        if log.len() == EVENT_LOG_CAP {
+            log.pop_front();
+        }
+        log.push_back(msg);
+    }
+
+    /// Wake the janitor thread to attempt repair (no-op without a janitor —
+    /// in-memory servers and `repair_attempts: 0`).
+    fn request_repair(&self) {
+        let mut state = self.repair.lock().expect("repair state poisoned");
+        state.wanted = true;
+        self.repair_cv.notify_all();
+    }
+
+    /// Consume a one-shot injected panic for `site`, panicking if armed.
+    fn take_injected_panic(&self, site: PanicSite) {
+        if self.injected_panics[site as usize].swap(false, Ordering::SeqCst) {
+            panic!("injected {site:?} panic");
+        }
     }
 }
 
@@ -311,6 +577,10 @@ struct WriteRequest {
 /// Durable state of a server opened over a durability directory.
 struct Persistence {
     dir: PathBuf,
+    /// The I/O layer every durable write goes through — [`RealIo`] in
+    /// production, a fault-injecting one in the robustness suite
+    /// ([`PbdsServer::create_with_io`] / [`PbdsServer::open_with_io`]).
+    io: Arc<dyn Io>,
     wal: MutationWal,
     /// Sequence number the next WAL record will carry.
     next_seq: u64,
@@ -330,6 +600,12 @@ pub struct RecoveryReport {
     /// WAL mutations replayed on top of the snapshot (records the snapshot
     /// already covered are skipped by sequence number).
     pub wal_replayed: usize,
+    /// True when the persisted catalog was corrupt and was quarantined
+    /// (renamed aside) instead of aborting recovery: the catalog is an
+    /// optimization, so the server comes up cold rather than not at all.
+    /// Data files (snapshot, WAL) are never quarantined — their corruption
+    /// still fails [`PbdsServer::open`].
+    pub catalog_quarantined: bool,
 }
 
 /// The concurrent sketch-serving middleware. See the [module docs](self).
@@ -342,6 +618,8 @@ pub struct PbdsServer {
     /// lets the commit thread drain what is queued and exit.
     ingest_tx: Option<SyncSender<WriteRequest>>,
     commit_thread: Option<JoinHandle<()>>,
+    /// Background repair thread (durable servers with `repair_attempts > 0`).
+    janitor: Option<JoinHandle<()>>,
     /// Set by [`PbdsServer::open`].
     recovery: Option<RecoveryReport>,
 }
@@ -398,7 +676,33 @@ impl PbdsServer {
             batched_commits: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
+            health: AtomicU8::new(HealthState::Healthy.as_u8()),
+            commit_panics: AtomicU64::new(0),
+            capture_panics: AtomicU64::new(0),
+            session_panics: AtomicU64::new(0),
+            wal_append_failures: AtomicU64::new(0),
+            checkpoint_failures: AtomicU64::new(0),
+            repair_attempts_made: AtomicU64::new(0),
+            repairs_succeeded: AtomicU64::new(0),
+            catalogs_quarantined: AtomicU64::new(0),
+            capture_disabled: AtomicBool::new(false),
+            event_log: Mutex::new(VecDeque::new()),
+            repair: Mutex::new(RepairState::default()),
+            repair_cv: Condvar::new(),
+            injected_panics: [
+                AtomicBool::new(false),
+                AtomicBool::new(false),
+                AtomicBool::new(false),
+            ],
         });
+        if recovery.is_some_and(|r| r.catalog_quarantined) {
+            shared.catalogs_quarantined.store(1, Ordering::Relaxed);
+            shared.note(
+                "persisted catalog was corrupt; quarantined it and started \
+                 with a cold catalog"
+                    .into(),
+            );
+        }
         let (tx, rx) = channel::<CaptureTask>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..config.capture_workers.max(1))
@@ -413,12 +717,17 @@ impl PbdsServer {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || commit_loop(&shared, &ingest_rx))
         };
+        let janitor = (shared.persist.is_some() && config.repair_attempts > 0).then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || janitor_loop(&shared))
+        });
         PbdsServer {
             shared,
             capture_tx: Some(tx),
             workers,
             ingest_tx: Some(ingest_tx),
             commit_thread: Some(commit_thread),
+            janitor,
             recovery,
         }
     }
@@ -433,25 +742,39 @@ impl PbdsServer {
         db: Arc<Database>,
         config: ServerConfig,
     ) -> Result<PbdsServer, PbdsError> {
-        std::fs::create_dir_all(dir).map_err(pbds_persist::PersistError::from)?;
+        PbdsServer::create_with_io(dir, db, config, Arc::new(RealIo))
+    }
+
+    /// [`PbdsServer::create`] with an explicit [`Io`] layer. Every durable
+    /// write of this server (WAL appends, snapshots, catalog exports) goes
+    /// through `io`, which is how the fault-injection suite drives a live
+    /// server into failures deterministically.
+    pub fn create_with_io(
+        dir: &Path,
+        db: Arc<Database>,
+        config: ServerConfig,
+        io: Arc<dyn Io>,
+    ) -> Result<PbdsServer, PbdsError> {
+        std::fs::create_dir_all(dir).map_err(PersistError::from)?;
         // Reset the WAL and catalog *before* renaming the new snapshot in:
         // a crash anywhere in this sequence leaves either the previous
         // incarnation intact (old snapshot + emptied WAL/catalog — a
         // consistent, merely cold state) or the new initial state. Writing
         // the snapshot first instead would open a window where open() could
         // replay the previous incarnation's WAL onto the new database.
-        let (mut wal, stale) = MutationWal::open(&dir.join(WAL_FILE))?;
+        let (mut wal, stale) = MutationWal::open_with(Arc::clone(&io), &dir.join(WAL_FILE))?;
         if !stale.is_empty() {
             wal.truncate()?;
         }
-        write_catalog(&dir.join(CATALOG_FILE), &Default::default())?;
-        write_snapshot(&dir.join(SNAPSHOT_FILE), &db, 0)?;
+        write_catalog_with(io.as_ref(), &dir.join(CATALOG_FILE), &Default::default())?;
+        write_snapshot_with(io.as_ref(), &dir.join(SNAPSHOT_FILE), &db, 0)?;
         Ok(PbdsServer::build(
             db,
             Arc::new(SketchCatalog::default()),
             config,
             Some(Persistence {
                 dir: dir.to_path_buf(),
+                io,
                 wal,
                 next_seq: 1,
                 since_checkpoint: 0,
@@ -478,10 +801,43 @@ impl PbdsServer {
     /// template captured before the restart reuses its sketch with no
     /// recapture. See [`PbdsServer::recovery_report`].
     pub fn open(dir: &Path, config: ServerConfig) -> Result<PbdsServer, PbdsError> {
-        let (mut db, applied_seq) = read_snapshot(&dir.join(SNAPSHOT_FILE))?;
+        PbdsServer::open_with_io(dir, config, Arc::new(RealIo))
+    }
+
+    /// [`PbdsServer::open`] with an explicit [`Io`] layer (see
+    /// [`PbdsServer::create_with_io`]).
+    pub fn open_with_io(
+        dir: &Path,
+        config: ServerConfig,
+        io: Arc<dyn Io>,
+    ) -> Result<PbdsServer, PbdsError> {
+        let (mut db, applied_seq) = read_snapshot_with(io.as_ref(), &dir.join(SNAPSHOT_FILE))?;
         let catalog = Arc::new(SketchCatalog::default());
-        let import = catalog.import(&db, read_catalog(&dir.join(CATALOG_FILE))?);
-        let (wal, records) = MutationWal::open(&dir.join(WAL_FILE))?;
+        // The snapshot and WAL hold *answers*: their corruption fails the
+        // open (serving without acknowledged data would be silent loss).
+        // The catalog holds an *optimization*: a corrupt one is quarantined
+        // (renamed aside, preserved for inspection) and the server comes up
+        // cold instead of not at all.
+        let catalog_path = dir.join(CATALOG_FILE);
+        let (persisted, catalog_quarantined) = if !io.exists(&catalog_path) {
+            // A missing catalog — the state an earlier quarantine leaves
+            // behind — is a cold start, not an error.
+            (PersistedCatalog::default(), false)
+        } else {
+            match read_catalog_with(io.as_ref(), &catalog_path) {
+                Ok(persisted) => (persisted, false),
+                Err(e @ PersistError::Io(_)) => return Err(e.into()),
+                Err(_) => {
+                    let mut quarantine = catalog_path.clone().into_os_string();
+                    quarantine.push(".quarantined");
+                    io.rename(&catalog_path, Path::new(&quarantine))
+                        .map_err(PersistError::from)?;
+                    (PersistedCatalog::default(), true)
+                }
+            }
+        };
+        let import = catalog.import(&db, persisted);
+        let (wal, records) = MutationWal::open_with(Arc::clone(&io), &dir.join(WAL_FILE))?;
         let mut next_seq = applied_seq + 1;
         let mut replayed = 0usize;
         for record in records {
@@ -515,6 +871,7 @@ impl PbdsServer {
             config,
             Some(Persistence {
                 dir: dir.to_path_buf(),
+                io,
                 wal,
                 next_seq,
                 since_checkpoint: replayed,
@@ -523,6 +880,7 @@ impl PbdsServer {
                 catalog_imported: import.imported,
                 catalog_dropped: import.dropped,
                 wal_replayed: replayed,
+                catalog_quarantined,
             }),
         ))
     }
@@ -548,11 +906,7 @@ impl PbdsServer {
     ///
     /// Errors with [`PbdsError::NotDurable`] on an in-memory server.
     pub fn checkpoint(&self) -> Result<(), PbdsError> {
-        let _serialized = self
-            .shared
-            .mutation_lock
-            .lock()
-            .expect("mutation lock poisoned");
+        let _serialized = self.shared.serialize_mutations();
         self.checkpoint_locked()
     }
 
@@ -563,7 +917,49 @@ impl PbdsServer {
             return Err(PbdsError::NotDurable);
         };
         let mut p = persist.lock().expect("persistence state poisoned");
-        self.shared.checkpoint_with(&mut p)
+        // A successful checkpoint re-establishes full durability (fresh
+        // snapshot, fresh WAL on a fresh descriptor), so it doubles as the
+        // explicit repair path: settle a degraded/read-only server back to
+        // health. FailStop stays terminal.
+        self.shared.checkpoint_with(&mut p)?;
+        self.shared.settle_health();
+        Ok(())
+    }
+
+    /// The server's current fail-safe degradation state.
+    pub fn health(&self) -> HealthState {
+        self.shared.health()
+    }
+
+    /// Snapshot of the robustness counters and recent event messages.
+    pub fn robustness_events(&self) -> RobustnessEvents {
+        let s = &self.shared;
+        RobustnessEvents {
+            commit_panics: s.commit_panics.load(Ordering::Relaxed),
+            capture_panics: s.capture_panics.load(Ordering::Relaxed),
+            session_panics: s.session_panics.load(Ordering::Relaxed),
+            wal_append_failures: s.wal_append_failures.load(Ordering::Relaxed),
+            checkpoint_failures: s.checkpoint_failures.load(Ordering::Relaxed),
+            repair_attempts: s.repair_attempts_made.load(Ordering::Relaxed),
+            repairs_succeeded: s.repairs_succeeded.load(Ordering::Relaxed),
+            catalogs_quarantined: s.catalogs_quarantined.load(Ordering::Relaxed),
+            capture_disabled: s.capture_disabled.load(Ordering::Relaxed),
+            messages: s
+                .event_log
+                .lock()
+                .expect("event log poisoned")
+                .iter()
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Arm a one-shot panic at `site` (fault drills / robustness tests):
+    /// the next commit batch, background capture, or served query panics.
+    /// The server's containment turns each into a counted, recoverable
+    /// event rather than a crash.
+    pub fn inject_panic(&self, site: PanicSite) {
+        self.shared.injected_panics[site as usize].store(true, Ordering::SeqCst);
     }
 
     /// Graceful shutdown: flush the ingest queue (every acknowledged — and
@@ -642,6 +1038,22 @@ impl PbdsServer {
         let ticket = MutationTicket {
             state: Arc::clone(&state),
         };
+        // Fail-safe gate: a degraded-to-read-only server must refuse writes
+        // *fast* (never acknowledge what it cannot make durable), and a
+        // fail-stopped one refuses everything. Raced submissions that slip
+        // past this check are caught again by the commit thread under the
+        // mutation lock.
+        match self.shared.health() {
+            HealthState::ReadOnly => {
+                state.complete(Err(PbdsError::ReadOnly));
+                return ticket;
+            }
+            HealthState::FailStop => {
+                state.complete(Err(PbdsError::FailStop));
+                return ticket;
+            }
+            HealthState::Healthy | HealthState::Degraded => {}
+        }
         // Fix: an empty append cannot change any state — complete it here
         // with no WAL record, no epoch bump and no queue round-trip. (The
         // equivalent delete short-circuit needs the predicate evaluated
@@ -737,7 +1149,21 @@ impl PbdsServer {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("session thread panicked"))
+                .map(|h| match h.join() {
+                    Ok(result) => result,
+                    Err(_) => {
+                        // A panicking session must not take the whole server
+                        // (or the caller) down with it: count it, surface a
+                        // typed error for this stream, keep serving others.
+                        self.shared.session_panics.fetch_add(1, Ordering::Relaxed);
+                        self.shared.note(
+                            "a session thread panicked while serving a stream; \
+                             the stream's results were discarded"
+                                .into(),
+                        );
+                        Err(PbdsError::SessionPanicked)
+                    }
+                })
                 .collect::<Result<Vec<_>, PbdsError>>()
         })?;
         let mut merged: Vec<(usize, ServedQuery)> = per_thread.drain(..).flatten().collect();
@@ -782,6 +1208,14 @@ impl Drop for PbdsServer {
         if let Some(commit) = self.commit_thread.take() {
             let _unused = commit.join();
         }
+        if let Some(janitor) = self.janitor.take() {
+            {
+                let mut state = self.shared.repair.lock().expect("repair state poisoned");
+                state.shutdown = true;
+            }
+            self.shared.repair_cv.notify_all();
+            let _unused = janitor.join();
+        }
         self.capture_tx.take();
         for w in self.workers.drain(..) {
             let _unused = w.join();
@@ -802,6 +1236,13 @@ impl PbdsSession<'_> {
         binding: &[Value],
     ) -> Result<ServedQuery, PbdsError> {
         let shared = &self.server.shared;
+        shared.take_injected_panic(PanicSite::Session);
+        // Fail-stop refuses reads too: an answer that cannot be reconciled
+        // with the durable state is worse than no answer. Read-only and
+        // degraded servers keep serving reads at full fidelity.
+        if shared.health() == HealthState::FailStop {
+            return Err(PbdsError::FailStop);
+        }
         // One snapshot per query: the whole serve — safety analysis, reuse
         // lookup, execution — sees a single consistent database state even
         // while mutations land concurrently. The catalog's per-entry epoch
@@ -863,6 +1304,9 @@ impl PbdsSession<'_> {
 
     fn enqueue_capture(&self, template: &QueryTemplate, binding: &[Value]) -> bool {
         let shared = &self.server.shared;
+        if shared.capture_disabled.load(Ordering::Relaxed) {
+            return false; // capture fuse blown after repeated panics
+        }
         if !shared.catalog.begin_capture(template, binding) {
             return false; // an identical capture is already in flight
         }
@@ -1029,7 +1473,22 @@ fn commit_loop(shared: &ServerShared, rx: &Receiver<WriteRequest>) {
         let outcome =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| commit_batch(shared, batch)));
         if outcome.is_err() {
-            eprintln!("pbds: commit batch panicked; failing its {n} mutation(s)");
+            shared.commit_panics.fetch_add(1, Ordering::Relaxed);
+            shared.note(format!("commit batch panicked; failed its {n} mutation(s)"));
+            if shared.persist.is_some() {
+                // The panic may have struck between "WAL appended" and
+                // "database swapped": the log could hold records memory
+                // never applied. A checkpoint from the consistent in-memory
+                // state resolves the ambiguity (the failed tickets were
+                // reported indeterminate, never acknowledged).
+                shared.degrade(
+                    HealthState::Degraded,
+                    "commit panic left the WAL possibly ahead of memory; \
+                     checkpoint repair requested"
+                        .into(),
+                );
+                shared.request_repair();
+            }
             for t in &tickets {
                 t.complete(Err(PbdsError::Persist(PersistError::Io(
                     "commit batch panicked".into(),
@@ -1047,7 +1506,23 @@ fn commit_loop(shared: &ServerShared, rx: &Receiver<WriteRequest>) {
 /// rest of the batch commits. A WAL failure fails the whole batch and
 /// nothing becomes visible.
 fn commit_batch(shared: &ServerShared, batch: Vec<WriteRequest>) {
-    let _serialized = shared.mutation_lock.lock().expect("mutation lock poisoned");
+    let _serialized = shared.serialize_mutations();
+    shared.take_injected_panic(PanicSite::Commit);
+    // Re-check health under the mutation lock: submissions that raced the
+    // degradation (already queued when the server went read-only) must not
+    // commit while the janitor repairs the durability layer.
+    let health = shared.health();
+    if health >= HealthState::ReadOnly {
+        let err = if health == HealthState::FailStop {
+            PbdsError::FailStop
+        } else {
+            PbdsError::ReadOnly
+        };
+        for request in batch {
+            request.ticket.complete(Err(err.clone()));
+        }
+        return;
+    }
     let current = shared.snapshot();
     let mut db = (*current).clone();
     let durable = shared.persist.is_some();
@@ -1214,20 +1689,7 @@ fn commit_batch(shared: &ServerShared, batch: Vec<WriteRequest>) {
             .enumerate()
             .map(|(i, bytes)| (base + i as u64, bytes))
             .collect();
-        let mut appended = p.wal.append_batch(&records).map_err(PbdsError::from);
-        if appended.is_err() {
-            // The WAL may be poisoned by an earlier failure (a torn append
-            // that could not be rolled back, or a checkpoint whose
-            // truncation died half way). A checkpoint is the recovery move
-            // in both cases: it persists every state the log was covering
-            // into the snapshot and rebuilds the log from scratch — after
-            // which this batch can be appended. If even that fails, the
-            // whole batch is refused (nothing has become visible) and the
-            // next batch retries.
-            appended = shared
-                .checkpoint_with(&mut p)
-                .and_then(|()| p.wal.append_batch(&records).map_err(PbdsError::from));
-        }
+        let appended = p.wal.append_batch(&records).map_err(PbdsError::from);
         match appended {
             Ok(()) => {
                 shared.fsyncs.fetch_add(1, Ordering::Relaxed);
@@ -1249,9 +1711,23 @@ fn commit_batch(shared: &ServerShared, batch: Vec<WriteRequest>) {
                 }
             }
             Err(e) => {
-                // Nothing was swapped in and the catalog is untouched;
-                // refuse every mutation that needed the log. (No-ops and
-                // already-failed requests keep their results.)
+                // The batch could not be made durable. fsyncgate semantics
+                // forbid the tempting fix (retry the fsync, or checkpoint
+                // over the same descriptor, and acknowledge): after a failed
+                // fsync the durable state of this WAL handle is UNKNOWN, and
+                // a retry that "succeeds" may be lying. The only safe moves,
+                // in order: (1) fail the whole batch — nothing was swapped
+                // in, the catalog is untouched, no caller sees an ack;
+                // (2) stop accepting writes (read-only) so no later batch
+                // can be acknowledged against an unverified log; (3) hand
+                // repair — fresh descriptor, re-verify, checkpoint — to the
+                // janitor thread, off the commit path.
+                shared.wal_append_failures.fetch_add(1, Ordering::Relaxed);
+                shared.degrade(
+                    HealthState::ReadOnly,
+                    format!("WAL append failed ({e}); refusing writes until repaired"),
+                );
+                shared.request_repair();
                 for w in &mut pending {
                     if w.wal_bytes.is_some() {
                         w.result = Some(Err(e.clone()));
@@ -1303,10 +1779,19 @@ fn commit_batch(shared: &ServerShared, batch: Vec<WriteRequest>) {
             .expect("checkpoint_due implies durable");
         let mut p = persist.lock().expect("persistence state poisoned");
         if let Err(e) = shared.checkpoint_with(&mut p) {
-            eprintln!(
-                "pbds: automatic checkpoint failed ({e}); mutations remain \
-                 recoverable from the WAL and the checkpoint will be retried"
+            // Transient: the WAL keeps every record, so nothing acknowledged
+            // is at risk — the failure costs recovery time (replay length),
+            // not data. Degrade and let the janitor retry with backoff, off
+            // the commit path.
+            shared.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+            shared.degrade(
+                HealthState::Degraded,
+                format!(
+                    "automatic checkpoint failed ({e}); mutations remain \
+                     recoverable from the WAL, repair requested"
+                ),
             );
+            shared.request_repair();
         }
     }
 
@@ -1343,16 +1828,114 @@ fn capture_worker(shared: &ServerShared, rx: &Mutex<Receiver<CaptureTask>>) {
         shared.catalog.finish_capture(&task.template, &task.binding);
         shared.capture_finished();
         if result.is_err() {
-            eprintln!(
-                "pbds: background capture for template {:?} panicked; \
-                 the query stream is unaffected",
+            let total = shared.capture_panics.fetch_add(1, Ordering::SeqCst) + 1;
+            shared.note(format!(
+                "background capture for template {:?} panicked ({total} so \
+                 far); the query stream is unaffected",
                 task.template.name()
-            );
+            ));
+            // Repeated panics mean a systematic bug, not bad luck: blow the
+            // capture fuse so the serving path stops feeding it. Queries
+            // keep being answered plainly — capture is an optimization.
+            if total >= MAX_CAPTURE_PANICS && !shared.capture_disabled.swap(true, Ordering::SeqCst)
+            {
+                shared.degrade(
+                    HealthState::Degraded,
+                    format!("background capture disabled after {total} panics"),
+                );
+            }
         }
     }
 }
 
+/// Background repair loop: sleep until a failure path requests repair
+/// ([`ServerShared::request_repair`]), then retry the repair sequence —
+/// fresh WAL descriptor, re-verify, checkpoint — with capped exponential
+/// backoff, up to [`ServerConfig::repair_attempts`] times per request.
+/// Success settles health; exhaustion from read-only escalates to
+/// fail-stop.
+fn janitor_loop(shared: &ServerShared) {
+    loop {
+        {
+            let state = shared.repair.lock().expect("repair state poisoned");
+            let mut state = shared
+                .repair_cv
+                .wait_while(state, |s| !s.wanted && !s.shutdown)
+                .expect("repair state poisoned");
+            if state.shutdown {
+                return;
+            }
+            state.wanted = false;
+        }
+        repair(shared);
+    }
+}
+
+/// One repair campaign. Each attempt runs under the mutation lock (same
+/// order as the commit thread: mutation lock, then persistence lock), so a
+/// successful repair and the batch that next observes it are serialized.
+fn repair(shared: &ServerShared) {
+    let max_attempts = shared.config.repair_attempts;
+    for attempt in 1..=max_attempts {
+        if attempt > 1 {
+            let ms = (1u64 << (attempt as u32 - 2).min(20)).min(MAX_REPAIR_BACKOFF_MS);
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        shared.repair_attempts_made.fetch_add(1, Ordering::Relaxed);
+        let result = {
+            let _serialized = shared.serialize_mutations();
+            let Some(persist) = &shared.persist else {
+                return; // only spawned for durable servers
+            };
+            let mut p = persist.lock().expect("persistence state poisoned");
+            if !p.wal.is_healthy() {
+                // fsyncgate: never reuse a descriptor whose fsync failed —
+                // re-open fresh and truncate to the verified prefix. Even a
+                // verify *failure* is survivable here, because the
+                // checkpoint below re-establishes durability from the
+                // consistent in-memory state and rebuilds the log.
+                let _ = p.wal.reopen_and_verify();
+            }
+            let result = shared.checkpoint_with(&mut p);
+            if result.is_ok() {
+                // Settle while still holding the mutation lock, so the next
+                // batch the commit thread gates is admitted consistently.
+                shared.settle_health();
+            }
+            result
+        };
+        match result {
+            Ok(()) => {
+                shared.repairs_succeeded.fetch_add(1, Ordering::Relaxed);
+                shared.note(format!(
+                    "repair succeeded on attempt {attempt}/{max_attempts}"
+                ));
+                return;
+            }
+            Err(e) => shared.note(format!(
+                "repair attempt {attempt}/{max_attempts} failed: {e}"
+            )),
+        }
+    }
+    // Exhausted. A read-only server that cannot be repaired will never
+    // accept another write — fail-stop is the honest terminal state. A
+    // merely degraded server keeps full service: its WAL still holds every
+    // acknowledged mutation, the failure only costs recovery time.
+    if shared.health() == HealthState::ReadOnly {
+        shared.degrade(
+            HealthState::FailStop,
+            format!("repair exhausted after {max_attempts} attempts from read-only"),
+        );
+    } else {
+        shared.note(format!(
+            "repair exhausted after {max_attempts} attempts; server stays \
+             degraded (WAL intact, acknowledged mutations recoverable)"
+        ));
+    }
+}
+
 fn run_capture(shared: &ServerShared, task: &CaptureTask) {
+    shared.take_injected_panic(PanicSite::Capture);
     let started = std::time::Instant::now();
     // The capture runs against one database snapshot; if a mutation lands
     // mid-capture, the catalog's epoch-checked insert rejects the (now
@@ -1763,7 +2346,7 @@ mod tests {
             "second mutation must trigger the checkpoint and truncate"
         );
         // The checkpointed snapshot carries the post-mutation state.
-        let (snap_db, _) = read_snapshot(&dir.join(SNAPSHOT_FILE)).unwrap();
+        let (snap_db, _) = pbds_persist::read_snapshot(&dir.join(SNAPSHOT_FILE)).unwrap();
         assert_eq!(snap_db.table("sales").unwrap().len(), 5_002);
         // A third mutation restarts the WAL with a fresh sequence.
         server.apply_mutation("sales", append(2)).unwrap();
@@ -2084,5 +2667,93 @@ mod tests {
             .filter(|r| r[1] == Value::Int(7_777))
             .count();
         assert_eq!(sevens, 1, "only the post-delete append survives");
+    }
+
+    #[test]
+    fn servers_start_healthy_with_clean_robustness_counters() {
+        let server = PbdsServer::new(sales_db(), ServerConfig::default());
+        assert_eq!(server.health(), HealthState::Healthy);
+        let events = server.robustness_events();
+        assert_eq!(events, RobustnessEvents::default());
+    }
+
+    #[test]
+    fn injected_session_panic_surfaces_as_a_typed_error() {
+        let server = PbdsServer::new(sales_db(), ServerConfig::default());
+        let t = having_template();
+        let stream: Vec<(QueryTemplate, Vec<Value>)> = (0..4)
+            .map(|i| (t.clone(), vec![Value::Int(50_000 + i)]))
+            .collect();
+        server.inject_panic(PanicSite::Session);
+        let err = server.serve_stream(&stream, 2).unwrap_err();
+        assert_eq!(err, PbdsError::SessionPanicked);
+        assert_eq!(server.robustness_events().session_panics, 1);
+        // The panic was contained: the server keeps serving new streams.
+        assert_eq!(server.health(), HealthState::Healthy);
+        let served = server.serve_stream(&stream, 2).unwrap();
+        assert_eq!(served.len(), stream.len());
+    }
+
+    #[test]
+    fn injected_commit_panic_fails_its_batch_and_nothing_else() {
+        let server = PbdsServer::new(sales_db(), ServerConfig::default());
+        server.inject_panic(PanicSite::Commit);
+        let err = server
+            .apply_mutation(
+                "sales",
+                Mutation::Append(vec![vec![Value::Int(1), Value::Int(1)]]),
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, PbdsError::Persist(PersistError::Io(_))),
+            "{err}"
+        );
+        let events = server.robustness_events();
+        assert_eq!(events.commit_panics, 1);
+        assert!(!events.messages.is_empty());
+        // Nothing became visible, and the commit thread survived: the next
+        // mutation commits normally.
+        assert_eq!(server.db().table("sales").unwrap().len(), 5_000);
+        server
+            .apply_mutation(
+                "sales",
+                Mutation::Append(vec![vec![Value::Int(1), Value::Int(1)]]),
+            )
+            .unwrap();
+        assert_eq!(server.db().table("sales").unwrap().len(), 5_001);
+    }
+
+    #[test]
+    fn repeated_capture_panics_blow_the_capture_fuse() {
+        let server = PbdsServer::new(sales_db(), ServerConfig::default());
+        let session = server.session();
+        let t = having_template();
+        for i in 0..MAX_CAPTURE_PANICS {
+            server.inject_panic(PanicSite::Capture);
+            // A panicked capture stores nothing, so each distinct binding is
+            // a fresh miss that re-enqueues capture work.
+            let served = session.serve(&t, &[Value::Int(50_000 + i as i64)]).unwrap();
+            assert!(
+                served.capture_enqueued,
+                "panic {i} stopped enqueueing early"
+            );
+            server.drain();
+        }
+        let events = server.robustness_events();
+        assert_eq!(events.capture_panics, MAX_CAPTURE_PANICS);
+        assert!(events.capture_disabled);
+        assert_eq!(server.health(), HealthState::Degraded);
+        // The fuse holds: further misses serve plainly without enqueueing,
+        // and reads/writes keep working.
+        let served = session.serve(&t, &[Value::Int(60_000)]).unwrap();
+        assert!(!served.capture_enqueued);
+        assert_eq!(served.record.action, Action::Plain);
+        server
+            .apply_mutation(
+                "sales",
+                Mutation::Append(vec![vec![Value::Int(1), Value::Int(1)]]),
+            )
+            .unwrap();
+        assert_eq!(server.catalog().stored_sketches(), 0);
     }
 }

@@ -15,11 +15,11 @@
 
 use crate::codec::{decode_sketch, encode_sketch, ByteReader, ByteWriter};
 use crate::frame::{check_header, file_header, read_frame, write_frame, FileKind, FrameRead};
+use crate::io::{Io, RealIo};
 use crate::snapshot::write_atomically;
 use crate::PersistError;
 use pbds_provenance::ProvenanceSketch;
 use pbds_storage::Value;
-use std::fs;
 use std::path::Path;
 
 /// Default catalog file name inside a durability directory.
@@ -90,7 +90,16 @@ fn decode_entry(payload: &[u8]) -> Result<PersistedCatalogEntry, PersistError> {
 
 /// Write a persisted catalog to `path` atomically.
 pub fn write_catalog(path: &Path, catalog: &PersistedCatalog) -> Result<(), PersistError> {
-    write_atomically(path, |out| {
+    write_catalog_with(&RealIo, path, catalog)
+}
+
+/// [`write_catalog`] through an injectable [`Io`].
+pub fn write_catalog_with(
+    io: &dyn Io,
+    path: &Path,
+    catalog: &PersistedCatalog,
+) -> Result<(), PersistError> {
+    write_atomically(io, path, |out| {
         write_frame(out, &file_header(FileKind::Catalog))?;
         let mut meta = ByteWriter::new();
         meta.u32(catalog.entries.len() as u32);
@@ -105,7 +114,12 @@ pub fn write_catalog(path: &Path, catalog: &PersistedCatalog) -> Result<(), Pers
 /// Read a persisted catalog. A missing file reads as an empty catalog (a
 /// server that never checkpointed a catalog simply starts cold).
 pub fn read_catalog(path: &Path) -> Result<PersistedCatalog, PersistError> {
-    let bytes = match fs::read(path) {
+    read_catalog_with(&RealIo, path)
+}
+
+/// [`read_catalog`] through an injectable [`Io`].
+pub fn read_catalog_with(io: &dyn Io, path: &Path) -> Result<PersistedCatalog, PersistError> {
+    let bytes = match io.read(path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             return Ok(PersistedCatalog::default())
@@ -144,6 +158,7 @@ mod tests {
     use super::*;
     use crate::test_dir;
     use pbds_storage::{Partition, PartitionRef, RangePartition};
+    use std::fs;
     use std::sync::Arc;
 
     fn sample_catalog() -> PersistedCatalog {

@@ -8,14 +8,17 @@
 //!
 //! The CRC (IEEE 802.3, the polynomial used by zip/PNG — GlassDB-style
 //! verifiable state, but hand-rolled because the build container is offline)
-//! makes torn or bit-rotted frames detectable: a reader that hits a frame
-//! whose length runs past the end of the file, or whose checksum disagrees
-//! with its payload, knows the frame — and everything after it — cannot be
-//! trusted. The write-ahead log exploits this deliberately: an append cut
-//! short by a crash leaves a *torn tail* that [`read_frame`] reports as
-//! [`FrameRead::Torn`], and recovery resumes from the longest whole-frame
-//! prefix. Snapshot and catalog files treat the same condition as corruption
-//! instead, because they are written atomically (temp file + rename).
+//! makes torn or bit-rotted frames detectable, and tells the two apart: a
+//! frame whose length runs past the end of the file is the shape a crash
+//! leaves ([`FrameRead::Torn`]), while a frame whose every byte is present
+//! but whose checksum disagrees with its payload is bit rot
+//! ([`FrameRead::Corrupt`]). The write-ahead log exploits the distinction
+//! deliberately: an append cut short by a crash leaves a *torn tail*, and
+//! recovery resumes from the longest whole-frame prefix — but a corrupt
+//! frame fails recovery outright, because truncating it away would silently
+//! drop acknowledged records. Snapshot and catalog files treat both
+//! conditions as corruption, because they are written atomically (temp file
+//! + rename).
 //!
 //! Every file opens with a header frame ([`file_header`] / [`check_header`])
 //! carrying a magic number, the format version and the file kind, so a
@@ -144,10 +147,16 @@ pub enum FrameRead<'a> {
     },
     /// Clean end of file: `pos` sat exactly at the end.
     End,
-    /// The bytes at `pos` are not a whole valid frame (truncated length,
-    /// truncated payload, or checksum mismatch) — a torn tail for a log,
-    /// corruption for an atomically written file.
+    /// The frame at `pos` ends past the end of the file (truncated length
+    /// prefix or truncated payload) — consistent with a write cut short, so
+    /// a torn tail for a log; corruption for an atomically written file.
     Torn,
+    /// Every byte of the frame is present but the checksum disagrees with
+    /// the payload. A crash cannot produce this shape at a log tail (a torn
+    /// append runs out of bytes; it does not finish the frame with a wrong
+    /// CRC) — this is bit rot or tampering, and must fail recovery rather
+    /// than be silently truncated away.
+    Corrupt,
 }
 
 /// Read the frame starting at `pos` in `bytes`.
@@ -172,7 +181,7 @@ pub fn read_frame(bytes: &[u8], pos: usize) -> FrameRead<'_> {
     };
     let stored = u32::from_le_bytes(raw_crc.try_into().expect("4 bytes"));
     if crc32(payload) != stored {
-        return FrameRead::Torn;
+        return FrameRead::Corrupt;
     }
     FrameRead::Frame {
         payload,
@@ -236,7 +245,7 @@ mod tests {
                     pos = next;
                 }
                 FrameRead::End => break,
-                FrameRead::Torn => panic!("clean file reported torn"),
+                FrameRead::Torn | FrameRead::Corrupt => panic!("clean file reported damage"),
             }
         }
         assert_eq!(payloads.len(), 3);
@@ -260,14 +269,24 @@ mod tests {
     }
 
     #[test]
-    fn bit_flips_are_detected() {
+    fn bit_flips_are_detected_as_corruption_not_torn() {
         let mut file = Vec::new();
         write_frame(&mut file, b"payload-bytes").unwrap();
-        for i in 4..file.len() - 4 {
+        // Payload and CRC flips leave every byte present: Corrupt, not Torn.
+        for i in 4..file.len() {
             let mut bad = file.clone();
             bad[i] ^= 0x40;
-            assert_eq!(read_frame(&bad, 0), FrameRead::Torn, "flip at {i} accepted");
+            assert_eq!(
+                read_frame(&bad, 0),
+                FrameRead::Corrupt,
+                "flip at {i} accepted"
+            );
         }
+        // A flip in the length prefix that grows the frame past EOF is
+        // indistinguishable from truncation: Torn.
+        let mut bad = file.clone();
+        bad[2] ^= 0x40; // adds 4 MiB to the length
+        assert_eq!(read_frame(&bad, 0), FrameRead::Torn);
     }
 
     #[test]

@@ -24,7 +24,11 @@
 //!   that make replay idempotent against the snapshot;
 //! * [`catalog`] — the persisted sketch-catalog format, entries carrying
 //!   their per-table capture epochs so a stale sketch is structurally
-//!   unreachable across restarts exactly as it is within a process.
+//!   unreachable across restarts exactly as it is within a process;
+//! * [`io`] — the injectable I/O seam ([`io::Io`] / [`io::DurableFile`])
+//!   every durable write goes through, with a seeded [`io::FaultInjector`]
+//!   that deterministically injects fsync failure (fsyncgate semantics),
+//!   short writes, ENOSPC and read corruption for the fault-torture suite.
 //!
 //! The serving integration — `PbdsServer::{create, open, checkpoint,
 //! shutdown}` and WAL-appending mutations — lives in `pbds-core`, which
@@ -35,15 +39,22 @@
 pub mod catalog;
 pub mod codec;
 pub mod frame;
+pub mod io;
 pub mod snapshot;
 pub mod wal;
 
 pub use catalog::{
-    read_catalog, write_catalog, PersistedCatalog, PersistedCatalogEntry, CATALOG_FILE,
+    read_catalog, read_catalog_with, write_catalog, write_catalog_with, PersistedCatalog,
+    PersistedCatalogEntry, CATALOG_FILE,
 };
 pub use frame::{crc32, FileKind, FrameRead, FORMAT_VERSION, MAGIC};
-pub use snapshot::{read_snapshot, write_snapshot, SNAPSHOT_FILE};
-pub use wal::{encode_op, read_records, MutationWal, WalOp, WalOpRef, WalRecord, WAL_FILE};
+pub use io::{DurableFile, FaultInjector, FaultIo, FaultKind, FaultSpec, FileClass, Io, RealIo};
+pub use snapshot::{
+    read_snapshot, read_snapshot_with, write_snapshot, write_snapshot_with, SNAPSHOT_FILE,
+};
+pub use wal::{
+    encode_op, read_records, read_records_with, MutationWal, WalOp, WalOpRef, WalRecord, WAL_FILE,
+};
 
 /// Errors raised by the durability layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

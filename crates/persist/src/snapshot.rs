@@ -17,37 +17,43 @@
 
 use crate::codec::{decode_table_image, encode_table_image, ByteReader, ByteWriter};
 use crate::frame::{check_header, file_header, read_frame, write_frame, FileKind, FrameRead};
+use crate::io::{Io, RealIo};
 use crate::PersistError;
 use pbds_storage::{Database, Table};
-use std::fs;
-use std::io::Write;
 use std::path::Path;
 
 /// Default snapshot file name inside a durability directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.pbds";
 
 /// Write `f`'s output to `path` atomically: temp file, fsync, rename, and
-/// fsync of the containing directory.
+/// fsync of the containing directory. If writing the temp file fails
+/// (ENOSPC, short write, failed fsync) the previous file at `path` is
+/// untouched and still readable — the failure only costs the new version —
+/// and the temp file is removed so a later retry starts clean.
 pub(crate) fn write_atomically(
+    io: &dyn Io,
     path: &Path,
     f: impl FnOnce(&mut Vec<u8>) -> Result<(), PersistError>,
 ) -> Result<(), PersistError> {
     let mut bytes = Vec::new();
     f(&mut bytes)?;
     let tmp = path.with_extension("tmp");
-    {
-        let mut file = fs::File::create(&tmp)?;
+    let written = (|| -> Result<(), PersistError> {
+        let mut file = io.create(&tmp)?;
         file.write_all(&bytes)?;
         file.sync_all()?;
+        Ok(())
+    })();
+    if let Err(e) = written {
+        let _ = io.remove_file(&tmp);
+        return Err(e);
     }
-    fs::rename(&tmp, path)?;
+    io.rename(&tmp, path)?;
     if let Some(dir) = path.parent() {
         // Make the rename itself durable. Directories cannot be fsynced on
         // every platform; failure to open one is not a correctness problem
         // for the rename already performed.
-        if let Ok(d) = fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
+        let _ = io.sync_dir(dir);
     }
     Ok(())
 }
@@ -56,7 +62,17 @@ pub(crate) fn write_atomically(
 /// highest WAL sequence number whose effects the snapshot includes; replay
 /// after a restore skips records at or below it.
 pub fn write_snapshot(path: &Path, db: &Database, applied_seq: u64) -> Result<(), PersistError> {
-    write_atomically(path, |out| {
+    write_snapshot_with(&RealIo, path, db, applied_seq)
+}
+
+/// [`write_snapshot`] through an injectable [`Io`].
+pub fn write_snapshot_with(
+    io: &dyn Io,
+    path: &Path,
+    db: &Database,
+    applied_seq: u64,
+) -> Result<(), PersistError> {
+    write_atomically(io, path, |out| {
         write_frame(out, &file_header(FileKind::Snapshot))?;
         let mut meta = ByteWriter::new();
         meta.u64(applied_seq);
@@ -75,7 +91,12 @@ pub fn write_snapshot(path: &Path, db: &Database, applied_seq: u64) -> Result<()
 /// Read a snapshot, returning the reconstructed database and the
 /// `applied_seq` recorded at write time.
 pub fn read_snapshot(path: &Path) -> Result<(Database, u64), PersistError> {
-    let bytes = fs::read(path)?;
+    read_snapshot_with(&RealIo, path)
+}
+
+/// [`read_snapshot`] through an injectable [`Io`].
+pub fn read_snapshot_with(io: &dyn Io, path: &Path) -> Result<(Database, u64), PersistError> {
+    let bytes = io.read(path)?;
     let mut pos = 0;
     let mut next = |what: &str| -> Result<&[u8], PersistError> {
         match read_frame(&bytes, pos) {
@@ -112,8 +133,10 @@ pub fn read_snapshot(path: &Path) -> Result<(Database, u64), PersistError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::{FaultInjector, FaultIo, FaultKind, FaultSpec, FileClass};
     use crate::test_dir;
     use pbds_storage::{DataType, Schema, TableBuilder, Value};
+    use std::fs;
 
     fn sample_db() -> Database {
         let mut db = Database::new();
@@ -174,6 +197,83 @@ mod tests {
                 "truncation to {cut} bytes went unnoticed"
             );
         }
+    }
+
+    #[test]
+    fn failed_replacement_leaves_the_previous_snapshot_readable() {
+        // Atomic replacement under injected ENOSPC, short write, and failed
+        // fsync: the write errors, but the previously committed snapshot is
+        // untouched and recovery from it is unchanged. The temp file is
+        // cleaned up so a retry starts fresh.
+        let dir = test_dir("snapshot_failed_replacement");
+        let path = dir.join(SNAPSHOT_FILE);
+        let v1 = sample_db();
+        write_snapshot(&path, &v1, 7).unwrap();
+        let v1_bytes = fs::read(&path).unwrap();
+
+        let mut v2 = sample_db();
+        v2.table_mut("t")
+            .unwrap()
+            .append_rows(vec![vec![Value::Int(999), Value::Float(1.5)]])
+            .unwrap();
+
+        for (i, kind) in [
+            FaultKind::Enospc,
+            FaultKind::ShortWrite,
+            FaultKind::FsyncFail,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let inj = FaultInjector::new(1000 + i as u64);
+            inj.inject(FaultSpec {
+                kind: *kind,
+                class: FileClass::Snapshot,
+                skip: 0,
+            });
+            let io = FaultIo::new(inj);
+            assert!(
+                write_snapshot_with(&io, &path, &v2, 8).is_err(),
+                "{kind:?} did not surface"
+            );
+            assert_eq!(fs::read(&path).unwrap(), v1_bytes, "{kind:?} touched v1");
+            assert!(
+                !path.with_extension("tmp").exists(),
+                "{kind:?} left a temp file behind"
+            );
+            let (recovered, seq) = read_snapshot(&path).unwrap();
+            assert_eq!(seq, 7, "{kind:?}");
+            assert_eq!(
+                recovered.table("t").unwrap().rows(),
+                v1.table("t").unwrap().rows(),
+                "{kind:?}"
+            );
+        }
+        // And the retry (no fault armed) replaces it cleanly.
+        write_snapshot(&path, &v2, 8).unwrap();
+        let (recovered, seq) = read_snapshot(&path).unwrap();
+        assert_eq!(seq, 8);
+        assert_eq!(
+            recovered.table("t").unwrap().rows(),
+            v2.table("t").unwrap().rows()
+        );
+    }
+
+    #[test]
+    fn corrupted_read_is_detected() {
+        let dir = test_dir("snapshot_read_corrupt");
+        let path = dir.join(SNAPSHOT_FILE);
+        write_snapshot(&path, &sample_db(), 3).unwrap();
+        let inj = FaultInjector::new(77);
+        inj.inject(FaultSpec {
+            kind: FaultKind::ReadCorrupt,
+            class: FileClass::Snapshot,
+            skip: 0,
+        });
+        let io = FaultIo::new(inj);
+        assert!(read_snapshot_with(&io, &path).is_err());
+        // The file itself is fine; a clean read still succeeds.
+        assert!(read_snapshot(&path).is_ok());
     }
 
     #[test]

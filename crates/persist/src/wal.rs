@@ -14,15 +14,30 @@
 //! after a restart skips records the snapshot already covers — a crash
 //! between "snapshot renamed" and "WAL truncated" can never double-apply an
 //! append.
+//!
+//! Torn-tail tolerance is deliberately narrow: only damage with the *shape a
+//! crash produces* (the file ends inside a frame, with nothing after) is
+//! truncated away. A complete frame with a failing checksum, or a torn frame
+//! *followed by* valid frames, means bytes the log once held were altered —
+//! truncating there would silently drop acknowledged records, so recovery
+//! fails with [`PersistError::Corrupt`] instead ([`read_records`]).
+//!
+//! Failed fsyncs follow the *fsyncgate* model: after `sync_data` fails, the
+//! durable state of everything written since the last successful sync is
+//! unknown, and a retried fsync on the same descriptor may report success
+//! without the data. [`MutationWal::append_batch`] therefore poisons the
+//! handle on sync failure; the owner must [`MutationWal::reopen_and_verify`]
+//! — fresh descriptor, re-scan, truncate to the verified prefix — before any
+//! further append.
 
 use crate::codec::{decode_expr, encode_expr, ByteReader, ByteWriter};
 use crate::frame::{check_header, file_header, frame_bytes, read_frame, FileKind, FrameRead};
+use crate::io::{DurableFile, Io, RealIo};
 use crate::PersistError;
 use pbds_algebra::Expr;
 use pbds_storage::Row;
-use std::fs::{self, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Default WAL file name inside a durability directory.
 pub const WAL_FILE: &str = "wal.pbds";
@@ -136,50 +151,112 @@ fn decode_record(payload: &[u8]) -> Result<WalRecord, PersistError> {
 
 /// Scan a WAL file, returning every whole valid record and the byte length
 /// of the valid prefix (header included). A missing file reads as empty.
-/// The first torn or corrupt frame ends the scan — it and everything after
-/// it are treated as the torn tail.
+/// A genuinely torn tail (the file ends inside the last frame and nothing
+/// valid follows) ends the scan; a checksum-complete-but-wrong frame, or a
+/// torn frame with whole frames after it, is corruption and errors — see
+/// the module docs for why the distinction matters.
 pub fn read_records(path: &Path) -> Result<(Vec<WalRecord>, u64), PersistError> {
-    let bytes = match fs::read(path) {
+    read_records_with(&RealIo, path)
+}
+
+/// [`read_records`] through an injectable [`Io`].
+pub fn read_records_with(io: &dyn Io, path: &Path) -> Result<(Vec<WalRecord>, u64), PersistError> {
+    let bytes = match io.read(path) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
         Err(e) => return Err(e.into()),
     };
     let mut pos = 0;
     // Header: a torn header (crash during the very first creation) makes the
-    // whole file an empty log.
+    // whole file an empty log — unless record frames follow it, in which
+    // case the header was damaged *after* being written, i.e. corruption.
     match read_frame(&bytes, pos) {
         FrameRead::Frame { payload, next } => {
             check_header(payload, FileKind::Wal)?;
             pos = next;
         }
-        FrameRead::End | FrameRead::Torn => return Ok((Vec::new(), 0)),
+        FrameRead::End => return Ok((Vec::new(), 0)),
+        FrameRead::Torn => {
+            if frames_follow(&bytes, pos) {
+                return Err(PersistError::corrupt(
+                    "WAL header is torn but whole record frames follow it",
+                ));
+            }
+            return Ok((Vec::new(), 0));
+        }
+        FrameRead::Corrupt => {
+            return Err(PersistError::corrupt(
+                "WAL header frame is complete but fails its checksum",
+            ))
+        }
     }
     let mut records = Vec::new();
-    while let FrameRead::Frame { payload, next } = read_frame(&bytes, pos) {
-        // A frame that checksums but does not decode is corruption in the
-        // middle of the log only if more valid frames follow; we cannot
-        // know, so treat it like a torn tail as well — the prefix before it
-        // is still the longest trustworthy state.
-        let Ok(record) = decode_record(payload) else {
-            break;
-        };
-        records.push(record);
-        pos = next;
+    loop {
+        match read_frame(&bytes, pos) {
+            FrameRead::Frame { payload, next } => {
+                // A frame whose checksum passes always decodes (the writer
+                // checksummed exactly what it encoded); one that does not is
+                // altered or foreign bytes, never a crash artifact.
+                let record = decode_record(payload).map_err(|e| {
+                    PersistError::corrupt(format!(
+                        "checksum-valid WAL frame at byte {pos} does not decode: {e}"
+                    ))
+                })?;
+                records.push(record);
+                pos = next;
+            }
+            FrameRead::End => break,
+            FrameRead::Torn => {
+                // Only a *tail* may be torn. Valid frames after the torn
+                // point mean the log was damaged in the middle; truncating
+                // here would drop the acknowledged records that follow.
+                if frames_follow(&bytes, pos + 1) {
+                    return Err(PersistError::corrupt(format!(
+                        "WAL frame at byte {pos} is torn but whole frames follow it"
+                    )));
+                }
+                break;
+            }
+            FrameRead::Corrupt => {
+                return Err(PersistError::corrupt(format!(
+                    "WAL frame at byte {pos} is complete but fails its checksum"
+                )))
+            }
+        }
     }
     Ok((records, pos as u64))
+}
+
+/// Resync scan: does a whole, checksum-valid, **record-decoding** frame
+/// start at any byte offset >= `from`? Used to tell a torn tail (nothing
+/// after) from mid-log damage (acknowledged records after). The decode
+/// requirement matters: eight consecutive zero bytes — common inside
+/// sequence numbers and row counts — parse as a checksum-valid *empty*
+/// frame (`crc32("") == 0`), so structural validity alone would see
+/// phantom frames inside any torn record. O(bytes²) worst case, but only
+/// runs on the already-rare damaged-log path.
+fn frames_follow(bytes: &[u8], from: usize) -> bool {
+    (from..bytes.len()).any(|q| match read_frame(bytes, q) {
+        FrameRead::Frame { payload, .. } => decode_record(payload).is_ok(),
+        _ => false,
+    })
 }
 
 /// An open, appendable mutation WAL.
 #[derive(Debug)]
 pub struct MutationWal {
+    io: Arc<dyn Io>,
     path: PathBuf,
-    file: fs::File,
+    file: Box<dyn DurableFile>,
     /// Length of the valid prefix (header + whole records). A failed append
     /// rolls the file back to this point, so later appends can never land
     /// after a torn frame in the middle of the log.
     len: u64,
-    /// Cleared when a failed append could not be rolled back; further
-    /// appends are refused rather than silently written after torn bytes.
+    /// Cleared when the durable state of this handle became unknown — a
+    /// failed fsync (fsyncgate: a retry on the same descriptor can lie), or
+    /// a failed write that could not be rolled back. Further appends are
+    /// refused until [`MutationWal::reopen_and_verify`] re-establishes a
+    /// verified prefix on a fresh descriptor.
     healthy: bool,
 }
 
@@ -188,26 +265,29 @@ impl MutationWal {
     /// are returned; a torn tail is truncated away so subsequent appends
     /// extend the valid prefix.
     pub fn open(path: &Path) -> Result<(MutationWal, Vec<WalRecord>), PersistError> {
-        let (records, valid_len) = read_records(path)?;
-        let mut file = OpenOptions::new()
-            .create(true)
-            .truncate(false)
-            .read(true)
-            .write(true)
-            .open(path)?;
+        Self::open_with(Arc::new(RealIo), path)
+    }
+
+    /// [`MutationWal::open`] through an injectable [`Io`].
+    pub fn open_with(
+        io: Arc<dyn Io>,
+        path: &Path,
+    ) -> Result<(MutationWal, Vec<WalRecord>), PersistError> {
+        let (records, valid_len) = read_records_with(io.as_ref(), path)?;
+        let mut file = io.open_rw(path)?;
         let len = if valid_len == 0 {
             // Fresh (or unusable) log: start over with a clean header.
             file.set_len(0)?;
-            write_header(&mut file)?
+            write_header(file.as_mut())?
         } else {
             file.set_len(valid_len)?;
             file.sync_all()?;
             valid_len
         };
-        use std::io::Seek;
-        file.seek(std::io::SeekFrom::Start(len))?;
+        file.seek_to(len)?;
         Ok((
             MutationWal {
+                io,
                 path: path.to_path_buf(),
                 file,
                 len,
@@ -220,6 +300,25 @@ impl MutationWal {
     /// The file this WAL appends to.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Whether this handle will accept appends. `false` after a failed fsync
+    /// or an un-rollbackable write; see [`MutationWal::reopen_and_verify`].
+    pub fn is_healthy(&self) -> bool {
+        self.healthy
+    }
+
+    /// Recover a poisoned handle: open a **fresh** descriptor, re-scan the
+    /// file, truncate to the longest verified whole-record prefix and resume
+    /// appending there. This is the only correct response to a failed fsync
+    /// — retrying on the old descriptor can report success for data the
+    /// kernel already dropped (fsyncgate). Returns the records the verified
+    /// prefix holds so the caller can reconcile durable state against its
+    /// own; errors if the file is corrupt (not merely torn).
+    pub fn reopen_and_verify(&mut self) -> Result<Vec<WalRecord>, PersistError> {
+        let (wal, records) = MutationWal::open_with(Arc::clone(&self.io), &self.path)?;
+        *self = wal;
+        Ok(records)
     }
 
     /// Append one record and fsync it. On return the record is durable.
@@ -254,7 +353,9 @@ impl MutationWal {
     ) -> Result<(), PersistError> {
         if !self.healthy {
             return Err(PersistError::Io(
-                "WAL is unusable: a failed append or truncate could not be rolled back".into(),
+                "WAL handle is poisoned (failed fsync or un-rollbackable write); \
+                 reopen_and_verify() before appending"
+                    .into(),
             ));
         }
         if records.is_empty() {
@@ -285,47 +386,55 @@ impl MutationWal {
             buf.extend_from_slice(op_bytes);
             buf.extend_from_slice(&crc.to_le_bytes());
         }
-        let wrote = self
-            .file
-            .write_all(&buf)
-            .and_then(|()| self.file.sync_data());
-        match wrote {
-            Ok(()) => {
-                self.len += buf.len() as u64;
-                Ok(())
+        if let Err(e) = self.file.write_all(&buf) {
+            // A failed *write* (short write, ENOSPC) left the descriptor's
+            // sync state trustworthy — only the file tail is suspect. A
+            // partial write would otherwise sit *between* the valid prefix
+            // and any future (successful, acknowledged) append, and recovery
+            // would refuse the log as mid-damaged. Roll back to the
+            // whole-record prefix; if even that fails, poison the handle.
+            let rolled = self
+                .file
+                .set_len(self.len)
+                .and_then(|()| self.file.seek_to(self.len))
+                .and_then(|()| self.file.sync_data());
+            if rolled.is_err() {
+                self.healthy = false;
             }
-            Err(e) => {
-                // A partial write would otherwise sit *between* the valid
-                // prefix and any future (successful, acknowledged) append,
-                // and recovery would truncate those acknowledged records
-                // away at the torn frame. Roll back to the whole-record
-                // prefix; if even that fails, poison the log.
-                use std::io::Seek;
-                let rolled = self
-                    .file
-                    .set_len(self.len)
-                    .and_then(|()| self.file.seek(std::io::SeekFrom::Start(self.len)))
-                    .and_then(|_| self.file.sync_data());
-                if rolled.is_err() {
-                    self.healthy = false;
-                }
-                Err(e.into())
-            }
+            return Err(e.into());
         }
+        if let Err(e) = self.file.sync_data() {
+            // fsyncgate: the durable state of everything written since the
+            // last successful sync is now UNKNOWN — the kernel may have
+            // dropped the dirty pages, and a retried fsync on this same
+            // descriptor can report success without them. No rollback is
+            // attempted (set_len + sync on this descriptor proves nothing);
+            // the handle is poisoned until reopen_and_verify().
+            self.healthy = false;
+            return Err(e.into());
+        }
+        self.len += buf.len() as u64;
+        Ok(())
     }
 
     /// Drop every record (after a checkpoint made them redundant), keeping
     /// the file header. A fully successful truncation also restores a
-    /// poisoned log to health (it removes whatever torn bytes a failed
-    /// rollback left behind); a truncation that fails partway — e.g. a
-    /// half-written header — poisons the log instead, so no later append
-    /// can land bytes that recovery would misparse or discard.
+    /// poisoned log to health — but never on the poisoned descriptor
+    /// itself: a handle whose fsync lied once may lie again, so the
+    /// truncation happens on a freshly opened one. A truncation that fails
+    /// partway — e.g. a half-written header — poisons the log instead, so
+    /// no later append can land bytes that recovery would misparse or
+    /// discard.
     pub fn truncate(&mut self) -> Result<(), PersistError> {
+        if !self.healthy {
+            // Discard the poisoned descriptor first (fsyncgate: its syncs
+            // can no longer be trusted to report loss).
+            self.file = self.io.open_rw(&self.path)?;
+        }
         let result = (|| {
             self.file.set_len(0)?;
-            use std::io::Seek;
-            self.file.seek(std::io::SeekFrom::Start(0))?;
-            write_header(&mut self.file)
+            self.file.seek_to(0)?;
+            write_header(self.file.as_mut())
         })();
         match result {
             Ok(header_len) => {
@@ -342,7 +451,7 @@ impl MutationWal {
 }
 
 /// Write the WAL header frame; returns the header length in bytes.
-fn write_header(file: &mut fs::File) -> Result<u64, PersistError> {
+fn write_header(file: &mut dyn DurableFile) -> Result<u64, PersistError> {
     let header = frame_bytes(&file_header(FileKind::Wal))?;
     file.write_all(&header)?;
     file.sync_all()?;
@@ -352,9 +461,11 @@ fn write_header(file: &mut fs::File) -> Result<u64, PersistError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::{FaultInjector, FaultIo, FaultKind, FaultSpec, FileClass};
     use crate::test_dir;
     use pbds_algebra::{col, lit};
     use pbds_storage::Value;
+    use std::fs;
 
     fn sample_records() -> Vec<WalRecord> {
         vec![
@@ -547,5 +658,127 @@ mod tests {
         let (records, len) = read_records(&dir.join("nope.pbds")).unwrap();
         assert!(records.is_empty());
         assert_eq!(len, 0);
+    }
+
+    #[test]
+    fn mid_log_bit_flip_is_corruption_not_silent_truncation() {
+        let dir = test_dir("wal_mid_log_corruption");
+        let path = dir.join(WAL_FILE);
+        let (mut wal, _) = MutationWal::open(&path).unwrap();
+        let all = sample_records();
+        let mut boundaries = vec![fs::metadata(&path).unwrap().len() as usize];
+        for r in &all {
+            wal.append(r).unwrap();
+            boundaries.push(fs::metadata(&path).unwrap().len() as usize);
+        }
+        drop(wal);
+        let bytes = fs::read(&path).unwrap();
+        // Flip one bit inside the FIRST record (an acknowledged mutation
+        // with more acknowledged mutations after it). Torn-tail truncation
+        // here would silently drop records 1..; recovery must refuse.
+        for offset in [
+            boundaries[0] + 6, // first record's payload
+            boundaries[1] + 6, // second record's payload
+            bytes.len() - 6,   // last record's payload (complete frame)
+            boundaries[0] + 1, // first record's length prefix (shrinks)
+        ] {
+            let mut bad = bytes.clone();
+            bad[offset] ^= 0x01;
+            fs::write(&path, &bad).unwrap();
+            let err = read_records(&path);
+            assert!(
+                err.is_err(),
+                "bit flip at byte {offset} was silently tolerated: {err:?}"
+            );
+            assert!(
+                MutationWal::open(&path).is_err(),
+                "open accepted flip at {offset}"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_fsync_poisons_the_handle_until_reopen_and_verify() {
+        let dir = test_dir("wal_fsyncgate");
+        let path = dir.join(WAL_FILE);
+        let inj = FaultInjector::new(1234);
+        let io: Arc<dyn Io> = Arc::new(FaultIo::new(Arc::clone(&inj)));
+        let (mut wal, _) = MutationWal::open_with(Arc::clone(&io), &path).unwrap();
+        let all = sample_records();
+        wal.append(&all[0]).unwrap();
+        inj.inject(FaultSpec {
+            kind: FaultKind::FsyncFail,
+            class: FileClass::Wal,
+            skip: 0,
+        });
+        // The batch fails, and the handle refuses everything after.
+        assert!(wal.append(&all[1]).is_err());
+        assert!(!wal.is_healthy());
+        let refused = wal.append(&all[2]).unwrap_err();
+        assert!(refused.to_string().contains("poisoned"), "{refused}");
+        // reopen_and_verify lands on a verified whole-record prefix: record
+        // 0 for sure (synced before the fault), record 1 only if the seeded
+        // page loss happened to keep all its bytes.
+        let records = wal.reopen_and_verify().unwrap();
+        assert!(!records.is_empty() && records[0] == all[0]);
+        assert!(records.len() <= 2);
+        assert!(wal.is_healthy());
+        // Appends resume and the log stays fully readable.
+        wal.append(&all[2]).unwrap();
+        drop(wal);
+        let (recovered, _) = read_records(&path).unwrap();
+        assert_eq!(recovered.len(), records.len() + 1);
+        assert_eq!(recovered.last().unwrap(), &all[2]);
+    }
+
+    #[test]
+    fn truncate_reopens_a_poisoned_descriptor_before_reuse() {
+        let dir = test_dir("wal_truncate_heals");
+        let path = dir.join(WAL_FILE);
+        let inj = FaultInjector::new(99);
+        let io: Arc<dyn Io> = Arc::new(FaultIo::new(Arc::clone(&inj)));
+        let (mut wal, _) = MutationWal::open_with(Arc::clone(&io), &path).unwrap();
+        let all = sample_records();
+        wal.append(&all[0]).unwrap();
+        inj.inject(FaultSpec {
+            kind: FaultKind::FsyncFail,
+            class: FileClass::Wal,
+            skip: 0,
+        });
+        assert!(wal.append(&all[1]).is_err());
+        assert!(!wal.is_healthy());
+        // A checkpoint-driven truncate restores health on a fresh fd.
+        wal.truncate().unwrap();
+        assert!(wal.is_healthy());
+        wal.append(&all[2]).unwrap();
+        drop(wal);
+        let (records, _) = read_records(&path).unwrap();
+        assert_eq!(records, vec![all[2].clone()]);
+    }
+
+    #[test]
+    fn short_write_rolls_back_to_the_acknowledged_prefix() {
+        let dir = test_dir("wal_short_write_rollback");
+        let path = dir.join(WAL_FILE);
+        let inj = FaultInjector::new(7);
+        let io: Arc<dyn Io> = Arc::new(FaultIo::new(Arc::clone(&inj)));
+        let (mut wal, _) = MutationWal::open_with(Arc::clone(&io), &path).unwrap();
+        let all = sample_records();
+        wal.append(&all[0]).unwrap();
+        let acked_len = fs::metadata(&path).unwrap().len();
+        inj.inject(FaultSpec {
+            kind: FaultKind::ShortWrite,
+            class: FileClass::Wal,
+            skip: 0,
+        });
+        assert!(wal.append(&all[1]).is_err());
+        // A failed write is rolled back in place: no torn bytes on disk,
+        // the handle stays healthy, the next append succeeds.
+        assert_eq!(fs::metadata(&path).unwrap().len(), acked_len);
+        assert!(wal.is_healthy());
+        wal.append(&all[2]).unwrap();
+        drop(wal);
+        let (records, _) = read_records(&path).unwrap();
+        assert_eq!(records, vec![all[0].clone(), all[2].clone()]);
     }
 }
