@@ -1,0 +1,43 @@
+//! Fixture: no lint fires here — exercises test-region masking, in-source
+//! `audit:allow` markers, and lint-looking text inside strings, comments
+//! and doc comments. Scanned by the pbds-audit tests as
+//! `crates/core/src/clean.rs`; never compiled.
+
+use std::sync::{Mutex, PoisonError};
+
+/// Doc comments mentioning `println!`, `std::fs` or `OpenOptions` are not
+/// code and must not fire.
+pub fn fine(m: &Mutex<u32>) -> u32 {
+    // Comment with OpenOptions and .lock().unwrap() — also not code.
+    let s = "println!(\"not code\") std::fs";
+    let r = r#"File::open OpenOptions .read().unwrap()"#;
+    let quote = '"';
+    let _ = (s, r, quote);
+    *m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn marked() {
+    // audit:allow(L2)
+    println!("explicitly allowed diagnostic");
+}
+
+#[cfg(test)]
+pub(crate) fn test_scratch_dir() -> std::path::PathBuf {
+    // std::fs in test-only helpers is fine.
+    let dir = std::path::PathBuf::from("scratch");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    #[test]
+    fn tests_may_do_anything() {
+        println!("test output is fine");
+        let _ = std::fs::read("x");
+        let m = Mutex::new(1u32);
+        assert_eq!(*m.lock().unwrap(), 1);
+    }
+}

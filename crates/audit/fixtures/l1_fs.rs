@@ -1,0 +1,22 @@
+//! Fixture: lint L1 — raw filesystem access outside the pbds-persist I/O
+//! seam. Scanned by the pbds-audit tests as `crates/example/src/bad.rs`;
+//! never compiled.
+
+use std::io::Read;
+
+pub fn read_config(path: &str) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_default()
+}
+
+pub fn open_raw(path: &str) -> usize {
+    use std::fs::File;
+    let mut buf = Vec::new();
+    if let Ok(mut f) = File::open(path) {
+        let _ = f.read_to_end(&mut buf);
+    }
+    buf.len()
+}
+
+pub fn append_raw(path: &str) {
+    let _ = OpenOptions::new().append(true).open(path);
+}

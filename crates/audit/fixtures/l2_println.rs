@@ -1,0 +1,10 @@
+//! Fixture: lint L2 — stdout/stderr printing from a library crate.
+//! Scanned by the pbds-audit tests; never compiled.
+
+pub fn report(value: u64) {
+    println!("value = {value}");
+}
+
+pub fn warn(value: u64) {
+    eprintln!("warning: value = {value}");
+}

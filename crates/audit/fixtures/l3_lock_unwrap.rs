@@ -1,0 +1,15 @@
+//! Fixture: lint L3 — honoring the poison flag on lock guards.
+//! Scanned by the pbds-audit tests; never compiled.
+
+use std::sync::{Mutex, RwLock};
+
+pub fn bad(m: &Mutex<u32>, rw: &RwLock<u32>) -> u32 {
+    let a = *m.lock().unwrap();
+    let b = *rw.read().expect("poisoned");
+    *rw.write().unwrap() += 1;
+    a + b
+}
+
+pub fn fine(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

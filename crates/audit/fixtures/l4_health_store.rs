@@ -1,0 +1,36 @@
+//! Fixture: lint L4 — direct mutation of the health `AtomicU8` outside
+//! the `settle_health` / `degrade` helpers. Scanned by the pbds-audit
+//! tests as `crates/core/src/bad.rs`; never compiled.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+pub struct Shared {
+    health: AtomicU8,
+}
+
+impl Shared {
+    pub fn sneaky_store(&self) {
+        self.health.store(3, Ordering::SeqCst);
+    }
+
+    pub fn sneaky_escalate(&self) {
+        self.health.fetch_max(2, Ordering::SeqCst);
+    }
+
+    pub fn peek(&self) -> u8 {
+        // Loads are fine anywhere.
+        self.health.load(Ordering::SeqCst)
+    }
+
+    fn settle_health(&self) {
+        // Allowed: the designated monotone helper.
+        let _ = self
+            .health
+            .compare_exchange(1, 0, Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    fn degrade(&self) {
+        // Allowed: monotone escalation helper.
+        self.health.fetch_max(1, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture: lint L5 — a `&mut self` fn in `impl Table` that never calls
+//! `invalidate_derived`, letting derived caches (zone maps, indexes,
+//! sketch epochs) go stale. Scanned by the pbds-audit tests as
+//! `crates/storage/src/table.rs`; never compiled.
+
+pub struct Table {
+    rows: Vec<u64>,
+    epoch: u64,
+}
+
+impl Table {
+    pub fn invalidate_derived(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    pub fn append_ok(&mut self, row: u64) {
+        self.rows.push(row);
+        self.invalidate_derived();
+    }
+
+    pub fn rename_me_bad_mutator(&mut self, row: u64) {
+        self.rows.push(row);
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+}

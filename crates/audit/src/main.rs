@@ -1,0 +1,42 @@
+//! CLI entry point: audit the PBDS workspace and exit non-zero on any
+//! violation not covered by `audit.allow` or an in-source
+//! `audit:allow(..)` marker.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // crates/audit/src/main.rs → repo root is two levels above the
+    // manifest dir. Resolved at compile time, so the binary runs the same
+    // from any working directory inside the checkout.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolvable from CARGO_MANIFEST_DIR");
+    match pbds_audit::audit_workspace(&root) {
+        Ok(report) => {
+            for v in &report.violations {
+                eprintln!("{v}");
+            }
+            if report.violations.is_empty() {
+                println!(
+                    "pbds-audit: OK ({} files scanned, {} allowlisted)",
+                    report.files_scanned, report.suppressed
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "pbds-audit: {} violation(s) in {} files scanned ({} allowlisted)",
+                    report.violations.len(),
+                    report.files_scanned,
+                    report.suppressed
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("pbds-audit: error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

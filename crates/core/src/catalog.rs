@@ -9,7 +9,7 @@
 //! * **template-keyed and sharded** — entries are grouped by template key
 //!   (name + structural fingerprint, so same-named templates of different
 //!   shape can never see each other's sketches);
-//!   templates are distributed over [`RwLock`]-protected shards so sessions
+//!   templates are distributed over [`TrackedRwLock`]-protected shards so sessions
 //!   serving different templates never contend on one lock, and sessions
 //!   serving the *same* template share a read lock on the hot reuse path;
 //! * **memoized reuse checks** — the solver-backed reuse check
@@ -48,7 +48,9 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::Arc;
+
+use pbds_sync::{TrackedMutex, TrackedRwLock};
 
 /// Configuration of a [`SketchCatalog`].
 #[derive(Debug, Clone)]
@@ -297,15 +299,15 @@ struct TemplateMeta {
 /// template. See the [module docs](self) for the design.
 pub struct SketchCatalog {
     config: CatalogConfig,
-    shards: Vec<RwLock<Shard>>,
-    meta: Mutex<HashMap<String, TemplateMeta>>,
-    partitions: RwLock<HashMap<(String, String), PartitionRef>>,
+    shards: Vec<TrackedRwLock<Shard>>,
+    meta: TrackedMutex<HashMap<String, TemplateMeta>>,
+    partitions: TrackedRwLock<HashMap<(String, String), PartitionRef>>,
     /// Bindings whose capture is currently in flight (server sessions use
     /// this to avoid enqueueing duplicate capture work).
-    pending: Mutex<HashSet<MemoKey>>,
+    pending: TrackedMutex<HashSet<MemoKey>>,
     /// Per-table epoch of the last mutation the catalog processed; inserts
     /// of sketch sets captured against an older epoch are rejected as stale.
-    table_epochs: RwLock<HashMap<String, u64>>,
+    table_epochs: TrackedRwLock<HashMap<String, u64>>,
     bytes: AtomicUsize,
     clock: AtomicU64,
     next_id: AtomicU64,
@@ -337,15 +339,15 @@ impl SketchCatalog {
     /// Create a catalog with the given configuration.
     pub fn new(config: CatalogConfig) -> Self {
         let shards = (0..config.shards.max(1))
-            .map(|_| RwLock::new(Shard::default()))
+            .map(|_| TrackedRwLock::new("catalog.shard", Shard::default()))
             .collect();
         SketchCatalog {
             config,
             shards,
-            meta: Mutex::new(HashMap::new()),
-            partitions: RwLock::new(HashMap::new()),
-            pending: Mutex::new(HashSet::new()),
-            table_epochs: RwLock::new(HashMap::new()),
+            meta: TrackedMutex::new("catalog.meta", HashMap::new()),
+            partitions: TrackedRwLock::new("catalog.partitions", HashMap::new()),
+            pending: TrackedMutex::new("catalog.pending", HashSet::new()),
+            table_epochs: TrackedRwLock::new("catalog.table_epochs", HashMap::new()),
             bytes: AtomicUsize::new(0),
             clock: AtomicU64::new(0),
             next_id: AtomicU64::new(0),
@@ -367,7 +369,7 @@ impl SketchCatalog {
         })
     }
 
-    fn shard_for(&self, template: &str) -> &RwLock<Shard> {
+    fn shard_for(&self, template: &str) -> &TrackedRwLock<Shard> {
         let mut h = DefaultHasher::new();
         template.hash(&mut h);
         &self.shards[(h.finish() as usize) % self.shards.len()]
@@ -392,7 +394,7 @@ impl SketchCatalog {
 
         // Fast path: memo lookup + fresh reuse scan under the read lock.
         let (outcome, version) = {
-            let guard = shard.read().expect("catalog shard poisoned");
+            let guard = shard.read();
             if let Some(&memo) = guard.memo.get(&key) {
                 match memo {
                     // The memoized entry is only served while its capture
@@ -455,7 +457,7 @@ impl SketchCatalog {
         // forward — is snapshot-dependent: caching its miss would suppress
         // reuse for every later current-snapshot lookup of this binding.
         {
-            let mut guard = shard.write().expect("catalog shard poisoned");
+            let mut guard = shard.write();
             let all_fresh = guard
                 .entries
                 .get(&name)
@@ -479,10 +481,7 @@ impl SketchCatalog {
     pub fn is_covered(&self, db: &Database, template: &QueryTemplate, binding: &[Value]) -> bool {
         let name = template_key(template);
         let key: MemoKey = (name.clone(), binding.to_vec());
-        let guard = self
-            .shard_for(&name)
-            .read()
-            .expect("catalog shard poisoned");
+        let guard = self.shard_for(&name).read();
         if let Some(&memo) = guard.memo.get(&key) {
             return memo.is_some();
         }
@@ -503,10 +502,7 @@ impl SketchCatalog {
     ) {
         let name = template_key(template);
         let key: MemoKey = (name.clone(), binding.to_vec());
-        let mut guard = self
-            .shard_for(&name)
-            .write()
-            .expect("catalog shard poisoned");
+        let mut guard = self.shard_for(&name).write();
         guard.version += 1; // invalidate concurrent memo writes for this pair
         guard.memo.remove(&key);
         // Bound the denial set by evicting single pairs, never wholesale: a
@@ -537,7 +533,7 @@ impl SketchCatalog {
     ) -> Option<u64> {
         let capture_epochs = capture_epochs_of(db, &sketches);
         {
-            let mut known = self.table_epochs.write().expect("table epochs poisoned");
+            let mut known = self.table_epochs.write();
             for (table, &epoch) in &capture_epochs {
                 match known.get(table) {
                     Some(&k) if k > epoch => {
@@ -556,7 +552,6 @@ impl SketchCatalog {
         // maintenance can spare the caches of unrelated templates.
         self.meta
             .lock()
-            .expect("catalog meta poisoned")
             .entry(name.clone())
             .or_default()
             .tables
@@ -574,10 +569,7 @@ impl SketchCatalog {
             uses: AtomicU64::new(0),
         };
         {
-            let mut guard = self
-                .shard_for(&name)
-                .write()
-                .expect("catalog shard poisoned");
+            let mut guard = self.shard_for(&name).write();
             guard.version += 1;
             // The new sketch may answer bindings that previously missed:
             // negative memo entries for this template are now stale.
@@ -711,7 +703,7 @@ impl SketchCatalog {
         self.maintenance_deltas
             .fetch_add(deltas.len() as u64, Ordering::Relaxed);
         {
-            let mut known = self.table_epochs.write().expect("table epochs poisoned");
+            let mut known = self.table_epochs.write();
             for d in deltas {
                 known.insert(d.table().to_string(), d.new_epoch());
             }
@@ -724,7 +716,7 @@ impl SketchCatalog {
             .collect();
         let unaffected = self.templates_unaffected_by_all(&affected);
         for shard in &self.shards {
-            let mut guard = shard.write().expect("catalog shard poisoned");
+            let mut guard = shard.write();
             guard.version += 1;
             guard.memo.retain(|(tkey, _), _| unaffected.contains(tkey));
             let mut freed = 0usize;
@@ -786,7 +778,6 @@ impl SketchCatalog {
         if !deleted.is_empty() {
             self.partitions
                 .write()
-                .expect("partition cache poisoned")
                 .retain(|(t, _), _| !deleted.contains(t.as_str()));
         }
         for table in affected {
@@ -800,7 +791,7 @@ impl SketchCatalog {
     /// whose table set is not known yet); templates over unrelated tables
     /// keep their caches.
     fn reset_template_meta(&self, table: &str, reset_evidence: bool) {
-        let mut meta = self.meta.lock().expect("catalog meta poisoned");
+        let mut meta = self.meta.lock();
         for entry in meta.values_mut() {
             if entry.tables.as_ref().is_none_or(|ts| ts.contains(table)) {
                 entry.safe_attrs = None;
@@ -816,7 +807,7 @@ impl SketchCatalog {
     /// else — including templates the catalog has no table set for — must be
     /// invalidated.
     fn templates_unaffected_by_all(&self, tables: &HashSet<&str>) -> HashSet<String> {
-        let meta = self.meta.lock().expect("catalog meta poisoned");
+        let meta = self.meta.lock();
         meta.iter()
             .filter(|(_, m)| {
                 m.tables
@@ -844,7 +835,7 @@ impl SketchCatalog {
             // One global scan collecting (last_used, shard, id, bytes).
             let mut candidates: Vec<(u64, usize, u64, usize)> = Vec::new();
             for (si, shard) in self.shards.iter().enumerate() {
-                let guard = shard.read().expect("catalog shard poisoned");
+                let guard = shard.read();
                 for entries in guard.entries.values() {
                     for e in entries {
                         if e.id != keep_id {
@@ -874,7 +865,7 @@ impl SketchCatalog {
             }
             let mut evicted_any = false;
             for (si, ids) in victims_by_shard {
-                let mut guard = self.shards[si].write().expect("catalog shard poisoned");
+                let mut guard = self.shards[si].write();
                 for vid in ids {
                     let mut freed = None;
                     for entries in guard.entries.values_mut() {
@@ -913,7 +904,7 @@ impl SketchCatalog {
     pub fn export(&self) -> PersistedCatalog {
         let mut entries: Vec<PersistedCatalogEntry> = Vec::new();
         for shard in &self.shards {
-            let guard = shard.read().expect("catalog shard poisoned");
+            let guard = shard.read();
             for (key, stored) in &guard.entries {
                 for e in stored {
                     let mut capture_epochs: Vec<(String, u64)> = e
@@ -950,7 +941,7 @@ impl SketchCatalog {
     /// entries start with cold LRU stamps and zero use counts.
     pub fn import(&self, db: &Database, persisted: PersistedCatalog) -> CatalogImport {
         {
-            let mut known = self.table_epochs.write().expect("table epochs poisoned");
+            let mut known = self.table_epochs.write();
             for name in db.table_names() {
                 let epoch = db.table(name).expect("listed table exists").data_epoch();
                 known.insert(name.to_string(), epoch);
@@ -988,10 +979,7 @@ impl SketchCatalog {
                 uses: AtomicU64::new(0),
             };
             {
-                let mut guard = self
-                    .shard_for(&entry.template_key)
-                    .write()
-                    .expect("catalog shard poisoned");
+                let mut guard = self.shard_for(&entry.template_key).write();
                 guard.version += 1;
                 guard
                     .entries
@@ -1014,14 +1002,7 @@ impl SketchCatalog {
     pub fn stored_sketches(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| {
-                s.read()
-                    .expect("catalog shard poisoned")
-                    .entries
-                    .values()
-                    .map(|v| v.len())
-                    .sum::<usize>()
-            })
+            .map(|s| s.read().entries.values().map(|v| v.len()).sum::<usize>())
             .sum()
     }
 
@@ -1049,7 +1030,7 @@ impl SketchCatalog {
     ) -> Option<Vec<PartitionAttr>> {
         let key = template_key(template);
         {
-            let meta = self.meta.lock().expect("catalog meta poisoned");
+            let meta = self.meta.lock();
             if let Some(known) = meta.get(&key).and_then(|m| m.safe_attrs.clone()) {
                 return known;
             }
@@ -1059,7 +1040,7 @@ impl SketchCatalog {
         // serving unrelated templates. A racing duplicate computation is
         // deterministic, so first-writer-wins is safe.
         let computed = SafetyChecker::new(db).choose_safe_attributes(template.plan(), &[]);
-        let mut meta = self.meta.lock().expect("catalog meta poisoned");
+        let mut meta = self.meta.lock();
         let entry = meta.entry(key).or_default();
         if entry.safe_attrs.is_none() {
             entry.safe_attrs = Some(computed);
@@ -1074,7 +1055,7 @@ impl SketchCatalog {
     /// `true` (and resets the counter) once `threshold` missed reuse
     /// opportunities have accumulated.
     pub fn evidence_reached(&self, template: &QueryTemplate, threshold: usize) -> bool {
-        let mut meta = self.meta.lock().expect("catalog meta poisoned");
+        let mut meta = self.meta.lock();
         let entry = meta.entry(template_key(template)).or_default();
         entry.evidence += 1;
         if entry.evidence >= threshold {
@@ -1093,12 +1074,7 @@ impl SketchCatalog {
         fragments: usize,
     ) -> Option<PartitionRef> {
         let key = (attr.table.clone(), attr.column.clone());
-        if let Some(p) = self
-            .partitions
-            .read()
-            .expect("partition cache poisoned")
-            .get(&key)
-        {
+        if let Some(p) = self.partitions.read().get(&key) {
             return Some(p.clone());
         }
         let table = db.table(&attr.table).ok()?;
@@ -1112,14 +1088,7 @@ impl SketchCatalog {
         let part: PartitionRef = Arc::new(Partition::Range(partition));
         // Under a race, hand every caller the cached winner so all captures
         // share one `Arc<Partition>` per (table, column).
-        Some(
-            self.partitions
-                .write()
-                .expect("partition cache poisoned")
-                .entry(key)
-                .or_insert(part)
-                .clone(),
-        )
+        Some(self.partitions.write().entry(key).or_insert(part).clone())
     }
 
     /// Mark a `(template, binding)` capture as in flight. Returns `false`
@@ -1127,7 +1096,6 @@ impl SketchCatalog {
     pub fn begin_capture(&self, template: &QueryTemplate, binding: &[Value]) -> bool {
         self.pending
             .lock()
-            .expect("pending set poisoned")
             .insert((template_key(template), binding.to_vec()))
     }
 
@@ -1135,7 +1103,6 @@ impl SketchCatalog {
     pub fn finish_capture(&self, template: &QueryTemplate, binding: &[Value]) {
         self.pending
             .lock()
-            .expect("pending set poisoned")
             .remove(&(template_key(template), binding.to_vec()));
     }
 
@@ -1145,7 +1112,6 @@ impl SketchCatalog {
             .iter()
             .map(|s| {
                 s.read()
-                    .expect("catalog shard poisoned")
                     .entries
                     .values()
                     .flatten()

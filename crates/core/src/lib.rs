@@ -86,6 +86,10 @@ pub use pbds_persist as persist;
 pub use pbds_provenance as provenance;
 pub use pbds_solver as solver;
 pub use pbds_storage as storage;
+pub use pbds_sync as sync;
+
+// Hold-time counters surfaced through `RobustnessEvents::lock_holds`.
+pub use pbds_sync::LockHoldStat;
 
 pub use pbds_exec::{Engine, EngineProfile, ExecStats, QueryOutput};
 pub use pbds_provenance::{

@@ -58,7 +58,9 @@ use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::Arc;
+
+use pbds_sync::{LockHoldStat, TrackedCondvar, TrackedMutex, TrackedRwLock};
 use std::thread::JoinHandle;
 
 /// Configuration of a [`PbdsServer`].
@@ -206,6 +208,12 @@ pub struct RobustnessEvents {
     pub capture_disabled: bool,
     /// Most recent event messages, oldest first.
     pub messages: Vec<String>,
+    /// Per-lock-class hold statistics (acquisitions, total/max hold time)
+    /// from the `pbds-sync` tracked wrappers. The counters are
+    /// **process-wide** — every server in the process shares its lock
+    /// classes — and empty in release builds without the `lock-order`
+    /// feature, where the wrappers are plain passthroughs.
+    pub lock_holds: Vec<LockHoldStat>,
 }
 
 /// Where [`PbdsServer::inject_panic`] plants a one-shot panic (for fault
@@ -239,6 +247,12 @@ pub struct ServedQuery {
     pub record: QueryRecord,
     /// True when this miss enqueued background capture work.
     pub capture_enqueued: bool,
+    /// The database snapshot this query was served against. A session takes
+    /// exactly one snapshot per query, so `relation` must equal plain
+    /// execution against this state — the linearizability suites assert
+    /// exactly that, instead of guessing which published state a racing
+    /// reader might have seen.
+    pub snapshot: Arc<Database>,
 }
 
 struct CaptureTask {
@@ -252,26 +266,26 @@ struct ServerShared {
     /// The served database, swapped atomically once per commit batch.
     /// Sessions and capture workers take an `Arc` snapshot per unit of work,
     /// so every query executes against one consistent database state.
-    db: RwLock<Arc<Database>>,
+    db: TrackedRwLock<Arc<Database>>,
     /// Serializes the commit thread's batch application against explicit
     /// [`PbdsServer::checkpoint`] calls: the whole read-snapshot →
     /// copy-on-write → swap cycle runs under this lock, so the snapshot a
     /// checkpoint writes can never interleave with a half-applied batch.
-    mutation_lock: Mutex<()>,
+    mutation_lock: TrackedMutex<()>,
     catalog: Arc<SketchCatalog>,
     engine: Engine,
     config: ServerConfig,
     /// Durability state; `None` for a purely in-memory server. Lives in the
     /// shared state so the commit thread can append and checkpoint.
-    persist: Option<Mutex<Persistence>>,
+    persist: Option<TrackedMutex<Persistence>>,
     /// Capture tasks enqueued but not yet finished, with a condvar for
     /// [`PbdsServer::drain`].
-    in_flight: Mutex<usize>,
-    drained: Condvar,
+    in_flight: TrackedMutex<usize>,
+    drained: TrackedCondvar,
     /// Mutations submitted to the ingest queue but not yet completed, with a
     /// condvar so [`PbdsServer::drain`] can also flush the write path.
-    backlog: Mutex<usize>,
-    backlog_drained: Condvar,
+    backlog: TrackedMutex<usize>,
+    backlog_drained: TrackedCondvar,
     /// Completed background captures and their cumulative wall-clock nanos.
     captures_done: AtomicU64,
     capture_nanos: AtomicU64,
@@ -300,10 +314,10 @@ struct ServerShared {
     capture_disabled: AtomicBool,
     /// Bounded ring of recent event messages (see
     /// [`RobustnessEvents::messages`]).
-    event_log: Mutex<VecDeque<String>>,
+    event_log: TrackedMutex<VecDeque<String>>,
     /// Janitor wake-up state + condvar ([`ServerShared::request_repair`]).
-    repair: Mutex<RepairState>,
-    repair_cv: Condvar,
+    repair: TrackedMutex<RepairState>,
+    repair_cv: TrackedCondvar,
     /// One-shot injected panics, indexed by [`PanicSite`] discriminant.
     injected_panics: [AtomicBool; 3],
 }
@@ -318,11 +332,11 @@ struct RepairState {
 impl ServerShared {
     /// The current database snapshot.
     fn snapshot(&self) -> Arc<Database> {
-        Arc::clone(&self.db.read().expect("database lock poisoned"))
+        Arc::clone(&self.db.read())
     }
 
     fn capture_finished(&self) {
-        let mut n = self.in_flight.lock().expect("in_flight poisoned");
+        let mut n = self.in_flight.lock();
         *n -= 1;
         if *n == 0 {
             self.drained.notify_all();
@@ -330,7 +344,7 @@ impl ServerShared {
     }
 
     fn writes_finished(&self, count: usize) {
-        let mut n = self.backlog.lock().expect("backlog poisoned");
+        let mut n = self.backlog.lock();
         *n -= count;
         if *n == 0 {
             self.backlog_drained.notify_all();
@@ -367,10 +381,8 @@ impl ServerShared {
     /// while holding it is already contained (the commit loop catches it and
     /// requests checkpoint repair), so honoring the poison flag would turn
     /// one contained panic into a permanently wedged write path.
-    fn serialize_mutations(&self) -> std::sync::MutexGuard<'_, ()> {
-        self.mutation_lock
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    fn serialize_mutations(&self) -> pbds_sync::MutexGuard<'_, ()> {
+        self.mutation_lock.lock()
     }
 
     /// Current health state.
@@ -427,7 +439,7 @@ impl ServerShared {
 
     /// Record an event message (bounded ring, oldest dropped).
     fn note(&self, msg: String) {
-        let mut log = self.event_log.lock().expect("event log poisoned");
+        let mut log = self.event_log.lock();
         if log.len() == EVENT_LOG_CAP {
             log.pop_front();
         }
@@ -437,7 +449,7 @@ impl ServerShared {
     /// Wake the janitor thread to attempt repair (no-op without a janitor —
     /// in-memory servers and `repair_attempts: 0`).
     fn request_repair(&self) {
-        let mut state = self.repair.lock().expect("repair state poisoned");
+        let mut state = self.repair.lock();
         state.wanted = true;
         self.repair_cv.notify_all();
     }
@@ -501,22 +513,22 @@ pub struct CommitStats {
 
 /// Shared completion slot of one submitted mutation.
 struct TicketState {
-    done: Mutex<Option<Result<MutationOutcome, PbdsError>>>,
-    cv: Condvar,
+    done: TrackedMutex<Option<Result<MutationOutcome, PbdsError>>>,
+    cv: TrackedCondvar,
 }
 
 impl TicketState {
     fn new() -> Arc<TicketState> {
         Arc::new(TicketState {
-            done: Mutex::new(None),
-            cv: Condvar::new(),
+            done: TrackedMutex::new("server.ticket", None),
+            cv: TrackedCondvar::new(),
         })
     }
 
     /// Complete the ticket; later completions (e.g. the panic backstop after
     /// a normal completion) are ignored.
     fn complete(&self, result: Result<MutationOutcome, PbdsError>) {
-        let mut slot = self.done.lock().expect("ticket poisoned");
+        let mut slot = self.done.lock();
         if slot.is_none() {
             *slot = Some(result);
             self.cv.notify_all();
@@ -524,12 +536,12 @@ impl TicketState {
     }
 
     fn wait(&self) -> Result<MutationOutcome, PbdsError> {
-        let mut slot = self.done.lock().expect("ticket poisoned");
+        let mut slot = self.done.lock();
         loop {
             if let Some(result) = slot.take() {
                 return result;
             }
-            slot = self.cv.wait(slot).expect("ticket poisoned");
+            slot = self.cv.wait(slot);
         }
     }
 }
@@ -555,7 +567,7 @@ impl MutationTicket {
     /// True once the mutation has been completed (successfully or not);
     /// [`MutationTicket::wait`] will then return without blocking.
     pub fn is_complete(&self) -> bool {
-        self.state.done.lock().expect("ticket poisoned").is_some()
+        self.state.done.lock().is_some()
     }
 }
 
@@ -659,16 +671,16 @@ impl PbdsServer {
         recovery: Option<RecoveryReport>,
     ) -> Self {
         let shared = Arc::new(ServerShared {
-            db: RwLock::new(db),
-            mutation_lock: Mutex::new(()),
+            db: TrackedRwLock::new("server.db", db),
+            mutation_lock: TrackedMutex::new("server.mutation", ()),
             catalog,
             engine: Engine::new(config.profile).with_parallelism(config.scan_parallelism),
             config,
-            persist: persist.map(Mutex::new),
-            in_flight: Mutex::new(0),
-            drained: Condvar::new(),
-            backlog: Mutex::new(0),
-            backlog_drained: Condvar::new(),
+            persist: persist.map(|p| TrackedMutex::new("server.persist", p)),
+            in_flight: TrackedMutex::new("server.in_flight", 0),
+            drained: TrackedCondvar::new(),
+            backlog: TrackedMutex::new("server.backlog", 0),
+            backlog_drained: TrackedCondvar::new(),
             captures_done: AtomicU64::new(0),
             capture_nanos: AtomicU64::new(0),
             mutations_submitted: AtomicU64::new(0),
@@ -686,9 +698,9 @@ impl PbdsServer {
             repairs_succeeded: AtomicU64::new(0),
             catalogs_quarantined: AtomicU64::new(0),
             capture_disabled: AtomicBool::new(false),
-            event_log: Mutex::new(VecDeque::new()),
-            repair: Mutex::new(RepairState::default()),
-            repair_cv: Condvar::new(),
+            event_log: TrackedMutex::new("server.event_log", VecDeque::new()),
+            repair: TrackedMutex::new("server.repair", RepairState::default()),
+            repair_cv: TrackedCondvar::new(),
             injected_panics: [
                 AtomicBool::new(false),
                 AtomicBool::new(false),
@@ -704,7 +716,7 @@ impl PbdsServer {
             );
         }
         let (tx, rx) = channel::<CaptureTask>();
-        let rx = Arc::new(Mutex::new(rx));
+        let rx = Arc::new(TrackedMutex::new("server.capture_rx", rx));
         let workers = (0..config.capture_workers.max(1))
             .map(|_| {
                 let shared = Arc::clone(&shared);
@@ -755,7 +767,7 @@ impl PbdsServer {
         config: ServerConfig,
         io: Arc<dyn Io>,
     ) -> Result<PbdsServer, PbdsError> {
-        std::fs::create_dir_all(dir).map_err(PersistError::from)?;
+        io.create_dir_all(dir).map_err(PersistError::from)?;
         // Reset the WAL and catalog *before* renaming the new snapshot in:
         // a crash anywhere in this sequence leaves either the previous
         // incarnation intact (old snapshot + emptied WAL/catalog — a
@@ -916,7 +928,7 @@ impl PbdsServer {
         let Some(persist) = &self.shared.persist else {
             return Err(PbdsError::NotDurable);
         };
-        let mut p = persist.lock().expect("persistence state poisoned");
+        let mut p = persist.lock();
         // A successful checkpoint re-establishes full durability (fresh
         // snapshot, fresh WAL on a fresh descriptor), so it doubles as the
         // explicit repair path: settle a degraded/read-only server back to
@@ -944,13 +956,8 @@ impl PbdsServer {
             repairs_succeeded: s.repairs_succeeded.load(Ordering::Relaxed),
             catalogs_quarantined: s.catalogs_quarantined.load(Ordering::Relaxed),
             capture_disabled: s.capture_disabled.load(Ordering::Relaxed),
-            messages: s
-                .event_log
-                .lock()
-                .expect("event log poisoned")
-                .iter()
-                .cloned()
-                .collect(),
+            messages: s.event_log.lock().iter().cloned().collect(),
+            lock_holds: pbds_sync::hold_stats(),
         }
     }
 
@@ -1077,7 +1084,7 @@ impl PbdsServer {
         self.shared
             .mutations_submitted
             .fetch_add(1, Ordering::Relaxed);
-        *self.shared.backlog.lock().expect("backlog poisoned") += 1;
+        *self.shared.backlog.lock() += 1;
         let request = WriteRequest {
             table: table.to_string(),
             mutation,
@@ -1175,19 +1182,11 @@ impl PbdsServer {
     /// capture task has finished.
     pub fn drain(&self) {
         {
-            let guard = self.shared.backlog.lock().expect("backlog poisoned");
-            let _unused = self
-                .shared
-                .backlog_drained
-                .wait_while(guard, |n| *n > 0)
-                .expect("backlog poisoned");
+            let guard = self.shared.backlog.lock();
+            let _unused = self.shared.backlog_drained.wait_while(guard, |n| *n > 0);
         }
-        let guard = self.shared.in_flight.lock().expect("in_flight poisoned");
-        let _unused = self
-            .shared
-            .drained
-            .wait_while(guard, |n| *n > 0)
-            .expect("in_flight poisoned");
+        let guard = self.shared.in_flight.lock();
+        let _unused = self.shared.drained.wait_while(guard, |n| *n > 0);
     }
 
     /// `(completed background captures, cumulative capture wall-clock)`.
@@ -1210,7 +1209,7 @@ impl Drop for PbdsServer {
         }
         if let Some(janitor) = self.janitor.take() {
             {
-                let mut state = self.shared.repair.lock().expect("repair state poisoned");
+                let mut state = self.shared.repair.lock();
                 state.shutdown = true;
             }
             self.shared.repair_cv.notify_all();
@@ -1279,6 +1278,7 @@ impl PbdsSession<'_> {
                 relation,
                 record,
                 capture_enqueued: false,
+                snapshot: db,
             });
         }
 
@@ -1314,7 +1314,7 @@ impl PbdsSession<'_> {
             shared.catalog.finish_capture(template, binding);
             return false;
         };
-        *shared.in_flight.lock().expect("in_flight poisoned") += 1;
+        *shared.in_flight.lock() += 1;
         let task = CaptureTask {
             template: template.clone(),
             binding: binding.to_vec(),
@@ -1329,7 +1329,7 @@ impl PbdsSession<'_> {
 
     fn plain(
         &self,
-        db: &Database,
+        db: &Arc<Database>,
         template: &QueryTemplate,
         plan: &LogicalPlan,
         capture_enqueued: bool,
@@ -1346,6 +1346,7 @@ impl PbdsSession<'_> {
             },
             relation: out.relation,
             capture_enqueued,
+            snapshot: Arc::clone(db),
         })
     }
 }
@@ -1681,7 +1682,7 @@ fn commit_batch(shared: &ServerShared, batch: Vec<WriteRequest>) {
     let mut checkpoint_due = false;
     if logged > 0 {
         let persist = shared.persist.as_ref().expect("wal_bytes implies durable");
-        let mut p = persist.lock().expect("persistence state poisoned");
+        let mut p = persist.lock();
         let base = p.next_seq;
         let records: Vec<(u64, &[u8])> = pending
             .iter()
@@ -1754,7 +1755,7 @@ fn commit_batch(shared: &ServerShared, batch: Vec<WriteRequest>) {
         .count();
     if !deltas.is_empty() {
         shared.catalog.apply_deltas(&db, &deltas);
-        *shared.db.write().expect("database lock poisoned") = Arc::new(db);
+        *shared.db.write() = Arc::new(db);
     }
     if committed > 0 {
         shared
@@ -1777,7 +1778,7 @@ fn commit_batch(shared: &ServerShared, batch: Vec<WriteRequest>) {
             .persist
             .as_ref()
             .expect("checkpoint_due implies durable");
-        let mut p = persist.lock().expect("persistence state poisoned");
+        let mut p = persist.lock();
         if let Err(e) = shared.checkpoint_with(&mut p) {
             // Transient: the WAL keeps every record, so nothing acknowledged
             // is at risk — the failure costs recovery time (replay length),
@@ -1809,12 +1810,12 @@ fn commit_batch(shared: &ServerShared, batch: Vec<WriteRequest>) {
 }
 
 /// Background capture loop: pull tasks until the channel closes.
-fn capture_worker(shared: &ServerShared, rx: &Mutex<Receiver<CaptureTask>>) {
+fn capture_worker(shared: &ServerShared, rx: &TrackedMutex<Receiver<CaptureTask>>) {
     loop {
         // Hold the lock only while receiving, so workers pull tasks
         // round-robin instead of serializing on one another's captures.
         let task = {
-            let rx = rx.lock().expect("capture receiver poisoned");
+            let rx = rx.lock();
             rx.recv()
         };
         let Ok(task) = task else {
@@ -1857,11 +1858,10 @@ fn capture_worker(shared: &ServerShared, rx: &Mutex<Receiver<CaptureTask>>) {
 fn janitor_loop(shared: &ServerShared) {
     loop {
         {
-            let state = shared.repair.lock().expect("repair state poisoned");
+            let state = shared.repair.lock();
             let mut state = shared
                 .repair_cv
-                .wait_while(state, |s| !s.wanted && !s.shutdown)
-                .expect("repair state poisoned");
+                .wait_while(state, |s| !s.wanted && !s.shutdown);
             if state.shutdown {
                 return;
             }
@@ -1887,7 +1887,7 @@ fn repair(shared: &ServerShared) {
             let Some(persist) = &shared.persist else {
                 return; // only spawned for durable servers
             };
-            let mut p = persist.lock().expect("persistence state poisoned");
+            let mut p = persist.lock();
             if !p.wal.is_healthy() {
                 // fsyncgate: never reuse a descriptor whose fsync failed —
                 // re-open fresh and truncate to the verified prefix. Even a
@@ -2673,7 +2673,11 @@ mod tests {
     fn servers_start_healthy_with_clean_robustness_counters() {
         let server = PbdsServer::new(sales_db(), ServerConfig::default());
         assert_eq!(server.health(), HealthState::Healthy);
-        let events = server.robustness_events();
+        let mut events = server.robustness_events();
+        // Hold stats are process-wide (other tests' servers contribute) and
+        // tracked in every debug build; only the failure counters must be
+        // pristine on a fresh server.
+        events.lock_holds.clear();
         assert_eq!(events, RobustnessEvents::default());
     }
 

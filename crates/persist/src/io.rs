@@ -29,7 +29,9 @@ use std::fmt;
 use std::fs;
 use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use pbds_sync::TrackedMutex;
 
 /// A writable durable file handle, behind the real `File` in production.
 ///
@@ -74,6 +76,13 @@ pub trait Io: Send + Sync + fmt::Debug {
     /// Fsync a directory so a rename within it is durable. Best-effort on
     /// platforms where directories cannot be opened.
     fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Recursively create a directory. Metadata-only, so the default
+    /// passthrough suits every implementation; it exists on the trait so
+    /// callers (e.g. `pbds-core`'s store bootstrap) never touch `std::fs`
+    /// directly.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
 }
 
 /// The production [`Io`]: a zero-state passthrough to `std::fs`.
@@ -210,7 +219,7 @@ struct InjectorState {
 /// same damage byte-for-byte.
 #[derive(Debug)]
 pub struct FaultInjector {
-    state: Mutex<InjectorState>,
+    state: TrackedMutex<InjectorState>,
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -231,35 +240,38 @@ impl FaultInjector {
     /// A new injector with no faults armed, drawing quantities from `seed`.
     pub fn new(seed: u64) -> Arc<FaultInjector> {
         Arc::new(FaultInjector {
-            state: Mutex::new(InjectorState {
-                armed: Vec::new(),
-                rng: seed ^ 0xA076_1D64_78BD_642F,
-                fired: Vec::new(),
-            }),
+            state: TrackedMutex::new(
+                "persist.fault_injector",
+                InjectorState {
+                    armed: Vec::new(),
+                    rng: seed ^ 0xA076_1D64_78BD_642F,
+                    fired: Vec::new(),
+                },
+            ),
         })
     }
 
     /// Arm one fault. Multiple faults may be armed; each fires at most once.
     pub fn inject(&self, spec: FaultSpec) {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock();
         let skip = spec.skip;
         s.armed.push((spec, skip));
     }
 
     /// Descriptions of every fault that has fired, in firing order.
     pub fn fired(&self) -> Vec<String> {
-        self.state.lock().unwrap().fired.clone()
+        self.state.lock().fired.clone()
     }
 
     /// How many armed faults have not fired yet.
     pub fn armed_remaining(&self) -> usize {
-        self.state.lock().unwrap().armed.len()
+        self.state.lock().armed.len()
     }
 
     /// Find an armed spec matching (kinds, class); count the operation
     /// against its skip budget and pop it if it fires.
     fn take(&self, kinds: &[FaultKind], class: FileClass) -> Option<(FaultKind, u64)> {
-        let mut s = self.state.lock().unwrap();
+        let mut s = self.state.lock();
         let idx = s
             .armed
             .iter()

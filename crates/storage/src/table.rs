@@ -42,7 +42,9 @@ use crate::value::Value;
 use crate::zonemap::{ZoneMap, DEFAULT_BLOCK_SIZE};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
+
+use pbds_sync::TrackedRwLock;
 
 /// Process-wide epoch source: every invalidation (and every fresh table)
 /// draws the next value, so epochs are unique across tables and
@@ -135,7 +137,7 @@ pub struct Table {
     with_zone_map: bool,
     /// Columns with a requested/maintained ordered index.
     index_columns: Vec<String>,
-    derived: RwLock<DerivedCaches>,
+    derived: TrackedRwLock<DerivedCaches>,
 }
 
 impl Clone for Table {
@@ -151,7 +153,7 @@ impl Clone for Table {
             with_zone_map: self.with_zone_map,
             index_columns: self.index_columns.clone(),
             // Clones share the already built artifacts via `Arc`.
-            derived: RwLock::new(self.derived.read().expect("derived cache poisoned").clone()),
+            derived: TrackedRwLock::new("table.derived", self.derived.read().clone()),
         }
     }
 }
@@ -177,7 +179,7 @@ impl Table {
             block_size: DEFAULT_BLOCK_SIZE,
             with_zone_map: false,
             index_columns: Vec::new(),
-            derived: RwLock::new(DerivedCaches::default()),
+            derived: TrackedRwLock::new("table.derived", DerivedCaches::default()),
         }
     }
 
@@ -215,7 +217,7 @@ impl Table {
             block_size: image.block_size,
             with_zone_map: image.with_zone_map,
             index_columns: image.index_columns,
-            derived: RwLock::new(DerivedCaches::default()),
+            derived: TrackedRwLock::new("table.derived", DerivedCaches::default()),
         }
     }
 
@@ -369,12 +371,12 @@ impl Table {
     /// Precomputed table statistics (recomputed lazily after mutations).
     pub fn stats(&self) -> Arc<TableStats> {
         {
-            let g = self.derived.read().expect("derived cache poisoned");
+            let g = self.derived.read();
             if let Some(s) = g.stats.as_ref().filter(|s| s.epoch == self.epoch) {
                 return s.value.clone();
             }
         }
-        let mut g = self.derived.write().expect("derived cache poisoned");
+        let mut g = self.derived.write();
         if let Some(s) = g.stats.as_ref().filter(|s| s.epoch == self.epoch) {
             return s.value.clone();
         }
@@ -393,12 +395,12 @@ impl Table {
             return None;
         }
         {
-            let g = self.derived.read().expect("derived cache poisoned");
+            let g = self.derived.read();
             if let Some(s) = g.zone_map.as_ref().filter(|s| s.epoch == self.epoch) {
                 return Some(s.value.clone());
             }
         }
-        let mut g = self.derived.write().expect("derived cache poisoned");
+        let mut g = self.derived.write();
         match g.zone_map.take() {
             Some(s) if s.epoch == self.epoch => {
                 let value = s.value.clone();
@@ -439,12 +441,12 @@ impl Table {
     /// appends, rebuilt after structural changes.
     pub fn columnar_chunks(&self) -> Arc<ColumnarChunks> {
         {
-            let g = self.derived.read().expect("derived cache poisoned");
+            let g = self.derived.read();
             if let Some(s) = g.columnar.as_ref().filter(|s| s.epoch == self.epoch) {
                 return s.value.clone();
             }
         }
-        let mut g = self.derived.write().expect("derived cache poisoned");
+        let mut g = self.derived.write();
         match g.columnar.take() {
             Some(s) if s.epoch == self.epoch => {
                 let value = s.value.clone();
@@ -491,12 +493,12 @@ impl Table {
             return None;
         }
         {
-            let g = self.derived.read().expect("derived cache poisoned");
+            let g = self.derived.read();
             if let Some(s) = g.indexes.get(column).filter(|s| s.epoch == self.epoch) {
                 return Some(s.value.clone());
             }
         }
-        let mut g = self.derived.write().expect("derived cache poisoned");
+        let mut g = self.derived.write();
         match g.indexes.remove(column) {
             Some(s) if s.epoch == self.epoch => {
                 let value = s.value.clone();
