@@ -1,0 +1,36 @@
+//! L6 fixture: direct clock reads in a library crate. The string and
+//! comment mentions of Instant::now() below must NOT fire.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn timed_work() -> Duration {
+    let start = Instant::now(); // fires: monotonic read outside the seam
+    busy();
+    start.elapsed()
+}
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now() // fires: wall-clock read outside the seam
+}
+
+pub fn holds_an_instant(at: Instant) -> Instant {
+    // Storing or passing an `Instant` is fine; only `::now` is the seam.
+    at
+}
+
+fn busy() {
+    // "Instant::now()" inside a string literal is inert:
+    let _doc = "call Instant::now() to get the time";
+    /* SystemTime::now() in a block comment is inert too */
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn tests_may_read_the_clock() {
+        let _ = Instant::now(); // masked: test region
+    }
+}

@@ -15,6 +15,7 @@
 //! | `L3` | no `.unwrap()` / `.expect()` on lock-guard results |
 //! | `L4` | no direct mutating ops on the health `AtomicU8` outside `settle_health` / `degrade` |
 //! | `L5` | every `&mut self` fn in `impl Table` calls `invalidate_derived` |
+//! | `L6` | no `Instant::now` / `SystemTime::now` outside `pbds-telemetry` |
 //!
 //! The scanner is a hand-rolled **token-level lexer** (the build
 //! environment is offline, so no `syn`): comments, strings (incl. raw and
@@ -54,6 +55,9 @@ pub enum Lint {
     /// `&mut self` fn in `impl Table` that never calls
     /// `invalidate_derived`.
     L5,
+    /// `Instant::now` / `SystemTime::now` outside `pbds-telemetry` —
+    /// all clock reads must go through the `pbds_telemetry::clock` seam.
+    L6,
 }
 
 impl Lint {
@@ -66,6 +70,7 @@ impl Lint {
             Lint::L3 => "L3",
             Lint::L4 => "L4",
             Lint::L5 => "L5",
+            Lint::L6 => "L6",
         }
     }
 
@@ -76,6 +81,7 @@ impl Lint {
             "L3" => Some(Lint::L3),
             "L4" => Some(Lint::L4),
             "L5" => Some(Lint::L5),
+            "L6" => Some(Lint::L6),
             _ => None,
         }
     }
@@ -784,6 +790,32 @@ fn lint_l5(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
     }
 }
 
+fn lint_l6(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    for i in 0..ctx.tokens.len() {
+        let Some(t) = ctx.live(i) else { continue };
+        let Some(ty) = t.ident() else { continue };
+        if ty != "Instant" && ty != "SystemTime" {
+            continue;
+        }
+        // Instant :: now / SystemTime :: now
+        if ctx.live(i + 1).is_some_and(|t| t.is_punct(':'))
+            && ctx.live(i + 2).is_some_and(|t| t.is_punct(':'))
+            && ctx.live(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            out.push(Violation {
+                lint: Lint::L6,
+                path: ctx.rel.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{ty}::now()` outside pbds-telemetry — read the clock through \
+                     `pbds_telemetry::clock` (`clock::now`, `clock::system_now`, \
+                     `Stopwatch`) so time flows through one seam"
+                ),
+            });
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Per-file scan
 // ---------------------------------------------------------------------------
@@ -797,9 +829,10 @@ fn is_binary_target(rel: &str) -> bool {
 /// selects which lints apply:
 ///
 /// * `crates/persist/src/io.rs` is exempt from L1 (it is the I/O seam);
-/// * binary targets (`src/main.rs`, `src/bin/**`) are exempt from L1/L2;
+/// * binary targets (`src/main.rs`, `src/bin/**`) are exempt from L1/L2/L6;
 /// * L4 runs only in `crates/core` (the health atom lives there);
-/// * L5 runs only on `crates/storage/src/table.rs`.
+/// * L5 runs only on `crates/storage/src/table.rs`;
+/// * `crates/telemetry/**` is exempt from L6 (it is the clock seam).
 ///
 /// In-source `audit:allow(Lx)` markers on the same or preceding line
 /// suppress matching violations; the `audit.allow` file is applied by
@@ -826,6 +859,9 @@ pub fn scan_source(rel_path: &str, source: &str) -> Vec<Violation> {
     }
     if rel_path == "crates/storage/src/table.rs" {
         lint_l5(&ctx, &mut out);
+    }
+    if !rel_path.starts_with("crates/telemetry/") && !is_bin {
+        lint_l6(&ctx, &mut out);
     }
     out.retain(|v| {
         !lexed.markers.iter().any(|m| {
@@ -939,6 +975,7 @@ mod tests {
     const L3_FIXTURE: &str = include_str!("../fixtures/l3_lock_unwrap.rs");
     const L4_FIXTURE: &str = include_str!("../fixtures/l4_health_store.rs");
     const L5_FIXTURE: &str = include_str!("../fixtures/l5_missing_invalidate.rs");
+    const L6_FIXTURE: &str = include_str!("../fixtures/l6_instant_now.rs");
     const CLEAN_FIXTURE: &str = include_str!("../fixtures/clean.rs");
 
     fn lints(vs: &[Violation]) -> Vec<Lint> {
@@ -1000,6 +1037,24 @@ mod tests {
         let l5: Vec<_> = vs.iter().filter(|v| v.lint == Lint::L5).collect();
         assert_eq!(l5.len(), 1, "only the delinquent mutator fires: {vs:?}");
         assert!(l5[0].message.contains("rename_me_bad_mutator"));
+    }
+
+    #[test]
+    fn l6_fires_on_direct_clock_reads() {
+        let vs = scan_source("crates/example/src/bad.rs", L6_FIXTURE);
+        let l6: Vec<_> = vs.iter().filter(|v| v.lint == Lint::L6).collect();
+        assert_eq!(
+            l6.len(),
+            2,
+            "Instant::now and SystemTime::now each fire once: {vs:?}"
+        );
+        // The clock seam itself and binary targets are exempt.
+        assert!(scan_source("crates/telemetry/src/clock.rs", L6_FIXTURE)
+            .iter()
+            .all(|v| v.lint != Lint::L6));
+        assert!(scan_source("crates/example/src/main.rs", L6_FIXTURE)
+            .iter()
+            .all(|v| v.lint != Lint::L6));
     }
 
     #[test]

@@ -89,6 +89,13 @@ struct PhaseResult {
     batched_commits: u64,
     max_batch: u64,
     reader_queries: u64,
+    /// Submit→acknowledge commit latency percentiles (ms), from the
+    /// server's `pbds_mutation_commit_seconds` histogram.
+    commit_p50_ms: f64,
+    commit_p95_ms: f64,
+    commit_p99_ms: f64,
+    /// p99 of one WAL append+fsync (ms), from `pbds_wal_fsync_seconds`.
+    fsync_p99_ms: f64,
 }
 
 /// Run one phase: `WRITERS` threads each applying `per_writer` mutations
@@ -174,6 +181,10 @@ fn run_phase(
     let stats = server.commit_stats();
     assert_eq!(stats.mutations_committed, (WRITERS * per_writer) as u64);
     let rows = server.db().table("w").unwrap().rows().to_vec();
+    let snap = server.metrics_snapshot();
+    let commit_lat = &snap.histograms["pbds_mutation_commit_seconds"];
+    let fsync_lat = &snap.histograms["pbds_wal_fsync_seconds"];
+    assert_eq!(commit_lat.count(), stats.mutations_committed);
     let result = PhaseResult {
         label,
         mutations: stats.mutations_committed,
@@ -183,6 +194,10 @@ fn run_phase(
         batched_commits: stats.batched_commits,
         max_batch: stats.max_batch,
         reader_queries: reader_queries.load(Ordering::Relaxed),
+        commit_p50_ms: commit_lat.quantile_scaled(0.50) * 1e3,
+        commit_p95_ms: commit_lat.quantile_scaled(0.95) * 1e3,
+        commit_p99_ms: commit_lat.quantile_scaled(0.99) * 1e3,
+        fsync_p99_ms: fsync_lat.quantile_scaled(0.99) * 1e3,
     };
     let server = Arc::into_inner(server).expect("all threads joined");
     (result, rows, server)
@@ -193,7 +208,7 @@ fn write_json(path: &str, quick: bool, speedup: f64, phases: &[&PhaseResult]) {
         .iter()
         .map(|p| {
             format!(
-                "    {{\"phase\": \"{}\", \"writers\": {}, \"readers\": {}, \"mutations\": {}, \"elapsed_ms\": {:.3}, \"mutations_per_sec\": {:.1}, \"fsyncs\": {}, \"batched_commits\": {}, \"max_batch\": {}, \"reader_queries\": {}}}",
+                "    {{\"phase\": \"{}\", \"writers\": {}, \"readers\": {}, \"mutations\": {}, \"elapsed_ms\": {:.3}, \"mutations_per_sec\": {:.1}, \"fsyncs\": {}, \"batched_commits\": {}, \"max_batch\": {}, \"reader_queries\": {}, \"commit_p50_ms\": {:.3}, \"commit_p95_ms\": {:.3}, \"commit_p99_ms\": {:.3}, \"wal_fsync_p99_ms\": {:.3}}}",
                 p.label,
                 WRITERS,
                 READERS,
@@ -203,7 +218,11 @@ fn write_json(path: &str, quick: bool, speedup: f64, phases: &[&PhaseResult]) {
                 p.fsyncs,
                 p.batched_commits,
                 p.max_batch,
-                p.reader_queries
+                p.reader_queries,
+                p.commit_p50_ms,
+                p.commit_p95_ms,
+                p.commit_p99_ms,
+                p.fsync_p99_ms
             )
         })
         .collect();
@@ -268,6 +287,8 @@ fn main() {
         "mutations",
         "elapsed (ms)",
         "mutations/s",
+        "commit p50/p95/p99 (ms)",
+        "fsync p99 (ms)",
         "fsyncs",
         "batches",
         "max batch",
@@ -279,6 +300,11 @@ fn main() {
             p.mutations.to_string(),
             format!("{:.1}", p.elapsed.as_secs_f64() * 1e3),
             format!("{:.0}", p.rate),
+            format!(
+                "{:.2}/{:.2}/{:.2}",
+                p.commit_p50_ms, p.commit_p95_ms, p.commit_p99_ms
+            ),
+            format!("{:.2}", p.fsync_p99_ms),
             p.fsyncs.to_string(),
             p.batched_commits.to_string(),
             p.max_batch.to_string(),

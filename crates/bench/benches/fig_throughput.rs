@@ -8,14 +8,21 @@
 //! rows scanned per pass. A warmed catalog must scan fewer rows than No-PS
 //! at every thread count — if it ever does not, the serving stack regressed
 //! and this bench panics.
+//!
+//! Per-query latency percentiles (p50/p95/p99) come from the server's
+//! `pbds_query_seconds` histogram — the same log-linear histogram the
+//! metrics exposition exports — and land in `BENCH_throughput.json` on full
+//! (non-`--quick`) runs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pbds_bench::datasets;
 use pbds_bench::harness::TablePrinter;
 use pbds_core::{PbdsServer, ServerConfig, Strategy};
+use pbds_telemetry::clock;
 use pbds_workloads::{sof_pools, zipf_stream, StreamSpec};
+use std::io::Write;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -36,8 +43,18 @@ fn bench_throughput(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(4))
         .warm_up_time(Duration::from_millis(300));
 
-    let mut table =
-        TablePrinter::new(&["threads", "mode", "q/s", "rows scanned", "hits", "stored"]);
+    let mut table = TablePrinter::new(&[
+        "threads",
+        "mode",
+        "q/s",
+        "p50 (ms)",
+        "p95 (ms)",
+        "p99 (ms)",
+        "rows scanned",
+        "hits",
+        "stored",
+    ]);
+    let mut measurements: Vec<Measurement> = Vec::new();
 
     for threads in THREAD_COUNTS {
         for (label, strategy) in [
@@ -72,19 +89,38 @@ fn bench_throughput(c: &mut Criterion) {
             });
 
             // One more timed pass outside the bencher for the q/s column.
-            let start = Instant::now();
+            let start = clock::Stopwatch::start();
             let served = server.serve_stream(&stream, threads).unwrap();
             let elapsed = start.elapsed();
             let qps = served.len() as f64 / elapsed.as_secs_f64().max(1e-9);
             let stats = server.catalog().stats();
+            // Per-query latency percentiles over every pass this server
+            // handled (warm-up + bencher iterations + the timed pass), from
+            // the registry's log-linear histogram.
+            let lat = server.metrics_snapshot().histograms["pbds_query_seconds"].clone();
+            let [p50, p95, p99] = [0.50, 0.95, 0.99].map(|q| lat.quantile_scaled(q) * 1e3);
             table.row(vec![
                 threads.to_string(),
                 label.to_string(),
                 format!("{qps:.0}"),
+                format!("{p50:.2}"),
+                format!("{p95:.2}"),
+                format!("{p99:.2}"),
                 rows_scanned.to_string(),
                 stats.hits.to_string(),
                 stats.stored.to_string(),
             ]);
+            measurements.push(Measurement {
+                threads,
+                mode: label,
+                qps,
+                p50_ms: p50,
+                p95_ms: p95,
+                p99_ms: p99,
+                rows_scanned,
+                hits: stats.hits,
+                stored: stats.stored,
+            });
 
             if label == "no_ps" {
                 NO_PS_ROWS.with(|c| c.set(rows_scanned));
@@ -100,6 +136,47 @@ fn bench_throughput(c: &mut Criterion) {
     }
     group.finish();
     eprintln!("\n{}", table.render());
+
+    // Full runs refresh the committed baseline; --quick (CI) skips it so
+    // smoke numbers never overwrite a real measurement.
+    if std::env::args().any(|a| a == "--quick") {
+        eprintln!("--quick: skipping BENCH_throughput.json baseline update");
+    } else {
+        let out = format!("{}/../../BENCH_throughput.json", env!("CARGO_MANIFEST_DIR"));
+        write_json(&out, &measurements);
+    }
+}
+
+struct Measurement {
+    threads: usize,
+    mode: &'static str,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    rows_scanned: u64,
+    hits: u64,
+    stored: usize,
+}
+
+fn write_json(path: &str, measurements: &[Measurement]) {
+    let entries: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"threads\": {}, \"mode\": \"{}\", \"queries_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"rows_scanned\": {}, \"hits\": {}, \"stored\": {}}}",
+                m.threads, m.mode, m.qps, m.p50_ms, m.p95_ms, m.p99_ms, m.rows_scanned, m.hits, m.stored
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"fig_throughput\",\n  \"workload\": \"zipf sof stream, warm catalog vs no_ps\",\n  \"latency_source\": \"pbds_query_seconds histogram\",\n  \"measurements\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }
 
 thread_local! {

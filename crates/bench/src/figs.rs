@@ -12,11 +12,12 @@ use pbds_core::{
 };
 use pbds_provenance::{capture_sketches, Annotation, CaptureConfig, LookupMethod, MergeStrategy};
 use pbds_storage::{Partition, PartitionRef, RangePartition, Value};
+use pbds_telemetry::clock;
 use pbds_workloads::{crimes, movies, normal, sof, tpch, BenchQuery};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Fragment counts swept by the TPC-H experiments (the paper uses
 /// 32…100 000; we stop at 4 000 which is already ≫ the number of zone-map
@@ -679,7 +680,7 @@ pub fn capture_with_lookup(lookup: LookupMethod, fragments: usize) -> Duration {
         lookup,
         ..CaptureConfig::optimized()
     };
-    let start = Instant::now();
+    let start = clock::Stopwatch::start();
     let _ = pbds
         .capture_with_config(&plan, &[partition], &config)
         .expect("capture");

@@ -5,15 +5,16 @@ use pbds_algebra::LogicalPlan;
 use pbds_core::{Pbds, PbdsError, UsePredicateStyle};
 use pbds_provenance::{CaptureConfig, ProvenanceSketch};
 use pbds_storage::PartitionRef;
+use pbds_telemetry::clock;
 use pbds_workloads::{BenchQuery, SketchSpec};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Median wall-clock time of `runs` executions of `f` (at least one run).
 pub fn median_time<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
     let runs = runs.max(1);
     let mut times = Vec::with_capacity(runs);
     for _ in 0..runs {
-        let start = Instant::now();
+        let start = clock::Stopwatch::start();
         std::hint::black_box(f());
         times.push(start.elapsed());
     }
@@ -86,7 +87,7 @@ pub fn measure_query(
     let plain = median_time(runs, || pbds.execute(&plan).expect("plain execution"));
 
     // Capture (also measures the instrumented execution time).
-    let capture_start = Instant::now();
+    let capture_start = clock::Stopwatch::start();
     let captured = pbds.capture_with_config(&plan, &[partition], &CaptureConfig::optimized())?;
     let capture = capture_start.elapsed();
     let sketch = &captured.sketches[0];
@@ -120,7 +121,7 @@ pub fn capture_sketch_for(
 ) -> Result<(ProvenanceSketch, Duration), PbdsError> {
     let plan = query.default_plan();
     let partition = build_partition(pbds, &query.sketch, fragments)?;
-    let start = Instant::now();
+    let start = clock::Stopwatch::start();
     let captured = pbds.capture(&plan, &[partition])?;
     Ok((
         captured.sketches.into_iter().next().expect("one sketch"),

@@ -44,10 +44,11 @@ use pbds_algebra::QueryTemplate;
 use pbds_persist::{PersistedCatalog, PersistedCatalogEntry};
 use pbds_provenance::ProvenanceSketch;
 use pbds_storage::{Database, Partition, PartitionRef, RangePartition, Row, Schema, Value};
+use pbds_telemetry::{Counter, Gauge, MetricsSnapshot, Registry};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pbds_sync::{TrackedMutex, TrackedRwLock};
@@ -308,16 +309,21 @@ pub struct SketchCatalog {
     /// Per-table epoch of the last mutation the catalog processed; inserts
     /// of sketch sets captured against an older epoch are rejected as stale.
     table_epochs: TrackedRwLock<HashMap<String, u64>>,
-    bytes: AtomicUsize,
     clock: AtomicU64,
     next_id: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    memo_hits: AtomicU64,
-    extended: AtomicU64,
-    invalidated: AtomicU64,
-    maintenance_deltas: AtomicU64,
+    /// The catalog's metrics registry: every counter below is a cached
+    /// handle into it, so [`SketchCatalog::stats`] and the Prometheus-style
+    /// exposition ([`SketchCatalog::metrics_snapshot`]) read the same
+    /// atomics monitoring dashboards scrape.
+    registry: Registry,
+    bytes: Gauge,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    memo_hits: Counter,
+    extended: Counter,
+    invalidated: Counter,
+    maintenance_deltas: Counter,
 }
 
 impl std::fmt::Debug for SketchCatalog {
@@ -341,6 +347,7 @@ impl SketchCatalog {
         let shards = (0..config.shards.max(1))
             .map(|_| TrackedRwLock::new("catalog.shard", Shard::default()))
             .collect();
+        let registry = Registry::new();
         SketchCatalog {
             config,
             shards,
@@ -348,16 +355,17 @@ impl SketchCatalog {
             partitions: TrackedRwLock::new("catalog.partitions", HashMap::new()),
             pending: TrackedMutex::new("catalog.pending", HashSet::new()),
             table_epochs: TrackedRwLock::new("catalog.table_epochs", HashMap::new()),
-            bytes: AtomicUsize::new(0),
             clock: AtomicU64::new(0),
             next_id: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            memo_hits: AtomicU64::new(0),
-            extended: AtomicU64::new(0),
-            invalidated: AtomicU64::new(0),
-            maintenance_deltas: AtomicU64::new(0),
+            bytes: registry.gauge("pbds_catalog_bytes"),
+            hits: registry.counter("pbds_catalog_hits"),
+            misses: registry.counter("pbds_catalog_misses"),
+            evictions: registry.counter("pbds_catalog_evictions"),
+            memo_hits: registry.counter("pbds_catalog_memo_hits"),
+            extended: registry.counter("pbds_catalog_extended"),
+            invalidated: registry.counter("pbds_catalog_invalidated"),
+            maintenance_deltas: registry.counter("pbds_catalog_maintenance_deltas"),
+            registry,
         }
     }
 
@@ -409,10 +417,10 @@ impl SketchCatalog {
                             .find(|e| e.id == id)
                             .expect("memo points at live entry");
                         if e.fresh(db) {
-                            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                            self.memo_hits.inc();
                             e.last_used.store(self.tick(), Ordering::Relaxed);
                             e.uses.fetch_add(1, Ordering::Relaxed);
-                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            self.hits.inc();
                             return Some(ReusableSketches {
                                 entry_id: id,
                                 sketches: e.sketches.clone(),
@@ -420,8 +428,8 @@ impl SketchCatalog {
                         }
                     }
                     None => {
-                        self.memo_hits.fetch_add(1, Ordering::Relaxed);
-                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        self.memo_hits.inc();
+                        self.misses.inc();
                         return None;
                     }
                 }
@@ -437,11 +445,11 @@ impl SketchCatalog {
                         e.last_used.store(self.tick(), Ordering::Relaxed);
                         e.uses.fetch_add(1, Ordering::Relaxed);
                     }
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
                     (Some((id, sketches)), guard.version)
                 }
                 None => {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.misses.inc();
                     (None, guard.version)
                 }
             }
@@ -538,7 +546,7 @@ impl SketchCatalog {
                 match known.get(table) {
                     Some(&k) if k > epoch => {
                         // Captured against a pre-mutation snapshot: stale.
-                        self.invalidated.fetch_add(1, Ordering::Relaxed);
+                        self.invalidated.inc();
                         return None;
                     }
                     _ => {
@@ -578,7 +586,7 @@ impl SketchCatalog {
                 .retain(|(t, _), outcome| *t != name || outcome.is_some());
             guard.entries.entry(name).or_default().push(entry);
         }
-        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.bytes.add(bytes as i64);
         if let Some(budget) = self.config.byte_budget {
             self.evict_to_budget(budget, id);
         }
@@ -700,8 +708,7 @@ impl SketchCatalog {
         if deltas.is_empty() {
             return;
         }
-        self.maintenance_deltas
-            .fetch_add(deltas.len() as u64, Ordering::Relaxed);
+        self.maintenance_deltas.add(deltas.len() as u64);
         {
             let mut known = self.table_epochs.write();
             for d in deltas {
@@ -771,9 +778,9 @@ impl SketchCatalog {
                     true
                 });
             }
-            self.bytes.fetch_sub(freed, Ordering::Relaxed);
-            self.invalidated.fetch_add(dropped, Ordering::Relaxed);
-            self.extended.fetch_add(extended, Ordering::Relaxed);
+            self.bytes.add(-(freed as i64));
+            self.invalidated.add(dropped);
+            self.extended.add(extended);
         }
         if !deleted.is_empty() {
             self.partitions
@@ -828,7 +835,7 @@ impl SketchCatalog {
         // taken one shard at a time, never pairwise, so this cannot deadlock
         // against concurrent lookups or inserts.
         loop {
-            let excess = self.bytes.load(Ordering::Relaxed).saturating_sub(budget);
+            let excess = (self.bytes.get().max(0) as usize).saturating_sub(budget);
             if excess == 0 {
                 return;
             }
@@ -881,8 +888,8 @@ impl SketchCatalog {
                         // Positive memo entries pointing at the evicted
                         // sketch are now dangling.
                         guard.memo.retain(|_, outcome| *outcome != Some(vid));
-                        self.bytes.fetch_sub(freed, Ordering::Relaxed);
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        self.bytes.add(-(freed as i64));
+                        self.evictions.inc();
                         evicted_any = true;
                     }
                 }
@@ -987,11 +994,10 @@ impl SketchCatalog {
                     .or_default()
                     .push(stored);
             }
-            self.bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.bytes.add(bytes as i64);
             report.imported += 1;
         }
-        self.invalidated
-            .fetch_add(report.dropped as u64, Ordering::Relaxed);
+        self.invalidated.add(report.dropped as u64);
         if let Some(budget) = self.config.byte_budget {
             self.evict_to_budget(budget, u64::MAX);
         }
@@ -1006,19 +1012,34 @@ impl SketchCatalog {
             .sum()
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot. A typed view over the same registry atomics the
+    /// Prometheus-style exposition ([`SketchCatalog::metrics_snapshot`])
+    /// reads — the two can never disagree.
     pub fn stats(&self) -> CatalogStats {
         CatalogStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            memo_hits: self.memo_hits.load(Ordering::Relaxed),
-            extended: self.extended.load(Ordering::Relaxed),
-            invalidated: self.invalidated.load(Ordering::Relaxed),
-            maintenance_deltas: self.maintenance_deltas.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            memo_hits: self.memo_hits.get(),
+            extended: self.extended.get(),
+            invalidated: self.invalidated.get(),
+            maintenance_deltas: self.maintenance_deltas.get(),
             stored: self.stored_sketches(),
-            bytes: self.bytes.load(Ordering::Relaxed),
+            bytes: self.bytes.get().max(0) as usize,
         }
+    }
+
+    /// Freeze this catalog's `pbds_catalog_*` metrics into a
+    /// [`MetricsSnapshot`] — counters plus the `pbds_catalog_stored` gauge
+    /// (derived from the shard walk, so it is injected at snapshot time
+    /// rather than maintained as a live atomic).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.registry.snapshot();
+        snap.gauges.insert(
+            "pbds_catalog_stored".to_string(),
+            self.stored_sketches() as i64,
+        );
+        snap
     }
 
     /// Safe partition attributes for a template, computed once and shared

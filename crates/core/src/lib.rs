@@ -91,7 +91,13 @@ pub use pbds_sync as sync;
 // Hold-time counters surfaced through `RobustnessEvents::lock_holds`.
 pub use pbds_sync::LockHoldStat;
 
-pub use pbds_exec::{Engine, EngineProfile, ExecStats, QueryOutput};
+// The unified telemetry layer: `PbdsServer::metrics_snapshot` /
+// `SketchCatalog::metrics_snapshot` return `MetricsSnapshot`s, and span
+// guards from `pbds_telemetry::span!` cover the query and write paths.
+pub use pbds_telemetry as telemetry;
+pub use pbds_telemetry::{HistogramSnapshot, MetricsSnapshot};
+
+pub use pbds_exec::{AnalyzedQuery, Engine, EngineProfile, ExecStats, QueryOutput};
 pub use pbds_provenance::{
     capture_lineage, capture_sketches, CaptureConfig, CaptureResult, FragmentBitset, LookupMethod,
     MergeStrategy, ProvenanceSketch,

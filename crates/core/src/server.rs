@@ -54,9 +54,10 @@ use pbds_persist::{
 };
 use pbds_provenance::{capture_sketches_with_profile, CaptureConfig};
 use pbds_storage::{Database, PartitionRef, Relation, Row, StorageError, Value};
+use pbds_telemetry::{clock, span, Counter, Gauge, Histogram, MetricsSnapshot, Registry};
 use std::collections::{HashMap, VecDeque};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 
@@ -286,40 +287,100 @@ struct ServerShared {
     /// condvar so [`PbdsServer::drain`] can also flush the write path.
     backlog: TrackedMutex<usize>,
     backlog_drained: TrackedCondvar,
-    /// Completed background captures and their cumulative wall-clock nanos.
-    captures_done: AtomicU64,
-    capture_nanos: AtomicU64,
-    /// Write-path counters (see [`CommitStats`]).
-    mutations_submitted: AtomicU64,
-    mutations_committed: AtomicU64,
-    batched_commits: AtomicU64,
-    fsyncs: AtomicU64,
-    max_batch: AtomicU64,
+    /// Registry-backed counters, gauges and latency histograms. Every
+    /// write-path and robustness counter lives here; the typed views
+    /// ([`CommitStats`], [`RobustnessEvents`]) and the Prometheus-style
+    /// exposition ([`PbdsServer::metrics_snapshot`]) read the same atomics.
+    metrics: ServerMetrics,
     /// Current [`HealthState`] as its `u8` discriminant. Escalations use
     /// `fetch_max` (health never accidentally improves under a race);
     /// settling back down happens only in [`ServerShared::settle_health`]
     /// after a successful repair.
     health: AtomicU8,
-    /// Robustness counters (see [`RobustnessEvents`]).
-    commit_panics: AtomicU64,
-    capture_panics: AtomicU64,
-    session_panics: AtomicU64,
-    wal_append_failures: AtomicU64,
-    checkpoint_failures: AtomicU64,
-    repair_attempts_made: AtomicU64,
-    repairs_succeeded: AtomicU64,
-    catalogs_quarantined: AtomicU64,
     /// Set once capture panicked [`MAX_CAPTURE_PANICS`] times; further
     /// capture work is refused at enqueue time.
     capture_disabled: AtomicBool,
     /// Bounded ring of recent event messages (see
     /// [`RobustnessEvents::messages`]).
     event_log: TrackedMutex<VecDeque<String>>,
+    /// The span-tracer journal rendered at the moment the server hit
+    /// [`HealthState::FailStop`] — `RecoveryReport`-style forensics showing
+    /// the last phases every thread went through before the health lattice
+    /// hit bottom. `None` until fail-stop; empty string when the tracer is
+    /// disarmed (release build without `--features telemetry`).
+    failstop_forensics: TrackedMutex<Option<String>>,
     /// Janitor wake-up state + condvar ([`ServerShared::request_repair`]).
     repair: TrackedMutex<RepairState>,
     repair_cv: TrackedCondvar,
     /// One-shot injected panics, indexed by [`PanicSite`] discriminant.
     injected_panics: [AtomicBool; 3],
+}
+
+/// Cached handles into the server's metrics [`Registry`]. Handles are
+/// registered once at construction, so hot-path recording is a single
+/// uncontended atomic op; [`PbdsServer::metrics_snapshot`] freezes the
+/// registry (merged with the catalog's) into the `pbds_*` exposition.
+struct ServerMetrics {
+    registry: Registry,
+    /// Completed background captures (`pbds_captures_done`) and their
+    /// wall-clock latency distribution (`pbds_capture_seconds`).
+    captures_done: Counter,
+    capture_seconds: Histogram,
+    /// Write-path counters (see [`CommitStats`]).
+    mutations_submitted: Counter,
+    mutations_committed: Counter,
+    batched_commits: Counter,
+    fsyncs: Counter,
+    max_batch: Gauge,
+    /// Latency of one WAL `append_batch` + fsync (`pbds_wal_fsync_seconds`).
+    wal_fsync_seconds: Histogram,
+    /// End-to-end served-query latency (`pbds_query_seconds`) and
+    /// submit-to-durable mutation latency (`pbds_mutation_commit_seconds`).
+    query_seconds: Histogram,
+    mutation_commit_seconds: Histogram,
+    queries_served: Counter,
+    /// Deterministic execution totals accumulated over every served query.
+    exec_rows_scanned: Counter,
+    exec_blocks_skipped: Counter,
+    /// Robustness counters (see [`RobustnessEvents`]).
+    commit_panics: Counter,
+    capture_panics: Counter,
+    session_panics: Counter,
+    wal_append_failures: Counter,
+    checkpoint_failures: Counter,
+    repair_attempts_made: Counter,
+    repairs_succeeded: Counter,
+    catalogs_quarantined: Counter,
+}
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        let registry = Registry::new();
+        ServerMetrics {
+            captures_done: registry.counter("pbds_captures_done"),
+            capture_seconds: registry.time_histogram("pbds_capture_seconds"),
+            mutations_submitted: registry.counter("pbds_commit_mutations_submitted"),
+            mutations_committed: registry.counter("pbds_commit_mutations_committed"),
+            batched_commits: registry.counter("pbds_commit_batches"),
+            fsyncs: registry.counter("pbds_wal_fsyncs"),
+            max_batch: registry.gauge("pbds_commit_max_batch"),
+            wal_fsync_seconds: registry.time_histogram("pbds_wal_fsync_seconds"),
+            query_seconds: registry.time_histogram("pbds_query_seconds"),
+            mutation_commit_seconds: registry.time_histogram("pbds_mutation_commit_seconds"),
+            queries_served: registry.counter("pbds_queries_served"),
+            exec_rows_scanned: registry.counter("pbds_exec_rows_scanned"),
+            exec_blocks_skipped: registry.counter("pbds_exec_blocks_skipped"),
+            commit_panics: registry.counter("pbds_robustness_commit_panics"),
+            capture_panics: registry.counter("pbds_robustness_capture_panics"),
+            session_panics: registry.counter("pbds_robustness_session_panics"),
+            wal_append_failures: registry.counter("pbds_robustness_wal_append_failures"),
+            checkpoint_failures: registry.counter("pbds_robustness_checkpoint_failures"),
+            repair_attempts_made: registry.counter("pbds_robustness_repair_attempts"),
+            repairs_succeeded: registry.counter("pbds_robustness_repairs_succeeded"),
+            catalogs_quarantined: registry.counter("pbds_robustness_catalogs_quarantined"),
+            registry,
+        }
+    }
 }
 
 /// Janitor thread wake-up state.
@@ -401,6 +462,16 @@ impl ServerShared {
                 "health {} -> {to}: {why}",
                 HealthState::from_u8(prev)
             ));
+            if to == HealthState::FailStop {
+                // Terminal transition: freeze the span-tracer journal as
+                // forensics — the last phases every thread went through
+                // before the server stopped (RecoveryReport-style, but for
+                // the failure instead of the restart).
+                let mut forensics = self.failstop_forensics.lock();
+                if forensics.is_none() {
+                    *forensics = Some(pbds_telemetry::render_journal());
+                }
+            }
         } else {
             self.note(why);
         }
@@ -681,24 +752,11 @@ impl PbdsServer {
             drained: TrackedCondvar::new(),
             backlog: TrackedMutex::new("server.backlog", 0),
             backlog_drained: TrackedCondvar::new(),
-            captures_done: AtomicU64::new(0),
-            capture_nanos: AtomicU64::new(0),
-            mutations_submitted: AtomicU64::new(0),
-            mutations_committed: AtomicU64::new(0),
-            batched_commits: AtomicU64::new(0),
-            fsyncs: AtomicU64::new(0),
-            max_batch: AtomicU64::new(0),
+            metrics: ServerMetrics::new(),
             health: AtomicU8::new(HealthState::Healthy.as_u8()),
-            commit_panics: AtomicU64::new(0),
-            capture_panics: AtomicU64::new(0),
-            session_panics: AtomicU64::new(0),
-            wal_append_failures: AtomicU64::new(0),
-            checkpoint_failures: AtomicU64::new(0),
-            repair_attempts_made: AtomicU64::new(0),
-            repairs_succeeded: AtomicU64::new(0),
-            catalogs_quarantined: AtomicU64::new(0),
             capture_disabled: AtomicBool::new(false),
             event_log: TrackedMutex::new("server.event_log", VecDeque::new()),
+            failstop_forensics: TrackedMutex::new("server.failstop_forensics", None),
             repair: TrackedMutex::new("server.repair", RepairState::default()),
             repair_cv: TrackedCondvar::new(),
             injected_panics: [
@@ -708,7 +766,7 @@ impl PbdsServer {
             ],
         });
         if recovery.is_some_and(|r| r.catalog_quarantined) {
-            shared.catalogs_quarantined.store(1, Ordering::Relaxed);
+            shared.metrics.catalogs_quarantined.inc();
             shared.note(
                 "persisted catalog was corrupt; quarantined it and started \
                  with a cold catalog"
@@ -946,19 +1004,64 @@ impl PbdsServer {
     /// Snapshot of the robustness counters and recent event messages.
     pub fn robustness_events(&self) -> RobustnessEvents {
         let s = &self.shared;
+        let m = &s.metrics;
         RobustnessEvents {
-            commit_panics: s.commit_panics.load(Ordering::Relaxed),
-            capture_panics: s.capture_panics.load(Ordering::Relaxed),
-            session_panics: s.session_panics.load(Ordering::Relaxed),
-            wal_append_failures: s.wal_append_failures.load(Ordering::Relaxed),
-            checkpoint_failures: s.checkpoint_failures.load(Ordering::Relaxed),
-            repair_attempts: s.repair_attempts_made.load(Ordering::Relaxed),
-            repairs_succeeded: s.repairs_succeeded.load(Ordering::Relaxed),
-            catalogs_quarantined: s.catalogs_quarantined.load(Ordering::Relaxed),
+            commit_panics: m.commit_panics.get(),
+            capture_panics: m.capture_panics.get(),
+            session_panics: m.session_panics.get(),
+            wal_append_failures: m.wal_append_failures.get(),
+            checkpoint_failures: m.checkpoint_failures.get(),
+            repair_attempts: m.repair_attempts_made.get(),
+            repairs_succeeded: m.repairs_succeeded.get(),
+            catalogs_quarantined: m.catalogs_quarantined.get(),
             capture_disabled: s.capture_disabled.load(Ordering::Relaxed),
             messages: s.event_log.lock().iter().cloned().collect(),
             lock_holds: pbds_sync::hold_stats(),
         }
+    }
+
+    /// Freeze every metric this server maintains into one deterministic
+    /// [`MetricsSnapshot`] under the unified `pbds_*` namespace: the
+    /// server's own registry (commit, WAL, capture, query-latency and
+    /// robustness series), the catalog's `pbds_catalog_*` registry, the
+    /// current health state as the `pbds_health_state` gauge (the lattice
+    /// discriminant: 0 healthy … 3 fail-stop), and per-lock-class hold
+    /// gauges from the `pbds-sync` tracked wrappers. Render it with
+    /// [`MetricsSnapshot::render_text`] for Prometheus-style exposition.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.shared.metrics.registry.snapshot();
+        snap.merge(self.shared.catalog.metrics_snapshot());
+        snap.gauges.insert(
+            "pbds_health_state".to_string(),
+            self.shared.health().as_u8() as i64,
+        );
+        // Lock-hold statistics are process-wide and already aggregated per
+        // lock class; inject them as gauges at snapshot time (empty in
+        // release builds without the `lock-order` feature).
+        for hold in pbds_sync::hold_stats() {
+            let class = hold.name.replace('.', "_");
+            snap.gauges.insert(
+                format!("pbds_lock_{class}_acquisitions"),
+                hold.acquisitions.min(i64::MAX as u64) as i64,
+            );
+            snap.gauges.insert(
+                format!("pbds_lock_{class}_held_nanos"),
+                hold.total_held.as_nanos().min(i64::MAX as u128) as i64,
+            );
+            snap.gauges.insert(
+                format!("pbds_lock_{class}_max_held_nanos"),
+                hold.max_held.as_nanos().min(i64::MAX as u128) as i64,
+            );
+        }
+        snap
+    }
+
+    /// The span-tracer journal captured at the moment this server
+    /// fail-stopped: `None` while the server has not hit
+    /// [`HealthState::FailStop`]; an empty string when it has but the
+    /// tracer is disarmed (release build without `--features telemetry`).
+    pub fn failstop_forensics(&self) -> Option<String> {
+        self.shared.failstop_forensics.lock().clone()
     }
 
     /// Arm a one-shot panic at `site` (fault drills / robustness tests):
@@ -1020,7 +1123,15 @@ impl PbdsServer {
         table: &str,
         mutation: Mutation,
     ) -> Result<MutationOutcome, PbdsError> {
-        self.submit_mutation(table, mutation).wait()
+        let sw = clock::Stopwatch::start();
+        let result = self.submit_mutation(table, mutation).wait();
+        // Submit-to-durable latency, including the ingest-queue wait and the
+        // group-commit fsync the mutation rode.
+        self.shared
+            .metrics
+            .mutation_commit_seconds
+            .record_duration(sw.elapsed());
+        result
     }
 
     /// Submit a mutation to the bounded ingest queue and return immediately
@@ -1081,9 +1192,7 @@ impl PbdsServer {
             state.complete(result);
             return ticket;
         }
-        self.shared
-            .mutations_submitted
-            .fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.mutations_submitted.inc();
         *self.shared.backlog.lock() += 1;
         let request = WriteRequest {
             table: table.to_string(),
@@ -1107,14 +1216,17 @@ impl PbdsServer {
     }
 
     /// Write-path counters: batches, fsyncs, largest batch. See
-    /// [`CommitStats`].
+    /// [`CommitStats`]. A typed view over the same registry atomics
+    /// [`PbdsServer::metrics_snapshot`] exposes — the two can never
+    /// disagree.
     pub fn commit_stats(&self) -> CommitStats {
+        let m = &self.shared.metrics;
         CommitStats {
-            mutations_submitted: self.shared.mutations_submitted.load(Ordering::Relaxed),
-            mutations_committed: self.shared.mutations_committed.load(Ordering::Relaxed),
-            batched_commits: self.shared.batched_commits.load(Ordering::Relaxed),
-            fsyncs: self.shared.fsyncs.load(Ordering::Relaxed),
-            max_batch: self.shared.max_batch.load(Ordering::Relaxed),
+            mutations_submitted: m.mutations_submitted.get(),
+            mutations_committed: m.mutations_committed.get(),
+            batched_commits: m.batched_commits.get(),
+            fsyncs: m.fsyncs.get(),
+            max_batch: m.max_batch.get().max(0) as u64,
         }
     }
 
@@ -1162,7 +1274,7 @@ impl PbdsServer {
                         // A panicking session must not take the whole server
                         // (or the caller) down with it: count it, surface a
                         // typed error for this stream, keep serving others.
-                        self.shared.session_panics.fetch_add(1, Ordering::Relaxed);
+                        self.shared.metrics.session_panics.inc();
                         self.shared.note(
                             "a session thread panicked while serving a stream; \
                              the stream's results were discarded"
@@ -1190,10 +1302,14 @@ impl PbdsServer {
     }
 
     /// `(completed background captures, cumulative capture wall-clock)`.
+    /// The duration is the sum of the `pbds_capture_seconds` histogram —
+    /// per-capture latency percentiles are available from
+    /// [`PbdsServer::metrics_snapshot`].
     pub fn capture_totals(&self) -> (u64, std::time::Duration) {
+        let m = &self.shared.metrics;
         (
-            self.shared.captures_done.load(Ordering::Relaxed),
-            std::time::Duration::from_nanos(self.shared.capture_nanos.load(Ordering::Relaxed)),
+            m.captures_done.get(),
+            std::time::Duration::from_nanos(m.capture_seconds.snapshot().sum()),
         )
     }
 }
@@ -1234,21 +1350,51 @@ impl PbdsSession<'_> {
         template: &QueryTemplate,
         binding: &[Value],
     ) -> Result<ServedQuery, PbdsError> {
-        let shared = &self.server.shared;
-        shared.take_injected_panic(PanicSite::Session);
-        // Fail-stop refuses reads too: an answer that cannot be reconciled
-        // with the durable state is worse than no answer. Read-only and
-        // degraded servers keep serving reads at full fidelity.
-        if shared.health() == HealthState::FailStop {
-            return Err(PbdsError::FailStop);
+        let _query_span = span!("query.serve");
+        let sw = clock::Stopwatch::start();
+        let result = self.serve_inner(template, binding);
+        let m = &self.server.shared.metrics;
+        m.query_seconds.record_duration(sw.elapsed());
+        if let Ok(served) = &result {
+            m.queries_served.inc();
+            m.exec_rows_scanned.add(served.record.stats.rows_scanned);
+            m.exec_blocks_skipped
+                .add(served.record.stats.blocks_skipped);
         }
-        // One snapshot per query: the whole serve — safety analysis, reuse
-        // lookup, execution — sees a single consistent database state even
-        // while mutations land concurrently. The catalog's per-entry epoch
-        // check guarantees no sketch maintained past this snapshot's epoch
-        // (nor one lagging behind it) is ever offered against it.
-        let db = shared.snapshot();
-        let plan = template.instantiate(binding);
+        result
+    }
+
+    /// The serve body; the public wrapper records end-to-end latency
+    /// (`pbds_query_seconds`) and the per-query execution totals around it.
+    fn serve_inner(
+        &self,
+        template: &QueryTemplate,
+        binding: &[Value],
+    ) -> Result<ServedQuery, PbdsError> {
+        let shared = &self.server.shared;
+        // Admission: fail-safe gate plus the per-query snapshot.
+        let db = {
+            let _s = span!("query.admit");
+            shared.take_injected_panic(PanicSite::Session);
+            // Fail-stop refuses reads too: an answer that cannot be
+            // reconciled with the durable state is worse than no answer.
+            // Read-only and degraded servers keep serving reads at full
+            // fidelity.
+            if shared.health() == HealthState::FailStop {
+                return Err(PbdsError::FailStop);
+            }
+            // One snapshot per query: the whole serve — safety analysis,
+            // reuse lookup, execution — sees a single consistent database
+            // state even while mutations land concurrently. The catalog's
+            // per-entry epoch check guarantees no sketch maintained past
+            // this snapshot's epoch (nor one lagging behind it) is ever
+            // offered against it.
+            shared.snapshot()
+        };
+        let plan = {
+            let _s = span!("query.template_match");
+            template.instantiate(binding)
+        };
         if shared.config.strategy == Strategy::NoPbds {
             return self.plain(&db, template, &plan, false);
         }
@@ -1265,15 +1411,19 @@ impl PbdsSession<'_> {
 
         // Catalog hit (including the revalidation fallback): same code path
         // as the self-tuning executor, so the bookkeeping cannot drift.
-        if let Some((record, relation)) = execute_with_reuse(
-            &db,
-            &shared.engine,
-            &shared.catalog,
-            shared.config.style,
-            template,
-            binding,
-            &plan,
-        )? {
+        let reused = {
+            let _s = span!("query.reuse_check");
+            execute_with_reuse(
+                &db,
+                &shared.engine,
+                &shared.catalog,
+                shared.config.style,
+                template,
+                binding,
+                &plan,
+            )?
+        };
+        if let Some((record, relation)) = reused {
             return Ok(ServedQuery {
                 relation,
                 record,
@@ -1284,11 +1434,14 @@ impl PbdsSession<'_> {
 
         // Miss: maybe enqueue background capture, then answer plainly. The
         // session never waits for the capture.
-        let enqueued = shared
-            .config
-            .strategy
-            .capture_on_miss(&shared.catalog, template)
-            && self.enqueue_capture(template, binding);
+        let enqueued = {
+            let _s = span!("query.capture_enqueue");
+            shared
+                .config
+                .strategy
+                .capture_on_miss(&shared.catalog, template)
+                && self.enqueue_capture(template, binding)
+        };
         self.plain(&db, template, &plan, enqueued)
     }
 
@@ -1335,7 +1488,10 @@ impl PbdsSession<'_> {
         capture_enqueued: bool,
     ) -> Result<ServedQuery, PbdsError> {
         let shared = &self.server.shared;
-        let out = shared.engine.execute(db, plan)?;
+        let out = {
+            let _s = span!("query.execute");
+            shared.engine.execute(db, plan)?
+        };
         Ok(ServedQuery {
             record: QueryRecord {
                 template: template.name().to_string(),
@@ -1459,7 +1615,16 @@ struct PendingWrite {
 /// committing everything still queued.
 fn commit_loop(shared: &ServerShared, rx: &Receiver<WriteRequest>) {
     let limit = shared.config.commit_batch_limit.max(1);
-    while let Ok(first) = rx.recv() {
+    loop {
+        // The blocking recv is the ingest wait: how long the commit thread
+        // sat idle before the next write arrived.
+        let first = {
+            let _s = span!("write.ingest_wait");
+            rx.recv()
+        };
+        let Ok(first) = first else {
+            return;
+        };
         let mut batch = vec![first];
         while batch.len() < limit {
             match rx.try_recv() {
@@ -1474,7 +1639,7 @@ fn commit_loop(shared: &ServerShared, rx: &Receiver<WriteRequest>) {
         let outcome =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| commit_batch(shared, batch)));
         if outcome.is_err() {
-            shared.commit_panics.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.commit_panics.inc();
             shared.note(format!("commit batch panicked; failed its {n} mutation(s)"));
             if shared.persist.is_some() {
                 // The panic may have struck between "WAL appended" and
@@ -1507,6 +1672,7 @@ fn commit_loop(shared: &ServerShared, rx: &Receiver<WriteRequest>) {
 /// rest of the batch commits. A WAL failure fails the whole batch and
 /// nothing becomes visible.
 fn commit_batch(shared: &ServerShared, batch: Vec<WriteRequest>) {
+    let _batch_span = span!("write.commit_batch");
     let _serialized = shared.serialize_mutations();
     shared.take_injected_panic(PanicSite::Commit);
     // Re-check health under the mutation lock: submissions that raced the
@@ -1690,10 +1856,19 @@ fn commit_batch(shared: &ServerShared, batch: Vec<WriteRequest>) {
             .enumerate()
             .map(|(i, bytes)| (base + i as u64, bytes))
             .collect();
-        let appended = p.wal.append_batch(&records).map_err(PbdsError::from);
+        let appended = {
+            let _s = span!("write.wal_append_fsync");
+            let sw = clock::Stopwatch::start();
+            let result = p.wal.append_batch(&records).map_err(PbdsError::from);
+            shared
+                .metrics
+                .wal_fsync_seconds
+                .record_duration(sw.elapsed());
+            result
+        };
         match appended {
             Ok(()) => {
-                shared.fsyncs.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.fsyncs.inc();
                 p.next_seq = base + logged as u64;
                 p.since_checkpoint += logged;
                 checkpoint_due = shared
@@ -1723,7 +1898,7 @@ fn commit_batch(shared: &ServerShared, batch: Vec<WriteRequest>) {
                 // can be acknowledged against an unverified log; (3) hand
                 // repair — fresh descriptor, re-verify, checkpoint — to the
                 // janitor thread, off the commit path.
-                shared.wal_append_failures.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.wal_append_failures.inc();
                 shared.degrade(
                     HealthState::ReadOnly,
                     format!("WAL append failed ({e}); refusing writes until repaired"),
@@ -1754,17 +1929,20 @@ fn commit_batch(shared: &ServerShared, batch: Vec<WriteRequest>) {
         .filter(|w| matches!(&w.result, Some(Ok(o)) if o.rows_affected > 0 || o.wal_seq.is_some()))
         .count();
     if !deltas.is_empty() {
-        shared.catalog.apply_deltas(&db, &deltas);
+        {
+            let _s = span!("write.catalog_delta");
+            shared.catalog.apply_deltas(&db, &deltas);
+        }
+        let _s = span!("write.snapshot_swap");
         *shared.db.write() = Arc::new(db);
     }
     if committed > 0 {
+        shared.metrics.mutations_committed.add(committed as u64);
+        shared.metrics.batched_commits.inc();
         shared
-            .mutations_committed
-            .fetch_add(committed as u64, Ordering::Relaxed);
-        shared.batched_commits.fetch_add(1, Ordering::Relaxed);
-        shared
+            .metrics
             .max_batch
-            .fetch_max(committed as u64, Ordering::Relaxed);
+            .set_max(committed.min(i64::MAX as usize) as i64);
     }
     if checkpoint_due {
         // Still under the mutation lock: the snapshot written here is
@@ -1784,7 +1962,7 @@ fn commit_batch(shared: &ServerShared, batch: Vec<WriteRequest>) {
             // is at risk — the failure costs recovery time (replay length),
             // not data. Degrade and let the janitor retry with backoff, off
             // the commit path.
-            shared.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.checkpoint_failures.inc();
             shared.degrade(
                 HealthState::Degraded,
                 format!(
@@ -1829,7 +2007,7 @@ fn capture_worker(shared: &ServerShared, rx: &TrackedMutex<Receiver<CaptureTask>
         shared.catalog.finish_capture(&task.template, &task.binding);
         shared.capture_finished();
         if result.is_err() {
-            let total = shared.capture_panics.fetch_add(1, Ordering::SeqCst) + 1;
+            let total = shared.metrics.capture_panics.inc_and_get();
             shared.note(format!(
                 "background capture for template {:?} panicked ({total} so \
                  far); the query stream is unaffected",
@@ -1881,7 +2059,7 @@ fn repair(shared: &ServerShared) {
             let ms = (1u64 << (attempt as u32 - 2).min(20)).min(MAX_REPAIR_BACKOFF_MS);
             std::thread::sleep(std::time::Duration::from_millis(ms));
         }
-        shared.repair_attempts_made.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.repair_attempts_made.inc();
         let result = {
             let _serialized = shared.serialize_mutations();
             let Some(persist) = &shared.persist else {
@@ -1906,7 +2084,7 @@ fn repair(shared: &ServerShared) {
         };
         match result {
             Ok(()) => {
-                shared.repairs_succeeded.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.repairs_succeeded.inc();
                 shared.note(format!(
                     "repair succeeded on attempt {attempt}/{max_attempts}"
                 ));
@@ -1935,8 +2113,9 @@ fn repair(shared: &ServerShared) {
 }
 
 fn run_capture(shared: &ServerShared, task: &CaptureTask) {
+    let _capture_span = span!("capture.run");
     shared.take_injected_panic(PanicSite::Capture);
-    let started = std::time::Instant::now();
+    let started = clock::Stopwatch::start();
     // The capture runs against one database snapshot; if a mutation lands
     // mid-capture, the catalog's epoch-checked insert rejects the (now
     // stale) sketch set rather than storing pre-mutation provenance.
@@ -1981,10 +2160,11 @@ fn run_capture(shared: &ServerShared, task: &CaptureTask) {
     {
         return; // rejected as stale: a mutation landed while capturing
     }
-    shared.captures_done.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.captures_done.inc();
     shared
-        .capture_nanos
-        .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        .metrics
+        .capture_seconds
+        .record_duration(started.elapsed());
 }
 
 // Concurrency audit: the server and its catalog are shared across session

@@ -9,14 +9,15 @@
 
 use crate::eval::ExecError;
 use crate::physical::{
-    execute_logical_parallel_with, execute_logical_with, execute_physical_parallel_with,
-    execute_physical_with, lower, ExecOptions, NoTag, PhysicalPlan,
+    execute_logical_parallel_with, execute_logical_with, execute_physical_analyzed,
+    execute_physical_parallel_with, execute_physical_with, lower, ExecOptions, NoTag, PhysicalPlan,
+    PlanMetrics,
 };
 use crate::profile::EngineProfile;
 use crate::stats::ExecStats;
 use pbds_algebra::LogicalPlan;
 use pbds_storage::{Database, Relation};
-use std::time::Instant;
+use pbds_telemetry::clock;
 
 /// Result of executing a query: the output relation plus statistics.
 #[derive(Debug, Clone)]
@@ -115,7 +116,7 @@ impl Engine {
     /// Execute a logical plan against a database: lower it to a physical
     /// plan, then run the batched operator pipeline without tags.
     pub fn execute(&self, db: &Database, plan: &LogicalPlan) -> Result<QueryOutput, ExecError> {
-        let start = Instant::now();
+        let sw = clock::Stopwatch::start();
         let mut stats = ExecStats::default();
         let (relation, _tags) = if self.parallelism() > 1 {
             execute_logical_parallel_with(
@@ -131,7 +132,7 @@ impl Engine {
             execute_logical_with(db, plan, self.profile, &NoTag, self.opts, &mut stats)?
         };
         stats.rows_output = relation.len() as u64;
-        stats.elapsed = start.elapsed();
+        stats.elapsed = sw.elapsed();
         Ok(QueryOutput { relation, stats })
     }
 
@@ -141,13 +142,39 @@ impl Engine {
         lower(db, plan, self.profile)
     }
 
+    /// Execute a logical plan with per-operator instrumentation — `EXPLAIN
+    /// ANALYZE`. Lowers the plan, runs it through
+    /// [`execute_physical_analyzed`], and returns the result together with
+    /// the physical plan and its per-operator metrics;
+    /// [`AnalyzedQuery::render`] prints the annotated tree. Always runs
+    /// sequentially regardless of [`Engine::with_parallelism`] — analyze
+    /// output is about per-operator attribution, not peak throughput.
+    pub fn explain_analyze(
+        &self,
+        db: &Database,
+        plan: &LogicalPlan,
+    ) -> Result<AnalyzedQuery, ExecError> {
+        let sw = clock::Stopwatch::start();
+        let physical = lower(db, plan, self.profile)?;
+        let mut stats = ExecStats::default();
+        let (relation, _tags, metrics) =
+            execute_physical_analyzed(db, &physical, &NoTag, self.opts, &mut stats)?;
+        stats.rows_output = relation.len() as u64;
+        stats.elapsed = sw.elapsed();
+        Ok(AnalyzedQuery {
+            output: QueryOutput { relation, stats },
+            physical,
+            metrics,
+        })
+    }
+
     /// Execute an already-lowered physical plan.
     pub fn execute_physical(
         &self,
         db: &Database,
         plan: &PhysicalPlan,
     ) -> Result<QueryOutput, ExecError> {
-        let start = Instant::now();
+        let sw = clock::Stopwatch::start();
         let mut stats = ExecStats::default();
         let (relation, _tags) = if self.parallelism() > 1 {
             execute_physical_parallel_with(
@@ -162,8 +189,28 @@ impl Engine {
             execute_physical_with(db, plan, &NoTag, self.opts, &mut stats)?
         };
         stats.rows_output = relation.len() as u64;
-        stats.elapsed = start.elapsed();
+        stats.elapsed = sw.elapsed();
         Ok(QueryOutput { relation, stats })
+    }
+}
+
+/// Result of [`Engine::explain_analyze`]: the query output plus the lowered
+/// physical plan and its per-operator execution metrics.
+#[derive(Debug, Clone)]
+pub struct AnalyzedQuery {
+    /// The result relation and whole-query statistics.
+    pub output: QueryOutput,
+    /// The physical plan that ran.
+    pub physical: PhysicalPlan,
+    /// Per-operator metrics, indexed in the plan's pre-order.
+    pub metrics: PlanMetrics,
+}
+
+impl AnalyzedQuery {
+    /// Render the physical plan tree annotated with per-operator rows,
+    /// batches, and elapsed time — the `EXPLAIN ANALYZE` output.
+    pub fn render(&self) -> String {
+        self.physical.render_analyze(&self.metrics)
     }
 }
 
@@ -369,6 +416,29 @@ mod tests {
         let out2 = engine().execute(&cities_db(), &plan).unwrap().relation;
         assert_eq!(out1, out2);
         assert_eq!(out1.len(), 3);
+    }
+
+    #[test]
+    fn explain_analyze_matches_plain_execution_and_renders_rows() {
+        let plan = LogicalPlan::scan("cities")
+            .filter(col("popden").gt(lit(3000)))
+            .aggregate(
+                vec!["state"],
+                vec![AggExpr::new(AggFunc::Count, col("city"), "cnt")],
+            )
+            .top_k(vec![SortKey::desc("cnt")], 2);
+        let e = engine();
+        let plain = e.execute(&cities_db(), &plan).unwrap();
+        let analyzed = e.explain_analyze(&cities_db(), &plan).unwrap();
+        assert!(analyzed.output.relation.bag_eq(&plain.relation));
+        assert_eq!(analyzed.metrics.ops.len(), analyzed.physical.node_count());
+        // The root operator emitted exactly the result rows.
+        let root = &analyzed.metrics.ops[0];
+        assert!(root.ran);
+        assert_eq!(root.rows_out, plain.relation.len() as u64);
+        let rendered = analyzed.render();
+        assert!(rendered.contains("rows="), "{rendered}");
+        assert!(rendered.contains("elapsed="), "{rendered}");
     }
 
     #[test]

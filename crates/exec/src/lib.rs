@@ -26,13 +26,14 @@ pub mod stats;
 pub mod vector;
 
 pub use compiled::{ColRef, CompiledExpr};
-pub use engine::{Engine, QueryOutput};
+pub use engine::{AnalyzedQuery, Engine, QueryOutput};
 pub use eval::{eval_expr, eval_predicate, ExecError};
 pub use physical::{
     execute_logical, execute_logical_parallel, execute_logical_parallel_with, execute_logical_with,
-    execute_physical, execute_physical_parallel, execute_physical_parallel_with,
-    execute_physical_with, lower, lower_scan, Batch, ExecOptions, NoTag, PhysOp, PhysicalPlan,
-    TagPolicy, BATCH_SIZE, PARALLEL_SCAN_THRESHOLD,
+    execute_physical, execute_physical_analyzed, execute_physical_parallel,
+    execute_physical_parallel_with, execute_physical_with, lower, lower_scan, Batch, ExecOptions,
+    NoTag, OpMetrics, PhysOp, PhysicalPlan, PlanMetrics, TagPolicy, BATCH_SIZE,
+    PARALLEL_SCAN_THRESHOLD,
 };
 pub use profile::EngineProfile;
 pub use scan::{

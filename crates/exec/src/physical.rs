@@ -38,9 +38,12 @@ use pbds_algebra::{infer_type, AggExpr, AggFunc, Expr, LogicalPlan, SortKey};
 use pbds_storage::{
     Column, ColumnData, ColumnVector, DataType, Database, Relation, Row, Schema, Table, Value,
 };
+use pbds_telemetry::clock;
+use std::cell::RefCell;
 use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hash, Hasher};
+use std::time::Duration;
 
 /// Execution-time switches for the physical pipeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -303,9 +306,10 @@ impl PhysicalPlan {
         self.to_string()
     }
 
-    fn fmt_tree(&self, out: &mut String, indent: usize) {
-        let pad = "  ".repeat(indent);
-        let line = match &self.op {
+    /// One-line label of the root operator (shared by the `EXPLAIN` tree and
+    /// the `EXPLAIN ANALYZE` rendering).
+    fn op_label(&self) -> String {
+        match &self.op {
             PhysOp::SeqScan { table, filter } => match filter {
                 Some(f) => format!("SeqScan[{table}, filter={f}]"),
                 None => format!("SeqScan[{table}]"),
@@ -366,13 +370,135 @@ impl PhysicalPlan {
             PhysOp::Limit { limit, .. } => format!("Limit[{limit}]"),
             PhysOp::Distinct { .. } => "Distinct".to_string(),
             PhysOp::Append { .. } => "Append".to_string(),
-        };
-        out.push_str(&pad);
-        out.push_str(&line);
+        }
+    }
+
+    fn fmt_tree(&self, out: &mut String, indent: usize) {
+        out.push_str(&"  ".repeat(indent));
+        out.push_str(&self.op_label());
         out.push('\n');
         for c in self.children() {
             c.fmt_tree(out, indent + 1);
         }
+    }
+
+    /// Number of operators in this plan (the length of the pre-order id
+    /// space used by [`PlanMetrics`]).
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
+    }
+
+    /// Render the `EXPLAIN ANALYZE` tree: the operator labels of the plain
+    /// `EXPLAIN` annotated per operator with the runtime metrics collected by
+    /// [`execute_physical_analyzed`]. `metrics` must come from executing
+    /// *this* plan (ids are pre-order positions).
+    pub fn render_analyze(&self, metrics: &PlanMetrics) -> String {
+        let mut out = String::new();
+        let mut id = 0usize;
+        self.fmt_analyze(&mut out, 0, metrics, &mut id);
+        out
+    }
+
+    fn fmt_analyze(&self, out: &mut String, indent: usize, metrics: &PlanMetrics, id: &mut usize) {
+        let m = metrics.ops.get(*id).cloned().unwrap_or_default();
+        *id += 1;
+        out.push_str(&"  ".repeat(indent));
+        out.push_str(&self.op_label());
+        if m.fused {
+            out.push_str("  (fused into parent by scan→aggregate pushdown)");
+        } else if !m.ran {
+            out.push_str("  (never executed)");
+        } else {
+            out.push_str(&format!(
+                "  (rows={}, batches={}, elapsed={:.3}ms",
+                m.rows_out,
+                m.batches,
+                m.elapsed.as_secs_f64() * 1e3,
+            ));
+            if m.rows_scanned > 0 {
+                out.push_str(&format!(", scanned={}", m.rows_scanned));
+            }
+            if m.encoded_blocks > 0 {
+                out.push_str(&format!(", encoded_blocks={}", m.encoded_blocks));
+            }
+            out.push(')');
+        }
+        out.push('\n');
+        for c in self.children() {
+            c.fmt_analyze(out, indent + 1, metrics, id);
+        }
+    }
+}
+
+/// Runtime metrics of one operator collected by `EXPLAIN ANALYZE`
+/// ([`execute_physical_analyzed`]). `elapsed`, `rows_scanned` and
+/// `encoded_blocks` are **inclusive** of the operator's subtree — the pipeline
+/// is pull-based, so time spent producing a child batch is part of the
+/// parent's `next_batch` call. Self time is the parent's value minus its
+/// children's.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpMetrics {
+    /// Rows this operator emitted to its parent.
+    pub rows_out: u64,
+    /// Batches this operator emitted.
+    pub batches: u64,
+    /// Wall-clock time inside this operator's subtree.
+    pub elapsed: Duration,
+    /// Base-table rows scanned within this subtree.
+    pub rows_scanned: u64,
+    /// Encoded (compressed) columnar blocks evaluated within this subtree.
+    pub encoded_blocks: u64,
+    /// This operator was fused into an ancestor by the scan→aggregate
+    /// pushdown; its work is attributed to that ancestor.
+    pub fused: bool,
+    /// At least one `next_batch` call reached this operator.
+    pub ran: bool,
+}
+
+/// Per-operator metrics for a whole plan, indexed by pre-order position
+/// (root = 0, then each child subtree in [`PhysicalPlan::children`] order).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanMetrics {
+    /// One entry per operator in pre-order.
+    pub ops: Vec<OpMetrics>,
+}
+
+/// Shared mutable cell the analyze wrappers record into. Plain `RefCell` is
+/// sound here because operator trees are single-threaded by construction
+/// (`BoxOp` is not `Send`); the morsel-parallel path never wraps.
+type AnalyzeShared = RefCell<Vec<OpMetrics>>;
+
+/// Instrumentation wrapper around one operator: times every `next_batch`
+/// call, counts emitted rows/batches, and attributes `ExecStats` deltas
+/// (rows scanned, encoded blocks) to its pre-order id.
+struct AnalyzeOp<'a, P: TagPolicy> {
+    inner: BoxOp<'a, P>,
+    metrics: &'a AnalyzeShared,
+    id: usize,
+}
+
+impl<P: TagPolicy> BatchOp<P> for AnalyzeOp<'_, P> {
+    fn next_batch(&mut self, stats: &mut ExecStats) -> Result<Option<Batch<P::Tag>>, ExecError> {
+        let scanned_before = stats.rows_scanned;
+        let encoded_before = stats.encoded_blocks;
+        let sw = clock::Stopwatch::start();
+        let out = self.inner.next_batch(stats);
+        let elapsed = sw.elapsed();
+        let mut all = self.metrics.borrow_mut();
+        let m = &mut all[self.id];
+        m.ran = true;
+        m.elapsed += elapsed;
+        m.rows_scanned += stats.rows_scanned.saturating_sub(scanned_before);
+        m.encoded_blocks += stats.encoded_blocks.saturating_sub(encoded_before);
+        if let Ok(Some(batch)) = &out {
+            m.batches += 1;
+            m.rows_out += batch.rows.len() as u64;
+        }
+        out
     }
 }
 
@@ -638,8 +764,40 @@ pub fn execute_physical_with<P: TagPolicy>(
     opts: ExecOptions,
     stats: &mut ExecStats,
 ) -> Result<(Relation, Vec<P::Tag>), ExecError> {
-    let op = build_op(db, plan, policy, stats, opts, None)?;
+    let op = build_op(db, plan, policy, stats, opts, None, None)?;
     drain_root(op, plan, stats)
+}
+
+/// Execute a physical plan with per-operator instrumentation — the engine of
+/// `EXPLAIN ANALYZE`. Every operator is wrapped so each `next_batch` call is
+/// timed (through the [`pbds_telemetry::clock`] seam) and its emitted
+/// rows/batches plus `ExecStats` deltas are attributed to the operator's
+/// pre-order id. Results are identical to [`execute_physical_with`]; the
+/// third return value indexes into the plan via [`PhysicalPlan::node_count`]
+/// pre-order and renders with [`PhysicalPlan::render_analyze`].
+///
+/// Runs sequentially (no morsel parallelism): analyze output is about
+/// attribution, and the wrappers share a single-threaded metrics cell.
+pub fn execute_physical_analyzed<P: TagPolicy>(
+    db: &Database,
+    plan: &PhysicalPlan,
+    policy: &P,
+    opts: ExecOptions,
+    stats: &mut ExecStats,
+) -> Result<(Relation, Vec<P::Tag>, PlanMetrics), ExecError> {
+    let cells: AnalyzeShared = RefCell::new(vec![OpMetrics::default(); plan.node_count()]);
+    let result = {
+        let op = build_op(db, plan, policy, stats, opts, None, Some((&cells, 0)))?;
+        drain_root(op, plan, stats)?
+    };
+    let (relation, tags) = result;
+    Ok((
+        relation,
+        tags,
+        PlanMetrics {
+            ops: cells.into_inner(),
+        },
+    ))
 }
 
 /// Execute a physical plan with morsel-parallel base-table scans.
@@ -686,7 +844,7 @@ where
     let hook = move |table: &Table, op: &PhysOp, stats: &mut ExecStats| {
         parallel_scan(table, op, policy, workers, opts, stats)
     };
-    let op = build_op(db, plan, policy, stats, opts, Some(&hook))?;
+    let op = build_op(db, plan, policy, stats, opts, Some(&hook), None)?;
     drain_root(op, plan, stats)
 }
 
@@ -791,6 +949,8 @@ type ParallelScanHook<'h, P> = dyn Fn(
     ) -> Result<Option<TaggedRows<<P as TagPolicy>::Tag>>, ExecError>
     + 'h;
 
+/// Build the operator for `plan`, wrapping it in an [`AnalyzeOp`] when
+/// `analyze` carries the metrics cells and this node's pre-order id.
 fn build_op<'a, P: TagPolicy>(
     db: &'a Database,
     plan: &'a PhysicalPlan,
@@ -798,7 +958,37 @@ fn build_op<'a, P: TagPolicy>(
     stats: &mut ExecStats,
     opts: ExecOptions,
     parallel: Option<&ParallelScanHook<'_, P>>,
+    analyze: Option<(&'a AnalyzeShared, usize)>,
 ) -> Result<BoxOp<'a, P>, ExecError> {
+    let op = build_op_inner(db, plan, policy, stats, opts, parallel, analyze)?;
+    Ok(match analyze {
+        Some((metrics, id)) => Box::new(AnalyzeOp {
+            inner: op,
+            metrics,
+            id,
+        }),
+        None => op,
+    })
+}
+
+fn build_op_inner<'a, P: TagPolicy>(
+    db: &'a Database,
+    plan: &'a PhysicalPlan,
+    policy: &'a P,
+    stats: &mut ExecStats,
+    opts: ExecOptions,
+    parallel: Option<&ParallelScanHook<'_, P>>,
+    analyze: Option<(&'a AnalyzeShared, usize)>,
+) -> Result<BoxOp<'a, P>, ExecError> {
+    // Pre-order child ids: a unary child is `id + 1`; a binary node's right
+    // child starts after the whole left subtree.
+    let unary = |a: Option<(&'a AnalyzeShared, usize)>| a.map(|(c, id)| (c, id + 1));
+    let binary = |a: Option<(&'a AnalyzeShared, usize)>, left: &PhysicalPlan| {
+        (
+            a.map(|(c, id)| (c, id + 1)),
+            a.map(|(c, id)| (c, id + 1 + left.node_count())),
+        )
+    };
     match &plan.op {
         PhysOp::SeqScan { table, .. }
         | PhysOp::IndexRangeScan { table, .. }
@@ -815,14 +1005,14 @@ fn build_op<'a, P: TagPolicy>(
         }
         PhysOp::Filter { predicate, input } => Ok(Box::new(FilterOp {
             predicate: CompiledExpr::compile(predicate, &input.schema),
-            input: build_op(db, input, policy, stats, opts, parallel)?,
+            input: build_op(db, input, policy, stats, opts, parallel, unary(analyze))?,
         })),
         PhysOp::Project { exprs, input } => Ok(Box::new(ProjectOp {
             exprs: exprs
                 .iter()
                 .map(|(e, _)| CompiledExpr::compile(e, &input.schema))
                 .collect(),
-            input: build_op(db, input, policy, stats, opts, parallel)?,
+            input: build_op(db, input, policy, stats, opts, parallel, unary(analyze))?,
         })),
         PhysOp::HashAggregate {
             group_by,
@@ -846,6 +1036,16 @@ fn build_op<'a, P: TagPolicy>(
                 if let Some(op) =
                     try_agg_pushdown(db, input, &group_idx, aggregates, policy, opts, stats)?
                 {
+                    // The input subtree was fused into this aggregate: its
+                    // operators never run on their own, so mark their
+                    // pre-order slots — the ANALYZE rendering shows them as
+                    // fused and attributes all work to this node.
+                    if let Some((metrics, id)) = analyze {
+                        let mut all = metrics.borrow_mut();
+                        for slot in &mut all[id + 1..id + 1 + input.node_count()] {
+                            slot.fused = true;
+                        }
+                    }
                     return Ok(op);
                 }
             }
@@ -858,7 +1058,15 @@ fn build_op<'a, P: TagPolicy>(
                     .map(|a| CompiledExpr::compile(&a.input, &input.schema))
                     .collect(),
                 policy,
-                input: Some(build_op(db, input, policy, stats, opts, parallel)?),
+                input: Some(build_op(
+                    db,
+                    input,
+                    policy,
+                    stats,
+                    opts,
+                    parallel,
+                    unary(analyze),
+                )?),
                 out: Emitter::new(),
             }))
         }
@@ -876,9 +1084,10 @@ fn build_op<'a, P: TagPolicy>(
                 .schema
                 .index_of(right_col)
                 .ok_or_else(|| ExecError::UnknownColumn(right_col.clone()))?;
+            let (la, ra) = binary(analyze, left);
             Ok(Box::new(HashJoinOp {
-                left: build_op(db, left, policy, stats, opts, parallel)?,
-                right: Some(build_op(db, right, policy, stats, opts, parallel)?),
+                left: build_op(db, left, policy, stats, opts, parallel, la)?,
+                right: Some(build_op(db, right, policy, stats, opts, parallel, ra)?),
                 li,
                 ri,
                 policy,
@@ -887,17 +1096,20 @@ fn build_op<'a, P: TagPolicy>(
                 build_rows: Vec::new(),
             }))
         }
-        PhysOp::NestedLoopCross { left, right } => Ok(Box::new(NestedLoopCrossOp {
-            left: build_op(db, left, policy, stats, opts, parallel)?,
-            right: Some(build_op(db, right, policy, stats, opts, parallel)?),
-            policy,
-            right_rows: Vec::new(),
-            pending: std::collections::VecDeque::new(),
-            current: None,
-            right_pos: 0,
-            left_count: 0,
-            done: false,
-        })),
+        PhysOp::NestedLoopCross { left, right } => {
+            let (la, ra) = binary(analyze, left);
+            Ok(Box::new(NestedLoopCrossOp {
+                left: build_op(db, left, policy, stats, opts, parallel, la)?,
+                right: Some(build_op(db, right, policy, stats, opts, parallel, ra)?),
+                policy,
+                right_rows: Vec::new(),
+                pending: std::collections::VecDeque::new(),
+                current: None,
+                right_pos: 0,
+                left_count: 0,
+                done: false,
+            }))
+        }
         PhysOp::Sort {
             keys,
             topk_limit,
@@ -916,23 +1128,42 @@ fn build_op<'a, P: TagPolicy>(
             Ok(Box::new(SortOp {
                 key_idx,
                 topk_limit: *topk_limit,
-                input: Some(build_op(db, input, policy, stats, opts, parallel)?),
+                input: Some(build_op(
+                    db,
+                    input,
+                    policy,
+                    stats,
+                    opts,
+                    parallel,
+                    unary(analyze),
+                )?),
                 out: Emitter::new(),
             }))
         }
         PhysOp::Limit { limit, input } => Ok(Box::new(LimitOp {
             remaining: *limit,
-            input: build_op(db, input, policy, stats, opts, parallel)?,
+            input: build_op(db, input, policy, stats, opts, parallel, unary(analyze))?,
         })),
         PhysOp::Distinct { input } => Ok(Box::new(DistinctOp {
             policy,
-            input: Some(build_op(db, input, policy, stats, opts, parallel)?),
+            input: Some(build_op(
+                db,
+                input,
+                policy,
+                stats,
+                opts,
+                parallel,
+                unary(analyze),
+            )?),
             out: Emitter::new(),
         })),
-        PhysOp::Append { left, right } => Ok(Box::new(AppendOp {
-            left: Some(build_op(db, left, policy, stats, opts, parallel)?),
-            right: Some(build_op(db, right, policy, stats, opts, parallel)?),
-        })),
+        PhysOp::Append { left, right } => {
+            let (la, ra) = binary(analyze, left);
+            Ok(Box::new(AppendOp {
+                left: Some(build_op(db, left, policy, stats, opts, parallel, la)?),
+                right: Some(build_op(db, right, policy, stats, opts, parallel, ra)?),
+            }))
+        }
     }
 }
 

@@ -61,25 +61,30 @@ impl ExecStats {
     /// parallel branches would overstate wall-clock time by the worker count.
     pub fn merge(&mut self, other: &ExecStats) {
         self.merge_counters(other);
-        self.topk_inputs.extend(other.topk_inputs.iter().cloned());
+        self.merge_topk_bounded(other);
         self.elapsed += other.elapsed;
     }
 
     /// Merge stats of a *concurrent* execution branch into this one.
     ///
-    /// Differences from the sequential [`ExecStats::merge`]:
-    ///
-    /// * `elapsed` is the **max** across branches, not the sum — branches
-    ///   overlapped in time, so the slowest one bounds the wall clock;
-    /// * `topk_inputs` growth is **bounded** at [`ExecStats::TOPK_INPUTS_CAP`]
-    ///   entries. When the cap is exceeded, the entries with the smallest
-    ///   `input / limit` slack are kept: those are the only ones that can make
-    ///   [`ExecStats::topk_safety_revalidated`] fail, so dropping the
-    ///   comfortable ones never turns a failing re-validation into a passing
-    ///   one.
+    /// The only difference from the sequential [`ExecStats::merge`]:
+    /// `elapsed` is the **max** across branches, not the sum — branches
+    /// overlapped in time, so the slowest one bounds the wall clock.
     pub fn merge_parallel(&mut self, other: &ExecStats) {
         self.merge_counters(other);
+        self.merge_topk_bounded(other);
         self.elapsed = self.elapsed.max(other.elapsed);
+    }
+
+    /// Accumulate `topk_inputs`, bounded at [`ExecStats::TOPK_INPUTS_CAP`]
+    /// entries. When the cap is exceeded, the entries with the smallest
+    /// `input / limit` slack are kept: those are the only ones that can make
+    /// [`ExecStats::topk_safety_revalidated`] fail, so dropping the
+    /// comfortable ones never turns a failing re-validation into a passing
+    /// one. Both merge flavours share this helper — an earlier asymmetry
+    /// (only the parallel merge bounded the vector) let long sequential
+    /// accumulation loops grow it without limit.
+    fn merge_topk_bounded(&mut self, other: &ExecStats) {
         self.topk_inputs.extend(other.topk_inputs.iter().cloned());
         if self.topk_inputs.len() > Self::TOPK_INPUTS_CAP {
             let slack = |&(limit, input): &(usize, u64)| input as f64 / (limit.max(1) as f64);
@@ -225,6 +230,32 @@ mod tests {
         // The failing entry must survive the truncation.
         assert!(!a.topk_safety_revalidated());
         assert!(a.topk_inputs.contains(&(10, 3)));
+    }
+
+    #[test]
+    fn sequential_merge_bounds_topk_inputs_like_parallel_merge() {
+        // Regression: plain merge used to extend `topk_inputs` unbounded, so
+        // a self-tuning loop accumulating per-workload totals over thousands
+        // of top-k queries grew the vector without limit. Both flavours now
+        // share the bounded helper.
+        let mut seq = ExecStats::default();
+        for _ in 0..10 {
+            let mut one = ExecStats::default();
+            one.topk_inputs.push((10, 3)); // failing entry every round
+            for _ in 0..ExecStats::TOPK_INPUTS_CAP {
+                one.topk_inputs.push((5, 1_000));
+            }
+            seq.merge(&one);
+        }
+        assert!(
+            seq.topk_inputs.len() <= ExecStats::TOPK_INPUTS_CAP,
+            "sequential merge must bound topk_inputs: {}",
+            seq.topk_inputs.len()
+        );
+        // Truncation keeps the smallest-slack entries, so the failing ones
+        // survive and re-validation still (correctly) fails.
+        assert!(!seq.topk_safety_revalidated());
+        assert!(seq.topk_inputs.contains(&(10, 3)));
     }
 
     #[test]

@@ -27,7 +27,8 @@ use crate::sketch::ProvenanceSketch;
 use pbds_algebra::LogicalPlan;
 use pbds_exec::{execute_logical, EngineProfile, ExecError, ExecStats, TagPolicy};
 use pbds_storage::{Database, Partition, PartitionRef, Relation, Row, Schema};
-use std::time::{Duration, Instant};
+use pbds_telemetry::clock;
+use std::time::Duration;
 
 /// How a tuple's fragment is computed when seeding annotations (Fig. 12a).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -239,7 +240,7 @@ pub fn capture_sketches_with_profile(
     config: &CaptureConfig,
     profile: EngineProfile,
 ) -> Result<CaptureResult, ExecError> {
-    let start = Instant::now();
+    let start = clock::Stopwatch::start();
     let assigners: Vec<FragmentAssigner> = partitions
         .iter()
         .map(|p| FragmentAssigner::new(p.clone(), config.lookup))

@@ -73,6 +73,7 @@ pub struct LockHoldStat {
 #[cfg(any(debug_assertions, feature = "lock-order"))]
 mod imp {
     use super::LockHoldStat;
+    use pbds_telemetry::clock;
     use std::cell::RefCell;
     use std::collections::{HashMap, HashSet};
     use std::sync::atomic::{AtomicU64, Ordering};
@@ -251,7 +252,7 @@ mod imp {
             let _ = HELD.try_with(|held| held.borrow_mut().push(class.id));
             Hold {
                 class: Arc::clone(class),
-                since: Instant::now(),
+                since: clock::now(),
             }
         }
     }

@@ -1,0 +1,351 @@
+//! Log-linear (HDR-style) histograms with lock-free recording.
+//!
+//! Values are `u64` "raw units" (the time histograms record nanoseconds).
+//! Buckets are laid out log-linearly: 16 unit-width buckets cover `[0, 16)`,
+//! then every power-of-two octave `[2^k, 2^(k+1))` is split into 16 equal
+//! sub-buckets — so any recorded value is attributed to a bucket whose upper
+//! bound overstates it by at most 1/16 (6.25 %), at every magnitude. That
+//! bound is what makes bucket-estimated p50/p95/p99 trustworthy without
+//! storing raw samples.
+//!
+//! Recording is a single `fetch_add` on the bucket plus one on the running
+//! sum — no locks, safe from any thread. Snapshots are deterministic
+//! functions of the recorded multiset: the same values in any order (or
+//! split across histograms later [`HistogramSnapshot::merge`]d) produce
+//! byte-identical snapshots. The property suite in `tests/telemetry.rs`
+//! proves both claims.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sub-bucket resolution: each octave splits into `2^SUB_BITS` buckets.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave (16).
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Total bucket count covering the full `u64` range.
+pub const BUCKET_COUNT: usize = (SUB as usize) * (64 - SUB_BITS as usize + 1);
+
+/// Index of the bucket a value lands in.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    ((shift as usize + 1) * SUB as usize) + ((v >> shift) as usize - SUB as usize)
+}
+
+/// Largest value attributed to bucket `index` (the bucket's inclusive upper
+/// bound; quantiles report this value).
+#[inline]
+pub fn bucket_bound(index: usize) -> u64 {
+    debug_assert!(index < BUCKET_COUNT);
+    if index < SUB as usize {
+        return index as u64;
+    }
+    let g = (index / SUB as usize - 1) as u32;
+    let s = (index % SUB as usize) as u64;
+    ((SUB + s) << g) + ((1u64 << g) - 1)
+}
+
+struct Inner {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    /// Multiplier applied when rendering raw units for exposition (`1e-9`
+    /// turns recorded nanoseconds into `_seconds` metrics).
+    scale: f64,
+}
+
+/// A shareable log-linear histogram handle. Cloning shares the buckets.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.snapshot().count())
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(1.0)
+    }
+}
+
+impl Histogram {
+    /// New histogram whose exposition multiplies raw units by `scale`.
+    pub fn new(scale: f64) -> Histogram {
+        Histogram {
+            inner: Arc::new(Inner {
+                buckets: (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+                scale,
+            }),
+        }
+    }
+
+    /// A histogram recording nanoseconds, exposed in seconds.
+    pub fn new_seconds() -> Histogram {
+        Histogram::new(1e-9)
+    }
+
+    /// Record one raw value (lock-free).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration as nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// The exposition scale factor.
+    pub fn scale(&self) -> f64 {
+        self.inner.scale
+    }
+
+    /// Deterministic point-in-time snapshot of the recorded multiset.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut nonzero = Vec::new();
+        let mut count = 0u64;
+        for (i, b) in self.inner.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                nonzero.push((i, c));
+                count += c;
+            }
+        }
+        HistogramSnapshot {
+            scale: self.inner.scale,
+            nonzero,
+            count,
+            sum: self.inner.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Immutable snapshot of a [`Histogram`]: the nonzero `(bucket index, count)`
+/// pairs in index order plus total count and raw-unit sum. Two histograms
+/// that recorded the same multiset of values — in any order, across any
+/// interleaving of merges — snapshot identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    scale: f64,
+    nonzero: Vec<(usize, u64)>,
+    count: u64,
+    sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot with the given exposition scale.
+    pub fn empty(scale: f64) -> HistogramSnapshot {
+        HistogramSnapshot {
+            scale,
+            nonzero: Vec::new(),
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of raw recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Sum in exposition units (`sum × scale`).
+    pub fn sum_scaled(&self) -> f64 {
+        self.sum as f64 * self.scale
+    }
+
+    /// Exposition scale factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Nonzero `(bucket upper bound, count)` pairs in increasing bound order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.nonzero.iter().map(|&(i, c)| (bucket_bound(i), c))
+    }
+
+    /// Cumulative `(upper bound in exposition units, count ≤ bound)` pairs —
+    /// the Prometheus `_bucket{le=...}` series, nonzero buckets only.
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut cum = 0u64;
+        self.nonzero
+            .iter()
+            .map(|&(i, c)| {
+                cum += c;
+                (bucket_bound(i) as f64 * self.scale, cum)
+            })
+            .collect()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in raw units: the upper bound of the
+    /// first bucket whose cumulative count reaches `ceil(q × count)`.
+    /// Deterministic; `0` when nothing was recorded. Overstates the true
+    /// sample quantile by at most one part in 16.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for &(i, c) in &self.nonzero {
+            cum += c;
+            if cum >= target {
+                return bucket_bound(i);
+            }
+        }
+        bucket_bound(self.nonzero.last().map(|&(i, _)| i).unwrap_or(0))
+    }
+
+    /// The `q`-quantile in exposition units (e.g. seconds for a
+    /// nanosecond-recorded `_seconds` histogram).
+    pub fn quantile_scaled(&self, q: f64) -> f64 {
+        self.quantile(q) as f64 * self.scale
+    }
+
+    /// Fold another snapshot of the same metric into this one (bucket-wise
+    /// addition). The merge is associative and commutative, so sharded
+    /// recording merges to the same snapshot as centralized recording.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        let mut merged: Vec<(usize, u64)> = Vec::with_capacity(self.nonzero.len());
+        let (mut a, mut b) = (
+            self.nonzero.iter().peekable(),
+            other.nonzero.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => {
+                    if ia < ib {
+                        merged.push((ia, ca));
+                        a.next();
+                    } else if ib < ia {
+                        merged.push((ib, cb));
+                        b.next();
+                    } else {
+                        merged.push((ia, ca + cb));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&p), None) => {
+                    merged.push(p);
+                    a.next();
+                }
+                (None, Some(&&p)) => {
+                    merged.push(p);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.nonzero = merged;
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_are_exact_below_sixteen() {
+        for v in 0..SUB {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bounds_bracket_their_values_with_one_sixteenth_error() {
+        for &v in &[16u64, 17, 31, 32, 100, 1_000, 65_535, 1 << 40, u64::MAX] {
+            let i = bucket_index(v);
+            let hi = bucket_bound(i);
+            assert!(hi >= v, "bound {hi} below value {v}");
+            // Relative overshoot is below 1/16 at every magnitude.
+            assert!(
+                (hi - v) as f64 <= v as f64 / 16.0,
+                "bucket error too large: v={v} hi={hi}"
+            );
+            // The bound itself maps back into the same bucket.
+            assert_eq!(bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_over_octave_seams() {
+        let mut last = 0usize;
+        for v in 0..2048u64 {
+            let i = bucket_index(v);
+            assert!(i >= last, "index regressed at {v}");
+            last = i;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn quantiles_estimate_percentiles() {
+        let h = Histogram::new(1.0);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        let p50 = s.quantile(0.5);
+        let p99 = s.quantile(0.99);
+        assert!((468..=532).contains(&p50), "p50={p50}");
+        assert!((930..=1055).contains(&p99), "p99={p99}");
+        assert!(s.quantile(1.0) >= 1000);
+        assert_eq!(s.quantile(0.0), 1); // smallest recorded value's bucket
+    }
+
+    #[test]
+    fn empty_snapshot_quantile_is_zero() {
+        assert_eq!(Histogram::new(1.0).snapshot().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_equals_central_recording() {
+        let all = Histogram::new(1.0);
+        let left = Histogram::new(1.0);
+        let right = Histogram::new(1.0);
+        for v in [0u64, 3, 15, 16, 17, 1000, 1 << 33] {
+            all.record(v);
+            if v % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        let mut merged = left.snapshot();
+        merged.merge(&right.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn duration_histogram_scales_to_seconds() {
+        let h = Histogram::new_seconds();
+        h.record_duration(Duration::from_millis(5));
+        let s = h.snapshot();
+        let p50 = s.quantile_scaled(0.5);
+        assert!((0.004..0.006).contains(&p50), "p50={p50}");
+        assert!((s.sum_scaled() - 0.005).abs() < 1e-3);
+    }
+}

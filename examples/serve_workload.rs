@@ -6,10 +6,10 @@
 //! Run with: `cargo run --release --example serve_workload`
 
 use pbds_core::storage::Database;
-use pbds_core::{Action, PbdsServer, ServerConfig, Strategy};
+use pbds_core::telemetry::clock;
+use pbds_core::{Action, MetricsSnapshot, PbdsServer, ServerConfig, Strategy};
 use pbds_workloads::{sof, sof_pools, zipf_stream, StreamSpec};
 use std::sync::Arc;
-use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small Stack-Overflow-like database and a skewed stream of HAVING
@@ -30,6 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     );
 
+    let mut exposition: Option<MetricsSnapshot> = None;
     for (label, strategy) in [
         ("No-PS ", Strategy::NoPbds),
         (
@@ -47,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ..ServerConfig::default()
             },
         );
-        let start = Instant::now();
+        let start = clock::Stopwatch::start();
         let served = server.serve_stream(&stream, 4)?;
         let elapsed = start.elapsed();
         server.drain(); // let background captures finish before reading stats
@@ -65,6 +66,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              background captures {captures} ({capture_time:.1?}) | {stats:?}",
             served.len(),
             served.len() as f64 / elapsed.as_secs_f64(),
+        );
+        exposition = Some(server.metrics_snapshot());
+    }
+
+    // Every stats struct above is a view over the metrics registry; the
+    // same numbers (plus latency histograms and health) are exported as
+    // Prometheus-style text exposition for scraping.
+    if let Some(snap) = exposition {
+        let q = &snap.histograms["pbds_query_seconds"];
+        println!(
+            "\nquery latency (eager): p50 {:>9.1?} p95 {:>9.1?} p99 {:>9.1?}",
+            std::time::Duration::from_secs_f64(q.quantile_scaled(0.50)),
+            std::time::Duration::from_secs_f64(q.quantile_scaled(0.95)),
+            std::time::Duration::from_secs_f64(q.quantile_scaled(0.99)),
+        );
+        println!(
+            "\nmetrics exposition (eager server):\n{}",
+            snap.render_text()
         );
     }
     Ok(())

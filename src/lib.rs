@@ -14,6 +14,7 @@ pub use pbds_provenance as provenance;
 pub use pbds_solver as solver;
 pub use pbds_storage as storage;
 pub use pbds_sync as sync;
+pub use pbds_telemetry as telemetry;
 pub use pbds_workloads as workloads;
 
 pub use pbds_core::{Pbds, PbdsError};
